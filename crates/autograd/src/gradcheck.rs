@@ -1,0 +1,126 @@
+//! Numerical gradient checking.
+//!
+//! [`check`] compares the analytic gradient produced by [`Graph::backward`]
+//! against central finite differences for every input tensor, and is the
+//! backbone of this crate's correctness tests: each primitive op is verified
+//! on randomized inputs.
+
+use mfaplace_tensor::Tensor;
+
+use crate::{Graph, Var};
+
+/// Absolute tolerance floor used by [`assert_grads_close`]; differences
+/// below this are attributed to `f32` finite-difference noise.
+pub const ATOL: f32 = 2e-3;
+
+/// Result of a gradient check for one input.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// Index of the checked input in the `inputs` slice.
+    pub input: usize,
+    /// Maximum absolute difference between analytic and numeric gradients.
+    pub max_abs_diff: f32,
+    /// Maximum relative difference (normalized by magnitude).
+    pub max_rel_diff: f32,
+    /// Maximum of `|a - n| / (ATOL + rtol * max(|a|, |n|))` over elements,
+    /// where `rtol` was captured at check time; `<= 1` means pass.
+    pub max_violation: f32,
+}
+
+/// Checks the gradient of `f` with respect to each input tensor.
+///
+/// `f` receives a fresh [`Graph`] and the inputs already inserted as
+/// parameters, and must return a scalar loss [`Var`]. Returns one
+/// [`CheckReport`] per input.
+///
+/// # Panics
+///
+/// Panics if `f` returns a non-scalar node.
+pub fn check(
+    inputs: &[Tensor],
+    eps: f32,
+    f: impl Fn(&mut Graph, &[Var]) -> Var,
+) -> Vec<CheckReport> {
+    check_with_rtol(inputs, eps, 3e-2, f)
+}
+
+/// Like [`check`], with an explicit relative tolerance used for the
+/// `max_violation` statistic.
+pub fn check_with_rtol(
+    inputs: &[Tensor],
+    eps: f32,
+    rtol: f32,
+    f: impl Fn(&mut Graph, &[Var]) -> Var,
+) -> Vec<CheckReport> {
+    // Analytic pass.
+    let mut g = Graph::new();
+    let vars: Vec<Var> = inputs.iter().map(|t| g.param(t.clone())).collect();
+    let loss = f(&mut g, &vars);
+    g.backward(loss);
+    let analytic: Vec<Tensor> = vars
+        .iter()
+        .map(|&v| {
+            g.grad(v)
+                .cloned()
+                .unwrap_or_else(|| Tensor::zeros(g.value(v).shape().to_vec()))
+        })
+        .collect();
+
+    // Numeric pass: central differences per element.
+    let eval = |perturbed: &[Tensor]| -> f32 {
+        let mut g = Graph::new();
+        let vars: Vec<Var> = perturbed.iter().map(|t| g.param(t.clone())).collect();
+        let loss = f(&mut g, &vars);
+        g.value(loss).item()
+    };
+
+    let mut reports = Vec::new();
+    for (ii, input) in inputs.iter().enumerate() {
+        let mut max_abs = 0.0f32;
+        let mut max_rel = 0.0f32;
+        let mut max_violation = 0.0f32;
+        for k in 0..input.numel() {
+            let mut plus: Vec<Tensor> = inputs.to_vec();
+            plus[ii].data_mut()[k] += eps;
+            let mut minus: Vec<Tensor> = inputs.to_vec();
+            minus[ii].data_mut()[k] -= eps;
+            let numeric = (eval(&plus) - eval(&minus)) / (2.0 * eps);
+            let a = analytic[ii].data()[k];
+            let abs = (a - numeric).abs();
+            let scale = a.abs().max(numeric.abs());
+            max_abs = max_abs.max(abs);
+            max_rel = max_rel.max(abs / scale.max(1e-3));
+            max_violation = max_violation.max(abs / (ATOL + rtol * scale));
+        }
+        reports.push(CheckReport {
+            input: ii,
+            max_abs_diff: max_abs,
+            max_rel_diff: max_rel,
+            max_violation,
+        });
+    }
+    reports
+}
+
+/// Asserts that [`check`] passes with the given relative tolerance.
+///
+/// # Panics
+///
+/// Panics (with a diagnostic) if any input's gradient deviates beyond `tol`.
+pub fn assert_grads_close(
+    inputs: &[Tensor],
+    eps: f32,
+    tol: f32,
+    f: impl Fn(&mut Graph, &[Var]) -> Var,
+) {
+    for report in check_with_rtol(inputs, eps, tol, f) {
+        assert!(
+            report.max_violation <= 1.0,
+            "gradient check failed for input {}: violation={} (rel={}, abs={})",
+            report.input,
+            report.max_violation,
+            report.max_rel_diff,
+            report.max_abs_diff
+        );
+    }
+}

@@ -1,0 +1,1121 @@
+use mfaplace_tensor::{numel, Tensor};
+
+/// Handle to a node in a [`Graph`].
+///
+/// `Var`s are cheap copyable indices; they are only meaningful for the graph
+/// that created them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(pub(crate) usize);
+
+impl Var {
+    /// The raw tape index (stable for persistent parameters).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+enum Op {
+    Leaf,
+    Add(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    Neg(Var),
+    Scale(Var, f32),
+    AddScalar(Var),
+    Matmul(Var, Var),
+    Bmm(Var, Var),
+    Conv2d {
+        x: Var,
+        w: Var,
+        stride: usize,
+        pad: usize,
+        cols: Tensor,
+    },
+    AddBiasChannel(Var, Var),
+    AddBiasRow(Var, Var),
+    Relu(Var),
+    LeakyRelu(Var, f32),
+    Sigmoid(Var),
+    Gelu(Var),
+    BatchNorm2d {
+        x: Var,
+        gamma: Var,
+        beta: Var,
+        xhat: Tensor,
+        inv_std: Vec<f32>,
+    },
+    ChannelAffine {
+        x: Var,
+        scale: Vec<f32>,
+    },
+    LayerNorm {
+        x: Var,
+        gamma: Var,
+        beta: Var,
+        xhat: Tensor,
+        inv_std: Vec<f32>,
+    },
+    SoftmaxLast(Var),
+    CrossEntropy2d {
+        logits: Var,
+        labels: Vec<u8>,
+        class_weights: Option<Vec<f32>>,
+        probs: Tensor,
+        weight_sum: f32,
+    },
+    MseLoss {
+        pred: Var,
+        target: Tensor,
+    },
+    Reshape(Var),
+    Permute {
+        x: Var,
+        axes: Vec<usize>,
+    },
+    ConcatChannels(Vec<Var>),
+    SliceChannels {
+        x: Var,
+        c0: usize,
+        c1: usize,
+    },
+    Upsample2x(Var),
+    MaxPool2x2 {
+        x: Var,
+        arg: Vec<usize>,
+    },
+    Mean(Var),
+    Sum(Var),
+    MulScalarVar(Var, Var),
+}
+
+struct Node {
+    value: Tensor,
+    grad: Option<Tensor>,
+    op: Op,
+    requires_grad: bool,
+}
+
+/// Arena tape holding values, gradients and the recorded operations.
+///
+/// See the [crate-level documentation](crate) for the usage pattern.
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl std::fmt::Debug for Graph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Graph({} nodes)", self.nodes.len())
+    }
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Graph { nodes: Vec::new() }
+    }
+
+    /// Number of nodes currently on the tape.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Tensor, op: Op, requires_grad: bool) -> Var {
+        self.nodes.push(Node {
+            value,
+            grad: None,
+            op,
+            requires_grad,
+        });
+        Var(self.nodes.len() - 1)
+    }
+
+    fn rg(&self, v: Var) -> bool {
+        self.nodes[v.0].requires_grad
+    }
+
+    /// Inserts a trainable leaf (a parameter). Persistent across truncation
+    /// as long as it was created before the mark.
+    pub fn param(&mut self, t: Tensor) -> Var {
+        self.push(t, Op::Leaf, true)
+    }
+
+    /// Inserts a non-trainable leaf (an input or constant).
+    pub fn constant(&mut self, t: Tensor) -> Var {
+        self.push(t, Op::Leaf, false)
+    }
+
+    /// The current value of a node.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// Mutable access to a node's value (used by optimizers on parameters).
+    pub fn value_mut(&mut self, v: Var) -> &mut Tensor {
+        &mut self.nodes[v.0].value
+    }
+
+    /// The accumulated gradient of a node, if any was produced by
+    /// [`Graph::backward`].
+    pub fn grad(&self, v: Var) -> Option<&Tensor> {
+        self.nodes[v.0].grad.as_ref()
+    }
+
+    /// Clears all gradients.
+    pub fn zero_grads(&mut self) {
+        for n in &mut self.nodes {
+            n.grad = None;
+        }
+    }
+
+    /// Returns a mark for later [`Graph::truncate`].
+    pub fn mark(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Drops every node created after `mark`, freeing per-step activations
+    /// while keeping parameters created before the mark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mark` exceeds the current length.
+    pub fn truncate(&mut self, mark: usize) {
+        assert!(mark <= self.nodes.len(), "truncate beyond tape length");
+        self.nodes.truncate(mark);
+    }
+
+    // ----------------------------------------------------------------- ops
+
+    /// Element-wise sum of two same-shape nodes.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).add(self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        self.push(v, Op::Add(a, b), rg)
+    }
+
+    /// Element-wise difference `a - b`.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).sub(self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        self.push(v, Op::Sub(a, b), rg)
+    }
+
+    /// Element-wise product of two same-shape nodes.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).mul(self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        self.push(v, Op::Mul(a, b), rg)
+    }
+
+    /// Negation.
+    pub fn neg(&mut self, a: Var) -> Var {
+        let v = self.value(a).scale(-1.0);
+        let rg = self.rg(a);
+        self.push(v, Op::Neg(a), rg)
+    }
+
+    /// Multiplication by a compile-time scalar.
+    pub fn scale(&mut self, a: Var, c: f32) -> Var {
+        let v = self.value(a).scale(c);
+        let rg = self.rg(a);
+        self.push(v, Op::Scale(a, c), rg)
+    }
+
+    /// Addition of a compile-time scalar.
+    pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
+        let v = self.value(a).map(|x| x + c);
+        let rg = self.rg(a);
+        self.push(v, Op::AddScalar(a), rg)
+    }
+
+    /// 2-D matrix product `[m,k] x [k,n]`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul2d(self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        self.push(v, Op::Matmul(a, b), rg)
+    }
+
+    /// Batched matrix product `[b,m,k] x [b,k,n]`.
+    pub fn bmm(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).bmm(self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        self.push(v, Op::Bmm(a, b), rg)
+    }
+
+    /// 2-D convolution of `x: [B,C,H,W]` with `w: [OC,C,KH,KW]`.
+    pub fn conv2d(&mut self, x: Var, w: Var, stride: usize, pad: usize) -> Var {
+        let (kh, kw) = {
+            let ws = self.value(w).shape();
+            assert_eq!(ws.len(), 4, "conv2d weight must be [OC,C,KH,KW]");
+            (ws[2], ws[3])
+        };
+        let (b, _c, _h, _wd) = self.value(x).dims4();
+        let cols = self.value(x).im2col(kh, kw, stride, pad);
+        let oc = self.value(w).shape()[0];
+        let ckk = self.value(w).numel() / oc;
+        let wm = self
+            .value(w)
+            .reshape(vec![oc, ckk])
+            .expect("conv2d weight reshape");
+        let y_mat = wm.matmul2d(&cols); // [OC, B*OH*OW]
+        let ohow = y_mat.shape()[1] / b;
+        let mut out = vec![0.0f32; y_mat.numel()];
+        // reorder [OC, B, OH*OW] -> [B, OC, OH*OW]
+        for ocx in 0..oc {
+            for bi in 0..b {
+                let src = &y_mat.data()[(ocx * b + bi) * ohow..(ocx * b + bi + 1) * ohow];
+                out[(bi * oc + ocx) * ohow..(bi * oc + ocx + 1) * ohow].copy_from_slice(src);
+            }
+        }
+        let (h, wd) = {
+            let xs = self.value(x).shape();
+            (xs[2], xs[3])
+        };
+        let (oh, ow) = mfaplace_tensor_conv_out(h, wd, kh, kw, stride, pad);
+        debug_assert_eq!(oh * ow, ohow);
+        let v = Tensor::from_vec(vec![b, oc, oh, ow], out).expect("conv2d output");
+        let rg = self.rg(x) || self.rg(w);
+        self.push(
+            v,
+            Op::Conv2d {
+                x,
+                w,
+                stride,
+                pad,
+                cols,
+            },
+            rg,
+        )
+    }
+
+    /// Adds a per-channel bias `b: [C]` to `x: [B,C,H,W]`.
+    pub fn add_bias_channel(&mut self, x: Var, b: Var) -> Var {
+        let (bs, c, h, w) = self.value(x).dims4();
+        assert_eq!(self.value(b).shape(), &[c], "bias shape mismatch");
+        let mut out = self.value(x).data().to_vec();
+        let bias = self.value(b).data().to_vec();
+        for bi in 0..bs {
+            for ci in 0..c {
+                for o in &mut out[(bi * c + ci) * h * w..(bi * c + ci + 1) * h * w] {
+                    *o += bias[ci];
+                }
+            }
+        }
+        let v = Tensor::from_vec(vec![bs, c, h, w], out).expect("bias output");
+        let rg = self.rg(x) || self.rg(b);
+        self.push(v, Op::AddBiasChannel(x, b), rg)
+    }
+
+    /// Adds a bias `b: [D]` to the last axis of `x: [..., D]`.
+    pub fn add_bias_row(&mut self, x: Var, b: Var) -> Var {
+        let d = *self.value(x).shape().last().expect("rank >= 1");
+        assert_eq!(self.value(b).shape(), &[d], "row bias shape mismatch");
+        let bias = self.value(b).data().to_vec();
+        let mut out = self.value(x).data().to_vec();
+        for row in out.chunks_mut(d) {
+            for (o, &bv) in row.iter_mut().zip(&bias) {
+                *o += bv;
+            }
+        }
+        let v = Tensor::from_vec(self.value(x).shape().to_vec(), out).expect("row bias output");
+        let rg = self.rg(x) || self.rg(b);
+        self.push(v, Op::AddBiasRow(x, b), rg)
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, x: Var) -> Var {
+        let v = self.value(x).map(|a| a.max(0.0));
+        let rg = self.rg(x);
+        self.push(v, Op::Relu(x), rg)
+    }
+
+    /// Leaky ReLU with the given negative slope.
+    pub fn leaky_relu(&mut self, x: Var, slope: f32) -> Var {
+        let v = self.value(x).map(|a| if a > 0.0 { a } else { slope * a });
+        let rg = self.rg(x);
+        self.push(v, Op::LeakyRelu(x, slope), rg)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, x: Var) -> Var {
+        let v = self.value(x).map(|a| 1.0 / (1.0 + (-a).exp()));
+        let rg = self.rg(x);
+        self.push(v, Op::Sigmoid(x), rg)
+    }
+
+    /// GELU activation (tanh approximation), used in transformer MLPs.
+    pub fn gelu(&mut self, x: Var) -> Var {
+        let v = self.value(x).map(gelu_fwd);
+        let rg = self.rg(x);
+        self.push(v, Op::Gelu(x), rg)
+    }
+
+    /// Batch normalization over `(B, H, W)` per channel using batch
+    /// statistics, with affine parameters `gamma, beta: [C]`.
+    ///
+    /// Returns the normalized output plus the per-channel batch mean and
+    /// variance (for running-statistic tracking by the layer).
+    pub fn batch_norm2d(
+        &mut self,
+        x: Var,
+        gamma: Var,
+        beta: Var,
+        eps: f32,
+    ) -> (Var, Vec<f32>, Vec<f32>) {
+        let (b, c, h, w) = self.value(x).dims4();
+        let n = (b * h * w) as f32;
+        let src = self.value(x).data();
+        let mut mean = vec![0.0f32; c];
+        let mut var = vec![0.0f32; c];
+        for bi in 0..b {
+            for ci in 0..c {
+                for &v in &src[(bi * c + ci) * h * w..(bi * c + ci + 1) * h * w] {
+                    mean[ci] += v;
+                }
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        for bi in 0..b {
+            for ci in 0..c {
+                for &v in &src[(bi * c + ci) * h * w..(bi * c + ci + 1) * h * w] {
+                    let d = v - mean[ci];
+                    var[ci] += d * d;
+                }
+            }
+        }
+        for v in &mut var {
+            *v /= n;
+        }
+        let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + eps).sqrt()).collect();
+        let mut xhat = vec![0.0f32; src.len()];
+        let g = self.value(gamma).data().to_vec();
+        let be = self.value(beta).data().to_vec();
+        let mut out = vec![0.0f32; src.len()];
+        for bi in 0..b {
+            for ci in 0..c {
+                let base = (bi * c + ci) * h * w;
+                for k in 0..h * w {
+                    let xh = (src[base + k] - mean[ci]) * inv_std[ci];
+                    xhat[base + k] = xh;
+                    out[base + k] = g[ci] * xh + be[ci];
+                }
+            }
+        }
+        let xhat = Tensor::from_vec(vec![b, c, h, w], xhat).expect("bn xhat");
+        let v = Tensor::from_vec(vec![b, c, h, w], out).expect("bn out");
+        let rg = self.rg(x) || self.rg(gamma) || self.rg(beta);
+        let var_out = var.clone();
+        let node = self.push(
+            v,
+            Op::BatchNorm2d {
+                x,
+                gamma,
+                beta,
+                xhat,
+                inv_std,
+            },
+            rg,
+        );
+        (node, mean, var_out)
+    }
+
+    /// Per-channel affine transform `y = scale_c * x + shift_c` with
+    /// *constant* (non-differentiable) coefficients — the inference-mode form
+    /// of batch normalization with running statistics folded in.
+    pub fn channel_affine(&mut self, x: Var, scale: Vec<f32>, shift: Vec<f32>) -> Var {
+        let (b, c, h, w) = self.value(x).dims4();
+        assert_eq!(scale.len(), c, "channel_affine scale length");
+        assert_eq!(shift.len(), c, "channel_affine shift length");
+        let src = self.value(x).data();
+        let mut out = vec![0.0f32; src.len()];
+        for bi in 0..b {
+            for ci in 0..c {
+                let base = (bi * c + ci) * h * w;
+                for k in 0..h * w {
+                    out[base + k] = scale[ci] * src[base + k] + shift[ci];
+                }
+            }
+        }
+        let v = Tensor::from_vec(vec![b, c, h, w], out).expect("affine out");
+        let rg = self.rg(x);
+        self.push(v, Op::ChannelAffine { x, scale }, rg)
+    }
+
+    /// Layer normalization over the last axis with affine `gamma, beta: [D]`.
+    pub fn layer_norm(&mut self, x: Var, gamma: Var, beta: Var, eps: f32) -> Var {
+        let d = *self.value(x).shape().last().expect("rank >= 1");
+        let src = self.value(x).data();
+        let rows = src.len() / d;
+        let g = self.value(gamma).data().to_vec();
+        let be = self.value(beta).data().to_vec();
+        let mut xhat = vec![0.0f32; src.len()];
+        let mut out = vec![0.0f32; src.len()];
+        let mut inv_std = vec![0.0f32; rows];
+        for r in 0..rows {
+            let row = &src[r * d..(r + 1) * d];
+            let mean: f32 = row.iter().sum::<f32>() / d as f32;
+            let var: f32 = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let is = 1.0 / (var + eps).sqrt();
+            inv_std[r] = is;
+            for k in 0..d {
+                let xh = (row[k] - mean) * is;
+                xhat[r * d + k] = xh;
+                out[r * d + k] = g[k] * xh + be[k];
+            }
+        }
+        let xhat = Tensor::from_vec(self.value(x).shape().to_vec(), xhat).expect("ln xhat");
+        let v = Tensor::from_vec(self.value(x).shape().to_vec(), out).expect("ln out");
+        let rg = self.rg(x) || self.rg(gamma) || self.rg(beta);
+        self.push(
+            v,
+            Op::LayerNorm {
+                x,
+                gamma,
+                beta,
+                xhat,
+                inv_std,
+            },
+            rg,
+        )
+    }
+
+    /// Softmax over the last axis.
+    pub fn softmax_last(&mut self, x: Var) -> Var {
+        let v = self.value(x).softmax_lastdim();
+        let rg = self.rg(x);
+        self.push(v, Op::SoftmaxLast(x), rg)
+    }
+
+    /// Pixel-wise multi-class cross entropy between `logits: [B,K,H,W]` and
+    /// integer `labels` (length `B*H*W`, values `< K`), optionally weighted
+    /// per class. Returns a scalar loss node.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent shapes or out-of-range labels.
+    pub fn cross_entropy2d(
+        &mut self,
+        logits: Var,
+        labels: &[u8],
+        class_weights: Option<&[f32]>,
+    ) -> Var {
+        let (b, k, h, w) = self.value(logits).dims4();
+        assert_eq!(labels.len(), b * h * w, "label count mismatch");
+        if let Some(cw) = class_weights {
+            assert_eq!(cw.len(), k, "class weight count mismatch");
+        }
+        let src = self.value(logits).data();
+        let hw = h * w;
+        let mut probs = vec![0.0f32; src.len()];
+        let mut loss = 0.0f64;
+        let mut weight_sum = 0.0f64;
+        for bi in 0..b {
+            for p in 0..hw {
+                // softmax over k at pixel p
+                let mut m = f32::NEG_INFINITY;
+                for ki in 0..k {
+                    m = m.max(src[(bi * k + ki) * hw + p]);
+                }
+                let mut z = 0.0f32;
+                for ki in 0..k {
+                    let e = (src[(bi * k + ki) * hw + p] - m).exp();
+                    probs[(bi * k + ki) * hw + p] = e;
+                    z += e;
+                }
+                let y = labels[bi * hw + p] as usize;
+                assert!(y < k, "label {y} out of range for {k} classes");
+                let wgt = class_weights.map_or(1.0, |cw| cw[y]);
+                let py = probs[(bi * k + y) * hw + p] / z;
+                loss += wgt as f64 * -(py.max(1e-12).ln() as f64);
+                weight_sum += wgt as f64;
+                for ki in 0..k {
+                    probs[(bi * k + ki) * hw + p] /= z;
+                }
+            }
+        }
+        let weight_sum = weight_sum.max(1e-12) as f32;
+        let v = Tensor::scalar((loss / weight_sum as f64) as f32);
+        let probs = Tensor::from_vec(vec![b, k, h, w], probs).expect("ce probs");
+        let rg = self.rg(logits);
+        self.push(
+            v,
+            Op::CrossEntropy2d {
+                logits,
+                labels: labels.to_vec(),
+                class_weights: class_weights.map(<[f32]>::to_vec),
+                probs,
+                weight_sum,
+            },
+            rg,
+        )
+    }
+
+    /// Mean-squared-error loss against a constant target of the same shape.
+    pub fn mse_loss(&mut self, pred: Var, target: &Tensor) -> Var {
+        assert_eq!(
+            self.value(pred).shape(),
+            target.shape(),
+            "mse target shape mismatch"
+        );
+        let diff = self.value(pred).sub(target);
+        let v = Tensor::scalar(diff.sq_norm() / diff.numel().max(1) as f32);
+        let rg = self.rg(pred);
+        self.push(
+            v,
+            Op::MseLoss {
+                pred,
+                target: target.clone(),
+            },
+            rg,
+        )
+    }
+
+    /// Reshape (element count preserved).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshape(&mut self, x: Var, shape: Vec<usize>) -> Var {
+        assert_eq!(
+            numel(&shape),
+            self.value(x).numel(),
+            "reshape element mismatch"
+        );
+        let v = self.value(x).clone().reshaped(shape);
+        let rg = self.rg(x);
+        self.push(v, Op::Reshape(x), rg)
+    }
+
+    /// General axis permutation.
+    pub fn permute(&mut self, x: Var, axes: &[usize]) -> Var {
+        let v = self.value(x).permute(axes);
+        let rg = self.rg(x);
+        self.push(
+            v,
+            Op::Permute {
+                x,
+                axes: axes.to_vec(),
+            },
+            rg,
+        )
+    }
+
+    /// Channel-axis concatenation of rank-4 nodes.
+    pub fn concat_channels(&mut self, parts: &[Var]) -> Var {
+        let tensors: Vec<&Tensor> = parts.iter().map(|&p| self.value(p)).collect();
+        let v = Tensor::concat_channels(&tensors);
+        let rg = parts.iter().any(|&p| self.rg(p));
+        self.push(v, Op::ConcatChannels(parts.to_vec()), rg)
+    }
+
+    /// Extracts channels `[c0, c1)` of a rank-4 node.
+    pub fn slice_channels(&mut self, x: Var, c0: usize, c1: usize) -> Var {
+        let v = self.value(x).slice_channels(c0, c1);
+        let rg = self.rg(x);
+        self.push(v, Op::SliceChannels { x, c0, c1 }, rg)
+    }
+
+    /// Nearest-neighbour 2× upsampling.
+    pub fn upsample2x(&mut self, x: Var) -> Var {
+        let v = self.value(x).upsample2x();
+        let rg = self.rg(x);
+        self.push(v, Op::Upsample2x(x), rg)
+    }
+
+    /// 2×2 max pooling with stride 2.
+    pub fn maxpool2x2(&mut self, x: Var) -> Var {
+        let (v, arg) = self.value(x).maxpool2x2();
+        let rg = self.rg(x);
+        self.push(v, Op::MaxPool2x2 { x, arg }, rg)
+    }
+
+    /// Mean of all elements (scalar output).
+    pub fn mean(&mut self, x: Var) -> Var {
+        let v = Tensor::scalar(self.value(x).mean());
+        let rg = self.rg(x);
+        self.push(v, Op::Mean(x), rg)
+    }
+
+    /// Sum of all elements (scalar output).
+    pub fn sum(&mut self, x: Var) -> Var {
+        let v = Tensor::scalar(self.value(x).sum());
+        let rg = self.rg(x);
+        self.push(v, Op::Sum(x), rg)
+    }
+
+    /// Broadcast product with a single-element node (e.g. the learnable
+    /// `alpha`/`beta` of the PAM/CAM blocks).
+    pub fn mul_scalar_var(&mut self, x: Var, s: Var) -> Var {
+        assert_eq!(self.value(s).numel(), 1, "scalar var must hold one element");
+        let sv = self.value(s).item();
+        let v = self.value(x).scale(sv);
+        let rg = self.rg(x) || self.rg(s);
+        self.push(v, Op::MulScalarVar(x, s), rg)
+    }
+
+    // ------------------------------------------------------------ backward
+
+    /// Runs reverse-mode differentiation from a scalar `loss` node,
+    /// accumulating gradients into every node with `requires_grad`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not a single-element tensor.
+    pub fn backward(&mut self, loss: Var) {
+        assert_eq!(
+            self.nodes[loss.0].value.numel(),
+            1,
+            "backward requires a scalar loss"
+        );
+        let seed = Tensor::from_vec(self.nodes[loss.0].value.shape().to_vec(), vec![1.0])
+            .expect("seed gradient");
+        accum_into(&mut self.nodes[loss.0], seed);
+        for i in (0..=loss.0).rev() {
+            if !self.nodes[i].requires_grad || self.nodes[i].grad.is_none() {
+                continue;
+            }
+            let (parents, me) = self.nodes.split_at_mut(i);
+            let node = &mut me[0];
+            let dy = node.grad.as_ref().expect("checked above").clone();
+            backward_op(node, &dy, parents);
+        }
+    }
+}
+
+/// Adds `g` into a node's gradient accumulator (if it requires grad).
+fn accum(parents: &mut [Node], v: Var, g: Tensor) {
+    if parents[v.0].requires_grad {
+        accum_into(&mut parents[v.0], g);
+    }
+}
+
+fn accum_into(node: &mut Node, g: Tensor) {
+    match &mut node.grad {
+        Some(acc) => acc.add_scaled_assign(&g, 1.0),
+        slot @ None => *slot = Some(g),
+    }
+}
+
+fn gelu_fwd(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    0.5 * x * (1.0 + (C * (x + 0.044_715 * x * x * x)).tanh())
+}
+
+fn gelu_bwd(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6;
+    let u = C * (x + 0.044_715 * x * x * x);
+    let t = u.tanh();
+    let du = C * (1.0 + 3.0 * 0.044_715 * x * x);
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du
+}
+
+fn mfaplace_tensor_conv_out(
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+) -> (usize, usize) {
+    ((h + 2 * pad - kh) / stride + 1, (w + 2 * pad - kw) / stride + 1)
+}
+
+#[allow(clippy::too_many_lines)]
+fn backward_op(node: &Node, dy: &Tensor, parents: &mut [Node]) {
+    match &node.op {
+        Op::Leaf => {}
+        Op::Add(a, b) => {
+            accum(parents, *a, dy.clone());
+            accum(parents, *b, dy.clone());
+        }
+        Op::Sub(a, b) => {
+            accum(parents, *a, dy.clone());
+            accum(parents, *b, dy.scale(-1.0));
+        }
+        Op::Mul(a, b) => {
+            let ga = dy.mul(&parents[b.0].value);
+            let gb = dy.mul(&parents[a.0].value);
+            accum(parents, *a, ga);
+            accum(parents, *b, gb);
+        }
+        Op::Neg(a) => accum(parents, *a, dy.scale(-1.0)),
+        Op::Scale(a, c) => accum(parents, *a, dy.scale(*c)),
+        Op::AddScalar(a) => accum(parents, *a, dy.clone()),
+        Op::Matmul(a, b) => {
+            let av = &parents[a.0].value;
+            let bv = &parents[b.0].value;
+            let ga = dy.matmul2d(&bv.transpose2d());
+            let gb = av.transpose2d().matmul2d(dy);
+            accum(parents, *a, ga);
+            accum(parents, *b, gb);
+        }
+        Op::Bmm(a, b) => {
+            let av = &parents[a.0].value;
+            let bv = &parents[b.0].value;
+            let ga = dy.bmm(&bv.permute(&[0, 2, 1]));
+            let gb = av.permute(&[0, 2, 1]).bmm(dy);
+            accum(parents, *a, ga);
+            accum(parents, *b, gb);
+        }
+        Op::Conv2d {
+            x,
+            w,
+            stride,
+            pad,
+            cols,
+        } => {
+            let (b, oc, oh, ow) = node.value.dims4();
+            let (xb, c, h, wd) = parents[x.0].value.dims4();
+            debug_assert_eq!(b, xb);
+            let (kh, kw) = {
+                let ws = parents[w.0].value.shape();
+                (ws[2], ws[3])
+            };
+            let ohow = oh * ow;
+            // reorder dy [B,OC,OH,OW] -> dy_mat [OC, B*OH*OW]
+            let mut dym = vec![0.0f32; dy.numel()];
+            for bi in 0..b {
+                for ocx in 0..oc {
+                    let src = &dy.data()[(bi * oc + ocx) * ohow..(bi * oc + ocx + 1) * ohow];
+                    dym[(ocx * b + bi) * ohow..(ocx * b + bi + 1) * ohow].copy_from_slice(src);
+                }
+            }
+            let dym = Tensor::from_vec(vec![oc, b * ohow], dym).expect("conv dym");
+            if parents[w.0].requires_grad {
+                let dwm = dym.matmul2d(&cols.transpose2d());
+                let dw = dwm.reshaped(vec![oc, c, kh, kw]);
+                accum(parents, *w, dw);
+            }
+            if parents[x.0].requires_grad {
+                let ckk = c * kh * kw;
+                let wm = parents[w.0]
+                    .value
+                    .reshape(vec![oc, ckk])
+                    .expect("conv wm");
+                let dcols = wm.transpose2d().matmul2d(&dym);
+                let dx = dcols.col2im(b, c, h, wd, kh, kw, *stride, *pad);
+                accum(parents, *x, dx);
+            }
+        }
+        Op::AddBiasChannel(x, bias) => {
+            let (b, c, h, w) = node.value.dims4();
+            if parents[bias.0].requires_grad {
+                let mut db = vec![0.0f32; c];
+                for bi in 0..b {
+                    for ci in 0..c {
+                        for &g in &dy.data()[(bi * c + ci) * h * w..(bi * c + ci + 1) * h * w] {
+                            db[ci] += g;
+                        }
+                    }
+                }
+                accum(
+                    parents,
+                    *bias,
+                    Tensor::from_vec(vec![c], db).expect("bias grad"),
+                );
+            }
+            accum(parents, *x, dy.clone());
+        }
+        Op::AddBiasRow(x, bias) => {
+            let d = *node.value.shape().last().expect("rank >= 1");
+            if parents[bias.0].requires_grad {
+                let mut db = vec![0.0f32; d];
+                for row in dy.data().chunks(d) {
+                    for (acc, &g) in db.iter_mut().zip(row) {
+                        *acc += g;
+                    }
+                }
+                accum(
+                    parents,
+                    *bias,
+                    Tensor::from_vec(vec![d], db).expect("row bias grad"),
+                );
+            }
+            accum(parents, *x, dy.clone());
+        }
+        Op::Relu(x) => {
+            let xv = &parents[x.0].value;
+            let g = dy.zip_map(xv, |g, x| if x > 0.0 { g } else { 0.0 });
+            accum(parents, *x, g);
+        }
+        Op::LeakyRelu(x, slope) => {
+            let xv = &parents[x.0].value;
+            let s = *slope;
+            let g = dy.zip_map(xv, |g, x| if x > 0.0 { g } else { s * g });
+            accum(parents, *x, g);
+        }
+        Op::Sigmoid(x) => {
+            let g = dy.zip_map(&node.value, |g, s| g * s * (1.0 - s));
+            accum(parents, *x, g);
+        }
+        Op::Gelu(x) => {
+            let xv = &parents[x.0].value;
+            let g = dy.zip_map(xv, |g, x| g * gelu_bwd(x));
+            accum(parents, *x, g);
+        }
+        Op::BatchNorm2d {
+            x,
+            gamma,
+            beta,
+            xhat,
+            inv_std,
+        } => {
+            let (b, c, h, w) = node.value.dims4();
+            let n = (b * h * w) as f32;
+            let gval = parents[gamma.0].value.data().to_vec();
+            let mut dgamma = vec![0.0f32; c];
+            let mut dbeta = vec![0.0f32; c];
+            let mut sum_dxhat = vec![0.0f32; c];
+            let mut sum_dxhat_xhat = vec![0.0f32; c];
+            for bi in 0..b {
+                for ci in 0..c {
+                    let base = (bi * c + ci) * h * w;
+                    for k in 0..h * w {
+                        let g = dy.data()[base + k];
+                        let xh = xhat.data()[base + k];
+                        dgamma[ci] += g * xh;
+                        dbeta[ci] += g;
+                        let dxh = g * gval[ci];
+                        sum_dxhat[ci] += dxh;
+                        sum_dxhat_xhat[ci] += dxh * xh;
+                    }
+                }
+            }
+            if parents[x.0].requires_grad {
+                let mut dx = vec![0.0f32; dy.numel()];
+                for bi in 0..b {
+                    for ci in 0..c {
+                        let base = (bi * c + ci) * h * w;
+                        for k in 0..h * w {
+                            let g = dy.data()[base + k];
+                            let xh = xhat.data()[base + k];
+                            let dxh = g * gval[ci];
+                            dx[base + k] = inv_std[ci] / n
+                                * (n * dxh - sum_dxhat[ci] - xh * sum_dxhat_xhat[ci]);
+                        }
+                    }
+                }
+                accum(
+                    parents,
+                    *x,
+                    Tensor::from_vec(vec![b, c, h, w], dx).expect("bn dx"),
+                );
+            }
+            accum(
+                parents,
+                *gamma,
+                Tensor::from_vec(vec![c], dgamma).expect("bn dgamma"),
+            );
+            accum(
+                parents,
+                *beta,
+                Tensor::from_vec(vec![c], dbeta).expect("bn dbeta"),
+            );
+        }
+        Op::ChannelAffine { x, scale } => {
+            let (b, c, h, w) = node.value.dims4();
+            let mut dx = vec![0.0f32; dy.numel()];
+            for bi in 0..b {
+                for ci in 0..c {
+                    let base = (bi * c + ci) * h * w;
+                    for k in 0..h * w {
+                        dx[base + k] = dy.data()[base + k] * scale[ci];
+                    }
+                }
+            }
+            accum(
+                parents,
+                *x,
+                Tensor::from_vec(vec![b, c, h, w], dx).expect("affine dx"),
+            );
+        }
+        Op::LayerNorm {
+            x,
+            gamma,
+            beta,
+            xhat,
+            inv_std,
+        } => {
+            let d = *node.value.shape().last().expect("rank >= 1");
+            let rows = node.value.numel() / d;
+            let gval = parents[gamma.0].value.data().to_vec();
+            let mut dgamma = vec![0.0f32; d];
+            let mut dbeta = vec![0.0f32; d];
+            let mut dx = vec![0.0f32; dy.numel()];
+            for r in 0..rows {
+                let mut sum_dxh = 0.0f32;
+                let mut sum_dxh_xh = 0.0f32;
+                for k in 0..d {
+                    let g = dy.data()[r * d + k];
+                    let xh = xhat.data()[r * d + k];
+                    dgamma[k] += g * xh;
+                    dbeta[k] += g;
+                    let dxh = g * gval[k];
+                    sum_dxh += dxh;
+                    sum_dxh_xh += dxh * xh;
+                }
+                for k in 0..d {
+                    let g = dy.data()[r * d + k];
+                    let xh = xhat.data()[r * d + k];
+                    let dxh = g * gval[k];
+                    dx[r * d + k] =
+                        inv_std[r] / d as f32 * (d as f32 * dxh - sum_dxh - xh * sum_dxh_xh);
+                }
+            }
+            if parents[x.0].requires_grad {
+                accum(
+                    parents,
+                    *x,
+                    Tensor::from_vec(node.value.shape().to_vec(), dx).expect("ln dx"),
+                );
+            }
+            accum(
+                parents,
+                *gamma,
+                Tensor::from_vec(vec![d], dgamma).expect("ln dgamma"),
+            );
+            accum(
+                parents,
+                *beta,
+                Tensor::from_vec(vec![d], dbeta).expect("ln dbeta"),
+            );
+        }
+        Op::SoftmaxLast(x) => {
+            let s = &node.value;
+            let d = *s.shape().last().expect("rank >= 1");
+            let mut dx = vec![0.0f32; s.numel()];
+            for (r, (srow, grow)) in s.data().chunks(d).zip(dy.data().chunks(d)).enumerate() {
+                let dot: f32 = srow.iter().zip(grow).map(|(&a, &b)| a * b).sum();
+                for k in 0..d {
+                    dx[r * d + k] = srow[k] * (grow[k] - dot);
+                }
+            }
+            accum(
+                parents,
+                *x,
+                Tensor::from_vec(s.shape().to_vec(), dx).expect("softmax dx"),
+            );
+        }
+        Op::CrossEntropy2d {
+            logits,
+            labels,
+            class_weights,
+            probs,
+            weight_sum,
+        } => {
+            let (b, k, h, w) = probs.dims4();
+            let hw = h * w;
+            let gy = dy.item();
+            let mut dx = vec![0.0f32; probs.numel()];
+            for bi in 0..b {
+                for p in 0..hw {
+                    let y = labels[bi * hw + p] as usize;
+                    let wgt = class_weights.as_ref().map_or(1.0, |cw| cw[y]);
+                    for ki in 0..k {
+                        let indicator = if ki == y { 1.0 } else { 0.0 };
+                        dx[(bi * k + ki) * hw + p] =
+                            gy * wgt * (probs.data()[(bi * k + ki) * hw + p] - indicator)
+                                / weight_sum;
+                    }
+                }
+            }
+            accum(
+                parents,
+                *logits,
+                Tensor::from_vec(vec![b, k, h, w], dx).expect("ce dx"),
+            );
+        }
+        Op::MseLoss { pred, target } => {
+            let n = target.numel().max(1) as f32;
+            let gy = dy.item();
+            let g = parents[pred.0]
+                .value
+                .zip_map(target, |p, t| gy * 2.0 * (p - t) / n);
+            accum(parents, *pred, g);
+        }
+        Op::Reshape(x) => {
+            let shape = parents[x.0].value.shape().to_vec();
+            accum(parents, *x, dy.clone().reshaped(shape));
+        }
+        Op::Permute { x, axes } => {
+            let mut inv = vec![0usize; axes.len()];
+            for (i, &a) in axes.iter().enumerate() {
+                inv[a] = i;
+            }
+            accum(parents, *x, dy.permute(&inv));
+        }
+        Op::ConcatChannels(parts) => {
+            let mut c0 = 0usize;
+            for &p in parts {
+                let pc = parents[p.0].value.shape()[1];
+                let g = dy.slice_channels(c0, c0 + pc);
+                accum(parents, p, g);
+                c0 += pc;
+            }
+        }
+        Op::SliceChannels { x, c0, c1 } => {
+            let (b, c, h, w) = parents[x.0].value.dims4();
+            let hw = h * w;
+            let nc = c1 - c0;
+            let mut dx = vec![0.0f32; b * c * hw];
+            for bi in 0..b {
+                dx[(bi * c + c0) * hw..(bi * c + c1) * hw]
+                    .copy_from_slice(&dy.data()[bi * nc * hw..(bi + 1) * nc * hw]);
+            }
+            accum(
+                parents,
+                *x,
+                Tensor::from_vec(vec![b, c, h, w], dx).expect("slice dx"),
+            );
+        }
+        Op::Upsample2x(x) => {
+            accum(parents, *x, dy.downsample2x_sum());
+        }
+        Op::MaxPool2x2 { x, arg } => {
+            let shape = parents[x.0].value.shape().to_vec();
+            let mut dx = vec![0.0f32; parents[x.0].value.numel()];
+            for (o, &src_idx) in arg.iter().enumerate() {
+                dx[src_idx] += dy.data()[o];
+            }
+            accum(
+                parents,
+                *x,
+                Tensor::from_vec(shape, dx).expect("maxpool dx"),
+            );
+        }
+        Op::Mean(x) => {
+            let n = parents[x.0].value.numel().max(1) as f32;
+            let g = Tensor::full(parents[x.0].value.shape().to_vec(), dy.item() / n);
+            accum(parents, *x, g);
+        }
+        Op::Sum(x) => {
+            let g = Tensor::full(parents[x.0].value.shape().to_vec(), dy.item());
+            accum(parents, *x, g);
+        }
+        Op::MulScalarVar(x, s) => {
+            let sv = parents[s.0].value.item();
+            if parents[s.0].requires_grad {
+                let ds: f32 = dy
+                    .data()
+                    .iter()
+                    .zip(parents[x.0].value.data())
+                    .map(|(&g, &xv)| g * xv)
+                    .sum();
+                accum(
+                    parents,
+                    *s,
+                    Tensor::from_vec(parents[s.0].value.shape().to_vec(), vec![ds])
+                        .expect("scalar grad"),
+                );
+            }
+            accum(parents, *x, dy.scale(sv));
+        }
+    }
+}

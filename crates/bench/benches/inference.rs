@@ -1,0 +1,80 @@
+//! Criterion microbenchmarks of model inference — supports the paper's
+//! claim that prediction is fast enough to sit inside the placement loop
+//! (`T_macro` < 10 min including congestion prediction).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mfaplace_autograd::Graph;
+use mfaplace_models::{
+    CongestionModel, OursConfig, OursModel, PgnnModel, Pros2Model, UNetModel,
+};
+use mfaplace_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const GRID: usize = 32;
+const C: usize = 4;
+
+fn bench_model<M: CongestionModel>(
+    c: &mut Criterion,
+    label: &str,
+    mut graph: Graph,
+    mut model: M,
+) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let input = Tensor::randn(vec![1, 6, GRID, GRID], 1.0, &mut rng);
+    let mark = graph.mark();
+    c.bench_function(label, |b| {
+        b.iter(|| {
+            let x = graph.constant(input.clone());
+            let y = model.forward(&mut graph, x, false);
+            let out = graph.value(y).sum();
+            graph.truncate(mark);
+            std::hint::black_box(out)
+        })
+    });
+}
+
+fn inference_benches(c: &mut Criterion) {
+    {
+        let mut g = Graph::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = UNetModel::new(&mut g, C, &mut rng);
+        bench_model(c, "inference/unet", g, m);
+    }
+    {
+        let mut g = Graph::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = PgnnModel::new(&mut g, C, &mut rng);
+        bench_model(c, "inference/pgnn", g, m);
+    }
+    {
+        let mut g = Graph::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = Pros2Model::new(&mut g, C, &mut rng);
+        bench_model(c, "inference/pros2", g, m);
+    }
+    {
+        let mut g = Graph::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = OursModel::new(
+            &mut g,
+            OursConfig {
+                grid: GRID,
+                base_channels: C,
+                vit_layers: 1,
+                vit_heads: 2,
+                use_mfa: true,
+                mfa_reduction: 4,
+            },
+            &mut rng,
+        );
+        bench_model(c, "inference/ours", g, m);
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = inference_benches
+}
+criterion_main!(benches);

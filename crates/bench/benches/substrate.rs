@@ -1,0 +1,62 @@
+//! Criterion microbenchmarks of the EDA substrates: feature extraction,
+//! global routing + congestion analysis, and one global-placement
+//! iteration — the per-iteration costs behind the `T_macro` budget.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mfaplace_fpga::design::DesignPreset;
+use mfaplace_fpga::features::FeatureStack;
+use mfaplace_placer::gp::{GlobalPlacer, GpConfig};
+use mfaplace_router::congestion::CongestionAnalysis;
+use mfaplace_router::global::GlobalRouter;
+use mfaplace_router::RouterConfig;
+
+fn substrate_benches(c: &mut Criterion) {
+    let design = DesignPreset::design_116()
+        .with_scale(256, 32, 16)
+        .generate(1);
+    let placement = design.random_placement(2);
+
+    c.bench_function("substrate/feature_extraction_64", |b| {
+        b.iter(|| std::hint::black_box(FeatureStack::extract(&design, &placement, 64, 64)))
+    });
+
+    let cfg = RouterConfig::default();
+    let router = GlobalRouter::new(cfg.clone());
+    c.bench_function("substrate/global_route_64", |b| {
+        b.iter(|| std::hint::black_box(router.route(&design, &placement)))
+    });
+
+    let maze_router = GlobalRouter::new(RouterConfig {
+        algorithm: mfaplace_router::RoutingAlgorithm::Maze,
+        ..cfg.clone()
+    });
+    c.bench_function("substrate/maze_route_64", |b| {
+        b.iter(|| std::hint::black_box(maze_router.route(&design, &placement)))
+    });
+
+    let outcome = router.route(&design, &placement);
+    c.bench_function("substrate/congestion_analysis_64", |b| {
+        b.iter(|| std::hint::black_box(CongestionAnalysis::from_usage(&outcome.usage, &cfg)))
+    });
+
+    c.bench_function("substrate/gp_iteration", |b| {
+        b.iter_batched(
+            || GlobalPlacer::new(&design, 3),
+            |mut gp| {
+                gp.run_stage(&GpConfig {
+                    iterations: 1,
+                    ..GpConfig::default()
+                });
+                std::hint::black_box(gp.placement().len())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = substrate_benches
+}
+criterion_main!(benches);

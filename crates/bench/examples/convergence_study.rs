@@ -1,0 +1,54 @@
+//! Convergence study: U-Net vs the MFA+transformer model at equal budget.
+//!
+//! Trains both models on the full ten-design suite and prints test metrics
+//! every ten epochs. Referenced by `EXPERIMENTS.md`: at CPU scale the
+//! shallow U-Net converges fastest and holds a small lead; the attention
+//! model's training loss keeps improving but does not cross within this
+//! budget — the paper's separation requires its full-scale training regime.
+//!
+//! ```sh
+//! MFA_SCALE=quick cargo run --release -p mfaplace-bench --example convergence_study
+//! ```
+
+use mfaplace_autograd::Graph;
+use mfaplace_bench::{build_suite_data, Scale};
+use mfaplace_core::metrics::PredictionMetrics;
+use mfaplace_core::train::{TrainConfig, Trainer};
+use mfaplace_models::{OursModel, UNetModel};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    let scale = Scale::from_env();
+    let designs = scale.prediction_designs(1);
+    let suite = build_suite_data(&designs, &scale.dataset_config(), 42);
+    eprintln!("train {} samples", suite.train.len());
+    let cfgt = |ep| TrainConfig { epochs: ep, cosine_schedule: false, ..TrainConfig::default() };
+    let mut g = Graph::new();
+    let mut rng = StdRng::seed_from_u64(0);
+    let m = UNetModel::new(&mut g, scale.base_channels, &mut rng);
+    let mut t_unet = Trainer::new(g, m, cfgt(10));
+    let mut g = Graph::new();
+    let mut rng = StdRng::seed_from_u64(0);
+    let m = OursModel::new(&mut g, scale.ours_config(), &mut rng);
+    let mut t_ours = Trainer::new(g, m, cfgt(10));
+    macro_rules! eval {
+        ($t:expr) => {{
+            let mut acc = PredictionMetrics::default();
+            for (_, te) in &suite.per_design_test {
+                let m = $t.evaluate(te);
+                acc.acc += m.acc; acc.r2 += m.r2; acc.nrms += m.nrms;
+            }
+            let n = suite.per_design_test.len() as f64;
+            PredictionMetrics { acc: acc.acc/n, r2: acc.r2/n, nrms: acc.nrms/n }
+        }};
+    }
+    for round in 0..8 {
+        let ru = t_unet.fit(&suite.train);
+        let ro = t_ours.fit(&suite.train);
+        let eu = eval!(t_unet);
+        let eo = eval!(t_ours);
+        eprintln!("ep {:>3}: unet loss {:.3} acc {:.3} r2 {:.3} nrms {:.3} | ours loss {:.3} acc {:.3} r2 {:.3} nrms {:.3}",
+            (round+1)*10, ru.epoch_losses.last().unwrap(), eu.acc, eu.r2, eu.nrms,
+            ro.epoch_losses.last().unwrap(), eo.acc, eo.r2, eo.nrms);
+    }
+}

@@ -1,0 +1,83 @@
+//! Ablation study of the paper's two design claims (Sec. III): the MFA
+//! blocks on the skip connections and the transformer stage at the
+//! bottleneck. Trains four variants at equal budget — full model, no MFA,
+//! no ViT, and the bare U-shaped ResNet backbone — and reports ACC / R^2 /
+//! NRMS averaged over the suite's test splits.
+
+use mfaplace_autograd::Graph;
+use mfaplace_bench::{build_suite_data, emit_report, validate_scale, Scale};
+use mfaplace_core::metrics::PredictionMetrics;
+use mfaplace_core::report::{fmt, Table};
+use mfaplace_core::train::{TrainConfig, Trainer};
+use mfaplace_models::{OursConfig, OursModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = Scale::from_env();
+    validate_scale(&scale);
+    eprintln!("Ablation harness at scale {scale:?}");
+    // A smaller suite keeps the ablation affordable: first four designs.
+    let designs: Vec<_> = scale.prediction_designs(1).into_iter().take(4).collect();
+    let suite = build_suite_data(&designs, &scale.dataset_config(), 21);
+    eprintln!("dataset: {} train samples", suite.train.len());
+
+    let base = scale.ours_config();
+    let variants: Vec<(&str, OursConfig)> = vec![
+        ("Ours (full)", base),
+        ("no MFA", OursConfig { use_mfa: false, ..base }),
+        ("no ViT", OursConfig { vit_layers: 0, ..base }),
+        (
+            "backbone only",
+            OursConfig {
+                use_mfa: false,
+                vit_layers: 0,
+                ..base
+            },
+        ),
+    ];
+
+    let mut table = Table::new(&["Variant", "ACC^", "R2^", "NRMSv", "params"]);
+    let mut rendered = String::new();
+    rendered.push_str("ABLATION: MFA blocks and transformer stage (Sec. III design claims)\n\n");
+    for (name, cfg) in variants {
+        let mut g = Graph::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let model = OursModel::new(&mut g, cfg, &mut rng);
+        let n_params: usize = {
+            use mfaplace_models::CongestionModel;
+            model.params().iter().map(|&p| g.value(p).numel()).sum()
+        };
+        let mut trainer = Trainer::new(
+            g,
+            model,
+            TrainConfig {
+                epochs: scale.epochs,
+                batch_size: 2,
+                lr: 1e-3,
+                class_weighting: true,
+                cosine_schedule: true,
+                seed: 13,
+            },
+        );
+        trainer.fit(&suite.train);
+        let mut acc = PredictionMetrics::default();
+        for (_, test) in &suite.per_design_test {
+            let m = trainer.evaluate(test);
+            acc.acc += m.acc;
+            acc.r2 += m.r2;
+            acc.nrms += m.nrms;
+        }
+        let n = suite.per_design_test.len() as f64;
+        eprintln!("  {name}: acc {:.3}", acc.acc / n);
+        table.add_row(vec![
+            name.to_string(),
+            fmt(acc.acc / n, 3),
+            fmt(acc.r2 / n, 3),
+            fmt(acc.nrms / n, 3),
+            n_params.to_string(),
+        ]);
+    }
+    rendered.push_str(&table.render());
+    emit_report("ablation.txt", &rendered);
+}

@@ -1,0 +1,78 @@
+//! Regenerates **Fig. 1**: an example interconnect-tile congestion grid.
+//!
+//! Routes one contest design under an intentionally congested placement,
+//! then renders the per-tile congestion levels as an ASCII heat map (darker
+//! glyph = higher level, mirroring the paper's color coding) and as a PPM
+//! image at `results/fig1.ppm`.
+
+use mfaplace_bench::{emit_report, Scale};
+use mfaplace_router::labels::congestion_labels;
+use mfaplace_router::RouterConfig;
+
+const GLYPHS: [char; 8] = ['.', ':', '-', '=', '+', '*', '#', '@'];
+
+fn main() {
+    let scale = Scale::from_env();
+    let design = &scale.contest_designs(1)[5]; // Design_180, the hottest
+    // A deliberately clustered placement shows the level structure.
+    let mut placement = design.random_placement(3);
+    for (id, inst) in design.netlist.instances() {
+        if inst.movable {
+            let (x, y) = placement.pos(id.0 as usize);
+            placement.set_pos(
+                id.0 as usize,
+                design.arch.width() * 0.35 + x * 0.3,
+                design.arch.height() * 0.35 + y * 0.3,
+            );
+        }
+    }
+    // Calibrated capacities (as in Table II scoring), so the level
+    // structure is meaningful rather than saturated.
+    let cfg = RouterConfig {
+        ..mfaplace_core::flow::calibrated_router_for(design, scale.grid, 0.95, 99)
+    };
+    let labels = congestion_labels(design, &placement, &cfg);
+
+    // ---- ASCII rendering -------------------------------------------
+    let mut out = String::new();
+    out.push_str(&format!(
+        "FIG. 1: interconnect tile congestion levels for {} ({}x{} grid)\n",
+        design.name, cfg.grid_w, cfg.grid_h
+    ));
+    out.push_str("legend: ");
+    for (l, g) in GLYPHS.iter().enumerate() {
+        out.push_str(&format!("{l}='{g}' "));
+    }
+    out.push_str("\n\n");
+    for y in (0..cfg.grid_h).rev() {
+        for x in 0..cfg.grid_w {
+            let l = labels.levels[y * cfg.grid_w + x] as usize;
+            out.push(GLYPHS[l.min(7)]);
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "\nshort levels (E,S,W,N): {:?}\nglobal levels (E,S,W,N): {:?}\nmax level: {}\n",
+        labels.analysis.short_levels(),
+        labels.analysis.global_levels(),
+        labels.analysis.max_level()
+    ));
+    emit_report("fig1.txt", &out);
+
+    // ---- PPM rendering (yellow heat like the paper's figure) --------
+    let mut ppm = format!("P3\n{} {}\n255\n", cfg.grid_w, cfg.grid_h);
+    for y in (0..cfg.grid_h).rev() {
+        for x in 0..cfg.grid_w {
+            let l = f32::from(labels.levels[y * cfg.grid_w + x]) / 7.0;
+            // white -> yellow -> dark orange
+            let r = 255;
+            let g = (255.0 * (1.0 - 0.65 * l)) as u8;
+            let b = (235.0 * (1.0 - l)) as u8;
+            ppm.push_str(&format!("{r} {g} {b} "));
+        }
+        ppm.push('\n');
+    }
+    std::fs::create_dir_all("results").ok();
+    std::fs::write("results/fig1.ppm", ppm).expect("write fig1.ppm");
+    eprintln!("wrote results/fig1.ppm");
+}

@@ -1,0 +1,45 @@
+//! Regenerates **Figs. 2/5**: the model architecture and per-stage output
+//! sizes. Prints the stage table at the paper's full scale (256x256 grid,
+//! 12 transformer layers) and at the experiment scale, plus the parameter
+//! count of the instantiated experiment-scale model.
+
+use mfaplace_autograd::Graph;
+use mfaplace_bench::{emit_report, Scale};
+use mfaplace_models::summary::{ours_stage_shapes, render_stage_table};
+use mfaplace_models::{CongestionModel, OursConfig, OursModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut out = String::new();
+
+    out.push_str("FIG. 5: model architecture (paper scale: H=W=256, C=16, L=12)\n\n");
+    let paper_cfg = OursConfig {
+        grid: 256,
+        base_channels: 16,
+        vit_layers: 12,
+        vit_heads: 4,
+        use_mfa: true,
+        mfa_reduction: 16,
+    };
+    out.push_str(&render_stage_table(&ours_stage_shapes(&paper_cfg)));
+
+    out.push_str(&format!(
+        "\nExperiment scale (H=W={}, C={}, L={}):\n\n",
+        scale.grid, scale.base_channels, scale.vit_layers
+    ));
+    let cfg = scale.ours_config();
+    out.push_str(&render_stage_table(&ours_stage_shapes(&cfg)));
+
+    let mut g = Graph::new();
+    let mut rng = StdRng::seed_from_u64(0);
+    let model = OursModel::new(&mut g, cfg, &mut rng);
+    let total: usize = model.params().iter().map(|&p| g.value(p).numel()).sum();
+    out.push_str(&format!(
+        "\nInstantiated experiment-scale model: {} parameter tensors, {} scalars\n",
+        model.params().len(),
+        total
+    ));
+    emit_report("fig5.txt", &out);
+}

@@ -1,0 +1,105 @@
+//! Regenerates **Table I**: prediction comparison of U-Net, PGNN, PROS 2.0
+//! and the paper's MFA+transformer model on the ten most-congested MLCAD
+//! 2023 benchmarks (ACC / R^2 / NRMS per design, plus Average and Ratio
+//! rows).
+//!
+//! Scale via `MFA_SCALE=quick|full` (default: laptop-scale). Output goes to
+//! stdout and `results/table1.txt`.
+
+use mfaplace_bench::{
+    build_suite_data, emit_report, model_zoo, train_and_evaluate, validate_scale, Scale,
+};
+use mfaplace_core::metrics::PredictionMetrics;
+use mfaplace_core::report::{fmt, Table};
+use mfaplace_fpga::design::DesignPreset;
+
+fn main() {
+    let scale = Scale::from_env();
+    validate_scale(&scale);
+    eprintln!("Table I harness at scale {scale:?}");
+
+    let designs = scale.prediction_designs(1);
+    eprintln!("building dataset for {} designs...", designs.len());
+    let suite = build_suite_data(&designs, &scale.dataset_config(), 42);
+    eprintln!(
+        "dataset: {} train samples, {} designs x test splits",
+        suite.train.len(),
+        suite.per_design_test.len()
+    );
+
+    let mut results: Vec<(String, Vec<PredictionMetrics>)> = Vec::new();
+    for (graph, model) in model_zoo(&scale, 99) {
+        let (name, metrics, _trainer) =
+            train_and_evaluate(graph, model, &suite, scale.epochs);
+        results.push((name, metrics));
+    }
+
+    // ---- render -----------------------------------------------------
+    let mut header = vec![
+        "Design".to_string(),
+        "#LUT".to_string(),
+        "#FF".to_string(),
+        "#DSP".to_string(),
+        "#BRAM".to_string(),
+    ];
+    for (name, _) in &results {
+        header.push(format!("{name} ACC^"));
+        header.push(format!("{name} R2^"));
+        header.push(format!("{name} NRMSv"));
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(&header_refs);
+
+    let presets = DesignPreset::prediction_suite();
+    let n = suite.per_design_test.len();
+    for (di, (dname, _)) in suite.per_design_test.iter().enumerate() {
+        let (luts, ffs, dsps, brams) = presets[di].paper_stats();
+        let mut row = vec![
+            dname.clone(),
+            format!("{}K", luts / 1000),
+            format!("{}K", ffs / 1000),
+            dsps.to_string(),
+            brams.to_string(),
+        ];
+        for (_, metrics) in &results {
+            row.push(fmt(metrics[di].acc, 3));
+            row.push(fmt(metrics[di].r2, 3));
+            row.push(fmt(metrics[di].nrms, 3));
+        }
+        table.add_row(row);
+    }
+    // Average row
+    let avg = |ms: &[PredictionMetrics], f: fn(&PredictionMetrics) -> f64| {
+        ms.iter().map(f).sum::<f64>() / ms.len() as f64
+    };
+    let mut avg_row = vec!["Average".to_string(), "-".into(), "-".into(), "-".into(), "-".into()];
+    let mut averages = Vec::new();
+    for (_, metrics) in &results {
+        let a = avg(metrics, |m| m.acc);
+        let r = avg(metrics, |m| m.r2);
+        let nr = avg(metrics, |m| m.nrms);
+        averages.push((a, r, nr));
+        avg_row.push(fmt(a, 3));
+        avg_row.push(fmt(r, 3));
+        avg_row.push(fmt(nr, 3));
+    }
+    table.add_row(avg_row);
+    // Ratio row (relative to Ours = last column group, as in the paper)
+    let (oa, or, onr) = *averages.last().expect("at least one model");
+    let mut ratio_row = vec!["Ratio".to_string(), "-".into(), "-".into(), "-".into(), "-".into()];
+    for &(a, r, nr) in &averages {
+        ratio_row.push(fmt(a / oa, 3));
+        ratio_row.push(fmt(r / or, 3));
+        ratio_row.push(fmt(nr / onr, 3));
+    }
+    table.add_row(ratio_row);
+
+    let mut out = String::new();
+    out.push_str("TABLE I: PREDICTION COMPARISON OF DIFFERENT ML-BASED METHODS\n");
+    out.push_str(&format!(
+        "(simulated substrate; grid {}x{}, {} designs, {} train samples)\n\n",
+        suite.train.grid, suite.train.grid, n, suite.train.len()
+    ));
+    out.push_str(&table.render());
+    emit_report("table1.txt", &out);
+}

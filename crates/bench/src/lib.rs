@@ -1,0 +1,338 @@
+//! Shared harness code for the experiment binaries (`table1`, `table2`,
+//! `fig1`, `fig5`, `ablation`).
+//!
+//! The binaries regenerate every table and figure of the paper's
+//! evaluation; this library holds the common machinery: the experiment
+//! scale (env `MFA_SCALE=quick|full`, default a laptop-scale middle
+//! ground), suite dataset construction, the model zoo, and per-design
+//! evaluation.
+
+use mfaplace_autograd::Graph;
+use mfaplace_core::dataset::{build_design_dataset, Dataset, DatasetConfig};
+use mfaplace_core::metrics::PredictionMetrics;
+use mfaplace_core::train::{TrainConfig, Trainer};
+use mfaplace_fpga::design::{Design, DesignPreset};
+use mfaplace_models::{
+    CongestionModel, OursConfig, OursModel, PgnnModel, Pros2Model, UNetModel,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Experiment scale knobs resolved from the `MFA_SCALE` environment
+/// variable: `quick` (CI smoke), default (laptop minutes) or `full`
+/// (closer to the paper's resolution; tens of minutes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Feature/label grid side.
+    pub grid: usize,
+    /// Design scaling divisors `(cells, dsp, bram)`.
+    pub design_divisors: (usize, usize, usize),
+    /// Placements per design in the dataset sweep.
+    pub placements: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Model base channels.
+    pub base_channels: usize,
+    /// Transformer depth for the paper's model.
+    pub vit_layers: usize,
+    /// Placer iterations for flows.
+    pub flow_iterations: usize,
+}
+
+impl Scale {
+    /// Resolves the scale from the environment.
+    pub fn from_env() -> Self {
+        match std::env::var("MFA_SCALE").as_deref() {
+            Ok("quick") => Scale {
+                grid: 32,
+                design_divisors: (512, 64, 32),
+                placements: 3,
+                epochs: 12,
+                base_channels: 4,
+                vit_layers: 1,
+                flow_iterations: 10,
+            },
+            Ok("full") => Scale {
+                grid: 64,
+                design_divisors: (64, 16, 8),
+                placements: 8,
+                epochs: 30,
+                base_channels: 8,
+                vit_layers: 3,
+                flow_iterations: 60,
+            },
+            _ => Scale {
+                grid: 48,
+                design_divisors: (128, 24, 12),
+                placements: 6,
+                epochs: 24,
+                base_channels: 8,
+                vit_layers: 2,
+                flow_iterations: 30,
+            },
+        }
+    }
+
+    /// The ten Table-I designs generated at this scale.
+    pub fn prediction_designs(&self, seed: u64) -> Vec<Design> {
+        DesignPreset::prediction_suite()
+            .into_iter()
+            .map(|p| {
+                let (c, d, b) = self.design_divisors;
+                p.with_scale(c, d, b).generate(seed)
+            })
+            .collect()
+    }
+
+    /// The ten Table-II designs generated at this scale.
+    pub fn contest_designs(&self, seed: u64) -> Vec<Design> {
+        DesignPreset::contest_suite()
+            .into_iter()
+            .map(|p| {
+                let (c, d, b) = self.design_divisors;
+                p.with_scale(c, d, b).generate(seed)
+            })
+            .collect()
+    }
+
+    /// Dataset configuration at this scale.
+    pub fn dataset_config(&self) -> DatasetConfig {
+        let mut cfg = DatasetConfig::default();
+        cfg.grid = self.grid;
+        cfg.placements_per_design = self.placements;
+        cfg.router.grid_w = self.grid;
+        cfg.router.grid_h = self.grid;
+        cfg.placer_iterations = (self.flow_iterations / 2).max(4);
+        cfg
+    }
+
+    /// Model configuration for the paper's model at this scale.
+    pub fn ours_config(&self) -> OursConfig {
+        OursConfig {
+            grid: self.grid,
+            base_channels: self.base_channels,
+            vit_layers: self.vit_layers,
+            vit_heads: 4,
+            use_mfa: true,
+            mfa_reduction: 4,
+        }
+    }
+}
+
+/// Grid side must be divisible by 16 for the U-shaped models.
+pub fn validate_scale(scale: &Scale) {
+    assert_eq!(scale.grid % 16, 0, "grid must be divisible by 16");
+}
+
+/// Per-design datasets plus the pooled training set.
+pub struct SuiteData {
+    /// `(design name, per-design test split)`.
+    pub per_design_test: Vec<(String, Dataset)>,
+    /// Pooled training set across all designs.
+    pub train: Dataset,
+}
+
+/// Builds train/test data for a design suite: each design's samples are
+/// split 75/25; training pools all designs (as in the paper, which trains
+/// on the whole augmented corpus).
+pub fn build_suite_data(designs: &[Design], cfg: &DatasetConfig, seed: u64) -> SuiteData {
+    let mut train = Dataset {
+        samples: Vec::new(),
+        grid: cfg.grid,
+    };
+    let mut per_design_test = Vec::new();
+    for (i, design) in designs.iter().enumerate() {
+        let ds = build_design_dataset(design, cfg, seed.wrapping_add(i as u64 * 131));
+        let (tr, te) = ds.split(0.25, seed.wrapping_add(i as u64));
+        train.samples.extend(tr.samples);
+        per_design_test.push((design.name.clone(), te));
+    }
+    SuiteData {
+        per_design_test,
+        train,
+    }
+}
+
+/// The four Table-I models, constructed on fresh graphs.
+pub enum ZooModel {
+    /// U-Net baseline \[6\].
+    UNet(UNetModel),
+    /// PGNN baseline \[7\].
+    Pgnn(PgnnModel),
+    /// PROS 2.0 baseline \[8\].
+    Pros2(Pros2Model),
+    /// The paper's model.
+    Ours(OursModel),
+}
+
+impl CongestionModel for ZooModel {
+    fn forward(
+        &mut self,
+        g: &mut Graph,
+        x: mfaplace_autograd::Var,
+        train: bool,
+    ) -> mfaplace_autograd::Var {
+        match self {
+            ZooModel::UNet(m) => m.forward(g, x, train),
+            ZooModel::Pgnn(m) => m.forward(g, x, train),
+            ZooModel::Pros2(m) => m.forward(g, x, train),
+            ZooModel::Ours(m) => m.forward(g, x, train),
+        }
+    }
+
+    fn params(&self) -> Vec<mfaplace_autograd::Var> {
+        match self {
+            ZooModel::UNet(m) => m.params(),
+            ZooModel::Pgnn(m) => m.params(),
+            ZooModel::Pros2(m) => m.params(),
+            ZooModel::Ours(m) => m.params(),
+        }
+    }
+
+    fn name(&self) -> &str {
+        match self {
+            ZooModel::UNet(m) => m.name(),
+            ZooModel::Pgnn(m) => m.name(),
+            ZooModel::Pros2(m) => m.name(),
+            ZooModel::Ours(m) => m.name(),
+        }
+    }
+}
+
+/// Builds the Table-I model zoo in paper order.
+pub fn model_zoo(scale: &Scale, seed: u64) -> Vec<(Graph, ZooModel)> {
+    let c = scale.base_channels;
+    let mut zoo = Vec::new();
+    {
+        let mut g = Graph::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = UNetModel::new(&mut g, c, &mut rng);
+        zoo.push((g, ZooModel::UNet(m)));
+    }
+    {
+        let mut g = Graph::new();
+        let mut rng = StdRng::seed_from_u64(seed ^ 1);
+        let m = PgnnModel::new(&mut g, c, &mut rng);
+        zoo.push((g, ZooModel::Pgnn(m)));
+    }
+    {
+        let mut g = Graph::new();
+        let mut rng = StdRng::seed_from_u64(seed ^ 2);
+        let m = Pros2Model::new(&mut g, c, &mut rng);
+        zoo.push((g, ZooModel::Pros2(m)));
+    }
+    {
+        let mut g = Graph::new();
+        let mut rng = StdRng::seed_from_u64(seed ^ 3);
+        let m = OursModel::new(&mut g, scale.ours_config(), &mut rng);
+        zoo.push((g, ZooModel::Ours(m)));
+    }
+    zoo
+}
+
+/// Trains one model on the pooled set and evaluates it per design.
+pub fn train_and_evaluate(
+    graph: Graph,
+    model: ZooModel,
+    suite: &SuiteData,
+    epochs: usize,
+) -> (String, Vec<PredictionMetrics>, Trainer<ZooModel>) {
+    let name = model.name().to_string();
+    let mut trainer = Trainer::new(
+        graph,
+        model,
+        TrainConfig {
+            epochs,
+            batch_size: 2,
+            lr: 1e-3,
+            class_weighting: true,
+            cosine_schedule: true,
+            seed: 11,
+        },
+    );
+    let report = trainer.fit(&suite.train);
+    eprintln!(
+        "  [{name}] {} steps, loss {:.3} -> {:.3}",
+        report.steps,
+        report.epoch_losses.first().copied().unwrap_or(0.0),
+        report.epoch_losses.last().copied().unwrap_or(0.0)
+    );
+    let metrics = suite
+        .per_design_test
+        .iter()
+        .map(|(_, test)| trainer.evaluate(test))
+        .collect();
+    (name, metrics, trainer)
+}
+
+/// Writes a report string to `results/<name>` (best effort) and stdout.
+pub fn emit_report(name: &str, content: &str) {
+    println!("{content}");
+    let path = std::path::Path::new("results").join(name);
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    if let Err(e) = std::fs::write(&path, content) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_scale() -> Scale {
+        Scale {
+            grid: 32,
+            design_divisors: (512, 64, 32),
+            placements: 1,
+            epochs: 1,
+            base_channels: 4,
+            vit_layers: 1,
+            flow_iterations: 4,
+        }
+    }
+
+    #[test]
+    fn suites_have_ten_designs_with_table_names() {
+        let scale = quick_scale();
+        let pred = scale.prediction_designs(1);
+        let contest = scale.contest_designs(1);
+        assert_eq!(pred.len(), 10);
+        assert_eq!(contest.len(), 10);
+        assert_eq!(pred[0].name, "Design_116");
+        assert_eq!(pred[9].name, "Design_237");
+        assert_eq!(contest[9].name, "Design_230");
+    }
+
+    #[test]
+    fn suite_data_pools_training_and_splits_tests() {
+        let scale = quick_scale();
+        let designs: Vec<_> = scale.prediction_designs(1).into_iter().take(2).collect();
+        let suite = build_suite_data(&designs, &scale.dataset_config(), 3);
+        assert_eq!(suite.per_design_test.len(), 2);
+        let total_test: usize = suite.per_design_test.iter().map(|(_, d)| d.len()).sum();
+        // 2 designs x 1 placement x 4 rotations = 8 samples, split 75/25.
+        assert_eq!(suite.train.len() + total_test, 8);
+        assert!(total_test >= 2);
+    }
+
+    #[test]
+    fn model_zoo_order_matches_table1_columns() {
+        let scale = quick_scale();
+        let zoo = model_zoo(&scale, 1);
+        let names: Vec<&str> = zoo.iter().map(|(_, m)| m.name()).collect();
+        assert_eq!(names, vec!["U-net", "PGNN", "PROS2.0", "Ours"]);
+    }
+
+    #[test]
+    fn zoo_models_share_input_output_contract() {
+        use mfaplace_tensor::Tensor;
+        let scale = quick_scale();
+        for (mut g, mut m) in model_zoo(&scale, 2) {
+            let x = g.constant(Tensor::zeros(vec![1, 6, 32, 32]));
+            let y = m.forward(&mut g, x, false);
+            assert_eq!(g.value(y).shape(), &[1, 8, 32, 32], "{}", m.name());
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Dataset generation (Sec. V-A of the paper).
+//!
+//! For each benchmark the paper runs its macro placement flow with varying
+//! parameters to collect 30 placements, labels them with the Vivado initial
+//! router, and augments with 90/180/270-degree rotations (30 x 4 = 120
+//! samples per design). This module reproduces the procedure on the
+//! simulated substrate: placements come from the analytical placer driven
+//! with varying seeds and spreading strengths (plus a few random-placement
+//! snapshots for label diversity), labels from the global-router congestion
+//! analysis.
+
+use mfaplace_fpga::design::Design;
+use mfaplace_fpga::features::FeatureStack;
+use mfaplace_placer::flows::{FlowConfig as PlacerFlowConfig, PlacementFlow, RudyPredictor};
+use mfaplace_router::labels::{congestion_labels, rotate_levels};
+use mfaplace_router::RouterConfig;
+use mfaplace_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// One training sample: the six feature maps plus the label level map.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Features `[6, H, W]`.
+    pub features: Tensor,
+    /// Per-tile congestion level labels, row-major `H x W`.
+    pub labels: Vec<u8>,
+}
+
+/// A labelled dataset for one or more designs.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    /// The samples.
+    pub samples: Vec<Sample>,
+    /// Grid side length.
+    pub grid: usize,
+}
+
+impl Dataset {
+    /// Splits into train/test by a deterministic shuffle; `test_fraction`
+    /// of the samples go to the second dataset.
+    pub fn split(mut self, test_fraction: f32, seed: u64) -> (Dataset, Dataset) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.samples.shuffle(&mut rng);
+        let n_test = ((self.samples.len() as f32) * test_fraction).round() as usize;
+        let test = self.samples.split_off(self.samples.len().saturating_sub(n_test));
+        (
+            Dataset {
+                samples: self.samples,
+                grid: self.grid,
+            },
+            Dataset {
+                samples: test,
+                grid: self.grid,
+            },
+        )
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+/// Dataset generation parameters.
+#[derive(Debug, Clone)]
+pub struct DatasetConfig {
+    /// Feature/label grid side (the paper resizes to 256; scaled runs use
+    /// 64 or less).
+    pub grid: usize,
+    /// Placements generated per design (paper: 30).
+    pub placements_per_design: usize,
+    /// Whether to add the 90/180/270-degree rotations (x4 samples).
+    pub augment: bool,
+    /// Router used for labelling.
+    pub router: RouterConfig,
+    /// Placer iterations for the sweep (kept small; variety comes from
+    /// seeds and spreading strength).
+    pub placer_iterations: usize,
+    /// Whether to calibrate the labelling router's capacities per design
+    /// (see [`crate::flow::calibrated_router_for`]); keeps label level
+    /// distributions comparable across designs and scales.
+    pub calibrate: bool,
+    /// Calibration target utilization at the 80th percentile.
+    pub target_util: f32,
+}
+
+impl Default for DatasetConfig {
+    fn default() -> Self {
+        let grid = 64;
+        DatasetConfig {
+            grid,
+            placements_per_design: 6,
+            augment: true,
+            router: RouterConfig {
+                grid_w: grid,
+                grid_h: grid,
+                ..RouterConfig::default()
+            },
+            placer_iterations: 12,
+            calibrate: true,
+            target_util: 0.7,
+        }
+    }
+}
+
+/// Generates the labelled dataset for one design.
+pub fn build_design_dataset(design: &Design, cfg: &DatasetConfig, seed: u64) -> Dataset {
+    let mut samples = Vec::new();
+    let mut router_cfg = cfg.router.clone();
+    router_cfg.grid_w = cfg.grid;
+    router_cfg.grid_h = cfg.grid;
+    if cfg.calibrate {
+        router_cfg =
+            crate::flow::calibrated_router_for(design, cfg.grid, cfg.target_util, seed ^ 0xCA11);
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD5);
+    for k in 0..cfg.placements_per_design {
+        // Placer-produced snapshot with varying seed and spreading strength
+        // (the paper's "varying parameters"), plus a mild position jitter on
+        // every second snapshot so labels cover partially-converged states.
+        let mut flow_cfg = PlacerFlowConfig::seu_like();
+        flow_cfg.gp_stage1.iterations = cfg.placer_iterations.saturating_sub(2 * (k % 3)).max(2);
+        flow_cfg.gp_stage2.iterations = cfg.placer_iterations / 2;
+        flow_cfg.gp_stage1.density_step = 0.35 + 0.1 * (k % 3) as f32;
+        flow_cfg.grid_w = cfg.grid;
+        flow_cfg.grid_h = cfg.grid;
+        let flow = PlacementFlow::new(flow_cfg);
+        let mut placement = flow
+            .run(design, &mut RudyPredictor::default(), seed.wrapping_add(k as u64))
+            .placement;
+        if k % 2 == 1 {
+            let sigma = 0.5 + 1.5 * (k % 4) as f32;
+            for (id, inst) in design.netlist.instances() {
+                if !inst.movable {
+                    continue;
+                }
+                let (x, y) = placement.pos(id.0 as usize);
+                let (nx, ny) = design.arch.clamp(
+                    x + rng.gen_range(-sigma..sigma),
+                    y + rng.gen_range(-sigma..sigma),
+                );
+                placement.set_pos(id.0 as usize, nx, ny);
+            }
+        }
+        let features = FeatureStack::extract(design, &placement, cfg.grid, cfg.grid);
+        let labels = congestion_labels(design, &placement, &router_cfg);
+        let rotations = if cfg.augment { 4 } else { 1 };
+        for rot in 0..rotations {
+            let f = features.rot90(rot);
+            let l = rotate_levels(&labels.levels, cfg.grid, cfg.grid, rot);
+            samples.push(Sample {
+                features: f.to_tensor(),
+                labels: l,
+            });
+        }
+    }
+    Dataset {
+        samples,
+        grid: cfg.grid,
+    }
+}
+
+/// Stacks samples `[i0, i1, ...)` into a batch tensor `[B, 6, H, W]` plus
+/// concatenated labels.
+///
+/// # Panics
+///
+/// Panics if `indices` is empty or out of range.
+pub fn batch(dataset: &Dataset, indices: &[usize]) -> (Tensor, Vec<u8>) {
+    assert!(!indices.is_empty(), "batch needs at least one sample");
+    let f0 = &dataset.samples[indices[0]].features;
+    let (c, h, w) = (f0.shape()[0], f0.shape()[1], f0.shape()[2]);
+    let mut data = Vec::with_capacity(indices.len() * c * h * w);
+    let mut labels = Vec::with_capacity(indices.len() * h * w);
+    for &i in indices {
+        let s = &dataset.samples[i];
+        data.extend_from_slice(s.features.data());
+        labels.extend_from_slice(&s.labels);
+    }
+    (
+        Tensor::from_vec(vec![indices.len(), c, h, w], data).expect("batch tensor"),
+        labels,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfaplace_fpga::design::DesignPreset;
+
+    fn small_cfg() -> DatasetConfig {
+        DatasetConfig {
+            grid: 32,
+            placements_per_design: 2,
+            augment: true,
+            placer_iterations: 4,
+            ..DatasetConfig::default()
+        }
+    }
+
+    #[test]
+    fn dataset_counts_and_shapes() {
+        let d = DesignPreset::design_116()
+            .with_scale(512, 64, 32)
+            .generate(1);
+        let ds = build_design_dataset(&d, &small_cfg(), 3);
+        assert_eq!(ds.len(), 2 * 4, "2 placements x 4 rotations");
+        for s in &ds.samples {
+            assert_eq!(s.features.shape(), &[6, 32, 32]);
+            assert_eq!(s.labels.len(), 32 * 32);
+        }
+    }
+
+    #[test]
+    fn augmentation_quadruples() {
+        let d = DesignPreset::design_116()
+            .with_scale(512, 64, 32)
+            .generate(1);
+        let mut cfg = small_cfg();
+        cfg.augment = false;
+        let plain = build_design_dataset(&d, &cfg, 3);
+        cfg.augment = true;
+        let augmented = build_design_dataset(&d, &cfg, 3);
+        assert_eq!(augmented.len(), plain.len() * 4);
+    }
+
+    #[test]
+    fn split_partitions_samples() {
+        let d = DesignPreset::design_116()
+            .with_scale(512, 64, 32)
+            .generate(1);
+        let ds = build_design_dataset(&d, &small_cfg(), 3);
+        let total = ds.len();
+        let (train, test) = ds.split(0.25, 9);
+        assert_eq!(train.len() + test.len(), total);
+        assert_eq!(test.len(), (total as f32 * 0.25).round() as usize);
+    }
+
+    #[test]
+    fn batching_stacks_features() {
+        let d = DesignPreset::design_116()
+            .with_scale(512, 64, 32)
+            .generate(1);
+        let ds = build_design_dataset(&d, &small_cfg(), 3);
+        let (x, labels) = batch(&ds, &[0, 1, 2]);
+        assert_eq!(x.shape(), &[3, 6, 32, 32]);
+        assert_eq!(labels.len(), 3 * 32 * 32);
+    }
+}

@@ -1,0 +1,230 @@
+//! The complete routability-driven macro placement flow (Fig. 6), from
+//! netlist to contest score: placement (with any congestion predictor),
+//! global routing, congestion analysis, detailed-route simulation and the
+//! MLCAD 2023 score formulas, including a simulated Vivado `T_P&R`.
+
+use mfaplace_fpga::design::Design;
+use mfaplace_placer::flows::{CongestionPredictor, PlacementFlow, PlacementResult};
+use mfaplace_placer::FlowConfig as PlacerFlowConfig;
+use mfaplace_router::congestion::CongestionAnalysis;
+use mfaplace_router::detailed::detailed_route_iterations;
+use mfaplace_router::global::GlobalRouter;
+use mfaplace_router::score::{RoutabilityScore, ScoreInputs};
+use mfaplace_router::RouterConfig;
+
+/// Full-flow configuration: a placement flow plus the scoring router.
+#[derive(Debug, Clone)]
+pub struct FlowConfig {
+    /// The placement flow preset.
+    pub placer: PlacerFlowConfig,
+    /// The router used for scoring (shared across flows for fairness).
+    pub router: RouterConfig,
+}
+
+impl Default for FlowConfig {
+    fn default() -> Self {
+        FlowConfig {
+            placer: PlacerFlowConfig::model_driven(),
+            router: RouterConfig::default(),
+        }
+    }
+}
+
+/// Everything the Table II harness needs about one run.
+#[derive(Debug, Clone)]
+pub struct FlowOutcome {
+    /// The placement produced.
+    pub placement: PlacementResult,
+    /// Contest scores.
+    pub score: RoutabilityScore,
+    /// Final per-tile congestion analysis.
+    pub analysis: CongestionAnalysis,
+    /// Total routed wirelength.
+    pub wirelength: f64,
+    /// Residual overflow after routing.
+    pub overflow: f32,
+}
+
+/// Runs placement + routing + scoring for one design.
+#[derive(Debug, Clone)]
+pub struct MacroPlacementFlow {
+    config: FlowConfig,
+}
+
+impl MacroPlacementFlow {
+    /// Creates the flow.
+    pub fn new(config: FlowConfig) -> Self {
+        MacroPlacementFlow { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &FlowConfig {
+        &self.config
+    }
+
+    /// Runs end to end with the RUDY predictor (see
+    /// [`MacroPlacementFlow::run_with`] to supply a learned model).
+    pub fn run(&self, design: &Design, seed: u64) -> FlowOutcome {
+        let mut rudy = mfaplace_placer::RudyPredictor::default();
+        self.run_with(design, &mut rudy, seed)
+    }
+
+    /// Runs end to end with the given congestion predictor.
+    pub fn run_with(
+        &self,
+        design: &Design,
+        predictor: &mut dyn CongestionPredictor,
+        seed: u64,
+    ) -> FlowOutcome {
+        let placement_flow = PlacementFlow::new(self.config.placer.clone());
+        let placement = placement_flow.run(design, predictor, seed);
+
+        let router = GlobalRouter::new(self.config.router.clone());
+        let outcome = router.route(design, &placement.placement);
+        let analysis = CongestionAnalysis::from_usage(&outcome.usage, &self.config.router);
+        let s_dr = detailed_route_iterations(&analysis, &outcome);
+
+        let t_pr_hours = simulated_pnr_hours(&outcome, s_dr, &self.config.router);
+        let score = RoutabilityScore::new(ScoreInputs {
+            l_short: analysis.short_levels(),
+            l_global: analysis.global_levels(),
+            s_dr,
+            t_macro_min: placement.t_macro_min,
+            t_pr_hours,
+        });
+        FlowOutcome {
+            placement,
+            score,
+            analysis,
+            wirelength: outcome.total_wirelength,
+            overflow: outcome.total_overflow,
+        }
+    }
+}
+
+/// Builds a per-design *calibrated* router configuration: wire capacities
+/// are sized against a quick reference placement of the design (see
+/// [`RouterConfig::calibrated`]), so congestion levels are comparable
+/// across designs and experiment scales. All flows scoring the same design
+/// must share one calibrated configuration for fairness.
+pub fn calibrated_router_for(
+    design: &Design,
+    grid: usize,
+    target_util: f32,
+    seed: u64,
+) -> RouterConfig {
+    let mut placer_cfg = mfaplace_placer::flows::FlowConfig::seu_like();
+    placer_cfg.gp_stage1.iterations = 15;
+    placer_cfg.gp_stage2.iterations = 6;
+    placer_cfg.grid_w = grid;
+    placer_cfg.grid_h = grid;
+    let reference = PlacementFlow::new(placer_cfg)
+        .run(design, &mut mfaplace_placer::RudyPredictor::default(), seed)
+        .placement;
+    RouterConfig {
+        grid_w: grid,
+        grid_h: grid,
+        ..RouterConfig::default()
+    }
+    .calibrated(design, &reference, target_util)
+}
+
+/// Simulated Vivado cell-placement + routing runtime in hours.
+///
+/// Vivado's P&R time grows with routed wirelength (more work per pass) and
+/// with detailed-route iterations (each extra rip-up pass re-routes the
+/// congested fraction). The constants are calibrated so the contest suite
+/// lands in the 0.3-1.5 h range reported in Table II.
+pub fn simulated_pnr_hours(
+    outcome: &mfaplace_router::global::RoutingOutcome,
+    s_dr: u32,
+    router: &RouterConfig,
+) -> f64 {
+    let tiles = (router.grid_w * router.grid_h) as f64;
+    let wl_norm = outcome.total_wirelength / (tiles * 10.0);
+    let overflow_norm = f64::from(outcome.total_overflow) / tiles;
+    0.12 + 0.05 * wl_norm + 0.022 * f64::from(s_dr.saturating_sub(5)) + 0.12 * overflow_norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfaplace_fpga::design::DesignPreset;
+
+    fn quick_config() -> FlowConfig {
+        let mut cfg = FlowConfig::default();
+        cfg.placer.gp_stage1.iterations = 10;
+        cfg.placer.gp_stage2.iterations = 5;
+        cfg.placer.grid_w = 32;
+        cfg.placer.grid_h = 32;
+        cfg.router.grid_w = 32;
+        cfg.router.grid_h = 32;
+        cfg
+    }
+
+    #[test]
+    fn end_to_end_flow_scores() {
+        let d = DesignPreset::design_116()
+            .with_scale(512, 64, 32)
+            .generate(1);
+        let flow = MacroPlacementFlow::new(quick_config());
+        let out = flow.run(&d, 1);
+        assert!(out.score.s_ir() >= 1.0);
+        assert!(out.score.s_dr() >= 5.0);
+        assert!(out.score.s_r() >= out.score.s_ir());
+        assert!(out.score.s_score() > 0.0);
+        assert!(out.wirelength > 0.0);
+    }
+
+    #[test]
+    fn placed_flow_beats_random_placement_on_congestion_density() {
+        let d = DesignPreset::design_116()
+            .with_scale(512, 64, 32)
+            .generate(1);
+        let flow = MacroPlacementFlow::new(quick_config());
+        let out = flow.run(&d, 1);
+        // Compare with routing the random placement directly.
+        let random = d.random_placement(1);
+        let router = GlobalRouter::new(flow.config().router.clone());
+        let random_out = router.route(&d, &random);
+        assert!(
+            out.wirelength < random_out.total_wirelength,
+            "placed WL {} >= random WL {}",
+            out.wirelength,
+            random_out.total_wirelength
+        );
+    }
+
+    #[test]
+    fn calibration_produces_usable_capacities() {
+        let d = DesignPreset::design_120()
+            .with_scale(512, 64, 32)
+            .generate(2);
+        let cfg = calibrated_router_for(&d, 32, 0.7, 7);
+        assert_eq!(cfg.grid_w, 32);
+        assert!(cfg.short_cap >= 4.0);
+        assert!(cfg.global_cap >= 2.0);
+        // Tighter targets yield smaller capacities.
+        let tight = calibrated_router_for(&d, 32, 0.95, 7);
+        assert!(tight.short_cap <= cfg.short_cap);
+        // Deterministic.
+        let again = calibrated_router_for(&d, 32, 0.7, 7);
+        assert_eq!(again.short_cap, cfg.short_cap);
+        assert_eq!(again.global_cap, cfg.global_cap);
+    }
+
+    #[test]
+    fn pnr_hours_increase_with_iterations() {
+        let d = DesignPreset::design_116()
+            .with_scale(512, 64, 32)
+            .generate(1);
+        let flow = MacroPlacementFlow::new(quick_config());
+        let out = flow.run(&d, 2);
+        let router_cfg = &flow.config().router;
+        let router = GlobalRouter::new(router_cfg.clone());
+        let routing = router.route(&d, &out.placement.placement);
+        let fast = simulated_pnr_hours(&routing, 6, router_cfg);
+        let slow = simulated_pnr_hours(&routing, 14, router_cfg);
+        assert!(slow > fast);
+    }
+}

@@ -1,0 +1,26 @@
+//! End-to-end pipeline of the `mfaplace` reproduction.
+//!
+//! Ties the substrates together:
+//!
+//! - [`dataset`] — placement sweeps per design, feature/label extraction
+//!   and the paper's rotation augmentation (Sec. V-A);
+//! - [`metrics`] — ACC, R^2 and NRMS (Sec. V-B);
+//! - [`train`] — the Adam training loop over any [`mfaplace_models::CongestionModel`];
+//! - [`predictor`] — adapts a trained model to the placer's
+//!   [`mfaplace_placer::CongestionPredictor`] interface;
+//! - [`flow`] — the complete routability-driven macro placement flow
+//!   (Fig. 6) with routing, scoring and the simulated `T_P&R` (Sec. V-C);
+//! - [`report`] — fixed-width table rendering for the Table I/II harnesses.
+
+pub mod dataset;
+pub mod flow;
+pub mod metrics;
+pub mod predictor;
+pub mod report;
+pub mod train;
+
+pub use dataset::{Dataset, DatasetConfig, Sample};
+pub use flow::{FlowConfig, FlowOutcome, MacroPlacementFlow};
+pub use metrics::{accuracy, nrms, r_squared, ConfusionMatrix, PredictionMetrics};
+pub use predictor::ModelPredictor;
+pub use train::{TrainConfig, TrainReport, Trainer};

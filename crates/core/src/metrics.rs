@@ -1,0 +1,254 @@
+//! The evaluation metrics of Sec. V-B: accuracy (ACC), coefficient of
+//! determination (R^2) and normalized root-mean-square error (NRMS).
+
+/// All three metrics for one evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PredictionMetrics {
+    /// Classification accuracy over tiles (higher is better).
+    pub acc: f64,
+    /// Coefficient of determination of the continuous level estimate
+    /// (higher is better).
+    pub r2: f64,
+    /// Normalized RMS error of the predicted map (lower is better).
+    pub nrms: f64,
+}
+
+impl PredictionMetrics {
+    /// Computes all metrics from predicted classes, continuous level
+    /// estimates and ground-truth labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn compute(pred_classes: &[u8], pred_levels: &[f32], labels: &[u8]) -> Self {
+        PredictionMetrics {
+            acc: accuracy(pred_classes, labels),
+            r2: r_squared(pred_levels, labels),
+            nrms: nrms(pred_levels, labels),
+        }
+    }
+}
+
+/// Fraction of tiles classified into the correct congestion level.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn accuracy(pred: &[u8], labels: &[u8]) -> f64 {
+    assert_eq!(pred.len(), labels.len(), "accuracy length mismatch");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let correct = pred.iter().zip(labels).filter(|(a, b)| a == b).count();
+    correct as f64 / pred.len() as f64
+}
+
+/// Coefficient of determination `1 - SS_res / SS_tot` of the continuous
+/// level estimate against the integer labels. A constant label map with
+/// zero residual scores 1, with any residual 0.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn r_squared(pred: &[f32], labels: &[u8]) -> f64 {
+    assert_eq!(pred.len(), labels.len(), "r2 length mismatch");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let n = labels.len() as f64;
+    let mean = labels.iter().map(|&l| f64::from(l)).sum::<f64>() / n;
+    let ss_tot: f64 = labels
+        .iter()
+        .map(|&l| (f64::from(l) - mean).powi(2))
+        .sum();
+    let ss_res: f64 = pred
+        .iter()
+        .zip(labels)
+        .map(|(&p, &l)| (f64::from(p) - f64::from(l)).powi(2))
+        .sum();
+    if ss_tot <= f64::EPSILON {
+        return if ss_res <= f64::EPSILON { 1.0 } else { 0.0 };
+    }
+    1.0 - ss_res / ss_tot
+}
+
+/// Normalized RMS error: RMSE divided by the label range (with a floor of
+/// one level to keep flat maps well-defined).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn nrms(pred: &[f32], labels: &[u8]) -> f64 {
+    assert_eq!(pred.len(), labels.len(), "nrms length mismatch");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let n = labels.len() as f64;
+    let mse: f64 = pred
+        .iter()
+        .zip(labels)
+        .map(|(&p, &l)| (f64::from(p) - f64::from(l)).powi(2))
+        .sum::<f64>()
+        / n;
+    let max = labels.iter().copied().max().unwrap_or(0);
+    let min = labels.iter().copied().min().unwrap_or(0);
+    let range = f64::from(max - min).max(1.0);
+    mse.sqrt() / range
+}
+
+/// Confusion matrix over congestion-level classes, with per-class
+/// precision/recall — used by the experiment reports to show *where*
+/// predictors disagree (the paper's Sec. V-B discussion attributes the R^2
+/// gap to high-level classes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    /// `counts[true * classes + predicted]`.
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix from predictions and labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch or out-of-range class ids.
+    pub fn compute(pred: &[u8], labels: &[u8], classes: usize) -> Self {
+        assert_eq!(pred.len(), labels.len(), "confusion length mismatch");
+        let mut counts = vec![0u64; classes * classes];
+        for (&p, &l) in pred.iter().zip(labels) {
+            assert!((p as usize) < classes && (l as usize) < classes);
+            counts[l as usize * classes + p as usize] += 1;
+        }
+        ConfusionMatrix { classes, counts }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Count of `(true, predicted)` pairs.
+    pub fn count(&self, truth: usize, predicted: usize) -> u64 {
+        self.counts[truth * self.classes + predicted]
+    }
+
+    /// Precision of one class (`None` if the class was never predicted).
+    pub fn precision(&self, class: usize) -> Option<f64> {
+        let tp = self.count(class, class);
+        let predicted: u64 = (0..self.classes).map(|t| self.count(t, class)).sum();
+        (predicted > 0).then(|| tp as f64 / predicted as f64)
+    }
+
+    /// Recall of one class (`None` if the class never occurs).
+    pub fn recall(&self, class: usize) -> Option<f64> {
+        let tp = self.count(class, class);
+        let actual: u64 = (0..self.classes).map(|p| self.count(class, p)).sum();
+        (actual > 0).then(|| tp as f64 / actual as f64)
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let correct: u64 = (0..self.classes).map(|c| self.count(c, c)).sum();
+        let total: u64 = self.counts.iter().sum();
+        if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+
+    /// Renders the matrix as an aligned text table (rows = truth).
+    pub fn render(&self) -> String {
+        let mut out = String::from("true\\pred");
+        for p in 0..self.classes {
+            out.push_str(&format!(" {p:>8}"));
+        }
+        out.push('\n');
+        for t in 0..self.classes {
+            out.push_str(&format!("{t:>9}"));
+            for p in 0..self.classes {
+                out.push_str(&format!(" {:>8}", self.count(t, p)));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let labels = vec![0u8, 1, 2, 3, 4];
+        let pred_c = labels.clone();
+        let pred_l: Vec<f32> = labels.iter().map(|&l| f32::from(l)).collect();
+        let m = PredictionMetrics::compute(&pred_c, &pred_l, &labels);
+        assert_eq!(m.acc, 1.0);
+        assert!((m.r2 - 1.0).abs() < 1e-12);
+        assert_eq!(m.nrms, 0.0);
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 0, 3]), 2.0 / 3.0);
+    }
+
+    #[test]
+    fn r2_of_mean_prediction_is_zero() {
+        let labels = vec![0u8, 2, 4];
+        let pred = vec![2.0f32; 3];
+        assert!(r_squared(&pred, &labels).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_penalizes_bad_fits_below_zero() {
+        let labels = vec![0u8, 1, 2];
+        let pred = vec![5.0f32, 5.0, 5.0];
+        assert!(r_squared(&pred, &labels) < 0.0);
+    }
+
+    #[test]
+    fn nrms_normalizes_by_range() {
+        let labels = vec![0u8, 4];
+        let pred = vec![0.0f32, 0.0];
+        // rmse = sqrt(16/2) = 2.828, range 4 -> 0.707
+        assert!((nrms(&pred, &labels) - 8.0f64.sqrt() / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flat_labels_well_defined() {
+        let labels = vec![0u8; 4];
+        let pred = vec![0.0f32; 4];
+        assert_eq!(r_squared(&pred, &labels), 1.0);
+        assert_eq!(nrms(&pred, &labels), 0.0);
+    }
+
+    #[test]
+    fn confusion_matrix_counts_and_rates() {
+        // truth:   0 0 1 1 1 2
+        // pred:    0 1 1 1 0 2
+        let labels = [0u8, 0, 1, 1, 1, 2];
+        let pred = [0u8, 1, 1, 1, 0, 2];
+        let cm = ConfusionMatrix::compute(&pred, &labels, 3);
+        assert_eq!(cm.count(0, 0), 1);
+        assert_eq!(cm.count(0, 1), 1);
+        assert_eq!(cm.count(1, 1), 2);
+        assert_eq!(cm.count(1, 0), 1);
+        assert_eq!(cm.count(2, 2), 1);
+        assert_eq!(cm.accuracy(), 4.0 / 6.0);
+        assert_eq!(cm.recall(1), Some(2.0 / 3.0));
+        assert_eq!(cm.precision(1), Some(2.0 / 3.0));
+        assert_eq!(cm.precision(0), Some(0.5));
+    }
+
+    #[test]
+    fn confusion_matrix_none_for_absent_classes() {
+        let cm = ConfusionMatrix::compute(&[0u8], &[0u8], 3);
+        assert_eq!(cm.recall(2), None);
+        assert_eq!(cm.precision(2), None);
+        assert!(cm.render().contains("true\\pred"));
+    }
+}

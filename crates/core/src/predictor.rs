@@ -1,0 +1,122 @@
+//! Adapts a trained congestion model to the placer's predictor interface —
+//! the paper's key integration point: the learned map replaces RUDY in the
+//! instance-inflation step (Sec. IV).
+
+use mfaplace_autograd::Graph;
+use mfaplace_fpga::design::Design;
+use mfaplace_fpga::features::FeatureStack;
+use mfaplace_fpga::gridmap::GridMap;
+use mfaplace_fpga::placement::Placement;
+use mfaplace_models::{expected_levels, CongestionModel};
+use mfaplace_placer::CongestionPredictor;
+
+/// A trained model plus its graph, usable inside a placement flow.
+pub struct ModelPredictor<M: CongestionModel> {
+    graph: Graph,
+    model: M,
+    name: String,
+}
+
+impl<M: CongestionModel> ModelPredictor<M> {
+    /// Wraps a trained `(graph, model)` pair (e.g. from
+    /// [`crate::Trainer::into_parts`]).
+    pub fn new(graph: Graph, model: M) -> Self {
+        let name = model.name().to_string();
+        ModelPredictor { graph, model, name }
+    }
+
+    /// Borrows the wrapped model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+}
+
+impl<M: CongestionModel> CongestionPredictor for ModelPredictor<M> {
+    fn predict(
+        &mut self,
+        design: &Design,
+        placement: &Placement,
+        grid_w: usize,
+        grid_h: usize,
+    ) -> GridMap {
+        let features = FeatureStack::extract(design, placement, grid_w, grid_h);
+        let x = features.to_tensor();
+        let (c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+        let x = x.reshaped(vec![1, c, h, w]);
+        let mark = self.graph.mark();
+        let xv = self.graph.constant(x);
+        let logits_var = self.model.forward(&mut self.graph, xv, false);
+        let logits = self.graph.value(logits_var).clone();
+        self.graph.truncate(mark);
+        let levels = expected_levels(&logits); // [1, H, W]
+        GridMap::from_vec(grid_w, grid_h, levels.into_vec())
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfaplace_fpga::design::DesignPreset;
+    use mfaplace_models::{OursConfig, OursModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn predictor_outputs_level_scale_map() {
+        let d = DesignPreset::design_116()
+            .with_scale(512, 64, 32)
+            .generate(1);
+        let p = d.random_placement(2);
+        let mut g = Graph::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = OursModel::new(
+            &mut g,
+            OursConfig {
+                grid: 32,
+                base_channels: 4,
+                vit_layers: 1,
+                vit_heads: 2,
+                use_mfa: true,
+                mfa_reduction: 4,
+            },
+            &mut rng,
+        );
+        let mut predictor = ModelPredictor::new(g, model);
+        let map = predictor.predict(&d, &p, 32, 32);
+        assert_eq!(map.width(), 32);
+        // Expected-level outputs live in [0, 7].
+        assert!(map.max() <= 7.0);
+        assert!(map.data().iter().all(|&v| v >= 0.0));
+        assert_eq!(predictor.name(), "Ours");
+    }
+
+    #[test]
+    fn repeated_predictions_do_not_grow_graph() {
+        let d = DesignPreset::design_116()
+            .with_scale(512, 64, 32)
+            .generate(1);
+        let p = d.random_placement(2);
+        let mut g = Graph::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = OursModel::new(
+            &mut g,
+            OursConfig {
+                grid: 32,
+                base_channels: 4,
+                vit_layers: 1,
+                vit_heads: 2,
+                use_mfa: true,
+                mfa_reduction: 4,
+            },
+            &mut rng,
+        );
+        let mut predictor = ModelPredictor::new(g, model);
+        let a = predictor.predict(&d, &p, 32, 32);
+        let b = predictor.predict(&d, &p, 32, 32);
+        assert_eq!(a, b, "inference must be pure");
+    }
+}

@@ -1,0 +1,201 @@
+//! Columnar FPGA fabric model.
+//!
+//! A modern UltraScale+-style device is organized in *columns* of a single
+//! site type: most columns hold configurable logic blocks (CLBs), with
+//! regularly interspersed DSP, block-RAM and ultra-RAM columns. The fabric
+//! here is a `columns x rows` grid of sites; the congestion analysis runs on
+//! a separate interconnect-tile grid mapped over the same area.
+
+use std::fmt;
+
+/// The four heterogeneous site types of the MLCAD 2023 architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SiteKind {
+    /// Configurable logic block (holds LUTs and flip-flops).
+    Clb,
+    /// Digital signal processor slice (macro site).
+    Dsp,
+    /// Block RAM (macro site).
+    Bram,
+    /// Ultra RAM (macro site).
+    Uram,
+}
+
+impl fmt::Display for SiteKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SiteKind::Clb => "CLB",
+            SiteKind::Dsp => "DSP",
+            SiteKind::Bram => "BRAM",
+            SiteKind::Uram => "URAM",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-CLB-site cell capacity, mirroring an UltraScale+ slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClbCapacity {
+    /// LUTs per CLB site.
+    pub luts: usize,
+    /// Flip-flops per CLB site.
+    pub ffs: usize,
+}
+
+/// A columnar FPGA fabric: `columns x rows` sites, each column of one
+/// [`SiteKind`].
+///
+/// Coordinates are `(x, y)` with `x in [0, columns)` and `y in [0, rows)`;
+/// continuous placements live in the same coordinate space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FpgaArch {
+    columns: Vec<SiteKind>,
+    rows: usize,
+    clb_capacity: ClbCapacity,
+}
+
+impl FpgaArch {
+    /// Builds a fabric from an explicit column pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `columns` is empty or `rows` is zero.
+    pub fn new(columns: Vec<SiteKind>, rows: usize, clb_capacity: ClbCapacity) -> Self {
+        assert!(!columns.is_empty(), "fabric needs at least one column");
+        assert!(rows > 0, "fabric needs at least one row");
+        FpgaArch {
+            columns,
+            rows,
+            clb_capacity,
+        }
+    }
+
+    /// A scaled-down XCVU3P-like fabric used by the experiments:
+    /// 48 columns x 40 rows, with DSP columns every ~9 columns, BRAM columns
+    /// every ~11, and one URAM column. CLB sites hold 8 LUTs + 16 FFs.
+    pub fn xcvu3p_scaled() -> Self {
+        let mut columns = Vec::with_capacity(48);
+        for x in 0..48usize {
+            let kind = if x == 24 {
+                SiteKind::Uram
+            } else if x % 9 == 4 {
+                SiteKind::Dsp
+            } else if x % 11 == 8 {
+                SiteKind::Bram
+            } else {
+                SiteKind::Clb
+            };
+            columns.push(kind);
+        }
+        FpgaArch::new(columns, 40, ClbCapacity { luts: 8, ffs: 16 })
+    }
+
+    /// Number of columns.
+    pub fn columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Fabric width in placement units (same as columns).
+    pub fn width(&self) -> f32 {
+        self.columns.len() as f32
+    }
+
+    /// Fabric height in placement units (same as rows).
+    pub fn height(&self) -> f32 {
+        self.rows as f32
+    }
+
+    /// The site kind of column `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of range.
+    pub fn column_kind(&self, x: usize) -> SiteKind {
+        self.columns[x]
+    }
+
+    /// Indices of all columns of a given kind.
+    pub fn columns_of(&self, kind: SiteKind) -> Vec<usize> {
+        self.columns
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &k)| (k == kind).then_some(i))
+            .collect()
+    }
+
+    /// Number of sites of a given kind.
+    pub fn site_count(&self, kind: SiteKind) -> usize {
+        self.columns_of(kind).len() * self.rows
+    }
+
+    /// CLB cell capacity per site.
+    pub fn clb_capacity(&self) -> ClbCapacity {
+        self.clb_capacity
+    }
+
+    /// Total LUT capacity of the fabric.
+    pub fn lut_capacity(&self) -> usize {
+        self.site_count(SiteKind::Clb) * self.clb_capacity.luts
+    }
+
+    /// Total FF capacity of the fabric.
+    pub fn ff_capacity(&self) -> usize {
+        self.site_count(SiteKind::Clb) * self.clb_capacity.ffs
+    }
+
+    /// Clamps a continuous location into the fabric interior.
+    pub fn clamp(&self, x: f32, y: f32) -> (f32, f32) {
+        (
+            x.clamp(0.0, self.width() - 1e-3),
+            y.clamp(0.0, self.height() - 1e-3),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_fabric_has_all_site_kinds() {
+        let arch = FpgaArch::xcvu3p_scaled();
+        assert!(arch.site_count(SiteKind::Clb) > 0);
+        assert!(arch.site_count(SiteKind::Dsp) > 0);
+        assert!(arch.site_count(SiteKind::Bram) > 0);
+        assert!(arch.site_count(SiteKind::Uram) > 0);
+        let total: usize = [SiteKind::Clb, SiteKind::Dsp, SiteKind::Bram, SiteKind::Uram]
+            .iter()
+            .map(|&k| arch.site_count(k))
+            .sum();
+        assert_eq!(total, arch.columns() * arch.rows());
+    }
+
+    #[test]
+    fn macro_columns_are_minority() {
+        let arch = FpgaArch::xcvu3p_scaled();
+        assert!(arch.site_count(SiteKind::Clb) > arch.site_count(SiteKind::Dsp) * 4);
+    }
+
+    #[test]
+    fn clamp_keeps_points_inside() {
+        let arch = FpgaArch::xcvu3p_scaled();
+        let (x, y) = arch.clamp(-5.0, 1e9);
+        assert!(x >= 0.0 && x < arch.width());
+        assert!(y >= 0.0 && y < arch.height());
+    }
+
+    #[test]
+    fn capacity_consistency() {
+        let arch = FpgaArch::xcvu3p_scaled();
+        assert_eq!(
+            arch.lut_capacity(),
+            arch.site_count(SiteKind::Clb) * arch.clb_capacity().luts
+        );
+        assert_eq!(arch.ff_capacity(), arch.lut_capacity() * 2);
+    }
+}

@@ -1,0 +1,133 @@
+//! Cascade-shape and region constraints of the MLCAD 2023 contest.
+
+use crate::arch::SiteKind;
+use crate::netlist::InstId;
+
+/// Axis-aligned rectangle in fabric coordinates (half-open on both axes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    /// Left edge.
+    pub x0: f32,
+    /// Bottom edge.
+    pub y0: f32,
+    /// Right edge (exclusive).
+    pub x1: f32,
+    /// Top edge (exclusive).
+    pub y1: f32,
+}
+
+impl Rect {
+    /// Creates a rectangle; coordinates are normalized so `x0 <= x1`,
+    /// `y0 <= y1`.
+    pub fn new(x0: f32, y0: f32, x1: f32, y1: f32) -> Self {
+        Rect {
+            x0: x0.min(x1),
+            y0: y0.min(y1),
+            x1: x0.max(x1),
+            y1: y0.max(y1),
+        }
+    }
+
+    /// Rectangle width.
+    pub fn width(&self) -> f32 {
+        self.x1 - self.x0
+    }
+
+    /// Rectangle height.
+    pub fn height(&self) -> f32 {
+        self.y1 - self.y0
+    }
+
+    /// Rectangle area.
+    pub fn area(&self) -> f32 {
+        self.width() * self.height()
+    }
+
+    /// Whether the point is inside.
+    pub fn contains(&self, x: f32, y: f32) -> bool {
+        x >= self.x0 && x < self.x1 && y >= self.y0 && y < self.y1
+    }
+
+    /// Center of the rectangle.
+    pub fn center(&self) -> (f32, f32) {
+        ((self.x0 + self.x1) * 0.5, (self.y0 + self.y1) * 0.5)
+    }
+
+    /// Squared distance from a point to the rectangle (0 inside).
+    pub fn distance_sq(&self, x: f32, y: f32) -> f32 {
+        let dx = (self.x0 - x).max(0.0).max(x - self.x1);
+        let dy = (self.y0 - y).max(0.0).max(y - self.y1);
+        dx * dx + dy * dy
+    }
+}
+
+/// A cascade shape constraint: the member macros must occupy consecutive
+/// sites of one column, bottom-to-top in the given order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CascadeShape {
+    /// Ordered member macros (first is placed lowest).
+    pub members: Vec<InstId>,
+    /// The site column kind the cascade occupies.
+    pub site_kind: SiteKind,
+}
+
+impl CascadeShape {
+    /// Number of consecutive sites required.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the cascade is empty (never true for generated designs).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// A region constraint: the member instances must be placed inside `rect`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionConstraint {
+    /// The allowed placement region.
+    pub rect: Rect,
+    /// Instances bound to the region.
+    pub members: Vec<InstId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_geometry() {
+        let r = Rect::new(2.0, 3.0, 6.0, 5.0);
+        assert_eq!(r.width(), 4.0);
+        assert_eq!(r.height(), 2.0);
+        assert_eq!(r.area(), 8.0);
+        assert!(r.contains(2.0, 3.0));
+        assert!(!r.contains(6.0, 3.0));
+        assert_eq!(r.center(), (4.0, 4.0));
+    }
+
+    #[test]
+    fn rect_normalizes_corners() {
+        let r = Rect::new(6.0, 5.0, 2.0, 3.0);
+        assert_eq!((r.x0, r.y0, r.x1, r.y1), (2.0, 3.0, 6.0, 5.0));
+    }
+
+    #[test]
+    fn distance_sq_zero_inside_positive_outside() {
+        let r = Rect::new(0.0, 0.0, 2.0, 2.0);
+        assert_eq!(r.distance_sq(1.0, 1.0), 0.0);
+        assert!(r.distance_sq(4.0, 1.0) > 0.0);
+        assert_eq!(r.distance_sq(4.0, 1.0), 4.0);
+    }
+
+    #[test]
+    fn cascade_len() {
+        let c = CascadeShape {
+            members: vec![InstId(0), InstId(1), InstId(2)],
+            site_kind: SiteKind::Dsp,
+        };
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+    }
+}

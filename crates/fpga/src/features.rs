@@ -1,0 +1,238 @@
+//! The six grid-based input features of the congestion-prediction model
+//! (Sec. III-B of the paper):
+//!
+//! 1. **Macro map** — per-grid macro occupancy,
+//! 2. **Horizontal net density** — RUDY-style horizontal routing demand,
+//! 3. **Vertical net density** — RUDY-style vertical routing demand,
+//! 4. **RUDY map** — superposition of the two net densities,
+//! 5. **Pin RUDY map** — pin density spread over each net's bounding box,
+//! 6. **Cell density map** — placed cell count per grid.
+//!
+//! Each map is max-normalized to `[0, 1]`; the stack converts to the model
+//! input tensor `X in R^{6 x H x W}`.
+
+use mfaplace_tensor::Tensor;
+
+use crate::design::Design;
+use crate::gridmap::GridMap;
+use crate::placement::Placement;
+
+/// Number of feature channels.
+pub const NUM_FEATURES: usize = 6;
+
+/// The six extracted feature maps for one placement snapshot.
+#[derive(Debug, Clone)]
+pub struct FeatureStack {
+    /// Macro occupancy.
+    pub macro_map: GridMap,
+    /// Horizontal net density.
+    pub hnet: GridMap,
+    /// Vertical net density.
+    pub vnet: GridMap,
+    /// RUDY (horizontal + vertical demand).
+    pub rudy: GridMap,
+    /// Pin RUDY.
+    pub pin_rudy: GridMap,
+    /// Cell density.
+    pub cell_density: GridMap,
+}
+
+impl FeatureStack {
+    /// Extracts the six features on a `grid_w x grid_h` grid.
+    pub fn extract(design: &Design, placement: &Placement, grid_w: usize, grid_h: usize) -> Self {
+        let sx = grid_w as f32 / design.arch.width();
+        let sy = grid_h as f32 / design.arch.height();
+        let cell = |x: f32, y: f32| -> (usize, usize) {
+            (
+                ((x * sx) as usize).min(grid_w - 1),
+                ((y * sy) as usize).min(grid_h - 1),
+            )
+        };
+
+        let mut macro_map = GridMap::new(grid_w, grid_h);
+        let mut cell_density = GridMap::new(grid_w, grid_h);
+        for (id, inst) in design.netlist.instances() {
+            let (x, y) = placement.pos(id.0 as usize);
+            let (gx, gy) = cell(x, y);
+            if inst.kind.is_macro() {
+                macro_map.add(gx, gy, 1.0);
+            } else {
+                cell_density.add(gx, gy, 1.0);
+            }
+        }
+
+        let mut hnet = GridMap::new(grid_w, grid_h);
+        let mut vnet = GridMap::new(grid_w, grid_h);
+        let mut pin_rudy = GridMap::new(grid_w, grid_h);
+        for (_, net) in design.netlist.nets() {
+            let (x0, y0, x1, y1) = placement.net_bbox(net);
+            let (gx0, gy0) = cell(x0, y0);
+            let (gx1, gy1) = cell(x1, y1);
+            let (gx1, gy1) = (gx1 + 1, gy1 + 1); // half-open
+            let w = (gx1 - gx0) as f32;
+            let h = (gy1 - gy0) as f32;
+            // RUDY: horizontal demand w/(w*h) = 1/h per cell, vertical 1/w.
+            hnet.add_rect(gx0, gy0, gx1, gy1, 1.0 / h);
+            vnet.add_rect(gx0, gy0, gx1, gy1, 1.0 / w);
+            pin_rudy.add_rect(gx0, gy0, gx1, gy1, net.degree() as f32 / (w * h));
+        }
+        let mut rudy = GridMap::new(grid_w, grid_h);
+        for i in 0..grid_w * grid_h {
+            rudy.data_mut()[i] = hnet.data()[i] + vnet.data()[i];
+        }
+
+        for m in [
+            &mut macro_map,
+            &mut hnet,
+            &mut vnet,
+            &mut rudy,
+            &mut pin_rudy,
+            &mut cell_density,
+        ] {
+            m.normalize_max();
+        }
+
+        FeatureStack {
+            macro_map,
+            hnet,
+            vnet,
+            rudy,
+            pin_rudy,
+            cell_density,
+        }
+    }
+
+    /// The maps in channel order.
+    pub fn maps(&self) -> [&GridMap; NUM_FEATURES] {
+        [
+            &self.macro_map,
+            &self.hnet,
+            &self.vnet,
+            &self.rudy,
+            &self.pin_rudy,
+            &self.cell_density,
+        ]
+    }
+
+    /// Stacks the maps into the model input tensor `[6, H, W]`.
+    pub fn to_tensor(&self) -> Tensor {
+        let h = self.macro_map.height();
+        let w = self.macro_map.width();
+        let mut data = Vec::with_capacity(NUM_FEATURES * h * w);
+        for m in self.maps() {
+            data.extend_from_slice(m.data());
+        }
+        Tensor::from_vec(vec![NUM_FEATURES, h, w], data).expect("feature tensor")
+    }
+
+    /// Rotates every map by `k * 90` degrees (dataset augmentation).
+    pub fn rot90(&self, k: usize) -> FeatureStack {
+        FeatureStack {
+            macro_map: self.macro_map.rot90(k),
+            hnet: if k % 2 == 1 {
+                // rotating by 90/270 swaps horizontal and vertical demand
+                self.vnet.rot90(k)
+            } else {
+                self.hnet.rot90(k)
+            },
+            vnet: if k % 2 == 1 {
+                self.hnet.rot90(k)
+            } else {
+                self.vnet.rot90(k)
+            },
+            rudy: self.rudy.rot90(k),
+            pin_rudy: self.pin_rudy.rot90(k),
+            cell_density: self.cell_density.rot90(k),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::DesignPreset;
+
+    fn small_design() -> Design {
+        DesignPreset::design_116()
+            .with_scale(512, 64, 32)
+            .generate(1)
+    }
+
+    #[test]
+    fn features_have_expected_shape_and_range() {
+        let d = small_design();
+        let p = d.random_placement(2);
+        let f = FeatureStack::extract(&d, &p, 32, 24);
+        let t = f.to_tensor();
+        assert_eq!(t.shape(), &[6, 24, 32]);
+        assert!(t.max() <= 1.0 + 1e-6);
+        assert!(t.min() >= 0.0);
+    }
+
+    #[test]
+    fn macro_map_counts_macros_only() {
+        let d = small_design();
+        let p = d.random_placement(3);
+        let f = FeatureStack::extract(&d, &p, 16, 16);
+        // normalized, but nonzero iff macros exist
+        assert!(f.macro_map.max() > 0.0);
+    }
+
+    #[test]
+    fn rudy_is_superposition() {
+        let d = small_design();
+        let p = d.random_placement(4);
+        let f = FeatureStack::extract(&d, &p, 16, 16);
+        // after normalization RUDY != hnet + vnet elementwise, but the raw
+        // peak cell of rudy must be at least the peak of each component's
+        // normalized contribution; check positivity structure instead:
+        for i in 0..16 * 16 {
+            if f.hnet.data()[i] > 0.0 || f.vnet.data()[i] > 0.0 {
+                assert!(f.rudy.data()[i] > 0.0, "rudy missing demand at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn rot90_k2_reverses_rows_and_cols() {
+        let d = small_design();
+        let p = d.random_placement(5);
+        let f = FeatureStack::extract(&d, &p, 8, 8);
+        let r = f.rot90(2);
+        assert_eq!(r.cell_density.get(0, 0), f.cell_density.get(7, 7));
+    }
+
+    #[test]
+    fn rot90_swaps_h_and_v_demand() {
+        let d = small_design();
+        let p = d.random_placement(6);
+        let f = FeatureStack::extract(&d, &p, 8, 8);
+        let r = f.rot90(1);
+        // The rotated hnet is the rotation of the original vnet.
+        assert_eq!(r.hnet, f.vnet.rot90(1));
+        assert_eq!(r.vnet, f.hnet.rot90(1));
+    }
+
+    #[test]
+    fn denser_placement_increases_peak_cell_density_before_normalization() {
+        let d = small_design();
+        // All movables at one point -> cell density concentrates.
+        let mut p = d.random_placement(7);
+        for (id, inst) in d.netlist.instances() {
+            if inst.movable {
+                p.set_pos(id.0 as usize, 1.0, 1.0);
+            }
+        }
+        let f = FeatureStack::extract(&d, &p, 8, 8);
+        // The movable cells all land in grid (0, 0); the 24 fixed I/O anchors
+        // remain spread on the boundary, so (0, 0) must be the normalized peak.
+        assert_eq!(f.cell_density.get(0, 0), 1.0);
+        let nonzero = f
+            .cell_density
+            .data()
+            .iter()
+            .filter(|&&v| v > 0.0)
+            .count();
+        assert!(nonzero <= 25, "only anchors elsewhere, got {nonzero}");
+    }
+}

@@ -1,0 +1,185 @@
+//! 2-D float maps on the feature/congestion grid, with the rotation
+//! augmentation used by the paper's dataset (90/180/270 degrees).
+
+use mfaplace_tensor::Tensor;
+
+/// A `width x height` map of `f32` values in row-major order
+/// (`data[y * width + x]`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridMap {
+    width: usize,
+    height: usize,
+    data: Vec<f32>,
+}
+
+impl GridMap {
+    /// Creates a zero-initialized map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "grid dimensions must be positive");
+        GridMap {
+            width,
+            height,
+            data: vec![0.0; width * height],
+        }
+    }
+
+    /// Creates a map from existing data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != width * height`.
+    pub fn from_vec(width: usize, height: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), width * height, "gridmap data length mismatch");
+        GridMap {
+            width,
+            height,
+            data,
+        }
+    }
+
+    /// Map width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Map height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Raw values (row-major).
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw values (row-major).
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Value at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, x: usize, y: usize) -> f32 {
+        assert!(x < self.width && y < self.height, "gridmap index oob");
+        self.data[y * self.width + x]
+    }
+
+    /// Sets the value at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, x: usize, y: usize, v: f32) {
+        assert!(x < self.width && y < self.height, "gridmap index oob");
+        self.data[y * self.width + x] = v;
+    }
+
+    /// Adds `v` at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn add(&mut self, x: usize, y: usize, v: f32) {
+        assert!(x < self.width && y < self.height, "gridmap index oob");
+        self.data[y * self.width + x] += v;
+    }
+
+    /// Adds `v` to every cell in the half-open cell-index rectangle
+    /// `[x0, x1) x [y0, y1)`, clipped to the map.
+    pub fn add_rect(&mut self, x0: usize, y0: usize, x1: usize, y1: usize, v: f32) {
+        let x1 = x1.min(self.width);
+        let y1 = y1.min(self.height);
+        for y in y0.min(y1)..y1 {
+            for x in x0.min(x1)..x1 {
+                self.data[y * self.width + x] += v;
+            }
+        }
+    }
+
+    /// Maximum value (0 for an all-zero map).
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(0.0, f32::max)
+    }
+
+    /// Divides all values by the maximum so the map lies in `[0, 1]`
+    /// (no-op for an all-zero map).
+    pub fn normalize_max(&mut self) {
+        let m = self.max();
+        if m > 0.0 {
+            for v in &mut self.data {
+                *v /= m;
+            }
+        }
+    }
+
+    /// Rotates the map 90 degrees counter-clockwise `k` times.
+    pub fn rot90(&self, k: usize) -> GridMap {
+        let mut out = self.clone();
+        for _ in 0..(k % 4) {
+            let (w, h) = (out.width, out.height);
+            let mut rotated = GridMap::new(h, w);
+            for y in 0..h {
+                for x in 0..w {
+                    // (x, y) -> (y, w-1-x)
+                    rotated.set(y, w - 1 - x, out.get(x, y));
+                }
+            }
+            out = rotated;
+        }
+        out
+    }
+
+    /// Converts the map into a `[1, H, W]` tensor (row y becomes tensor
+    /// row y).
+    pub fn to_tensor(&self) -> Tensor {
+        Tensor::from_vec(vec![1, self.height, self.width], self.data.clone())
+            .expect("gridmap tensor")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_rect_clips() {
+        let mut m = GridMap::new(4, 4);
+        m.add_rect(2, 2, 10, 10, 1.0);
+        assert_eq!(m.data().iter().sum::<f32>(), 4.0);
+        assert_eq!(m.get(3, 3), 1.0);
+        assert_eq!(m.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn normalize_bounds_values() {
+        let mut m = GridMap::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        m.normalize_max();
+        assert_eq!(m.max(), 1.0);
+        assert_eq!(m.get(0, 0), 0.25);
+    }
+
+    #[test]
+    fn rot90_four_times_is_identity() {
+        let m = GridMap::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(m.rot90(4), m);
+        let r = m.rot90(1);
+        assert_eq!(r.width(), 2);
+        assert_eq!(r.height(), 3);
+        // (x=2, y=0) -> (x=0, y=0)
+        assert_eq!(r.get(0, 0), m.get(2, 0));
+    }
+
+    #[test]
+    fn rot90_composition() {
+        let m = GridMap::from_vec(3, 3, (0..9).map(|i| i as f32).collect());
+        assert_eq!(m.rot90(1).rot90(1), m.rot90(2));
+        assert_eq!(m.rot90(3).rot90(1), m);
+    }
+}

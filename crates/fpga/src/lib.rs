@@ -1,0 +1,43 @@
+//! FPGA substrate for the `mfaplace` reproduction.
+//!
+//! Models a 16nm-UltraScale+-like columnar FPGA fabric ([`arch::FpgaArch`]),
+//! heterogeneous netlists with macros ([`netlist::Netlist`]), the MLCAD 2023
+//! contest's cascade-shape and region constraints ([`constraint`]), a seeded
+//! synthetic benchmark generator with presets matching the ten most-congested
+//! contest designs ([`design`]), continuous placements ([`placement`]), and
+//! the six grid-based input features of the congestion-prediction model
+//! ([`features`]).
+//!
+//! The real contest designs and the XCVU3P device are proprietary; the
+//! generator reproduces their *statistical structure* (clustered Rent-like
+//! connectivity, macro-heavy columns, cascaded DSP/BRAM chains, region
+//! hotspots) at a configurable scale — see `DESIGN.md` for the substitution
+//! rationale.
+//!
+//! # Example
+//!
+//! ```
+//! use mfaplace_fpga::design::DesignPreset;
+//! use mfaplace_fpga::features::FeatureStack;
+//!
+//! let design = DesignPreset::design_116().with_scale(256, 64, 32).generate(1);
+//! let placement = design.random_placement(7);
+//! let features = FeatureStack::extract(&design, &placement, 32, 32);
+//! assert_eq!(features.to_tensor().shape(), &[6, 32, 32]);
+//! ```
+
+pub mod arch;
+pub mod constraint;
+pub mod design;
+pub mod features;
+pub mod gridmap;
+pub mod io;
+pub mod netlist;
+pub mod placement;
+pub mod viz;
+
+pub use arch::{FpgaArch, SiteKind};
+pub use design::{Design, DesignPreset};
+pub use gridmap::GridMap;
+pub use netlist::{InstId, InstKind, Instance, Net, NetId, Netlist};
+pub use placement::Placement;

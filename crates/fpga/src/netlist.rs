@@ -1,0 +1,215 @@
+//! Netlist model: heterogeneous instances connected by multi-pin nets.
+
+use crate::arch::SiteKind;
+
+/// Index of an instance in a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstId(pub u32);
+
+/// Index of a net in a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub u32);
+
+/// The instance kinds of the MLCAD 2023 architecture. DSP, BRAM and URAM are
+/// *macros*; LUT and FF are *cells*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstKind {
+    /// Look-up table (cell).
+    Lut,
+    /// Flip-flop (cell).
+    Ff,
+    /// DSP slice (macro).
+    Dsp,
+    /// Block RAM (macro).
+    Bram,
+    /// Ultra RAM (macro).
+    Uram,
+}
+
+impl InstKind {
+    /// Whether this kind is treated as a macro by the contest rules.
+    pub fn is_macro(self) -> bool {
+        matches!(self, InstKind::Dsp | InstKind::Bram | InstKind::Uram)
+    }
+
+    /// The site kind this instance must be placed on.
+    pub fn site_kind(self) -> SiteKind {
+        match self {
+            InstKind::Lut | InstKind::Ff => SiteKind::Clb,
+            InstKind::Dsp => SiteKind::Dsp,
+            InstKind::Bram => SiteKind::Bram,
+            InstKind::Uram => SiteKind::Uram,
+        }
+    }
+
+    /// Nominal placement area (in site units) used by density spreading and
+    /// the inflation equations. Macros occupy a full site; cells a fraction
+    /// of a CLB.
+    pub fn base_area(self) -> f32 {
+        match self {
+            InstKind::Lut => 1.0 / 8.0,
+            InstKind::Ff => 1.0 / 16.0,
+            InstKind::Dsp | InstKind::Bram => 1.0,
+            InstKind::Uram => 1.0,
+        }
+    }
+}
+
+/// One placeable instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instance {
+    /// Instance kind (LUT/FF/DSP/BRAM/URAM).
+    pub kind: InstKind,
+    /// Whether the placer may move it (IO-like anchors are fixed).
+    pub movable: bool,
+}
+
+/// One multi-pin net; pins attach at instance centers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Net {
+    /// The connected instances (no duplicates).
+    pub pins: Vec<InstId>,
+}
+
+impl Net {
+    /// Number of pins.
+    pub fn degree(&self) -> usize {
+        self.pins.len()
+    }
+}
+
+/// A heterogeneous netlist: instances plus nets.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Netlist {
+    instances: Vec<Instance>,
+    nets: Vec<Net>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new() -> Self {
+        Netlist::default()
+    }
+
+    /// Adds an instance and returns its id.
+    pub fn add_instance(&mut self, kind: InstKind, movable: bool) -> InstId {
+        self.instances.push(Instance { kind, movable });
+        InstId((self.instances.len() - 1) as u32)
+    }
+
+    /// Adds a net over the given instances (pins with fewer than two
+    /// distinct instances are rejected).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pin references a nonexistent instance or the net has
+    /// fewer than 2 pins.
+    pub fn add_net(&mut self, pins: Vec<InstId>) -> NetId {
+        assert!(pins.len() >= 2, "nets need at least two pins");
+        for &p in &pins {
+            assert!(
+                (p.0 as usize) < self.instances.len(),
+                "net references unknown instance"
+            );
+        }
+        self.nets.push(Net { pins });
+        NetId((self.nets.len() - 1) as u32)
+    }
+
+    /// Number of instances.
+    pub fn num_instances(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Number of nets.
+    pub fn num_nets(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// The instance with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn instance(&self, id: InstId) -> &Instance {
+        &self.instances[id.0 as usize]
+    }
+
+    /// The net with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.0 as usize]
+    }
+
+    /// Iterates over `(InstId, &Instance)`.
+    pub fn instances(&self) -> impl Iterator<Item = (InstId, &Instance)> {
+        self.instances
+            .iter()
+            .enumerate()
+            .map(|(i, inst)| (InstId(i as u32), inst))
+    }
+
+    /// Iterates over `(NetId, &Net)`.
+    pub fn nets(&self) -> impl Iterator<Item = (NetId, &Net)> {
+        self.nets
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NetId(i as u32), n))
+    }
+
+    /// Counts instances of a kind.
+    pub fn count_kind(&self, kind: InstKind) -> usize {
+        self.instances.iter().filter(|i| i.kind == kind).count()
+    }
+
+    /// Ids of all macro instances.
+    pub fn macros(&self) -> Vec<InstId> {
+        self.instances()
+            .filter_map(|(id, inst)| inst.kind.is_macro().then_some(id))
+            .collect()
+    }
+
+    /// Total number of pins across all nets.
+    pub fn pin_count(&self) -> usize {
+        self.nets.iter().map(Net::degree).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_small_netlist() {
+        let mut nl = Netlist::new();
+        let a = nl.add_instance(InstKind::Lut, true);
+        let b = nl.add_instance(InstKind::Ff, true);
+        let c = nl.add_instance(InstKind::Dsp, true);
+        let n = nl.add_net(vec![a, b, c]);
+        assert_eq!(nl.num_instances(), 3);
+        assert_eq!(nl.num_nets(), 1);
+        assert_eq!(nl.net(n).degree(), 3);
+        assert_eq!(nl.macros(), vec![c]);
+        assert_eq!(nl.pin_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two pins")]
+    fn rejects_degenerate_net() {
+        let mut nl = Netlist::new();
+        let a = nl.add_instance(InstKind::Lut, true);
+        nl.add_net(vec![a]);
+    }
+
+    #[test]
+    fn kind_properties() {
+        assert!(InstKind::Dsp.is_macro());
+        assert!(!InstKind::Lut.is_macro());
+        assert_eq!(InstKind::Ff.site_kind(), SiteKind::Clb);
+        assert_eq!(InstKind::Uram.site_kind(), SiteKind::Uram);
+        assert!(InstKind::Dsp.base_area() > InstKind::Lut.base_area());
+    }
+}

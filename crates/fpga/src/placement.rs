@@ -1,0 +1,144 @@
+//! Continuous placements and wirelength measures.
+
+use crate::netlist::Netlist;
+
+/// A continuous placement: one `(x, y)` location per instance, in fabric
+/// coordinates.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Placement {
+    xs: Vec<f32>,
+    ys: Vec<f32>,
+}
+
+impl Placement {
+    /// Creates a placement with all instances at the origin.
+    pub fn new(num_instances: usize) -> Self {
+        Placement {
+            xs: vec![0.0; num_instances],
+            ys: vec![0.0; num_instances],
+        }
+    }
+
+    /// Creates a placement from coordinate vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths.
+    pub fn from_coords(xs: Vec<f32>, ys: Vec<f32>) -> Self {
+        assert_eq!(xs.len(), ys.len(), "coordinate vectors must match");
+        Placement { xs, ys }
+    }
+
+    /// Number of placed instances.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Whether the placement is empty.
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Location of instance `i`.
+    pub fn pos(&self, i: usize) -> (f32, f32) {
+        (self.xs[i], self.ys[i])
+    }
+
+    /// Sets the location of instance `i`.
+    pub fn set_pos(&mut self, i: usize, x: f32, y: f32) {
+        self.xs[i] = x;
+        self.ys[i] = y;
+    }
+
+    /// X coordinates.
+    pub fn xs(&self) -> &[f32] {
+        &self.xs
+    }
+
+    /// Y coordinates.
+    pub fn ys(&self) -> &[f32] {
+        &self.ys
+    }
+
+    /// Mutable X coordinates.
+    pub fn xs_mut(&mut self) -> &mut [f32] {
+        &mut self.xs
+    }
+
+    /// Mutable Y coordinates.
+    pub fn ys_mut(&mut self) -> &mut [f32] {
+        &mut self.ys
+    }
+
+    /// Total half-perimeter wirelength over all nets.
+    pub fn hpwl(&self, netlist: &Netlist) -> f64 {
+        let mut total = 0.0f64;
+        for (_, net) in netlist.nets() {
+            let mut min_x = f32::INFINITY;
+            let mut max_x = f32::NEG_INFINITY;
+            let mut min_y = f32::INFINITY;
+            let mut max_y = f32::NEG_INFINITY;
+            for &p in &net.pins {
+                let (x, y) = self.pos(p.0 as usize);
+                min_x = min_x.min(x);
+                max_x = max_x.max(x);
+                min_y = min_y.min(y);
+                max_y = max_y.max(y);
+            }
+            total += f64::from(max_x - min_x) + f64::from(max_y - min_y);
+        }
+        total
+    }
+
+    /// Bounding box of one net as `(x0, y0, x1, y1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the net has no pins.
+    pub fn net_bbox(&self, net: &crate::netlist::Net) -> (f32, f32, f32, f32) {
+        assert!(!net.pins.is_empty(), "net bbox of empty net");
+        let mut min_x = f32::INFINITY;
+        let mut max_x = f32::NEG_INFINITY;
+        let mut min_y = f32::INFINITY;
+        let mut max_y = f32::NEG_INFINITY;
+        for &p in &net.pins {
+            let (x, y) = self.pos(p.0 as usize);
+            min_x = min_x.min(x);
+            max_x = max_x.max(x);
+            min_y = min_y.min(y);
+            max_y = max_y.max(y);
+        }
+        (min_x, min_y, max_x, max_y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::{InstKind, Netlist};
+
+    #[test]
+    fn hpwl_of_two_pin_net() {
+        let mut nl = Netlist::new();
+        let a = nl.add_instance(InstKind::Lut, true);
+        let b = nl.add_instance(InstKind::Lut, true);
+        nl.add_net(vec![a, b]);
+        let mut p = Placement::new(2);
+        p.set_pos(0, 0.0, 0.0);
+        p.set_pos(1, 3.0, 4.0);
+        assert_eq!(p.hpwl(&nl), 7.0);
+    }
+
+    #[test]
+    fn bbox_covers_all_pins() {
+        let mut nl = Netlist::new();
+        let ids: Vec<_> = (0..3).map(|_| nl.add_instance(InstKind::Ff, true)).collect();
+        let n = nl.add_net(ids);
+        let mut p = Placement::new(3);
+        p.set_pos(0, 1.0, 5.0);
+        p.set_pos(1, 4.0, 2.0);
+        p.set_pos(2, 2.0, 3.0);
+        let (x0, y0, x1, y1) = p.net_bbox(nl.net(n));
+        assert_eq!((x0, y0, x1, y1), (1.0, 2.0, 4.0, 5.0));
+    }
+}

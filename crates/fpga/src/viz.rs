@@ -1,0 +1,175 @@
+//! PPM visualization of placements and grid maps (for eyeballing flows and
+//! producing the figure artifacts).
+
+use crate::arch::SiteKind;
+use crate::design::Design;
+use crate::gridmap::GridMap;
+use crate::placement::Placement;
+
+/// An RGB raster image with PPM (P3) serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Image {
+    width: usize,
+    height: usize,
+    pixels: Vec<[u8; 3]>,
+}
+
+impl Image {
+    /// Creates a white image.
+    pub fn new(width: usize, height: usize) -> Self {
+        Image {
+            width,
+            height,
+            pixels: vec![[255, 255, 255]; width * height],
+        }
+    }
+
+    /// Image width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Sets a pixel (no-op out of bounds).
+    pub fn set(&mut self, x: usize, y: usize, rgb: [u8; 3]) {
+        if x < self.width && y < self.height {
+            self.pixels[y * self.width + x] = rgb;
+        }
+    }
+
+    /// The pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, x: usize, y: usize) -> [u8; 3] {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.pixels[y * self.width + x]
+    }
+
+    /// Serializes to ASCII PPM (P3). Row 0 of the image is the *top* row.
+    pub fn to_ppm(&self) -> String {
+        let mut out = format!("P3\n{} {}\n255\n", self.width, self.height);
+        for row in self.pixels.chunks(self.width) {
+            for p in row {
+                out.push_str(&format!("{} {} {} ", p[0], p[1], p[2]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Color of each site kind in placement renders.
+pub fn site_color(kind: SiteKind) -> [u8; 3] {
+    match kind {
+        SiteKind::Clb => [70, 130, 180],  // steel blue
+        SiteKind::Dsp => [205, 92, 92],   // indian red
+        SiteKind::Bram => [60, 179, 113], // medium sea green
+        SiteKind::Uram => [186, 85, 211], // medium orchid
+    }
+}
+
+/// Renders a placement: fabric columns as faint stripes, instances as
+/// colored dots (`pixels_per_unit` controls the resolution).
+pub fn render_placement(design: &Design, placement: &Placement, pixels_per_unit: usize) -> Image {
+    let s = pixels_per_unit.max(1);
+    let w = design.arch.columns() * s;
+    let h = design.arch.rows() * s;
+    let mut img = Image::new(w, h);
+    // faint column stripes for non-CLB columns
+    for x in 0..design.arch.columns() {
+        let kind = design.arch.column_kind(x);
+        if kind == SiteKind::Clb {
+            continue;
+        }
+        let [r, g, b] = site_color(kind);
+        let tint = [
+            r / 4 + 191,
+            g / 4 + 191,
+            b / 4 + 191,
+        ];
+        for py in 0..h {
+            for px in x * s..(x + 1) * s {
+                img.set(px, py, tint);
+            }
+        }
+    }
+    // instances
+    for (id, inst) in design.netlist.instances() {
+        let (x, y) = placement.pos(id.0 as usize);
+        let px = ((x * s as f32) as usize).min(w.saturating_sub(1));
+        // image row 0 is the top: flip y
+        let py_f = design.arch.height() - y - 1.0;
+        let py = ((py_f.max(0.0) * s as f32) as usize).min(h.saturating_sub(1));
+        img.set(px, py, site_color(inst.kind.site_kind()));
+    }
+    img
+}
+
+/// Renders a grid map as a white-to-dark-orange heat map (value range
+/// `[0, max]`, row y=0 at the bottom like the congestion grids).
+pub fn render_heatmap(map: &GridMap, max: f32) -> Image {
+    let mut img = Image::new(map.width(), map.height());
+    let denom = max.max(1e-6);
+    for y in 0..map.height() {
+        for x in 0..map.width() {
+            let v = (map.get(x, y) / denom).clamp(0.0, 1.0);
+            let rgb = [
+                255,
+                (255.0 * (1.0 - 0.65 * v)) as u8,
+                (235.0 * (1.0 - v)) as u8,
+            ];
+            img.set(x, map.height() - 1 - y, rgb);
+        }
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::DesignPreset;
+
+    #[test]
+    fn ppm_header_and_size() {
+        let img = Image::new(3, 2);
+        let ppm = img.to_ppm();
+        assert!(ppm.starts_with("P3\n3 2\n255\n"));
+        // 6 pixels x 3 numbers
+        let nums: Vec<&str> = ppm.split_whitespace().skip(4).collect();
+        assert_eq!(nums.len(), 18);
+    }
+
+    #[test]
+    fn placement_render_marks_instances() {
+        let d = DesignPreset::design_116()
+            .with_scale(512, 64, 32)
+            .generate(1);
+        let p = d.random_placement(2);
+        let img = render_placement(&d, &p, 2);
+        assert_eq!(img.width(), d.arch.columns() * 2);
+        // at least one non-white pixel
+        let colored = (0..img.height())
+            .flat_map(|y| (0..img.width()).map(move |x| (x, y)))
+            .filter(|&(x, y)| img.get(x, y) != [255, 255, 255])
+            .count();
+        assert!(colored > 100, "expected instance dots, got {colored}");
+    }
+
+    #[test]
+    fn heatmap_scales_with_value() {
+        let mut m = GridMap::new(2, 1);
+        m.set(0, 0, 0.0);
+        m.set(1, 0, 7.0);
+        let img = render_heatmap(&m, 7.0);
+        let cold = img.get(0, 0);
+        let hot = img.get(1, 0);
+        assert!(hot[2] < cold[2], "hot pixel should lose blue");
+        assert_eq!(cold, [255, 255, 235]);
+    }
+}

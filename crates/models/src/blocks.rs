@@ -1,0 +1,201 @@
+//! Shared convolutional building blocks: ResNet basic blocks (encoder
+//! downsampling, Sec. III-C1) and decoder up-blocks (Sec. III-D).
+
+use mfaplace_autograd::{Graph, Var};
+use mfaplace_nn::{BatchNorm2d, Conv2d, Module};
+use rand::Rng;
+
+/// A ResNet basic block `conv-bn-relu-conv-bn (+ projection skip) -relu`,
+/// optionally downsampling by stride 2.
+#[derive(Debug)]
+pub struct ResBlock {
+    conv1: Conv2d,
+    bn1: BatchNorm2d,
+    conv2: Conv2d,
+    bn2: BatchNorm2d,
+    proj: Option<(Conv2d, BatchNorm2d)>,
+}
+
+impl ResBlock {
+    /// Creates a block mapping `cin -> cout` with the given stride.
+    pub fn new(
+        g: &mut Graph,
+        cin: usize,
+        cout: usize,
+        stride: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let conv1 = Conv2d::new(g, cin, cout, 3, stride, 1, false, rng);
+        let bn1 = BatchNorm2d::new(g, cout);
+        let conv2 = Conv2d::new(g, cout, cout, 3, 1, 1, false, rng);
+        // Zero-init residual: the block starts as its (projected) skip.
+        let bn2 = BatchNorm2d::new_zero_gamma(g, cout);
+        let proj = (stride != 1 || cin != cout).then(|| {
+            (
+                Conv2d::new(g, cin, cout, 1, stride, 0, false, rng),
+                BatchNorm2d::new(g, cout),
+            )
+        });
+        ResBlock {
+            conv1,
+            bn1,
+            conv2,
+            bn2,
+            proj,
+        }
+    }
+}
+
+impl Module for ResBlock {
+    fn forward(&mut self, g: &mut Graph, x: Var, train: bool) -> Var {
+        let h = self.conv1.forward(g, x, train);
+        let h = self.bn1.forward(g, h, train);
+        let h = g.relu(h);
+        let h = self.conv2.forward(g, h, train);
+        let h = self.bn2.forward(g, h, train);
+        let skip = match &mut self.proj {
+            Some((conv, bn)) => {
+                let s = conv.forward(g, x, train);
+                bn.forward(g, s, train)
+            }
+            None => x,
+        };
+        let sum = g.add(h, skip);
+        g.relu(sum)
+    }
+
+    fn params(&self) -> Vec<Var> {
+        let mut p = self.conv1.params();
+        p.extend(self.bn1.params());
+        p.extend(self.conv2.params());
+        p.extend(self.bn2.params());
+        if let Some((conv, bn)) = &self.proj {
+            p.extend(conv.params());
+            p.extend(bn.params());
+        }
+        p
+    }
+}
+
+/// A plain `conv3x3-bn-relu` stage.
+#[derive(Debug)]
+pub struct ConvBnRelu {
+    conv: Conv2d,
+    bn: BatchNorm2d,
+}
+
+impl ConvBnRelu {
+    /// Creates the stage mapping `cin -> cout` at the given stride.
+    pub fn new(
+        g: &mut Graph,
+        cin: usize,
+        cout: usize,
+        stride: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        ConvBnRelu {
+            conv: Conv2d::new(g, cin, cout, 3, stride, 1, false, rng),
+            bn: BatchNorm2d::new(g, cout),
+        }
+    }
+}
+
+impl Module for ConvBnRelu {
+    fn forward(&mut self, g: &mut Graph, x: Var, train: bool) -> Var {
+        let h = self.conv.forward(g, x, train);
+        let h = self.bn.forward(g, h, train);
+        g.relu(h)
+    }
+
+    fn params(&self) -> Vec<Var> {
+        let mut p = self.conv.params();
+        p.extend(self.bn.params());
+        p
+    }
+}
+
+/// A decoder up-block: 2x nearest upsample, concatenation with the skip
+/// feature, then `conv3x3-bn-relu` (Sec. III-D).
+#[derive(Debug)]
+pub struct UpBlock {
+    fuse: ConvBnRelu,
+}
+
+impl UpBlock {
+    /// Creates an up-block whose fused convolution maps
+    /// `cin_up + cin_skip -> cout`.
+    pub fn new(
+        g: &mut Graph,
+        cin_up: usize,
+        cin_skip: usize,
+        cout: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        UpBlock {
+            fuse: ConvBnRelu::new(g, cin_up + cin_skip, cout, 1, rng),
+        }
+    }
+
+    /// Applies the block; `skip` is `None` for the final full-resolution
+    /// block.
+    pub fn forward_with_skip(
+        &mut self,
+        g: &mut Graph,
+        x: Var,
+        skip: Option<Var>,
+        train: bool,
+    ) -> Var {
+        let up = g.upsample2x(x);
+        let merged = match skip {
+            Some(s) => g.concat_channels(&[up, s]),
+            None => up,
+        };
+        self.fuse.forward(g, merged, train)
+    }
+
+    /// Parameters of the block.
+    pub fn params(&self) -> Vec<Var> {
+        self.fuse.params()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfaplace_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn resblock_downsamples_and_projects() {
+        let mut g = Graph::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut block = ResBlock::new(&mut g, 4, 8, 2, &mut rng);
+        let x = g.constant(Tensor::zeros(vec![1, 4, 16, 16]));
+        let y = block.forward(&mut g, x, true);
+        assert_eq!(g.value(y).shape(), &[1, 8, 8, 8]);
+    }
+
+    #[test]
+    fn resblock_identity_skip_when_same_shape() {
+        let mut g = Graph::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut block = ResBlock::new(&mut g, 4, 4, 1, &mut rng);
+        // identity skip: no projection params
+        assert_eq!(block.params().len(), 2 * 2 + 2); // 2 convs (1 tensor each) + 2 bns (2 each)
+        let x = g.constant(Tensor::zeros(vec![1, 4, 8, 8]));
+        let y = block.forward(&mut g, x, true);
+        assert_eq!(g.value(y).shape(), &[1, 4, 8, 8]);
+    }
+
+    #[test]
+    fn upblock_fuses_skip() {
+        let mut g = Graph::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut up = UpBlock::new(&mut g, 8, 4, 6, &mut rng);
+        let x = g.constant(Tensor::zeros(vec![1, 8, 4, 4]));
+        let skip = g.constant(Tensor::zeros(vec![1, 4, 8, 8]));
+        let y = up.forward_with_skip(&mut g, x, Some(skip), true);
+        assert_eq!(g.value(y).shape(), &[1, 6, 8, 8]);
+    }
+}

@@ -1,0 +1,53 @@
+//! Congestion-prediction models.
+//!
+//! Implements the paper's *multiscale feature attention (MFA) and
+//! transformer based* congestion predictor ([`OursModel`], Figs. 2-5) and
+//! the three published baselines it is compared against in Table I:
+//!
+//! - [`UNetModel`] — the U-Net of Szentimrey et al. \[6\];
+//! - [`PgnnModel`] — PGNN \[7\]: pin-proximity-graph aggregation feeding a
+//!   U-Net (the graph network is modelled as fixed message-passing rounds
+//!   over the pin-proximity grid graph followed by learned 1x1 mixing — see
+//!   `DESIGN.md`);
+//! - [`Pros2Model`] — PROS 2.0 \[8\]: a deeper ResNet encoder with a U-Net
+//!   decoder.
+//!
+//! All models consume the six grid features `[B, 6, H, W]` and emit
+//! per-tile congestion-level logits `[B, 8, H, W]` (levels 0-7). Ablations
+//! of the paper's design choices (no MFA, no transformer) are exposed via
+//! [`OursConfig`].
+//!
+//! # Example
+//!
+//! ```
+//! use mfaplace_autograd::Graph;
+//! use mfaplace_models::{CongestionModel, OursConfig, OursModel};
+//! use mfaplace_tensor::Tensor;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut g = Graph::new();
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let cfg = OursConfig { grid: 32, base_channels: 4, vit_layers: 1, ..OursConfig::default() };
+//! let mut model = OursModel::new(&mut g, cfg, &mut rng);
+//! let x = g.constant(Tensor::zeros(vec![1, 6, 32, 32]));
+//! let logits = model.forward(&mut g, x, false);
+//! assert_eq!(g.value(logits).shape(), &[1, 8, 32, 32]);
+//! ```
+
+mod blocks;
+mod mfa;
+mod model;
+mod ours;
+mod pgnn;
+mod pros2;
+pub mod summary;
+mod unet;
+mod vit;
+
+pub use mfa::{CamBlock, MfaBlock, PamBlock};
+pub use model::{expected_levels, predicted_classes, CongestionModel, NUM_LEVEL_CLASSES};
+pub use ours::{OursConfig, OursModel};
+pub use pgnn::PgnnModel;
+pub use pros2::Pros2Model;
+pub use unet::UNetModel;
+pub use vit::VitStage;

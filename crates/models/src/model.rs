@@ -1,0 +1,100 @@
+use mfaplace_autograd::{Graph, Var};
+use mfaplace_tensor::Tensor;
+
+/// Number of congestion-level classes (levels `0..=7`).
+pub const NUM_LEVEL_CLASSES: usize = 8;
+
+/// A congestion-prediction network: features in, level logits out.
+pub trait CongestionModel {
+    /// Builds the forward pass from `x: [B, 6, H, W]` to logits
+    /// `[B, 8, H, W]`.
+    fn forward(&mut self, g: &mut Graph, x: Var, train: bool) -> Var;
+
+    /// All trainable parameters.
+    fn params(&self) -> Vec<Var>;
+
+    /// Model name as used in the paper's tables.
+    fn name(&self) -> &str;
+}
+
+/// Converts logits `[B, K, H, W]` into the *expected* congestion level per
+/// tile, `sum_k k * softmax_k`, shaped `[B, H, W]`. This continuous estimate
+/// feeds the R^2/NRMS metrics and the placement flow's inflation.
+pub fn expected_levels(logits: &Tensor) -> Tensor {
+    let (b, k, h, w) = logits.dims4();
+    let hw = h * w;
+    let mut out = vec![0.0f32; b * hw];
+    let src = logits.data();
+    for bi in 0..b {
+        for p in 0..hw {
+            let mut m = f32::NEG_INFINITY;
+            for ki in 0..k {
+                m = m.max(src[(bi * k + ki) * hw + p]);
+            }
+            let mut z = 0.0f32;
+            let mut acc = 0.0f32;
+            for ki in 0..k {
+                let e = (src[(bi * k + ki) * hw + p] - m).exp();
+                z += e;
+                acc += ki as f32 * e;
+            }
+            out[bi * hw + p] = acc / z;
+        }
+    }
+    Tensor::from_vec(vec![b, h, w], out).expect("expected levels")
+}
+
+/// Converts logits `[B, K, H, W]` into argmax class ids per tile (for the
+/// ACC metric), shaped `[B*H*W]`.
+pub fn predicted_classes(logits: &Tensor) -> Vec<u8> {
+    let (b, k, h, w) = logits.dims4();
+    let hw = h * w;
+    let src = logits.data();
+    let mut out = vec![0u8; b * hw];
+    for bi in 0..b {
+        for p in 0..hw {
+            let mut best = 0usize;
+            let mut best_v = f32::NEG_INFINITY;
+            for ki in 0..k {
+                let v = src[(bi * k + ki) * hw + p];
+                if v > best_v {
+                    best_v = v;
+                    best = ki;
+                }
+            }
+            out[bi * hw + p] = best as u8;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expected_levels_of_uniform_logits_is_midpoint() {
+        let logits = Tensor::zeros(vec![1, 8, 2, 2]);
+        let levels = expected_levels(&logits);
+        // uniform over 0..=7 -> 3.5
+        for &v in levels.data() {
+            assert!((v - 3.5).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn expected_levels_tracks_peaked_logits() {
+        let mut logits = Tensor::zeros(vec![1, 8, 1, 1]);
+        logits.set(&[0, 5, 0, 0], 50.0);
+        let levels = expected_levels(&logits);
+        assert!((levels.data()[0] - 5.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn predicted_classes_argmax() {
+        let mut logits = Tensor::zeros(vec![1, 8, 1, 2]);
+        logits.set(&[0, 3, 0, 0], 2.0);
+        logits.set(&[0, 7, 0, 1], 2.0);
+        assert_eq!(predicted_classes(&logits), vec![3, 7]);
+    }
+}

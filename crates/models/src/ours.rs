@@ -1,0 +1,317 @@
+//! The paper's full congestion-prediction model (Figs. 2 and 5).
+//!
+//! Encoder: four ResNet CNN layers halving the resolution and doubling the
+//! channels (`C, 2C, 4C, 8C` at `H/2 .. H/16`), each followed by an MFA
+//! block on the skip connection, plus one more MFA block before the vision
+//! transformer stage at the bottleneck. Decoder: four up-blocks fusing the
+//! MFA-enhanced skips, ending in an 8-class (`levels 0..=7`) pixel
+//! classifier.
+//!
+//! [`OursConfig`] exposes the paper's two design knobs as ablations:
+//! `use_mfa` (MFA blocks on skips/bottleneck vs identity) and `vit_layers`
+//! (0 disables the transformer stage).
+
+use mfaplace_autograd::{Graph, Var};
+use mfaplace_nn::{Conv2d, Module};
+use rand::Rng;
+
+use crate::blocks::{ConvBnRelu, ResBlock, UpBlock};
+use crate::mfa::MfaBlock;
+use crate::model::{CongestionModel, NUM_LEVEL_CLASSES};
+use crate::vit::VitStage;
+
+/// Model hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OursConfig {
+    /// Input grid side (`H = W`); the paper uses 256, the scaled
+    /// experiments 64.
+    pub grid: usize,
+    /// Base channel count `C` (the paper's figure annotates `C`; the scaled
+    /// experiments use 8).
+    pub base_channels: usize,
+    /// Transformer depth `L` (paper: 12; 0 disables the stage).
+    pub vit_layers: usize,
+    /// Attention heads in each transformer layer.
+    pub vit_heads: usize,
+    /// Whether MFA blocks are applied (ablation knob).
+    pub use_mfa: bool,
+    /// MFA channel-reduction factor (paper: 16; scaled runs use less so the
+    /// reduced feature keeps multiple channels).
+    pub mfa_reduction: usize,
+}
+
+impl Default for OursConfig {
+    fn default() -> Self {
+        OursConfig {
+            grid: 64,
+            base_channels: 8,
+            vit_layers: 3,
+            vit_heads: 4,
+            use_mfa: true,
+            mfa_reduction: 4,
+        }
+    }
+}
+
+/// The MFA + transformer congestion-prediction model.
+#[derive(Debug)]
+pub struct OursModel {
+    config: OursConfig,
+    name: String,
+    down1: ResBlock,
+    down2: ResBlock,
+    down3: ResBlock,
+    down4: ResBlock,
+    mfa1: Option<MfaBlock>,
+    mfa2: Option<MfaBlock>,
+    mfa3: Option<MfaBlock>,
+    mfa4: Option<MfaBlock>,
+    mfa_pre_vit: Option<MfaBlock>,
+    vit: Option<VitStage>,
+    up1: UpBlock,
+    up2: UpBlock,
+    up3: UpBlock,
+    up4: UpBlock,
+    head: Conv2d,
+    stem: ConvBnRelu,
+}
+
+impl OursModel {
+    /// Builds the model, registering all parameters on `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.grid` is not divisible by 16.
+    pub fn new(g: &mut Graph, config: OursConfig, rng: &mut impl Rng) -> Self {
+        assert_eq!(config.grid % 16, 0, "grid must be divisible by 16");
+        let c = config.base_channels;
+        let stem = ConvBnRelu::new(g, 6, c, 1, rng);
+        let down1 = ResBlock::new(g, c, c, 2, rng);
+        let down2 = ResBlock::new(g, c, 2 * c, 2, rng);
+        let down3 = ResBlock::new(g, 2 * c, 4 * c, 2, rng);
+        let down4 = ResBlock::new(g, 4 * c, 8 * c, 2, rng);
+        let red = config.mfa_reduction;
+        let mfa1 = config.use_mfa.then(|| MfaBlock::with_reduction(g, c, red, rng));
+        let mfa2 = config.use_mfa.then(|| MfaBlock::with_reduction(g, 2 * c, red, rng));
+        let mfa3 = config.use_mfa.then(|| MfaBlock::with_reduction(g, 4 * c, red, rng));
+        let mfa4 = config.use_mfa.then(|| MfaBlock::with_reduction(g, 8 * c, red, rng));
+        let mfa_pre_vit = config.use_mfa.then(|| MfaBlock::with_reduction(g, 8 * c, red, rng));
+        let vit = (config.vit_layers > 0).then(|| {
+            VitStage::new(
+                g,
+                8 * c,
+                config.grid / 16,
+                8 * c,
+                config.vit_layers,
+                config.vit_heads,
+                rng,
+            )
+        });
+        // Decoder widths per Fig. 5: [2C, H/8], [C, H/4], [C/2, H/2], 8 @ H.
+        let up1 = UpBlock::new(g, 8 * c, 4 * c, 2 * c, rng);
+        let up2 = UpBlock::new(g, 2 * c, 2 * c, c, rng);
+        let up3 = UpBlock::new(g, c, c, (c / 2).max(1), rng);
+        let up4 = UpBlock::new(g, (c / 2).max(1), 0, (c / 2).max(1), rng);
+        let head = Conv2d::new(g, (c / 2).max(1), NUM_LEVEL_CLASSES, 1, 1, 0, true, rng);
+        let name = match (config.use_mfa, config.vit_layers > 0) {
+            (true, true) => "Ours".to_string(),
+            (false, true) => "Ours-noMFA".to_string(),
+            (true, false) => "Ours-noViT".to_string(),
+            (false, false) => "Ours-backbone".to_string(),
+        };
+        OursModel {
+            config,
+            name,
+            down1,
+            down2,
+            down3,
+            down4,
+            mfa1,
+            mfa2,
+            mfa3,
+            mfa4,
+            mfa_pre_vit,
+            vit,
+            up1,
+            up2,
+            up3,
+            up4,
+            head,
+            stem,
+        }
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &OursConfig {
+        &self.config
+    }
+}
+
+fn maybe(g: &mut Graph, block: &mut Option<MfaBlock>, x: Var, train: bool) -> Var {
+    match block {
+        Some(b) => b.forward(g, x, train),
+        None => x,
+    }
+}
+
+impl CongestionModel for OursModel {
+    fn forward(&mut self, g: &mut Graph, x: Var, train: bool) -> Var {
+        let s = self.stem.forward(g, x, train); // [C, H, W]
+        let d1 = self.down1.forward(g, s, train); // [C, H/2]
+        let d2 = self.down2.forward(g, d1, train); // [2C, H/4]
+        let d3 = self.down3.forward(g, d2, train); // [4C, H/8]
+        let d4 = self.down4.forward(g, d3, train); // [8C, H/16]
+        let s1 = maybe(g, &mut self.mfa1, d1, train);
+        let s2 = maybe(g, &mut self.mfa2, d2, train);
+        let s3 = maybe(g, &mut self.mfa3, d3, train);
+        let s4 = maybe(g, &mut self.mfa4, d4, train);
+        let pre = maybe(g, &mut self.mfa_pre_vit, s4, train);
+        let bottleneck = match &mut self.vit {
+            Some(vit) => vit.forward(g, pre, train),
+            None => pre,
+        };
+        let u1 = self
+            .up1
+            .forward_with_skip(g, bottleneck, Some(s3), train); // [2C, H/8]
+        let u2 = self.up2.forward_with_skip(g, u1, Some(s2), train); // [C, H/4]
+        let u3 = self.up3.forward_with_skip(g, u2, Some(s1), train); // [C/2, H/2]
+        let u4 = self.up4.forward_with_skip(g, u3, None, train); // [C/2, H]
+        self.head.forward(g, u4, train) // [8, H, W]
+    }
+
+    fn params(&self) -> Vec<Var> {
+        let mut p = self.stem.params();
+        for blk in [&self.down1, &self.down2, &self.down3, &self.down4] {
+            p.extend(blk.params());
+        }
+        for mfa in [
+            &self.mfa1,
+            &self.mfa2,
+            &self.mfa3,
+            &self.mfa4,
+            &self.mfa_pre_vit,
+        ]
+        .into_iter()
+        .flatten()
+        {
+            p.extend(mfa.params());
+        }
+        if let Some(vit) = &self.vit {
+            p.extend(vit.params());
+        }
+        for up in [&self.up1, &self.up2, &self.up3, &self.up4] {
+            p.extend(up.params());
+        }
+        p.extend(self.head.params());
+        p
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfaplace_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_cfg() -> OursConfig {
+        OursConfig {
+            grid: 32,
+            base_channels: 4,
+            vit_layers: 1,
+            vit_heads: 2,
+            use_mfa: true,
+            mfa_reduction: 16,
+        }
+    }
+
+    #[test]
+    fn forward_shape_matches_fig5() {
+        let mut g = Graph::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = OursModel::new(&mut g, tiny_cfg(), &mut rng);
+        let x = g.constant(Tensor::randn(vec![2, 6, 32, 32], 1.0, &mut rng));
+        let y = model.forward(&mut g, x, true);
+        assert_eq!(g.value(y).shape(), &[2, 8, 32, 32]);
+    }
+
+    #[test]
+    fn ablations_change_name_and_params() {
+        let mut g = Graph::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let full = OursModel::new(&mut g, tiny_cfg(), &mut rng);
+        let no_mfa = OursModel::new(
+            &mut g,
+            OursConfig {
+                use_mfa: false,
+                ..tiny_cfg()
+            },
+            &mut rng,
+        );
+        let no_vit = OursModel::new(
+            &mut g,
+            OursConfig {
+                vit_layers: 0,
+                ..tiny_cfg()
+            },
+            &mut rng,
+        );
+        assert_eq!(full.name(), "Ours");
+        assert_eq!(no_mfa.name(), "Ours-noMFA");
+        assert_eq!(no_vit.name(), "Ours-noViT");
+        assert!(full.params().len() > no_mfa.params().len());
+        assert!(full.params().len() > no_vit.params().len());
+    }
+
+    #[test]
+    fn all_params_receive_gradients() {
+        let mut g = Graph::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut model = OursModel::new(&mut g, tiny_cfg(), &mut rng);
+        let x = g.constant(Tensor::randn(vec![1, 6, 32, 32], 1.0, &mut rng));
+        let logits = model.forward(&mut g, x, true);
+        let labels = vec![1u8; 32 * 32];
+        let loss = g.cross_entropy2d(logits, &labels, None);
+        g.backward(loss);
+        let missing = model
+            .params()
+            .iter()
+            .filter(|&&p| g.grad(p).is_none())
+            .count();
+        assert_eq!(missing, 0, "{missing} params without gradient");
+    }
+
+    #[test]
+    fn one_training_step_reduces_loss() {
+        let mut g = Graph::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut model = OursModel::new(&mut g, tiny_cfg(), &mut rng);
+        let mut opt = mfaplace_nn::Adam::new(2e-3);
+        let params = model.params();
+        let mark = g.mark();
+        let xt = Tensor::randn(vec![1, 6, 32, 32], 1.0, &mut rng);
+        let labels = vec![2u8; 32 * 32];
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..5 {
+            let x = g.constant(xt.clone());
+            let logits = model.forward(&mut g, x, true);
+            let loss = g.cross_entropy2d(logits, &labels, None);
+            last = g.value(loss).item();
+            first.get_or_insert(last);
+            g.zero_grads();
+            g.backward(loss);
+            opt.step(&mut g, &params);
+            g.truncate(mark);
+        }
+        assert!(
+            last < first.unwrap(),
+            "loss did not decrease: {} -> {last}",
+            first.unwrap()
+        );
+    }
+}

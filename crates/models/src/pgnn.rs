@@ -1,0 +1,134 @@
+//! The PGNN baseline \[7\]: pin-accessibility information from a pin
+//! proximity graph feeding a U-Net.
+//!
+//! PGNN builds a graph over pins and runs a GNN whose per-pin embeddings
+//! are rasterized into extra U-Net input channels. On the grid substrate
+//! the pin-proximity graph is the 8-neighbour tile graph weighted by pin
+//! density, so the GNN's message passing is modelled as `K` rounds of
+//! neighbour aggregation over that graph implemented exactly (a fixed
+//! 3x3 adjacency convolution per round) followed by *learned* 1x1 channel
+//! mixing — the learnable part of the aggregation. See `DESIGN.md` for the
+//! substitution note.
+
+use mfaplace_autograd::{Graph, Var};
+use mfaplace_nn::{Conv2d, Module};
+use mfaplace_tensor::Tensor;
+use rand::Rng;
+
+use crate::model::CongestionModel;
+use crate::unet::UNetModel;
+
+/// Number of message-passing rounds.
+const GNN_ROUNDS: usize = 2;
+
+/// The PGNN congestion predictor.
+#[derive(Debug)]
+pub struct PgnnModel {
+    /// Learned mixing after each aggregation round.
+    mixes: Vec<Conv2d>,
+    /// Projects 6 raw + aggregated channels back to the 6-channel U-Net
+    /// input contract.
+    fuse: Conv2d,
+    unet: UNetModel,
+}
+
+impl PgnnModel {
+    /// Builds the model with U-Net base channels `c`.
+    pub fn new(g: &mut Graph, c: usize, rng: &mut impl Rng) -> Self {
+        PgnnModel {
+            mixes: (0..GNN_ROUNDS)
+                .map(|_| Conv2d::new(g, 6, 6, 1, 1, 0, true, rng))
+                .collect(),
+            fuse: Conv2d::new(g, 12, 6, 1, 1, 0, true, rng),
+            unet: UNetModel::new(g, c, rng),
+        }
+    }
+
+}
+
+/// One neighbour-aggregation round over the 8-neighbour tile graph: a fixed
+/// normalized 3x3 box kernel applied depthwise (non-trainable).
+fn aggregate(g: &mut Graph, x: Var) -> Var {
+    let (_, ch, _, _) = g.value(x).dims4();
+    let mut w = Tensor::zeros(vec![ch, ch, 3, 3]);
+    for c in 0..ch {
+        for ky in 0..3 {
+            for kx in 0..3 {
+                w.set(&[c, c, ky, kx], 1.0 / 9.0);
+            }
+        }
+    }
+    let wv = g.constant(w);
+    g.conv2d(x, wv, 1, 1)
+}
+
+impl CongestionModel for PgnnModel {
+    fn forward(&mut self, g: &mut Graph, x: Var, train: bool) -> Var {
+        // GNN part: aggregation + learned mixing rounds, producing pin
+        // accessibility embeddings.
+        let mut h = x;
+        for mix in &mut self.mixes {
+            let agg = aggregate(g, h);
+            let mixed = mix.forward(g, agg, train);
+            h = g.relu(mixed);
+        }
+        // Concatenate raw features with embeddings, fuse, run U-Net.
+        let cat = g.concat_channels(&[x, h]);
+        let fused = self.fuse.forward(g, cat, train);
+        self.unet.forward(g, fused, train)
+    }
+
+    fn params(&self) -> Vec<Var> {
+        let mut p: Vec<Var> = self.mixes.iter().flat_map(Conv2d::params).collect();
+        p.extend(self.fuse.params());
+        p.extend(self.unet.params());
+        p
+    }
+
+    fn name(&self) -> &str {
+        "PGNN"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pgnn_shape() {
+        let mut g = Graph::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = PgnnModel::new(&mut g, 4, &mut rng);
+        let x = g.constant(Tensor::randn(vec![1, 6, 32, 32], 1.0, &mut rng));
+        let y = model.forward(&mut g, x, true);
+        assert_eq!(g.value(y).shape(), &[1, 8, 32, 32]);
+    }
+
+    #[test]
+    fn aggregation_averages_neighbours() {
+        let mut g = Graph::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let _model = PgnnModel::new(&mut g, 4, &mut rng);
+        // A single hot pixel spreads to its 3x3 neighbourhood.
+        let mut xt = Tensor::zeros(vec![1, 6, 5, 5]);
+        xt.set(&[0, 0, 2, 2], 9.0);
+        let x = g.constant(xt);
+        let y = aggregate(&mut g, x);
+        assert!((g.value(y).at(&[0, 0, 2, 2]) - 1.0).abs() < 1e-5);
+        assert!((g.value(y).at(&[0, 0, 1, 1]) - 1.0).abs() < 1e-5);
+        assert_eq!(g.value(y).at(&[0, 0, 4, 4]), 0.0);
+        // Other channels untouched (depthwise).
+        assert_eq!(g.value(y).at(&[0, 1, 2, 2]), 0.0);
+    }
+
+    #[test]
+    fn pgnn_has_more_params_than_unet() {
+        let mut g = Graph::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let pgnn = PgnnModel::new(&mut g, 4, &mut rng);
+        let unet = UNetModel::new(&mut g, 4, &mut rng);
+        assert!(pgnn.params().len() > unet.params().len());
+    }
+}

@@ -1,0 +1,113 @@
+//! The PROS 2.0 baseline \[8\]: a ResNet encoder (two basic blocks per
+//! level) with a U-Net decoder — stronger local feature extraction than
+//! plain U-Net, but no attention and no global (transformer) stage.
+
+use mfaplace_autograd::{Graph, Var};
+use mfaplace_nn::{Conv2d, Module};
+use rand::Rng;
+
+use crate::blocks::{ConvBnRelu, ResBlock, UpBlock};
+use crate::model::{CongestionModel, NUM_LEVEL_CLASSES};
+
+/// The PROS 2.0 congestion predictor.
+#[derive(Debug)]
+pub struct Pros2Model {
+    stem: ConvBnRelu,
+    levels: Vec<(ResBlock, ResBlock)>,
+    up1: UpBlock,
+    up2: UpBlock,
+    up3: UpBlock,
+    up4: UpBlock,
+    head: Conv2d,
+}
+
+impl Pros2Model {
+    /// Builds the model with base channel count `c`.
+    pub fn new(g: &mut Graph, c: usize, rng: &mut impl Rng) -> Self {
+        let widths = [(6usize, c), (c, 2 * c), (2 * c, 4 * c), (4 * c, 8 * c)];
+        let stem = ConvBnRelu::new(g, 6, 6, 1, rng);
+        let levels = widths
+            .iter()
+            .map(|&(cin, cout)| {
+                (
+                    ResBlock::new(g, cin, cout, 2, rng),
+                    ResBlock::new(g, cout, cout, 1, rng),
+                )
+            })
+            .collect();
+        Pros2Model {
+            stem,
+            levels,
+            up1: UpBlock::new(g, 8 * c, 4 * c, 4 * c, rng),
+            up2: UpBlock::new(g, 4 * c, 2 * c, 2 * c, rng),
+            up3: UpBlock::new(g, 2 * c, c, c, rng),
+            up4: UpBlock::new(g, c, 0, c, rng),
+            head: Conv2d::new(g, c, NUM_LEVEL_CLASSES, 1, 1, 0, true, rng),
+        }
+    }
+}
+
+impl CongestionModel for Pros2Model {
+    fn forward(&mut self, g: &mut Graph, x: Var, train: bool) -> Var {
+        let mut h = self.stem.forward(g, x, train);
+        let mut skips = Vec::with_capacity(4);
+        for (down, refine) in &mut self.levels {
+            h = down.forward(g, h, train);
+            h = refine.forward(g, h, train);
+            skips.push(h);
+        }
+        // skips: [C,H/2], [2C,H/4], [4C,H/8], [8C,H/16]
+        let u1 = self
+            .up1
+            .forward_with_skip(g, skips[3], Some(skips[2]), train);
+        let u2 = self.up2.forward_with_skip(g, u1, Some(skips[1]), train);
+        let u3 = self.up3.forward_with_skip(g, u2, Some(skips[0]), train);
+        let u4 = self.up4.forward_with_skip(g, u3, None, train);
+        self.head.forward(g, u4, train)
+    }
+
+    fn params(&self) -> Vec<Var> {
+        let mut p = self.stem.params();
+        for (a, b) in &self.levels {
+            p.extend(a.params());
+            p.extend(b.params());
+        }
+        for up in [&self.up1, &self.up2, &self.up3, &self.up4] {
+            p.extend(up.params());
+        }
+        p.extend(self.head.params());
+        p
+    }
+
+    fn name(&self) -> &str {
+        "PROS2.0"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfaplace_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pros2_shape() {
+        let mut g = Graph::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = Pros2Model::new(&mut g, 4, &mut rng);
+        let x = g.constant(Tensor::randn(vec![1, 6, 32, 32], 1.0, &mut rng));
+        let y = model.forward(&mut g, x, true);
+        assert_eq!(g.value(y).shape(), &[1, 8, 32, 32]);
+        assert_eq!(model.name(), "PROS2.0");
+    }
+
+    #[test]
+    fn pros2_deeper_than_unet() {
+        let mut g = Graph::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let pros2 = Pros2Model::new(&mut g, 4, &mut rng);
+        let unet = crate::UNetModel::new(&mut g, 4, &mut rng);
+        assert!(pros2.params().len() > unet.params().len());
+    }
+}

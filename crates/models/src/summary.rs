@@ -1,0 +1,115 @@
+//! Architecture summaries reproducing the shape annotations of Figs. 2 and
+//! 5 of the paper.
+
+use crate::OursConfig;
+
+/// One summarized stage: name and output shape `[channels, height, width]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageShape {
+    /// Stage name as labelled in Fig. 5.
+    pub name: String,
+    /// Output channels.
+    pub channels: usize,
+    /// Output height.
+    pub height: usize,
+    /// Output width.
+    pub width: usize,
+}
+
+impl StageShape {
+    fn new(name: &str, channels: usize, side: usize) -> Self {
+        StageShape {
+            name: name.to_string(),
+            channels,
+            height: side,
+            width: side,
+        }
+    }
+}
+
+/// Produces the stage-by-stage output sizes of the paper's model (Fig. 5):
+/// the encoder downsampling chain, MFA blocks, transformer stage and
+/// decoder up-blocks.
+pub fn ours_stage_shapes(cfg: &OursConfig) -> Vec<StageShape> {
+    let c = cfg.base_channels;
+    let h = cfg.grid;
+    let mut stages = vec![
+        StageShape::new("Input (grid features)", 6, h),
+        StageShape::new("Stem conv", c, h),
+        StageShape::new("Down1 (ResNet)", c, h / 2),
+        StageShape::new("MFA1 (skip)", c, h / 2),
+        StageShape::new("Down2 (ResNet)", 2 * c, h / 4),
+        StageShape::new("MFA2 (skip)", 2 * c, h / 4),
+        StageShape::new("Down3 (ResNet)", 4 * c, h / 8),
+        StageShape::new("MFA3 (skip)", 4 * c, h / 8),
+        StageShape::new("Down4 (ResNet)", 8 * c, h / 16),
+        StageShape::new("MFA4", 8 * c, h / 16),
+        StageShape::new("MFA (pre-ViT)", 8 * c, h / 16),
+    ];
+    if cfg.vit_layers > 0 {
+        stages.push(StageShape::new(
+            &format!("ViT x{} ({} tokens)", cfg.vit_layers, (h / 16) * (h / 16)),
+            8 * c,
+            h / 16,
+        ));
+    }
+    stages.extend([
+        StageShape::new("Up1 (+MFA3 skip)", 2 * c, h / 8),
+        StageShape::new("Up2 (+MFA2 skip)", c, h / 4),
+        StageShape::new("Up3 (+MFA1 skip)", (c / 2).max(1), h / 2),
+        StageShape::new("Up4", (c / 2).max(1), h),
+        StageShape::new("Head (level logits)", 8, h),
+        StageShape::new("Softmax -> congestion map", 1, h),
+    ]);
+    stages
+}
+
+/// Renders the stage table as aligned text (the `fig5` bench binary prints
+/// this).
+pub fn render_stage_table(stages: &[StageShape]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<28} {:>18}\n", "Stage", "Output size"));
+    out.push_str(&format!("{:-<28} {:->18}\n", "", ""));
+    for s in stages {
+        out.push_str(&format!(
+            "{:<28} {:>18}\n",
+            s.name,
+            format!("[{}, {}, {}]", s.channels, s.height, s.width)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_shape_progression() {
+        let cfg = OursConfig {
+            grid: 256,
+            base_channels: 16,
+            vit_layers: 12,
+            vit_heads: 4,
+            use_mfa: true,
+            mfa_reduction: 16,
+        };
+        let stages = ours_stage_shapes(&cfg);
+        // The paper's annotated sizes at full scale.
+        let down4 = stages.iter().find(|s| s.name.starts_with("Down4")).unwrap();
+        assert_eq!((down4.channels, down4.height), (128, 16)); // [8C, H/16]
+        let up1 = stages.iter().find(|s| s.name.starts_with("Up1")).unwrap();
+        assert_eq!((up1.channels, up1.height), (32, 32)); // [2C, H/8]
+        let last = stages.last().unwrap();
+        assert_eq!((last.channels, last.height), (1, 256)); // 1 x H x W
+    }
+
+    #[test]
+    fn render_contains_all_stages() {
+        let stages = ours_stage_shapes(&OursConfig::default());
+        let table = render_stage_table(&stages);
+        for s in &stages {
+            assert!(table.contains(&s.name), "missing stage {}", s.name);
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! The U-Net baseline \[6\]: plain conv-bn-relu encoder levels with max
+//! pooling, a convolutional bottleneck, and upsample+skip decoder levels —
+//! no residual blocks, no attention, no transformer.
+
+use mfaplace_autograd::{Graph, Var};
+use mfaplace_nn::{Conv2d, Module};
+use rand::Rng;
+
+use crate::blocks::{ConvBnRelu, UpBlock};
+use crate::model::{CongestionModel, NUM_LEVEL_CLASSES};
+
+/// The U-Net congestion predictor.
+#[derive(Debug)]
+pub struct UNetModel {
+    enc1: ConvBnRelu,
+    enc2: ConvBnRelu,
+    enc3: ConvBnRelu,
+    enc4: ConvBnRelu,
+    bottleneck: ConvBnRelu,
+    up1: UpBlock,
+    up2: UpBlock,
+    up3: UpBlock,
+    up4: UpBlock,
+    head: Conv2d,
+}
+
+impl UNetModel {
+    /// Builds the model with base channel count `c`.
+    pub fn new(g: &mut Graph, c: usize, rng: &mut impl Rng) -> Self {
+        UNetModel {
+            enc1: ConvBnRelu::new(g, 6, c, 1, rng),
+            enc2: ConvBnRelu::new(g, c, 2 * c, 1, rng),
+            enc3: ConvBnRelu::new(g, 2 * c, 4 * c, 1, rng),
+            enc4: ConvBnRelu::new(g, 4 * c, 8 * c, 1, rng),
+            bottleneck: ConvBnRelu::new(g, 8 * c, 8 * c, 1, rng),
+            up1: UpBlock::new(g, 8 * c, 8 * c, 4 * c, rng),
+            up2: UpBlock::new(g, 4 * c, 4 * c, 2 * c, rng),
+            up3: UpBlock::new(g, 2 * c, 2 * c, c, rng),
+            up4: UpBlock::new(g, c, c, c, rng),
+            head: Conv2d::new(g, c, NUM_LEVEL_CLASSES, 1, 1, 0, true, rng),
+        }
+    }
+}
+
+impl CongestionModel for UNetModel {
+    fn forward(&mut self, g: &mut Graph, x: Var, train: bool) -> Var {
+        let e1 = self.enc1.forward(g, x, train); // [C, H]
+        let p1 = g.maxpool2x2(e1);
+        let e2 = self.enc2.forward(g, p1, train); // [2C, H/2]
+        let p2 = g.maxpool2x2(e2);
+        let e3 = self.enc3.forward(g, p2, train); // [4C, H/4]
+        let p3 = g.maxpool2x2(e3);
+        let e4 = self.enc4.forward(g, p3, train); // [8C, H/8]
+        let p4 = g.maxpool2x2(e4);
+        let b = self.bottleneck.forward(g, p4, train); // [8C, H/16]
+        let u1 = self.up1.forward_with_skip(g, b, Some(e4), train);
+        let u2 = self.up2.forward_with_skip(g, u1, Some(e3), train);
+        let u3 = self.up3.forward_with_skip(g, u2, Some(e2), train);
+        let u4 = self.up4.forward_with_skip(g, u3, Some(e1), train);
+        self.head.forward(g, u4, train)
+    }
+
+    fn params(&self) -> Vec<Var> {
+        let mut p = self.enc1.params();
+        p.extend(self.enc2.params());
+        p.extend(self.enc3.params());
+        p.extend(self.enc4.params());
+        p.extend(self.bottleneck.params());
+        for up in [&self.up1, &self.up2, &self.up3, &self.up4] {
+            p.extend(up.params());
+        }
+        p.extend(self.head.params());
+        p
+    }
+
+    fn name(&self) -> &str {
+        "U-net"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfaplace_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn unet_shape() {
+        let mut g = Graph::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = UNetModel::new(&mut g, 4, &mut rng);
+        let x = g.constant(Tensor::randn(vec![1, 6, 32, 32], 1.0, &mut rng));
+        let y = model.forward(&mut g, x, true);
+        assert_eq!(g.value(y).shape(), &[1, 8, 32, 32]);
+        assert_eq!(model.name(), "U-net");
+    }
+}

@@ -1,0 +1,147 @@
+//! The vision-transformer stage at the U-Net bottleneck (Sec. III-C3,
+//! Fig. 4): an embedding layer reshapes the `[8C, H/16, W/16]` feature into
+//! `L = (H/16)(W/16)` tokens of dimension `C_t`, adds a learned positional
+//! embedding, applies `L` transformer layers, and projects back to the
+//! spatial feature map.
+
+use mfaplace_autograd::{Graph, Var};
+use mfaplace_nn::{Conv2d, Module, TransformerBlock};
+use mfaplace_tensor::Tensor;
+use rand::Rng;
+
+/// The complete bottleneck transformer stage.
+#[derive(Debug)]
+pub struct VitStage {
+    embed: Conv2d,
+    pos: Var,
+    layers: Vec<TransformerBlock>,
+    unembed: Conv2d,
+    token_dim: usize,
+    tokens: usize,
+}
+
+impl VitStage {
+    /// Creates the stage for a `[channels, side, side]` bottleneck with
+    /// `depth` transformer layers of `heads` heads (the paper uses depth 12
+    /// at full scale).
+    pub fn new(
+        g: &mut Graph,
+        channels: usize,
+        side: usize,
+        token_dim: usize,
+        depth: usize,
+        heads: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let tokens = side * side;
+        VitStage {
+            embed: Conv2d::new(g, channels, token_dim, 1, 1, 0, true, rng),
+            pos: g.param(Tensor::randn(vec![tokens, token_dim], 0.02, rng)),
+            layers: (0..depth)
+                .map(|_| TransformerBlock::new(g, token_dim, heads, 2, 0.0, rng))
+                .collect(),
+            // Zero-init unembed + outer residual: the stage starts as the
+            // identity on the bottleneck and learns its global-context
+            // contribution.
+            unembed: Conv2d::new_zeroed(g, token_dim, channels, 1, 1, 0, true),
+            token_dim,
+            tokens,
+        }
+    }
+
+    /// Number of tokens `L`.
+    pub fn tokens(&self) -> usize {
+        self.tokens
+    }
+
+    /// Transformer depth.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+}
+
+impl Module for VitStage {
+    fn forward(&mut self, g: &mut Graph, x: Var, train: bool) -> Var {
+        let (b, _c, h, w) = g.value(x).dims4();
+        assert_eq!(h * w, self.tokens, "vit token count mismatch");
+        let e = self.embed.forward(g, x, train); // [B, Ct, h, w]
+        let e = g.reshape(e, vec![b, self.token_dim, self.tokens]);
+        let mut z = g.permute(e, &[0, 2, 1]); // [B, L, Ct]
+        // Learned positional embedding, tiled across the batch.
+        if b == 1 {
+            let pos = g.reshape(self.pos, vec![1, self.tokens, self.token_dim]);
+            z = g.add(z, pos);
+        } else {
+            let pos4 = g.reshape(self.pos, vec![1, 1, self.tokens, self.token_dim]);
+            let tiles = vec![pos4; b];
+            let stacked = concat_batch(g, &tiles); // [B, 1, L, Ct]
+            let stacked = g.reshape(stacked, vec![b, self.tokens, self.token_dim]);
+            z = g.add(z, stacked);
+        }
+        for layer in &mut self.layers {
+            z = layer.forward(g, z, train);
+        }
+        let z = g.permute(z, &[0, 2, 1]); // [B, Ct, L]
+        let z = g.reshape(z, vec![b, self.token_dim, h, w]);
+        let projected = self.unembed.forward(g, z, train);
+        g.add(projected, x)
+    }
+
+    fn params(&self) -> Vec<Var> {
+        let mut p = self.embed.params();
+        p.push(self.pos);
+        for l in &self.layers {
+            p.extend(l.params());
+        }
+        p.extend(self.unembed.params());
+        p
+    }
+}
+
+/// Concatenates `[1, C, H, W]` nodes along the batch axis by permuting the
+/// batch into the channel position (channel concat is the primitive).
+fn concat_batch(g: &mut Graph, parts: &[Var]) -> Var {
+    // [1, C, H, W] -> concat on axis 1 -> [1, B*C, H, W] -> reshape [B, C, H, W]
+    let shape = g.value(parts[0]).shape().to_vec();
+    let cat = g.concat_channels(parts);
+    g.reshape(
+        cat,
+        vec![parts.len(), shape[1], shape[2], shape[3]],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vit_preserves_spatial_shape() {
+        let mut g = Graph::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut vit = VitStage::new(&mut g, 16, 4, 32, 2, 4, &mut rng);
+        assert_eq!(vit.tokens(), 16);
+        assert_eq!(vit.depth(), 2);
+        let x = g.constant(Tensor::randn(vec![2, 16, 4, 4], 1.0, &mut rng));
+        let y = vit.forward(&mut g, x, true);
+        assert_eq!(g.value(y).shape(), &[2, 16, 4, 4]);
+    }
+
+    #[test]
+    fn vit_gradients_reach_all_params() {
+        let mut g = Graph::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut vit = VitStage::new(&mut g, 8, 2, 16, 1, 2, &mut rng);
+        let x = g.constant(Tensor::randn(vec![1, 8, 2, 2], 1.0, &mut rng));
+        let y = vit.forward(&mut g, x, true);
+        let loss = g.mean(y);
+        g.backward(loss);
+        let missing = vit
+            .params()
+            .iter()
+            .filter(|&&p| g.grad(p).is_none())
+            .count();
+        assert_eq!(missing, 0, "{missing} vit params without gradient");
+    }
+}

@@ -1,0 +1,85 @@
+use mfaplace_autograd::{Graph, Var};
+use rand::Rng;
+
+use crate::{Linear, Module};
+
+/// Multi-head scaled-dot-product self-attention (Eq. 9 of the paper).
+///
+/// Operates on token sequences of shape `[B, L, D]`. `D` must be divisible
+/// by the number of heads.
+#[derive(Debug)]
+pub struct MultiHeadSelfAttention {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    heads: usize,
+    dim: usize,
+}
+
+impl MultiHeadSelfAttention {
+    /// Creates the four projection matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is not divisible by `heads`.
+    pub fn new(g: &mut Graph, dim: usize, heads: usize, rng: &mut impl Rng) -> Self {
+        assert_eq!(dim % heads, 0, "attention dim must be divisible by heads");
+        MultiHeadSelfAttention {
+            wq: Linear::new(g, dim, dim, true, rng),
+            wk: Linear::new(g, dim, dim, true, rng),
+            wv: Linear::new(g, dim, dim, true, rng),
+            wo: Linear::new(g, dim, dim, true, rng),
+            heads,
+            dim,
+        }
+    }
+
+    /// Number of attention heads.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    fn split_heads(&self, g: &mut Graph, x: Var, b: usize, l: usize) -> Var {
+        let dh = self.dim / self.heads;
+        let x = g.reshape(x, vec![b, l, self.heads, dh]);
+        let x = g.permute(x, &[0, 2, 1, 3]); // [B, H, L, dh]
+        g.reshape(x, vec![b * self.heads, l, dh])
+    }
+}
+
+impl Module for MultiHeadSelfAttention {
+    fn forward(&mut self, g: &mut Graph, x: Var, train: bool) -> Var {
+        let shape = g.value(x).shape().to_vec();
+        assert_eq!(shape.len(), 3, "attention input must be [B, L, D]");
+        let (b, l, d) = (shape[0], shape[1], shape[2]);
+        assert_eq!(d, self.dim, "attention dim mismatch");
+        let dh = self.dim / self.heads;
+
+        let q = self.wq.forward(g, x, train);
+        let k = self.wk.forward(g, x, train);
+        let v = self.wv.forward(g, x, train);
+        let q = self.split_heads(g, q, b, l); // [B*H, L, dh]
+        let k = self.split_heads(g, k, b, l);
+        let v = self.split_heads(g, v, b, l);
+
+        let kt = g.permute(k, &[0, 2, 1]); // [B*H, dh, L]
+        let scores = g.bmm(q, kt); // [B*H, L, L]
+        let scaled = g.scale(scores, 1.0 / (dh as f32).sqrt());
+        let attn = g.softmax_last(scaled);
+        let ctx = g.bmm(attn, v); // [B*H, L, dh]
+
+        let ctx = g.reshape(ctx, vec![b, self.heads, l, dh]);
+        let ctx = g.permute(ctx, &[0, 2, 1, 3]); // [B, L, H, dh]
+        let ctx = g.reshape(ctx, vec![b, l, self.dim]);
+        self.wo.forward(g, ctx, train)
+    }
+
+    fn params(&self) -> Vec<Var> {
+        let mut p = self.wq.params();
+        p.extend(self.wk.params());
+        p.extend(self.wv.params());
+        p.extend(self.wo.params());
+        p
+    }
+}

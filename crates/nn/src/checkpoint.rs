@@ -1,0 +1,237 @@
+//! Weight checkpointing: save/load all parameters of a model to a simple
+//! self-describing binary format, so trained predictors can be reused
+//! across harness runs (e.g. `table1` trains, `table2` loads).
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! magic  "MFAW"            4 bytes
+//! version u32              (currently 1)
+//! count  u32               number of tensors
+//! per tensor:
+//!   rank u32, dims u32*rank, data f32*numel
+//! ```
+
+use std::error::Error;
+use std::fmt;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use mfaplace_autograd::{Graph, Var};
+use mfaplace_tensor::Tensor;
+
+const MAGIC: &[u8; 4] = b"MFAW";
+const VERSION: u32 = 1;
+
+/// Error for checkpoint save/load.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file is not a valid checkpoint or the version is unsupported.
+    Format(String),
+    /// Parameter count/shape mismatch between file and model.
+    Mismatch(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+            CheckpointError::Format(m) => write!(f, "invalid checkpoint: {m}"),
+            CheckpointError::Mismatch(m) => write!(f, "checkpoint mismatch: {m}"),
+        }
+    }
+}
+
+impl Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Saves the values of `params` (in order) to `path`.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Io`] on filesystem failures.
+pub fn save_params(
+    g: &Graph,
+    params: &[Var],
+    path: impl AsRef<Path>,
+) -> Result<(), CheckpointError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(params.len() as u32).to_le_bytes())?;
+    for &p in params {
+        let t = g.value(p);
+        w.write_all(&(t.rank() as u32).to_le_bytes())?;
+        for &d in t.shape() {
+            w.write_all(&(d as u32).to_le_bytes())?;
+        }
+        for &v in t.data() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Loads tensors from `path` into `params` (in order), validating shapes.
+///
+/// # Errors
+///
+/// Returns an error if the file is malformed or any shape disagrees with
+/// the corresponding parameter.
+pub fn load_params(
+    g: &mut Graph,
+    params: &[Var],
+    path: impl AsRef<Path>,
+) -> Result<(), CheckpointError> {
+    let tensors = read_tensors(path)?;
+    if tensors.len() != params.len() {
+        return Err(CheckpointError::Mismatch(format!(
+            "file has {} tensors, model has {} parameters",
+            tensors.len(),
+            params.len()
+        )));
+    }
+    for (&p, t) in params.iter().zip(&tensors) {
+        if g.value(p).shape() != t.shape() {
+            return Err(CheckpointError::Mismatch(format!(
+                "shape {:?} in file vs {:?} in model",
+                t.shape(),
+                g.value(p).shape()
+            )));
+        }
+    }
+    for (&p, t) in params.iter().zip(tensors) {
+        *g.value_mut(p) = t;
+    }
+    Ok(())
+}
+
+/// Reads the raw tensors of a checkpoint.
+///
+/// # Errors
+///
+/// Returns an error if the file is malformed.
+pub fn read_tensors(path: impl AsRef<Path>) -> Result<Vec<Tensor>, CheckpointError> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(CheckpointError::Format("bad magic".into()));
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(CheckpointError::Format(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let count = read_u32(&mut r)? as usize;
+    if count > 1_000_000 {
+        return Err(CheckpointError::Format("implausible tensor count".into()));
+    }
+    let mut tensors = Vec::with_capacity(count);
+    for _ in 0..count {
+        let rank = read_u32(&mut r)? as usize;
+        if rank > 8 {
+            return Err(CheckpointError::Format("implausible rank".into()));
+        }
+        let mut shape = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            shape.push(read_u32(&mut r)? as usize);
+        }
+        let numel: usize = shape.iter().product();
+        if numel > 256 << 20 {
+            return Err(CheckpointError::Format("implausible tensor size".into()));
+        }
+        let mut data = vec![0.0f32; numel];
+        for v in &mut data {
+            let mut b = [0u8; 4];
+            r.read_exact(&mut b)?;
+            *v = f32::from_le_bytes(b);
+        }
+        tensors.push(
+            Tensor::from_vec(shape, data)
+                .map_err(|e| CheckpointError::Format(e.to_string()))?,
+        );
+    }
+    Ok(tensors)
+}
+
+fn read_u32(r: &mut impl Read) -> Result<u32, CheckpointError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_trip_preserves_values() {
+        let dir = std::env::temp_dir().join("mfaplace_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.mfaw");
+
+        let mut g = Graph::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = g.param(Tensor::randn(vec![3, 4], 1.0, &mut rng));
+        let b = g.param(Tensor::randn(vec![7], 1.0, &mut rng));
+        let before_a = g.value(a).clone();
+        let before_b = g.value(b).clone();
+        save_params(&g, &[a, b], &path).unwrap();
+
+        // perturb, then restore
+        g.value_mut(a).fill(0.0);
+        g.value_mut(b).fill(0.0);
+        load_params(&mut g, &[a, b], &path).unwrap();
+        assert_eq!(g.value(a), &before_a);
+        assert_eq!(g.value(b), &before_b);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let dir = std::env::temp_dir().join("mfaplace_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mismatch.mfaw");
+
+        let mut g = Graph::new();
+        let a = g.param(Tensor::zeros(vec![2, 2]));
+        save_params(&g, &[a], &path).unwrap();
+        let b = g.param(Tensor::zeros(vec![3, 3]));
+        let err = load_params(&mut g, &[b], &path).unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch(_)));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn garbage_file_rejected() {
+        let dir = std::env::temp_dir().join("mfaplace_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.mfaw");
+        std::fs::write(&path, b"not a checkpoint at all").unwrap();
+        assert!(matches!(
+            read_tensors(&path),
+            Err(CheckpointError::Format(_))
+        ));
+        std::fs::remove_file(path).ok();
+    }
+}

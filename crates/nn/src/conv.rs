@@ -1,0 +1,91 @@
+use mfaplace_autograd::{Graph, Var};
+use mfaplace_tensor::kaiming_normal;
+use mfaplace_tensor::Tensor;
+use rand::Rng;
+
+use crate::Module;
+
+/// 2-D convolution layer with optional bias.
+///
+/// Weight shape is `[out_channels, in_channels, k, k]`, initialized with
+/// Kaiming-normal for ReLU networks.
+#[derive(Debug)]
+pub struct Conv2d {
+    w: Var,
+    b: Option<Var>,
+    stride: usize,
+    pad: usize,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer, registering its parameters on `g`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        g: &mut Graph,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        bias: bool,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let fan_in = in_channels * kernel * kernel;
+        let w = g.param(kaiming_normal(
+            vec![out_channels, in_channels, kernel, kernel],
+            fan_in,
+            rng,
+        ));
+        let b = bias.then(|| g.param(Tensor::zeros(vec![out_channels])));
+        Conv2d { w, b, stride, pad }
+    }
+
+    /// Creates a convolution layer whose weights (and bias) start at zero —
+    /// used as the last layer of residual branches so the branch begins as
+    /// the identity and grows during training (ResNet/ReZero-style).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_zeroed(
+        g: &mut Graph,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        bias: bool,
+    ) -> Self {
+        let w = g.param(Tensor::zeros(vec![
+            out_channels,
+            in_channels,
+            kernel,
+            kernel,
+        ]));
+        let b = bias.then(|| g.param(Tensor::zeros(vec![out_channels])));
+        Conv2d { w, b, stride, pad }
+    }
+
+    /// The stride of the convolution.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// The zero padding of the convolution.
+    pub fn pad(&self) -> usize {
+        self.pad
+    }
+}
+
+impl Module for Conv2d {
+    fn forward(&mut self, g: &mut Graph, x: Var, _train: bool) -> Var {
+        let y = g.conv2d(x, self.w, self.stride, self.pad);
+        match self.b {
+            Some(b) => g.add_bias_channel(y, b),
+            None => y,
+        }
+    }
+
+    fn params(&self) -> Vec<Var> {
+        let mut p = vec![self.w];
+        p.extend(self.b);
+        p
+    }
+}

@@ -1,0 +1,57 @@
+use mfaplace_autograd::{Graph, Var};
+use mfaplace_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Module;
+
+/// Inverted dropout: zeroes each element with probability `p` during
+/// training and rescales survivors by `1/(1-p)`; identity at evaluation.
+#[derive(Debug)]
+pub struct Dropout {
+    p: f32,
+    rng: StdRng,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p` in `[0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1)`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout p must be in [0, 1)");
+        Dropout {
+            p,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The drop probability.
+    pub fn p(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Module for Dropout {
+    fn forward(&mut self, g: &mut Graph, x: Var, train: bool) -> Var {
+        if !train || self.p == 0.0 {
+            return x;
+        }
+        let keep = 1.0 - self.p;
+        let shape = g.value(x).shape().to_vec();
+        let mask = Tensor::from_fn(shape, |_| {
+            if self.rng.gen::<f32>() < keep {
+                1.0 / keep
+            } else {
+                0.0
+            }
+        });
+        let m = g.constant(mask);
+        g.mul(x, m)
+    }
+
+    fn params(&self) -> Vec<Var> {
+        Vec::new()
+    }
+}

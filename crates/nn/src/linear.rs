@@ -1,0 +1,69 @@
+use mfaplace_autograd::{Graph, Var};
+use mfaplace_tensor::{xavier_uniform, Tensor};
+use rand::Rng;
+
+use crate::Module;
+
+/// Fully-connected layer applied to the last axis of its input.
+///
+/// For an input of shape `[..., in_dim]` the output is `[..., out_dim]`.
+#[derive(Debug)]
+pub struct Linear {
+    w: Var,
+    b: Option<Var>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Creates a linear layer, registering its parameters on `g`.
+    pub fn new(
+        g: &mut Graph,
+        in_dim: usize,
+        out_dim: usize,
+        bias: bool,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let w = g.param(xavier_uniform(vec![in_dim, out_dim], in_dim, out_dim, rng));
+        let b = bias.then(|| g.param(Tensor::zeros(vec![out_dim])));
+        Linear {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Input feature dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output feature dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+}
+
+impl Module for Linear {
+    fn forward(&mut self, g: &mut Graph, x: Var, _train: bool) -> Var {
+        let shape = g.value(x).shape().to_vec();
+        let d = *shape.last().expect("linear input needs rank >= 1");
+        assert_eq!(d, self.in_dim, "linear input dim mismatch");
+        let rows: usize = shape[..shape.len() - 1].iter().product();
+        let flat = g.reshape(x, vec![rows, d]);
+        let mut y = g.matmul(flat, self.w);
+        if let Some(b) = self.b {
+            y = g.add_bias_row(y, b);
+        }
+        let mut out_shape = shape;
+        *out_shape.last_mut().expect("non-empty shape") = self.out_dim;
+        g.reshape(y, out_shape)
+    }
+
+    fn params(&self) -> Vec<Var> {
+        let mut p = vec![self.w];
+        p.extend(self.b);
+        p
+    }
+}

@@ -1,0 +1,75 @@
+//! Loss helpers for congestion-level classification.
+
+/// Square-root inverse-frequency class weights for pixel-wise cross
+/// entropy.
+///
+/// Congestion-level maps are heavily imbalanced (a few levels dominate), so
+/// the trainer weights each class by `sqrt(total / (classes * count_c))`,
+/// clamped to `[0.5, 3]`. The square root tempers the re-balancing: rare
+/// levels still matter, but the model is not pushed to ignore the dominant
+/// level (which carries most of the map's structure). Classes absent from
+/// `labels` get the maximum weight.
+///
+/// ```
+/// let labels = vec![0u8, 0, 0, 1];
+/// let w = mfaplace_nn::class_weights_from_labels(&labels, 2);
+/// assert!(w[1] > w[0]);
+/// ```
+pub fn class_weights_from_labels(labels: &[u8], classes: usize) -> Vec<f32> {
+    let mut counts = vec![0usize; classes];
+    for &l in labels {
+        if (l as usize) < classes {
+            counts[l as usize] += 1;
+        }
+    }
+    let total = labels.len().max(1) as f32;
+    counts
+        .iter()
+        .map(|&c| {
+            if c == 0 {
+                3.0
+            } else {
+                (total / (classes as f32 * c as f32)).sqrt().clamp(0.5, 3.0)
+            }
+        })
+        .collect()
+}
+
+/// One-hot encodes integer level labels into a `[K, N]`-shaped flat vector
+/// (class-major), for regression-style baselines.
+///
+/// # Panics
+///
+/// Panics if a label is `>= classes`.
+pub fn one_hot_levels(labels: &[u8], classes: usize) -> Vec<f32> {
+    let n = labels.len();
+    let mut out = vec![0.0f32; classes * n];
+    for (i, &l) in labels.iter().enumerate() {
+        assert!((l as usize) < classes, "label out of range");
+        out[l as usize * n + i] = 1.0;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_inverse_to_frequency() {
+        let labels = vec![0u8; 90]
+            .into_iter()
+            .chain(vec![1u8; 10])
+            .collect::<Vec<_>>();
+        let w = class_weights_from_labels(&labels, 3);
+        assert!(w[0] < w[1], "rare class should weigh more");
+        assert_eq!(w[2], 3.0, "absent class gets max weight");
+    }
+
+    #[test]
+    fn one_hot_layout() {
+        let oh = one_hot_levels(&[1, 0], 2);
+        // class-major [K, N]: class0 -> [0, 1], class1 -> [1, 0]
+        assert_eq!(oh, vec![0.0, 1.0, 1.0, 0.0]);
+    }
+}

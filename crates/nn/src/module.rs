@@ -1,0 +1,20 @@
+use mfaplace_autograd::{Graph, Var};
+
+/// A neural-network layer that owns parameters inside a shared [`Graph`].
+///
+/// `forward` takes `&mut self` because some layers (batch normalization)
+/// update internal running statistics during a training-mode pass.
+pub trait Module {
+    /// Builds the forward computation for `x` on the graph.
+    ///
+    /// `train` selects training behaviour (batch statistics, dropout).
+    fn forward(&mut self, g: &mut Graph, x: Var, train: bool) -> Var;
+
+    /// All trainable parameter handles of this layer (and its children).
+    fn params(&self) -> Vec<Var>;
+
+    /// Total number of trainable scalar parameters.
+    fn param_count(&self, g: &Graph) -> usize {
+        self.params().iter().map(|&p| g.value(p).numel()).sum()
+    }
+}

@@ -1,0 +1,121 @@
+use mfaplace_autograd::{Graph, Var};
+use mfaplace_tensor::Tensor;
+
+use crate::Module;
+
+/// Batch normalization over `(B, H, W)` per channel.
+///
+/// Training mode uses batch statistics (differentiable) and updates running
+/// statistics with exponential smoothing; evaluation mode folds the running
+/// statistics into a constant per-channel affine transform.
+#[derive(Debug)]
+pub struct BatchNorm2d {
+    gamma: Var,
+    beta: Var,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    momentum: f32,
+    eps: f32,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer for `channels` feature maps.
+    pub fn new(g: &mut Graph, channels: usize) -> Self {
+        BatchNorm2d {
+            gamma: g.param(Tensor::ones(vec![channels])),
+            beta: g.param(Tensor::zeros(vec![channels])),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            momentum: 0.1,
+            eps: 1e-5,
+        }
+    }
+
+    /// Creates a batch-norm layer whose `gamma` starts at zero — placed at
+    /// the end of a residual branch this makes the block start as the
+    /// identity (the "zero-init residual" trick), which markedly speeds up
+    /// training of deep residual stacks.
+    pub fn new_zero_gamma(g: &mut Graph, channels: usize) -> Self {
+        BatchNorm2d {
+            gamma: g.param(Tensor::zeros(vec![channels])),
+            beta: g.param(Tensor::zeros(vec![channels])),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            momentum: 0.1,
+            eps: 1e-5,
+        }
+    }
+
+    /// The tracked running mean per channel.
+    pub fn running_mean(&self) -> &[f32] {
+        &self.running_mean
+    }
+
+    /// The tracked running variance per channel.
+    pub fn running_var(&self) -> &[f32] {
+        &self.running_var
+    }
+}
+
+impl Module for BatchNorm2d {
+    fn forward(&mut self, g: &mut Graph, x: Var, train: bool) -> Var {
+        if train {
+            let (y, mean, var) = g.batch_norm2d(x, self.gamma, self.beta, self.eps);
+            for c in 0..mean.len() {
+                self.running_mean[c] =
+                    (1.0 - self.momentum) * self.running_mean[c] + self.momentum * mean[c];
+                self.running_var[c] =
+                    (1.0 - self.momentum) * self.running_var[c] + self.momentum * var[c];
+            }
+            y
+        } else {
+            let gamma = g.value(self.gamma).data().to_vec();
+            let beta = g.value(self.beta).data().to_vec();
+            let scale: Vec<f32> = gamma
+                .iter()
+                .zip(&self.running_var)
+                .map(|(&gm, &rv)| gm / (rv + self.eps).sqrt())
+                .collect();
+            let shift: Vec<f32> = beta
+                .iter()
+                .zip(&scale)
+                .zip(&self.running_mean)
+                .map(|((&b, &s), &rm)| b - s * rm)
+                .collect();
+            g.channel_affine(x, scale, shift)
+        }
+    }
+
+    fn params(&self) -> Vec<Var> {
+        vec![self.gamma, self.beta]
+    }
+}
+
+/// Layer normalization over the last axis with learnable affine.
+#[derive(Debug)]
+pub struct LayerNorm {
+    gamma: Var,
+    beta: Var,
+    eps: f32,
+}
+
+impl LayerNorm {
+    /// Creates a layer-norm over a last axis of size `dim`.
+    pub fn new(g: &mut Graph, dim: usize) -> Self {
+        LayerNorm {
+            gamma: g.param(Tensor::ones(vec![dim])),
+            beta: g.param(Tensor::zeros(vec![dim])),
+            eps: 1e-5,
+        }
+    }
+}
+
+impl Module for LayerNorm {
+    fn forward(&mut self, g: &mut Graph, x: Var, _train: bool) -> Var {
+        g.layer_norm(x, self.gamma, self.beta, self.eps)
+    }
+
+    fn params(&self) -> Vec<Var> {
+        vec![self.gamma, self.beta]
+    }
+}

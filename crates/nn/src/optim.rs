@@ -1,0 +1,138 @@
+use std::collections::HashMap;
+
+use mfaplace_autograd::{Graph, Var};
+use mfaplace_tensor::Tensor;
+
+/// Adam optimizer (Kingma & Ba) — the optimizer used by the paper
+/// (learning rate `1e-3`).
+///
+/// Moment state is keyed by parameter tape index and allocated lazily, so a
+/// single optimizer instance can drive any parameter set of one graph.
+#[derive(Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: u64,
+    state: HashMap<usize, (Tensor, Tensor)>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with default betas `(0.9, 0.999)`.
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            state: HashMap::new(),
+        }
+    }
+
+    /// Sets decoupled weight decay (AdamW style).
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Updates the learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Applies one update step to `params` using the gradients accumulated
+    /// on `g`. Parameters without a gradient are skipped.
+    pub fn step(&mut self, g: &mut Graph, params: &[Var]) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for &p in params {
+            let Some(grad) = g.grad(p).cloned() else {
+                continue;
+            };
+            let (m, v) = self
+                .state
+                .entry(p.index())
+                .or_insert_with(|| {
+                    (
+                        Tensor::zeros(grad.shape().to_vec()),
+                        Tensor::zeros(grad.shape().to_vec()),
+                    )
+                });
+            let value = g.value_mut(p);
+            for i in 0..grad.numel() {
+                let mut gi = grad.data()[i];
+                if self.weight_decay > 0.0 {
+                    gi += self.weight_decay * value.data()[i];
+                }
+                let mi = self.beta1 * m.data()[i] + (1.0 - self.beta1) * gi;
+                let vi = self.beta2 * v.data()[i] + (1.0 - self.beta2) * gi * gi;
+                m.data_mut()[i] = mi;
+                v.data_mut()[i] = vi;
+                let mhat = mi / bc1;
+                let vhat = vi / bc2;
+                value.data_mut()[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+/// Plain stochastic gradient descent with optional momentum.
+#[derive(Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: HashMap<usize, Tensor>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Sgd {
+            lr,
+            momentum,
+            velocity: HashMap::new(),
+        }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Updates the learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Applies one update step to `params` using accumulated gradients.
+    pub fn step(&mut self, g: &mut Graph, params: &[Var]) {
+        for &p in params {
+            let Some(grad) = g.grad(p).cloned() else {
+                continue;
+            };
+            if self.momentum > 0.0 {
+                let vel = self
+                    .velocity
+                    .entry(p.index())
+                    .or_insert_with(|| Tensor::zeros(grad.shape().to_vec()));
+                for i in 0..grad.numel() {
+                    let v = self.momentum * vel.data()[i] + grad.data()[i];
+                    vel.data_mut()[i] = v;
+                    g.value_mut(p).data_mut()[i] -= self.lr * v;
+                }
+            } else {
+                g.value_mut(p).add_scaled_assign(&grad, -self.lr);
+            }
+        }
+    }
+}

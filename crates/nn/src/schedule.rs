@@ -1,0 +1,114 @@
+//! Learning-rate schedules.
+
+/// A learning-rate schedule: maps a 0-based step index to a rate.
+pub trait LrSchedule {
+    /// The learning rate to use at `step`.
+    fn lr_at(&self, step: usize) -> f32;
+}
+
+/// Constant learning rate (the paper's setting: Adam at `1e-3`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConstantLr(pub f32);
+
+impl LrSchedule for ConstantLr {
+    fn lr_at(&self, _step: usize) -> f32 {
+        self.0
+    }
+}
+
+/// Step decay: multiply by `gamma` every `period` steps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepDecay {
+    /// Initial rate.
+    pub base: f32,
+    /// Steps between decays.
+    pub period: usize,
+    /// Multiplicative decay factor.
+    pub gamma: f32,
+}
+
+impl LrSchedule for StepDecay {
+    fn lr_at(&self, step: usize) -> f32 {
+        self.base * self.gamma.powi((step / self.period.max(1)) as i32)
+    }
+}
+
+/// Cosine annealing from `base` to `floor` over `total` steps, with an
+/// optional linear warmup.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CosineLr {
+    /// Peak rate after warmup.
+    pub base: f32,
+    /// Final rate.
+    pub floor: f32,
+    /// Total annealing steps.
+    pub total: usize,
+    /// Linear warmup steps from 0 to `base`.
+    pub warmup: usize,
+}
+
+impl LrSchedule for CosineLr {
+    fn lr_at(&self, step: usize) -> f32 {
+        if step < self.warmup {
+            return self.base * (step + 1) as f32 / self.warmup.max(1) as f32;
+        }
+        let t = (step - self.warmup) as f32 / (self.total.saturating_sub(self.warmup)).max(1) as f32;
+        let t = t.min(1.0);
+        self.floor
+            + 0.5 * (self.base - self.floor) * (1.0 + (std::f32::consts::PI * t).cos())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = ConstantLr(1e-3);
+        assert_eq!(s.lr_at(0), 1e-3);
+        assert_eq!(s.lr_at(10_000), 1e-3);
+    }
+
+    #[test]
+    fn step_decay_halves() {
+        let s = StepDecay {
+            base: 1.0,
+            period: 10,
+            gamma: 0.5,
+        };
+        assert_eq!(s.lr_at(0), 1.0);
+        assert_eq!(s.lr_at(9), 1.0);
+        assert_eq!(s.lr_at(10), 0.5);
+        assert_eq!(s.lr_at(25), 0.25);
+    }
+
+    #[test]
+    fn cosine_warms_up_then_anneals() {
+        let s = CosineLr {
+            base: 1.0,
+            floor: 0.1,
+            total: 100,
+            warmup: 10,
+        };
+        assert!(s.lr_at(0) < s.lr_at(5));
+        assert!((s.lr_at(9) - 1.0).abs() < 0.11);
+        assert!((s.lr_at(10) - 1.0).abs() < 1e-6);
+        assert!(s.lr_at(50) < 1.0);
+        assert!((s.lr_at(100) - 0.1).abs() < 1e-5);
+        assert!((s.lr_at(1000) - 0.1).abs() < 1e-5, "clamps past total");
+    }
+
+    #[test]
+    fn cosine_monotone_after_warmup() {
+        let s = CosineLr {
+            base: 2.0,
+            floor: 0.0,
+            total: 50,
+            warmup: 0,
+        };
+        for step in 0..49 {
+            assert!(s.lr_at(step) >= s.lr_at(step + 1));
+        }
+    }
+}

@@ -1,0 +1,96 @@
+use mfaplace_autograd::{Graph, Var};
+use rand::Rng;
+
+use crate::{Dropout, Linear, Module, MultiHeadSelfAttention, LayerNorm};
+
+/// Two-layer perceptron with GELU, the feed-forward half of a transformer
+/// block.
+#[derive(Debug)]
+pub struct Mlp {
+    fc1: Linear,
+    fc2: Linear,
+    drop: Dropout,
+}
+
+impl Mlp {
+    /// Creates an MLP `dim -> hidden -> dim`.
+    pub fn new(g: &mut Graph, dim: usize, hidden: usize, dropout: f32, rng: &mut impl Rng) -> Self {
+        Mlp {
+            fc1: Linear::new(g, dim, hidden, true, rng),
+            fc2: Linear::new(g, hidden, dim, true, rng),
+            drop: Dropout::new(dropout, rng.gen()),
+        }
+    }
+}
+
+impl Module for Mlp {
+    fn forward(&mut self, g: &mut Graph, x: Var, train: bool) -> Var {
+        let h = self.fc1.forward(g, x, train);
+        let h = g.gelu(h);
+        let h = self.drop.forward(g, h, train);
+        self.fc2.forward(g, h, train)
+    }
+
+    fn params(&self) -> Vec<Var> {
+        let mut p = self.fc1.params();
+        p.extend(self.fc2.params());
+        p
+    }
+}
+
+/// One pre-norm vision-transformer encoder layer (Fig. 4, Eqs. 8–10):
+///
+/// ```text
+/// a = MSA(LN(z)) + z
+/// z' = MLP(LN(a)) + a
+/// ```
+///
+/// The paper's Eq. (10) writes `MSA` for the second sub-layer; per Fig. 4 and
+/// the ViT reference \[12\] the second sub-layer is the MLP — we follow the
+/// figure.
+#[derive(Debug)]
+pub struct TransformerBlock {
+    ln1: LayerNorm,
+    attn: MultiHeadSelfAttention,
+    ln2: LayerNorm,
+    mlp: Mlp,
+}
+
+impl TransformerBlock {
+    /// Creates a transformer block with the given token dimension, head
+    /// count and MLP expansion ratio.
+    pub fn new(
+        g: &mut Graph,
+        dim: usize,
+        heads: usize,
+        mlp_ratio: usize,
+        dropout: f32,
+        rng: &mut impl Rng,
+    ) -> Self {
+        TransformerBlock {
+            ln1: LayerNorm::new(g, dim),
+            attn: MultiHeadSelfAttention::new(g, dim, heads, rng),
+            ln2: LayerNorm::new(g, dim),
+            mlp: Mlp::new(g, dim, dim * mlp_ratio, dropout, rng),
+        }
+    }
+}
+
+impl Module for TransformerBlock {
+    fn forward(&mut self, g: &mut Graph, z: Var, train: bool) -> Var {
+        let n = self.ln1.forward(g, z, train);
+        let a = self.attn.forward(g, n, train);
+        let a = g.add(a, z);
+        let n2 = self.ln2.forward(g, a, train);
+        let m = self.mlp.forward(g, n2, train);
+        g.add(m, a)
+    }
+
+    fn params(&self) -> Vec<Var> {
+        let mut p = self.ln1.params();
+        p.extend(self.attn.params());
+        p.extend(self.ln2.params());
+        p.extend(self.mlp.params());
+        p
+    }
+}

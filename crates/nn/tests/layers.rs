@@ -1,0 +1,218 @@
+//! Behavioural tests for the nn layers: shapes, training dynamics and
+//! convergence of small end-to-end problems.
+
+use mfaplace_autograd::Graph;
+use mfaplace_nn::{
+    Adam, BatchNorm2d, Conv2d, Dropout, LayerNorm, Linear, Module, MultiHeadSelfAttention, Sgd,
+    TransformerBlock,
+};
+use mfaplace_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn conv_output_shape() {
+    let mut g = Graph::new();
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut conv = Conv2d::new(&mut g, 3, 8, 3, 2, 1, true, &mut rng);
+    let x = g.constant(Tensor::zeros(vec![2, 3, 16, 16]));
+    let y = conv.forward(&mut g, x, true);
+    assert_eq!(g.value(y).shape(), &[2, 8, 8, 8]);
+    assert_eq!(conv.params().len(), 2);
+}
+
+#[test]
+fn batchnorm_normalizes_in_train_mode() {
+    let mut g = Graph::new();
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut bn = BatchNorm2d::new(&mut g, 4);
+    let x = g.constant(Tensor::randn(vec![8, 4, 6, 6], 3.0, &mut rng).map(|v| v + 10.0));
+    let y = bn.forward(&mut g, x, true);
+    let out = g.value(y);
+    // Default gamma=1, beta=0 -> output should have ~zero mean, unit var.
+    assert!(out.mean().abs() < 1e-3, "mean {}", out.mean());
+    let var = out.sq_norm() / out.numel() as f32;
+    assert!((var - 1.0).abs() < 1e-2, "var {var}");
+    // Running stats moved toward batch stats.
+    assert!(bn.running_mean()[0] > 0.5, "running mean should move");
+}
+
+#[test]
+fn batchnorm_eval_uses_running_stats() {
+    let mut g = Graph::new();
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut bn = BatchNorm2d::new(&mut g, 2);
+    // Warm up running stats with many train passes over a fixed distribution.
+    for _ in 0..100 {
+        let mark = g.mark();
+        let x = g.constant(Tensor::randn(vec![4, 2, 4, 4], 2.0, &mut rng).map(|v| v + 5.0));
+        let _ = bn.forward(&mut g, x, true);
+        g.truncate(mark);
+    }
+    let x = g.constant(Tensor::randn(vec![4, 2, 4, 4], 2.0, &mut rng).map(|v| v + 5.0));
+    let y = bn.forward(&mut g, x, false);
+    let out = g.value(y);
+    assert!(out.mean().abs() < 0.2, "eval mean {}", out.mean());
+}
+
+#[test]
+fn layernorm_rows_standardized() {
+    let mut g = Graph::new();
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut ln = LayerNorm::new(&mut g, 16);
+    let x = g.constant(Tensor::randn(vec![5, 16], 4.0, &mut rng).map(|v| v - 3.0));
+    let y = ln.forward(&mut g, x, true);
+    for r in 0..5 {
+        let row = &g.value(y).data()[r * 16..(r + 1) * 16];
+        let mean: f32 = row.iter().sum::<f32>() / 16.0;
+        assert!(mean.abs() < 1e-4, "row mean {mean}");
+    }
+}
+
+#[test]
+fn linear_applies_to_last_axis() {
+    let mut g = Graph::new();
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut lin = Linear::new(&mut g, 6, 3, true, &mut rng);
+    let x = g.constant(Tensor::zeros(vec![2, 5, 6]));
+    let y = lin.forward(&mut g, x, true);
+    assert_eq!(g.value(y).shape(), &[2, 5, 3]);
+}
+
+#[test]
+fn attention_preserves_shape_and_mixes_tokens() {
+    let mut g = Graph::new();
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut attn = MultiHeadSelfAttention::new(&mut g, 8, 2, &mut rng);
+    let x = g.constant(Tensor::randn(vec![2, 6, 8], 1.0, &mut rng));
+    let y = attn.forward(&mut g, x, true);
+    assert_eq!(g.value(y).shape(), &[2, 6, 8]);
+}
+
+#[test]
+fn transformer_block_shape_and_grads() {
+    let mut g = Graph::new();
+    let mut rng = StdRng::seed_from_u64(6);
+    let mut block = TransformerBlock::new(&mut g, 8, 2, 2, 0.0, &mut rng);
+    let x = g.constant(Tensor::randn(vec![1, 4, 8], 1.0, &mut rng));
+    let y = block.forward(&mut g, x, true);
+    assert_eq!(g.value(y).shape(), &[1, 4, 8]);
+    let loss = g.mean(y);
+    g.backward(loss);
+    let with_grads = block
+        .params()
+        .iter()
+        .filter(|&&p| g.grad(p).is_some())
+        .count();
+    assert_eq!(with_grads, block.params().len(), "all params receive grads");
+}
+
+#[test]
+fn dropout_train_vs_eval() {
+    let mut g = Graph::new();
+    let mut drop = Dropout::new(0.5, 42);
+    let x = g.constant(Tensor::ones(vec![1000]));
+    let y_eval = drop.forward(&mut g, x, false);
+    assert_eq!(y_eval, x, "eval dropout is identity");
+    let y_train = drop.forward(&mut g, x, true);
+    let kept = g.value(y_train).data().iter().filter(|&&v| v > 0.0).count();
+    assert!(kept > 350 && kept < 650, "kept {kept} of 1000");
+    // Inverted scaling keeps the expectation.
+    let mean = g.value(y_train).mean();
+    assert!((mean - 1.0).abs() < 0.2, "mean {mean}");
+}
+
+#[test]
+fn adam_trains_linear_regression() {
+    let mut g = Graph::new();
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut lin = Linear::new(&mut g, 3, 1, true, &mut rng);
+    let mut opt = Adam::new(0.05);
+    let mark = g.mark();
+    // Target function y = 2*x0 - x1 + 0.5*x2 + 1
+    let mut final_loss = f32::MAX;
+    for _ in 0..300 {
+        let xs = Tensor::randn(vec![16, 3], 1.0, &mut rng);
+        let ys = Tensor::from_fn(vec![16, 1], |i| {
+            let r = &xs.data()[i * 3..(i + 1) * 3];
+            2.0 * r[0] - r[1] + 0.5 * r[2] + 1.0
+        });
+        let x = g.constant(xs.clone());
+        let pred = lin.forward(&mut g, x, true);
+        let loss = g.mse_loss(pred, &ys);
+        final_loss = g.value(loss).item();
+        g.zero_grads();
+        g.backward(loss);
+        opt.step(&mut g, &lin.params());
+        g.truncate(mark);
+    }
+    assert!(final_loss < 1e-3, "adam failed to converge: {final_loss}");
+}
+
+#[test]
+fn sgd_with_momentum_trains() {
+    let mut g = Graph::new();
+    let mut rng = StdRng::seed_from_u64(8);
+    let mut lin = Linear::new(&mut g, 2, 1, true, &mut rng);
+    let mut opt = Sgd::new(0.05, 0.9);
+    let mark = g.mark();
+    let mut final_loss = f32::MAX;
+    for _ in 0..200 {
+        let xs = Tensor::randn(vec![8, 2], 1.0, &mut rng);
+        let ys = Tensor::from_fn(vec![8, 1], |i| {
+            let r = &xs.data()[i * 2..(i + 1) * 2];
+            r[0] - 3.0 * r[1]
+        });
+        let x = g.constant(xs.clone());
+        let pred = lin.forward(&mut g, x, true);
+        let loss = g.mse_loss(pred, &ys);
+        final_loss = g.value(loss).item();
+        g.zero_grads();
+        g.backward(loss);
+        opt.step(&mut g, &lin.params());
+        g.truncate(mark);
+    }
+    assert!(final_loss < 1e-2, "sgd failed to converge: {final_loss}");
+}
+
+#[test]
+fn tiny_cnn_overfits_segmentation_batch() {
+    // A 2-layer CNN must overfit a fixed 4-class segmentation toy batch:
+    // validates conv/bn/softmax-CE end to end.
+    let mut g = Graph::new();
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut c1 = Conv2d::new(&mut g, 2, 8, 3, 1, 1, true, &mut rng);
+    let mut bn1 = BatchNorm2d::new(&mut g, 8);
+    let mut c2 = Conv2d::new(&mut g, 8, 4, 3, 1, 1, true, &mut rng);
+    let mut params = c1.params();
+    params.extend(bn1.params());
+    params.extend(c2.params());
+    let mut opt = Adam::new(0.01);
+    let mark = g.mark();
+
+    let x = Tensor::randn(vec![2, 2, 8, 8], 1.0, &mut rng);
+    // Label = quadrant index, a deterministic function of position.
+    let labels: Vec<u8> = (0..2 * 8 * 8)
+        .map(|i| {
+            let p = i % 64;
+            let (r, c) = (p / 8, p % 8);
+            ((r / 4) * 2 + c / 4) as u8
+        })
+        .collect();
+
+    let mut last = f32::MAX;
+    for _ in 0..150 {
+        let xv = g.constant(x.clone());
+        let h = c1.forward(&mut g, xv, true);
+        let h = bn1.forward(&mut g, h, true);
+        let h = g.relu(h);
+        let logits = c2.forward(&mut g, h, true);
+        let loss = g.cross_entropy2d(logits, &labels, None);
+        last = g.value(loss).item();
+        g.zero_grads();
+        g.backward(loss);
+        opt.step(&mut g, &params);
+        g.truncate(mark);
+    }
+    assert!(last < 0.2, "cnn failed to overfit toy batch: {last}");
+}

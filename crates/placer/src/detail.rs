@@ -1,0 +1,255 @@
+//! Detailed placement refinement: greedy local moves after legalization.
+//!
+//! A production flow follows legalization with detailed placement. This
+//! pass iterates cells in seeded random order and tries relocating each to
+//! nearby CLB sites, accepting moves that reduce half-perimeter wirelength.
+//! Region-constrained cells only consider sites inside their region;
+//! macros and fixed instances are never moved.
+
+use mfaplace_fpga::arch::SiteKind;
+use mfaplace_fpga::design::Design;
+use mfaplace_fpga::netlist::{InstId, NetId};
+use mfaplace_fpga::placement::Placement;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Statistics of one refinement run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefineStats {
+    /// HPWL before refinement.
+    pub hpwl_before: f64,
+    /// HPWL after refinement.
+    pub hpwl_after: f64,
+    /// Accepted moves.
+    pub moves: usize,
+}
+
+/// Incremental HPWL bookkeeping: per-net bounding boxes plus instance ->
+/// nets adjacency.
+struct WirelengthModel {
+    /// `(min_x, min_y, max_x, max_y)` per net.
+    bboxes: Vec<(f32, f32, f32, f32)>,
+    /// Nets incident to each instance.
+    incident: Vec<Vec<NetId>>,
+}
+
+impl WirelengthModel {
+    fn build(design: &Design, placement: &Placement) -> Self {
+        let mut incident: Vec<Vec<NetId>> = vec![Vec::new(); design.netlist.num_instances()];
+        let mut bboxes = Vec::with_capacity(design.netlist.num_nets());
+        for (nid, net) in design.netlist.nets() {
+            bboxes.push(placement.net_bbox(net));
+            for &p in &net.pins {
+                incident[p.0 as usize].push(nid);
+            }
+        }
+        WirelengthModel { bboxes, incident }
+    }
+
+    /// HPWL delta if instance `inst` moved to `(nx, ny)`. Recomputes each
+    /// incident net's bbox exactly (O(degree) per net).
+    fn move_delta(
+        &self,
+        design: &Design,
+        placement: &Placement,
+        inst: InstId,
+        nx: f32,
+        ny: f32,
+    ) -> f64 {
+        let mut delta = 0.0f64;
+        for &nid in &self.incident[inst.0 as usize] {
+            let net = design.netlist.net(nid);
+            let (x0, y0, x1, y1) = self.bboxes[nid.0 as usize];
+            let old = f64::from(x1 - x0) + f64::from(y1 - y0);
+            let mut min_x = f32::INFINITY;
+            let mut max_x = f32::NEG_INFINITY;
+            let mut min_y = f32::INFINITY;
+            let mut max_y = f32::NEG_INFINITY;
+            for &p in &net.pins {
+                let (px, py) = if p == inst {
+                    (nx, ny)
+                } else {
+                    placement.pos(p.0 as usize)
+                };
+                min_x = min_x.min(px);
+                max_x = max_x.max(px);
+                min_y = min_y.min(py);
+                max_y = max_y.max(py);
+            }
+            delta += f64::from(max_x - min_x) + f64::from(max_y - min_y) - old;
+        }
+        delta
+    }
+
+    fn commit_move(&mut self, design: &Design, placement: &Placement, inst: InstId) {
+        for &nid in &self.incident[inst.0 as usize] {
+            let net = design.netlist.net(nid);
+            self.bboxes[nid.0 as usize] = placement.net_bbox(net);
+        }
+    }
+}
+
+/// Refines cell locations with greedy nearest-site moves.
+///
+/// Candidate targets per cell: the neighbouring CLB columns (up to 2 away)
+/// crossed with row offsets `-2..=2`. Runs `passes` sweeps.
+pub fn refine_cells(
+    design: &Design,
+    placement: &mut Placement,
+    passes: usize,
+    seed: u64,
+) -> RefineStats {
+    let hpwl_before = placement.hpwl(&design.netlist);
+    let clb_cols = design.arch.columns_of(SiteKind::Clb);
+    let mut model = WirelengthModel::build(design, placement);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut cells: Vec<InstId> = design
+        .netlist
+        .instances()
+        .filter_map(|(id, inst)| {
+            (inst.movable && !inst.kind.is_macro()).then_some(id)
+        })
+        .collect();
+
+    let mut moves = 0usize;
+    for _ in 0..passes {
+        cells.shuffle(&mut rng);
+        for &cell in &cells {
+            let (cx, cy) = placement.pos(cell.0 as usize);
+            let region = design.region_of(cell).map(|r| design.regions[r].rect);
+            // candidate columns: current plus up to two nearest on each side
+            let cur_col_idx = clb_cols
+                .binary_search(&(cx as usize))
+                .unwrap_or_else(|i| i.min(clb_cols.len() - 1));
+            let lo = cur_col_idx.saturating_sub(2);
+            let hi = (cur_col_idx + 2).min(clb_cols.len() - 1);
+            let mut best: Option<(f32, f32, f64)> = None;
+            for &col in &clb_cols[lo..=hi] {
+                for dy in -2i32..=2 {
+                    let ny = (cy as i32 + dy).clamp(0, design.arch.rows() as i32 - 1) as f32;
+                    let nx = col as f32;
+                    if (nx, ny) == (cx, cy) {
+                        continue;
+                    }
+                    if let Some(rect) = region {
+                        if !rect.contains(nx, ny) {
+                            continue;
+                        }
+                    }
+                    let delta = model.move_delta(design, placement, cell, nx, ny);
+                    if delta < -1e-6 && best.is_none_or(|(_, _, b)| delta < b) {
+                        best = Some((nx, ny, delta));
+                    }
+                }
+            }
+            if let Some((nx, ny, _)) = best {
+                placement.set_pos(cell.0 as usize, nx, ny);
+                model.commit_move(design, placement, cell);
+                moves += 1;
+            }
+        }
+    }
+
+    RefineStats {
+        hpwl_before,
+        hpwl_after: placement.hpwl(&design.netlist),
+        moves,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::legal::{legalize_cells, legalize_macros};
+    use mfaplace_fpga::design::DesignPreset;
+
+    fn legalized() -> (Design, Placement) {
+        let d = DesignPreset::design_116()
+            .with_scale(512, 64, 32)
+            .generate(1);
+        let mut p = d.random_placement(2);
+        legalize_macros(&d, &mut p).expect("legalize");
+        legalize_cells(&d, &mut p);
+        (d, p)
+    }
+
+    #[test]
+    fn refinement_reduces_hpwl() {
+        let (d, mut p) = legalized();
+        let stats = refine_cells(&d, &mut p, 2, 7);
+        assert!(stats.moves > 0, "expected some improving moves");
+        assert!(
+            stats.hpwl_after < stats.hpwl_before,
+            "hpwl {} -> {}",
+            stats.hpwl_before,
+            stats.hpwl_after
+        );
+        assert_eq!(stats.hpwl_after, p.hpwl(&d.netlist));
+    }
+
+    #[test]
+    fn refinement_keeps_cells_on_clb_columns() {
+        let (d, mut p) = legalized();
+        refine_cells(&d, &mut p, 1, 3);
+        for (id, inst) in d.netlist.instances() {
+            if !inst.movable || inst.kind.is_macro() {
+                continue;
+            }
+            let (x, _) = p.pos(id.0 as usize);
+            assert_eq!(d.arch.column_kind(x as usize), SiteKind::Clb);
+        }
+    }
+
+    #[test]
+    fn refinement_never_moves_macros_or_fixed() {
+        let (d, mut p) = legalized();
+        let before: Vec<(f32, f32)> = d
+            .netlist
+            .instances()
+            .filter(|(_, i)| i.kind.is_macro() || !i.movable)
+            .map(|(id, _)| p.pos(id.0 as usize))
+            .collect();
+        refine_cells(&d, &mut p, 2, 5);
+        let after: Vec<(f32, f32)> = d
+            .netlist
+            .instances()
+            .filter(|(_, i)| i.kind.is_macro() || !i.movable)
+            .map(|(id, _)| p.pos(id.0 as usize))
+            .collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn refinement_respects_regions() {
+        let d = DesignPreset::design_190()
+            .with_scale(512, 64, 32)
+            .generate(4);
+        let mut p = d.random_placement(5);
+        legalize_macros(&d, &mut p).expect("legalize");
+        legalize_cells(&d, &mut p);
+        // Move region cells inside first so the invariant can hold.
+        for (ri, r) in d.regions.iter().enumerate() {
+            for &m in &r.members {
+                if d.region_of(m) == Some(ri) && !d.netlist.instance(m).kind.is_macro() {
+                    let (cx, cy) = r.rect.center();
+                    p.set_pos(m.0 as usize, cx, cy);
+                }
+            }
+        }
+        refine_cells(&d, &mut p, 1, 9);
+        for (ri, r) in d.regions.iter().enumerate() {
+            for &m in &r.members {
+                if d.region_of(m) != Some(ri) || d.netlist.instance(m).kind.is_macro() {
+                    continue;
+                }
+                let (x, y) = p.pos(m.0 as usize);
+                assert!(
+                    r.rect.contains(x, y),
+                    "region cell escaped during refinement"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,853 @@
+//! Region-aware analytical global placement.
+//!
+//! A CPU-scale stand-in for DREAMPlaceFPGA's electrostatic placer that keeps
+//! the same structure: iterative wirelength minimization (star or
+//! bound-to-bound net model, damped fixed-point updates) interleaved with
+//! order-preserving 1-D capacity spreading per resource type
+//! (Kraftwerk-style cell shifting), a region tension force for
+//! region-constrained instances (Sec. IV), and cascade-shape macros merged
+//! into single movable clusters before placement (the cascade handling of
+//! \[11\]). A stage anneals: the wirelength pull cools while spreading
+//! strengthens, and it exits early once the paper's overflow targets are
+//! met.
+
+use mfaplace_fpga::arch::SiteKind;
+use mfaplace_fpga::design::Design;
+use mfaplace_fpga::netlist::{InstId, InstKind};
+use mfaplace_fpga::placement::Placement;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Wirelength net model used by the fixed-point updates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NetModel {
+    /// Clique-to-star: every pin pulls toward the net centroid. Cheap and
+    /// robust; the default.
+    #[default]
+    Star,
+    /// Bound-to-bound (B2B): pins connect to the net's boundary pins with
+    /// distance-normalized weights — the HPWL-faithful quadratic model used
+    /// by analytic placers like DREAMPlaceFPGA/SimPL.
+    B2b,
+}
+
+/// Global placement parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpConfig {
+    /// Maximum spreading iterations for a stage.
+    pub iterations: usize,
+    /// Wirelength net model.
+    pub net_model: NetModel,
+    /// Star-model wirelength passes per iteration.
+    pub wl_passes: usize,
+    /// Density grid width (bins).
+    pub bin_w: usize,
+    /// Density grid height (bins).
+    pub bin_h: usize,
+    /// Spreading step size (bins per iteration at unit gradient).
+    pub density_step: f32,
+    /// Pull strength toward assigned regions.
+    pub region_weight: f32,
+    /// Damping of the wirelength update (0 = frozen, 1 = jump to star).
+    pub wl_damping: f32,
+    /// Target overflow for macro types (paper: 0.25).
+    pub target_overflow_macro: f32,
+    /// Target overflow for LUT/FF (paper: 0.15).
+    pub target_overflow_cell: f32,
+    /// Seed for the initial jitter.
+    pub seed: u64,
+}
+
+impl Default for GpConfig {
+    fn default() -> Self {
+        GpConfig {
+            iterations: 60,
+            net_model: NetModel::Star,
+            wl_passes: 3,
+            bin_w: 16,
+            bin_h: 16,
+            density_step: 0.5,
+            region_weight: 0.35,
+            wl_damping: 0.55,
+            target_overflow_macro: 0.25,
+            target_overflow_cell: 0.15,
+            seed: 1,
+        }
+    }
+}
+
+/// Per-type bin overflow ratios (overflowing area / total area).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Overflow {
+    /// LUT overflow.
+    pub lut: f32,
+    /// FF overflow.
+    pub ff: f32,
+    /// DSP overflow.
+    pub dsp: f32,
+    /// BRAM overflow.
+    pub bram: f32,
+    /// URAM overflow.
+    pub uram: f32,
+}
+
+impl Overflow {
+    /// The paper's stage-switch condition: macro overflow `< 0.25` and
+    /// cell overflow `< 0.15`.
+    pub fn meets_targets(&self, macro_target: f32, cell_target: f32) -> bool {
+        self.dsp < macro_target
+            && self.bram < macro_target
+            && self.uram < macro_target
+            && self.lut < cell_target
+            && self.ff < cell_target
+    }
+}
+
+/// One movable object: a single instance or a merged cascade cluster whose
+/// members sit at consecutive vertical offsets.
+#[derive(Debug, Clone)]
+struct Movable {
+    /// Members with their vertical offsets from the movable's position.
+    members: Vec<(InstId, f32)>,
+    /// Resource class used for density spreading.
+    kind: InstKind,
+    /// Height extent (cascade length, 1 for singles).
+    extent: f32,
+    /// Region constraint index, if any member is region-bound.
+    region: Option<usize>,
+}
+
+/// The global placer state. Create once per design, then drive stages.
+#[derive(Debug)]
+pub struct GlobalPlacer<'a> {
+    design: &'a Design,
+    movables: Vec<Movable>,
+    /// Instance -> (movable index, y offset); `None` for fixed instances.
+    inst_to_mov: Vec<Option<(usize, f32)>>,
+    /// Inflatable area per instance (site units).
+    areas: Vec<f32>,
+    /// Position per movable.
+    pos: Vec<(f32, f32)>,
+    /// Cached fixed positions per instance (anchors).
+    fixed_pos: Vec<Option<(f32, f32)>>,
+}
+
+impl<'a> GlobalPlacer<'a> {
+    /// Builds the movable system: cascade members are merged into clusters;
+    /// everything starts near the fabric center with seeded jitter.
+    pub fn new(design: &'a Design, seed: u64) -> Self {
+        let n = design.netlist.num_instances();
+        let mut inst_to_mov: Vec<Option<(usize, f32)>> = vec![None; n];
+        let mut movables: Vec<Movable> = Vec::new();
+        let mut fixed_pos: Vec<Option<(f32, f32)>> = vec![None; n];
+        for &(id, x, y) in &design.io_anchors {
+            fixed_pos[id.0 as usize] = Some((x, y));
+        }
+
+        let region_of = |id: InstId| design.region_of(id);
+
+        // Cascade clusters first.
+        let mut in_cascade = vec![false; n];
+        for cascade in &design.cascades {
+            let mut members = Vec::with_capacity(cascade.len());
+            for (k, &m) in cascade.members.iter().enumerate() {
+                members.push((m, k as f32));
+                in_cascade[m.0 as usize] = true;
+            }
+            let kind = design.netlist.instance(cascade.members[0]).kind;
+            let region = cascade.members.iter().find_map(|&m| region_of(m));
+            let idx = movables.len();
+            for &(m, off) in &members {
+                inst_to_mov[m.0 as usize] = Some((idx, off));
+            }
+            movables.push(Movable {
+                extent: cascade.len() as f32,
+                members,
+                kind,
+                region,
+            });
+        }
+        // Remaining movable singles.
+        for (id, inst) in design.netlist.instances() {
+            if !inst.movable || in_cascade[id.0 as usize] {
+                continue;
+            }
+            let idx = movables.len();
+            inst_to_mov[id.0 as usize] = Some((idx, 0.0));
+            movables.push(Movable {
+                members: vec![(id, 0.0)],
+                kind: inst.kind,
+                extent: 1.0,
+                region: region_of(id),
+            });
+        }
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (cw, ch) = (design.arch.width() * 0.5, design.arch.height() * 0.5);
+        let pos: Vec<(f32, f32)> = movables
+            .iter()
+            .map(|m| {
+                // Region-bound movables start at their region center.
+                if let Some(r) = m.region {
+                    let (rx, ry) = design.regions[r].rect.center();
+                    (
+                        rx + rng.gen_range(-1.0..1.0),
+                        ry + rng.gen_range(-1.0..1.0),
+                    )
+                } else {
+                    (
+                        cw + rng.gen_range(-4.0..4.0),
+                        ch + rng.gen_range(-4.0..4.0),
+                    )
+                }
+            })
+            .collect();
+
+        let areas: Vec<f32> = design
+            .netlist
+            .instances()
+            .map(|(_, inst)| inst.kind.base_area())
+            .collect();
+
+        GlobalPlacer {
+            design,
+            movables,
+            inst_to_mov,
+            areas,
+            pos,
+            fixed_pos,
+        }
+    }
+
+    /// Number of movable objects (cascade clusters count once).
+    pub fn num_movables(&self) -> usize {
+        self.movables.len()
+    }
+
+    /// Current inflatable areas (one per instance, site units).
+    pub fn areas(&self) -> &[f32] {
+        &self.areas
+    }
+
+    /// Mutable access to the inflatable areas (used by inflation).
+    pub fn areas_mut(&mut self) -> &mut [f32] {
+        &mut self.areas
+    }
+
+    /// The current continuous placement of every instance.
+    pub fn placement(&self) -> Placement {
+        let n = self.design.netlist.num_instances();
+        let mut p = Placement::new(n);
+        for i in 0..n {
+            if let Some((m, off)) = self.inst_to_mov[i] {
+                let (x, y) = self.pos[m];
+                p.set_pos(i, x, y + off);
+            } else if let Some((x, y)) = self.fixed_pos[i] {
+                p.set_pos(i, x, y);
+            }
+        }
+        p
+    }
+
+    fn inst_pos(&self, id: InstId) -> (f32, f32) {
+        let i = id.0 as usize;
+        match self.inst_to_mov[i] {
+            Some((m, off)) => {
+                let (x, y) = self.pos[m];
+                (x, y + off)
+            }
+            None => self.fixed_pos[i].unwrap_or((0.0, 0.0)),
+        }
+    }
+
+    /// One damped wirelength pass under the configured net model.
+    fn wl_pass(&mut self, damping: f32, model: NetModel) {
+        let nm = self.movables.len();
+        let mut acc_x = vec![0.0f32; nm];
+        let mut acc_y = vec![0.0f32; nm];
+        let mut acc_wx = vec![0.0f32; nm];
+        let mut acc_wy = vec![0.0f32; nm];
+        match model {
+            NetModel::Star => {
+                for (_, net) in self.design.netlist.nets() {
+                    let deg = net.degree() as f32;
+                    let mut cx = 0.0f32;
+                    let mut cy = 0.0f32;
+                    for &p in &net.pins {
+                        let (x, y) = self.inst_pos(p);
+                        cx += x;
+                        cy += y;
+                    }
+                    cx /= deg;
+                    cy /= deg;
+                    let w = 2.0 / deg; // clique-to-star weight
+                    for &p in &net.pins {
+                        if let Some((m, off)) = self.inst_to_mov[p.0 as usize] {
+                            acc_x[m] += w * cx;
+                            acc_y[m] += w * (cy - off);
+                            acc_wx[m] += w;
+                            acc_wy[m] += w;
+                        }
+                    }
+                }
+            }
+            NetModel::B2b => {
+                // Bound-to-bound: per axis, the min and max pins anchor the
+                // net; every pin connects to both bounds with weight
+                // 2 / ((deg-1) * distance), the SimPL linearization of HPWL.
+                for (_, net) in self.design.netlist.nets() {
+                    let deg = net.degree();
+                    if deg < 2 {
+                        continue;
+                    }
+                    let positions: Vec<(f32, f32)> =
+                        net.pins.iter().map(|&p| self.inst_pos(p)).collect();
+                    for axis in 0..2 {
+                        let coord = |i: usize| {
+                            if axis == 0 {
+                                positions[i].0
+                            } else {
+                                positions[i].1
+                            }
+                        };
+                        let mut lo = 0usize;
+                        let mut hi = 0usize;
+                        for i in 1..deg {
+                            if coord(i) < coord(lo) {
+                                lo = i;
+                            }
+                            if coord(i) > coord(hi) {
+                                hi = i;
+                            }
+                        }
+                        let base = 2.0 / (deg as f32 - 1.0);
+                        for i in 0..deg {
+                            for &b in &[lo, hi] {
+                                if i == b {
+                                    continue;
+                                }
+                                let d = (coord(i) - coord(b)).abs().max(0.5);
+                                let w = base / d;
+                                // pull pin i toward bound b (and vice versa)
+                                for (from, to) in [(i, b), (b, i)] {
+                                    let pin = net.pins[from];
+                                    if let Some((m, off)) =
+                                        self.inst_to_mov[pin.0 as usize]
+                                    {
+                                        let target = coord(to);
+                                        if axis == 0 {
+                                            acc_x[m] += w * target;
+                                            acc_wx[m] += w;
+                                        } else {
+                                            acc_y[m] += w * (target - off);
+                                            acc_wy[m] += w;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for m in 0..nm {
+            let (x, y) = self.pos[m];
+            let nx = if acc_wx[m] > 0.0 {
+                x + damping * (acc_x[m] / acc_wx[m] - x)
+            } else {
+                x
+            };
+            let ny = if acc_wy[m] > 0.0 {
+                y + damping * (acc_y[m] / acc_wy[m] - y)
+            } else {
+                y
+            };
+            self.pos[m] = (nx, ny);
+        }
+        self.clamp_all();
+    }
+
+    /// Density spreading: per resource class, alternate order-preserving
+    /// 1-D capacity spreading along x (within horizontal bands) and along y
+    /// (within vertical strips) — Kraftwerk-style cell shifting. Each
+    /// movable's target is the fabric position where the cumulative site
+    /// capacity of its class equals its cumulative area demand; positions
+    /// are blended toward the targets with strength `density_step`.
+    fn density_pass(&mut self, cfg: &GpConfig) {
+        let alpha = cfg.density_step.clamp(0.0, 1.0);
+        for class in [
+            SiteKind::Clb,
+            SiteKind::Dsp,
+            SiteKind::Bram,
+            SiteKind::Uram,
+        ] {
+            // Macro populations are small: coarser bands and decisive moves
+            // keep the per-band transport statistics meaningful.
+            let (bands_x, bands_y, a) = if class == SiteKind::Clb {
+                (cfg.bin_h, cfg.bin_w, alpha)
+            } else {
+                (cfg.bin_h.min(6), cfg.bin_w.min(6), alpha.max(0.8))
+            };
+            self.spread_axis(class, Axis::X, bands_x, a);
+            self.spread_axis(class, Axis::Y, bands_y, a);
+        }
+        self.clamp_all();
+    }
+
+    /// One 1-D spreading pass for a class along `axis`, banding the
+    /// orthogonal axis into `bands` stripes.
+    fn spread_axis(&mut self, class: SiteKind, axis: Axis, bands: usize, alpha: f32) {
+        let design = self.design;
+        let arch = &design.arch;
+        let cols = arch.columns_of(class);
+        if cols.is_empty() {
+            return;
+        }
+        let (main_len, ortho_len) = match axis {
+            Axis::X => (arch.columns(), arch.height()),
+            Axis::Y => (arch.rows(), arch.width()),
+        };
+        // Capacity per unit cell along the main axis (before banding).
+        // Along X: column c has `rows` sites (scaled to the band height).
+        // Along Y: every row has `cols.len()` sites (scaled to band width).
+        let band_size = ortho_len / bands as f32;
+        let mut buckets: Vec<Vec<(usize, f32, f32)>> = vec![Vec::new(); bands];
+        for (mi, mv) in self.movables.iter().enumerate() {
+            if mv.kind.site_kind() != class {
+                continue;
+            }
+            let (x, y) = self.pos[mi];
+            let area: f32 = mv
+                .members
+                .iter()
+                .map(|&(id, _)| self.areas[id.0 as usize])
+                .sum();
+            let (main, ortho) = match axis {
+                Axis::X => (x, y + mv.extent * 0.5),
+                Axis::Y => (y + mv.extent * 0.5, x),
+            };
+            let b = ((ortho / band_size) as usize).min(bands - 1);
+            buckets[b].push((mi, main, area));
+        }
+        // Per-band capacity profile along the main axis.
+        for (b, bucket) in buckets.iter_mut().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let mut cap = vec![0.0f32; main_len];
+            match axis {
+                Axis::X => {
+                    let per_col = arch.rows() as f32 * band_size / arch.height();
+                    for &c in &cols {
+                        cap[c] = per_col;
+                    }
+                }
+                Axis::Y => {
+                    // count class columns inside this band's x-range
+                    let x0 = b as f32 * band_size;
+                    let x1 = x0 + band_size;
+                    let n_cols = cols
+                        .iter()
+                        .filter(|&&c| (c as f32 + 0.5) >= x0 && (c as f32 + 0.5) < x1)
+                        .count();
+                    if n_cols == 0 {
+                        // no sites of this class in the strip: push toward
+                        // the nearest class column instead of spreading
+                        for &(mi, _, _) in bucket.iter() {
+                            let x = self.pos[mi].0;
+                            let nearest = cols
+                                .iter()
+                                .copied()
+                                .min_by(|&a, &bc| {
+                                    (a as f32 - x)
+                                        .abs()
+                                        .partial_cmp(&(bc as f32 - x).abs())
+                                        .expect("finite")
+                                })
+                                .expect("non-empty cols");
+                            self.pos[mi].0 += alpha * (nearest as f32 - x);
+                        }
+                        continue;
+                    }
+                    for c in cap.iter_mut() {
+                        *c = n_cols as f32;
+                    }
+                }
+            }
+            let total_cap: f32 = cap.iter().sum();
+            if total_cap <= 0.0 {
+                continue;
+            }
+            bucket.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite coordinate"));
+            let total_demand: f32 = bucket.iter().map(|&(_, _, a)| a).sum();
+            // Prefix sums of capacity.
+            let mut prefix = vec![0.0f32; main_len + 1];
+            for i in 0..main_len {
+                prefix[i + 1] = prefix[i] + cap[i];
+            }
+            // Map cumulative demand onto cumulative capacity. An over-full
+            // band spans the whole capacity (compression ratio C/D); an
+            // under-full band occupies a capacity window of width D anchored
+            // at the demand centroid, so cells do not teleport to the edge.
+            let (offset, squeeze) = if total_demand > total_cap {
+                (0.0, total_cap / total_demand)
+            } else {
+                let centroid: f32 = bucket
+                    .iter()
+                    .map(|&(_, m, a)| m * a)
+                    .sum::<f32>()
+                    / total_demand.max(1e-6);
+                let ci = (centroid as usize).min(main_len - 1);
+                let c_pos = prefix[ci] + (centroid - ci as f32).clamp(0.0, 1.0) * cap[ci];
+                ((c_pos - total_demand * 0.5).clamp(0.0, total_cap - total_demand), 1.0)
+            };
+            let mut cum = 0.0f32;
+            for &(mi, main, area) in bucket.iter() {
+                let d = offset + (cum + area * 0.5) * squeeze;
+                cum += area;
+                // find cell where cumulative capacity reaches d
+                let target_cum = d.min(total_cap - 1e-6);
+                let idx = match prefix
+                    .binary_search_by(|p| p.partial_cmp(&target_cum).expect("finite"))
+                {
+                    Ok(i) => i.max(1) - 1,
+                    Err(i) => i.max(1) - 1,
+                };
+                let idx = idx.min(main_len - 1);
+                let within = if cap[idx] > 0.0 {
+                    (target_cum - prefix[idx]) / cap[idx]
+                } else {
+                    0.5
+                };
+                let target = idx as f32 + within;
+                // Blend toward an interpolation between the WL-preferred
+                // position and the capacity-balanced one.
+                let blended = main + alpha * (target - main);
+                match axis {
+                    Axis::X => self.pos[mi].0 = blended,
+                    Axis::Y => {
+                        let extent = self.movables[mi].extent;
+                        self.pos[mi].1 = blended - extent * 0.5;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Region tension: pull region-bound movables inside their rectangles.
+    fn region_pass(&mut self, weight: f32) {
+        for (mi, mv) in self.movables.iter().enumerate() {
+            let Some(r) = mv.region else { continue };
+            let rect = self.design.regions[r].rect;
+            let (x, y) = self.pos[mi];
+            if !rect.contains(x, y) {
+                let tx = x.clamp(rect.x0 + 0.25, rect.x1 - 0.25);
+                let ty = y.clamp(rect.y0 + 0.25, rect.y1 - 0.25);
+                self.pos[mi] = (x + weight * (tx - x), y + weight * (ty - y));
+            }
+        }
+        self.clamp_all();
+    }
+
+    fn clamp_all(&mut self) {
+        let arch = &self.design.arch;
+        for (mi, mv) in self.movables.iter().enumerate() {
+            let (x, y) = self.pos[mi];
+            let max_y = (arch.height() - mv.extent).max(0.0);
+            self.pos[mi] = (x.clamp(0.0, arch.width() - 1e-3), y.clamp(0.0, max_y));
+        }
+    }
+
+    /// Bin utilization (area / capacity) for one site class, with total
+    /// used and overflowing areas (diagnostic helper).
+    #[allow(dead_code)]
+    pub(crate) fn bin_utilization(&self, class: SiteKind, bw: usize, bh: usize) -> (Vec<f32>, f32, f32) {
+        let arch = &self.design.arch;
+        let sx = bw as f32 / arch.width();
+        let sy = bh as f32 / arch.height();
+        // Capacity: sites of the class per bin (in site units).
+        let mut cap = vec![0.0f32; bw * bh];
+        for col in arch.columns_of(class) {
+            let bx = (((col as f32 + 0.5) * sx) as usize).min(bw - 1);
+            for row in 0..arch.rows() {
+                let by = (((row as f32 + 0.5) * sy) as usize).min(bh - 1);
+                cap[by * bw + bx] += 1.0;
+            }
+        }
+        let mut dens = vec![0.0f32; bw * bh];
+        for (id, inst) in self.design.netlist.instances() {
+            if inst.kind.site_kind() != class {
+                continue;
+            }
+            let (x, y) = self.inst_pos(id);
+            let bx = ((x * sx) as usize).min(bw - 1);
+            let by = ((y * sy) as usize).min(bh - 1);
+            dens[by * bw + bx] += self.areas[id.0 as usize];
+        }
+        let total: f32 = dens.iter().sum();
+        let mut over = 0.0f32;
+        let util: Vec<f32> = dens
+            .iter()
+            .zip(&cap)
+            .map(|(&d, &c)| {
+                over += (d - c).max(0.0);
+                if c > 0.0 {
+                    d / c
+                } else if d > 0.0 {
+                    2.0 // demand in a bin without sites of this class
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        (util, total, over)
+    }
+
+    /// Current per-type overflow ratios.
+    pub fn overflow(&self, cfg: &GpConfig) -> Overflow {
+        let ratio = |class: SiteKind, kinds: &[InstKind]| -> f32 {
+            // Macro populations are small, so measure them on the same
+            // coarse bins the macro spreading uses; fine bins would make
+            // the ratio a brittle quantization artifact.
+            let (bin_w, bin_h) = if class == SiteKind::Clb {
+                (cfg.bin_w, cfg.bin_h)
+            } else {
+                (cfg.bin_w.min(6), cfg.bin_h.min(6))
+            };
+            let arch = &self.design.arch;
+            let sx = bin_w as f32 / arch.width();
+            let sy = bin_h as f32 / arch.height();
+            let mut cap = vec![0.0f32; bin_w * bin_h];
+            for col in arch.columns_of(class) {
+                let bx = (((col as f32 + 0.5) * sx) as usize).min(bin_w - 1);
+                for row in 0..arch.rows() {
+                    let by = (((row as f32 + 0.5) * sy) as usize).min(bin_h - 1);
+                    cap[by * bin_w + bx] += 1.0;
+                }
+            }
+            let mut dens = vec![0.0f32; bin_w * bin_h];
+            for (id, inst) in self.design.netlist.instances() {
+                if !kinds.contains(&inst.kind) {
+                    continue;
+                }
+                let (x, y) = self.inst_pos(id);
+                let bx = ((x * sx) as usize).min(bin_w - 1);
+                let by = ((y * sy) as usize).min(bin_h - 1);
+                dens[by * bin_w + bx] += self.areas[id.0 as usize];
+            }
+            // Scale capacity by this kind's share of the class capacity.
+            let share: f32 = match kinds[0] {
+                InstKind::Lut | InstKind::Ff => 0.5,
+                _ => 1.0,
+            };
+            let total: f32 = dens.iter().sum();
+            if total == 0.0 {
+                return 0.0;
+            }
+            let over: f32 = dens
+                .iter()
+                .zip(&cap)
+                .map(|(&d, &c)| (d - c * share).max(0.0))
+                .sum();
+            over / total
+        };
+        Overflow {
+            lut: ratio(SiteKind::Clb, &[InstKind::Lut]),
+            ff: ratio(SiteKind::Clb, &[InstKind::Ff]),
+            dsp: ratio(SiteKind::Dsp, &[InstKind::Dsp]),
+            bram: ratio(SiteKind::Bram, &[InstKind::Bram]),
+            uram: ratio(SiteKind::Uram, &[InstKind::Uram]),
+        }
+    }
+
+    /// Runs global-placement iterations until the overflow targets are met
+    /// or `cfg.iterations` is exhausted. Returns the iteration count and the
+    /// final overflow.
+    pub fn run_stage(&mut self, cfg: &GpConfig) -> (usize, Overflow) {
+        let mut last = self.overflow(cfg);
+        for it in 0..cfg.iterations {
+            // Anneal: wirelength pull cools while spreading strengthens, so
+            // late iterations prioritize legality (density) over wirelength.
+            let cool = 0.94f32.powi(it as i32);
+            let damping = cfg.wl_damping * cool;
+            let mut anneal_cfg = cfg.clone();
+            anneal_cfg.density_step =
+                (cfg.density_step * (1.0 + it as f32 * 0.04)).min(1.0);
+            for _ in 0..cfg.wl_passes {
+                self.wl_pass(damping, cfg.net_model);
+            }
+            self.density_pass(&anneal_cfg);
+            self.region_pass(cfg.region_weight);
+            last = self.overflow(cfg);
+            if last.meets_targets(cfg.target_overflow_macro, cfg.target_overflow_cell) {
+                return (it + 1, last);
+            }
+        }
+        (cfg.iterations, last)
+    }
+}
+
+/// Spreading axis selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Axis {
+    X,
+    Y,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfaplace_fpga::design::DesignPreset;
+
+    fn small_design() -> Design {
+        DesignPreset::design_116()
+            .with_scale(512, 64, 32)
+            .generate(1)
+    }
+
+    #[test]
+    fn placer_reduces_hpwl_vs_random() {
+        let d = small_design();
+        let random = d.random_placement(3);
+        let mut gp = GlobalPlacer::new(&d, 3);
+        let cfg = GpConfig {
+            iterations: 20,
+            ..GpConfig::default()
+        };
+        gp.run_stage(&cfg);
+        let placed = gp.placement();
+        assert!(
+            placed.hpwl(&d.netlist) < random.hpwl(&d.netlist) * 0.7,
+            "gp {} vs random {}",
+            placed.hpwl(&d.netlist),
+            random.hpwl(&d.netlist)
+        );
+    }
+
+    #[test]
+    fn spreading_reduces_overflow() {
+        let d = small_design();
+        let mut gp = GlobalPlacer::new(&d, 5);
+        let cfg = GpConfig::default();
+        let before = gp.overflow(&cfg);
+        gp.run_stage(&cfg);
+        let after = gp.overflow(&cfg);
+        assert!(
+            after.lut <= before.lut,
+            "lut overflow grew: {} -> {}",
+            before.lut,
+            after.lut
+        );
+        assert!(after.dsp <= before.dsp + 1e-3);
+    }
+
+    #[test]
+    fn cascade_members_stay_stacked() {
+        let d = small_design();
+        assert!(!d.cascades.is_empty());
+        let mut gp = GlobalPlacer::new(&d, 7);
+        gp.run_stage(&GpConfig {
+            iterations: 10,
+            ..GpConfig::default()
+        });
+        let p = gp.placement();
+        for c in &d.cascades {
+            let (x0, y0) = p.pos(c.members[0].0 as usize);
+            for (k, &m) in c.members.iter().enumerate() {
+                let (x, y) = p.pos(m.0 as usize);
+                assert_eq!(x, x0, "cascade member drifted in x");
+                assert!((y - (y0 + k as f32)).abs() < 1e-4, "cascade offset broken");
+            }
+        }
+    }
+
+    #[test]
+    fn region_members_converge_into_region() {
+        let d = small_design();
+        assert!(!d.regions.is_empty());
+        let mut gp = GlobalPlacer::new(&d, 9);
+        gp.run_stage(&GpConfig {
+            iterations: 30,
+            ..GpConfig::default()
+        });
+        let p = gp.placement();
+        let mut inside = 0usize;
+        let mut total = 0usize;
+        for (ri, r) in d.regions.iter().enumerate() {
+            for &m in &r.members {
+                // only members whose movable is bound to this region
+                if d.region_of(m) == Some(ri) {
+                    total += 1;
+                    let (x, y) = p.pos(m.0 as usize);
+                    if r.rect.contains(x, y) {
+                        inside += 1;
+                    }
+                }
+            }
+        }
+        assert!(total > 0);
+        assert!(
+            inside as f32 / total as f32 > 0.8,
+            "only {inside}/{total} region members inside"
+        );
+    }
+
+    #[test]
+    fn all_positions_inside_fabric() {
+        let d = small_design();
+        let mut gp = GlobalPlacer::new(&d, 11);
+        gp.run_stage(&GpConfig {
+            iterations: 15,
+            ..GpConfig::default()
+        });
+        let p = gp.placement();
+        for i in 0..p.len() {
+            let (x, y) = p.pos(i);
+            assert!(x >= 0.0 && x <= d.arch.width(), "x {x} out of fabric");
+            assert!(y >= 0.0 && y <= d.arch.height(), "y {y} out of fabric");
+        }
+    }
+
+    #[test]
+    fn b2b_model_converges_with_more_passes() {
+        // B2B's distance-normalized weights converge more slowly per damped
+        // fixed-point pass than the star model (SimPL applies it inside full
+        // linear solves); with a higher pass budget it reaches comparable
+        // wirelength.
+        let d = small_design();
+        let run = |model: NetModel, passes: usize| {
+            let mut gp = GlobalPlacer::new(&d, 4);
+            gp.run_stage(&GpConfig {
+                iterations: 15,
+                net_model: model,
+                wl_passes: passes,
+                ..GpConfig::default()
+            });
+            gp.placement().hpwl(&d.netlist)
+        };
+        let star = run(NetModel::Star, 3);
+        let b2b = run(NetModel::B2b, 10);
+        assert!(
+            b2b < star * 1.25,
+            "b2b {b2b} should approach star {star} with extra passes"
+        );
+        // And more passes must help B2B itself.
+        let b2b_few = run(NetModel::B2b, 2);
+        assert!(b2b < b2b_few, "passes should improve b2b: {b2b} vs {b2b_few}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = small_design();
+        let run = |seed| {
+            let mut gp = GlobalPlacer::new(&d, seed);
+            gp.run_stage(&GpConfig {
+                iterations: 5,
+                ..GpConfig::default()
+            });
+            gp.placement().hpwl(&d.netlist)
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2));
+    }
+}

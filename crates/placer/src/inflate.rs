@@ -1,0 +1,272 @@
+//! Congestion-driven instance inflation (Eqs. 11-13 of the paper).
+//!
+//! Given a predicted congestion-level map `Y`, every instance sitting in a
+//! grid whose level exceeds 3 is inflated:
+//!
+//! ```text
+//! A_i^est    = A_i * min{ [max(1, Y_i - 2)]^2.5, eps }          (11)
+//! tau_t      = min( (A_t^p - sum A_i) / sum dA_i, 1 )           (12)
+//! A_i^update = A_i + tau_t * dA_i                               (13)
+//! ```
+//!
+//! The per-type scale `tau_t` keeps the inflated demand of each resource
+//! type within the fabric's total capacity `A_t^p`.
+
+use mfaplace_fpga::arch::SiteKind;
+use mfaplace_fpga::design::Design;
+use mfaplace_fpga::gridmap::GridMap;
+use mfaplace_fpga::netlist::InstKind;
+use mfaplace_fpga::placement::Placement;
+
+/// Inflation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InflationConfig {
+    /// The exponent of Eq. (11); the paper uses 2.5.
+    pub exponent: f32,
+    /// The empirical cap `eps` preventing over-inflation (a multiplier).
+    pub epsilon: f32,
+    /// Congestion level above which inflation applies (the paper inflates
+    /// where `Y > 3`, matching the Eq. (1) penalty threshold).
+    pub threshold: f32,
+}
+
+impl Default for InflationConfig {
+    fn default() -> Self {
+        InflationConfig {
+            exponent: 2.5,
+            epsilon: 6.0,
+            threshold: 3.0,
+        }
+    }
+}
+
+/// Summary of one inflation round.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct InflationStats {
+    /// Instances whose area grew.
+    pub inflated_instances: usize,
+    /// Total added area (site units) after per-type scaling.
+    pub added_area: f32,
+    /// The scale factor applied to LUT/FF inflation.
+    pub tau_cell: f32,
+    /// The scale factor applied to macro inflation.
+    pub tau_macro: f32,
+}
+
+/// Applies Eqs. (11)-(13) in place to `areas` (one entry per instance).
+///
+/// `congestion` is a level-scale map (same semantics as the router's
+/// congestion levels); instance positions are looked up in `placement`.
+///
+/// # Panics
+///
+/// Panics if `areas.len()` differs from the instance count.
+pub fn inflate_areas(
+    design: &Design,
+    placement: &Placement,
+    congestion: &GridMap,
+    areas: &mut [f32],
+    cfg: &InflationConfig,
+) -> InflationStats {
+    assert_eq!(
+        areas.len(),
+        design.netlist.num_instances(),
+        "area vector length mismatch"
+    );
+    let gw = congestion.width();
+    let gh = congestion.height();
+    let sx = gw as f32 / design.arch.width();
+    let sy = gh as f32 / design.arch.height();
+
+    // Eq. (11): per-instance estimated area.
+    let mut delta = vec![0.0f32; areas.len()];
+    let mut inflated = 0usize;
+    for (id, _inst) in design.netlist.instances() {
+        let i = id.0 as usize;
+        let (x, y) = placement.pos(i);
+        let gx = ((x * sx) as usize).min(gw - 1);
+        let gy = ((y * sy) as usize).min(gh - 1);
+        let level = congestion.get(gx, gy);
+        if level <= cfg.threshold {
+            continue;
+        }
+        let mult = (level - 2.0).max(1.0).powf(cfg.exponent).min(cfg.epsilon);
+        let est = areas[i] * mult;
+        if est > areas[i] {
+            delta[i] = est - areas[i];
+            inflated += 1;
+        }
+    }
+
+    // Eq. (12): per-type scaling so inflation never exceeds capacity.
+    let type_capacity = |t: InstKind| -> f32 {
+        match t {
+            // 8 LUTs of area 1/8 fill one CLB site: capacity is site count,
+            // split between the two cell kinds.
+            InstKind::Lut | InstKind::Ff => design.arch.site_count(SiteKind::Clb) as f32,
+            InstKind::Dsp => design.arch.site_count(SiteKind::Dsp) as f32,
+            InstKind::Bram => design.arch.site_count(SiteKind::Bram) as f32,
+            InstKind::Uram => design.arch.site_count(SiteKind::Uram) as f32,
+        }
+    };
+    let kinds = [
+        InstKind::Lut,
+        InstKind::Ff,
+        InstKind::Dsp,
+        InstKind::Bram,
+        InstKind::Uram,
+    ];
+    let mut stats = InflationStats {
+        inflated_instances: inflated,
+        ..InflationStats::default()
+    };
+    for t in kinds {
+        let mut used = 0.0f32;
+        let mut added = 0.0f32;
+        for (id, inst) in design.netlist.instances() {
+            if inst.kind != t {
+                continue;
+            }
+            used += areas[id.0 as usize];
+            added += delta[id.0 as usize];
+        }
+        if added <= 0.0 {
+            continue;
+        }
+        let tau = ((type_capacity(t) - used) / added).clamp(0.0, 1.0);
+        match t {
+            InstKind::Lut | InstKind::Ff => stats.tau_cell = tau,
+            _ => stats.tau_macro = stats.tau_macro.max(tau),
+        }
+        // Eq. (13).
+        for (id, inst) in design.netlist.instances() {
+            if inst.kind != t {
+                continue;
+            }
+            let i = id.0 as usize;
+            let add = tau * delta[i];
+            areas[i] += add;
+            stats.added_area += add;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfaplace_fpga::design::DesignPreset;
+
+    fn setup() -> (Design, Placement) {
+        let d = DesignPreset::design_116()
+            .with_scale(512, 64, 32)
+            .generate(1);
+        let p = d.random_placement(2);
+        (d, p)
+    }
+
+    #[test]
+    fn no_congestion_means_no_inflation() {
+        let (d, p) = setup();
+        let congestion = GridMap::new(16, 16); // all level 0
+        let mut areas: Vec<f32> = d
+            .netlist
+            .instances()
+            .map(|(_, i)| i.kind.base_area())
+            .collect();
+        let before = areas.clone();
+        let stats = inflate_areas(&d, &p, &congestion, &mut areas, &InflationConfig::default());
+        assert_eq!(stats.inflated_instances, 0);
+        assert_eq!(areas, before);
+    }
+
+    #[test]
+    fn levels_at_or_below_three_are_ignored() {
+        let (d, p) = setup();
+        let mut congestion = GridMap::new(16, 16);
+        for v in congestion.data_mut() {
+            *v = 3.0;
+        }
+        let mut areas: Vec<f32> = d
+            .netlist
+            .instances()
+            .map(|(_, i)| i.kind.base_area())
+            .collect();
+        let stats = inflate_areas(&d, &p, &congestion, &mut areas, &InflationConfig::default());
+        assert_eq!(stats.inflated_instances, 0);
+    }
+
+    #[test]
+    fn hot_region_inflates_with_eq11_multiplier() {
+        let (d, p) = setup();
+        let mut congestion = GridMap::new(16, 16);
+        for v in congestion.data_mut() {
+            *v = 5.0; // multiplier = min(3^2.5, eps)
+        }
+        let mut areas: Vec<f32> = d
+            .netlist
+            .instances()
+            .map(|(_, i)| i.kind.base_area())
+            .collect();
+        let before: f32 = areas.iter().sum();
+        let stats = inflate_areas(&d, &p, &congestion, &mut areas, &InflationConfig::default());
+        assert!(stats.inflated_instances > 0);
+        let after: f32 = areas.iter().sum();
+        assert!(after > before, "areas should grow");
+    }
+
+    #[test]
+    fn inflation_respects_type_capacity() {
+        let (d, p) = setup();
+        let mut congestion = GridMap::new(16, 16);
+        for v in congestion.data_mut() {
+            *v = 7.0;
+        }
+        let mut areas: Vec<f32> = d
+            .netlist
+            .instances()
+            .map(|(_, i)| i.kind.base_area())
+            .collect();
+        inflate_areas(&d, &p, &congestion, &mut areas, &InflationConfig::default());
+        // Eq. (12): no type may exceed its fabric capacity.
+        for (kind, site) in [
+            (InstKind::Dsp, SiteKind::Dsp),
+            (InstKind::Bram, SiteKind::Bram),
+            (InstKind::Uram, SiteKind::Uram),
+        ] {
+            let used: f32 = d
+                .netlist
+                .instances()
+                .filter(|(_, i)| i.kind == kind)
+                .map(|(id, _)| areas[id.0 as usize])
+                .sum();
+            assert!(
+                used <= d.arch.site_count(site) as f32 + 1e-3,
+                "{kind:?} over capacity: {used}"
+            );
+        }
+    }
+
+    #[test]
+    fn epsilon_caps_multiplier() {
+        let (d, p) = setup();
+        let mut congestion = GridMap::new(16, 16);
+        for v in congestion.data_mut() {
+            *v = 7.0; // (7-2)^2.5 = 55.9 -> capped by eps
+        }
+        let cfg = InflationConfig {
+            epsilon: 1.5,
+            ..InflationConfig::default()
+        };
+        let mut areas: Vec<f32> = d
+            .netlist
+            .instances()
+            .map(|(_, i)| i.kind.base_area())
+            .collect();
+        let before = areas.clone();
+        inflate_areas(&d, &p, &congestion, &mut areas, &cfg);
+        for (a, b) in areas.iter().zip(&before) {
+            assert!(a / b <= 1.5 + 1e-4, "multiplier beyond eps: {}", a / b);
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Macro legalization (Tetris-style) and CLB cell snapping.
+//!
+//! After global placement, macros must occupy discrete sites of matching
+//! kind: cascades need consecutive sites of one column in order, region
+//! members must stay inside their rectangles. Cascades are legalized first
+//! (largest first — they are the hardest to fit), then single macros
+//! greedily by nearest free site.
+
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+use mfaplace_fpga::arch::SiteKind;
+use mfaplace_fpga::design::Design;
+use mfaplace_fpga::netlist::{InstId, InstKind};
+use mfaplace_fpga::placement::Placement;
+
+/// Error returned when a macro cannot be legalized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LegalizeError {
+    /// The instance that could not be placed.
+    pub inst: InstId,
+    /// The site kind that ran out of space.
+    pub site_kind: SiteKind,
+}
+
+impl fmt::Display for LegalizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "no legal {} site for instance {}",
+            self.site_kind, self.inst.0
+        )
+    }
+}
+
+impl Error for LegalizeError {}
+
+/// Legalizes all macros in place: cascades to consecutive column sites,
+/// singles to the nearest free site of their kind, region members inside
+/// their rectangles.
+///
+/// # Errors
+///
+/// Returns [`LegalizeError`] if the fabric runs out of sites of some kind
+/// (never happens for generated designs, which cap utilization).
+pub fn legalize_macros(design: &Design, placement: &mut Placement) -> Result<(), LegalizeError> {
+    let arch = &design.arch;
+    let mut occupied: HashSet<(usize, usize)> = HashSet::new();
+
+    // ---- cascades, longest first ------------------------------------
+    let mut cascades: Vec<usize> = (0..design.cascades.len()).collect();
+    cascades.sort_by_key(|&c| std::cmp::Reverse(design.cascades[c].len()));
+    for ci in cascades {
+        let cascade = &design.cascades[ci];
+        let len = cascade.len();
+        let head = cascade.members[0];
+        let (hx, hy) = placement.pos(head.0 as usize);
+        let cols = arch.columns_of(cascade.site_kind);
+        let mut best: Option<(usize, usize, f32)> = None;
+        for &col in &cols {
+            for start in 0..=(arch.rows().saturating_sub(len)) {
+                if (start..start + len).any(|r| occupied.contains(&(col, r))) {
+                    continue;
+                }
+                let d = (col as f32 - hx).abs() + (start as f32 - hy).abs();
+                if best.is_none_or(|(_, _, bd)| d < bd) {
+                    best = Some((col, start, d));
+                }
+            }
+        }
+        let Some((col, start, _)) = best else {
+            return Err(LegalizeError {
+                inst: head,
+                site_kind: cascade.site_kind,
+            });
+        };
+        for (k, &m) in cascade.members.iter().enumerate() {
+            occupied.insert((col, start + k));
+            placement.set_pos(m.0 as usize, col as f32, (start + k) as f32);
+        }
+    }
+
+    // ---- single macros, biggest displacement risk first --------------
+    let in_cascade: HashSet<InstId> = design
+        .cascades
+        .iter()
+        .flat_map(|c| c.members.iter().copied())
+        .collect();
+    let mut singles: Vec<InstId> = design
+        .netlist
+        .macros()
+        .into_iter()
+        .filter(|m| !in_cascade.contains(m))
+        .collect();
+    // Deterministic order: by id.
+    singles.sort();
+    for m in singles {
+        let kind = design.netlist.instance(m).kind;
+        let site_kind = kind.site_kind();
+        let (mx, my) = placement.pos(m.0 as usize);
+        let region = design.region_of(m).map(|r| design.regions[r].rect);
+        let mut best: Option<(usize, usize, f32)> = None;
+        for &col in &arch.columns_of(site_kind) {
+            for row in 0..arch.rows() {
+                if occupied.contains(&(col, row)) {
+                    continue;
+                }
+                if let Some(rect) = region {
+                    if !rect.contains(col as f32, row as f32) {
+                        continue;
+                    }
+                }
+                let d = (col as f32 - mx).abs() + (row as f32 - my).abs();
+                if best.is_none_or(|(_, _, bd)| d < bd) {
+                    best = Some((col, row, d));
+                }
+            }
+        }
+        // Fall back to ignoring the region if it contains no free site of
+        // the right kind (the generator avoids this, but stay robust).
+        if best.is_none() && region.is_some() {
+            for &col in &arch.columns_of(site_kind) {
+                for row in 0..arch.rows() {
+                    if occupied.contains(&(col, row)) {
+                        continue;
+                    }
+                    let d = (col as f32 - mx).abs() + (row as f32 - my).abs();
+                    if best.is_none_or(|(_, _, bd)| d < bd) {
+                        best = Some((col, row, d));
+                    }
+                }
+            }
+        }
+        let Some((col, row, _)) = best else {
+            return Err(LegalizeError {
+                inst: m,
+                site_kind,
+            });
+        };
+        occupied.insert((col, row));
+        placement.set_pos(m.0 as usize, col as f32, row as f32);
+    }
+    Ok(())
+}
+
+/// Snaps LUT/FF cells onto CLB columns: each cell moves to the nearest CLB
+/// column and an integral row. This is a light-weight stand-in for detailed
+/// cell legalization — cell-level bin capacities are already enforced by
+/// the global placer's spreading, and the congestion analysis operates on
+/// the tile grid, so sub-site packing does not change the reproduced
+/// metrics.
+pub fn legalize_cells(design: &Design, placement: &mut Placement) {
+    let clb_cols = design.arch.columns_of(SiteKind::Clb);
+    for (id, inst) in design.netlist.instances() {
+        if inst.kind != InstKind::Lut && inst.kind != InstKind::Ff {
+            continue;
+        }
+        if !inst.movable {
+            continue;
+        }
+        let (x, y) = placement.pos(id.0 as usize);
+        // nearest CLB column (columns are sorted ascending)
+        let col = match clb_cols.binary_search_by(|&c| (c as f32).partial_cmp(&x).expect("finite")) {
+            Ok(i) => clb_cols[i],
+            Err(i) => {
+                if i == 0 {
+                    clb_cols[0]
+                } else if i >= clb_cols.len() {
+                    clb_cols[clb_cols.len() - 1]
+                } else if (clb_cols[i] as f32 - x).abs() < (x - clb_cols[i - 1] as f32).abs() {
+                    clb_cols[i]
+                } else {
+                    clb_cols[i - 1]
+                }
+            }
+        };
+        let row = (y.round() as usize).min(design.arch.rows() - 1);
+        placement.set_pos(id.0 as usize, col as f32, row as f32);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfaplace_fpga::design::DesignPreset;
+
+    fn legalized() -> (Design, Placement) {
+        let d = DesignPreset::design_116()
+            .with_scale(512, 64, 32)
+            .generate(1);
+        let mut p = d.random_placement(2);
+        legalize_macros(&d, &mut p).expect("legalization");
+        legalize_cells(&d, &mut p);
+        (d, p)
+    }
+
+    #[test]
+    fn macros_on_matching_columns() {
+        let (d, p) = legalized();
+        for m in d.netlist.macros() {
+            let (x, y) = p.pos(m.0 as usize);
+            let col = x as usize;
+            assert_eq!(x.fract(), 0.0, "macro x not integral");
+            assert_eq!(y.fract(), 0.0, "macro y not integral");
+            assert_eq!(
+                d.arch.column_kind(col),
+                d.netlist.instance(m).kind.site_kind(),
+                "macro on wrong column kind"
+            );
+        }
+    }
+
+    #[test]
+    fn no_two_macros_share_a_site() {
+        let (d, p) = legalized();
+        let mut seen = HashSet::new();
+        for m in d.netlist.macros() {
+            let (x, y) = p.pos(m.0 as usize);
+            assert!(
+                seen.insert((x as usize, y as usize)),
+                "site ({x}, {y}) double-booked"
+            );
+        }
+    }
+
+    #[test]
+    fn cascades_occupy_consecutive_ordered_sites() {
+        let (d, p) = legalized();
+        for c in &d.cascades {
+            let (x0, y0) = p.pos(c.members[0].0 as usize);
+            for (k, &m) in c.members.iter().enumerate() {
+                let (x, y) = p.pos(m.0 as usize);
+                assert_eq!(x, x0, "cascade not in one column");
+                assert_eq!(y, y0 + k as f32, "cascade order broken");
+            }
+        }
+    }
+
+    #[test]
+    fn cells_land_on_clb_columns() {
+        let (d, p) = legalized();
+        for (id, inst) in d.netlist.instances() {
+            if !inst.movable || inst.kind.is_macro() {
+                continue;
+            }
+            let (x, _) = p.pos(id.0 as usize);
+            assert_eq!(
+                d.arch.column_kind(x as usize),
+                SiteKind::Clb,
+                "cell on non-CLB column"
+            );
+        }
+    }
+
+    #[test]
+    fn region_macros_prefer_their_region() {
+        let d = DesignPreset::design_190()
+            .with_scale(512, 64, 32)
+            .generate(4);
+        let mut p = d.random_placement(5);
+        legalize_macros(&d, &mut p).expect("legalization");
+        for (ri, r) in d.regions.iter().enumerate() {
+            for &m in &r.members {
+                if !d.netlist.instance(m).kind.is_macro() {
+                    continue;
+                }
+                if d.region_of(m) != Some(ri) {
+                    continue;
+                }
+                let (x, y) = p.pos(m.0 as usize);
+                // sites exist in every region of the generated designs
+                assert!(
+                    r.rect.contains(x, y) || {
+                        // allowed fallback only when the region lacks sites
+                        let kind = d.netlist.instance(m).kind.site_kind();
+                        !d.arch
+                            .columns_of(kind)
+                            .iter()
+                            .any(|&c| r.rect.contains(c as f32, r.rect.center().1))
+                    },
+                    "macro escaped its region"
+                );
+            }
+        }
+    }
+}

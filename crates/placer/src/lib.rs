@@ -1,0 +1,44 @@
+//! Placement substrate: a DREAMPlaceFPGA-flavoured analytical global placer
+//! with MLCAD 2023 constraint handling.
+//!
+//! The paper's macro placement flow (Fig. 6) is: merge cascade-shape macros
+//! into clusters, run region-aware global placement until per-type overflow
+//! targets are met, predict congestion, inflate instances in congested grids
+//! (Eqs. 11-13), continue placement, then legalize macros. This crate
+//! provides each stage:
+//!
+//! - [`gp`] — iterative star-model wirelength minimization with bin-density
+//!   spreading, region tension and cascade clusters (a CPU-scale stand-in
+//!   for the GPU electrostatic placer);
+//! - [`inflate`] — the paper's congestion-driven instance inflation;
+//! - [`legal`] — Tetris-style macro legalization honouring cascade and
+//!   region constraints, plus CLB cell snapping;
+//! - [`detail`] — greedy detailed-placement refinement after legalization;
+//! - [`flows`] — complete placement flows: the model-driven flow of the
+//!   paper and RUDY-analytical baselines standing in for the contest
+//!   winners (UTDA, SEU, MPKU-Improve).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use mfaplace_fpga::design::DesignPreset;
+//! use mfaplace_placer::flows::{PlacementFlow, FlowConfig, RudyPredictor};
+//!
+//! let design = DesignPreset::design_116().with_scale(256, 64, 32).generate(1);
+//! let flow = PlacementFlow::new(FlowConfig::default());
+//! let mut predictor = RudyPredictor::default();
+//! let result = flow.run(&design, &mut predictor, 42);
+//! println!("HPWL = {}", result.placement.hpwl(&design.netlist));
+//! ```
+
+pub mod detail;
+pub mod flows;
+pub mod gp;
+pub mod inflate;
+pub mod legal;
+
+pub use flows::{CongestionPredictor, FlowConfig, PlacementFlow, PlacementResult, RudyPredictor};
+pub use gp::{GlobalPlacer, GpConfig, Overflow};
+pub use inflate::{inflate_areas, InflationConfig};
+pub use detail::{refine_cells, RefineStats};
+pub use legal::{legalize_cells, legalize_macros, LegalizeError};

@@ -1,0 +1,312 @@
+//! Vivado-style interconnect congestion levels.
+//!
+//! Vivado's initial-route congestion report assigns each direction a
+//! congestion *level* `k`, meaning some `2^k x 2^k` square of interconnect
+//! tiles is congested (utilization above a threshold). Penalties in the
+//! contest score apply from level 4 (16x16 regions) upward.
+//!
+//! [`CongestionAnalysis`] computes, per wire class and direction, a
+//! per-tile level map using summed-area tables (each dyadic window size in
+//! O(tiles)), the per-direction maximum levels used by Eq. (1), and the
+//! combined per-tile level map the paper uses as training labels.
+
+use crate::global::UsageMaps;
+use crate::RouterConfig;
+
+/// Routing direction, matching the four directional congestion levels of
+/// Eq. (1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Direction {
+    /// Increasing x.
+    East = 0,
+    /// Decreasing y.
+    South = 1,
+    /// Decreasing x.
+    West = 2,
+    /// Increasing y.
+    North = 3,
+}
+
+impl Direction {
+    /// All four directions.
+    pub const ALL: [Direction; 4] = [
+        Direction::East,
+        Direction::South,
+        Direction::West,
+        Direction::North,
+    ];
+}
+
+/// Wire class: short (local) vs global (long-haul) interconnect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WireClass {
+    /// Local wires.
+    Short,
+    /// Long wires.
+    Global,
+}
+
+impl WireClass {
+    /// Both wire classes.
+    pub const ALL: [WireClass; 2] = [WireClass::Short, WireClass::Global];
+}
+
+/// Maximum congestion level (window `2^MAX_LEVEL`); levels are reported in
+/// `0..=MAX_LEVEL`.
+pub const MAX_LEVEL: u8 = 7;
+
+/// Congestion-level analysis of one routing outcome.
+///
+/// Two level notions coexist, mirroring how Vivado's data is consumed:
+///
+/// - **window levels** (`level_map`, `directional_level`): level `k` means a
+///   `2^k x 2^k` region is congested — the quantity Eq. (1) penalizes;
+/// - **graded per-tile levels** (`combined_level_map`): the max of the
+///   window level and a quantized local utilization, giving the
+///   fine-grained per-tile map the prediction model is trained on (the
+///   paper's `Y in R_+^{1 x H x W}`, Fig. 1).
+#[derive(Debug, Clone)]
+pub struct CongestionAnalysis {
+    w: usize,
+    h: usize,
+    /// Window-based `levels[class][dir][tile]`.
+    levels: [[Vec<u8>; 4]; 2],
+    /// Graded `max(window, utilization quantile)` per class/dir.
+    graded: [[Vec<u8>; 4]; 2],
+}
+
+impl CongestionAnalysis {
+    /// Analyses usage maps into congestion levels.
+    pub fn from_usage(usage: &UsageMaps, config: &RouterConfig) -> Self {
+        let (w, h) = (usage.width(), usage.height());
+        let mut levels: [[Vec<u8>; 4]; 2] =
+            std::array::from_fn(|_| std::array::from_fn(|_| vec![0u8; w * h]));
+        let mut graded: [[Vec<u8>; 4]; 2] =
+            std::array::from_fn(|_| std::array::from_fn(|_| vec![0u8; w * h]));
+        for (ci, &class) in WireClass::ALL.iter().enumerate() {
+            let cap = match class {
+                WireClass::Short => config.short_cap,
+                WireClass::Global => config.global_cap,
+            };
+            for &dir in &Direction::ALL {
+                let util: Vec<f32> = (0..w * h)
+                    .map(|i| usage.usage(class, dir, i % w, i / w) / cap)
+                    .collect();
+                let lm = level_map(&util, w, h, config.congested_ratio);
+                graded[ci][dir as usize] = lm
+                    .iter()
+                    .zip(&util)
+                    .map(|(&wl, &u)| wl.max(utilization_grade(u)))
+                    .collect();
+                levels[ci][dir as usize] = lm;
+            }
+        }
+        CongestionAnalysis {
+            w,
+            h,
+            levels,
+            graded,
+        }
+    }
+
+    /// Grid width.
+    pub fn width(&self) -> usize {
+        self.w
+    }
+
+    /// Grid height.
+    pub fn height(&self) -> usize {
+        self.h
+    }
+
+    /// Per-tile level map for one class and direction.
+    pub fn level_map(&self, class: WireClass, dir: Direction) -> &[u8] {
+        let ci = match class {
+            WireClass::Short => 0,
+            WireClass::Global => 1,
+        };
+        &self.levels[ci][dir as usize]
+    }
+
+    /// The maximum level over all tiles for one class and direction — the
+    /// `L_{short,d}` / `L_{global,d}` of Eq. (1).
+    pub fn directional_level(&self, class: WireClass, dir: Direction) -> u8 {
+        self.level_map(class, dir).iter().copied().max().unwrap_or(0)
+    }
+
+    /// The four short-wire directional levels (E, S, W, N).
+    pub fn short_levels(&self) -> [u8; 4] {
+        Direction::ALL.map(|d| self.directional_level(WireClass::Short, d))
+    }
+
+    /// The four global-wire directional levels (E, S, W, N).
+    pub fn global_levels(&self) -> [u8; 4] {
+        Direction::ALL.map(|d| self.directional_level(WireClass::Global, d))
+    }
+
+    /// Per-tile combined *graded* level: the max over classes and
+    /// directions of `max(window level, utilization grade)`. This is the
+    /// fine-grained congestion-level map the prediction model is trained on
+    /// (`Y in R_+^{1 x H x W}` in the paper) and the map Fig. 1 renders.
+    pub fn combined_level_map(&self) -> Vec<u8> {
+        let mut out = vec![0u8; self.w * self.h];
+        for ci in 0..2 {
+            for di in 0..4 {
+                for (o, &l) in out.iter_mut().zip(&self.graded[ci][di]) {
+                    *o = (*o).max(l);
+                }
+            }
+        }
+        out
+    }
+
+    /// The maximum combined level anywhere.
+    pub fn max_level(&self) -> u8 {
+        self.combined_level_map().iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Quantizes a tile's local utilization onto the level scale: free below
+/// 50% utilization, then one level per additional 25%:
+/// `u = 0.5 -> 1`, `0.75 -> 2`, `1.0 -> 3`, ..., `>= 2.0 -> 7`.
+pub fn utilization_grade(util: f32) -> u8 {
+    if util < 0.5 {
+        0
+    } else {
+        (((util - 0.5) / 0.25) as u8).saturating_add(1).min(MAX_LEVEL)
+    }
+}
+
+/// Computes the per-tile congestion level of one utilization map.
+///
+/// Level `k` (for `k = 1..=MAX_LEVEL`, window `s = 2^k` clipped to the grid)
+/// marks every tile of any `s x s` window whose *average* utilization
+/// exceeds `ratio`. A single over-capacity tile yields level 1. Each tile's
+/// level is the maximum `k` that marks it.
+fn level_map(util: &[f32], w: usize, h: usize, ratio: f32) -> Vec<u8> {
+    let mut out = vec![0u8; w * h];
+    // Level 1 floor: a tile above capacity is at least level 1.
+    for (o, &u) in out.iter_mut().zip(util) {
+        if u > ratio {
+            *o = 1;
+        }
+    }
+    // Summed-area table, (w+1) x (h+1).
+    let mut sat = vec![0.0f64; (w + 1) * (h + 1)];
+    for y in 0..h {
+        for x in 0..w {
+            sat[(y + 1) * (w + 1) + (x + 1)] = f64::from(util[y * w + x])
+                + sat[y * (w + 1) + (x + 1)]
+                + sat[(y + 1) * (w + 1) + x]
+                - sat[y * (w + 1) + x];
+        }
+    }
+    let window_sum = |x0: usize, y0: usize, s: usize| -> f64 {
+        let (x1, y1) = (x0 + s, y0 + s);
+        sat[y1 * (w + 1) + x1] - sat[y0 * (w + 1) + x1] - sat[y1 * (w + 1) + x0]
+            + sat[y0 * (w + 1) + x0]
+    };
+    for k in 1..=MAX_LEVEL {
+        let s = 1usize << k;
+        if s > w || s > h {
+            break;
+        }
+        // Mark tiles of congested windows with a 2-D difference array.
+        let mut diff = vec![0i32; (w + 1) * (h + 1)];
+        let mut any = false;
+        for y0 in 0..=(h - s) {
+            for x0 in 0..=(w - s) {
+                let avg = window_sum(x0, y0, s) / (s * s) as f64;
+                if avg > f64::from(ratio) {
+                    any = true;
+                    diff[y0 * (w + 1) + x0] += 1;
+                    diff[y0 * (w + 1) + x0 + s] -= 1;
+                    diff[(y0 + s) * (w + 1) + x0] -= 1;
+                    diff[(y0 + s) * (w + 1) + x0 + s] += 1;
+                }
+            }
+        }
+        if !any {
+            continue;
+        }
+        // Integrate the difference array; positive cells are covered.
+        let mut row_acc = vec![0i32; w + 1];
+        for y in 0..h {
+            let mut acc = 0i32;
+            for x in 0..w {
+                acc += diff[y * (w + 1) + x];
+                row_acc[x] += acc;
+                if row_acc[x] > 0 {
+                    out[y * w + x] = out[y * w + x].max(k);
+                }
+            }
+            // undo: keep row_acc as running vertical integral
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_hot_tile_is_level_one() {
+        let mut util = vec![0.0f32; 16 * 16];
+        util[5 * 16 + 5] = 2.0;
+        let lm = level_map(&util, 16, 16, 0.9);
+        assert_eq!(lm[5 * 16 + 5], 1);
+        assert_eq!(lm[0], 0);
+    }
+
+    #[test]
+    fn hot_square_region_raises_level() {
+        // A fully saturated 8x8 region must reach level 3 (window 8).
+        let mut util = vec![0.0f32; 32 * 32];
+        for y in 4..12 {
+            for x in 4..12 {
+                util[y * 32 + x] = 1.5;
+            }
+        }
+        let lm = level_map(&util, 32, 32, 0.9);
+        let max = lm.iter().copied().max().unwrap();
+        assert_eq!(max, 3, "8x8 hot region should be level 3");
+        assert!(lm[8 * 32 + 8] >= 3);
+    }
+
+    #[test]
+    fn bigger_regions_give_higher_levels() {
+        let mut small = vec![0.0f32; 64 * 64];
+        let mut large = vec![0.0f32; 64 * 64];
+        for y in 0..4 {
+            for x in 0..4 {
+                small[y * 64 + x] = 2.0;
+            }
+        }
+        for y in 0..32 {
+            for x in 0..32 {
+                large[y * 64 + x] = 2.0;
+            }
+        }
+        let ls = level_map(&small, 64, 64, 0.9);
+        let ll = level_map(&large, 64, 64, 0.9);
+        assert!(ll.iter().max() > ls.iter().max());
+        assert_eq!(*ll.iter().max().unwrap(), 5, "32x32 region = level 5");
+    }
+
+    #[test]
+    fn uniform_low_utilization_is_level_zero() {
+        let util = vec![0.5f32; 16 * 16];
+        let lm = level_map(&util, 16, 16, 0.9);
+        assert!(lm.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn levels_cap_at_grid() {
+        // Fully hot 8x8 grid: largest window is 8 = 2^3.
+        let util = vec![2.0f32; 8 * 8];
+        let lm = level_map(&util, 8, 8, 0.9);
+        assert_eq!(*lm.iter().max().unwrap(), 3);
+    }
+}

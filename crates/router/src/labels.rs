@@ -1,0 +1,122 @@
+//! Training-label generation: per-tile congestion-level maps.
+
+use mfaplace_fpga::design::Design;
+use mfaplace_fpga::gridmap::GridMap;
+use mfaplace_fpga::placement::Placement;
+
+use crate::congestion::CongestionAnalysis;
+use crate::global::GlobalRouter;
+use crate::RouterConfig;
+
+/// A labelled congestion snapshot: the per-tile level map both as raw class
+/// ids (for cross entropy) and as a [`GridMap`] (for augmentation and
+/// rendering).
+#[derive(Debug, Clone)]
+pub struct CongestionLabels {
+    /// Per-tile congestion level (class id `0..=MAX_LEVEL`), row-major.
+    pub levels: Vec<u8>,
+    /// Same data as a float map.
+    pub map: GridMap,
+    /// The full analysis (directional levels etc.).
+    pub analysis: CongestionAnalysis,
+    /// Total routed wirelength (effort proxy).
+    pub total_wirelength: f64,
+    /// Residual overflow after routing.
+    pub total_overflow: f32,
+}
+
+/// Routes `design` under `placement` and derives the congestion-level label
+/// map used to train the prediction models.
+pub fn congestion_labels(
+    design: &Design,
+    placement: &Placement,
+    config: &RouterConfig,
+) -> CongestionLabels {
+    let router = GlobalRouter::new(config.clone());
+    let outcome = router.route(design, placement);
+    let analysis = CongestionAnalysis::from_usage(&outcome.usage, config);
+    let levels = analysis.combined_level_map();
+    let map = GridMap::from_vec(
+        config.grid_w,
+        config.grid_h,
+        levels.iter().map(|&l| f32::from(l)).collect(),
+    );
+    CongestionLabels {
+        levels,
+        map,
+        analysis,
+        total_wirelength: outcome.total_wirelength,
+        total_overflow: outcome.total_overflow,
+    }
+}
+
+/// Rotates a label level vector by `k * 90` degrees (matching
+/// `FeatureStack::rot90` for dataset augmentation).
+pub fn rotate_levels(levels: &[u8], w: usize, h: usize, k: usize) -> Vec<u8> {
+    let map = GridMap::from_vec(w, h, levels.iter().map(|&l| f32::from(l)).collect());
+    let rotated = map.rot90(k);
+    rotated.data().iter().map(|&v| v as u8).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfaplace_fpga::design::DesignPreset;
+
+    #[test]
+    fn labels_have_grid_shape_and_bounded_levels() {
+        let d = DesignPreset::design_116()
+            .with_scale(512, 64, 32)
+            .generate(1);
+        let p = d.random_placement(2);
+        let cfg = RouterConfig {
+            grid_w: 32,
+            grid_h: 32,
+            ..RouterConfig::default()
+        };
+        let labels = congestion_labels(&d, &p, &cfg);
+        assert_eq!(labels.levels.len(), 32 * 32);
+        assert!(labels.levels.iter().all(|&l| l <= crate::MAX_LEVEL));
+        assert_eq!(labels.map.width(), 32);
+    }
+
+    #[test]
+    fn rotation_round_trip() {
+        let levels: Vec<u8> = (0..16).map(|i| (i % 8) as u8).collect();
+        let r4 = rotate_levels(&levels, 4, 4, 4);
+        assert_eq!(r4, levels);
+        let r1 = rotate_levels(&levels, 4, 4, 1);
+        assert_ne!(r1, levels);
+    }
+
+    #[test]
+    fn congested_config_produces_nonzero_labels() {
+        let d = DesignPreset::design_180()
+            .with_scale(128, 16, 8)
+            .generate(3);
+        // Clustered placement on a starved grid must show congestion.
+        let mut p = d.random_placement(4);
+        for (id, inst) in d.netlist.instances() {
+            if inst.movable {
+                let (x, y) = p.pos(id.0 as usize);
+                p.set_pos(
+                    id.0 as usize,
+                    d.arch.width() * 0.4 + x * 0.2,
+                    d.arch.height() * 0.4 + y * 0.2,
+                );
+            }
+        }
+        let cfg = RouterConfig {
+            grid_w: 32,
+            grid_h: 32,
+            short_cap: 4.0,
+            global_cap: 2.0,
+            ..RouterConfig::default()
+        };
+        let labels = congestion_labels(&d, &p, &cfg);
+        assert!(
+            labels.levels.iter().any(|&l| l > 0),
+            "expected congestion labels"
+        );
+    }
+}

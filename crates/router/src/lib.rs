@@ -1,0 +1,135 @@
+//! Routing substrate: congestion simulation and contest scoring.
+//!
+//! The paper labels its training data with the *interconnect congestion
+//! level* reported by the Vivado initial router and scores placements with
+//! the MLCAD 2023 formulas. Vivado is proprietary, so this crate provides a
+//! behavioural equivalent:
+//!
+//! - [`global`] — a capacity-aware global router on the interconnect tile
+//!   grid (congestion-aware L-shapes from a star decomposition, plus
+//!   rip-up-and-reroute passes), tracking per-direction short and global
+//!   wire usage;
+//! - [`congestion`] — Vivado-style congestion *levels*: level `k` means some
+//!   `2^k x 2^k` window of tiles exceeds its capacity (computed with
+//!   summed-area tables);
+//! - [`detailed`] — a detailed-router iteration model driven by residual
+//!   overflow (`S_DR`);
+//! - [`score`] — Eqs. (1)-(3): `S_IR`, `S_R = S_IR * S_DR`, and the final
+//!   contest score;
+//! - [`labels`] — per-tile congestion-level maps used as training labels;
+//! - [`maze`] — an A* maze router with congestion-aware edge costs, the
+//!   alternative [`RoutingAlgorithm`].
+//!
+//! # Example
+//!
+//! ```
+//! use mfaplace_fpga::design::DesignPreset;
+//! use mfaplace_router::{global::GlobalRouter, RouterConfig};
+//!
+//! let design = DesignPreset::design_116().with_scale(256, 64, 32).generate(1);
+//! let placement = design.random_placement(7);
+//! let router = GlobalRouter::new(RouterConfig::default());
+//! let outcome = router.route(&design, &placement);
+//! assert!(outcome.total_wirelength > 0.0);
+//! ```
+
+pub mod congestion;
+pub mod detailed;
+pub mod global;
+pub mod labels;
+pub mod maze;
+pub mod score;
+
+pub use congestion::{CongestionAnalysis, Direction, WireClass, MAX_LEVEL};
+pub use global::{GlobalRouter, RoutingOutcome};
+pub use score::{RoutabilityScore, ScoreInputs};
+
+/// Routing algorithm selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingAlgorithm {
+    /// Fast L/Z pattern routing with congestion-aware pattern choice
+    /// (default; used by the experiment harnesses).
+    #[default]
+    Patterns,
+    /// A* maze routing with congestion-aware edge costs
+    /// (closer to a production initial router; slower).
+    Maze,
+}
+
+/// Configuration of the global router and congestion analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouterConfig {
+    /// Interconnect tile grid width.
+    pub grid_w: usize,
+    /// Interconnect tile grid height.
+    pub grid_h: usize,
+    /// Short-wire capacity per tile per direction.
+    pub short_cap: f32,
+    /// Global-wire capacity per tile per direction.
+    pub global_cap: f32,
+    /// Connections spanning at least this many tiles use global wires.
+    pub global_threshold: usize,
+    /// Number of rip-up-and-reroute refinement passes.
+    pub rrr_passes: usize,
+    /// Window occupancy ratio above which a window counts as congested.
+    pub congested_ratio: f32,
+    /// Seed for the net-ordering shuffle.
+    pub seed: u64,
+    /// Which routing algorithm to use.
+    pub algorithm: RoutingAlgorithm,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            grid_w: 64,
+            grid_h: 64,
+            short_cap: 14.0,
+            global_cap: 6.0,
+            global_threshold: 12,
+            rrr_passes: 2,
+            congested_ratio: 0.9,
+            seed: 0xC0FFEE,
+            algorithm: RoutingAlgorithm::Patterns,
+        }
+    }
+}
+
+impl RouterConfig {
+    /// Calibrates per-tile wire capacities against a reference placement of
+    /// a design, so utilization distributions are meaningful at any
+    /// design/grid scale (a real device's routing capacity is sized for its
+    /// logic capacity; the synthetic fabric mirrors that here).
+    ///
+    /// Routes the reference placement once with the current capacities
+    /// (capacities barely influence the demand distribution, only the
+    /// pattern choice), then sets each class's capacity so the 80th
+    /// percentile of per-tile directional usage sits at `target_util`
+    /// (a typical value is 0.7). Floors keep degenerate designs routable.
+    pub fn calibrated(
+        mut self,
+        design: &mfaplace_fpga::design::Design,
+        reference: &mfaplace_fpga::placement::Placement,
+        target_util: f32,
+    ) -> RouterConfig {
+        use crate::congestion::{Direction, WireClass};
+        let outcome = crate::global::GlobalRouter::new(self.clone()).route(design, reference);
+        let percentile = |class: WireClass| -> f32 {
+            let mut usages: Vec<f32> = Vec::with_capacity(self.grid_w * self.grid_h);
+            for y in 0..self.grid_h {
+                for x in 0..self.grid_w {
+                    let u = Direction::ALL
+                        .iter()
+                        .map(|&d| outcome.usage.usage(class, d, x, y))
+                        .fold(0.0f32, f32::max);
+                    usages.push(u);
+                }
+            }
+            usages.sort_by(|a, b| a.partial_cmp(b).expect("finite usage"));
+            usages[(usages.len() * 8 / 10).min(usages.len() - 1)]
+        };
+        self.short_cap = (percentile(WireClass::Short) / target_util).max(4.0);
+        self.global_cap = (percentile(WireClass::Global) / target_util).max(2.0);
+        self
+    }
+}

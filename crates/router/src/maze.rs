@@ -1,0 +1,320 @@
+//! A congestion-aware maze router (A*) — the algorithmic family Vivado's
+//! initial router belongs to, offered as an alternative to the fast
+//! pattern router of [`crate::global`].
+//!
+//! Each two-pin connection is routed with A* on the tile grid inside its
+//! bounding box inflated by a detour margin. Edge costs combine unit
+//! wirelength with a quadratic congestion penalty on the directional wire
+//! being consumed, so later nets avoid saturated tiles; a rip-up-and-reroute
+//! pass re-routes connections that still cross overflowed edges.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use mfaplace_fpga::design::Design;
+use mfaplace_fpga::placement::Placement;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::congestion::{Direction, WireClass};
+use crate::global::{RoutingOutcome, UsageMaps};
+use crate::RouterConfig;
+
+/// One step of a routed path: the directional wire consumed when leaving
+/// tile `(x, y)` toward `dir`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Step {
+    /// Direction of travel.
+    pub dir: Direction,
+    /// Tile whose directional wire is consumed.
+    pub x: usize,
+    /// Tile y.
+    pub y: usize,
+}
+
+struct MazeConn {
+    from: (usize, usize),
+    to: (usize, usize),
+    class: WireClass,
+    path: Vec<Step>,
+}
+
+/// Routes all nets with the A* maze router, returning the same outcome type
+/// as the pattern router.
+pub fn route_maze(design: &Design, placement: &Placement, cfg: &RouterConfig) -> RoutingOutcome {
+    let sx = cfg.grid_w as f32 / design.arch.width();
+    let sy = cfg.grid_h as f32 / design.arch.height();
+    let tile = |x: f32, y: f32| -> (usize, usize) {
+        (
+            ((x * sx) as usize).min(cfg.grid_w - 1),
+            ((y * sy) as usize).min(cfg.grid_h - 1),
+        )
+    };
+
+    // Star decomposition, as in the pattern router.
+    let mut conns: Vec<MazeConn> = Vec::new();
+    for (_, net) in design.netlist.nets() {
+        let mut txs: Vec<usize> = Vec::with_capacity(net.degree());
+        let mut tys: Vec<usize> = Vec::with_capacity(net.degree());
+        for &p in &net.pins {
+            let (x, y) = placement.pos(p.0 as usize);
+            let (tx, ty) = tile(x, y);
+            txs.push(tx);
+            tys.push(ty);
+        }
+        let mut xs = txs.clone();
+        let mut ys = tys.clone();
+        xs.sort_unstable();
+        ys.sort_unstable();
+        let center = (xs[xs.len() / 2], ys[ys.len() / 2]);
+        for (&tx, &ty) in txs.iter().zip(&tys) {
+            if (tx, ty) == center {
+                continue;
+            }
+            let span = tx.abs_diff(center.0) + ty.abs_diff(center.1);
+            let class = if span >= cfg.global_threshold {
+                WireClass::Global
+            } else {
+                WireClass::Short
+            };
+            conns.push(MazeConn {
+                from: (tx, ty),
+                to: center,
+                class,
+                path: Vec::new(),
+            });
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    conns.shuffle(&mut rng);
+
+    let mut usage = UsageMaps::new(cfg.grid_w, cfg.grid_h);
+    let mut total_wl = 0.0f64;
+    for c in &mut conns {
+        c.path = astar(&usage, c, cfg);
+        apply(&mut usage, c, 1.0);
+        total_wl += c.path.len() as f64;
+    }
+    for _ in 0..cfg.rrr_passes {
+        for i in 0..conns.len() {
+            if !crosses_overflow(&usage, &conns[i], cfg) {
+                continue;
+            }
+            apply(&mut usage, &conns[i], -1.0);
+            total_wl -= conns[i].path.len() as f64;
+            conns[i].path = astar(&usage, &conns[i], cfg);
+            total_wl += conns[i].path.len() as f64;
+            // Split borrow: path applied after recompute.
+            apply_at(&mut usage, &conns[i], 1.0);
+        }
+    }
+
+    let total_overflow = usage.total_overflow(cfg.short_cap, cfg.global_cap);
+    RoutingOutcome {
+        usage,
+        total_wirelength: total_wl,
+        total_overflow,
+        connections: conns.len(),
+    }
+}
+
+fn cap_of(cfg: &RouterConfig, class: WireClass) -> f32 {
+    match class {
+        WireClass::Short => cfg.short_cap,
+        WireClass::Global => cfg.global_cap,
+    }
+}
+
+fn apply(usage: &mut UsageMaps, c: &MazeConn, sign: f32) {
+    for s in &c.path {
+        usage.add(c.class, s.dir, s.x, s.y, sign);
+    }
+}
+
+fn apply_at(usage: &mut UsageMaps, c: &MazeConn, sign: f32) {
+    apply(usage, c, sign);
+}
+
+fn crosses_overflow(usage: &UsageMaps, c: &MazeConn, cfg: &RouterConfig) -> bool {
+    let cap = cap_of(cfg, c.class);
+    c.path
+        .iter()
+        .any(|s| usage.usage(c.class, s.dir, s.x, s.y) > cap)
+}
+
+/// Detour margin around the connection bounding box, in tiles.
+const DETOUR: usize = 4;
+
+fn astar(usage: &UsageMaps, c: &MazeConn, cfg: &RouterConfig) -> Vec<Step> {
+    let (w, h) = (cfg.grid_w, cfg.grid_h);
+    let cap = cap_of(cfg, c.class);
+    // Search window.
+    let x0 = c.from.0.min(c.to.0).saturating_sub(DETOUR);
+    let x1 = (c.from.0.max(c.to.0) + DETOUR).min(w - 1);
+    let y0 = c.from.1.min(c.to.1).saturating_sub(DETOUR);
+    let y1 = (c.from.1.max(c.to.1) + DETOUR).min(h - 1);
+    let ww = x1 - x0 + 1;
+    let wh = y1 - y0 + 1;
+    let idx = |x: usize, y: usize| (y - y0) * ww + (x - x0);
+
+    // Cost of consuming the directional wire leaving (x, y) toward dir.
+    let edge_cost = |dir: Direction, x: usize, y: usize| -> f32 {
+        let u = usage.usage(c.class, dir, x, y);
+        let over = (u + 1.0 - cap).max(0.0) / cap;
+        1.0 + 4.0 * over * over + 0.25 * (u / cap) * (u / cap)
+    };
+    let heuristic =
+        |x: usize, y: usize| -> f32 { (x.abs_diff(c.to.0) + y.abs_diff(c.to.1)) as f32 };
+
+    let mut dist = vec![f32::INFINITY; ww * wh];
+    let mut prev: Vec<Option<Step>> = vec![None; ww * wh];
+    // Order by f-score; ties broken arbitrarily. f32 is not Ord, so store
+    // a scaled integer key.
+    let key = |f: f32| (f * 1024.0) as u64;
+    let mut heap: BinaryHeap<Reverse<(u64, usize, usize)>> = BinaryHeap::new();
+    dist[idx(c.from.0, c.from.1)] = 0.0;
+    heap.push(Reverse((key(heuristic(c.from.0, c.from.1)), c.from.0, c.from.1)));
+
+    while let Some(Reverse((_, x, y))) = heap.pop() {
+        if (x, y) == c.to {
+            break;
+        }
+        let d = dist[idx(x, y)];
+        let neighbours = [
+            (Direction::East, x as isize + 1, y as isize),
+            (Direction::West, x as isize - 1, y as isize),
+            (Direction::North, x as isize, y as isize + 1),
+            (Direction::South, x as isize, y as isize - 1),
+        ];
+        for (dir, nx, ny) in neighbours {
+            if nx < x0 as isize || ny < y0 as isize || nx > x1 as isize || ny > y1 as isize {
+                continue;
+            }
+            let (nx, ny) = (nx as usize, ny as usize);
+            let nd = d + edge_cost(dir, x, y);
+            if nd < dist[idx(nx, ny)] {
+                dist[idx(nx, ny)] = nd;
+                prev[idx(nx, ny)] = Some(Step { dir, x, y });
+                heap.push(Reverse((key(nd + heuristic(nx, ny)), nx, ny)));
+            }
+        }
+    }
+
+    // Reconstruct (fall back to an L-path if the window search failed,
+    // which cannot happen for a connected window, but stay safe).
+    let mut path = Vec::new();
+    let mut cur = c.to;
+    while cur != c.from {
+        let Some(step) = prev[idx(cur.0, cur.1)] else {
+            return l_path(c);
+        };
+        path.push(step);
+        cur = (step.x, step.y);
+    }
+    path.reverse();
+    path
+}
+
+/// Straight horizontal-then-vertical fallback path.
+fn l_path(c: &MazeConn) -> Vec<Step> {
+    let mut path = Vec::new();
+    let (mut x, mut y) = c.from;
+    while x != c.to.0 {
+        let dir = if x < c.to.0 {
+            Direction::East
+        } else {
+            Direction::West
+        };
+        path.push(Step { dir, x, y });
+        x = if x < c.to.0 { x + 1 } else { x - 1 };
+    }
+    while y != c.to.1 {
+        let dir = if y < c.to.1 {
+            Direction::North
+        } else {
+            Direction::South
+        };
+        path.push(Step { dir, x, y });
+        y = if y < c.to.1 { y + 1 } else { y - 1 };
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::global::GlobalRouter;
+    use mfaplace_fpga::design::DesignPreset;
+
+    fn setup() -> (Design, Placement, RouterConfig) {
+        let d = DesignPreset::design_116()
+            .with_scale(512, 64, 32)
+            .generate(1);
+        let p = d.random_placement(2);
+        let cfg = RouterConfig {
+            grid_w: 32,
+            grid_h: 32,
+            ..RouterConfig::default()
+        };
+        (d, p, cfg)
+    }
+
+    #[test]
+    fn maze_routes_all_connections() {
+        let (d, p, cfg) = setup();
+        let out = route_maze(&d, &p, &cfg);
+        assert!(out.connections > 0);
+        assert!(out.total_wirelength > 0.0);
+    }
+
+    #[test]
+    fn maze_wirelength_close_to_pattern_router() {
+        let (d, p, cfg) = setup();
+        let maze = route_maze(&d, &p, &cfg);
+        let pattern = GlobalRouter::new(cfg).route(&d, &p);
+        // Maze may detour around congestion but stays within a small factor.
+        let ratio = maze.total_wirelength / pattern.total_wirelength;
+        assert!((0.9..1.3).contains(&ratio), "wl ratio {ratio}");
+    }
+
+    #[test]
+    fn maze_overflow_not_worse_than_pattern() {
+        let (d, p, mut cfg) = setup();
+        cfg.short_cap = 4.0;
+        cfg.global_cap = 2.0;
+        let maze = route_maze(&d, &p, &cfg);
+        let pattern = GlobalRouter::new(cfg).route(&d, &p);
+        assert!(
+            f64::from(maze.total_overflow) <= f64::from(pattern.total_overflow) * 1.05,
+            "maze {} vs pattern {}",
+            maze.total_overflow,
+            pattern.total_overflow
+        );
+    }
+
+    #[test]
+    fn l_path_has_manhattan_length() {
+        let c = MazeConn {
+            from: (2, 3),
+            to: (7, 1),
+            class: WireClass::Short,
+            path: Vec::new(),
+        };
+        assert_eq!(l_path(&c).len(), 5 + 2);
+    }
+
+    #[test]
+    fn astar_is_manhattan_on_empty_grid() {
+        let (_, _, cfg) = setup();
+        let usage = UsageMaps::new(cfg.grid_w, cfg.grid_h);
+        let c = MazeConn {
+            from: (1, 1),
+            to: (9, 6),
+            class: WireClass::Short,
+            path: Vec::new(),
+        };
+        let path = astar(&usage, &c, &cfg);
+        assert_eq!(path.len(), 8 + 5, "uncongested A* must be shortest");
+    }
+}

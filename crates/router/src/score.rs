@@ -1,0 +1,151 @@
+//! MLCAD 2023 routability scoring (Eqs. 1–3 of the paper).
+
+/// Raw inputs to the score formulas.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoreInputs {
+    /// Short-wire congestion level per direction (E, S, W, N).
+    pub l_short: [u8; 4],
+    /// Global-wire congestion level per direction (E, S, W, N).
+    pub l_global: [u8; 4],
+    /// Detailed-router iterations.
+    pub s_dr: u32,
+    /// Macro-placement runtime in minutes.
+    pub t_macro_min: f64,
+    /// Vivado cell placement + routing runtime in hours.
+    pub t_pr_hours: f64,
+}
+
+/// The computed routability scores.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoutabilityScore {
+    inputs: ScoreInputs,
+}
+
+impl RoutabilityScore {
+    /// Computes all scores from the raw inputs.
+    pub fn new(inputs: ScoreInputs) -> Self {
+        RoutabilityScore { inputs }
+    }
+
+    /// The raw inputs.
+    pub fn inputs(&self) -> &ScoreInputs {
+        &self.inputs
+    }
+
+    /// Initial routing score, Eq. (1):
+    /// `S_IR = 1 + sum_d [max(0, L_short_d - 3)^2 + max(0, L_global_d - 3)^2]`.
+    ///
+    /// Only congestion levels 4 and above are penalized.
+    pub fn s_ir(&self) -> f64 {
+        let pen = |l: u8| -> f64 {
+            let over = f64::from(l).max(0.0) - 3.0;
+            if over > 0.0 {
+                over * over
+            } else {
+                0.0
+            }
+        };
+        1.0 + self
+            .inputs
+            .l_short
+            .iter()
+            .zip(&self.inputs.l_global)
+            .map(|(&ls, &lg)| pen(ls) + pen(lg))
+            .sum::<f64>()
+    }
+
+    /// Detailed routing score (iteration count).
+    pub fn s_dr(&self) -> f64 {
+        f64::from(self.inputs.s_dr)
+    }
+
+    /// Overall routability score, Eq. (2): `S_R = S_IR * S_DR`.
+    pub fn s_r(&self) -> f64 {
+        self.s_ir() * self.s_dr()
+    }
+
+    /// Final contest score, Eq. (3):
+    /// `S_score = [1 + max(0, T_macro - 10)] * S_R * T_P&R`.
+    pub fn s_score(&self) -> f64 {
+        (1.0 + (self.inputs.t_macro_min - 10.0).max(0.0)) * self.s_r() * self.inputs.t_pr_hours
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> ScoreInputs {
+        ScoreInputs {
+            l_short: [0, 0, 0, 0],
+            l_global: [0, 0, 0, 0],
+            s_dr: 8,
+            t_macro_min: 5.0,
+            t_pr_hours: 0.5,
+        }
+    }
+
+    #[test]
+    fn congestion_free_s_ir_is_one() {
+        let s = RoutabilityScore::new(base());
+        assert_eq!(s.s_ir(), 1.0);
+        assert_eq!(s.s_r(), 8.0);
+        assert_eq!(s.s_score(), 4.0);
+    }
+
+    #[test]
+    fn levels_up_to_three_are_free() {
+        let mut i = base();
+        i.l_short = [3, 3, 3, 3];
+        i.l_global = [3, 3, 3, 3];
+        assert_eq!(RoutabilityScore::new(i).s_ir(), 1.0);
+    }
+
+    #[test]
+    fn level_five_penalty_is_quadratic() {
+        let mut i = base();
+        i.l_short = [5, 0, 0, 0];
+        // max(0, 5-3)^2 = 4
+        assert_eq!(RoutabilityScore::new(i).s_ir(), 5.0);
+        i.l_global = [0, 6, 0, 0];
+        // + max(0, 6-3)^2 = 9
+        assert_eq!(RoutabilityScore::new(i).s_ir(), 14.0);
+    }
+
+    #[test]
+    fn slow_macro_placement_multiplies_score() {
+        let mut i = base();
+        i.t_macro_min = 12.0;
+        let s = RoutabilityScore::new(i);
+        // 1 + (12-10) = 3x multiplier
+        assert_eq!(s.s_score(), 3.0 * s.s_r() * 0.5);
+    }
+
+    #[test]
+    fn fast_macro_placement_has_no_bonus() {
+        let mut a = base();
+        a.t_macro_min = 1.0;
+        let mut b = base();
+        b.t_macro_min = 9.9;
+        assert_eq!(
+            RoutabilityScore::new(a).s_score(),
+            RoutabilityScore::new(b).s_score()
+        );
+    }
+
+    #[test]
+    fn matches_paper_example_magnitudes() {
+        // Design_116 / UTDA row of Table II: S_IR 9, S_DR 11 -> S_R 99.
+        let i = ScoreInputs {
+            l_short: [5, 4, 4, 3],     // penalties 4 + 1 + 1 = 6
+            l_global: [4, 4, 3, 3],    // penalties 1 + 1 = 2
+            s_dr: 11,
+            t_macro_min: 4.0,
+            t_pr_hours: 0.56,
+        };
+        let s = RoutabilityScore::new(i);
+        assert_eq!(s.s_ir(), 9.0);
+        assert_eq!(s.s_r(), 99.0);
+        assert!((s.s_score() - 55.44).abs() < 1e-9);
+    }
+}

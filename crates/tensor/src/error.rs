@@ -1,0 +1,37 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by fallible tensor constructors and reshapes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The provided data length does not match the product of the shape.
+    LengthMismatch {
+        /// Number of elements implied by the shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// Two shapes that were required to agree do not.
+    ShapeMismatch {
+        /// First shape involved.
+        left: Vec<usize>,
+        /// Second shape involved.
+        right: Vec<usize>,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => write!(
+                f,
+                "data length {actual} does not match shape element count {expected}"
+            ),
+            TensorError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch: {left:?} vs {right:?}")
+            }
+        }
+    }
+}
+
+impl Error for TensorError {}

@@ -1,0 +1,59 @@
+//! Weight initialization schemes.
+
+use rand::Rng;
+
+use crate::Tensor;
+
+/// Kaiming (He) normal initialization for ReLU networks: `N(0, sqrt(2/fan_in))`.
+///
+/// `fan_in` is the number of input connections per output unit (for a conv
+/// layer, `in_channels * kh * kw`).
+///
+/// ```
+/// use mfaplace_tensor::kaiming_normal;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let w = kaiming_normal(vec![16, 8, 3, 3], 8 * 9, &mut rng);
+/// assert_eq!(w.shape(), &[16, 8, 3, 3]);
+/// ```
+pub fn kaiming_normal(shape: Vec<usize>, fan_in: usize, rng: &mut impl Rng) -> Tensor {
+    let std = (2.0 / fan_in.max(1) as f32).sqrt();
+    Tensor::randn(shape, std, rng)
+}
+
+/// Xavier/Glorot uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`. Used for linear/attention projections.
+pub fn xavier_uniform(
+    shape: Vec<usize>,
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut impl Rng,
+) -> Tensor {
+    let a = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+    Tensor::uniform(shape, -a, a, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kaiming_std_scales_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let w = kaiming_normal(vec![20_000], 50, &mut rng);
+        let var = w.sq_norm() / w.numel() as f32;
+        let expected = 2.0 / 50.0;
+        assert!((var - expected).abs() < expected * 0.15, "var {var}");
+    }
+
+    #[test]
+    fn xavier_bounds_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let w = xavier_uniform(vec![1000], 30, 30, &mut rng);
+        let a = (6.0f32 / 60.0).sqrt();
+        assert!(w.max() <= a && w.min() >= -a);
+    }
+}

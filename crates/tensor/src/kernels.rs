@@ -1,0 +1,559 @@
+//! Compute kernels: GEMM, convolution lowering (im2col/col2im), pooling,
+//! upsampling, permutation, concatenation.
+//!
+//! All kernels are implemented as inherent methods on [`Tensor`] so they are
+//! discoverable from the type. Shape preconditions are documented per method
+//! and violations panic — these are internal hot paths where a malformed
+//! shape is a programming error, not a recoverable condition.
+
+use crate::{strides_for, Tensor};
+
+impl Tensor {
+    // ------------------------------------------------------------- matmul
+
+    /// Matrix product of `[m, k] x [k, n] -> [m, n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both operands are rank-2 with matching inner dimension.
+    pub fn matmul2d(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul2d lhs must be rank-2");
+        assert_eq!(other.rank(), 2, "matmul2d rhs must be rank-2");
+        let (m, k) = (self.shape()[0], self.shape()[1]);
+        let (k2, n) = (other.shape()[0], other.shape()[1]);
+        assert_eq!(k, k2, "matmul2d inner dimension mismatch");
+        let mut out = vec![0.0f32; m * n];
+        gemm(self.data(), other.data(), &mut out, m, k, n, false);
+        Tensor::from_vec(vec![m, n], out).expect("matmul2d shape")
+    }
+
+    /// Batched matrix product of `[b, m, k] x [b, k, n] -> [b, m, n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both operands are rank-3 with matching batch and inner
+    /// dimensions.
+    pub fn bmm(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 3, "bmm lhs must be rank-3");
+        assert_eq!(other.rank(), 3, "bmm rhs must be rank-3");
+        let (b, m, k) = (self.shape()[0], self.shape()[1], self.shape()[2]);
+        let (b2, k2, n) = (other.shape()[0], other.shape()[1], other.shape()[2]);
+        assert_eq!(b, b2, "bmm batch mismatch");
+        assert_eq!(k, k2, "bmm inner dimension mismatch");
+        let mut out = vec![0.0f32; b * m * n];
+        for i in 0..b {
+            gemm(
+                &self.data()[i * m * k..(i + 1) * m * k],
+                &other.data()[i * k * n..(i + 1) * k * n],
+                &mut out[i * m * n..(i + 1) * m * n],
+                m,
+                k,
+                n,
+                false,
+            );
+        }
+        Tensor::from_vec(vec![b, m, n], out).expect("bmm shape")
+    }
+
+    /// Transpose of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the tensor is rank-2.
+    pub fn transpose2d(&self) -> Tensor {
+        assert_eq!(self.rank(), 2, "transpose2d requires rank-2");
+        let (m, n) = (self.shape()[0], self.shape()[1]);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data()[i * n + j];
+            }
+        }
+        Tensor::from_vec(vec![n, m], out).expect("transpose2d shape")
+    }
+
+    /// General axis permutation (like `np.transpose`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axes` is not a permutation of `0..rank`.
+    pub fn permute(&self, axes: &[usize]) -> Tensor {
+        let rank = self.rank();
+        assert_eq!(axes.len(), rank, "permute axes rank mismatch");
+        let mut seen = vec![false; rank];
+        for &a in axes {
+            assert!(a < rank && !seen[a], "permute axes must be a permutation");
+            seen[a] = true;
+        }
+        let in_shape = self.shape().to_vec();
+        let out_shape: Vec<usize> = axes.iter().map(|&a| in_shape[a]).collect();
+        let in_strides = strides_for(&in_shape);
+        let out_strides = strides_for(&out_shape);
+        let mut out = vec![0.0f32; self.numel()];
+        // Walk output indices in order; compute the matching input offset.
+        let mut idx = vec![0usize; rank];
+        for o in out.iter_mut() {
+            let mut src = 0usize;
+            for d in 0..rank {
+                src += idx[d] * in_strides[axes[d]];
+            }
+            *o = self.data()[src];
+            // increment multi-index
+            for d in (0..rank).rev() {
+                idx[d] += 1;
+                if idx[d] < out_shape[d] {
+                    break;
+                }
+                idx[d] = 0;
+            }
+        }
+        let _ = out_strides;
+        Tensor::from_vec(out_shape, out).expect("permute shape")
+    }
+
+    // ------------------------------------------------------ conv lowering
+
+    /// Lowers a `[B, C, H, W]` input to the im2col matrix
+    /// `[C*kh*kw, B*oh*ow]` for a convolution with the given kernel, stride
+    /// and zero padding.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the tensor is rank-4 and the output size is positive.
+    pub fn im2col(&self, kh: usize, kw: usize, stride: usize, pad: usize) -> Tensor {
+        let (b, c, h, w) = self.dims4();
+        let (oh, ow) = conv_out_size(h, w, kh, kw, stride, pad);
+        let rows = c * kh * kw;
+        let cols = b * oh * ow;
+        let mut out = vec![0.0f32; rows * cols];
+        let src = self.data();
+        for bi in 0..b {
+            for ci in 0..c {
+                for ki in 0..kh {
+                    for kj in 0..kw {
+                        let row = ci * kh * kw + ki * kw + kj;
+                        for oi in 0..oh {
+                            let iy = (oi * stride + ki) as isize - pad as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            let iy = iy as usize;
+                            for oj in 0..ow {
+                                let ix = (oj * stride + kj) as isize - pad as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let col = bi * oh * ow + oi * ow + oj;
+                                out[row * cols + col] =
+                                    src[((bi * c + ci) * h + iy) * w + ix as usize];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(vec![rows, cols], out).expect("im2col shape")
+    }
+
+    /// Inverse of [`Tensor::im2col`]: scatters a `[C*kh*kw, B*oh*ow]` matrix
+    /// back into a `[B, C, H, W]` tensor, accumulating overlaps. Used by the
+    /// convolution backward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent shapes.
+    #[allow(clippy::too_many_arguments)]
+    pub fn col2im(
+        &self,
+        b: usize,
+        c: usize,
+        h: usize,
+        w: usize,
+        kh: usize,
+        kw: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Tensor {
+        let (oh, ow) = conv_out_size(h, w, kh, kw, stride, pad);
+        let rows = c * kh * kw;
+        let cols = b * oh * ow;
+        assert_eq!(self.shape(), &[rows, cols], "col2im input shape mismatch");
+        let mut out = vec![0.0f32; b * c * h * w];
+        let src = self.data();
+        for bi in 0..b {
+            for ci in 0..c {
+                for ki in 0..kh {
+                    for kj in 0..kw {
+                        let row = ci * kh * kw + ki * kw + kj;
+                        for oi in 0..oh {
+                            let iy = (oi * stride + ki) as isize - pad as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            let iy = iy as usize;
+                            for oj in 0..ow {
+                                let ix = (oj * stride + kj) as isize - pad as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let col = bi * oh * ow + oi * ow + oj;
+                                out[((bi * c + ci) * h + iy) * w + ix as usize] +=
+                                    src[row * cols + col];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(vec![b, c, h, w], out).expect("col2im shape")
+    }
+
+    // ------------------------------------------------------------ pooling
+
+    /// 2×2 max pooling with stride 2 on a `[B, C, H, W]` tensor with even
+    /// `H`, `W`. Returns the pooled tensor and the flat argmax index of each
+    /// output element (into the input buffer), for use by the backward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless rank-4 with even spatial dimensions.
+    pub fn maxpool2x2(&self) -> (Tensor, Vec<usize>) {
+        let (b, c, h, w) = self.dims4();
+        assert!(h % 2 == 0 && w % 2 == 0, "maxpool2x2 needs even H, W");
+        let (oh, ow) = (h / 2, w / 2);
+        let mut out = vec![0.0f32; b * c * oh * ow];
+        let mut arg = vec![0usize; b * c * oh * ow];
+        let src = self.data();
+        for bc in 0..b * c {
+            let base = bc * h * w;
+            for oi in 0..oh {
+                for oj in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0usize;
+                    for di in 0..2 {
+                        for dj in 0..2 {
+                            let idx = base + (oi * 2 + di) * w + (oj * 2 + dj);
+                            if src[idx] > best {
+                                best = src[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    let o = bc * oh * ow + oi * ow + oj;
+                    out[o] = best;
+                    arg[o] = best_idx;
+                }
+            }
+        }
+        (
+            Tensor::from_vec(vec![b, c, oh, ow], out).expect("maxpool shape"),
+            arg,
+        )
+    }
+
+    /// Nearest-neighbour 2× upsampling of a `[B, C, H, W]` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless rank-4.
+    pub fn upsample2x(&self) -> Tensor {
+        let (b, c, h, w) = self.dims4();
+        let mut out = vec![0.0f32; b * c * 4 * h * w];
+        let src = self.data();
+        for bc in 0..b * c {
+            for i in 0..h {
+                for j in 0..w {
+                    let v = src[bc * h * w + i * w + j];
+                    let base = bc * 4 * h * w;
+                    for di in 0..2 {
+                        for dj in 0..2 {
+                            out[base + (i * 2 + di) * 2 * w + (j * 2 + dj)] = v;
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(vec![b, c, 2 * h, 2 * w], out).expect("upsample shape")
+    }
+
+    /// Adjoint of [`Tensor::upsample2x`]: sums each 2×2 block of a
+    /// `[B, C, 2H, 2W]` tensor into `[B, C, H, W]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless rank-4 with even spatial dimensions.
+    pub fn downsample2x_sum(&self) -> Tensor {
+        let (b, c, h2, w2) = self.dims4();
+        assert!(h2 % 2 == 0 && w2 % 2 == 0, "downsample needs even H, W");
+        let (h, w) = (h2 / 2, w2 / 2);
+        let mut out = vec![0.0f32; b * c * h * w];
+        let src = self.data();
+        for bc in 0..b * c {
+            for i in 0..h2 {
+                for j in 0..w2 {
+                    out[bc * h * w + (i / 2) * w + j / 2] += src[bc * h2 * w2 + i * w2 + j];
+                }
+            }
+        }
+        Tensor::from_vec(vec![b, c, h, w], out).expect("downsample shape")
+    }
+
+    // ------------------------------------------------------ concat / split
+
+    /// Concatenates rank-4 tensors along the channel axis (axis 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list is empty or batch/spatial dimensions differ.
+    pub fn concat_channels(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "concat_channels needs at least one part");
+        let (b, _, h, w) = parts[0].dims4();
+        let total_c: usize = parts
+            .iter()
+            .map(|p| {
+                let (pb, pc, ph, pw) = p.dims4();
+                assert_eq!((pb, ph, pw), (b, h, w), "concat_channels dim mismatch");
+                pc
+            })
+            .sum();
+        let mut out = vec![0.0f32; b * total_c * h * w];
+        let hw = h * w;
+        for bi in 0..b {
+            let mut c_off = 0usize;
+            for p in parts {
+                let pc = p.shape()[1];
+                let src = &p.data()[bi * pc * hw..(bi + 1) * pc * hw];
+                out[(bi * total_c + c_off) * hw..(bi * total_c + c_off + pc) * hw]
+                    .copy_from_slice(src);
+                c_off += pc;
+            }
+        }
+        Tensor::from_vec(vec![b, total_c, h, w], out).expect("concat shape")
+    }
+
+    /// Extracts channels `[c0, c1)` from a rank-4 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless rank-4 and `c0 <= c1 <= C`.
+    pub fn slice_channels(&self, c0: usize, c1: usize) -> Tensor {
+        let (b, c, h, w) = self.dims4();
+        assert!(c0 <= c1 && c1 <= c, "slice_channels out of range");
+        let hw = h * w;
+        let nc = c1 - c0;
+        let mut out = vec![0.0f32; b * nc * hw];
+        for bi in 0..b {
+            out[bi * nc * hw..(bi + 1) * nc * hw]
+                .copy_from_slice(&self.data()[(bi * c + c0) * hw..(bi * c + c1) * hw]);
+        }
+        Tensor::from_vec(vec![b, nc, h, w], out).expect("slice shape")
+    }
+
+    /// Softmax over the last axis.
+    pub fn softmax_lastdim(&self) -> Tensor {
+        let n = *self.shape().last().expect("softmax needs rank >= 1");
+        let mut out = self.data().to_vec();
+        for row in out.chunks_mut(n) {
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut z = 0.0f32;
+            for x in row.iter_mut() {
+                *x = (*x - m).exp();
+                z += *x;
+            }
+            for x in row.iter_mut() {
+                *x /= z;
+            }
+        }
+        Tensor::from_vec(self.shape().to_vec(), out).expect("softmax shape")
+    }
+
+    /// Destructures the shape of a rank-4 tensor as `(B, C, H, W)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the tensor is rank-4.
+    pub fn dims4(&self) -> (usize, usize, usize, usize) {
+        assert_eq!(self.rank(), 4, "expected rank-4 tensor, got {:?}", self.shape());
+        (
+            self.shape()[0],
+            self.shape()[1],
+            self.shape()[2],
+            self.shape()[3],
+        )
+    }
+}
+
+/// Output spatial size of a convolution.
+pub fn conv_out_size(
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+) -> (usize, usize) {
+    let oh = (h + 2 * pad - kh) / stride + 1;
+    let ow = (w + 2 * pad - kw) / stride + 1;
+    (oh, ow)
+}
+
+/// Simple blocked GEMM: `out (+)= a[m,k] * b[k,n]`.
+///
+/// If `accumulate` is false, `out` is overwritten.
+fn gemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize, accumulate: bool) {
+    if !accumulate {
+        out.fill(0.0);
+    }
+    // i-k-j loop order: streams through b and out rows contiguously.
+    for i in 0..m {
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for p in 0..k {
+            let aik = a[i * k + p];
+            if aik == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += aik * bv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let b = Tensor::from_vec(vec![3, 2], vec![7., 8., 9., 10., 11., 12.]).unwrap();
+        let c = a.matmul2d(&b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn bmm_matches_per_batch_matmul() {
+        let a = Tensor::from_fn(vec![2, 2, 3], |i| i as f32);
+        let b = Tensor::from_fn(vec![2, 3, 2], |i| (i as f32) * 0.5);
+        let c = a.bmm(&b);
+        for bi in 0..2 {
+            let a2 = Tensor::from_vec(
+                vec![2, 3],
+                a.data()[bi * 6..(bi + 1) * 6].to_vec(),
+            )
+            .unwrap();
+            let b2 = Tensor::from_vec(
+                vec![3, 2],
+                b.data()[bi * 6..(bi + 1) * 6].to_vec(),
+            )
+            .unwrap();
+            let c2 = a2.matmul2d(&b2);
+            assert_eq!(&c.data()[bi * 4..(bi + 1) * 4], c2.data());
+        }
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Tensor::from_fn(vec![3, 4], |i| i as f32);
+        let back = a.transpose2d().transpose2d();
+        assert_eq!(back.data(), a.data());
+    }
+
+    #[test]
+    fn permute_matches_transpose_for_rank2() {
+        let a = Tensor::from_fn(vec![3, 4], |i| i as f32);
+        assert_eq!(a.permute(&[1, 0]).data(), a.transpose2d().data());
+    }
+
+    #[test]
+    fn permute_rank4() {
+        let a = Tensor::from_fn(vec![2, 3, 4, 5], |i| i as f32);
+        let p = a.permute(&[0, 2, 3, 1]);
+        assert_eq!(p.shape(), &[2, 4, 5, 3]);
+        assert_eq!(p.at(&[1, 2, 3, 1]), a.at(&[1, 1, 2, 3]));
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1x1 kernel, stride 1, no pad: im2col is just a reshape.
+        let a = Tensor::from_fn(vec![1, 2, 3, 3], |i| i as f32);
+        let cols = a.im2col(1, 1, 1, 0);
+        assert_eq!(cols.shape(), &[2, 9]);
+        assert_eq!(cols.data(), a.data());
+    }
+
+    #[test]
+    fn conv_via_im2col_known_values() {
+        // 3x3 input, 2x2 kernel of ones: output = 2x2 block sums.
+        let x = Tensor::from_fn(vec![1, 1, 3, 3], |i| i as f32);
+        let cols = x.im2col(2, 2, 1, 0);
+        let w = Tensor::ones(vec![1, 4]);
+        let y = w.matmul2d(&cols);
+        assert_eq!(y.data(), &[0. + 1. + 3. + 4., 1. + 2. + 4. + 5., 3. + 4. + 6. + 7., 4. + 5. + 7. + 8.]);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random-ish x, y.
+        let x = Tensor::from_fn(vec![1, 2, 4, 4], |i| (i as f32 * 0.37).sin());
+        let cols = x.im2col(3, 3, 1, 1);
+        let y = Tensor::from_fn(cols.shape().to_vec(), |i| (i as f32 * 0.11).cos());
+        let lhs: f32 = cols.data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
+        let back = y.col2im(1, 2, 4, 4, 3, 3, 1, 1);
+        let rhs: f32 = x.data().iter().zip(back.data()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn maxpool_picks_max_and_indices() {
+        let x = Tensor::from_vec(
+            vec![1, 1, 2, 2],
+            vec![1.0, 5.0, 2.0, 3.0],
+        )
+        .unwrap();
+        let (y, arg) = x.maxpool2x2();
+        assert_eq!(y.data(), &[5.0]);
+        assert_eq!(arg, vec![1]);
+    }
+
+    #[test]
+    fn upsample_downsample_adjoint() {
+        let x = Tensor::from_fn(vec![1, 1, 2, 2], |i| i as f32 + 1.0);
+        let up = x.upsample2x();
+        assert_eq!(up.shape(), &[1, 1, 4, 4]);
+        assert_eq!(up.at(&[0, 0, 0, 0]), 1.0);
+        assert_eq!(up.at(&[0, 0, 0, 1]), 1.0);
+        assert_eq!(up.at(&[0, 0, 3, 3]), 4.0);
+        let down = up.downsample2x_sum();
+        assert_eq!(down.data(), &[4.0, 8.0, 12.0, 16.0]);
+    }
+
+    #[test]
+    fn concat_and_slice_channels_round_trip() {
+        let a = Tensor::from_fn(vec![2, 2, 2, 2], |i| i as f32);
+        let b = Tensor::from_fn(vec![2, 3, 2, 2], |i| -(i as f32));
+        let cat = Tensor::concat_channels(&[&a, &b]);
+        assert_eq!(cat.shape(), &[2, 5, 2, 2]);
+        assert_eq!(cat.slice_channels(0, 2).data(), a.data());
+        assert_eq!(cat.slice_channels(2, 5).data(), b.data());
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Tensor::from_fn(vec![3, 5], |i| (i as f32) * 0.3 - 2.0);
+        let s = x.softmax_lastdim();
+        for r in 0..3 {
+            let sum: f32 = s.data()[r * 5..(r + 1) * 5].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn conv_out_size_matches_formula() {
+        assert_eq!(conv_out_size(8, 8, 3, 3, 1, 1), (8, 8));
+        assert_eq!(conv_out_size(8, 8, 3, 3, 2, 1), (4, 4));
+        assert_eq!(conv_out_size(7, 7, 3, 3, 2, 1), (4, 4));
+    }
+}

@@ -1,0 +1,54 @@
+//! Dense `f32` N-dimensional tensors for the `mfaplace` reproduction.
+//!
+//! This crate is the numeric foundation of the from-scratch deep-learning
+//! stack: a row-major, heap-allocated tensor plus the handful of kernels the
+//! congestion-prediction models need (GEMM, im2col convolution lowering,
+//! pooling, nearest-neighbour upsampling, reductions, permutation).
+//!
+//! The offline crate set contains no deep-learning framework, so everything
+//! downstream (`mfaplace-autograd`, `mfaplace-nn`, the models) is built on
+//! these kernels.
+//!
+//! # Example
+//!
+//! ```
+//! use mfaplace_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0])?;
+//! let b = Tensor::eye(2);
+//! let c = a.matmul2d(&b);
+//! assert_eq!(c.data(), a.data());
+//! # Ok::<(), mfaplace_tensor::TensorError>(())
+//! ```
+
+mod error;
+mod init;
+mod kernels;
+mod tensor;
+
+pub use error::TensorError;
+pub use init::{kaiming_normal, xavier_uniform};
+pub use tensor::Tensor;
+
+/// Row-major strides for a shape.
+///
+/// ```
+/// assert_eq!(mfaplace_tensor::strides_for(&[2, 3, 4]), vec![12, 4, 1]);
+/// ```
+pub fn strides_for(shape: &[usize]) -> Vec<usize> {
+    let mut strides = vec![1usize; shape.len()];
+    for i in (0..shape.len().saturating_sub(1)).rev() {
+        strides[i] = strides[i + 1] * shape[i + 1];
+    }
+    strides
+}
+
+/// Number of elements implied by a shape.
+///
+/// ```
+/// assert_eq!(mfaplace_tensor::numel(&[2, 3, 4]), 24);
+/// assert_eq!(mfaplace_tensor::numel(&[]), 1);
+/// ```
+pub fn numel(shape: &[usize]) -> usize {
+    shape.iter().product()
+}

@@ -1,0 +1,105 @@
+//! Property-based tests of the tensor kernels.
+
+use mfaplace_tensor::Tensor;
+use proptest::prelude::*;
+
+fn small_dims() -> impl Strategy<Value = (usize, usize)> {
+    (1usize..6, 1usize..6)
+}
+
+proptest! {
+    #[test]
+    fn reshape_preserves_data((m, n) in small_dims(), data in proptest::collection::vec(-10.0f32..10.0, 36)) {
+        let t = Tensor::from_vec(vec![6, 6], data).unwrap();
+        let _ = (m, n);
+        let r = t.reshape(vec![4, 9]).unwrap();
+        prop_assert_eq!(r.data(), t.data());
+        prop_assert_eq!(r.reshape(vec![6, 6]).unwrap(), t);
+    }
+
+    #[test]
+    fn transpose_is_involution((m, n) in small_dims(), seed in 0u64..1000) {
+        let t = Tensor::from_fn(vec![m, n], |i| ((i as u64 * 31 + seed) % 17) as f32);
+        prop_assert_eq!(t.transpose2d().transpose2d(), t);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop((m, n) in small_dims(), seed in 0u64..1000) {
+        let t = Tensor::from_fn(vec![m, n], |i| ((i as u64 * 13 + seed) % 23) as f32 - 11.0);
+        let i = Tensor::eye(n);
+        let right = t.matmul2d(&i);
+        prop_assert_eq!(right.data(), t.data());
+        let il = Tensor::eye(m);
+        let left = il.matmul2d(&t);
+        prop_assert_eq!(left.data(), t.data());
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(seed in 0u64..500) {
+        let a = Tensor::from_fn(vec![3, 4], |i| ((i as u64 + seed) % 7) as f32 - 3.0);
+        let b = Tensor::from_fn(vec![4, 2], |i| ((i as u64 * 3 + seed) % 5) as f32 - 2.0);
+        let c = Tensor::from_fn(vec![4, 2], |i| ((i as u64 * 5 + seed) % 9) as f32 - 4.0);
+        let lhs = a.matmul2d(&b.add(&c));
+        let rhs = a.matmul2d(&b).add(&a.matmul2d(&c));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn permute_inverse_restores(seed in 0u64..1000) {
+        let t = Tensor::from_fn(vec![2, 3, 4], |i| ((i as u64 ^ seed) % 19) as f32);
+        let p = t.permute(&[2, 0, 1]);
+        let back = p.permute(&[1, 2, 0]);
+        prop_assert_eq!(back, t);
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint(kh in 1usize..4, stride in 1usize..3, pad in 0usize..2, seed in 0u64..100) {
+        let h = 6usize;
+        if h + 2 * pad < kh { return Ok(()); }
+        let x = Tensor::from_fn(vec![1, 2, h, h], |i| (((i as u64 * 7) ^ seed) % 13) as f32 - 6.0);
+        let cols = x.im2col(kh, kh, stride, pad);
+        let y = Tensor::from_fn(cols.shape().to_vec(), |i| (((i as u64 * 11) ^ seed) % 9) as f32 - 4.0);
+        let lhs: f64 = cols.data().iter().zip(y.data()).map(|(&a, &b)| f64::from(a) * f64::from(b)).sum();
+        let back = y.col2im(1, 2, h, h, kh, kh, stride, pad);
+        let rhs: f64 = x.data().iter().zip(back.data()).map(|(&a, &b)| f64::from(a) * f64::from(b)).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(rows in 1usize..5, cols in 1usize..6, seed in 0u64..100) {
+        let t = Tensor::from_fn(vec![rows, cols], |i| (((i as u64 * 3) ^ seed) % 11) as f32 - 5.0);
+        let s = t.softmax_lastdim();
+        for row in s.data().chunks(cols) {
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn concat_slice_roundtrip(c1 in 1usize..4, c2 in 1usize..4, seed in 0u64..100) {
+        let a = Tensor::from_fn(vec![2, c1, 3, 3], |i| ((i as u64 ^ seed) % 7) as f32);
+        let b = Tensor::from_fn(vec![2, c2, 3, 3], |i| ((i as u64 ^ (seed * 3)) % 5) as f32);
+        let cat = Tensor::concat_channels(&[&a, &b]);
+        prop_assert_eq!(cat.slice_channels(0, c1), a);
+        prop_assert_eq!(cat.slice_channels(c1, c1 + c2), b);
+    }
+
+    #[test]
+    fn upsample_quadruples_mass(seed in 0u64..100) {
+        let x = Tensor::from_fn(vec![1, 2, 3, 3], |i| ((i as u64 ^ seed) % 9) as f32);
+        let up = x.upsample2x();
+        prop_assert!((up.sum() - 4.0 * x.sum()).abs() < 1e-3);
+        prop_assert_eq!(up.downsample2x_sum().scale(0.25), x);
+    }
+
+    #[test]
+    fn maxpool_upper_bounds_mean(seed in 0u64..100) {
+        let x = Tensor::from_fn(vec![1, 1, 4, 4], |i| ((i as u64 ^ seed) % 31) as f32);
+        let (pooled, _) = x.maxpool2x2();
+        prop_assert!(pooled.mean() >= x.mean() - 1e-6);
+        prop_assert!(pooled.max() == x.max());
+    }
+}

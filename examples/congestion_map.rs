@@ -1,0 +1,94 @@
+//! Congestion-map exploration: extract the six grid features of Sec. III-B
+//! for one placement, route it, and compare the RUDY estimate against the
+//! router's ground-truth congestion levels tile by tile (the motivating
+//! gap the paper's learned model closes).
+//!
+//! ```sh
+//! cargo run --release --example congestion_map
+//! ```
+
+use mfaplace::fpga::design::DesignPreset;
+use mfaplace::fpga::features::FeatureStack;
+use mfaplace::router::labels::congestion_labels;
+use mfaplace::router::RouterConfig;
+
+const GLYPHS: [char; 8] = ['.', ':', '-', '=', '+', '*', '#', '@'];
+
+fn render(title: &str, values: &[f32], w: usize, h: usize, max: f32) {
+    println!("\n{title}:");
+    for y in (0..h).rev() {
+        let mut line = String::with_capacity(w);
+        for x in 0..w {
+            let v = values[y * w + x] / max.max(1e-6);
+            let idx = ((v * 7.0) as usize).min(7);
+            line.push(GLYPHS[idx]);
+        }
+        println!("{line}");
+    }
+}
+
+fn main() {
+    let design = DesignPreset::design_180()
+        .with_scale(256, 32, 16)
+        .generate(7);
+    let placement = design.random_placement(3);
+    let grid = 32;
+
+    // The six features of Sec. III-B.
+    let features = FeatureStack::extract(&design, &placement, grid, grid);
+    println!("feature tensor shape: {:?}", features.to_tensor().shape());
+    for (name, map) in [
+        ("macro map", &features.macro_map),
+        ("RUDY map", &features.rudy),
+        ("pin RUDY map", &features.pin_rudy),
+        ("cell density map", &features.cell_density),
+    ] {
+        println!(
+            "{name:>16}: max {:.3}, nonzero {}",
+            map.max(),
+            map.data().iter().filter(|&&v| v > 0.0).count()
+        );
+    }
+
+    // Ground truth from the router, with capacities calibrated to the
+    // design so the level map shows structure rather than saturation.
+    let cfg = RouterConfig {
+        grid_w: grid,
+        grid_h: grid,
+        ..mfaplace::core::flow::calibrated_router_for(&design, grid, 0.95, 42)
+    };
+    let labels = congestion_labels(&design, &placement, &cfg);
+
+    render("RUDY estimate (normalized)", features.rudy.data(), grid, grid, 1.0);
+    render(
+        "router congestion levels (ground truth)",
+        labels.map.data(),
+        grid,
+        grid,
+        7.0,
+    );
+
+    // Where do they disagree? RUDY is demand, levels are realized windows.
+    let mut overestimates = 0usize;
+    let mut underestimates = 0usize;
+    for i in 0..grid * grid {
+        let rudy_level = features.rudy.data()[i] * 7.0;
+        let true_level = labels.map.data()[i];
+        if rudy_level > true_level + 1.5 {
+            overestimates += 1;
+        }
+        if rudy_level + 1.5 < true_level {
+            underestimates += 1;
+        }
+    }
+    println!(
+        "\nRUDY vs truth: {overestimates} tiles overestimated, {underestimates} underestimated \
+         (of {})",
+        grid * grid
+    );
+    println!(
+        "directional levels short {:?} / global {:?}",
+        labels.analysis.short_levels(),
+        labels.analysis.global_levels()
+    );
+}

@@ -1,0 +1,54 @@
+//! Quickstart: generate a contest-like benchmark, place it with the
+//! routability-driven flow, route it and print the MLCAD 2023 scores.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use mfaplace::core::flow::{FlowConfig, MacroPlacementFlow};
+use mfaplace::fpga::design::DesignPreset;
+
+fn main() {
+    // A scaled-down Design_116 (370K LUTs / 2052 DSPs at full scale).
+    let design = DesignPreset::design_116()
+        .with_scale(256, 32, 16)
+        .generate(42);
+    println!(
+        "design {}: {} instances, {} nets, {} cascades, {} regions",
+        design.name,
+        design.netlist.num_instances(),
+        design.netlist.num_nets(),
+        design.cascades.len(),
+        design.regions.len()
+    );
+
+    // Run the full flow with the default (RUDY) congestion predictor; see
+    // `train_predictor.rs` for plugging in the learned model. The scoring
+    // router's wire capacities are calibrated to the design, as in the
+    // Table II harness.
+    let mut config = FlowConfig::default();
+    config.placer.gp_stage1.iterations = 25;
+    config.placer.gp_stage2.iterations = 12;
+    config.placer.grid_w = 48;
+    config.placer.grid_h = 48;
+    config.router = mfaplace::core::flow::calibrated_router_for(&design, 48, 0.95, 42);
+    let flow = MacroPlacementFlow::new(config);
+    let outcome = flow.run(&design, 42);
+
+    println!(
+        "placed in {:.2} min, HPWL = {:.0}",
+        outcome.placement.t_macro_min,
+        outcome.placement.placement.hpwl(&design.netlist)
+    );
+    println!(
+        "routing: wirelength {:.0}, overflow {:.0}",
+        outcome.wirelength, outcome.overflow
+    );
+    println!(
+        "scores: S_IR = {:.0}, S_DR = {:.0}, S_R = {:.0}, S_score = {:.2}",
+        outcome.score.s_ir(),
+        outcome.score.s_dr(),
+        outcome.score.s_r(),
+        outcome.score.s_score()
+    );
+}

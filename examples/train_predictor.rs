@@ -1,0 +1,105 @@
+//! Trains the paper's MFA+transformer congestion predictor on one design's
+//! placement sweep, evaluates it against the RUDY baseline, and uses it to
+//! drive the model-driven placement flow (the paper's headline use case).
+//!
+//! ```sh
+//! cargo run --release --example train_predictor
+//! ```
+
+use mfaplace::autograd::Graph;
+use mfaplace::core::dataset::{build_design_dataset, DatasetConfig};
+use mfaplace::core::flow::{FlowConfig, MacroPlacementFlow};
+use mfaplace::core::predictor::ModelPredictor;
+use mfaplace::core::train::{TrainConfig, Trainer};
+use mfaplace::fpga::design::DesignPreset;
+use mfaplace::models::{OursConfig, OursModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let design = DesignPreset::design_176()
+        .with_scale(256, 32, 16)
+        .generate(5);
+    let grid = 32;
+
+    // 1. Dataset: placement sweep + rotation augmentation (Sec. V-A).
+    let ds_cfg = DatasetConfig {
+        grid,
+        placements_per_design: 4,
+        augment: true,
+        placer_iterations: 8,
+        ..DatasetConfig::default()
+    };
+    println!("building dataset for {}...", design.name);
+    let dataset = build_design_dataset(&design, &ds_cfg, 17);
+    let (train, test) = dataset.split(0.25, 3);
+    println!("{} train / {} test samples", train.len(), test.len());
+
+    // 2. Train the model (Adam, lr 1e-3, weighted pixel cross entropy).
+    let mut g = Graph::new();
+    let mut rng = StdRng::seed_from_u64(0);
+    let model = OursModel::new(
+        &mut g,
+        OursConfig {
+            grid,
+            base_channels: 8,
+            vit_layers: 2,
+            vit_heads: 4,
+            use_mfa: true,
+            mfa_reduction: 4,
+        },
+        &mut rng,
+    );
+    let mut trainer = Trainer::new(
+        g,
+        model,
+        TrainConfig {
+            epochs: 4,
+            batch_size: 2,
+            ..TrainConfig::default()
+        },
+    );
+    let report = trainer.fit(&train);
+    println!(
+        "trained {} steps; epoch losses: {:?}",
+        report.steps,
+        report
+            .epoch_losses
+            .iter()
+            .map(|l| (l * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
+    );
+
+    // 3. Evaluate (Sec. V-B metrics).
+    let metrics = trainer.evaluate(&test);
+    println!(
+        "test metrics: ACC {:.3}, R2 {:.3}, NRMS {:.3}",
+        metrics.acc, metrics.r2, metrics.nrms
+    );
+
+    // 4. Plug the trained model into the placement flow (Sec. IV).
+    let (graph, model) = trainer.into_parts();
+    let mut predictor = ModelPredictor::new(graph, model);
+    let mut flow_cfg = FlowConfig::default();
+    flow_cfg.placer.grid_w = grid;
+    flow_cfg.placer.grid_h = grid;
+    flow_cfg.placer.gp_stage1.iterations = 20;
+    flow_cfg.placer.gp_stage2.iterations = 10;
+    flow_cfg.router.grid_w = grid;
+    flow_cfg.router.grid_h = grid;
+    let flow = MacroPlacementFlow::new(flow_cfg.clone());
+    let model_outcome = flow.run_with(&design, &mut predictor, 9);
+    let rudy_outcome = flow.run(&design, 9);
+    println!(
+        "model-driven flow: S_R {:.0} (S_IR {:.0} x S_DR {:.0})",
+        model_outcome.score.s_r(),
+        model_outcome.score.s_ir(),
+        model_outcome.score.s_dr()
+    );
+    println!(
+        "RUDY-driven flow:  S_R {:.0} (S_IR {:.0} x S_DR {:.0})",
+        rudy_outcome.score.s_r(),
+        rudy_outcome.score.s_ir(),
+        rudy_outcome.score.s_dr()
+    );
+}

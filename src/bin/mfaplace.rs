@@ -1,0 +1,240 @@
+//! `mfaplace` command-line tool: generate benchmarks, place, route, score
+//! and render — the end-user face of the reproduction.
+//!
+//! ```sh
+//! mfaplace generate --design 116 --seed 1 --out design.nl
+//! mfaplace place    --design design.nl --flow seu --seed 1 --out placement.pl
+//! mfaplace route    --design design.nl --placement placement.pl
+//! mfaplace features --design design.nl --placement placement.pl --grid 48 --out feats
+//! mfaplace render   --design design.nl --placement placement.pl --out place.ppm
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use mfaplace::core::flow::{calibrated_router_for, simulated_pnr_hours};
+use mfaplace::fpga::design::{Design, DesignPreset};
+use mfaplace::fpga::features::FeatureStack;
+use mfaplace::fpga::io;
+use mfaplace::fpga::viz::{render_heatmap, render_placement};
+use mfaplace::placer::flows::{FlowConfig, PlacementFlow, RudyPredictor};
+use mfaplace::router::congestion::CongestionAnalysis;
+use mfaplace::router::detailed::detailed_route_iterations;
+use mfaplace::router::global::GlobalRouter;
+use mfaplace::router::score::{RoutabilityScore, ScoreInputs};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  mfaplace generate --design <116|120|136|156|176|180|190|197|227|230|237> \\
+                    [--seed N] [--scale cells,dsp,bram] --out <file.nl>
+  mfaplace place    --design <file.nl> [--flow ours|utda|seu|mpku] [--seed N] \\
+                    [--iterations N] --out <file.pl>
+  mfaplace route    --design <file.nl> --placement <file.pl> [--grid N]
+  mfaplace features --design <file.nl> --placement <file.pl> [--grid N] --out <prefix>
+  mfaplace render   --design <file.nl> --placement <file.pl> --out <file.ppm>";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err("missing subcommand".into());
+    };
+    let flags = parse_flags(&args[1..])?;
+    match cmd.as_str() {
+        "generate" => cmd_generate(&flags),
+        "place" => cmd_place(&flags),
+        "route" => cmd_route(&flags),
+        "features" => cmd_features(&flags),
+        "render" => cmd_render(&flags),
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(format!("expected --flag, found {key:?}"));
+        };
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag --{name} needs a value"))?;
+        flags.insert(name.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn get<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a str, String> {
+    flags
+        .get(name)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing required flag --{name}"))
+}
+
+fn get_num<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value for --{name}: {v:?}")),
+    }
+}
+
+fn load_design(flags: &HashMap<String, String>) -> Result<Design, String> {
+    let path = get(flags, "design")?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    io::read_design(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_placement(flags: &HashMap<String, String>) -> Result<mfaplace::fpga::Placement, String> {
+    let path = get(flags, "placement")?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    io::read_placement(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn preset_by_name(name: &str) -> Result<DesignPreset, String> {
+    let all = DesignPreset::contest_suite()
+        .into_iter()
+        .chain([DesignPreset::design_237()]);
+    for p in all {
+        if p.name() == format!("Design_{name}") || p.name() == name {
+            return Ok(p);
+        }
+    }
+    Err(format!("unknown design {name:?}"))
+}
+
+fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let preset = preset_by_name(get(flags, "design")?)?;
+    let seed: u64 = get_num(flags, "seed", 1)?;
+    let preset = match flags.get("scale") {
+        None => preset.with_scale(128, 24, 12),
+        Some(s) => {
+            let parts: Vec<&str> = s.split(',').collect();
+            if parts.len() != 3 {
+                return Err("--scale needs cells,dsp,bram".into());
+            }
+            preset.with_scale(
+                parts[0].parse().map_err(|_| "bad cells divisor")?,
+                parts[1].parse().map_err(|_| "bad dsp divisor")?,
+                parts[2].parse().map_err(|_| "bad bram divisor")?,
+            )
+        }
+    };
+    let design = preset.generate(seed);
+    let out = get(flags, "out")?;
+    std::fs::write(out, io::write_design(&design)).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} ({} instances, {} nets, {} cascades, {} regions)",
+        out,
+        design.netlist.num_instances(),
+        design.netlist.num_nets(),
+        design.cascades.len(),
+        design.regions.len()
+    );
+    Ok(())
+}
+
+fn cmd_place(flags: &HashMap<String, String>) -> Result<(), String> {
+    let design = load_design(flags)?;
+    let seed: u64 = get_num(flags, "seed", 1)?;
+    let iterations: usize = get_num(flags, "iterations", 30)?;
+    let mut cfg = match flags.get("flow").map(String::as_str) {
+        None | Some("ours") => FlowConfig::model_driven(),
+        Some("utda") => FlowConfig::utda_like(),
+        Some("seu") => FlowConfig::seu_like(),
+        Some("mpku") => FlowConfig::mpku_like(),
+        Some(other) => return Err(format!("unknown flow {other:?}")),
+    };
+    cfg.gp_stage1.iterations = cfg.gp_stage1.iterations.min(iterations);
+    cfg.gp_stage2.iterations = cfg.gp_stage2.iterations.min(iterations / 2 + 1);
+    let flow = PlacementFlow::new(cfg);
+    // The CLI uses the RUDY predictor; train a model via the library or the
+    // train_predictor example for learned prediction.
+    let result = flow.run(&design, &mut RudyPredictor::default(), seed);
+    let out = get(flags, "out")?;
+    std::fs::write(out, io::write_placement(&result.placement)).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} (T_macro {:.2} min, HPWL {:.0})",
+        out,
+        result.t_macro_min,
+        result.placement.hpwl(&design.netlist)
+    );
+    Ok(())
+}
+
+fn cmd_route(flags: &HashMap<String, String>) -> Result<(), String> {
+    let design = load_design(flags)?;
+    let placement = load_placement(flags)?;
+    let grid: usize = get_num(flags, "grid", 48)?;
+    let router_cfg = calibrated_router_for(&design, grid, 0.7, 99);
+    let outcome = GlobalRouter::new(router_cfg.clone()).route(&design, &placement);
+    let analysis = CongestionAnalysis::from_usage(&outcome.usage, &router_cfg);
+    let s_dr = detailed_route_iterations(&analysis, &outcome);
+    let score = RoutabilityScore::new(ScoreInputs {
+        l_short: analysis.short_levels(),
+        l_global: analysis.global_levels(),
+        s_dr,
+        t_macro_min: 0.0,
+        t_pr_hours: simulated_pnr_hours(&outcome, s_dr, &router_cfg),
+    });
+    println!("wirelength      {:.0}", outcome.total_wirelength);
+    println!("overflow        {:.0}", outcome.total_overflow);
+    println!("short levels    {:?}", analysis.short_levels());
+    println!("global levels   {:?}", analysis.global_levels());
+    println!("S_IR            {:.0}", score.s_ir());
+    println!("S_DR            {:.0}", score.s_dr());
+    println!("S_R             {:.0}", score.s_r());
+    println!("T_P&R           {:.2} h", score.inputs().t_pr_hours);
+    println!("S_score         {:.2}", score.s_score());
+    Ok(())
+}
+
+fn cmd_features(flags: &HashMap<String, String>) -> Result<(), String> {
+    let design = load_design(flags)?;
+    let placement = load_placement(flags)?;
+    let grid: usize = get_num(flags, "grid", 48)?;
+    let prefix = get(flags, "out")?;
+    let f = FeatureStack::extract(&design, &placement, grid, grid);
+    for (name, map) in [
+        ("macro", &f.macro_map),
+        ("hnet", &f.hnet),
+        ("vnet", &f.vnet),
+        ("rudy", &f.rudy),
+        ("pin_rudy", &f.pin_rudy),
+        ("cell_density", &f.cell_density),
+    ] {
+        let path = format!("{prefix}_{name}.ppm");
+        std::fs::write(&path, render_heatmap(map, 1.0).to_ppm())
+            .map_err(|e| e.to_string())?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_render(flags: &HashMap<String, String>) -> Result<(), String> {
+    let design = load_design(flags)?;
+    let placement = load_placement(flags)?;
+    let out = get(flags, "out")?;
+    let img = render_placement(&design, &placement, 6);
+    std::fs::write(out, img.to_ppm()).map_err(|e| e.to_string())?;
+    println!("wrote {out} ({}x{})", img.width(), img.height());
+    Ok(())
+}

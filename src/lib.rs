@@ -1,0 +1,37 @@
+//! `mfaplace` — facade crate for the reproduction of *"Multiscale Feature
+//! Attention and Transformer Based Congestion Prediction for
+//! Routability-Driven FPGA Macro Placement"* (DATE 2025).
+//!
+//! This crate re-exports the whole workspace so downstream users (and the
+//! examples/integration tests in this repository) can depend on a single
+//! crate:
+//!
+//! - [`tensor`] — dense f32 tensors and compute kernels
+//! - [`autograd`] — tape-based reverse-mode automatic differentiation
+//! - [`nn`] — layers, losses and optimizers
+//! - [`fpga`] — FPGA fabric model, netlists, synthetic benchmarks, features
+//! - [`router`] — congestion simulation, routing and contest scoring
+//! - [`placer`] — analytical global placement, inflation and legalization
+//! - [`models`] — the paper's model and the three published baselines
+//! - [`core`] — dataset generation, training, metrics and the full flow
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use mfaplace::fpga::design::DesignPreset;
+//! use mfaplace::core::flow::{MacroPlacementFlow, FlowConfig};
+//!
+//! let design = DesignPreset::design_116().generate(42);
+//! let flow = MacroPlacementFlow::new(FlowConfig::default());
+//! let outcome = flow.run(&design, 42);
+//! println!("routability score S_R = {}", outcome.score.s_r());
+//! ```
+
+pub use mfaplace_autograd as autograd;
+pub use mfaplace_core as core;
+pub use mfaplace_fpga as fpga;
+pub use mfaplace_models as models;
+pub use mfaplace_nn as nn;
+pub use mfaplace_placer as placer;
+pub use mfaplace_router as router;
+pub use mfaplace_tensor as tensor;

@@ -1,0 +1,163 @@
+//! Cross-crate integration tests: the full pipeline from synthetic design
+//! to contest score, exercising every substrate together.
+
+use mfaplace::core::dataset::{build_design_dataset, DatasetConfig};
+use mfaplace::core::flow::{FlowConfig, MacroPlacementFlow};
+use mfaplace::core::predictor::ModelPredictor;
+use mfaplace::core::train::{TrainConfig, Trainer};
+use mfaplace::fpga::design::DesignPreset;
+use mfaplace::models::{OursConfig, OursModel};
+use mfaplace::placer::flows::FlowConfig as PlacerFlowConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn quick_flow_config() -> FlowConfig {
+    let mut cfg = FlowConfig::default();
+    cfg.placer.gp_stage1.iterations = 8;
+    cfg.placer.gp_stage2.iterations = 4;
+    cfg.placer.grid_w = 32;
+    cfg.placer.grid_h = 32;
+    cfg.router.grid_w = 32;
+    cfg.router.grid_h = 32;
+    cfg
+}
+
+#[test]
+fn full_pipeline_design_to_score() {
+    let design = DesignPreset::design_116()
+        .with_scale(512, 64, 32)
+        .generate(1);
+    let flow = MacroPlacementFlow::new(quick_flow_config());
+    let outcome = flow.run(&design, 1);
+    // Placement is legal on macros.
+    for m in design.netlist.macros() {
+        let (x, y) = outcome.placement.placement.pos(m.0 as usize);
+        assert_eq!(x.fract(), 0.0);
+        assert_eq!(y.fract(), 0.0);
+    }
+    // Scores are in plausible contest ranges.
+    assert!(outcome.score.s_ir() >= 1.0);
+    assert!((5.0..=24.0).contains(&outcome.score.s_dr()));
+    assert!(outcome.score.s_score() > 0.0);
+    assert!(outcome.score.inputs().t_macro_min < 10.0);
+}
+
+#[test]
+fn all_flow_presets_complete_on_all_constraint_kinds() {
+    let design = DesignPreset::design_180()
+        .with_scale(512, 64, 32)
+        .generate(2);
+    assert!(!design.cascades.is_empty());
+    assert!(!design.regions.is_empty());
+    for placer in [
+        PlacerFlowConfig::utda_like(),
+        PlacerFlowConfig::seu_like(),
+        PlacerFlowConfig::mpku_like(),
+        PlacerFlowConfig::model_driven(),
+    ] {
+        let mut cfg = quick_flow_config();
+        let name = placer.name.clone();
+        cfg.placer = placer;
+        cfg.placer.gp_stage1.iterations = 8;
+        cfg.placer.gp_stage2.iterations = 4;
+        cfg.placer.grid_w = 32;
+        cfg.placer.grid_h = 32;
+        let flow = MacroPlacementFlow::new(cfg);
+        let outcome = flow.run(&design, 3);
+        assert!(
+            outcome.score.s_r() >= 5.0,
+            "flow {name} produced implausible S_R"
+        );
+    }
+}
+
+#[test]
+fn trained_model_drives_flow_end_to_end() {
+    let design = DesignPreset::design_136()
+        .with_scale(512, 64, 32)
+        .generate(3);
+    let dataset = build_design_dataset(
+        &design,
+        &DatasetConfig {
+            grid: 32,
+            placements_per_design: 2,
+            augment: false,
+            placer_iterations: 4,
+            ..DatasetConfig::default()
+        },
+        7,
+    );
+    let mut g = mfaplace::autograd::Graph::new();
+    let mut rng = StdRng::seed_from_u64(4);
+    let model = OursModel::new(
+        &mut g,
+        OursConfig {
+            grid: 32,
+            base_channels: 4,
+            vit_layers: 1,
+            vit_heads: 2,
+            use_mfa: true,
+            mfa_reduction: 4,
+        },
+        &mut rng,
+    );
+    let mut trainer = Trainer::new(
+        g,
+        model,
+        TrainConfig {
+            epochs: 1,
+            ..TrainConfig::default()
+        },
+    );
+    trainer.fit(&dataset);
+    let (graph, model) = trainer.into_parts();
+    let mut predictor = ModelPredictor::new(graph, model);
+    let flow = MacroPlacementFlow::new(quick_flow_config());
+    let outcome = flow.run_with(&design, &mut predictor, 5);
+    assert!(outcome.score.s_score() > 0.0);
+}
+
+#[test]
+fn deterministic_scores_across_runs() {
+    let design = DesignPreset::design_227()
+        .with_scale(512, 64, 32)
+        .generate(4);
+    let flow = MacroPlacementFlow::new(quick_flow_config());
+    let a = flow.run(&design, 6);
+    let b = flow.run(&design, 6);
+    assert_eq!(a.score.s_ir(), b.score.s_ir());
+    assert_eq!(a.score.s_dr(), b.score.s_dr());
+    assert_eq!(a.wirelength, b.wirelength);
+}
+
+#[test]
+fn dataset_features_and_labels_consistent_across_crates() {
+    let design = DesignPreset::design_156()
+        .with_scale(512, 64, 32)
+        .generate(5);
+    let ds = build_design_dataset(
+        &design,
+        &DatasetConfig {
+            grid: 32,
+            placements_per_design: 1,
+            augment: true,
+            placer_iterations: 3,
+            ..DatasetConfig::default()
+        },
+        11,
+    );
+    assert_eq!(ds.len(), 4);
+    // Rotation consistency: the macro-map channel of rotation k equals the
+    // rotation of the base macro-map channel.
+    let base = &ds.samples[0].features;
+    let rot1 = &ds.samples[1].features;
+    let hw = 32 * 32;
+    let base_macro = &base.data()[..hw];
+    let rot_macro = &rot1.data()[..hw];
+    let gm = mfaplace::fpga::GridMap::from_vec(32, 32, base_macro.to_vec());
+    assert_eq!(gm.rot90(1).data(), rot_macro);
+    // Label ranges valid.
+    for s in &ds.samples {
+        assert!(s.labels.iter().all(|&l| l <= 7));
+    }
+}

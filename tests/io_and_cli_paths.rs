@@ -1,0 +1,73 @@
+//! Integration tests of the interchange format + flow path the CLI uses.
+
+use mfaplace::fpga::design::DesignPreset;
+use mfaplace::fpga::io;
+use mfaplace::fpga::viz::{render_heatmap, render_placement};
+use mfaplace::fpga::GridMap;
+use mfaplace::placer::flows::{FlowConfig, PlacementFlow, RudyPredictor};
+
+#[test]
+fn design_survives_serialization_and_places_identically() {
+    let original = DesignPreset::design_156()
+        .with_scale(512, 64, 32)
+        .generate(3);
+    let text = io::write_design(&original);
+    let reloaded = io::read_design(&text).expect("reparse");
+
+    let mut cfg = FlowConfig::seu_like();
+    cfg.gp_stage1.iterations = 8;
+    cfg.gp_stage2.iterations = 4;
+    cfg.grid_w = 32;
+    cfg.grid_h = 32;
+    let flow = PlacementFlow::new(cfg);
+    let a = flow
+        .run(&original, &mut RudyPredictor::default(), 7)
+        .placement;
+    let b = flow
+        .run(&reloaded, &mut RudyPredictor::default(), 7)
+        .placement;
+    // Identical netlists and seeds must place identically.
+    assert_eq!(a.hpwl(&original.netlist), b.hpwl(&reloaded.netlist));
+    for i in 0..a.len() {
+        assert_eq!(a.pos(i), b.pos(i));
+    }
+}
+
+#[test]
+fn placement_file_round_trips_through_flow() {
+    let design = DesignPreset::design_227()
+        .with_scale(512, 64, 32)
+        .generate(5);
+    let mut cfg = FlowConfig::utda_like();
+    cfg.gp_stage1.iterations = 6;
+    cfg.gp_stage2.iterations = 3;
+    cfg.grid_w = 32;
+    cfg.grid_h = 32;
+    let placement = PlacementFlow::new(cfg)
+        .run(&design, &mut RudyPredictor::default(), 2)
+        .placement;
+    let text = io::write_placement(&placement);
+    let back = io::read_placement(&text).expect("reparse placement");
+    assert_eq!(back.len(), placement.len());
+    assert_eq!(back.hpwl(&design.netlist), placement.hpwl(&design.netlist));
+}
+
+#[test]
+fn renderers_produce_valid_ppm() {
+    let design = DesignPreset::design_116()
+        .with_scale(512, 64, 32)
+        .generate(1);
+    let placement = design.random_placement(2);
+    let img = render_placement(&design, &placement, 3);
+    let ppm = img.to_ppm();
+    assert!(ppm.starts_with("P3\n"));
+    // numbers only after the header, all <= 255
+    for tok in ppm.split_whitespace().skip(4) {
+        let v: u32 = tok.parse().expect("ppm token numeric");
+        assert!(v <= 255);
+    }
+    let map = GridMap::from_vec(4, 4, (0..16).map(|i| i as f32 / 2.0).collect());
+    let heat = render_heatmap(&map, 7.0);
+    assert_eq!(heat.width(), 4);
+    assert!(heat.to_ppm().starts_with("P3\n4 4\n255\n"));
+}
