@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Local CI gate. Everything runs offline — the workspace has no external
+# dependencies (see DESIGN.md, "zero-external-dependency policy").
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo build --release --offline"
+cargo build --workspace --release --offline
+
+echo "==> cargo test --offline"
+cargo test -q --workspace --offline
+
+echo "CI OK"

@@ -724,7 +724,10 @@ fn mfaplace_tensor_conv_out(
     stride: usize,
     pad: usize,
 ) -> (usize, usize) {
-    ((h + 2 * pad - kh) / stride + 1, (w + 2 * pad - kw) / stride + 1)
+    (
+        (h + 2 * pad - kh) / stride + 1,
+        (w + 2 * pad - kw) / stride + 1,
+    )
 }
 
 #[allow(clippy::too_many_lines)]
@@ -795,10 +798,7 @@ fn backward_op(node: &Node, dy: &Tensor, parents: &mut [Node]) {
             }
             if parents[x.0].requires_grad {
                 let ckk = c * kh * kw;
-                let wm = parents[w.0]
-                    .value
-                    .reshape(vec![oc, ckk])
-                    .expect("conv wm");
+                let wm = parents[w.0].value.reshape(vec![oc, ckk]).expect("conv wm");
                 let dcols = wm.transpose2d().matmul2d(&dym);
                 let dx = dcols.col2im(b, c, h, wd, kh, kw, *stride, *pad);
                 accum(parents, *x, dx);
@@ -809,9 +809,9 @@ fn backward_op(node: &Node, dy: &Tensor, parents: &mut [Node]) {
             if parents[bias.0].requires_grad {
                 let mut db = vec![0.0f32; c];
                 for bi in 0..b {
-                    for ci in 0..c {
+                    for (ci, dbv) in db.iter_mut().enumerate() {
                         for &g in &dy.data()[(bi * c + ci) * h * w..(bi * c + ci + 1) * h * w] {
-                            db[ci] += g;
+                            *dbv += g;
                         }
                     }
                 }
@@ -923,10 +923,10 @@ fn backward_op(node: &Node, dy: &Tensor, parents: &mut [Node]) {
             let (b, c, h, w) = node.value.dims4();
             let mut dx = vec![0.0f32; dy.numel()];
             for bi in 0..b {
-                for ci in 0..c {
+                for (ci, &sc) in scale.iter().enumerate() {
                     let base = (bi * c + ci) * h * w;
                     for k in 0..h * w {
-                        dx[base + k] = dy.data()[base + k] * scale[ci];
+                        dx[base + k] = dy.data()[base + k] * sc;
                     }
                 }
             }

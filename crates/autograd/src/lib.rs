@@ -32,7 +32,7 @@
 //! Every primitive's gradient is verified against central finite differences
 //! in this crate's test-suite (see [`gradcheck`]).
 
-mod graph;
 pub mod gradcheck;
+mod graph;
 
 pub use graph::{Graph, Var};

@@ -2,9 +2,9 @@
 
 use mfaplace_autograd::gradcheck::assert_grads_close;
 use mfaplace_autograd::{Graph, Var};
+use mfaplace_rt::rng::SeedableRng;
+use mfaplace_rt::rng::StdRng;
 use mfaplace_tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 const EPS: f32 = 1e-2;
 const TOL: f32 = 3e-2;
@@ -111,15 +111,15 @@ fn grad_bias_ops() {
 fn grad_activations() {
     // Shift away from the ReLU kink to keep finite differences meaningful.
     let x = rt(&[3, 3], 16).map(|v| v + if v.abs() < 0.05 { 0.2 } else { 0.0 });
-    assert_grads_close(&[x.clone()], EPS, TOL, |g, v| {
+    assert_grads_close(std::slice::from_ref(&x), EPS, TOL, |g, v| {
         let y = g.relu(v[0]);
         g.sum(y)
     });
-    assert_grads_close(&[x.clone()], EPS, TOL, |g, v| {
+    assert_grads_close(std::slice::from_ref(&x), EPS, TOL, |g, v| {
         let y = g.leaky_relu(v[0], 0.1);
         g.sum(y)
     });
-    assert_grads_close(&[x.clone()], EPS, TOL, |g, v| {
+    assert_grads_close(std::slice::from_ref(&x), EPS, TOL, |g, v| {
         let y = g.sigmoid(v[0]);
         g.sum(y)
     });
@@ -177,7 +177,7 @@ fn grad_softmax() {
 fn grad_cross_entropy() {
     let x = rt(&[2, 4, 2, 2], 25);
     let labels: Vec<u8> = vec![0, 1, 2, 3, 3, 2, 1, 0];
-    assert_grads_close(&[x.clone()], EPS, TOL, |g, v| {
+    assert_grads_close(std::slice::from_ref(&x), EPS, TOL, |g, v| {
         g.cross_entropy2d(v[0], &labels, None)
     });
     let weights = [0.5f32, 1.0, 2.0, 4.0];
@@ -196,7 +196,7 @@ fn grad_mse() {
 #[test]
 fn grad_shape_ops() {
     let x = rt(&[2, 3, 4], 28);
-    assert_grads_close(&[x.clone()], EPS, TOL, |g, v| {
+    assert_grads_close(std::slice::from_ref(&x), EPS, TOL, |g, v| {
         let r = g.reshape(v[0], vec![6, 4]);
         let r2 = g.mul(r, r);
         g.mean(r2)
@@ -227,7 +227,7 @@ fn grad_concat_slice() {
 #[test]
 fn grad_upsample_maxpool() {
     let x = rt(&[1, 2, 4, 4], 31);
-    assert_grads_close(&[x.clone()], EPS, TOL, |g, v| {
+    assert_grads_close(std::slice::from_ref(&x), EPS, TOL, |g, v| {
         let u = g.upsample2x(v[0]);
         let u2 = g.mul(u, u);
         g.mean(u2)

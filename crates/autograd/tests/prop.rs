@@ -1,63 +1,68 @@
-//! Property-based gradient checks: randomized shapes and values for
-//! representative op chains.
+//! Randomized gradient checks: fixed-seed random shapes and values for
+//! representative op chains, driven by the in-tree `mfaplace_rt::check`
+//! harness (16 cases per property, shrink-free with case logging).
 
 use mfaplace_autograd::gradcheck::assert_grads_close;
+use mfaplace_rt::check::{run_cases, vec_f32};
 use mfaplace_tensor::Tensor;
-use proptest::prelude::*;
 
-fn tensor_strategy(n: usize) -> impl Strategy<Value = Vec<f32>> {
-    proptest::collection::vec(-2.0f32..2.0, n)
-}
+const CASES: usize = 16;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn grad_mul_chain(data in tensor_strategy(6), data2 in tensor_strategy(6)) {
-        let a = Tensor::from_vec(vec![2, 3], data).unwrap();
-        let b = Tensor::from_vec(vec![2, 3], data2).unwrap();
+#[test]
+fn grad_mul_chain() {
+    run_cases("grad_mul_chain", CASES, 0xA6_01, |_case, rng| {
+        let a = Tensor::from_vec(vec![2, 3], vec_f32(rng, 6, -2.0, 2.0)).unwrap();
+        let b = Tensor::from_vec(vec![2, 3], vec_f32(rng, 6, -2.0, 2.0)).unwrap();
         assert_grads_close(&[a, b], 1e-2, 5e-2, |g, v| {
             let m = g.mul(v[0], v[1]);
             let s = g.sigmoid(m);
             g.mean(s)
         });
-    }
+    });
+}
 
-    #[test]
-    fn grad_matmul_random(data in tensor_strategy(6), data2 in tensor_strategy(8)) {
-        let a = Tensor::from_vec(vec![3, 2], data).unwrap();
-        let b = Tensor::from_vec(vec![2, 4], data2).unwrap();
+#[test]
+fn grad_matmul_random() {
+    run_cases("grad_matmul_random", CASES, 0xA6_02, |_case, rng| {
+        let a = Tensor::from_vec(vec![3, 2], vec_f32(rng, 6, -2.0, 2.0)).unwrap();
+        let b = Tensor::from_vec(vec![2, 4], vec_f32(rng, 8, -2.0, 2.0)).unwrap();
         assert_grads_close(&[a, b], 1e-2, 5e-2, |g, v| {
             let m = g.matmul(v[0], v[1]);
             let m2 = g.mul(m, m);
             g.mean(m2)
         });
-    }
+    });
+}
 
-    #[test]
-    fn grad_softmax_random(data in tensor_strategy(8)) {
-        let a = Tensor::from_vec(vec![2, 4], data).unwrap();
+#[test]
+fn grad_softmax_random() {
+    run_cases("grad_softmax_random", CASES, 0xA6_03, |_case, rng| {
+        let a = Tensor::from_vec(vec![2, 4], vec_f32(rng, 8, -2.0, 2.0)).unwrap();
         assert_grads_close(&[a], 1e-2, 5e-2, |g, v| {
             let s = g.softmax_last(v[0]);
             let s2 = g.mul(s, s);
             g.mean(s2)
         });
-    }
+    });
+}
 
-    #[test]
-    fn grad_conv_random(data in tensor_strategy(2 * 16), wdata in tensor_strategy(3 * 2 * 9)) {
-        let x = Tensor::from_vec(vec![1, 2, 4, 4], data).unwrap();
-        let w = Tensor::from_vec(vec![3, 2, 3, 3], wdata).unwrap();
+#[test]
+fn grad_conv_random() {
+    run_cases("grad_conv_random", CASES, 0xA6_04, |_case, rng| {
+        let x = Tensor::from_vec(vec![1, 2, 4, 4], vec_f32(rng, 2 * 16, -2.0, 2.0)).unwrap();
+        let w = Tensor::from_vec(vec![3, 2, 3, 3], vec_f32(rng, 3 * 2 * 9, -2.0, 2.0)).unwrap();
         assert_grads_close(&[x, w], 1e-2, 6e-2, |g, v| {
             let y = g.conv2d(v[0], v[1], 1, 1);
             let y2 = g.mul(y, y);
             g.mean(y2)
         });
-    }
+    });
+}
 
-    #[test]
-    fn grad_layernorm_random(data in tensor_strategy(12)) {
-        let x = Tensor::from_vec(vec![3, 4], data).unwrap();
+#[test]
+fn grad_layernorm_random() {
+    run_cases("grad_layernorm_random", CASES, 0xA6_05, |_case, rng| {
+        let x = Tensor::from_vec(vec![3, 4], vec_f32(rng, 12, -2.0, 2.0)).unwrap();
         let gamma = Tensor::ones(vec![4]);
         let beta = Tensor::zeros(vec![4]);
         assert_grads_close(&[x, gamma, beta], 1e-2, 8e-2, |g, v| {
@@ -65,13 +70,16 @@ proptest! {
             let y2 = g.mul(y, y);
             g.mean(y2)
         });
-    }
+    });
+}
 
-    #[test]
-    fn grad_cross_entropy_random(data in tensor_strategy(3 * 4), labels in proptest::collection::vec(0u8..3, 4)) {
-        let x = Tensor::from_vec(vec![1, 3, 2, 2], data).unwrap();
+#[test]
+fn grad_cross_entropy_random() {
+    run_cases("grad_cross_entropy_random", CASES, 0xA6_06, |_case, rng| {
+        let x = Tensor::from_vec(vec![1, 3, 2, 2], vec_f32(rng, 3 * 4, -2.0, 2.0)).unwrap();
+        let labels = mfaplace_rt::check::vec_u8(rng, 4, 0, 3);
         assert_grads_close(&[x], 1e-2, 5e-2, |g, v| {
             g.cross_entropy2d(v[0], &labels, None)
         });
-    }
+    });
 }

@@ -1,29 +1,25 @@
-//! Criterion microbenchmarks of model inference — supports the paper's
-//! claim that prediction is fast enough to sit inside the placement loop
+//! Microbenchmarks of model inference — supports the paper's claim that
+//! prediction is fast enough to sit inside the placement loop
 //! (`T_macro` < 10 min including congestion prediction).
+//!
+//! Runs on the self-contained `mfaplace_rt::bench` harness (warmup +
+//! median-of-N over `std::time::Instant`) and writes
+//! `results/bench_inference.json` alongside the paper-table artifacts.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use mfaplace_autograd::Graph;
-use mfaplace_models::{
-    CongestionModel, OursConfig, OursModel, PgnnModel, Pros2Model, UNetModel,
-};
+use mfaplace_models::{CongestionModel, OursConfig, OursModel, PgnnModel, Pros2Model, UNetModel};
+use mfaplace_rt::bench::Suite;
+use mfaplace_rt::rng::{SeedableRng, StdRng};
 use mfaplace_tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 const GRID: usize = 32;
 const C: usize = 4;
 
-fn bench_model<M: CongestionModel>(
-    c: &mut Criterion,
-    label: &str,
-    mut graph: Graph,
-    mut model: M,
-) {
+fn bench_model<M: CongestionModel>(suite: &mut Suite, label: &str, mut graph: Graph, mut model: M) {
     let mut rng = StdRng::seed_from_u64(1);
     let input = Tensor::randn(vec![1, 6, GRID, GRID], 1.0, &mut rng);
     let mark = graph.mark();
-    c.bench_function(label, |b| {
+    suite.run(label, |b| {
         b.iter(|| {
             let x = graph.constant(input.clone());
             let y = model.forward(&mut graph, x, false);
@@ -34,24 +30,25 @@ fn bench_model<M: CongestionModel>(
     });
 }
 
-fn inference_benches(c: &mut Criterion) {
+fn main() {
+    let mut suite = Suite::new("inference").with_config(3, 10);
     {
         let mut g = Graph::new();
         let mut rng = StdRng::seed_from_u64(0);
         let m = UNetModel::new(&mut g, C, &mut rng);
-        bench_model(c, "inference/unet", g, m);
+        bench_model(&mut suite, "inference/unet", g, m);
     }
     {
         let mut g = Graph::new();
         let mut rng = StdRng::seed_from_u64(0);
         let m = PgnnModel::new(&mut g, C, &mut rng);
-        bench_model(c, "inference/pgnn", g, m);
+        bench_model(&mut suite, "inference/pgnn", g, m);
     }
     {
         let mut g = Graph::new();
         let mut rng = StdRng::seed_from_u64(0);
         let m = Pros2Model::new(&mut g, C, &mut rng);
-        bench_model(c, "inference/pros2", g, m);
+        bench_model(&mut suite, "inference/pros2", g, m);
     }
     {
         let mut g = Graph::new();
@@ -68,13 +65,14 @@ fn inference_benches(c: &mut Criterion) {
             },
             &mut rng,
         );
-        bench_model(c, "inference/ours", g, m);
+        bench_model(&mut suite, "inference/ours", g, m);
     }
+    print!("{}", suite.table());
+    // Anchor on the manifest dir: `cargo bench` sets cwd to the package,
+    // but results/ lives at the workspace root.
+    let out = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/bench_inference.json"
+    );
+    suite.write_json(out).expect("write bench_inference.json");
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = inference_benches
-}
-criterion_main!(benches);

@@ -15,14 +15,18 @@ use mfaplace_bench::{build_suite_data, Scale};
 use mfaplace_core::metrics::PredictionMetrics;
 use mfaplace_core::train::{TrainConfig, Trainer};
 use mfaplace_models::{OursModel, UNetModel};
-use rand::{rngs::StdRng, SeedableRng};
+use mfaplace_rt::rng::{SeedableRng, StdRng};
 
 fn main() {
     let scale = Scale::from_env();
     let designs = scale.prediction_designs(1);
     let suite = build_suite_data(&designs, &scale.dataset_config(), 42);
     eprintln!("train {} samples", suite.train.len());
-    let cfgt = |ep| TrainConfig { epochs: ep, cosine_schedule: false, ..TrainConfig::default() };
+    let cfgt = |ep| TrainConfig {
+        epochs: ep,
+        cosine_schedule: false,
+        ..TrainConfig::default()
+    };
     let mut g = Graph::new();
     let mut rng = StdRng::seed_from_u64(0);
     let m = UNetModel::new(&mut g, scale.base_channels, &mut rng);
@@ -36,10 +40,16 @@ fn main() {
             let mut acc = PredictionMetrics::default();
             for (_, te) in &suite.per_design_test {
                 let m = $t.evaluate(te);
-                acc.acc += m.acc; acc.r2 += m.r2; acc.nrms += m.nrms;
+                acc.acc += m.acc;
+                acc.r2 += m.r2;
+                acc.nrms += m.nrms;
             }
             let n = suite.per_design_test.len() as f64;
-            PredictionMetrics { acc: acc.acc/n, r2: acc.r2/n, nrms: acc.nrms/n }
+            PredictionMetrics {
+                acc: acc.acc / n,
+                r2: acc.r2 / n,
+                nrms: acc.nrms / n,
+            }
         }};
     }
     for round in 0..8 {

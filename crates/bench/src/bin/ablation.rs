@@ -10,8 +10,8 @@ use mfaplace_core::metrics::PredictionMetrics;
 use mfaplace_core::report::{fmt, Table};
 use mfaplace_core::train::{TrainConfig, Trainer};
 use mfaplace_models::{OursConfig, OursModel};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mfaplace_rt::rng::SeedableRng;
+use mfaplace_rt::rng::StdRng;
 
 fn main() {
     let scale = Scale::from_env();
@@ -25,8 +25,20 @@ fn main() {
     let base = scale.ours_config();
     let variants: Vec<(&str, OursConfig)> = vec![
         ("Ours (full)", base),
-        ("no MFA", OursConfig { use_mfa: false, ..base }),
-        ("no ViT", OursConfig { vit_layers: 0, ..base }),
+        (
+            "no MFA",
+            OursConfig {
+                use_mfa: false,
+                ..base
+            },
+        ),
+        (
+            "no ViT",
+            OursConfig {
+                vit_layers: 0,
+                ..base
+            },
+        ),
         (
             "backbone only",
             OursConfig {

@@ -14,7 +14,7 @@ const GLYPHS: [char; 8] = ['.', ':', '-', '=', '+', '*', '#', '@'];
 fn main() {
     let scale = Scale::from_env();
     let design = &scale.contest_designs(1)[5]; // Design_180, the hottest
-    // A deliberately clustered placement shows the level structure.
+                                               // A deliberately clustered placement shows the level structure.
     let mut placement = design.random_placement(3);
     for (id, inst) in design.netlist.instances() {
         if inst.movable {

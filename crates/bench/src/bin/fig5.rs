@@ -7,8 +7,8 @@ use mfaplace_autograd::Graph;
 use mfaplace_bench::{emit_report, Scale};
 use mfaplace_models::summary::{ours_stage_shapes, render_stage_table};
 use mfaplace_models::{CongestionModel, OursConfig, OursModel};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mfaplace_rt::rng::SeedableRng;
+use mfaplace_rt::rng::StdRng;
 
 fn main() {
     let scale = Scale::from_env();

@@ -29,8 +29,7 @@ fn main() {
 
     let mut results: Vec<(String, Vec<PredictionMetrics>)> = Vec::new();
     for (graph, model) in model_zoo(&scale, 99) {
-        let (name, metrics, _trainer) =
-            train_and_evaluate(graph, model, &suite, scale.epochs);
+        let (name, metrics, _trainer) = train_and_evaluate(graph, model, &suite, scale.epochs);
         results.push((name, metrics));
     }
 
@@ -72,7 +71,13 @@ fn main() {
     let avg = |ms: &[PredictionMetrics], f: fn(&PredictionMetrics) -> f64| {
         ms.iter().map(f).sum::<f64>() / ms.len() as f64
     };
-    let mut avg_row = vec!["Average".to_string(), "-".into(), "-".into(), "-".into(), "-".into()];
+    let mut avg_row = vec![
+        "Average".to_string(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+    ];
     let mut averages = Vec::new();
     for (_, metrics) in &results {
         let a = avg(metrics, |m| m.acc);
@@ -86,7 +91,13 @@ fn main() {
     table.add_row(avg_row);
     // Ratio row (relative to Ours = last column group, as in the paper)
     let (oa, or, onr) = *averages.last().expect("at least one model");
-    let mut ratio_row = vec!["Ratio".to_string(), "-".into(), "-".into(), "-".into(), "-".into()];
+    let mut ratio_row = vec![
+        "Ratio".to_string(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+    ];
     for &(a, r, nr) in &averages {
         ratio_row.push(fmt(a / oa, 3));
         ratio_row.push(fmt(r / or, 3));
@@ -98,7 +109,10 @@ fn main() {
     out.push_str("TABLE I: PREDICTION COMPARISON OF DIFFERENT ML-BASED METHODS\n");
     out.push_str(&format!(
         "(simulated substrate; grid {}x{}, {} designs, {} train samples)\n\n",
-        suite.train.grid, suite.train.grid, n, suite.train.len()
+        suite.train.grid,
+        suite.train.grid,
+        n,
+        suite.train.len()
     ));
     out.push_str(&table.render());
     emit_report("table1.txt", &out);

@@ -18,8 +18,8 @@ use mfaplace_core::train::{TrainConfig, Trainer};
 use mfaplace_models::OursModel;
 use mfaplace_placer::flows::{FlowConfig as PlacerFlowConfig, RudyPredictor};
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mfaplace_rt::rng::SeedableRng;
+use mfaplace_rt::rng::StdRng;
 
 fn scaled_placer_cfg(mut cfg: PlacerFlowConfig, scale: &Scale) -> PlacerFlowConfig {
     // Proportional scaling preserves the flows' relative effort profiles.
@@ -72,8 +72,14 @@ fn main() {
 
     // ---- run the four flows on every design ---------------------------
     let flows: Vec<(&str, PlacerFlowConfig)> = vec![
-        ("UTDA", scaled_placer_cfg(PlacerFlowConfig::utda_like(), &scale)),
-        ("SEU", scaled_placer_cfg(PlacerFlowConfig::seu_like(), &scale)),
+        (
+            "UTDA",
+            scaled_placer_cfg(PlacerFlowConfig::utda_like(), &scale),
+        ),
+        (
+            "SEU",
+            scaled_placer_cfg(PlacerFlowConfig::seu_like(), &scale),
+        ),
         (
             "MPKU-Improve",
             scaled_placer_cfg(PlacerFlowConfig::mpku_like(), &scale),

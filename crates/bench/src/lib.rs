@@ -12,11 +12,9 @@ use mfaplace_core::dataset::{build_design_dataset, Dataset, DatasetConfig};
 use mfaplace_core::metrics::PredictionMetrics;
 use mfaplace_core::train::{TrainConfig, Trainer};
 use mfaplace_fpga::design::{Design, DesignPreset};
-use mfaplace_models::{
-    CongestionModel, OursConfig, OursModel, PgnnModel, Pros2Model, UNetModel,
-};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mfaplace_models::{CongestionModel, OursConfig, OursModel, PgnnModel, Pros2Model, UNetModel};
+use mfaplace_rt::rng::SeedableRng;
+use mfaplace_rt::rng::StdRng;
 
 /// Experiment scale knobs resolved from the `MFA_SCALE` environment
 /// variable: `quick` (CI smoke), default (laptop minutes) or `full`
@@ -97,12 +95,14 @@ impl Scale {
 
     /// Dataset configuration at this scale.
     pub fn dataset_config(&self) -> DatasetConfig {
-        let mut cfg = DatasetConfig::default();
-        cfg.grid = self.grid;
-        cfg.placements_per_design = self.placements;
+        let mut cfg = DatasetConfig {
+            grid: self.grid,
+            placements_per_design: self.placements,
+            placer_iterations: (self.flow_iterations / 2).max(4),
+            ..DatasetConfig::default()
+        };
         cfg.router.grid_w = self.grid;
         cfg.router.grid_h = self.grid;
-        cfg.placer_iterations = (self.flow_iterations / 2).max(4);
         cfg
     }
 
@@ -154,6 +154,9 @@ pub fn build_suite_data(designs: &[Design], cfg: &DatasetConfig, seed: u64) -> S
 }
 
 /// The four Table-I models, constructed on fresh graphs.
+// The variants intentionally hold the models inline: a handful of zoo
+// entries exist per run, so the size skew does not matter.
+#[allow(clippy::large_enum_variant)]
 pub enum ZooModel {
     /// U-Net baseline \[6\].
     UNet(UNetModel),

@@ -14,11 +14,11 @@ use mfaplace_fpga::features::FeatureStack;
 use mfaplace_placer::flows::{FlowConfig as PlacerFlowConfig, PlacementFlow, RudyPredictor};
 use mfaplace_router::labels::{congestion_labels, rotate_levels};
 use mfaplace_router::RouterConfig;
+use mfaplace_rt::rng::Rng;
+use mfaplace_rt::rng::SeedableRng;
+use mfaplace_rt::rng::SliceRandom;
+use mfaplace_rt::rng::StdRng;
 use mfaplace_tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::Rng;
-use rand::SeedableRng;
 
 /// One training sample: the six feature maps plus the label level map.
 #[derive(Debug, Clone)]
@@ -45,7 +45,9 @@ impl Dataset {
         let mut rng = StdRng::seed_from_u64(seed);
         self.samples.shuffle(&mut rng);
         let n_test = ((self.samples.len() as f32) * test_fraction).round() as usize;
-        let test = self.samples.split_off(self.samples.len().saturating_sub(n_test));
+        let test = self
+            .samples
+            .split_off(self.samples.len().saturating_sub(n_test));
         (
             Dataset {
                 samples: self.samples,
@@ -135,7 +137,11 @@ pub fn build_design_dataset(design: &Design, cfg: &DatasetConfig, seed: u64) -> 
         flow_cfg.grid_h = cfg.grid;
         let flow = PlacementFlow::new(flow_cfg);
         let mut placement = flow
-            .run(design, &mut RudyPredictor::default(), seed.wrapping_add(k as u64))
+            .run(
+                design,
+                &mut RudyPredictor::default(),
+                seed.wrapping_add(k as u64),
+            )
             .placement;
         if k % 2 == 1 {
             let sigma = 0.5 + 1.5 * (k % 4) as f32;

@@ -57,10 +57,7 @@ pub fn r_squared(pred: &[f32], labels: &[u8]) -> f64 {
     }
     let n = labels.len() as f64;
     let mean = labels.iter().map(|&l| f64::from(l)).sum::<f64>() / n;
-    let ss_tot: f64 = labels
-        .iter()
-        .map(|&l| (f64::from(l) - mean).powi(2))
-        .sum();
+    let ss_tot: f64 = labels.iter().map(|&l| (f64::from(l) - mean).powi(2)).sum();
     let ss_res: f64 = pred
         .iter()
         .zip(labels)

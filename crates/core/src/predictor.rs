@@ -62,8 +62,8 @@ mod tests {
     use super::*;
     use mfaplace_fpga::design::DesignPreset;
     use mfaplace_models::{OursConfig, OursModel};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mfaplace_rt::rng::SeedableRng;
+    use mfaplace_rt::rng::StdRng;
 
     #[test]
     fn predictor_outputs_level_scale_map() {

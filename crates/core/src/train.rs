@@ -4,9 +4,9 @@
 use mfaplace_autograd::Graph;
 use mfaplace_models::{expected_levels, predicted_classes, CongestionModel, NUM_LEVEL_CLASSES};
 use mfaplace_nn::{class_weights_from_labels, Adam};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use mfaplace_rt::rng::SeedableRng;
+use mfaplace_rt::rng::SliceRandom;
+use mfaplace_rt::rng::StdRng;
 
 use crate::dataset::{batch, Dataset};
 use crate::metrics::PredictionMetrics;
@@ -83,6 +83,7 @@ impl<M: CongestionModel> Trainer<M> {
     /// Trains on `dataset`, returning per-epoch losses.
     pub fn fit(&mut self, dataset: &Dataset) -> TrainReport {
         use mfaplace_nn::{CosineLr, LrSchedule};
+        let _t = mfaplace_rt::timer::ScopeTimer::new("core/fit");
         let mut opt = Adam::new(self.config.lr);
         let batches_per_epoch = dataset.len().div_ceil(self.config.batch_size).max(1);
         let total_steps = batches_per_epoch * self.config.epochs;
@@ -108,6 +109,7 @@ impl<M: CongestionModel> Trainer<M> {
         });
 
         for _epoch in 0..self.config.epochs {
+            let _te = mfaplace_rt::timer::ScopeTimer::new("core/fit_epoch");
             let mut order: Vec<usize> = (0..dataset.len()).collect();
             order.shuffle(&mut rng);
             let mut epoch_loss = 0.0f32;
@@ -119,9 +121,9 @@ impl<M: CongestionModel> Trainer<M> {
                 let (x, labels) = batch(dataset, chunk);
                 let xv = self.graph.constant(x);
                 let logits = self.model.forward(&mut self.graph, xv, true);
-                let loss =
-                    self.graph
-                        .cross_entropy2d(logits, &labels, weights.as_deref());
+                let loss = self
+                    .graph
+                    .cross_entropy2d(logits, &labels, weights.as_deref());
                 epoch_loss += self.graph.value(loss).item();
                 batches += 1;
                 self.graph.zero_grads();
@@ -130,15 +132,14 @@ impl<M: CongestionModel> Trainer<M> {
                 self.graph.truncate(mark);
                 report.steps += 1;
             }
-            report
-                .epoch_losses
-                .push(epoch_loss / batches.max(1) as f32);
+            report.epoch_losses.push(epoch_loss / batches.max(1) as f32);
         }
         report
     }
 
     /// Evaluates ACC / R^2 / NRMS on `dataset` (inference mode).
     pub fn evaluate(&mut self, dataset: &Dataset) -> PredictionMetrics {
+        let _t = mfaplace_rt::timer::ScopeTimer::new("core/evaluate");
         let mark = self.graph.mark();
         let mut pred_classes = Vec::new();
         let mut pred_levels = Vec::new();
@@ -163,8 +164,8 @@ mod tests {
     use crate::dataset::{build_design_dataset, DatasetConfig};
     use mfaplace_fpga::design::DesignPreset;
     use mfaplace_models::{OursConfig, OursModel, UNetModel};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mfaplace_rt::rng::SeedableRng;
+    use mfaplace_rt::rng::StdRng;
 
     fn tiny_dataset() -> Dataset {
         let d = DesignPreset::design_180()

@@ -1,47 +1,78 @@
-//! Property-based tests of the evaluation metrics.
+//! Randomized tests of the evaluation metrics (fixed seeds, in-tree harness).
 
 use mfaplace_core::metrics::{accuracy, nrms, r_squared};
-use proptest::prelude::*;
+use mfaplace_rt::check::{run_cases, vec_f32, vec_u8};
+use mfaplace_rt::rng::Rng;
 
-proptest! {
-    #[test]
-    fn accuracy_bounded(pred in proptest::collection::vec(0u8..8, 1..64)) {
+#[test]
+fn accuracy_bounded() {
+    run_cases("accuracy_bounded", 64, 0xC0_01, |_case, rng| {
+        let len = rng.gen_range(1usize..64);
+        let pred = vec_u8(rng, len, 0, 8);
         let labels: Vec<u8> = pred.iter().map(|&p| (p + 1) % 8).collect();
         let a = accuracy(&pred, &labels);
-        prop_assert!((0.0..=1.0).contains(&a));
-        prop_assert_eq!(accuracy(&pred, &pred), 1.0);
-    }
+        assert!((0.0..=1.0).contains(&a));
+        assert_eq!(accuracy(&pred, &pred), 1.0);
+    });
+}
 
-    #[test]
-    fn r2_at_most_one(pred in proptest::collection::vec(-10.0f32..10.0, 2..64)) {
+#[test]
+fn r2_at_most_one() {
+    run_cases("r2_at_most_one", 64, 0xC0_02, |_case, rng| {
+        let len = rng.gen_range(2usize..64);
+        let pred = vec_f32(rng, len, -10.0, 10.0);
         let labels: Vec<u8> = (0..pred.len()).map(|i| (i % 8) as u8).collect();
-        prop_assert!(r_squared(&pred, &labels) <= 1.0 + 1e-9);
+        assert!(r_squared(&pred, &labels) <= 1.0 + 1e-9);
         // Perfect prediction is exactly 1.
         let exact: Vec<f32> = labels.iter().map(|&l| f32::from(l)).collect();
-        prop_assert!((r_squared(&exact, &labels) - 1.0).abs() < 1e-9);
-    }
+        assert!((r_squared(&exact, &labels) - 1.0).abs() < 1e-9);
+    });
+}
 
-    #[test]
-    fn nrms_nonnegative_and_zero_iff_exact(labels in proptest::collection::vec(0u8..8, 1..64)) {
-        let exact: Vec<f32> = labels.iter().map(|&l| f32::from(l)).collect();
-        prop_assert_eq!(nrms(&exact, &labels), 0.0);
-        let off: Vec<f32> = exact.iter().map(|v| v + 1.0).collect();
-        prop_assert!(nrms(&off, &labels) > 0.0);
-    }
+#[test]
+fn nrms_nonnegative_and_zero_iff_exact() {
+    run_cases(
+        "nrms_nonnegative_and_zero_iff_exact",
+        64,
+        0xC0_03,
+        |_case, rng| {
+            let len = rng.gen_range(1usize..64);
+            let labels = vec_u8(rng, len, 0, 8);
+            let exact: Vec<f32> = labels.iter().map(|&l| f32::from(l)).collect();
+            assert_eq!(nrms(&exact, &labels), 0.0);
+            let off: Vec<f32> = exact.iter().map(|v| v + 1.0).collect();
+            assert!(nrms(&off, &labels) > 0.0);
+        },
+    );
+}
 
-    #[test]
-    fn nrms_monotone_in_error(labels in proptest::collection::vec(0u8..8, 2..32), delta in 0.1f32..3.0) {
+#[test]
+fn nrms_monotone_in_error() {
+    run_cases("nrms_monotone_in_error", 64, 0xC0_04, |_case, rng| {
+        let len = rng.gen_range(2usize..32);
+        let labels = vec_u8(rng, len, 0, 8);
+        let delta = rng.gen_range(0.1f32..3.0);
         let exact: Vec<f32> = labels.iter().map(|&l| f32::from(l)).collect();
         let near: Vec<f32> = exact.iter().map(|v| v + delta).collect();
         let far: Vec<f32> = exact.iter().map(|v| v + 2.0 * delta).collect();
-        prop_assert!(nrms(&near, &labels) <= nrms(&far, &labels) + 1e-6);
-    }
+        assert!(nrms(&near, &labels) <= nrms(&far, &labels) + 1e-6);
+    });
+}
 
-    #[test]
-    fn better_fit_higher_r2(labels in proptest::collection::vec(0u8..8, 4..32), noise in 0.1f32..2.0) {
+#[test]
+fn better_fit_higher_r2() {
+    run_cases("better_fit_higher_r2", 64, 0xC0_05, |_case, rng| {
+        let len = rng.gen_range(4usize..32);
+        let labels = vec_u8(rng, len, 0, 8);
+        let noise = rng.gen_range(0.1f32..2.0);
         // Skip degenerate all-equal label vectors (SS_tot = 0).
-        let distinct = labels.iter().collect::<std::collections::HashSet<_>>().len();
-        prop_assume!(distinct > 1);
+        let distinct = labels
+            .iter()
+            .collect::<std::collections::HashSet<_>>()
+            .len();
+        if distinct <= 1 {
+            return;
+        }
         let exact: Vec<f32> = labels.iter().map(|&l| f32::from(l)).collect();
         let near: Vec<f32> = exact
             .iter()
@@ -51,8 +82,14 @@ proptest! {
         let far: Vec<f32> = exact
             .iter()
             .enumerate()
-            .map(|(i, v)| v + if i % 2 == 0 { 2.0 * noise } else { -2.0 * noise })
+            .map(|(i, v)| {
+                v + if i % 2 == 0 {
+                    2.0 * noise
+                } else {
+                    -2.0 * noise
+                }
+            })
             .collect();
-        prop_assert!(r_squared(&near, &labels) >= r_squared(&far, &labels) - 1e-6);
-    }
+        assert!(r_squared(&near, &labels) >= r_squared(&far, &labels) - 1e-6);
+    });
 }

@@ -9,8 +9,8 @@
 //! demand is (the contest's "ten most congested" designs differ mainly in
 //! this respect).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mfaplace_rt::rng::StdRng;
+use mfaplace_rt::rng::{Rng, SeedableRng};
 
 use crate::arch::{FpgaArch, SiteKind};
 use crate::constraint::{CascadeShape, Rect, RegionConstraint};
@@ -69,9 +69,7 @@ impl Design {
 
     /// The region constraint index an instance belongs to, if any.
     pub fn region_of(&self, id: InstId) -> Option<usize> {
-        self.regions
-            .iter()
-            .position(|r| r.members.contains(&id))
+        self.regions.iter().position(|r| r.members.contains(&id))
     }
 }
 
@@ -220,13 +218,15 @@ impl DesignPreset {
         }
         // Datapath clusters host the macros.
         let n_dp = (n_clusters as f32 * 0.4).ceil() as usize;
-        let dp_clusters: Vec<u32> = (0..n_dp).map(|_| rng.gen_range(0..n_clusters) as u32).collect();
-        for i in n_cells..netlist.num_instances() {
-            cluster_of[i] = dp_clusters[rng.gen_range(0..dp_clusters.len())];
+        let dp_clusters: Vec<u32> = (0..n_dp)
+            .map(|_| rng.gen_range(0..n_clusters) as u32)
+            .collect();
+        for slot in &mut cluster_of[n_cells..netlist.num_instances()] {
+            *slot = dp_clusters[rng.gen_range(0..dp_clusters.len())];
         }
         // Hot clusters get denser interconnect.
         let hot: Vec<bool> = (0..n_clusters)
-            .map(|_| rng.gen::<f32>() < self.hotness)
+            .map(|_| rng.gen_f32() < self.hotness)
             .collect();
 
         // Bucket instances per cluster for sampling.
@@ -253,7 +253,7 @@ impl DesignPreset {
 
         // -------- nets ----------------------------------------------------
         let sample_degree = |rng: &mut StdRng| -> usize {
-            let r: f32 = rng.gen();
+            let r: f32 = rng.gen_f32();
             if r < 0.45 {
                 2
             } else if r < 0.65 {
@@ -278,7 +278,7 @@ impl DesignPreset {
                 for k in 0..deg {
                     // 15% of pins escape to a random other cluster (Rent-like
                     // external connectivity); hot clusters escape further.
-                    let from = if k > 0 && rng.gen::<f32>() < 0.15 {
+                    let from = if k > 0 && rng.gen_f32() < 0.15 {
                         let other = rng.gen_range(0..n_clusters);
                         if members[other].is_empty() {
                             c
@@ -294,7 +294,7 @@ impl DesignPreset {
                     }
                 }
                 // occasionally tie a net to an I/O anchor
-                if rng.gen::<f32>() < 0.04 {
+                if rng.gen_f32() < 0.04 {
                     let (a, _, _) = io_anchors[rng.gen_range(0..io_anchors.len())];
                     pins.push(a);
                 }
@@ -326,15 +326,14 @@ impl DesignPreset {
 
         // -------- cascades -------------------------------------------------
         let mut cascades = Vec::new();
-        let chain_macros = |kind: InstKind, cascades: &mut Vec<CascadeShape>,
-                                rng: &mut StdRng| {
+        let chain_macros = |kind: InstKind, cascades: &mut Vec<CascadeShape>, rng: &mut StdRng| {
             let pool: Vec<InstId> = netlist
                 .instances()
                 .filter_map(|(id, inst)| (inst.kind == kind && inst.movable).then_some(id))
                 .collect();
             let mut i = 0usize;
             while i + 1 < pool.len() {
-                if rng.gen::<f32>() < 0.4 {
+                if rng.gen_f32() < 0.4 {
                     let len = rng
                         .gen_range(2..=9usize)
                         .min(pool.len() - i)
@@ -358,8 +357,8 @@ impl DesignPreset {
         let mut regions = Vec::new();
         let n_regions = rng.gen_range(2..=4usize);
         for _ in 0..n_regions {
-            let w = rng.gen_range(0.25..0.45) * arch.width();
-            let h = rng.gen_range(0.25..0.45) * arch.height();
+            let w = rng.gen_range(0.25f32..0.45) * arch.width();
+            let h = rng.gen_range(0.25f32..0.45) * arch.height();
             let x0 = rng.gen_range(0.0..(arch.width() - w));
             let y0 = rng.gen_range(0.0..(arch.height() - h));
             let rect = Rect::new(x0, y0, x0 + w, y0 + h);
@@ -458,11 +457,7 @@ mod tests {
     #[test]
     fn regions_do_not_bind_cascade_members() {
         let d = DesignPreset::design_190().generate(5);
-        let in_cascade: Vec<InstId> = d
-            .cascades
-            .iter()
-            .flat_map(|c| c.members.clone())
-            .collect();
+        let in_cascade: Vec<InstId> = d.cascades.iter().flat_map(|c| c.members.clone()).collect();
         for r in &d.regions {
             for m in &r.members {
                 assert!(!in_cascade.contains(m), "region member also in cascade");

@@ -227,12 +227,7 @@ mod tests {
         // The movable cells all land in grid (0, 0); the 24 fixed I/O anchors
         // remain spread on the boundary, so (0, 0) must be the normalized peak.
         assert_eq!(f.cell_density.get(0, 0), 1.0);
-        let nonzero = f
-            .cell_density
-            .data()
-            .iter()
-            .filter(|&&v| v > 0.0)
-            .count();
+        let nonzero = f.cell_density.data().iter().filter(|&&v| v > 0.0).count();
         assert!(nonzero <= 25, "only anchors elsewhere, got {nonzero}");
     }
 }

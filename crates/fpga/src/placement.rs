@@ -132,7 +132,9 @@ mod tests {
     #[test]
     fn bbox_covers_all_pins() {
         let mut nl = Netlist::new();
-        let ids: Vec<_> = (0..3).map(|_| nl.add_instance(InstKind::Ff, true)).collect();
+        let ids: Vec<_> = (0..3)
+            .map(|_| nl.add_instance(InstKind::Ff, true))
+            .collect();
         let n = nl.add_net(ids);
         let mut p = Placement::new(3);
         p.set_pos(0, 1.0, 5.0);

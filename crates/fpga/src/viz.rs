@@ -88,11 +88,7 @@ pub fn render_placement(design: &Design, placement: &Placement, pixels_per_unit:
             continue;
         }
         let [r, g, b] = site_color(kind);
-        let tint = [
-            r / 4 + 191,
-            g / 4 + 191,
-            b / 4 + 191,
-        ];
+        let tint = [r / 4 + 191, g / 4 + 191, b / 4 + 191];
         for py in 0..h {
             for px in x * s..(x + 1) * s {
                 img.set(px, py, tint);

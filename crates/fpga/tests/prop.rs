@@ -1,88 +1,134 @@
-//! Property-based tests of the FPGA substrate: generator invariants,
-//! feature ranges and grid-map algebra.
+//! Randomized tests of the FPGA substrate: generator invariants, feature
+//! ranges and grid-map algebra (fixed seeds, in-tree harness).
 
 use mfaplace_fpga::design::DesignPreset;
 use mfaplace_fpga::features::FeatureStack;
 use mfaplace_fpga::GridMap;
-use proptest::prelude::*;
+use mfaplace_rt::check::{run_cases, vec_f32};
+use mfaplace_rt::rng::Rng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn generated_designs_are_well_formed(seed in 0u64..50, preset_idx in 0usize..10) {
-        let preset = DesignPreset::contest_suite().swap_remove(preset_idx);
-        let d = preset.with_scale(512, 64, 32).generate(seed);
-        // All nets reference valid instances with degree >= 2.
-        for (_, net) in d.netlist.nets() {
-            prop_assert!(net.degree() >= 2);
-            for &p in &net.pins {
-                prop_assert!((p.0 as usize) < d.netlist.num_instances());
+#[test]
+fn generated_designs_are_well_formed() {
+    run_cases(
+        "generated_designs_are_well_formed",
+        12,
+        0xF6_01,
+        |_case, rng| {
+            let seed = rng.gen_range(0u64..50);
+            let preset_idx = rng.gen_range(0usize..10);
+            let preset = DesignPreset::contest_suite().swap_remove(preset_idx);
+            let d = preset.with_scale(512, 64, 32).generate(seed);
+            // All nets reference valid instances with degree >= 2.
+            for (_, net) in d.netlist.nets() {
+                assert!(net.degree() >= 2);
+                for &p in &net.pins {
+                    assert!((p.0 as usize) < d.netlist.num_instances());
+                }
             }
-        }
-        // Cascades are homogeneous and within fabric height.
-        for c in &d.cascades {
-            prop_assert!(c.len() >= 2 && c.len() <= d.arch.rows());
-            let kind = d.netlist.instance(c.members[0]).kind;
-            for &m in &c.members {
-                prop_assert_eq!(d.netlist.instance(m).kind, kind);
+            // Cascades are homogeneous and within fabric height.
+            for c in &d.cascades {
+                assert!(c.len() >= 2 && c.len() <= d.arch.rows());
+                let kind = d.netlist.instance(c.members[0]).kind;
+                for &m in &c.members {
+                    assert_eq!(d.netlist.instance(m).kind, kind);
+                }
             }
-        }
-        // Regions lie inside the fabric.
-        for r in &d.regions {
-            prop_assert!(r.rect.x0 >= 0.0 && r.rect.x1 <= d.arch.width());
-            prop_assert!(r.rect.y0 >= 0.0 && r.rect.y1 <= d.arch.height());
-            prop_assert!(!r.members.is_empty());
-        }
-    }
+            // Regions lie inside the fabric.
+            for r in &d.regions {
+                assert!(r.rect.x0 >= 0.0 && r.rect.x1 <= d.arch.width());
+                assert!(r.rect.y0 >= 0.0 && r.rect.y1 <= d.arch.height());
+                assert!(!r.members.is_empty());
+            }
+        },
+    );
+}
 
-    #[test]
-    fn features_bounded_and_finite(seed in 0u64..30, grid in 2usize..5) {
-        let d = DesignPreset::design_120().with_scale(512, 64, 32).generate(seed);
+#[test]
+fn features_bounded_and_finite() {
+    run_cases("features_bounded_and_finite", 12, 0xF6_02, |_case, rng| {
+        let seed = rng.gen_range(0u64..30);
+        let grid = rng.gen_range(2usize..5);
+        let d = DesignPreset::design_120()
+            .with_scale(512, 64, 32)
+            .generate(seed);
         let p = d.random_placement(seed ^ 0xF00);
         let side = grid * 8;
         let f = FeatureStack::extract(&d, &p, side, side);
         let t = f.to_tensor();
-        prop_assert_eq!(t.shape(), &[6, side, side]);
+        assert_eq!(t.shape(), &[6, side, side]);
         for &v in t.data() {
-            prop_assert!(v.is_finite());
-            prop_assert!((0.0..=1.0 + 1e-5).contains(&v));
+            assert!(v.is_finite());
+            assert!((0.0..=1.0 + 1e-5).contains(&v));
         }
-    }
+    });
+}
 
-    #[test]
-    fn feature_rotation_commutes_with_tensor(seed in 0u64..20, k in 0usize..4) {
-        let d = DesignPreset::design_156().with_scale(512, 64, 32).generate(seed);
-        let p = d.random_placement(seed);
-        let f = FeatureStack::extract(&d, &p, 16, 16);
-        // rot90(k) of cell density equals gridmap rot90(k).
-        let rotated = f.rot90(k);
-        prop_assert_eq!(&rotated.cell_density, &f.cell_density.rot90(k));
-        prop_assert_eq!(&rotated.rudy, &f.rudy.rot90(k));
-    }
+#[test]
+fn feature_rotation_commutes_with_tensor() {
+    run_cases(
+        "feature_rotation_commutes_with_tensor",
+        12,
+        0xF6_03,
+        |_case, rng| {
+            let seed = rng.gen_range(0u64..20);
+            let k = rng.gen_range(0usize..4);
+            let d = DesignPreset::design_156()
+                .with_scale(512, 64, 32)
+                .generate(seed);
+            let p = d.random_placement(seed);
+            let f = FeatureStack::extract(&d, &p, 16, 16);
+            // rot90(k) of cell density equals gridmap rot90(k).
+            let rotated = f.rot90(k);
+            assert_eq!(&rotated.cell_density, &f.cell_density.rot90(k));
+            assert_eq!(&rotated.rudy, &f.rudy.rot90(k));
+        },
+    );
+}
 
-    #[test]
-    fn gridmap_rot90_preserves_mass(data in proptest::collection::vec(0.0f32..5.0, 12), k in 0usize..8) {
+#[test]
+fn gridmap_rot90_preserves_mass() {
+    run_cases("gridmap_rot90_preserves_mass", 24, 0xF6_04, |_case, rng| {
+        let data = vec_f32(rng, 12, 0.0, 5.0);
+        let k = rng.gen_range(0usize..8);
         let m = GridMap::from_vec(4, 3, data);
         let r = m.rot90(k);
         let sum_before: f32 = m.data().iter().sum();
         let sum_after: f32 = r.data().iter().sum();
-        prop_assert!((sum_before - sum_after).abs() < 1e-4);
-        prop_assert_eq!(m.data().len(), r.data().len());
-    }
+        assert!((sum_before - sum_after).abs() < 1e-4);
+        assert_eq!(m.data().len(), r.data().len());
+    });
+}
 
-    #[test]
-    fn gridmap_add_rect_adds_exact_mass(x0 in 0usize..8, y0 in 0usize..8, w in 0usize..10, h in 0usize..10) {
-        let mut m = GridMap::new(8, 8);
-        m.add_rect(x0, y0, x0 + w, y0 + h, 1.5);
-        let covered = (x0.min(8)..(x0 + w).min(8)).count() * (y0.min(8)..(y0 + h).min(8)).count();
-        let total: f32 = m.data().iter().sum();
-        prop_assert!((total - covered as f32 * 1.5).abs() < 1e-4);
-    }
+#[test]
+fn gridmap_add_rect_adds_exact_mass() {
+    run_cases(
+        "gridmap_add_rect_adds_exact_mass",
+        32,
+        0xF6_05,
+        |_case, rng| {
+            let x0 = rng.gen_range(0usize..8);
+            let y0 = rng.gen_range(0usize..8);
+            let w = rng.gen_range(0usize..10);
+            let h = rng.gen_range(0usize..10);
+            let mut m = GridMap::new(8, 8);
+            m.add_rect(x0, y0, x0 + w, y0 + h, 1.5);
+            let covered =
+                (x0.min(8)..(x0 + w).min(8)).count() * (y0.min(8)..(y0 + h).min(8)).count();
+            let total: f32 = m.data().iter().sum();
+            assert!((total - covered as f32 * 1.5).abs() < 1e-4);
+        },
+    );
+}
 
-    #[test]
-    fn hpwl_translation_invariant(seed in 0u64..30, dx in -3.0f32..3.0, dy in -3.0f32..3.0) {
-        let d = DesignPreset::design_197().with_scale(512, 64, 32).generate(seed);
+#[test]
+fn hpwl_translation_invariant() {
+    run_cases("hpwl_translation_invariant", 12, 0xF6_06, |_case, rng| {
+        let seed = rng.gen_range(0u64..30);
+        let dx = rng.gen_range(-3.0f32..3.0);
+        let dy = rng.gen_range(-3.0f32..3.0);
+        let d = DesignPreset::design_197()
+            .with_scale(512, 64, 32)
+            .generate(seed);
         let p = d.random_placement(seed);
         let mut shifted = p.clone();
         for i in 0..shifted.len() {
@@ -91,39 +137,44 @@ proptest! {
         }
         let a = p.hpwl(&d.netlist);
         let b = shifted.hpwl(&d.netlist);
-        prop_assert!((a - b).abs() < 1e-2 * (1.0 + a), "{a} vs {b}");
-    }
+        assert!((a - b).abs() < 1e-2 * (1.0 + a), "{a} vs {b}");
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    #[test]
-    fn io_round_trip_any_preset(seed in 0u64..40, preset_idx in 0usize..10) {
+#[test]
+fn io_round_trip_any_preset() {
+    run_cases("io_round_trip_any_preset", 8, 0xF6_07, |_case, rng| {
         use mfaplace_fpga::io;
+        let seed = rng.gen_range(0u64..40);
+        let preset_idx = rng.gen_range(0usize..10);
         let preset = DesignPreset::contest_suite().swap_remove(preset_idx);
         let d = preset.with_scale(512, 64, 32).generate(seed);
         let text = io::write_design(&d);
         let back = io::read_design(&text).expect("round trip parse");
-        prop_assert_eq!(back.netlist.num_instances(), d.netlist.num_instances());
-        prop_assert_eq!(back.netlist.num_nets(), d.netlist.num_nets());
-        prop_assert_eq!(&back.cascades, &d.cascades);
-        prop_assert_eq!(&back.io_anchors, &d.io_anchors);
-        prop_assert_eq!(&back.arch, &d.arch);
+        assert_eq!(back.netlist.num_instances(), d.netlist.num_instances());
+        assert_eq!(back.netlist.num_nets(), d.netlist.num_nets());
+        assert_eq!(&back.cascades, &d.cascades);
+        assert_eq!(&back.io_anchors, &d.io_anchors);
+        assert_eq!(&back.arch, &d.arch);
         // Second serialization is byte-identical (canonical form).
-        prop_assert_eq!(io::write_design(&back), text);
-    }
+        assert_eq!(io::write_design(&back), text);
+    });
+}
 
-    #[test]
-    fn placement_io_round_trip(seed in 0u64..40) {
+#[test]
+fn placement_io_round_trip() {
+    run_cases("placement_io_round_trip", 8, 0xF6_08, |_case, rng| {
         use mfaplace_fpga::io;
-        let d = DesignPreset::design_136().with_scale(512, 64, 32).generate(seed);
+        let seed = rng.gen_range(0u64..40);
+        let d = DesignPreset::design_136()
+            .with_scale(512, 64, 32)
+            .generate(seed);
         let p = d.random_placement(seed ^ 0x9E);
         let text = io::write_placement(&p);
         let back = io::read_placement(&text).expect("placement parse");
-        prop_assert_eq!(back.len(), p.len());
+        assert_eq!(back.len(), p.len());
         for i in 0..p.len() {
-            prop_assert_eq!(back.pos(i), p.pos(i));
+            assert_eq!(back.pos(i), p.pos(i));
         }
-    }
+    });
 }

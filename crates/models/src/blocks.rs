@@ -3,7 +3,7 @@
 
 use mfaplace_autograd::{Graph, Var};
 use mfaplace_nn::{BatchNorm2d, Conv2d, Module};
-use rand::Rng;
+use mfaplace_rt::rng::Rng;
 
 /// A ResNet basic block `conv-bn-relu-conv-bn (+ projection skip) -relu`,
 /// optionally downsampling by stride 2.
@@ -18,13 +18,7 @@ pub struct ResBlock {
 
 impl ResBlock {
     /// Creates a block mapping `cin -> cout` with the given stride.
-    pub fn new(
-        g: &mut Graph,
-        cin: usize,
-        cout: usize,
-        stride: usize,
-        rng: &mut impl Rng,
-    ) -> Self {
+    pub fn new(g: &mut Graph, cin: usize, cout: usize, stride: usize, rng: &mut impl Rng) -> Self {
         let conv1 = Conv2d::new(g, cin, cout, 3, stride, 1, false, rng);
         let bn1 = BatchNorm2d::new(g, cout);
         let conv2 = Conv2d::new(g, cout, cout, 3, 1, 1, false, rng);
@@ -86,13 +80,7 @@ pub struct ConvBnRelu {
 
 impl ConvBnRelu {
     /// Creates the stage mapping `cin -> cout` at the given stride.
-    pub fn new(
-        g: &mut Graph,
-        cin: usize,
-        cout: usize,
-        stride: usize,
-        rng: &mut impl Rng,
-    ) -> Self {
+    pub fn new(g: &mut Graph, cin: usize, cout: usize, stride: usize, rng: &mut impl Rng) -> Self {
         ConvBnRelu {
             conv: Conv2d::new(g, cin, cout, 3, stride, 1, false, rng),
             bn: BatchNorm2d::new(g, cout),
@@ -162,9 +150,9 @@ impl UpBlock {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mfaplace_rt::rng::SeedableRng;
+    use mfaplace_rt::rng::StdRng;
     use mfaplace_tensor::Tensor;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn resblock_downsamples_and_projects() {

@@ -8,8 +8,8 @@
 
 use mfaplace_autograd::{Graph, Var};
 use mfaplace_nn::{Conv2d, Module};
+use mfaplace_rt::rng::Rng;
 use mfaplace_tensor::Tensor;
-use rand::Rng;
 
 /// Position attention (Eqs. 4-5): spatial L x L attention where
 /// `P_ji = softmax_i(B_i . C_j)` and the output is
@@ -54,7 +54,7 @@ impl Module for PamBlock {
         // P_ji = softmax over i of E[i, j]: row-softmax of E^T.
         let et = g.permute(e, &[0, 2, 1]);
         let p = g.softmax_last(et); // p[j, i]
-        // out_j = sum_i P_ji D_i  ->  D (N x L) x P^T (L x L)
+                                    // out_j = sum_i P_ji D_i  ->  D (N x L) x P^T (L x L)
         let pt = g.permute(p, &[0, 2, 1]);
         let attended = g.bmm(fd, pt); // [B, N, L]
         let m_flat = g.reshape(m, vec![b, n, l]);
@@ -103,7 +103,7 @@ impl Module for CamBlock {
         // C_ji = softmax over i of E[i, j]: row-softmax of E^T.
         let et = g.permute(e, &[0, 2, 1]);
         let c = g.softmax_last(et); // c[j, i]
-        // out_j = sum_i C_ji M_i  ->  C (N x N) x M (N x L)
+                                    // out_j = sum_i C_ji M_i  ->  C (N x N) x M (N x L)
         let attended = g.bmm(c, m_flat);
         let scaled = g.mul_scalar_var(attended, self.beta);
         let out = g.add(scaled, m_flat);
@@ -186,8 +186,8 @@ impl Module for MfaBlock {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mfaplace_rt::rng::SeedableRng;
+    use mfaplace_rt::rng::StdRng;
 
     #[test]
     fn pam_preserves_shape() {

@@ -13,7 +13,7 @@
 
 use mfaplace_autograd::{Graph, Var};
 use mfaplace_nn::{Conv2d, Module};
-use rand::Rng;
+use mfaplace_rt::rng::Rng;
 
 use crate::blocks::{ConvBnRelu, ResBlock, UpBlock};
 use crate::mfa::MfaBlock;
@@ -91,11 +91,21 @@ impl OursModel {
         let down3 = ResBlock::new(g, 2 * c, 4 * c, 2, rng);
         let down4 = ResBlock::new(g, 4 * c, 8 * c, 2, rng);
         let red = config.mfa_reduction;
-        let mfa1 = config.use_mfa.then(|| MfaBlock::with_reduction(g, c, red, rng));
-        let mfa2 = config.use_mfa.then(|| MfaBlock::with_reduction(g, 2 * c, red, rng));
-        let mfa3 = config.use_mfa.then(|| MfaBlock::with_reduction(g, 4 * c, red, rng));
-        let mfa4 = config.use_mfa.then(|| MfaBlock::with_reduction(g, 8 * c, red, rng));
-        let mfa_pre_vit = config.use_mfa.then(|| MfaBlock::with_reduction(g, 8 * c, red, rng));
+        let mfa1 = config
+            .use_mfa
+            .then(|| MfaBlock::with_reduction(g, c, red, rng));
+        let mfa2 = config
+            .use_mfa
+            .then(|| MfaBlock::with_reduction(g, 2 * c, red, rng));
+        let mfa3 = config
+            .use_mfa
+            .then(|| MfaBlock::with_reduction(g, 4 * c, red, rng));
+        let mfa4 = config
+            .use_mfa
+            .then(|| MfaBlock::with_reduction(g, 8 * c, red, rng));
+        let mfa_pre_vit = config
+            .use_mfa
+            .then(|| MfaBlock::with_reduction(g, 8 * c, red, rng));
         let vit = (config.vit_layers > 0).then(|| {
             VitStage::new(
                 g,
@@ -170,9 +180,7 @@ impl CongestionModel for OursModel {
             Some(vit) => vit.forward(g, pre, train),
             None => pre,
         };
-        let u1 = self
-            .up1
-            .forward_with_skip(g, bottleneck, Some(s3), train); // [2C, H/8]
+        let u1 = self.up1.forward_with_skip(g, bottleneck, Some(s3), train); // [2C, H/8]
         let u2 = self.up2.forward_with_skip(g, u1, Some(s2), train); // [C, H/4]
         let u3 = self.up3.forward_with_skip(g, u2, Some(s1), train); // [C/2, H/2]
         let u4 = self.up4.forward_with_skip(g, u3, None, train); // [C/2, H]
@@ -214,9 +222,9 @@ impl CongestionModel for OursModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mfaplace_rt::rng::SeedableRng;
+    use mfaplace_rt::rng::StdRng;
     use mfaplace_tensor::Tensor;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn tiny_cfg() -> OursConfig {
         OursConfig {

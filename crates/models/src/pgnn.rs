@@ -12,8 +12,8 @@
 
 use mfaplace_autograd::{Graph, Var};
 use mfaplace_nn::{Conv2d, Module};
+use mfaplace_rt::rng::Rng;
 use mfaplace_tensor::Tensor;
-use rand::Rng;
 
 use crate::model::CongestionModel;
 use crate::unet::UNetModel;
@@ -43,7 +43,6 @@ impl PgnnModel {
             unet: UNetModel::new(g, c, rng),
         }
     }
-
 }
 
 /// One neighbour-aggregation round over the 8-neighbour tile graph: a fixed
@@ -93,8 +92,8 @@ impl CongestionModel for PgnnModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mfaplace_rt::rng::SeedableRng;
+    use mfaplace_rt::rng::StdRng;
 
     #[test]
     fn pgnn_shape() {

@@ -4,7 +4,7 @@
 
 use mfaplace_autograd::{Graph, Var};
 use mfaplace_nn::{Conv2d, Module};
-use rand::Rng;
+use mfaplace_rt::rng::Rng;
 
 use crate::blocks::{ConvBnRelu, UpBlock};
 use crate::model::{CongestionModel, NUM_LEVEL_CLASSES};
@@ -81,9 +81,9 @@ impl CongestionModel for UNetModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mfaplace_rt::rng::SeedableRng;
+    use mfaplace_rt::rng::StdRng;
     use mfaplace_tensor::Tensor;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn unet_shape() {

@@ -6,8 +6,8 @@
 
 use mfaplace_autograd::{Graph, Var};
 use mfaplace_nn::{Conv2d, Module, TransformerBlock};
+use mfaplace_rt::rng::Rng;
 use mfaplace_tensor::Tensor;
-use rand::Rng;
 
 /// The complete bottleneck transformer stage.
 #[derive(Debug)]
@@ -67,7 +67,7 @@ impl Module for VitStage {
         let e = self.embed.forward(g, x, train); // [B, Ct, h, w]
         let e = g.reshape(e, vec![b, self.token_dim, self.tokens]);
         let mut z = g.permute(e, &[0, 2, 1]); // [B, L, Ct]
-        // Learned positional embedding, tiled across the batch.
+                                              // Learned positional embedding, tiled across the batch.
         if b == 1 {
             let pos = g.reshape(self.pos, vec![1, self.tokens, self.token_dim]);
             z = g.add(z, pos);
@@ -104,17 +104,14 @@ fn concat_batch(g: &mut Graph, parts: &[Var]) -> Var {
     // [1, C, H, W] -> concat on axis 1 -> [1, B*C, H, W] -> reshape [B, C, H, W]
     let shape = g.value(parts[0]).shape().to_vec();
     let cat = g.concat_channels(parts);
-    g.reshape(
-        cat,
-        vec![parts.len(), shape[1], shape[2], shape[3]],
-    )
+    g.reshape(cat, vec![parts.len(), shape[1], shape[2], shape[3]])
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mfaplace_rt::rng::SeedableRng;
+    use mfaplace_rt::rng::StdRng;
 
     #[test]
     fn vit_preserves_spatial_shape() {

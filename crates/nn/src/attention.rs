@@ -1,5 +1,5 @@
 use mfaplace_autograd::{Graph, Var};
-use rand::Rng;
+use mfaplace_rt::rng::Rng;
 
 use crate::{Linear, Module};
 

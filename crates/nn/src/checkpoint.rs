@@ -165,8 +165,7 @@ pub fn read_tensors(path: impl AsRef<Path>) -> Result<Vec<Tensor>, CheckpointErr
             *v = f32::from_le_bytes(b);
         }
         tensors.push(
-            Tensor::from_vec(shape, data)
-                .map_err(|e| CheckpointError::Format(e.to_string()))?,
+            Tensor::from_vec(shape, data).map_err(|e| CheckpointError::Format(e.to_string()))?,
         );
     }
     Ok(tensors)
@@ -181,8 +180,8 @@ fn read_u32(r: &mut impl Read) -> Result<u32, CheckpointError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mfaplace_rt::rng::SeedableRng;
+    use mfaplace_rt::rng::StdRng;
 
     #[test]
     fn round_trip_preserves_values() {

@@ -1,7 +1,7 @@
 use mfaplace_autograd::{Graph, Var};
+use mfaplace_rt::rng::Rng;
 use mfaplace_tensor::kaiming_normal;
 use mfaplace_tensor::Tensor;
-use rand::Rng;
 
 use crate::Module;
 

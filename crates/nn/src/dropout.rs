@@ -1,7 +1,7 @@
 use mfaplace_autograd::{Graph, Var};
+use mfaplace_rt::rng::StdRng;
+use mfaplace_rt::rng::{Rng, SeedableRng};
 use mfaplace_tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::Module;
 
@@ -41,7 +41,7 @@ impl Module for Dropout {
         let keep = 1.0 - self.p;
         let shape = g.value(x).shape().to_vec();
         let mask = Tensor::from_fn(shape, |_| {
-            if self.rng.gen::<f32>() < keep {
+            if self.rng.gen_f32() < keep {
                 1.0 / keep
             } else {
                 0.0

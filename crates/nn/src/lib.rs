@@ -14,7 +14,7 @@
 //! use mfaplace_autograd::Graph;
 //! use mfaplace_nn::{Conv2d, Module, Adam};
 //! use mfaplace_tensor::Tensor;
-//! use rand::{rngs::StdRng, SeedableRng};
+//! use mfaplace_rt::rng::{SeedableRng, StdRng};
 //!
 //! let mut g = Graph::new();
 //! let mut rng = StdRng::seed_from_u64(0);

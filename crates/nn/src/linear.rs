@@ -1,6 +1,6 @@
 use mfaplace_autograd::{Graph, Var};
+use mfaplace_rt::rng::Rng;
 use mfaplace_tensor::{xavier_uniform, Tensor};
-use rand::Rng;
 
 use crate::Module;
 

@@ -59,15 +59,12 @@ impl Adam {
             let Some(grad) = g.grad(p).cloned() else {
                 continue;
             };
-            let (m, v) = self
-                .state
-                .entry(p.index())
-                .or_insert_with(|| {
-                    (
-                        Tensor::zeros(grad.shape().to_vec()),
-                        Tensor::zeros(grad.shape().to_vec()),
-                    )
-                });
+            let (m, v) = self.state.entry(p.index()).or_insert_with(|| {
+                (
+                    Tensor::zeros(grad.shape().to_vec()),
+                    Tensor::zeros(grad.shape().to_vec()),
+                )
+            });
             let value = g.value_mut(p);
             for i in 0..grad.numel() {
                 let mut gi = grad.data()[i];

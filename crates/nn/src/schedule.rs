@@ -52,10 +52,10 @@ impl LrSchedule for CosineLr {
         if step < self.warmup {
             return self.base * (step + 1) as f32 / self.warmup.max(1) as f32;
         }
-        let t = (step - self.warmup) as f32 / (self.total.saturating_sub(self.warmup)).max(1) as f32;
+        let t =
+            (step - self.warmup) as f32 / (self.total.saturating_sub(self.warmup)).max(1) as f32;
         let t = t.min(1.0);
-        self.floor
-            + 0.5 * (self.base - self.floor) * (1.0 + (std::f32::consts::PI * t).cos())
+        self.floor + 0.5 * (self.base - self.floor) * (1.0 + (std::f32::consts::PI * t).cos())
     }
 }
 

@@ -1,7 +1,7 @@
 use mfaplace_autograd::{Graph, Var};
-use rand::Rng;
+use mfaplace_rt::rng::Rng;
 
-use crate::{Dropout, Linear, Module, MultiHeadSelfAttention, LayerNorm};
+use crate::{Dropout, LayerNorm, Linear, Module, MultiHeadSelfAttention};
 
 /// Two-layer perceptron with GELU, the feed-forward half of a transformer
 /// block.
@@ -18,7 +18,7 @@ impl Mlp {
         Mlp {
             fc1: Linear::new(g, dim, hidden, true, rng),
             fc2: Linear::new(g, hidden, dim, true, rng),
-            drop: Dropout::new(dropout, rng.gen()),
+            drop: Dropout::new(dropout, rng.gen_u64()),
         }
     }
 }

@@ -6,9 +6,9 @@ use mfaplace_nn::{
     Adam, BatchNorm2d, Conv2d, Dropout, LayerNorm, Linear, Module, MultiHeadSelfAttention, Sgd,
     TransformerBlock,
 };
+use mfaplace_rt::rng::SeedableRng;
+use mfaplace_rt::rng::StdRng;
 use mfaplace_tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 #[test]
 fn conv_output_shape() {

@@ -10,9 +10,9 @@ use mfaplace_fpga::arch::SiteKind;
 use mfaplace_fpga::design::Design;
 use mfaplace_fpga::netlist::{InstId, NetId};
 use mfaplace_fpga::placement::Placement;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use mfaplace_rt::rng::SeedableRng;
+use mfaplace_rt::rng::SliceRandom;
+use mfaplace_rt::rng::StdRng;
 
 /// Statistics of one refinement run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -108,9 +108,7 @@ pub fn refine_cells(
     let mut cells: Vec<InstId> = design
         .netlist
         .instances()
-        .filter_map(|(id, inst)| {
-            (inst.movable && !inst.kind.is_macro()).then_some(id)
-        })
+        .filter_map(|(id, inst)| (inst.movable && !inst.kind.is_macro()).then_some(id))
         .collect();
 
     let mut moves = 0usize;

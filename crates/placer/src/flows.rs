@@ -350,13 +350,7 @@ mod tests {
         // A predictor that claims uniform level-6 congestion.
         struct Hot;
         impl CongestionPredictor for Hot {
-            fn predict(
-                &mut self,
-                _d: &Design,
-                _p: &Placement,
-                w: usize,
-                h: usize,
-            ) -> GridMap {
+            fn predict(&mut self, _d: &Design, _p: &Placement, w: usize, h: usize) -> GridMap {
                 GridMap::from_vec(w, h, vec![6.0; w * h])
             }
         }

@@ -15,8 +15,8 @@ use mfaplace_fpga::arch::SiteKind;
 use mfaplace_fpga::design::Design;
 use mfaplace_fpga::netlist::{InstId, InstKind};
 use mfaplace_fpga::placement::Placement;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mfaplace_rt::rng::StdRng;
+use mfaplace_rt::rng::{Rng, SeedableRng};
 
 /// Wirelength net model used by the fixed-point updates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -191,13 +191,13 @@ impl<'a> GlobalPlacer<'a> {
                 if let Some(r) = m.region {
                     let (rx, ry) = design.regions[r].rect.center();
                     (
-                        rx + rng.gen_range(-1.0..1.0),
-                        ry + rng.gen_range(-1.0..1.0),
+                        rx + rng.gen_range(-1.0f32..1.0),
+                        ry + rng.gen_range(-1.0f32..1.0),
                     )
                 } else {
                     (
-                        cw + rng.gen_range(-4.0..4.0),
-                        ch + rng.gen_range(-4.0..4.0),
+                        cw + rng.gen_range(-4.0f32..4.0),
+                        ch + rng.gen_range(-4.0f32..4.0),
                     )
                 }
             })
@@ -331,9 +331,7 @@ impl<'a> GlobalPlacer<'a> {
                                 // pull pin i toward bound b (and vice versa)
                                 for (from, to) in [(i, b), (b, i)] {
                                     let pin = net.pins[from];
-                                    if let Some((m, off)) =
-                                        self.inst_to_mov[pin.0 as usize]
-                                    {
+                                    if let Some((m, off)) = self.inst_to_mov[pin.0 as usize] {
                                         let target = coord(to);
                                         if axis == 0 {
                                             acc_x[m] += w * target;
@@ -375,12 +373,7 @@ impl<'a> GlobalPlacer<'a> {
     /// are blended toward the targets with strength `density_step`.
     fn density_pass(&mut self, cfg: &GpConfig) {
         let alpha = cfg.density_step.clamp(0.0, 1.0);
-        for class in [
-            SiteKind::Clb,
-            SiteKind::Dsp,
-            SiteKind::Bram,
-            SiteKind::Uram,
-        ] {
+        for class in [SiteKind::Clb, SiteKind::Dsp, SiteKind::Bram, SiteKind::Uram] {
             // Macro populations are small: coarser bands and decisive moves
             // keep the per-band transport statistics meaningful.
             let (bands_x, bands_y, a) = if class == SiteKind::Clb {
@@ -492,14 +485,14 @@ impl<'a> GlobalPlacer<'a> {
             let (offset, squeeze) = if total_demand > total_cap {
                 (0.0, total_cap / total_demand)
             } else {
-                let centroid: f32 = bucket
-                    .iter()
-                    .map(|&(_, m, a)| m * a)
-                    .sum::<f32>()
-                    / total_demand.max(1e-6);
+                let centroid: f32 =
+                    bucket.iter().map(|&(_, m, a)| m * a).sum::<f32>() / total_demand.max(1e-6);
                 let ci = (centroid as usize).min(main_len - 1);
                 let c_pos = prefix[ci] + (centroid - ci as f32).clamp(0.0, 1.0) * cap[ci];
-                ((c_pos - total_demand * 0.5).clamp(0.0, total_cap - total_demand), 1.0)
+                (
+                    (c_pos - total_demand * 0.5).clamp(0.0, total_cap - total_demand),
+                    1.0,
+                )
             };
             let mut cum = 0.0f32;
             for &(mi, main, area) in bucket.iter() {
@@ -561,7 +554,12 @@ impl<'a> GlobalPlacer<'a> {
     /// Bin utilization (area / capacity) for one site class, with total
     /// used and overflowing areas (diagnostic helper).
     #[allow(dead_code)]
-    pub(crate) fn bin_utilization(&self, class: SiteKind, bw: usize, bh: usize) -> (Vec<f32>, f32, f32) {
+    pub(crate) fn bin_utilization(
+        &self,
+        class: SiteKind,
+        bw: usize,
+        bh: usize,
+    ) -> (Vec<f32>, f32, f32) {
         let arch = &self.design.arch;
         let sx = bw as f32 / arch.width();
         let sy = bh as f32 / arch.height();
@@ -664,6 +662,7 @@ impl<'a> GlobalPlacer<'a> {
     /// or `cfg.iterations` is exhausted. Returns the iteration count and the
     /// final overflow.
     pub fn run_stage(&mut self, cfg: &GpConfig) -> (usize, Overflow) {
+        let _t = mfaplace_rt::timer::ScopeTimer::new("placer/gp_stage");
         let mut last = self.overflow(cfg);
         for it in 0..cfg.iterations {
             // Anneal: wirelength pull cools while spreading strengthens, so
@@ -671,8 +670,7 @@ impl<'a> GlobalPlacer<'a> {
             let cool = 0.94f32.powi(it as i32);
             let damping = cfg.wl_damping * cool;
             let mut anneal_cfg = cfg.clone();
-            anneal_cfg.density_step =
-                (cfg.density_step * (1.0 + it as f32 * 0.04)).min(1.0);
+            anneal_cfg.density_step = (cfg.density_step * (1.0 + it as f32 * 0.04)).min(1.0);
             for _ in 0..cfg.wl_passes {
                 self.wl_pass(damping, cfg.net_model);
             }
@@ -833,7 +831,10 @@ mod tests {
         );
         // And more passes must help B2B itself.
         let b2b_few = run(NetModel::B2b, 2);
-        assert!(b2b < b2b_few, "passes should improve b2b: {b2b} vs {b2b_few}");
+        assert!(
+            b2b < b2b_few,
+            "passes should improve b2b: {b2b} vs {b2b_few}"
+        );
     }
 
     #[test]

@@ -133,10 +133,7 @@ pub fn legalize_macros(design: &Design, placement: &mut Placement) -> Result<(),
             }
         }
         let Some((col, row, _)) = best else {
-            return Err(LegalizeError {
-                inst: m,
-                site_kind,
-            });
+            return Err(LegalizeError { inst: m, site_kind });
         };
         occupied.insert((col, row));
         placement.set_pos(m.0 as usize, col as f32, row as f32);
@@ -161,7 +158,8 @@ pub fn legalize_cells(design: &Design, placement: &mut Placement) {
         }
         let (x, y) = placement.pos(id.0 as usize);
         // nearest CLB column (columns are sorted ascending)
-        let col = match clb_cols.binary_search_by(|&c| (c as f32).partial_cmp(&x).expect("finite")) {
+        let col = match clb_cols.binary_search_by(|&c| (c as f32).partial_cmp(&x).expect("finite"))
+        {
             Ok(i) => clb_cols[i],
             Err(i) => {
                 if i == 0 {

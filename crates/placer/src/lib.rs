@@ -37,8 +37,8 @@ pub mod gp;
 pub mod inflate;
 pub mod legal;
 
+pub use detail::{refine_cells, RefineStats};
 pub use flows::{CongestionPredictor, FlowConfig, PlacementFlow, PlacementResult, RudyPredictor};
 pub use gp::{GlobalPlacer, GpConfig, Overflow};
 pub use inflate::{inflate_areas, InflationConfig};
-pub use detail::{refine_cells, RefineStats};
 pub use legal::{legalize_cells, legalize_macros, LegalizeError};

@@ -1,82 +1,125 @@
-//! Property-based tests of inflation and legalization invariants.
+//! Randomized tests of inflation and legalization invariants (fixed seeds,
+//! in-tree harness).
 
 use mfaplace_fpga::design::DesignPreset;
 use mfaplace_fpga::gridmap::GridMap;
 use mfaplace_placer::inflate::{inflate_areas, InflationConfig};
 use mfaplace_placer::legal::{legalize_cells, legalize_macros};
-use proptest::prelude::*;
+use mfaplace_rt::check::run_cases;
+use mfaplace_rt::rng::Rng;
 use std::collections::HashSet;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn inflation_never_shrinks_areas(level in 0.0f32..8.0, seed in 0u64..30) {
-        let d = DesignPreset::design_136().with_scale(512, 64, 32).generate(seed);
-        let p = d.random_placement(seed);
-        let congestion = GridMap::from_vec(8, 8, vec![level; 64]);
-        let mut areas: Vec<f32> = d
-            .netlist
-            .instances()
-            .map(|(_, i)| i.kind.base_area())
-            .collect();
-        let before = areas.clone();
-        inflate_areas(&d, &p, &congestion, &mut areas, &InflationConfig::default());
-        for (a, b) in areas.iter().zip(&before) {
-            prop_assert!(a >= b, "area shrank: {a} < {b}");
-        }
-    }
-
-    #[test]
-    fn inflation_multiplier_bounded_by_epsilon(level in 3.5f32..8.0, eps in 1.0f32..8.0, seed in 0u64..20) {
-        let d = DesignPreset::design_136().with_scale(512, 64, 32).generate(seed);
-        let p = d.random_placement(seed);
-        let congestion = GridMap::from_vec(8, 8, vec![level; 64]);
-        let cfg = InflationConfig { epsilon: eps, ..InflationConfig::default() };
-        let mut areas: Vec<f32> = d
-            .netlist
-            .instances()
-            .map(|(_, i)| i.kind.base_area())
-            .collect();
-        let before = areas.clone();
-        inflate_areas(&d, &p, &congestion, &mut areas, &cfg);
-        for (a, b) in areas.iter().zip(&before) {
-            prop_assert!(a / b <= eps + 1e-4, "multiplier {} beyond eps {eps}", a / b);
-        }
-    }
-
-    #[test]
-    fn legalization_sites_unique_and_typed(seed in 0u64..20, preset_idx in 0usize..10) {
-        let preset = DesignPreset::contest_suite().swap_remove(preset_idx);
-        let d = preset.with_scale(512, 64, 32).generate(seed);
-        let mut p = d.random_placement(seed ^ 0xAB);
-        legalize_macros(&d, &mut p).expect("legalize");
-        legalize_cells(&d, &mut p);
-        let mut seen = HashSet::new();
-        for m in d.netlist.macros() {
-            let (x, y) = p.pos(m.0 as usize);
-            prop_assert_eq!(x.fract(), 0.0);
-            prop_assert_eq!(y.fract(), 0.0);
-            prop_assert!(seen.insert((x as usize, y as usize)), "site reuse");
-            prop_assert_eq!(
-                d.arch.column_kind(x as usize),
-                d.netlist.instance(m).kind.site_kind()
-            );
-        }
-    }
-
-    #[test]
-    fn legalized_cascades_keep_order(seed in 0u64..20) {
-        let d = DesignPreset::design_180().with_scale(512, 64, 32).generate(seed);
-        let mut p = d.random_placement(seed);
-        legalize_macros(&d, &mut p).expect("legalize");
-        for c in &d.cascades {
-            let (x0, y0) = p.pos(c.members[0].0 as usize);
-            for (k, &m) in c.members.iter().enumerate() {
-                let (x, y) = p.pos(m.0 as usize);
-                prop_assert_eq!(x, x0);
-                prop_assert_eq!(y, y0 + k as f32);
+#[test]
+fn inflation_never_shrinks_areas() {
+    run_cases(
+        "inflation_never_shrinks_areas",
+        12,
+        0x9A_01,
+        |_case, rng| {
+            let level = rng.gen_range(0.0f32..8.0);
+            let seed = rng.gen_range(0u64..30);
+            let d = DesignPreset::design_136()
+                .with_scale(512, 64, 32)
+                .generate(seed);
+            let p = d.random_placement(seed);
+            let congestion = GridMap::from_vec(8, 8, vec![level; 64]);
+            let mut areas: Vec<f32> = d
+                .netlist
+                .instances()
+                .map(|(_, i)| i.kind.base_area())
+                .collect();
+            let before = areas.clone();
+            inflate_areas(&d, &p, &congestion, &mut areas, &InflationConfig::default());
+            for (a, b) in areas.iter().zip(&before) {
+                assert!(a >= b, "area shrank: {a} < {b}");
             }
-        }
-    }
+        },
+    );
+}
+
+#[test]
+fn inflation_multiplier_bounded_by_epsilon() {
+    run_cases(
+        "inflation_multiplier_bounded_by_epsilon",
+        12,
+        0x9A_02,
+        |_case, rng| {
+            let level = rng.gen_range(3.5f32..8.0);
+            let eps = rng.gen_range(1.0f32..8.0);
+            let seed = rng.gen_range(0u64..20);
+            let d = DesignPreset::design_136()
+                .with_scale(512, 64, 32)
+                .generate(seed);
+            let p = d.random_placement(seed);
+            let congestion = GridMap::from_vec(8, 8, vec![level; 64]);
+            let cfg = InflationConfig {
+                epsilon: eps,
+                ..InflationConfig::default()
+            };
+            let mut areas: Vec<f32> = d
+                .netlist
+                .instances()
+                .map(|(_, i)| i.kind.base_area())
+                .collect();
+            let before = areas.clone();
+            inflate_areas(&d, &p, &congestion, &mut areas, &cfg);
+            for (a, b) in areas.iter().zip(&before) {
+                assert!(a / b <= eps + 1e-4, "multiplier {} beyond eps {eps}", a / b);
+            }
+        },
+    );
+}
+
+#[test]
+fn legalization_sites_unique_and_typed() {
+    run_cases(
+        "legalization_sites_unique_and_typed",
+        12,
+        0x9A_03,
+        |_case, rng| {
+            let seed = rng.gen_range(0u64..20);
+            let preset_idx = rng.gen_range(0usize..10);
+            let preset = DesignPreset::contest_suite().swap_remove(preset_idx);
+            let d = preset.with_scale(512, 64, 32).generate(seed);
+            let mut p = d.random_placement(seed ^ 0xAB);
+            legalize_macros(&d, &mut p).expect("legalize");
+            legalize_cells(&d, &mut p);
+            let mut seen = HashSet::new();
+            for m in d.netlist.macros() {
+                let (x, y) = p.pos(m.0 as usize);
+                assert_eq!(x.fract(), 0.0);
+                assert_eq!(y.fract(), 0.0);
+                assert!(seen.insert((x as usize, y as usize)), "site reuse");
+                assert_eq!(
+                    d.arch.column_kind(x as usize),
+                    d.netlist.instance(m).kind.site_kind()
+                );
+            }
+        },
+    );
+}
+
+#[test]
+fn legalized_cascades_keep_order() {
+    run_cases(
+        "legalized_cascades_keep_order",
+        12,
+        0x9A_04,
+        |_case, rng| {
+            let seed = rng.gen_range(0u64..20);
+            let d = DesignPreset::design_180()
+                .with_scale(512, 64, 32)
+                .generate(seed);
+            let mut p = d.random_placement(seed);
+            legalize_macros(&d, &mut p).expect("legalize");
+            for c in &d.cascades {
+                let (x0, y0) = p.pos(c.members[0].0 as usize);
+                for (k, &m) in c.members.iter().enumerate() {
+                    let (x, y) = p.pos(m.0 as usize);
+                    assert_eq!(x, x0);
+                    assert_eq!(y, y0 + k as f32);
+                }
+            }
+        },
+    );
 }

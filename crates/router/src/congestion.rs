@@ -132,7 +132,11 @@ impl CongestionAnalysis {
     /// The maximum level over all tiles for one class and direction — the
     /// `L_{short,d}` / `L_{global,d}` of Eq. (1).
     pub fn directional_level(&self, class: WireClass, dir: Direction) -> u8 {
-        self.level_map(class, dir).iter().copied().max().unwrap_or(0)
+        self.level_map(class, dir)
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
     }
 
     /// The four short-wire directional levels (E, S, W, N).
@@ -174,7 +178,9 @@ pub fn utilization_grade(util: f32) -> u8 {
     if util < 0.5 {
         0
     } else {
-        (((util - 0.5) / 0.25) as u8).saturating_add(1).min(MAX_LEVEL)
+        (((util - 0.5) / 0.25) as u8)
+            .saturating_add(1)
+            .min(MAX_LEVEL)
     }
 }
 

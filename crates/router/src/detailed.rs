@@ -23,10 +23,7 @@ const MAX_ITERATIONS: u32 = 24;
 /// The initial workload combines the normalized global-routing overflow and
 /// the peak congestion level (a level-5 hotspot takes longer to legalize
 /// than the same overflow spread thin).
-pub fn detailed_route_iterations(
-    analysis: &CongestionAnalysis,
-    outcome: &RoutingOutcome,
-) -> u32 {
+pub fn detailed_route_iterations(analysis: &CongestionAnalysis, outcome: &RoutingOutcome) -> u32 {
     let tiles = (analysis.width() * analysis.height()).max(1) as f32;
     let mut workload = 1.5 * outcome.total_overflow / tiles
         + 0.12 * f32::from(analysis.max_level().saturating_sub(1));

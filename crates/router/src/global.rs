@@ -11,9 +11,9 @@
 
 use mfaplace_fpga::design::Design;
 use mfaplace_fpga::placement::Placement;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use mfaplace_rt::rng::SeedableRng;
+use mfaplace_rt::rng::SliceRandom;
+use mfaplace_rt::rng::StdRng;
 
 use crate::congestion::{Direction, WireClass};
 use crate::RouterConfig;
@@ -124,6 +124,7 @@ impl GlobalRouter {
     /// Routes all nets of `design` under `placement`, dispatching on the
     /// configured [`crate::RoutingAlgorithm`].
     pub fn route(&self, design: &Design, placement: &Placement) -> RoutingOutcome {
+        let _t = mfaplace_rt::timer::ScopeTimer::new("router/route");
         if self.config.algorithm == crate::RoutingAlgorithm::Maze {
             return crate::maze::route_maze(design, placement, &self.config);
         }
@@ -185,16 +186,14 @@ impl GlobalRouter {
 
         // Rip-up and re-route the connections that cross overflowed tiles.
         for _ in 0..cfg.rrr_passes {
-            for i in 0..conns.len() {
-                let c = conns[i];
-                let cost = pattern_cost(&usage, &c, c.pattern, cfg, true);
+            for c in conns.iter_mut() {
+                let cost = pattern_cost(&usage, c, c.pattern, cfg, true);
                 if cost <= 0.0 {
                     continue; // not crossing congestion
                 }
-                apply_pattern(&mut usage, &conns[i], -1.0);
-                let pattern = best_pattern(&usage, &conns[i], cfg);
-                conns[i].pattern = pattern;
-                apply_pattern(&mut usage, &conns[i], 1.0);
+                apply_pattern(&mut usage, c, -1.0);
+                c.pattern = best_pattern(&usage, c, cfg);
+                apply_pattern(&mut usage, c, 1.0);
             }
         }
 

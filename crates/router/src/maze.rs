@@ -13,9 +13,9 @@ use std::collections::BinaryHeap;
 
 use mfaplace_fpga::design::Design;
 use mfaplace_fpga::placement::Placement;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use mfaplace_rt::rng::SeedableRng;
+use mfaplace_rt::rng::SliceRandom;
+use mfaplace_rt::rng::StdRng;
 
 use crate::congestion::{Direction, WireClass};
 use crate::global::{RoutingOutcome, UsageMaps};
@@ -97,16 +97,17 @@ pub fn route_maze(design: &Design, placement: &Placement, cfg: &RouterConfig) ->
         total_wl += c.path.len() as f64;
     }
     for _ in 0..cfg.rrr_passes {
-        for i in 0..conns.len() {
-            if !crosses_overflow(&usage, &conns[i], cfg) {
+        for c in conns.iter_mut() {
+            if !crosses_overflow(&usage, c, cfg) {
                 continue;
             }
-            apply(&mut usage, &conns[i], -1.0);
-            total_wl -= conns[i].path.len() as f64;
-            conns[i].path = astar(&usage, &conns[i], cfg);
-            total_wl += conns[i].path.len() as f64;
+            apply(&mut usage, c, -1.0);
+            total_wl -= c.path.len() as f64;
+            let path = astar(&usage, c, cfg);
+            c.path = path;
+            total_wl += c.path.len() as f64;
             // Split borrow: path applied after recompute.
-            apply_at(&mut usage, &conns[i], 1.0);
+            apply_at(&mut usage, c, 1.0);
         }
     }
 
@@ -174,7 +175,11 @@ fn astar(usage: &UsageMaps, c: &MazeConn, cfg: &RouterConfig) -> Vec<Step> {
     let key = |f: f32| (f * 1024.0) as u64;
     let mut heap: BinaryHeap<Reverse<(u64, usize, usize)>> = BinaryHeap::new();
     dist[idx(c.from.0, c.from.1)] = 0.0;
-    heap.push(Reverse((key(heuristic(c.from.0, c.from.1)), c.from.0, c.from.1)));
+    heap.push(Reverse((
+        key(heuristic(c.from.0, c.from.1)),
+        c.from.0,
+        c.from.1,
+    )));
 
     while let Some(Reverse((_, x, y))) = heap.pop() {
         if (x, y) == c.to {

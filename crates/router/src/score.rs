@@ -137,8 +137,8 @@ mod tests {
     fn matches_paper_example_magnitudes() {
         // Design_116 / UTDA row of Table II: S_IR 9, S_DR 11 -> S_R 99.
         let i = ScoreInputs {
-            l_short: [5, 4, 4, 3],     // penalties 4 + 1 + 1 = 6
-            l_global: [4, 4, 3, 3],    // penalties 1 + 1 = 2
+            l_short: [5, 4, 4, 3],  // penalties 4 + 1 + 1 = 6
+            l_global: [4, 4, 3, 3], // penalties 1 + 1 = 2
             s_dr: 11,
             t_macro_min: 4.0,
             t_pr_hours: 0.56,

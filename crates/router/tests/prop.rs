@@ -1,13 +1,16 @@
-//! Property-based tests of scoring monotonicity and congestion-level
-//! semantics.
+//! Randomized tests of scoring monotonicity and congestion-level semantics
+//! (fixed seeds, in-tree harness).
 
 use mfaplace_router::congestion::utilization_grade;
 use mfaplace_router::score::{RoutabilityScore, ScoreInputs};
-use proptest::prelude::*;
+use mfaplace_rt::check::{run_cases, vec_u8};
+use mfaplace_rt::rng::Rng;
 
-proptest! {
-    #[test]
-    fn s_ir_monotone_in_levels(levels in proptest::collection::vec(0u8..8, 8), bump in 0usize..8) {
+#[test]
+fn s_ir_monotone_in_levels() {
+    run_cases("s_ir_monotone_in_levels", 64, 0x40_01, |_case, rng| {
+        let levels = vec_u8(rng, 8, 0, 8);
+        let bump = rng.gen_range(0usize..8);
         let base = ScoreInputs {
             l_short: [levels[0], levels[1], levels[2], levels[3]],
             l_global: [levels[4], levels[5], levels[6], levels[7]],
@@ -21,64 +24,97 @@ proptest! {
         } else {
             bumped.l_global[bump - 4] = bumped.l_global[bump - 4].saturating_add(1).min(7);
         }
-        prop_assert!(
-            RoutabilityScore::new(bumped).s_ir() >= RoutabilityScore::new(base).s_ir()
-        );
-    }
+        assert!(RoutabilityScore::new(bumped).s_ir() >= RoutabilityScore::new(base).s_ir());
+    });
+}
 
-    #[test]
-    fn s_score_scales_linearly_in_pnr_time(l in 0u8..8, sdr in 4u32..20, t in 0.1f64..2.0) {
-        let mk = |t_pr| RoutabilityScore::new(ScoreInputs {
-            l_short: [l, 0, 0, 0],
-            l_global: [0, 0, 0, 0],
-            s_dr: sdr,
-            t_macro_min: 3.0,
-            t_pr_hours: t_pr,
-        });
-        let one = mk(t);
-        let two = mk(2.0 * t);
-        prop_assert!((two.s_score() - 2.0 * one.s_score()).abs() < 1e-9);
-    }
+#[test]
+fn s_score_scales_linearly_in_pnr_time() {
+    run_cases(
+        "s_score_scales_linearly_in_pnr_time",
+        64,
+        0x40_02,
+        |_case, rng| {
+            let l = rng.gen_range(0u8..8);
+            let sdr = rng.gen_range(4u32..20);
+            let t = rng.gen_range(0.1f64..2.0);
+            let mk = |t_pr| {
+                RoutabilityScore::new(ScoreInputs {
+                    l_short: [l, 0, 0, 0],
+                    l_global: [0, 0, 0, 0],
+                    s_dr: sdr,
+                    t_macro_min: 3.0,
+                    t_pr_hours: t_pr,
+                })
+            };
+            let one = mk(t);
+            let two = mk(2.0 * t);
+            assert!((two.s_score() - 2.0 * one.s_score()).abs() < 1e-9);
+        },
+    );
+}
 
-    #[test]
-    fn levels_at_most_three_never_penalized(levels in proptest::collection::vec(0u8..4, 8)) {
-        let s = RoutabilityScore::new(ScoreInputs {
-            l_short: [levels[0], levels[1], levels[2], levels[3]],
-            l_global: [levels[4], levels[5], levels[6], levels[7]],
-            s_dr: 10,
-            t_macro_min: 2.0,
-            t_pr_hours: 0.4,
-        });
-        prop_assert_eq!(s.s_ir(), 1.0);
-    }
+#[test]
+fn levels_at_most_three_never_penalized() {
+    run_cases(
+        "levels_at_most_three_never_penalized",
+        64,
+        0x40_03,
+        |_case, rng| {
+            let levels = vec_u8(rng, 8, 0, 4);
+            let s = RoutabilityScore::new(ScoreInputs {
+                l_short: [levels[0], levels[1], levels[2], levels[3]],
+                l_global: [levels[4], levels[5], levels[6], levels[7]],
+                s_dr: 10,
+                t_macro_min: 2.0,
+                t_pr_hours: 0.4,
+            });
+            assert_eq!(s.s_ir(), 1.0);
+        },
+    );
+}
 
-    #[test]
-    fn utilization_grade_monotone(u1 in 0.0f32..3.0, u2 in 0.0f32..3.0) {
+#[test]
+fn utilization_grade_monotone() {
+    run_cases("utilization_grade_monotone", 64, 0x40_04, |_case, rng| {
+        let u1 = rng.gen_range(0.0f32..3.0);
+        let u2 = rng.gen_range(0.0f32..3.0);
         if u1 <= u2 {
-            prop_assert!(utilization_grade(u1) <= utilization_grade(u2));
+            assert!(utilization_grade(u1) <= utilization_grade(u2));
         } else {
-            prop_assert!(utilization_grade(u1) >= utilization_grade(u2));
+            assert!(utilization_grade(u1) >= utilization_grade(u2));
         }
-    }
+    });
+}
 
-    #[test]
-    fn utilization_grade_range(u in 0.0f32..100.0) {
-        prop_assert!(utilization_grade(u) <= 7);
+#[test]
+fn utilization_grade_range() {
+    run_cases("utilization_grade_range", 64, 0x40_05, |_case, rng| {
+        let u = rng.gen_range(0.0f32..100.0);
+        assert!(utilization_grade(u) <= 7);
         if u < 0.5 {
-            prop_assert_eq!(utilization_grade(u), 0);
+            assert_eq!(utilization_grade(u), 0);
         }
-    }
+    });
+}
 
-    #[test]
-    fn macro_runtime_multiplier_kicks_in_after_ten_minutes(t in 0.0f64..30.0) {
-        let s = RoutabilityScore::new(ScoreInputs {
-            l_short: [0; 4],
-            l_global: [0; 4],
-            s_dr: 8,
-            t_macro_min: t,
-            t_pr_hours: 1.0,
-        });
-        let expected = (1.0 + (t - 10.0).max(0.0)) * 8.0;
-        prop_assert!((s.s_score() - expected).abs() < 1e-9);
-    }
+#[test]
+fn macro_runtime_multiplier_kicks_in_after_ten_minutes() {
+    run_cases(
+        "macro_runtime_multiplier_kicks_in_after_ten_minutes",
+        64,
+        0x40_06,
+        |_case, rng| {
+            let t = rng.gen_range(0.0f64..30.0);
+            let s = RoutabilityScore::new(ScoreInputs {
+                l_short: [0; 4],
+                l_global: [0; 4],
+                s_dr: 8,
+                t_macro_min: t,
+                t_pr_hours: 1.0,
+            });
+            let expected = (1.0 + (t - 10.0).max(0.0)) * 8.0;
+            assert!((s.s_score() - expected).abs() < 1e-9);
+        },
+    );
 }

@@ -1,0 +1,301 @@
+//! Scoped worker pool over `std::thread` with chunked dispatch.
+//!
+//! Work is dispatched through [`parallel_for`] (index ranges) or
+//! [`parallel_chunks_mut`] (disjoint `&mut` chunks of an output buffer).
+//! Both split work into **contiguous blocks assigned in order**, so a
+//! kernel that computes each output chunk independently produces results
+//! bitwise identical to its serial loop — the per-element reduction order
+//! never changes, only which thread executes it. This serial-equivalence
+//! guarantee is what lets the tensor kernels parallelize without
+//! perturbing training reproducibility.
+//!
+//! Sizing: the worker count defaults to
+//! `std::thread::available_parallelism()`, can be pinned globally with the
+//! `MFAPLACE_THREADS` environment variable, and can be overridden
+//! per-scope (e.g. in tests) with [`with_threads`]. With one worker every
+//! dispatch runs serially on the calling thread — no threads are spawned.
+
+use std::cell::Cell;
+use std::ops::Range;
+
+thread_local! {
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Maximum number of worker threads a dispatch may use.
+///
+/// Resolution order: [`with_threads`] scope override, then the
+/// `MFAPLACE_THREADS` environment variable (ignored unless it parses to a
+/// positive integer), then `std::thread::available_parallelism()`.
+pub fn max_threads() -> usize {
+    if let Some(n) = THREAD_OVERRIDE.with(|o| o.get()) {
+        return n.max(1);
+    }
+    if let Ok(s) = std::env::var("MFAPLACE_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Runs `f` with [`max_threads`] pinned to `n` on the current thread.
+///
+/// Used by the equivalence tests to force a specific worker count
+/// regardless of host core count or environment, and by callers that want
+/// a guaranteed-serial region (`with_threads(1, …)`).
+pub fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let prev = THREAD_OVERRIDE.with(|o| o.replace(Some(n.max(1))));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Number of threads a dispatch over `n_units` units of work will use.
+fn plan(n_units: usize) -> usize {
+    max_threads().min(n_units).max(1)
+}
+
+/// Calls `f` on contiguous sub-ranges covering `0..n` exactly once, using
+/// up to [`max_threads`] workers. `f(0..n)` is called directly when one
+/// worker suffices.
+///
+/// The range is split into at most `max_threads()` blocks of near-equal
+/// length; block 0 runs on the calling thread.
+pub fn parallel_for<F>(n: usize, f: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    if n == 0 {
+        return;
+    }
+    let nt = plan(n);
+    if nt <= 1 {
+        f(0..n);
+        return;
+    }
+    let per = n.div_ceil(nt);
+    std::thread::scope(|s| {
+        let f = &f;
+        for t in 1..nt {
+            let lo = t * per;
+            let hi = ((t + 1) * per).min(n);
+            if lo >= hi {
+                break;
+            }
+            s.spawn(move || f(lo..hi));
+        }
+        f(0..per.min(n));
+    });
+}
+
+/// Splits `data` into consecutive chunks of `chunk_len` elements (the last
+/// may be shorter) and calls `f(chunk_index, chunk)` for each, distributing
+/// chunks over up to [`max_threads`] workers in contiguous blocks.
+///
+/// Each chunk is visited exactly once with a unique `&mut` borrow, so
+/// kernels that write disjoint output chunks need no synchronization and
+/// produce bitwise-identical results at any worker count.
+pub fn parallel_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "parallel_chunks_mut: chunk_len must be > 0");
+    if data.is_empty() {
+        return;
+    }
+    let n_chunks = data.len().div_ceil(chunk_len);
+    let nt = plan(n_chunks);
+    if nt <= 1 {
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    // Bucket chunks into `nt` contiguous blocks, preserving chunk indices.
+    let per = n_chunks.div_ceil(nt);
+    let mut buckets: Vec<Vec<(usize, &mut [T])>> = Vec::with_capacity(nt);
+    let mut current: Vec<(usize, &mut [T])> = Vec::with_capacity(per);
+    for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+        current.push((i, chunk));
+        if current.len() == per {
+            buckets.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        buckets.push(current);
+    }
+    std::thread::scope(|s| {
+        let f = &f;
+        let mut iter = buckets.into_iter();
+        let first = iter.next();
+        for bucket in iter {
+            s.spawn(move || {
+                for (i, chunk) in bucket {
+                    f(i, chunk);
+                }
+            });
+        }
+        if let Some(bucket) = first {
+            for (i, chunk) in bucket {
+                f(i, chunk);
+            }
+        }
+    });
+}
+
+/// `(chunk index, chunk of first buffer, chunk of second buffer)` unit of
+/// work handed to [`parallel_chunks2_mut`] workers.
+type PairedChunk<'s, T, U> = (usize, &'s mut [T], &'s mut [U]);
+
+/// Lock-step variant of [`parallel_chunks_mut`] for kernels with two
+/// output buffers (e.g. max-pool values + argmax indices): chunk `i` of
+/// `a` (length `chunk_a`) and chunk `i` of `b` (length `chunk_b`) are
+/// passed to `f` together. Both buffers must split into the same number
+/// of chunks.
+pub fn parallel_chunks2_mut<T, U, F>(a: &mut [T], b: &mut [U], chunk_a: usize, chunk_b: usize, f: F)
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, &mut [T], &mut [U]) + Sync,
+{
+    assert!(
+        chunk_a > 0 && chunk_b > 0,
+        "parallel_chunks2_mut: chunk lengths must be > 0"
+    );
+    let n_chunks = a.len().div_ceil(chunk_a);
+    assert_eq!(
+        n_chunks,
+        b.len().div_ceil(chunk_b),
+        "parallel_chunks2_mut: buffers disagree on chunk count"
+    );
+    if n_chunks == 0 {
+        return;
+    }
+    let nt = plan(n_chunks);
+    if nt <= 1 {
+        for (i, (ca, cb)) in a.chunks_mut(chunk_a).zip(b.chunks_mut(chunk_b)).enumerate() {
+            f(i, ca, cb);
+        }
+        return;
+    }
+    let per = n_chunks.div_ceil(nt);
+    let mut buckets: Vec<Vec<PairedChunk<T, U>>> = Vec::with_capacity(nt);
+    let mut current: Vec<PairedChunk<T, U>> = Vec::with_capacity(per);
+    for (i, (ca, cb)) in a.chunks_mut(chunk_a).zip(b.chunks_mut(chunk_b)).enumerate() {
+        current.push((i, ca, cb));
+        if current.len() == per {
+            buckets.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        buckets.push(current);
+    }
+    std::thread::scope(|s| {
+        let f = &f;
+        let mut iter = buckets.into_iter();
+        let first = iter.next();
+        for bucket in iter {
+            s.spawn(move || {
+                for (i, ca, cb) in bucket {
+                    f(i, ca, cb);
+                }
+            });
+        }
+        if let Some(bucket) = first {
+            for (i, ca, cb) in bucket {
+                f(i, ca, cb);
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn parallel_for_covers_every_index_once() {
+        let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        with_threads(4, || {
+            parallel_for(1000, |range| {
+                for i in range {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn chunks_visit_each_chunk_once_with_correct_index() {
+        let mut data = vec![0u32; 103];
+        with_threads(8, || {
+            parallel_chunks_mut(&mut data, 10, |i, chunk| {
+                for v in chunk.iter_mut() {
+                    *v += 1 + i as u32;
+                }
+            });
+        });
+        for (j, v) in data.iter().enumerate() {
+            assert_eq!(*v, 1 + (j / 10) as u32, "element {j}");
+        }
+    }
+
+    #[test]
+    fn chunks2_visit_pairs_in_lockstep() {
+        let mut vals = vec![0u32; 60];
+        let mut tags = vec![0u8; 30];
+        with_threads(4, || {
+            parallel_chunks2_mut(&mut vals, &mut tags, 10, 5, |i, va, tb| {
+                for v in va.iter_mut() {
+                    *v = i as u32;
+                }
+                for t in tb.iter_mut() {
+                    *t = i as u8;
+                }
+            });
+        });
+        for (j, v) in vals.iter().enumerate() {
+            assert_eq!(*v, (j / 10) as u32);
+        }
+        for (j, t) in tags.iter().enumerate() {
+            assert_eq!(*t, (j / 5) as u8);
+        }
+    }
+
+    #[test]
+    fn serial_override_runs_on_calling_thread() {
+        let caller = std::thread::current().id();
+        with_threads(1, || {
+            parallel_for(64, |_| {
+                assert_eq!(std::thread::current().id(), caller);
+            });
+        });
+    }
+
+    #[test]
+    fn with_threads_restores_previous_override() {
+        with_threads(3, || {
+            assert_eq!(max_threads(), 3);
+            with_threads(2, || assert_eq!(max_threads(), 2));
+            assert_eq!(max_threads(), 3);
+        });
+    }
+
+    #[test]
+    fn empty_dispatches_are_noops() {
+        parallel_for(0, |_| panic!("must not be called"));
+        let mut empty: [u8; 0] = [];
+        parallel_chunks_mut(&mut empty, 4, |_, _| panic!("must not be called"));
+    }
+}

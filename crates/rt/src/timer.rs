@@ -1,0 +1,221 @@
+//! RAII scope timers and counters feeding a per-run report.
+//!
+//! Drop a [`ScopeTimer`] into any block to record its wall time under a
+//! label; call [`report`] (text) or [`report_json`] at the end of a run to
+//! see where the time went. Counters ([`count`]) track event totals
+//! (kernel invocations, cache hits, …) alongside the timings.
+//!
+//! Recording is on by default and costs one `Instant::now` pair plus a
+//! mutex lock per scope — intended for coarse scopes (a training epoch, a
+//! routing pass), not inner loops. Set `MFAPLACE_TIMERS=0` to disable
+//! recording entirely.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+#[derive(Clone, Copy, Default)]
+struct Stat {
+    calls: u64,
+    total: Duration,
+    max: Duration,
+}
+
+struct Registry {
+    timers: Mutex<BTreeMap<String, Stat>>,
+    counters: Mutex<BTreeMap<String, u64>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        timers: Mutex::new(BTreeMap::new()),
+        counters: Mutex::new(BTreeMap::new()),
+    })
+}
+
+fn enabled() -> bool {
+    static ENABLED: OnceLock<AtomicBool> = OnceLock::new();
+    ENABLED
+        .get_or_init(|| {
+            let on = std::env::var("MFAPLACE_TIMERS").map_or(true, |v| v.trim() != "0");
+            AtomicBool::new(on)
+        })
+        .load(Ordering::Relaxed)
+}
+
+/// Records one completed invocation of `name` taking `dur`.
+pub fn record(name: &str, dur: Duration) {
+    if !enabled() {
+        return;
+    }
+    let mut timers = registry().timers.lock().expect("timer registry poisoned");
+    let stat = timers.entry(name.to_owned()).or_default();
+    stat.calls += 1;
+    stat.total += dur;
+    stat.max = stat.max.max(dur);
+}
+
+/// Adds `n` to the counter `name`.
+pub fn count(name: &str, n: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut counters = registry()
+        .counters
+        .lock()
+        .expect("counter registry poisoned");
+    *counters.entry(name.to_owned()).or_insert(0) += n;
+}
+
+/// Clears all recorded timings and counters.
+pub fn reset() {
+    registry()
+        .timers
+        .lock()
+        .expect("timer registry poisoned")
+        .clear();
+    registry()
+        .counters
+        .lock()
+        .expect("counter registry poisoned")
+        .clear();
+}
+
+/// RAII timer: records the elapsed time under its label on drop.
+///
+/// ```
+/// {
+///     let _t = mfaplace_rt::timer::ScopeTimer::new("demo/scope");
+///     // … timed work …
+/// }
+/// assert!(mfaplace_rt::timer::report().contains("demo/scope"));
+/// ```
+pub struct ScopeTimer {
+    name: String,
+    start: Instant,
+}
+
+impl ScopeTimer {
+    /// Starts a timer that reports under `name` when dropped.
+    pub fn new(name: &str) -> Self {
+        ScopeTimer {
+            name: name.to_owned(),
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for ScopeTimer {
+    fn drop(&mut self) {
+        record(&self.name, self.start.elapsed());
+    }
+}
+
+/// Per-run report as an aligned text table, timers then counters.
+pub fn report() -> String {
+    let timers = registry().timers.lock().expect("timer registry poisoned");
+    let counters = registry()
+        .counters
+        .lock()
+        .expect("counter registry poisoned");
+    let mut out = String::new();
+    if !timers.is_empty() {
+        out.push_str(&format!(
+            "{:<40} {:>10} {:>14} {:>14} {:>14}\n",
+            "scope", "calls", "total_ms", "mean_us", "max_us"
+        ));
+        for (name, s) in timers.iter() {
+            let mean_us = s.total.as_micros() as f64 / s.calls.max(1) as f64;
+            out.push_str(&format!(
+                "{:<40} {:>10} {:>14.3} {:>14.1} {:>14}\n",
+                name,
+                s.calls,
+                s.total.as_secs_f64() * 1e3,
+                mean_us,
+                s.max.as_micros()
+            ));
+        }
+    }
+    if !counters.is_empty() {
+        out.push_str(&format!("{:<40} {:>10}\n", "counter", "value"));
+        for (name, v) in counters.iter() {
+            out.push_str(&format!("{:<40} {:>10}\n", name, v));
+        }
+    }
+    out
+}
+
+/// Per-run report as a JSON object:
+/// `{"timers": {name: {calls, total_ns, max_ns}}, "counters": {name: value}}`.
+pub fn report_json() -> String {
+    let timers = registry().timers.lock().expect("timer registry poisoned");
+    let counters = registry()
+        .counters
+        .lock()
+        .expect("counter registry poisoned");
+    let mut out = String::from("{\"timers\":{");
+    for (i, (name, s)) in timers.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\"{}\":{{\"calls\":{},\"total_ns\":{},\"max_ns\":{}}}",
+            escape(name),
+            s.calls,
+            s.total.as_nanos(),
+            s.max.as_nanos()
+        ));
+    }
+    out.push_str("},\"counters\":{");
+    for (i, (name, v)) in counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{}", escape(name), v));
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Minimal JSON string escaping for label names.
+pub(crate) fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_timer_records_calls() {
+        reset();
+        for _ in 0..3 {
+            let _t = ScopeTimer::new("test/scope");
+        }
+        count("test/events", 5);
+        count("test/events", 2);
+        let text = report();
+        assert!(text.contains("test/scope"), "{text}");
+        assert!(text.contains("test/events"), "{text}");
+        let json = report_json();
+        assert!(json.contains("\"test/scope\":{\"calls\":3"), "{json}");
+        assert!(json.contains("\"test/events\":7"), "{json}");
+        reset();
+        assert!(!report().contains("test/scope"));
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("x\ny"), "x\\u000ay");
+    }
+}

@@ -1,6 +1,6 @@
 //! Weight initialization schemes.
 
-use rand::Rng;
+use mfaplace_rt::rng::Rng;
 
 use crate::Tensor;
 
@@ -11,7 +11,7 @@ use crate::Tensor;
 ///
 /// ```
 /// use mfaplace_tensor::kaiming_normal;
-/// use rand::{rngs::StdRng, SeedableRng};
+/// use mfaplace_rt::rng::{SeedableRng, StdRng};
 ///
 /// let mut rng = StdRng::seed_from_u64(0);
 /// let w = kaiming_normal(vec![16, 8, 3, 3], 8 * 9, &mut rng);
@@ -37,8 +37,8 @@ pub fn xavier_uniform(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mfaplace_rt::rng::SeedableRng;
+    use mfaplace_rt::rng::StdRng;
 
     #[test]
     fn kaiming_std_scales_with_fan_in() {

@@ -5,8 +5,28 @@
 //! discoverable from the type. Shape preconditions are documented per method
 //! and violations panic — these are internal hot paths where a malformed
 //! shape is a programming error, not a recoverable condition.
+//!
+//! # Parallel dispatch and serial equivalence
+//!
+//! The hot kernels (GEMM, batched GEMM, im2col/col2im, pooling,
+//! upsampling) route through [`mfaplace_rt::pool`] when the work exceeds
+//! the `PAR_*` thresholds below. Every dispatch splits the **output**
+//! buffer into disjoint chunks and keeps the per-element computation —
+//! including the order of floating-point accumulation — identical to the
+//! serial loop, so results are bitwise identical at any thread count
+//! (`MFAPLACE_THREADS=1` vs. N is exact, not approximate). The thresholds
+//! keep small tensors on the serial path where thread spawn overhead would
+//! dominate.
+
+use mfaplace_rt::pool;
 
 use crate::{strides_for, Tensor};
+
+/// Minimum multiply-add count before a GEMM fans out to the pool.
+const PAR_GEMM_FLOPS: usize = 1 << 19;
+/// Minimum element count before data-movement kernels (im2col, col2im,
+/// pooling, upsampling) fan out to the pool.
+const PAR_ELEMS: usize = 1 << 16;
 
 impl Tensor {
     // ------------------------------------------------------------- matmul
@@ -41,32 +61,64 @@ impl Tensor {
         assert_eq!(b, b2, "bmm batch mismatch");
         assert_eq!(k, k2, "bmm inner dimension mismatch");
         let mut out = vec![0.0f32; b * m * n];
-        for i in 0..b {
-            gemm(
-                &self.data()[i * m * k..(i + 1) * m * k],
-                &other.data()[i * k * n..(i + 1) * k * n],
-                &mut out[i * m * n..(i + 1) * m * n],
-                m,
-                k,
-                n,
-                false,
-            );
+        // With at least one batch per worker, fan out across batches (each
+        // inner GEMM pinned serial to avoid nested spawning); otherwise let
+        // the per-batch GEMM decide its own row-level parallelism.
+        if b >= pool::max_threads() && b * m * k * n >= PAR_GEMM_FLOPS {
+            let (a_data, b_data) = (self.data(), other.data());
+            pool::parallel_chunks_mut(&mut out, m * n, |i, chunk| {
+                pool::with_threads(1, || {
+                    gemm(
+                        &a_data[i * m * k..(i + 1) * m * k],
+                        &b_data[i * k * n..(i + 1) * k * n],
+                        chunk,
+                        m,
+                        k,
+                        n,
+                        false,
+                    );
+                });
+            });
+        } else {
+            for i in 0..b {
+                gemm(
+                    &self.data()[i * m * k..(i + 1) * m * k],
+                    &other.data()[i * k * n..(i + 1) * k * n],
+                    &mut out[i * m * n..(i + 1) * m * n],
+                    m,
+                    k,
+                    n,
+                    false,
+                );
+            }
         }
         Tensor::from_vec(vec![b, m, n], out).expect("bmm shape")
     }
 
     /// Transpose of a rank-2 tensor.
     ///
+    /// Cache-blocked: the matrix is walked in `TILE x TILE` tiles so both
+    /// the strided reads and the strided writes stay within a tile that
+    /// fits in L1, instead of streaming one side with a full-column stride.
+    ///
     /// # Panics
     ///
     /// Panics unless the tensor is rank-2.
     pub fn transpose2d(&self) -> Tensor {
+        const TILE: usize = 32;
         assert_eq!(self.rank(), 2, "transpose2d requires rank-2");
         let (m, n) = (self.shape()[0], self.shape()[1]);
+        let src = self.data();
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            for j in 0..n {
-                out[j * m + i] = self.data()[i * n + j];
+        for i0 in (0..m).step_by(TILE) {
+            let i1 = (i0 + TILE).min(m);
+            for j0 in (0..n).step_by(TILE) {
+                let j1 = (j0 + TILE).min(n);
+                for i in i0..i1 {
+                    for j in j0..j1 {
+                        out[j * m + i] = src[i * n + j];
+                    }
+                }
             }
         }
         Tensor::from_vec(vec![n, m], out).expect("transpose2d shape")
@@ -127,29 +179,36 @@ impl Tensor {
         let cols = b * oh * ow;
         let mut out = vec![0.0f32; rows * cols];
         let src = self.data();
-        for bi in 0..b {
-            for ci in 0..c {
-                for ki in 0..kh {
-                    for kj in 0..kw {
-                        let row = ci * kh * kw + ki * kw + kj;
-                        for oi in 0..oh {
-                            let iy = (oi * stride + ki) as isize - pad as isize;
-                            if iy < 0 || iy >= h as isize {
-                                continue;
-                            }
-                            let iy = iy as usize;
-                            for oj in 0..ow {
-                                let ix = (oj * stride + kj) as isize - pad as isize;
-                                if ix < 0 || ix >= w as isize {
-                                    continue;
-                                }
-                                let col = bi * oh * ow + oi * ow + oj;
-                                out[row * cols + col] =
-                                    src[((bi * c + ci) * h + iy) * w + ix as usize];
-                            }
+        // Each output row (ci, ki, kj) gathers independently; rows fan out
+        // to the pool when the matrix is large. Every element is written at
+        // most once, so parallel and serial results are bitwise identical.
+        let fill_row = |row: usize, out_row: &mut [f32]| {
+            let ci = row / (kh * kw);
+            let ki = (row / kw) % kh;
+            let kj = row % kw;
+            for bi in 0..b {
+                for oi in 0..oh {
+                    let iy = (oi * stride + ki) as isize - pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    for oj in 0..ow {
+                        let ix = (oj * stride + kj) as isize - pad as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
                         }
+                        out_row[bi * oh * ow + oi * ow + oj] =
+                            src[((bi * c + ci) * h + iy) * w + ix as usize];
                     }
                 }
+            }
+        };
+        if rows * cols >= PAR_ELEMS {
+            pool::parallel_chunks_mut(&mut out, cols, fill_row);
+        } else {
+            for (row, out_row) in out.chunks_mut(cols).enumerate() {
+                fill_row(row, out_row);
             }
         }
         Tensor::from_vec(vec![rows, cols], out).expect("im2col shape")
@@ -180,29 +239,39 @@ impl Tensor {
         assert_eq!(self.shape(), &[rows, cols], "col2im input shape mismatch");
         let mut out = vec![0.0f32; b * c * h * w];
         let src = self.data();
-        for bi in 0..b {
-            for ci in 0..c {
-                for ki in 0..kh {
-                    for kj in 0..kw {
-                        let row = ci * kh * kw + ki * kw + kj;
-                        for oi in 0..oh {
-                            let iy = (oi * stride + ki) as isize - pad as isize;
-                            if iy < 0 || iy >= h as isize {
+        // Each (batch, channel) image plane accumulates independently; the
+        // inner (ki, kj, oi, oj) accumulation order matches the serial
+        // loop nest exactly, so results are bitwise identical at any
+        // thread count.
+        let fill_plane = |bc: usize, plane: &mut [f32]| {
+            let bi = bc / c;
+            let ci = bc % c;
+            for ki in 0..kh {
+                for kj in 0..kw {
+                    let row = ci * kh * kw + ki * kw + kj;
+                    for oi in 0..oh {
+                        let iy = (oi * stride + ki) as isize - pad as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let iy = iy as usize;
+                        for oj in 0..ow {
+                            let ix = (oj * stride + kj) as isize - pad as isize;
+                            if ix < 0 || ix >= w as isize {
                                 continue;
                             }
-                            let iy = iy as usize;
-                            for oj in 0..ow {
-                                let ix = (oj * stride + kj) as isize - pad as isize;
-                                if ix < 0 || ix >= w as isize {
-                                    continue;
-                                }
-                                let col = bi * oh * ow + oi * ow + oj;
-                                out[((bi * c + ci) * h + iy) * w + ix as usize] +=
-                                    src[row * cols + col];
-                            }
+                            let col = bi * oh * ow + oi * ow + oj;
+                            plane[iy * w + ix as usize] += src[row * cols + col];
                         }
                     }
                 }
+            }
+        };
+        if b * c * h * w >= PAR_ELEMS {
+            pool::parallel_chunks_mut(&mut out, h * w, fill_plane);
+        } else {
+            for (bc, plane) in out.chunks_mut(h * w).enumerate() {
+                fill_plane(bc, plane);
             }
         }
         Tensor::from_vec(vec![b, c, h, w], out).expect("col2im shape")
@@ -224,7 +293,9 @@ impl Tensor {
         let mut out = vec![0.0f32; b * c * oh * ow];
         let mut arg = vec![0usize; b * c * oh * ow];
         let src = self.data();
-        for bc in 0..b * c {
+        // Each (batch, channel) plane pools independently; planes fan out
+        // to the pool when the tensor is large.
+        let pool_plane = |bc: usize, out_plane: &mut [f32], arg_plane: &mut [usize]| {
             let base = bc * h * w;
             for oi in 0..oh {
                 for oj in 0..ow {
@@ -239,10 +310,20 @@ impl Tensor {
                             }
                         }
                     }
-                    let o = bc * oh * ow + oi * ow + oj;
-                    out[o] = best;
-                    arg[o] = best_idx;
+                    out_plane[oi * ow + oj] = best;
+                    arg_plane[oi * ow + oj] = best_idx;
                 }
+            }
+        };
+        if b * c * h * w >= PAR_ELEMS {
+            pool::parallel_chunks2_mut(&mut out, &mut arg, oh * ow, oh * ow, pool_plane);
+        } else {
+            for (bc, (out_plane, arg_plane)) in out
+                .chunks_mut(oh * ow)
+                .zip(arg.chunks_mut(oh * ow))
+                .enumerate()
+            {
+                pool_plane(bc, out_plane, arg_plane);
             }
         }
         (
@@ -260,17 +341,23 @@ impl Tensor {
         let (b, c, h, w) = self.dims4();
         let mut out = vec![0.0f32; b * c * 4 * h * w];
         let src = self.data();
-        for bc in 0..b * c {
+        let fill_plane = |bc: usize, plane: &mut [f32]| {
             for i in 0..h {
                 for j in 0..w {
                     let v = src[bc * h * w + i * w + j];
-                    let base = bc * 4 * h * w;
                     for di in 0..2 {
                         for dj in 0..2 {
-                            out[base + (i * 2 + di) * 2 * w + (j * 2 + dj)] = v;
+                            plane[(i * 2 + di) * 2 * w + (j * 2 + dj)] = v;
                         }
                     }
                 }
+            }
+        };
+        if out.len() >= PAR_ELEMS {
+            pool::parallel_chunks_mut(&mut out, 4 * h * w, fill_plane);
+        } else {
+            for (bc, plane) in out.chunks_mut(4 * h * w).enumerate() {
+                fill_plane(bc, plane);
             }
         }
         Tensor::from_vec(vec![b, c, 2 * h, 2 * w], out).expect("upsample shape")
@@ -288,11 +375,20 @@ impl Tensor {
         let (h, w) = (h2 / 2, w2 / 2);
         let mut out = vec![0.0f32; b * c * h * w];
         let src = self.data();
-        for bc in 0..b * c {
+        // Per-plane 2x2 block sums; the (i, j) accumulation order within a
+        // plane matches the serial loop, keeping results bitwise identical.
+        let fill_plane = |bc: usize, plane: &mut [f32]| {
             for i in 0..h2 {
                 for j in 0..w2 {
-                    out[bc * h * w + (i / 2) * w + j / 2] += src[bc * h2 * w2 + i * w2 + j];
+                    plane[(i / 2) * w + j / 2] += src[bc * h2 * w2 + i * w2 + j];
                 }
+            }
+        };
+        if src.len() >= PAR_ELEMS {
+            pool::parallel_chunks_mut(&mut out, h * w, fill_plane);
+        } else {
+            for (bc, plane) in out.chunks_mut(h * w).enumerate() {
+                fill_plane(bc, plane);
             }
         }
         Tensor::from_vec(vec![b, c, h, w], out).expect("downsample shape")
@@ -373,7 +469,12 @@ impl Tensor {
     ///
     /// Panics unless the tensor is rank-4.
     pub fn dims4(&self) -> (usize, usize, usize, usize) {
-        assert_eq!(self.rank(), 4, "expected rank-4 tensor, got {:?}", self.shape());
+        assert_eq!(
+            self.rank(),
+            4,
+            "expected rank-4 tensor, got {:?}",
+            self.shape()
+        );
         (
             self.shape()[0],
             self.shape()[1],
@@ -399,14 +500,43 @@ pub fn conv_out_size(
 
 /// Simple blocked GEMM: `out (+)= a[m,k] * b[k,n]`.
 ///
-/// If `accumulate` is false, `out` is overwritten.
+/// If `accumulate` is false, `out` is overwritten. Large products are
+/// split over output-row blocks on the worker pool; each row's i-k-j
+/// reduction order is unchanged, so the result is bitwise identical to
+/// the serial path.
 fn gemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize, accumulate: bool) {
+    let nt = if m * k * n >= PAR_GEMM_FLOPS {
+        pool::max_threads().min(m)
+    } else {
+        1
+    };
+    if nt <= 1 {
+        gemm_rows(a, b, out, 0, k, n, accumulate);
+        return;
+    }
+    let rows_per = m.div_ceil(nt);
+    pool::parallel_chunks_mut(out, rows_per * n, |ci, chunk| {
+        gemm_rows(a, b, chunk, ci * rows_per, k, n, accumulate);
+    });
+}
+
+/// GEMM over the row block starting at `row0` whose output rows occupy
+/// `out` (`out.len() / n` rows). i-k-j loop order: streams through `b` and
+/// `out` rows contiguously.
+fn gemm_rows(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    row0: usize,
+    k: usize,
+    n: usize,
+    accumulate: bool,
+) {
     if !accumulate {
         out.fill(0.0);
     }
-    // i-k-j loop order: streams through b and out rows contiguously.
-    for i in 0..m {
-        let out_row = &mut out[i * n..(i + 1) * n];
+    for (r, out_row) in out.chunks_mut(n).enumerate() {
+        let i = row0 + r;
         for p in 0..k {
             let aik = a[i * k + p];
             if aik == 0.0 {
@@ -439,16 +569,8 @@ mod tests {
         let b = Tensor::from_fn(vec![2, 3, 2], |i| (i as f32) * 0.5);
         let c = a.bmm(&b);
         for bi in 0..2 {
-            let a2 = Tensor::from_vec(
-                vec![2, 3],
-                a.data()[bi * 6..(bi + 1) * 6].to_vec(),
-            )
-            .unwrap();
-            let b2 = Tensor::from_vec(
-                vec![3, 2],
-                b.data()[bi * 6..(bi + 1) * 6].to_vec(),
-            )
-            .unwrap();
+            let a2 = Tensor::from_vec(vec![2, 3], a.data()[bi * 6..(bi + 1) * 6].to_vec()).unwrap();
+            let b2 = Tensor::from_vec(vec![3, 2], b.data()[bi * 6..(bi + 1) * 6].to_vec()).unwrap();
             let c2 = a2.matmul2d(&b2);
             assert_eq!(&c.data()[bi * 4..(bi + 1) * 4], c2.data());
         }
@@ -491,7 +613,15 @@ mod tests {
         let cols = x.im2col(2, 2, 1, 0);
         let w = Tensor::ones(vec![1, 4]);
         let y = w.matmul2d(&cols);
-        assert_eq!(y.data(), &[0. + 1. + 3. + 4., 1. + 2. + 4. + 5., 3. + 4. + 6. + 7., 4. + 5. + 7. + 8.]);
+        assert_eq!(
+            y.data(),
+            &[
+                0. + 1. + 3. + 4.,
+                1. + 2. + 4. + 5.,
+                3. + 4. + 6. + 7.,
+                4. + 5. + 7. + 8.
+            ]
+        );
     }
 
     #[test]
@@ -508,11 +638,7 @@ mod tests {
 
     #[test]
     fn maxpool_picks_max_and_indices() {
-        let x = Tensor::from_vec(
-            vec![1, 1, 2, 2],
-            vec![1.0, 5.0, 2.0, 3.0],
-        )
-        .unwrap();
+        let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 5.0, 2.0, 3.0]).unwrap();
         let (y, arg) = x.maxpool2x2();
         assert_eq!(y.data(), &[5.0]);
         assert_eq!(arg, vec![1]);

@@ -1,6 +1,6 @@
 use std::fmt;
 
-use rand::Rng;
+use mfaplace_rt::rng::Rng;
 
 use crate::{numel, strides_for, TensorError};
 
@@ -165,7 +165,11 @@ impl Tensor {
     ///
     /// Panics if the tensor has more than one element.
     pub fn item(&self) -> f32 {
-        assert_eq!(self.data.len(), 1, "item() requires a single-element tensor");
+        assert_eq!(
+            self.data.len(),
+            1,
+            "item() requires a single-element tensor"
+        );
         self.data[0]
     }
 
@@ -340,8 +344,8 @@ impl Tensor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mfaplace_rt::rng::SeedableRng;
+    use mfaplace_rt::rng::StdRng;
 
     #[test]
     fn from_vec_validates_length() {

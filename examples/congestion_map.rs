@@ -59,7 +59,13 @@ fn main() {
     };
     let labels = congestion_labels(&design, &placement, &cfg);
 
-    render("RUDY estimate (normalized)", features.rudy.data(), grid, grid, 1.0);
+    render(
+        "RUDY estimate (normalized)",
+        features.rudy.data(),
+        grid,
+        grid,
+        1.0,
+    );
     render(
         "router congestion levels (ground truth)",
         labels.map.data(),

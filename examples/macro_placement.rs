@@ -102,8 +102,6 @@ fn main() {
             region_ok += usize::from(r.rect.contains(x, y));
         }
     }
-    println!(
-        "         {region_ok}/{region_total} region-bound instances inside their regions"
-    );
+    println!("         {region_ok}/{region_total} region-bound instances inside their regions");
     println!("final HPWL = {:.0}", placement.hpwl(&design.netlist));
 }

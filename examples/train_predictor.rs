@@ -13,8 +13,8 @@ use mfaplace::core::predictor::ModelPredictor;
 use mfaplace::core::train::{TrainConfig, Trainer};
 use mfaplace::fpga::design::DesignPreset;
 use mfaplace::models::{OursConfig, OursModel};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mfaplace_rt::rng::SeedableRng;
+use mfaplace_rt::rng::StdRng;
 
 fn main() {
     let design = DesignPreset::design_176()

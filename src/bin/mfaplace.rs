@@ -25,7 +25,7 @@ use mfaplace::router::score::{RoutabilityScore, ScoreInputs};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
+    let code = match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("error: {msg}");
@@ -33,7 +33,13 @@ fn main() -> ExitCode {
             eprintln!("{USAGE}");
             ExitCode::FAILURE
         }
+    };
+    // Per-run timing report, opt-in: timers always record, but the report
+    // only prints when MFAPLACE_TIMERS is explicitly set (and not "0").
+    if std::env::var("MFAPLACE_TIMERS").is_ok_and(|v| v != "0") {
+        eprint!("{}", mfaplace_rt::timer::report());
     }
+    code
 }
 
 const USAGE: &str = "usage:
@@ -97,15 +103,13 @@ fn get_num<T: std::str::FromStr>(
 
 fn load_design(flags: &HashMap<String, String>) -> Result<Design, String> {
     let path = get(flags, "design")?;
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     io::read_design(&text).map_err(|e| format!("{path}: {e}"))
 }
 
 fn load_placement(flags: &HashMap<String, String>) -> Result<mfaplace::fpga::Placement, String> {
     let path = get(flags, "placement")?;
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     io::read_placement(&text).map_err(|e| format!("{path}: {e}"))
 }
 
@@ -222,8 +226,7 @@ fn cmd_features(flags: &HashMap<String, String>) -> Result<(), String> {
         ("cell_density", &f.cell_density),
     ] {
         let path = format!("{prefix}_{name}.ppm");
-        std::fs::write(&path, render_heatmap(map, 1.0).to_ppm())
-            .map_err(|e| e.to_string())?;
+        std::fs::write(&path, render_heatmap(map, 1.0).to_ppm()).map_err(|e| e.to_string())?;
         println!("wrote {path}");
     }
     Ok(())

@@ -8,8 +8,8 @@ use mfaplace::core::train::{TrainConfig, Trainer};
 use mfaplace::fpga::design::DesignPreset;
 use mfaplace::models::{OursConfig, OursModel};
 use mfaplace::placer::flows::FlowConfig as PlacerFlowConfig;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mfaplace_rt::rng::SeedableRng;
+use mfaplace_rt::rng::StdRng;
 
 fn quick_flow_config() -> FlowConfig {
     let mut cfg = FlowConfig::default();
