@@ -17,4 +17,7 @@ cargo build --workspace --release --offline
 echo "==> cargo test --offline"
 cargo test -q --workspace --offline
 
+echo "==> serve smoke test"
+cargo run -q --release --offline -p mfaplace-serve --example smoke
+
 echo "CI OK"

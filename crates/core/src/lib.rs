@@ -14,6 +14,7 @@
 
 pub mod dataset;
 pub mod flow;
+pub mod loader;
 pub mod metrics;
 pub mod predictor;
 pub mod report;
@@ -21,6 +22,7 @@ pub mod train;
 
 pub use dataset::{Dataset, DatasetConfig, Sample};
 pub use flow::{FlowConfig, FlowOutcome, MacroPlacementFlow};
+pub use loader::{load_predictor, save_predictor, LoadOptions};
 pub use metrics::{accuracy, nrms, r_squared, ConfusionMatrix, PredictionMetrics};
 pub use predictor::ModelPredictor;
 pub use train::{TrainConfig, TrainReport, Trainer};

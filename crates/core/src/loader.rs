@@ -1,0 +1,206 @@
+//! Loading trained models from `.mfaw` checkpoints into ready-to-serve
+//! predictors.
+//!
+//! A version-2 checkpoint is self-describing (model name + config ints in
+//! its metadata section), so [`load_predictor`] can rebuild the exact
+//! architecture from the file alone. Version-1 files carry no metadata;
+//! for those the caller must supply the architecture (and grid) out of
+//! band — in the CLI that is the `--arch`/`--grid` flags.
+
+use mfaplace_autograd::Graph;
+use mfaplace_models::{AnyModel, Arch, ArchSpec, CongestionModel};
+use mfaplace_nn::checkpoint::{self, CheckpointMeta};
+use mfaplace_rt::rng::{SeedableRng, StdRng};
+
+use crate::predictor::ModelPredictor;
+
+/// How to interpret a checkpoint that lacks (or should override) metadata.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LoadOptions {
+    /// Architecture to assume for v1 files (ignored when the file has
+    /// metadata).
+    pub arch: Option<Arch>,
+    /// Grid side to assume for v1 files (ignored when the file has
+    /// metadata).
+    pub grid: Option<usize>,
+    /// Base channel count to assume for v1 files (ignored when the file
+    /// has metadata).
+    pub base_channels: Option<usize>,
+}
+
+/// Loads a checkpoint and rebuilds its model, returning the architecture
+/// spec actually used plus a ready [`ModelPredictor`].
+///
+/// # Errors
+///
+/// Returns a human-readable error when the file is malformed, the
+/// architecture cannot be determined (v1 file without `opts.arch`), or the
+/// stored tensors do not match the rebuilt model's parameters.
+pub fn load_predictor(
+    path: &str,
+    opts: LoadOptions,
+) -> Result<(ArchSpec, ModelPredictor<AnyModel>), String> {
+    let ckpt = checkpoint::read_checkpoint(path).map_err(|e| format!("{path}: {e}"))?;
+    let spec = match &ckpt.meta {
+        Some(meta) => ArchSpec::from_meta(meta).map_err(|e| format!("{path}: {e}"))?,
+        None => {
+            let arch = opts.arch.ok_or_else(|| {
+                format!("{path}: v1 checkpoint has no metadata; pass --arch (and --grid)")
+            })?;
+            let mut spec = ArchSpec::new(arch, opts.grid.unwrap_or(32));
+            if let Some(c) = opts.base_channels {
+                spec.base_channels = c;
+            }
+            spec
+        }
+    };
+    // Seed is irrelevant: every parameter is overwritten by the file.
+    let mut g = Graph::new();
+    let mut rng = StdRng::seed_from_u64(0);
+    let model = spec
+        .build(&mut g, &mut rng)
+        .map_err(|e| format!("{path}: {e}"))?;
+    checkpoint::assign_params(&mut g, &model.params(), ckpt.tensors)
+        .map_err(|e| format!("{path}: {e} (wrong --arch/--grid/--channels for this file?)"))?;
+    Ok((spec, ModelPredictor::new(g, model)))
+}
+
+/// Saves `model`'s parameters as a self-describing v2 checkpoint with
+/// `spec`'s metadata.
+///
+/// # Errors
+///
+/// Returns a human-readable error on I/O failure.
+pub fn save_predictor(
+    g: &Graph,
+    model: &impl CongestionModel,
+    spec: &ArchSpec,
+    path: &str,
+) -> Result<(), String> {
+    checkpoint::save_checkpoint(g, &model.params(), &spec.to_meta(), path)
+        .map_err(|e| format!("{path}: {e}"))
+}
+
+/// Builds a freshly initialized model and saves it as a v2 checkpoint —
+/// handy for spinning up a server or demo without a training run.
+///
+/// # Errors
+///
+/// Returns a human-readable error if the spec is unbuildable or the file
+/// cannot be written.
+pub fn init_checkpoint(spec: &ArchSpec, seed: u64, path: &str) -> Result<(), String> {
+    let mut g = Graph::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let model = spec.build(&mut g, &mut rng)?;
+    save_predictor(&g, &model, spec, path)
+}
+
+/// Reads just the metadata of a checkpoint file (for display/validation).
+///
+/// # Errors
+///
+/// Returns a human-readable error if the header is malformed.
+pub fn peek_meta(path: &str) -> Result<Option<CheckpointMeta>, String> {
+    checkpoint::read_meta(path).map_err(|e| format!("{path}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> String {
+        let dir = std::env::temp_dir().join("mfaplace_loader_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    fn small_spec(arch: Arch) -> ArchSpec {
+        let mut spec = ArchSpec::new(arch, 32);
+        spec.base_channels = 4;
+        spec.vit_layers = 1;
+        spec.vit_heads = 2;
+        spec
+    }
+
+    #[test]
+    fn init_then_load_round_trips_spec_and_weights() {
+        let path = temp_path("init_ours.mfaw");
+        let spec = small_spec(Arch::Ours);
+        init_checkpoint(&spec, 11, &path).unwrap();
+
+        let (loaded_spec, mut predictor) = load_predictor(&path, LoadOptions::default()).unwrap();
+        assert_eq!(loaded_spec, spec);
+        assert_eq!(predictor.model().name(), "Ours");
+
+        // Weights must equal a fresh build with the same seed.
+        let mut g = Graph::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        let reference = spec.build(&mut g, &mut rng).unwrap();
+        let loaded_params = predictor.model().params();
+        // Compare through a tiny forward instead of raw vars: both models
+        // predict identically on the same input.
+        assert_eq!(loaded_params.len(), reference.params().len());
+        let x = mfaplace_tensor::Tensor::full(vec![6, 32, 32], 0.25);
+        let out_loaded = predictor
+            .predict_batch_tensors(std::slice::from_ref(&x))
+            .pop()
+            .unwrap();
+        let mut reference_pred = ModelPredictor::new(g, reference);
+        let out_ref = reference_pred
+            .predict_batch_tensors(std::slice::from_ref(&x))
+            .pop()
+            .unwrap();
+        assert_eq!(out_loaded.data(), out_ref.data());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn v1_file_needs_arch_override() {
+        let path = temp_path("v1_unet.mfaw");
+        let spec = small_spec(Arch::UNet);
+        let mut g = Graph::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = spec.build(&mut g, &mut rng).unwrap();
+        mfaplace_nn::checkpoint::save_params(&g, &model.params(), &path).unwrap();
+
+        let err = load_predictor(&path, LoadOptions::default()).err().unwrap();
+        assert!(err.contains("--arch"), "{err}");
+
+        let (loaded_spec, _) = load_predictor(
+            &path,
+            LoadOptions {
+                arch: Some(Arch::UNet),
+                grid: Some(32),
+                base_channels: Some(4),
+            },
+        )
+        .unwrap();
+        assert_eq!(loaded_spec.arch, Arch::UNet);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn wrong_arch_reports_mismatch() {
+        let path = temp_path("mismatch_arch.mfaw");
+        let spec = small_spec(Arch::UNet);
+        init_checkpoint(&spec, 0, &path).unwrap();
+        // Force a different arch for a file whose meta says UNet: meta wins,
+        // so strip it by writing v1.
+        let mut g = Graph::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = spec.build(&mut g, &mut rng).unwrap();
+        mfaplace_nn::checkpoint::save_params(&g, &model.params(), &path).unwrap();
+        let err = load_predictor(
+            &path,
+            LoadOptions {
+                arch: Some(Arch::Pros2),
+                grid: Some(32),
+                base_channels: Some(4),
+            },
+        )
+        .err()
+        .unwrap();
+        assert!(err.contains("mismatch"), "{err}");
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,6 +1,15 @@
 //! Adapts a trained congestion model to the placer's predictor interface —
 //! the paper's key integration point: the learned map replaces RUDY in the
 //! instance-inflation step (Sec. IV).
+//!
+//! Besides the single-snapshot [`CongestionPredictor`] path used inside the
+//! placement loop, [`ModelPredictor`] exposes a batched path
+//! ([`ModelPredictor::predict_batch_tensors`]) that runs one `[N, C, H, W]`
+//! forward for N requests. Per-sample results are bitwise identical to the
+//! batch-1 path (the kernels compute each output element with a fixed
+//! reduction order independent of the batch dimension), which is what lets
+//! the serve subsystem coalesce concurrent requests without changing
+//! anyone's answer.
 
 use mfaplace_autograd::Graph;
 use mfaplace_fpga::design::Design;
@@ -9,6 +18,7 @@ use mfaplace_fpga::gridmap::GridMap;
 use mfaplace_fpga::placement::Placement;
 use mfaplace_models::{expected_levels, CongestionModel};
 use mfaplace_placer::CongestionPredictor;
+use mfaplace_tensor::Tensor;
 
 /// A trained model plus its graph, usable inside a placement flow.
 pub struct ModelPredictor<M: CongestionModel> {
@@ -29,6 +39,63 @@ impl<M: CongestionModel> ModelPredictor<M> {
     pub fn model(&self) -> &M {
         &self.model
     }
+
+    /// Runs one batched forward over `inputs` (each a `[C, H, W]` feature
+    /// stack of identical shape) and returns the per-tile expected
+    /// congestion level of each, shaped `[H, W]`.
+    ///
+    /// Output `i` is bitwise identical to what a single-item call on
+    /// `inputs[i]` produces; batching only amortizes per-forward overhead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty or the stacks disagree in shape.
+    pub fn predict_batch_tensors(&mut self, inputs: &[Tensor]) -> Vec<Tensor> {
+        assert!(!inputs.is_empty(), "predict_batch_tensors: empty batch");
+        let shape = inputs[0].shape().to_vec();
+        assert_eq!(shape.len(), 3, "inputs must be [C, H, W], got {shape:?}");
+        let (c, h, w) = (shape[0], shape[1], shape[2]);
+        let n = inputs.len();
+        let mut data = Vec::with_capacity(n * c * h * w);
+        for x in inputs {
+            assert_eq!(x.shape(), &shape[..], "batch inputs disagree in shape");
+            data.extend_from_slice(x.data());
+        }
+        let batch = Tensor::from_vec(vec![n, c, h, w], data).expect("stacked batch");
+
+        let mark = self.graph.mark();
+        let xv = self.graph.constant(batch);
+        let logits_var = self.model.forward(&mut self.graph, xv, false);
+        let logits = self.graph.value(logits_var).clone();
+        self.graph.truncate(mark);
+        let levels = expected_levels(&logits); // [N, H, W]
+        let hw = h * w;
+        let src = levels.data();
+        (0..n)
+            .map(|i| {
+                Tensor::from_vec(vec![h, w], src[i * hw..(i + 1) * hw].to_vec())
+                    .expect("per-sample level map")
+            })
+            .collect()
+    }
+
+    /// Featurizes each `(design, placement)` snapshot and predicts all of
+    /// them in one batched forward.
+    pub fn predict_batch(
+        &mut self,
+        jobs: &[(&Design, &Placement)],
+        grid_w: usize,
+        grid_h: usize,
+    ) -> Vec<GridMap> {
+        let inputs: Vec<Tensor> = jobs
+            .iter()
+            .map(|(d, p)| FeatureStack::extract(d, p, grid_w, grid_h).to_tensor())
+            .collect();
+        self.predict_batch_tensors(&inputs)
+            .into_iter()
+            .map(|t| GridMap::from_vec(grid_w, grid_h, t.into_vec()))
+            .collect()
+    }
 }
 
 impl<M: CongestionModel> CongestionPredictor for ModelPredictor<M> {
@@ -40,15 +107,10 @@ impl<M: CongestionModel> CongestionPredictor for ModelPredictor<M> {
         grid_h: usize,
     ) -> GridMap {
         let features = FeatureStack::extract(design, placement, grid_w, grid_h);
-        let x = features.to_tensor();
-        let (c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2]);
-        let x = x.reshaped(vec![1, c, h, w]);
-        let mark = self.graph.mark();
-        let xv = self.graph.constant(x);
-        let logits_var = self.model.forward(&mut self.graph, xv, false);
-        let logits = self.graph.value(logits_var).clone();
-        self.graph.truncate(mark);
-        let levels = expected_levels(&logits); // [1, H, W]
+        let levels = self
+            .predict_batch_tensors(std::slice::from_ref(&features.to_tensor()))
+            .pop()
+            .expect("one output per input");
         GridMap::from_vec(grid_w, grid_h, levels.into_vec())
     }
 
@@ -65,14 +127,9 @@ mod tests {
     use mfaplace_rt::rng::SeedableRng;
     use mfaplace_rt::rng::StdRng;
 
-    #[test]
-    fn predictor_outputs_level_scale_map() {
-        let d = DesignPreset::design_116()
-            .with_scale(512, 64, 32)
-            .generate(1);
-        let p = d.random_placement(2);
+    fn small_predictor(seed: u64) -> ModelPredictor<OursModel> {
         let mut g = Graph::new();
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = StdRng::seed_from_u64(seed);
         let model = OursModel::new(
             &mut g,
             OursConfig {
@@ -85,7 +142,16 @@ mod tests {
             },
             &mut rng,
         );
-        let mut predictor = ModelPredictor::new(g, model);
+        ModelPredictor::new(g, model)
+    }
+
+    #[test]
+    fn predictor_outputs_level_scale_map() {
+        let d = DesignPreset::design_116()
+            .with_scale(512, 64, 32)
+            .generate(1);
+        let p = d.random_placement(2);
+        let mut predictor = small_predictor(0);
         let map = predictor.predict(&d, &p, 32, 32);
         assert_eq!(map.width(), 32);
         // Expected-level outputs live in [0, 7].
@@ -100,23 +166,49 @@ mod tests {
             .with_scale(512, 64, 32)
             .generate(1);
         let p = d.random_placement(2);
-        let mut g = Graph::new();
-        let mut rng = StdRng::seed_from_u64(1);
-        let model = OursModel::new(
-            &mut g,
-            OursConfig {
-                grid: 32,
-                base_channels: 4,
-                vit_layers: 1,
-                vit_heads: 2,
-                use_mfa: true,
-                mfa_reduction: 4,
-            },
-            &mut rng,
-        );
-        let mut predictor = ModelPredictor::new(g, model);
+        let mut predictor = small_predictor(1);
         let a = predictor.predict(&d, &p, 32, 32);
         let b = predictor.predict(&d, &p, 32, 32);
         assert_eq!(a, b, "inference must be pure");
+    }
+
+    #[test]
+    fn batched_outputs_bitwise_match_single_item_inference() {
+        let d = DesignPreset::design_116()
+            .with_scale(512, 64, 32)
+            .generate(1);
+        let placements: Vec<_> = (0..5).map(|s| d.random_placement(s)).collect();
+        let inputs: Vec<Tensor> = placements
+            .iter()
+            .map(|p| FeatureStack::extract(&d, p, 32, 32).to_tensor())
+            .collect();
+
+        let mut predictor = small_predictor(2);
+        let batched = predictor.predict_batch_tensors(&inputs);
+        assert_eq!(batched.len(), inputs.len());
+        for (i, x) in inputs.iter().enumerate() {
+            let single = predictor
+                .predict_batch_tensors(std::slice::from_ref(x))
+                .pop()
+                .unwrap();
+            assert_eq!(
+                single.data(),
+                batched[i].data(),
+                "sample {i}: batched inference must be bitwise identical to single-item"
+            );
+        }
+    }
+
+    #[test]
+    fn predict_batch_matches_predict() {
+        let d = DesignPreset::design_116()
+            .with_scale(512, 64, 32)
+            .generate(1);
+        let p0 = d.random_placement(3);
+        let p1 = d.random_placement(4);
+        let mut predictor = small_predictor(3);
+        let batched = predictor.predict_batch(&[(&d, &p0), (&d, &p1)], 32, 32);
+        assert_eq!(batched[0], predictor.predict(&d, &p0, 32, 32));
+        assert_eq!(batched[1], predictor.predict(&d, &p1, 32, 32));
     }
 }

@@ -43,6 +43,7 @@ mod pros2;
 pub mod summary;
 mod unet;
 mod vit;
+pub mod zoo;
 
 pub use mfa::{CamBlock, MfaBlock, PamBlock};
 pub use model::{expected_levels, predicted_classes, CongestionModel, NUM_LEVEL_CLASSES};
@@ -51,3 +52,4 @@ pub use pgnn::PgnnModel;
 pub use pros2::Pros2Model;
 pub use unet::UNetModel;
 pub use vit::VitStage;
+pub use zoo::{AnyModel, Arch, ArchSpec};

@@ -1,0 +1,295 @@
+//! Model zoo: build any of the four congestion models by name, and round-
+//! trip the choice through checkpoint metadata so a `.mfaw` file is
+//! self-describing — the serve subsystem and the CLI reconstruct the right
+//! architecture from the file alone (format v2), or from an explicit
+//! `--arch` flag for legacy v1 files.
+
+use mfaplace_autograd::{Graph, Var};
+use mfaplace_nn::checkpoint::CheckpointMeta;
+use mfaplace_rt::rng::Rng;
+
+use crate::{CongestionModel, OursConfig, OursModel, PgnnModel, Pros2Model, UNetModel};
+
+/// The four architectures of the paper's Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arch {
+    /// The paper's MFA + transformer model.
+    Ours,
+    /// U-Net baseline (Szentimrey et al.).
+    UNet,
+    /// PGNN baseline.
+    Pgnn,
+    /// PROS 2.0 baseline.
+    Pros2,
+}
+
+impl Arch {
+    /// Parses an architecture from a CLI flag or a checkpoint's model
+    /// name. Accepts both the flag spellings (`ours`, `unet`, `pgnn`,
+    /// `pros2`) and the paper-table names the models report
+    /// (`Ours`, `U-net`, `PGNN`, `PROS2.0`), case-insensitively.
+    pub fn parse(s: &str) -> Option<Arch> {
+        match s.to_ascii_lowercase().as_str() {
+            "ours" => Some(Arch::Ours),
+            "unet" | "u-net" => Some(Arch::UNet),
+            "pgnn" => Some(Arch::Pgnn),
+            "pros2" | "pros2.0" => Some(Arch::Pros2),
+            _ => None,
+        }
+    }
+
+    /// The name the built model reports via [`CongestionModel::name`].
+    pub fn model_name(self) -> &'static str {
+        match self {
+            Arch::Ours => "Ours",
+            Arch::UNet => "U-net",
+            Arch::Pgnn => "PGNN",
+            Arch::Pros2 => "PROS2.0",
+        }
+    }
+}
+
+impl std::str::FromStr for Arch {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Arch::parse(s)
+            .ok_or_else(|| format!("unknown architecture {s:?} (want ours|unet|pgnn|pros2)"))
+    }
+}
+
+/// A fully specified model architecture: which network plus every integer
+/// knob needed to rebuild it with the same parameter shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArchSpec {
+    /// Which network.
+    pub arch: Arch,
+    /// Input grid side (`H = W`). Must be divisible by 16.
+    pub grid: usize,
+    /// Base channel count `C`.
+    pub base_channels: usize,
+    /// Transformer depth (Ours only; 0 disables the stage).
+    pub vit_layers: usize,
+    /// Attention heads per transformer layer (Ours only).
+    pub vit_heads: usize,
+    /// Whether MFA blocks are applied (Ours only).
+    pub use_mfa: bool,
+    /// MFA channel-reduction factor (Ours only).
+    pub mfa_reduction: usize,
+}
+
+impl ArchSpec {
+    /// Spec for `arch` at grid side `grid` with the default knobs of
+    /// [`OursConfig`] (base channels 8, 3 transformer layers, 4 heads,
+    /// MFA on at reduction 4).
+    pub fn new(arch: Arch, grid: usize) -> Self {
+        let d = OursConfig::default();
+        ArchSpec {
+            arch,
+            grid,
+            base_channels: d.base_channels,
+            vit_layers: d.vit_layers,
+            vit_heads: d.vit_heads,
+            use_mfa: d.use_mfa,
+            mfa_reduction: d.mfa_reduction,
+        }
+    }
+
+    /// Spec equivalent to building [`OursModel`] with `cfg`.
+    pub fn from_ours(cfg: OursConfig) -> Self {
+        ArchSpec {
+            arch: Arch::Ours,
+            grid: cfg.grid,
+            base_channels: cfg.base_channels,
+            vit_layers: cfg.vit_layers,
+            vit_heads: cfg.vit_heads,
+            use_mfa: cfg.use_mfa,
+            mfa_reduction: cfg.mfa_reduction,
+        }
+    }
+
+    /// The [`OursConfig`] this spec describes.
+    pub fn ours_config(&self) -> OursConfig {
+        OursConfig {
+            grid: self.grid,
+            base_channels: self.base_channels,
+            vit_layers: self.vit_layers,
+            vit_heads: self.vit_heads,
+            use_mfa: self.use_mfa,
+            mfa_reduction: self.mfa_reduction,
+        }
+    }
+
+    /// Serializes the spec as checkpoint-v2 metadata.
+    pub fn to_meta(&self) -> CheckpointMeta {
+        CheckpointMeta::new(self.arch.model_name())
+            .with("grid", self.grid as u32)
+            .with("base_channels", self.base_channels as u32)
+            .with("vit_layers", self.vit_layers as u32)
+            .with("vit_heads", self.vit_heads as u32)
+            .with("use_mfa", u32::from(self.use_mfa))
+            .with("mfa_reduction", self.mfa_reduction as u32)
+    }
+
+    /// Reconstructs a spec from checkpoint-v2 metadata.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error naming the problem if the model name is unknown or
+    /// a required entry (`grid`, `base_channels`) is missing.
+    pub fn from_meta(meta: &CheckpointMeta) -> Result<Self, String> {
+        let arch = Arch::parse(&meta.model)
+            .ok_or_else(|| format!("checkpoint names unknown model {:?}", meta.model))?;
+        let need = |key: &str| {
+            meta.get(key)
+                .map(|v| v as usize)
+                .ok_or_else(|| format!("checkpoint metadata is missing {key:?}"))
+        };
+        let mut spec = ArchSpec::new(arch, need("grid")?);
+        spec.base_channels = need("base_channels")?;
+        if let Some(v) = meta.get("vit_layers") {
+            spec.vit_layers = v as usize;
+        }
+        if let Some(v) = meta.get("vit_heads") {
+            spec.vit_heads = v as usize;
+        }
+        if let Some(v) = meta.get("use_mfa") {
+            spec.use_mfa = v != 0;
+        }
+        if let Some(v) = meta.get("mfa_reduction") {
+            spec.mfa_reduction = v as usize;
+        }
+        Ok(spec)
+    }
+
+    /// Builds the model, registering fresh parameters on `g`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the spec is not buildable (grid not divisible
+    /// by 16, or zero channels).
+    pub fn build(&self, g: &mut Graph, rng: &mut impl Rng) -> Result<AnyModel, String> {
+        if self.grid == 0 || !self.grid.is_multiple_of(16) {
+            return Err(format!(
+                "grid {} is not divisible by 16 (all models downsample 4x)",
+                self.grid
+            ));
+        }
+        if self.base_channels == 0 {
+            return Err("base_channels must be positive".into());
+        }
+        Ok(match self.arch {
+            Arch::Ours => AnyModel::Ours(OursModel::new(g, self.ours_config(), rng)),
+            Arch::UNet => AnyModel::UNet(UNetModel::new(g, self.base_channels, rng)),
+            Arch::Pgnn => AnyModel::Pgnn(PgnnModel::new(g, self.base_channels, rng)),
+            Arch::Pros2 => AnyModel::Pros2(Pros2Model::new(g, self.base_channels, rng)),
+        })
+    }
+}
+
+/// Any of the four congestion models behind one concrete type, so loaders
+/// can pick the architecture at runtime (from checkpoint metadata or a CLI
+/// flag) and still hand a single [`CongestionModel`] to downstream code.
+#[derive(Debug)]
+#[allow(clippy::large_enum_variant)] // built once per process, never stored in bulk
+pub enum AnyModel {
+    /// The paper's MFA + transformer model.
+    Ours(OursModel),
+    /// U-Net baseline.
+    UNet(UNetModel),
+    /// PGNN baseline.
+    Pgnn(PgnnModel),
+    /// PROS 2.0 baseline.
+    Pros2(Pros2Model),
+}
+
+impl CongestionModel for AnyModel {
+    fn forward(&mut self, g: &mut Graph, x: Var, train: bool) -> Var {
+        match self {
+            AnyModel::Ours(m) => m.forward(g, x, train),
+            AnyModel::UNet(m) => m.forward(g, x, train),
+            AnyModel::Pgnn(m) => m.forward(g, x, train),
+            AnyModel::Pros2(m) => m.forward(g, x, train),
+        }
+    }
+
+    fn params(&self) -> Vec<Var> {
+        match self {
+            AnyModel::Ours(m) => m.params(),
+            AnyModel::UNet(m) => m.params(),
+            AnyModel::Pgnn(m) => m.params(),
+            AnyModel::Pros2(m) => m.params(),
+        }
+    }
+
+    fn name(&self) -> &str {
+        match self {
+            AnyModel::Ours(m) => m.name(),
+            AnyModel::UNet(m) => m.name(),
+            AnyModel::Pgnn(m) => m.name(),
+            AnyModel::Pros2(m) => m.name(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfaplace_rt::rng::{SeedableRng, StdRng};
+    use mfaplace_tensor::Tensor;
+
+    #[test]
+    fn arch_parses_flags_and_model_names() {
+        assert_eq!(Arch::parse("ours"), Some(Arch::Ours));
+        assert_eq!(Arch::parse("U-net"), Some(Arch::UNet));
+        assert_eq!(Arch::parse("PGNN"), Some(Arch::Pgnn));
+        assert_eq!(Arch::parse("PROS2.0"), Some(Arch::Pros2));
+        assert_eq!(Arch::parse("resnet"), None);
+        assert!("resnet".parse::<Arch>().is_err());
+    }
+
+    #[test]
+    fn spec_round_trips_through_meta() {
+        let mut spec = ArchSpec::new(Arch::Ours, 32);
+        spec.base_channels = 4;
+        spec.vit_layers = 1;
+        spec.vit_heads = 2;
+        spec.use_mfa = false;
+        let meta = spec.to_meta();
+        assert_eq!(meta.model, "Ours");
+        assert_eq!(ArchSpec::from_meta(&meta).unwrap(), spec);
+    }
+
+    #[test]
+    fn from_meta_requires_grid() {
+        let meta = CheckpointMeta::new("UNet").with("base_channels", 4);
+        let err = ArchSpec::from_meta(&meta).unwrap_err();
+        assert!(err.contains("grid"), "{err}");
+    }
+
+    #[test]
+    fn build_rejects_bad_grid() {
+        let mut g = Graph::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let spec = ArchSpec::new(Arch::UNet, 24);
+        assert!(spec.build(&mut g, &mut rng).is_err());
+    }
+
+    #[test]
+    fn every_arch_builds_and_runs() {
+        for arch in [Arch::Ours, Arch::UNet, Arch::Pgnn, Arch::Pros2] {
+            let mut g = Graph::new();
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut spec = ArchSpec::new(arch, 32);
+            spec.base_channels = 4;
+            spec.vit_layers = 1;
+            spec.vit_heads = 2;
+            let mut model = spec.build(&mut g, &mut rng).unwrap();
+            assert_eq!(model.name(), arch.model_name());
+            assert!(!model.params().is_empty());
+            let x = g.constant(Tensor::zeros(vec![1, 6, 32, 32]));
+            let y = model.forward(&mut g, x, false);
+            assert_eq!(g.value(y).shape(), &[1, 8, 32, 32]);
+        }
+    }
+}

@@ -1,16 +1,31 @@
 //! Weight checkpointing: save/load all parameters of a model to a simple
 //! self-describing binary format, so trained predictors can be reused
-//! across harness runs (e.g. `table1` trains, `table2` loads).
+//! across harness runs (e.g. `table1` trains, `table2` loads) and served
+//! by `mfaplace-serve` without out-of-band architecture knowledge.
 //!
 //! Format (little-endian):
 //!
 //! ```text
 //! magic  "MFAW"            4 bytes
-//! version u32              (currently 1)
+//! version u32              (1 or 2)
+//! -- version 2 only: metadata section --
+//! model_len u32, model utf-8 bytes      model/architecture name
+//! n_entries u32
+//! per entry:
+//!   key_len u32, key utf-8 bytes, value u32
+//! -- both versions --
 //! count  u32               number of tensors
 //! per tensor:
 //!   rank u32, dims u32*rank, data f32*numel
 //! ```
+//!
+//! Version 1 files (no metadata) remain readable; [`save_params`] still
+//! writes them for tools that do not care about metadata, while
+//! [`save_checkpoint`] writes version 2 with a [`CheckpointMeta`] that
+//! records the model name and its integer config knobs. Truncated or
+//! corrupted files are rejected with a [`CheckpointError`] before any
+//! parameter is modified — a load either fully succeeds or changes
+//! nothing.
 
 use std::error::Error;
 use std::fmt;
@@ -22,14 +37,20 @@ use mfaplace_autograd::{Graph, Var};
 use mfaplace_tensor::Tensor;
 
 const MAGIC: &[u8; 4] = b"MFAW";
-const VERSION: u32 = 1;
+const VERSION_V1: u32 = 1;
+const VERSION_V2: u32 = 2;
+/// Upper bounds used to reject garbage before allocating.
+const MAX_NAME_LEN: usize = 256;
+const MAX_META_ENTRIES: usize = 64;
+const MAX_KEY_LEN: usize = 64;
 
 /// Error for checkpoint save/load.
 #[derive(Debug)]
 pub enum CheckpointError {
     /// Underlying I/O failure.
     Io(std::io::Error),
-    /// The file is not a valid checkpoint or the version is unsupported.
+    /// The file is not a valid checkpoint, is truncated, or the version is
+    /// unsupported.
     Format(String),
     /// Parameter count/shape mismatch between file and model.
     Mismatch(String),
@@ -56,11 +77,73 @@ impl Error for CheckpointError {
 
 impl From<std::io::Error> for CheckpointError {
     fn from(e: std::io::Error) -> Self {
-        CheckpointError::Io(e)
+        // EOF mid-parse means a truncated file, which is a format problem
+        // (the file is damaged), not an environment problem.
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            CheckpointError::Format("truncated file (unexpected end of data)".into())
+        } else {
+            CheckpointError::Io(e)
+        }
     }
 }
 
-/// Saves the values of `params` (in order) to `path`.
+/// Self-description stored in a version-2 checkpoint: the model name plus
+/// the integer config knobs needed to rebuild the architecture before
+/// loading weights into it.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CheckpointMeta {
+    /// Model/architecture name (e.g. `"Ours"`, `"UNet"`).
+    pub model: String,
+    entries: Vec<(String, u32)>,
+}
+
+impl CheckpointMeta {
+    /// Creates metadata for `model` with no config entries.
+    pub fn new(model: impl Into<String>) -> Self {
+        CheckpointMeta {
+            model: model.into(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Adds (or overwrites) the config entry `key = value`.
+    pub fn set(&mut self, key: &str, value: u32) {
+        if let Some(e) = self.entries.iter_mut().find(|(k, _)| k == key) {
+            e.1 = value;
+        } else {
+            self.entries.push((key.to_owned(), value));
+        }
+    }
+
+    /// Builder-style [`CheckpointMeta::set`].
+    #[must_use]
+    pub fn with(mut self, key: &str, value: u32) -> Self {
+        self.set(key, value);
+        self
+    }
+
+    /// Looks up the config entry `key`.
+    pub fn get(&self, key: &str) -> Option<u32> {
+        self.entries.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+    }
+
+    /// All config entries in insertion order.
+    pub fn entries(&self) -> &[(String, u32)] {
+        &self.entries
+    }
+}
+
+/// A fully parsed checkpoint file.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Metadata section; `None` for version-1 files.
+    pub meta: Option<CheckpointMeta>,
+    /// All weight tensors in save order.
+    pub tensors: Vec<Tensor>,
+}
+
+/// Saves the values of `params` (in order) to `path` as a version-1 file
+/// (no metadata). Prefer [`save_checkpoint`] for new files.
 ///
 /// # Errors
 ///
@@ -72,7 +155,54 @@ pub fn save_params(
 ) -> Result<(), CheckpointError> {
     let mut w = BufWriter::new(File::create(path)?);
     w.write_all(MAGIC)?;
-    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&VERSION_V1.to_le_bytes())?;
+    write_tensors(&mut w, g, params)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Saves `params` plus self-describing `meta` to `path` as a version-2
+/// file.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Io`] on filesystem failures and
+/// [`CheckpointError::Format`] if `meta` exceeds the format's name/entry
+/// limits.
+pub fn save_checkpoint(
+    g: &Graph,
+    params: &[Var],
+    meta: &CheckpointMeta,
+    path: impl AsRef<Path>,
+) -> Result<(), CheckpointError> {
+    if meta.model.len() > MAX_NAME_LEN {
+        return Err(CheckpointError::Format("model name too long".into()));
+    }
+    if meta.entries.len() > MAX_META_ENTRIES {
+        return Err(CheckpointError::Format("too many meta entries".into()));
+    }
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION_V2.to_le_bytes())?;
+    w.write_all(&(meta.model.len() as u32).to_le_bytes())?;
+    w.write_all(meta.model.as_bytes())?;
+    w.write_all(&(meta.entries.len() as u32).to_le_bytes())?;
+    for (key, value) in &meta.entries {
+        if key.len() > MAX_KEY_LEN {
+            return Err(CheckpointError::Format(format!(
+                "meta key {key:?} too long"
+            )));
+        }
+        w.write_all(&(key.len() as u32).to_le_bytes())?;
+        w.write_all(key.as_bytes())?;
+        w.write_all(&value.to_le_bytes())?;
+    }
+    write_tensors(&mut w, g, params)?;
+    w.flush()?;
+    Ok(())
+}
+
+fn write_tensors(w: &mut impl Write, g: &Graph, params: &[Var]) -> Result<(), CheckpointError> {
     w.write_all(&(params.len() as u32).to_le_bytes())?;
     for &p in params {
         let t = g.value(p);
@@ -84,22 +214,37 @@ pub fn save_params(
             w.write_all(&v.to_le_bytes())?;
         }
     }
-    w.flush()?;
     Ok(())
 }
 
 /// Loads tensors from `path` into `params` (in order), validating shapes.
+/// Accepts both version-1 and version-2 files (metadata is ignored here;
+/// use [`read_checkpoint`] to also recover it).
 ///
 /// # Errors
 ///
 /// Returns an error if the file is malformed or any shape disagrees with
-/// the corresponding parameter.
+/// the corresponding parameter; `params` are untouched on error.
 pub fn load_params(
     g: &mut Graph,
     params: &[Var],
     path: impl AsRef<Path>,
 ) -> Result<(), CheckpointError> {
     let tensors = read_tensors(path)?;
+    assign_params(g, params, tensors)
+}
+
+/// Writes `tensors` into `params` (in order), validating count and shapes
+/// before any assignment, so a mismatch leaves the model untouched.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Mismatch`] on any count/shape disagreement.
+pub fn assign_params(
+    g: &mut Graph,
+    params: &[Var],
+    tensors: Vec<Tensor>,
+) -> Result<(), CheckpointError> {
     if tensors.len() != params.len() {
         return Err(CheckpointError::Mismatch(format!(
             "file has {} tensors, model has {} parameters",
@@ -122,33 +267,47 @@ pub fn load_params(
     Ok(())
 }
 
-/// Reads the raw tensors of a checkpoint.
+/// Reads the raw tensors of a checkpoint (either version).
 ///
 /// # Errors
 ///
 /// Returns an error if the file is malformed.
 pub fn read_tensors(path: impl AsRef<Path>) -> Result<Vec<Tensor>, CheckpointError> {
+    Ok(read_checkpoint(path)?.tensors)
+}
+
+/// Reads only the metadata of a checkpoint; `None` for version-1 files.
+///
+/// # Errors
+///
+/// Returns an error if the header is malformed. Tensor data past the
+/// header is not parsed (and so not validated) by this function.
+pub fn read_meta(path: impl AsRef<Path>) -> Result<Option<CheckpointMeta>, CheckpointError> {
     let mut r = BufReader::new(File::open(path)?);
-    let mut magic = [0u8; 4];
-    r.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(CheckpointError::Format("bad magic".into()));
-    }
-    let version = read_u32(&mut r)?;
-    if version != VERSION {
-        return Err(CheckpointError::Format(format!(
-            "unsupported version {version}"
-        )));
-    }
+    read_header(&mut r)
+}
+
+/// Parses a full checkpoint file (metadata + tensors).
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Format`] for bad magic, unsupported
+/// versions, implausible section sizes, or truncation, and
+/// [`CheckpointError::Io`] for filesystem failures.
+pub fn read_checkpoint(path: impl AsRef<Path>) -> Result<Checkpoint, CheckpointError> {
+    let mut r = BufReader::new(File::open(path)?);
+    let meta = read_header(&mut r)?;
     let count = read_u32(&mut r)? as usize;
     if count > 1_000_000 {
         return Err(CheckpointError::Format("implausible tensor count".into()));
     }
     let mut tensors = Vec::with_capacity(count);
-    for _ in 0..count {
+    for i in 0..count {
         let rank = read_u32(&mut r)? as usize;
         if rank > 8 {
-            return Err(CheckpointError::Format("implausible rank".into()));
+            return Err(CheckpointError::Format(format!(
+                "implausible rank for tensor {i}"
+            )));
         }
         let mut shape = Vec::with_capacity(rank);
         for _ in 0..rank {
@@ -156,7 +315,9 @@ pub fn read_tensors(path: impl AsRef<Path>) -> Result<Vec<Tensor>, CheckpointErr
         }
         let numel: usize = shape.iter().product();
         if numel > 256 << 20 {
-            return Err(CheckpointError::Format("implausible tensor size".into()));
+            return Err(CheckpointError::Format(format!(
+                "implausible size for tensor {i}"
+            )));
         }
         let mut data = vec![0.0f32; numel];
         for v in &mut data {
@@ -168,7 +329,56 @@ pub fn read_tensors(path: impl AsRef<Path>) -> Result<Vec<Tensor>, CheckpointErr
             Tensor::from_vec(shape, data).map_err(|e| CheckpointError::Format(e.to_string()))?,
         );
     }
-    Ok(tensors)
+    // Trailing garbage means the writer and reader disagree on the layout;
+    // reject rather than silently ignore.
+    let mut probe = [0u8; 1];
+    match r.read(&mut probe)? {
+        0 => Ok(Checkpoint { meta, tensors }),
+        _ => Err(CheckpointError::Format(
+            "trailing bytes after last tensor".into(),
+        )),
+    }
+}
+
+/// Parses magic, version and (for v2) the metadata section.
+fn read_header(r: &mut impl Read) -> Result<Option<CheckpointMeta>, CheckpointError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(CheckpointError::Format("bad magic".into()));
+    }
+    match read_u32(r)? {
+        VERSION_V1 => Ok(None),
+        VERSION_V2 => {
+            let model = read_string(r, MAX_NAME_LEN, "model name")?;
+            let n_entries = read_u32(r)? as usize;
+            if n_entries > MAX_META_ENTRIES {
+                return Err(CheckpointError::Format(
+                    "implausible meta entry count".into(),
+                ));
+            }
+            let mut meta = CheckpointMeta::new(model);
+            for _ in 0..n_entries {
+                let key = read_string(r, MAX_KEY_LEN, "meta key")?;
+                let value = read_u32(r)?;
+                meta.entries.push((key, value));
+            }
+            Ok(Some(meta))
+        }
+        v => Err(CheckpointError::Format(format!("unsupported version {v}"))),
+    }
+}
+
+fn read_string(r: &mut impl Read, max_len: usize, what: &str) -> Result<String, CheckpointError> {
+    let len = read_u32(r)? as usize;
+    if len > max_len {
+        return Err(CheckpointError::Format(format!(
+            "implausible {what} length"
+        )));
+    }
+    let mut bytes = vec![0u8; len];
+    r.read_exact(&mut bytes)?;
+    String::from_utf8(bytes).map_err(|_| CheckpointError::Format(format!("{what} is not utf-8")))
 }
 
 fn read_u32(r: &mut impl Read) -> Result<u32, CheckpointError> {
@@ -183,11 +393,15 @@ mod tests {
     use mfaplace_rt::rng::SeedableRng;
     use mfaplace_rt::rng::StdRng;
 
-    #[test]
-    fn round_trip_preserves_values() {
+    fn temp_path(name: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join("mfaplace_ckpt_test");
         std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("roundtrip.mfaw");
+        dir.join(name)
+    }
+
+    #[test]
+    fn round_trip_preserves_values() {
+        let path = temp_path("roundtrip.mfaw");
 
         let mut g = Graph::new();
         let mut rng = StdRng::seed_from_u64(0);
@@ -207,30 +421,124 @@ mod tests {
     }
 
     #[test]
-    fn shape_mismatch_rejected() {
-        let dir = std::env::temp_dir().join("mfaplace_ckpt_test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("mismatch.mfaw");
+    fn v2_round_trip_preserves_values_and_meta() {
+        let path = temp_path("roundtrip_v2.mfaw");
+
+        let mut g = Graph::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = g.param(Tensor::randn(vec![2, 3], 1.0, &mut rng));
+        let b = g.param(Tensor::randn(vec![5], 1.0, &mut rng));
+        let before_a = g.value(a).clone();
+        let before_b = g.value(b).clone();
+        let meta = CheckpointMeta::new("Ours")
+            .with("grid", 32)
+            .with("base_channels", 4)
+            .with("vit_layers", 1);
+        save_checkpoint(&g, &[a, b], &meta, &path).unwrap();
+
+        let ckpt = read_checkpoint(&path).unwrap();
+        let got = ckpt.meta.expect("v2 file has meta");
+        assert_eq!(got, meta);
+        assert_eq!(got.get("grid"), Some(32));
+        assert_eq!(got.get("missing"), None);
+        assert_eq!(read_meta(&path).unwrap().unwrap().model, "Ours");
+
+        g.value_mut(a).fill(0.0);
+        g.value_mut(b).fill(0.0);
+        load_params(&mut g, &[a, b], &path).unwrap();
+        assert_eq!(g.value(a), &before_a);
+        assert_eq!(g.value(b), &before_b);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn meta_set_overwrites() {
+        let meta = CheckpointMeta::new("m").with("k", 1).with("k", 9);
+        assert_eq!(meta.get("k"), Some(9));
+        assert_eq!(meta.entries().len(), 1);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected_and_params_untouched() {
+        let path = temp_path("mismatch.mfaw");
 
         let mut g = Graph::new();
         let a = g.param(Tensor::zeros(vec![2, 2]));
         save_params(&g, &[a], &path).unwrap();
-        let b = g.param(Tensor::zeros(vec![3, 3]));
+        let b = g.param(Tensor::full(vec![3, 3], 5.0));
         let err = load_params(&mut g, &[b], &path).unwrap_err();
         assert!(matches!(err, CheckpointError::Mismatch(_)));
+        assert_eq!(g.value(b), &Tensor::full(vec![3, 3], 5.0));
         std::fs::remove_file(path).ok();
     }
 
     #[test]
     fn garbage_file_rejected() {
-        let dir = std::env::temp_dir().join("mfaplace_ckpt_test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("garbage.mfaw");
+        let path = temp_path("garbage.mfaw");
         std::fs::write(&path, b"not a checkpoint at all").unwrap();
         assert!(matches!(
             read_tensors(&path),
             Err(CheckpointError::Format(_))
         ));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn truncation_at_every_byte_rejected() {
+        // Any strict prefix of a valid file — which in particular covers
+        // every section boundary (inside magic/version, mid-meta, between
+        // tensors, mid-tensor-data) — must fail with a clear Format error,
+        // never succeed partially.
+        let path = temp_path("trunc_src.mfaw");
+        let mut g = Graph::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = g.param(Tensor::randn(vec![2, 2], 1.0, &mut rng));
+        let b = g.param(Tensor::randn(vec![3], 1.0, &mut rng));
+        let meta = CheckpointMeta::new("UNet").with("base_channels", 4);
+        save_checkpoint(&g, &[a, b], &meta, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        let trunc = temp_path("trunc.mfaw");
+        for len in 0..bytes.len() {
+            std::fs::write(&trunc, &bytes[..len]).unwrap();
+            let err = read_checkpoint(&trunc)
+                .map(|_| ())
+                .expect_err(&format!("prefix of {len} bytes must be rejected"));
+            assert!(
+                matches!(err, CheckpointError::Format(_)),
+                "prefix of {len} bytes: expected Format error, got {err:?}"
+            );
+        }
+        std::fs::remove_file(&trunc).ok();
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let path = temp_path("trailing.mfaw");
+        let mut g = Graph::new();
+        let a = g.param(Tensor::zeros(vec![2]));
+        save_params(&g, &[a], &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.push(0xAB);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_checkpoint(&path),
+            Err(CheckpointError::Format(_))
+        ));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn unsupported_version_rejected() {
+        let path = temp_path("future.mfaw");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&99u32.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let err = read_checkpoint(&path).unwrap_err();
+        assert!(err.to_string().contains("unsupported version 99"), "{err}");
         std::fs::remove_file(path).ok();
     }
 }

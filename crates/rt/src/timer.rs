@@ -15,12 +15,18 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
-#[derive(Clone, Copy, Default)]
-struct Stat {
-    calls: u64,
-    total: Duration,
-    max: Duration,
+/// Aggregated timing statistics of one scope label.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TimerStat {
+    /// Completed invocations recorded.
+    pub calls: u64,
+    /// Summed wall time across all invocations.
+    pub total: Duration,
+    /// Longest single invocation.
+    pub max: Duration,
 }
+
+type Stat = TimerStat;
 
 struct Registry {
     timers: Mutex<BTreeMap<String, Stat>>,
@@ -113,6 +119,34 @@ impl Drop for ScopeTimer {
     }
 }
 
+/// A point-in-time copy of every recorded timer and counter.
+///
+/// This is the machine-readable export surface: callers that render their
+/// own reports (e.g. the serve subsystem's `/metrics` endpoint) take a
+/// snapshot instead of parsing [`report`]'s text table.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// Timer stats keyed by scope label, in label order.
+    pub timers: BTreeMap<String, TimerStat>,
+    /// Counter values keyed by counter name, in name order.
+    pub counters: BTreeMap<String, u64>,
+}
+
+/// Returns a consistent copy of the current timer and counter registries.
+pub fn snapshot() -> Snapshot {
+    let timers = registry()
+        .timers
+        .lock()
+        .expect("timer registry poisoned")
+        .clone();
+    let counters = registry()
+        .counters
+        .lock()
+        .expect("counter registry poisoned")
+        .clone();
+    Snapshot { timers, counters }
+}
+
 /// Per-run report as an aligned text table, timers then counters.
 pub fn report() -> String {
     let timers = registry().timers.lock().expect("timer registry poisoned");
@@ -195,8 +229,16 @@ pub(crate) fn escape(s: &str) -> String {
 mod tests {
     use super::*;
 
+    /// Tests below mutate the process-global registry (including `reset`),
+    /// so they must not interleave.
+    fn registry_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     #[test]
     fn scope_timer_records_calls() {
+        let _guard = registry_lock();
         reset();
         for _ in 0..3 {
             let _t = ScopeTimer::new("test/scope");
@@ -211,6 +253,25 @@ mod tests {
         assert!(json.contains("\"test/events\":7"), "{json}");
         reset();
         assert!(!report().contains("test/scope"));
+    }
+
+    #[test]
+    fn snapshot_copies_registries() {
+        let _guard = registry_lock();
+        reset();
+        record("snap/scope", Duration::from_micros(250));
+        record("snap/scope", Duration::from_micros(750));
+        count("snap/events", 3);
+        let snap = snapshot();
+        let stat = snap.timers.get("snap/scope").expect("timer present");
+        assert_eq!(stat.calls, 2);
+        assert_eq!(stat.total, Duration::from_micros(1000));
+        assert_eq!(stat.max, Duration::from_micros(750));
+        assert_eq!(snap.counters.get("snap/events"), Some(&3));
+        // The snapshot is a copy: later mutation must not affect it.
+        count("snap/events", 10);
+        assert_eq!(snap.counters.get("snap/events"), Some(&3));
+        reset();
     }
 
     #[test]

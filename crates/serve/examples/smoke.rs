@@ -1,0 +1,104 @@
+//! CI smoke test: boot a real server on an ephemeral port, drive it over
+//! raw TCP (no client helpers on the hot path), and verify prediction,
+//! metrics and graceful shutdown. Exits non-zero on any failure.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use mfaplace_core::loader::{init_checkpoint, LoadOptions};
+use mfaplace_models::{Arch, ArchSpec};
+use mfaplace_serve::{protocol, serve, Metrics, ModelSlot, ServeConfig};
+use mfaplace_tensor::Tensor;
+
+fn raw_request(addr: &str, head: &str, body: &[u8]) -> (u16, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(head.as_bytes()).expect("send head");
+    stream.write_all(body).expect("send body");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("receive");
+    let header_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("header/body separator");
+    let status: u16 = std::str::from_utf8(&raw[..header_end])
+        .expect("utf8 head")
+        .split(' ')
+        .nth(1)
+        .expect("status token")
+        .parse()
+        .expect("numeric status");
+    (status, raw[header_end + 4..].to_vec())
+}
+
+fn main() {
+    const GRID: usize = 16;
+    let ckpt = std::env::temp_dir()
+        .join("mfaplace_serve_smoke.mfaw")
+        .to_string_lossy()
+        .into_owned();
+    let mut spec = ArchSpec::new(Arch::UNet, GRID);
+    spec.base_channels = 2;
+    init_checkpoint(&spec, 42, &ckpt).expect("init checkpoint");
+
+    let metrics = Arc::new(Metrics::new());
+    let slot = ModelSlot::load(&ckpt, LoadOptions::default(), metrics.clone()).expect("load");
+    let server = serve(
+        slot,
+        metrics,
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.addr().to_string();
+    println!("smoke: serving {} on {addr}", spec.arch.model_name());
+
+    // POST /predict with a real feature stack.
+    let features = Tensor::from_fn(vec![6, GRID, GRID], |i| (i as f32 * 0.01).cos());
+    let body = protocol::encode_features(&features);
+    let head = format!(
+        "POST /predict HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    let (status, resp_body) = raw_request(&addr, &head, &body);
+    assert_eq!(status, 200, "POST /predict must return 200");
+    let levels = protocol::decode_levels(&resp_body).expect("decode levels");
+    assert_eq!(levels.shape(), &[GRID, GRID]);
+    assert!(
+        levels.data().iter().all(|v| v.is_finite()),
+        "levels must be finite"
+    );
+    println!("smoke: POST /predict -> 200, {}x{} level map", GRID, GRID);
+
+    // GET /metrics reflects the request.
+    let head = format!(
+        "GET /metrics HTTP/1.1\r\nhost: {addr}\r\ncontent-length: 0\r\nconnection: close\r\n\r\n"
+    );
+    let (status, resp_body) = raw_request(&addr, &head, b"");
+    assert_eq!(status, 200, "GET /metrics must return 200");
+    let text = String::from_utf8(resp_body).expect("utf8 metrics");
+    for family in [
+        "mfaplace_requests_total{endpoint=\"/predict\",status=\"200\"} 1",
+        "mfaplace_batch_size_count 1",
+        "mfaplace_model_version 1",
+    ] {
+        assert!(text.contains(family), "metrics missing {family:?}:\n{text}");
+    }
+    println!("smoke: GET /metrics -> 200 with expected families");
+
+    // Graceful shutdown over the API.
+    let head = format!(
+        "POST /admin/shutdown HTTP/1.1\r\nhost: {addr}\r\ncontent-length: 0\r\nconnection: close\r\n\r\n"
+    );
+    let (status, _) = raw_request(&addr, &head, b"");
+    assert_eq!(status, 200, "POST /admin/shutdown must return 200");
+    server.join();
+    assert!(
+        TcpStream::connect(&addr).is_err(),
+        "port must be closed after shutdown"
+    );
+    std::fs::remove_file(&ckpt).ok();
+    println!("smoke: graceful shutdown OK");
+}

@@ -1,0 +1,516 @@
+//! The dynamic micro-batcher and the hot-swappable model slot.
+//!
+//! Requests enter a bounded queue ([`Batcher::submit`]); a dedicated
+//! worker thread coalesces up to `max_batch` of them within a
+//! `batch_window` and runs **one** `[N, C, H, W]` forward per batch
+//! through the [`ModelSlot`]. Because the batched kernels are bitwise
+//! identical per sample to single-item inference (asserted by
+//! `mfaplace-core`'s predictor tests), coalescing never changes a
+//! response — it only amortizes per-forward overhead across concurrent
+//! requests.
+//!
+//! Robustness properties:
+//!
+//! - **Backpressure** — `submit` fails fast with [`SubmitError::QueueFull`]
+//!   once `queue_bound` requests are waiting (the server maps this to 429).
+//! - **Deadlines** — each job carries an absolute deadline; jobs that
+//!   expire while queued are answered with [`JobError::DeadlineExceeded`]
+//!   instead of occupying batch slots (mapped to 504).
+//! - **Graceful drain** — [`Batcher::shutdown`] stops new submissions
+//!   ([`SubmitError::Draining`], mapped to 503) while the worker finishes
+//!   everything already queued before exiting.
+//! - **Hot reload** — [`ModelSlot::reload`] builds and validates the new
+//!   checkpoint completely before atomically swapping it in, so a bad
+//!   file can never take down or corrupt the serving model.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use mfaplace_core::loader::{load_predictor, LoadOptions};
+use mfaplace_core::predictor::ModelPredictor;
+use mfaplace_models::{AnyModel, ArchSpec};
+use mfaplace_rt::timer::ScopeTimer;
+use mfaplace_tensor::Tensor;
+
+use crate::metrics::Metrics;
+
+/// Batching and queueing knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchConfig {
+    /// Largest number of requests fused into one forward.
+    pub max_batch: usize,
+    /// How long the worker waits for more requests after the first one
+    /// arrives before running a partial batch.
+    pub batch_window: Duration,
+    /// Bound on queued (not yet running) requests; submissions beyond it
+    /// are rejected.
+    pub queue_bound: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            max_batch: 8,
+            batch_window: Duration::from_millis(2),
+            queue_bound: 64,
+        }
+    }
+}
+
+impl BatchConfig {
+    /// Applies the `MFAPLACE_MAX_BATCH`, `MFAPLACE_BATCH_WINDOW_MS` and
+    /// `MFAPLACE_QUEUE_BOUND` environment overrides to `self`.
+    #[must_use]
+    pub fn with_env_overrides(mut self) -> Self {
+        if let Some(n) = env_usize("MFAPLACE_MAX_BATCH") {
+            self.max_batch = n.max(1);
+        }
+        if let Some(ms) = env_usize("MFAPLACE_BATCH_WINDOW_MS") {
+            self.batch_window = Duration::from_millis(ms as u64);
+        }
+        if let Some(n) = env_usize("MFAPLACE_QUEUE_BOUND") {
+            self.queue_bound = n.max(1);
+        }
+        self
+    }
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is full — retry later (429).
+    QueueFull,
+    /// The service is draining for shutdown (503).
+    Draining,
+}
+
+/// Why an accepted job failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The job's deadline passed before a batch picked it up (504).
+    DeadlineExceeded,
+    /// The model forward failed (500).
+    ModelError(String),
+}
+
+struct Job {
+    input: Tensor,
+    deadline: Instant,
+    tx: mpsc::Sender<Result<Tensor, JobError>>,
+}
+
+#[derive(Default)]
+struct QueueState {
+    jobs: VecDeque<Job>,
+    draining: bool,
+}
+
+/// The bounded request queue plus its coalescing policy.
+pub struct Batcher {
+    state: Mutex<QueueState>,
+    cv: Condvar,
+    cfg: BatchConfig,
+    metrics: Arc<Metrics>,
+}
+
+impl Batcher {
+    /// Creates an empty batcher.
+    pub fn new(cfg: BatchConfig, metrics: Arc<Metrics>) -> Self {
+        Batcher {
+            state: Mutex::new(QueueState::default()),
+            cv: Condvar::new(),
+            cfg,
+            metrics,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &BatchConfig {
+        &self.cfg
+    }
+
+    fn lock(&self) -> MutexGuard<'_, QueueState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Enqueues one `[C, H, W]` feature stack for prediction. On success
+    /// the returned receiver yields the `[H, W]` level map (or a
+    /// [`JobError`]) once a batch containing the job has run.
+    ///
+    /// # Errors
+    ///
+    /// Fails fast when the queue is at its bound or the batcher is
+    /// draining.
+    pub fn submit(
+        &self,
+        input: Tensor,
+        deadline: Instant,
+    ) -> Result<mpsc::Receiver<Result<Tensor, JobError>>, SubmitError> {
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut state = self.lock();
+            if state.draining {
+                return Err(SubmitError::Draining);
+            }
+            if state.jobs.len() >= self.cfg.queue_bound {
+                self.metrics.record_queue_rejection();
+                return Err(SubmitError::QueueFull);
+            }
+            state.jobs.push_back(Job {
+                input,
+                deadline,
+                tx,
+            });
+            self.metrics.set_queue_depth(state.jobs.len());
+        }
+        self.cv.notify_all();
+        Ok(rx)
+    }
+
+    /// Stops accepting new jobs and wakes the worker so it can finish the
+    /// queue and exit.
+    pub fn shutdown(&self) {
+        self.lock().draining = true;
+        self.cv.notify_all();
+    }
+
+    /// Collects the next batch, honoring the batching window, or returns
+    /// `None` when draining and empty (worker should exit).
+    fn next_batch(&self) -> Option<Vec<Job>> {
+        let mut state = self.lock();
+        loop {
+            if !state.jobs.is_empty() {
+                break;
+            }
+            if state.draining {
+                return None;
+            }
+            state = self.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+        // First job seen: hold the batch open for the window (or until
+        // full / draining) to give concurrent requests a chance to fuse.
+        let window_ends = Instant::now() + self.cfg.batch_window;
+        while state.jobs.len() < self.cfg.max_batch && !state.draining {
+            let now = Instant::now();
+            if now >= window_ends {
+                break;
+            }
+            let (next, timeout) = self
+                .cv
+                .wait_timeout(state, window_ends - now)
+                .unwrap_or_else(|e| e.into_inner());
+            state = next;
+            if timeout.timed_out() {
+                break;
+            }
+        }
+        let take = state.jobs.len().min(self.cfg.max_batch);
+        let batch: Vec<Job> = state.jobs.drain(..take).collect();
+        self.metrics.set_queue_depth(state.jobs.len());
+        Some(batch)
+    }
+
+    /// Runs the batching loop until [`Batcher::shutdown`] is called and
+    /// the queue is drained. Call from a dedicated thread.
+    pub fn run_worker(&self, slot: &ModelSlot) {
+        while let Some(batch) = self.next_batch() {
+            let now = Instant::now();
+            let (live, expired): (Vec<Job>, Vec<Job>) =
+                batch.into_iter().partition(|j| j.deadline > now);
+            for job in expired {
+                self.metrics.record_deadline_miss();
+                // Receiver may have given up; ignore send failures.
+                let _ = job.tx.send(Err(JobError::DeadlineExceeded));
+            }
+            if live.is_empty() {
+                continue;
+            }
+            let inputs: Vec<Tensor> = live.iter().map(|j| j.input.clone()).collect();
+            self.metrics.record_batch(inputs.len());
+            let outputs = slot.predict_batch(&inputs);
+            match outputs {
+                Ok(levels) => {
+                    for (job, level) in live.into_iter().zip(levels) {
+                        let _ = job.tx.send(Ok(level));
+                    }
+                }
+                Err(msg) => {
+                    for job in live {
+                        let _ = job.tx.send(Err(JobError::ModelError(msg.clone())));
+                    }
+                }
+            }
+        }
+    }
+}
+
+struct LoadedModel {
+    predictor: ModelPredictor<AnyModel>,
+    spec: ArchSpec,
+    version: u64,
+}
+
+/// The currently served model behind an atomic-swap lock.
+pub struct ModelSlot {
+    inner: Mutex<LoadedModel>,
+    metrics: Arc<Metrics>,
+}
+
+impl ModelSlot {
+    /// Loads the initial model from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable error when the checkpoint cannot be
+    /// loaded.
+    pub fn load(path: &str, opts: LoadOptions, metrics: Arc<Metrics>) -> Result<Self, String> {
+        let (spec, predictor) = load_predictor(path, opts)?;
+        metrics.set_model(spec.arch.model_name(), 1);
+        Ok(ModelSlot {
+            inner: Mutex::new(LoadedModel {
+                predictor,
+                spec,
+                version: 1,
+            }),
+            metrics,
+        })
+    }
+
+    /// Wraps an already-built predictor (tests, in-process serving).
+    pub fn from_predictor(
+        spec: ArchSpec,
+        predictor: ModelPredictor<AnyModel>,
+        metrics: Arc<Metrics>,
+    ) -> Self {
+        metrics.set_model(spec.arch.model_name(), 1);
+        ModelSlot {
+            inner: Mutex::new(LoadedModel {
+                predictor,
+                spec,
+                version: 1,
+            }),
+            metrics,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, LoadedModel> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The served architecture spec (grid size is what inputs must match).
+    pub fn spec(&self) -> ArchSpec {
+        self.lock().spec
+    }
+
+    /// Monotonic version, bumped by every successful [`ModelSlot::reload`].
+    pub fn version(&self) -> u64 {
+        self.lock().version
+    }
+
+    /// Runs one batched forward. Panics inside the model are caught and
+    /// reported as errors so a bad batch cannot kill the worker thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns the panic/validation message on failure.
+    pub fn predict_batch(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>, String> {
+        let _t = ScopeTimer::new("serve/forward");
+        let mut model = self.lock();
+        let spec = model.spec;
+        for x in inputs {
+            if x.shape() != [6, spec.grid, spec.grid] {
+                return Err(format!(
+                    "input shape {:?} does not match served model grid {}",
+                    x.shape(),
+                    spec.grid
+                ));
+            }
+        }
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            model.predictor.predict_batch_tensors(inputs)
+        }));
+        result.map_err(|payload| {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "model forward panicked".into());
+            format!("model forward failed: {msg}")
+        })
+    }
+
+    /// Validates the checkpoint at `path` and atomically swaps it in.
+    /// In-flight batches finish on the old model; the swap waits for them.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable error (and leaves the old model serving)
+    /// when the new checkpoint cannot be loaded or its grid differs from
+    /// the served one.
+    pub fn reload(&self, path: &str, opts: LoadOptions) -> Result<(u64, ArchSpec), String> {
+        // Build and validate entirely before taking the lock: a corrupt
+        // file must never interrupt serving.
+        let (spec, predictor) = load_predictor(path, opts)?;
+        let current_grid = self.spec().grid;
+        if spec.grid != current_grid {
+            return Err(format!(
+                "new checkpoint grid {} differs from served grid {current_grid}; \
+                 restart the server to change grids",
+                spec.grid
+            ));
+        }
+        let mut slot = self.lock();
+        slot.predictor = predictor;
+        slot.spec = spec;
+        slot.version += 1;
+        let version = slot.version;
+        self.metrics.set_model(spec.arch.model_name(), version);
+        Ok((version, spec))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfaplace_core::loader::init_checkpoint;
+    use mfaplace_models::Arch;
+
+    fn temp_path(name: &str) -> String {
+        let dir = std::env::temp_dir().join("mfaplace_batcher_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    fn tiny_spec() -> ArchSpec {
+        let mut spec = ArchSpec::new(Arch::UNet, 16);
+        spec.base_channels = 2;
+        spec
+    }
+
+    fn tiny_slot(metrics: Arc<Metrics>) -> ModelSlot {
+        let path = temp_path("tiny_unet.mfaw");
+        init_checkpoint(&tiny_spec(), 1, &path).unwrap();
+        ModelSlot::load(&path, LoadOptions::default(), metrics).unwrap()
+    }
+
+    fn input(seed: f32) -> Tensor {
+        Tensor::from_fn(vec![6, 16, 16], |i| ((i as f32) * 0.01 + seed).sin())
+    }
+
+    #[test]
+    fn worker_answers_jobs_and_drains_on_shutdown() {
+        let metrics = Arc::new(Metrics::new());
+        let slot = tiny_slot(metrics.clone());
+        let batcher = Arc::new(Batcher::new(
+            BatchConfig {
+                max_batch: 4,
+                batch_window: Duration::from_millis(5),
+                queue_bound: 16,
+            },
+            metrics,
+        ));
+
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let rxs: Vec<_> = (0..6)
+            .map(|i| batcher.submit(input(i as f32), deadline).unwrap())
+            .collect();
+        let worker = {
+            let batcher = batcher.clone();
+            std::thread::spawn(move || batcher.run_worker(&slot))
+        };
+        for rx in rxs {
+            let level = rx.recv_timeout(Duration::from_secs(30)).unwrap().unwrap();
+            assert_eq!(level.shape(), &[16, 16]);
+        }
+        batcher.shutdown();
+        worker.join().unwrap();
+        assert_eq!(
+            batcher.submit(input(0.0), deadline).err(),
+            Some(SubmitError::Draining)
+        );
+    }
+
+    #[test]
+    fn queue_bound_rejects_excess_submissions() {
+        let metrics = Arc::new(Metrics::new());
+        let batcher = Batcher::new(
+            BatchConfig {
+                max_batch: 4,
+                batch_window: Duration::from_millis(1),
+                queue_bound: 2,
+            },
+            metrics,
+        );
+        // No worker running: the queue fills and stays full.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        assert!(batcher.submit(input(0.0), deadline).is_ok());
+        assert!(batcher.submit(input(1.0), deadline).is_ok());
+        assert_eq!(
+            batcher.submit(input(2.0), deadline).err(),
+            Some(SubmitError::QueueFull)
+        );
+    }
+
+    #[test]
+    fn expired_jobs_get_deadline_errors() {
+        let metrics = Arc::new(Metrics::new());
+        let slot = tiny_slot(metrics.clone());
+        let batcher = Arc::new(Batcher::new(BatchConfig::default(), metrics));
+        let rx = batcher
+            .submit(input(0.0), Instant::now() - Duration::from_millis(1))
+            .unwrap();
+        let worker = {
+            let batcher = batcher.clone();
+            std::thread::spawn(move || batcher.run_worker(&slot))
+        };
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(30)).unwrap(),
+            Err(JobError::DeadlineExceeded)
+        );
+        batcher.shutdown();
+        worker.join().unwrap();
+    }
+
+    #[test]
+    fn wrong_input_shape_is_a_model_error_not_a_crash() {
+        let metrics = Arc::new(Metrics::new());
+        let slot = tiny_slot(metrics);
+        let bad = Tensor::zeros(vec![6, 32, 32]);
+        let err = slot.predict_batch(std::slice::from_ref(&bad)).unwrap_err();
+        assert!(err.contains("grid"), "{err}");
+    }
+
+    #[test]
+    fn reload_swaps_weights_and_bumps_version() {
+        let metrics = Arc::new(Metrics::new());
+        let slot = tiny_slot(metrics);
+        let x = input(3.0);
+        let before = slot.predict_batch(std::slice::from_ref(&x)).unwrap();
+
+        let other = temp_path("tiny_unet_v2.mfaw");
+        init_checkpoint(&tiny_spec(), 999, &other).unwrap();
+        let (version, spec) = slot.reload(&other, LoadOptions::default()).unwrap();
+        assert_eq!(version, 2);
+        assert_eq!(spec.arch, Arch::UNet);
+        let after = slot.predict_batch(std::slice::from_ref(&x)).unwrap();
+        assert_ne!(
+            before[0].data(),
+            after[0].data(),
+            "different weights must change predictions"
+        );
+
+        // A corrupt file must be rejected and leave the slot serving.
+        let corrupt = temp_path("corrupt.mfaw");
+        std::fs::write(&corrupt, b"MFAWgarbage").unwrap();
+        assert!(slot.reload(&corrupt, LoadOptions::default()).is_err());
+        assert_eq!(slot.version(), 2);
+        let still = slot.predict_batch(std::slice::from_ref(&x)).unwrap();
+        assert_eq!(after[0].data(), still[0].data());
+    }
+}

@@ -1,0 +1,154 @@
+//! A tiny blocking HTTP client for the service, used by the CLI
+//! `predict` subcommand, the smoke example and the end-to-end tests.
+//! Like the server it speaks one-request-per-connection HTTP/1.1 over
+//! plain `std::net`.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use mfaplace_tensor::Tensor;
+
+use crate::protocol;
+
+/// A raw HTTP exchange result.
+#[derive(Debug)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// Body as (lossy) text — for error messages and `/metrics`.
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Performs one request against `addr` (e.g. `127.0.0.1:8953`).
+///
+/// # Errors
+///
+/// Returns a human-readable error on connection failure or a malformed
+/// response.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> Result<ClientResponse, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: close\r\n",
+        body.len()
+    );
+    for (k, v) in headers {
+        head.push_str(&format!("{k}: {v}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body))
+        .map_err(|e| format!("send {addr}: {e}"))?;
+
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| format!("receive {addr}: {e}"))?;
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &[u8]) -> Result<ClientResponse, String> {
+    let header_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or("response has no header/body separator")?;
+    let head = std::str::from_utf8(&raw[..header_end])
+        .map_err(|_| "non-utf8 response headers".to_owned())?;
+    let status_line = head.lines().next().ok_or("empty response")?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line {status_line:?}"))?;
+    Ok(ClientResponse {
+        status,
+        body: raw[header_end + 4..].to_vec(),
+    })
+}
+
+/// Sends a pre-featurized `[6, H, W]` stack to `POST /predict` and decodes
+/// the `[H, W]` level map.
+///
+/// # Errors
+///
+/// Returns the transport error, or the server's error body on a non-200
+/// status.
+pub fn predict_features(addr: &str, features: &Tensor) -> Result<Tensor, String> {
+    let resp = request(
+        addr,
+        "POST",
+        "/predict",
+        &[("content-type", "application/octet-stream")],
+        &protocol::encode_features(features),
+    )?;
+    if resp.status != 200 {
+        return Err(format!(
+            "server returned {}: {}",
+            resp.status,
+            resp.text().trim()
+        ));
+    }
+    protocol::decode_levels(&resp.body)
+}
+
+/// Sends textual design + placement to `POST /predict/design` and decodes
+/// the `[H, W]` level map.
+///
+/// # Errors
+///
+/// Returns the transport error, or the server's error body on a non-200
+/// status.
+pub fn predict_design(
+    addr: &str,
+    design_text: &str,
+    placement_text: &str,
+) -> Result<Tensor, String> {
+    let body = protocol::encode_design_request(design_text, placement_text);
+    let resp = request(
+        addr,
+        "POST",
+        "/predict/design",
+        &[("content-type", "text/plain")],
+        body.as_bytes(),
+    )?;
+    if resp.status != 200 {
+        return Err(format!(
+            "server returned {}: {}",
+            resp.status,
+            resp.text().trim()
+        ));
+    }
+    protocol::decode_levels(&resp.body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_response_with_body() {
+        let raw = b"HTTP/1.1 429 Too Many Requests\r\ncontent-length: 5\r\n\r\nfull\n";
+        let resp = parse_response(raw).unwrap();
+        assert_eq!(resp.status, 429);
+        assert_eq!(resp.text(), "full\n");
+    }
+
+    #[test]
+    fn rejects_garbage_response() {
+        assert!(parse_response(b"not http").is_err());
+        assert!(parse_response(b"HTTP/1.1 abc\r\n\r\n").is_err());
+    }
+}

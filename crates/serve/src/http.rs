@@ -1,0 +1,349 @@
+//! Minimal HTTP/1.1 request parsing and response writing on `std::io`.
+//!
+//! Supports exactly what the inference service needs: one request per
+//! connection (`Connection: close` semantics), `Content-Length` bodies,
+//! and hard limits on every variable-length section so malformed or
+//! hostile input is rejected with a clear error instead of unbounded
+//! allocation. The parser operates on any [`BufRead`], so tests drive it
+//! with in-memory byte slices.
+
+use std::io::{BufRead, Write};
+
+/// Hard cap on one header line (request line included), bytes.
+pub const MAX_LINE_LEN: usize = 8 * 1024;
+/// Hard cap on the number of header lines.
+pub const MAX_HEADERS: usize = 64;
+
+/// A parse-level failure, mapped onto the HTTP status the server replies
+/// with.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Malformed request syntax (400).
+    BadRequest(String),
+    /// Body exceeds the configured limit (413).
+    TooLarge(String),
+    /// Socket-level failure (connection dropped mid-request, …).
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::BadRequest(m) => write!(f, "bad request: {m}"),
+            HttpError::TooLarge(m) => write!(f, "payload too large: {m}"),
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            HttpError::BadRequest("connection closed mid-request".into())
+        } else {
+            HttpError::Io(e)
+        }
+    }
+}
+
+/// A parsed HTTP/1.x request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, …).
+    pub method: String,
+    /// Path component of the target, query string stripped.
+    pub path: String,
+    /// Decoded `key=value` pairs of the query string, in order.
+    pub query: Vec<(String, String)>,
+    /// Header `(name, value)` pairs; names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header value for `name` (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First query parameter named `name`.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Reads and parses one request from `r`, rejecting bodies larger
+    /// than `max_body` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HttpError::BadRequest`] on any syntax violation,
+    /// [`HttpError::TooLarge`] when the declared body exceeds `max_body`,
+    /// and [`HttpError::Io`] on socket failures.
+    pub fn read_from(r: &mut impl BufRead, max_body: usize) -> Result<Request, HttpError> {
+        let line = read_line(r)?;
+        let mut parts = line.split(' ');
+        let method = parts
+            .next()
+            .filter(|m| !m.is_empty())
+            .ok_or_else(|| HttpError::BadRequest("empty request line".into()))?;
+        if !method.bytes().all(|b| b.is_ascii_uppercase()) {
+            return Err(HttpError::BadRequest(format!("bad method {method:?}")));
+        }
+        let target = parts
+            .next()
+            .ok_or_else(|| HttpError::BadRequest("missing request target".into()))?;
+        let version = parts
+            .next()
+            .ok_or_else(|| HttpError::BadRequest("missing HTTP version".into()))?;
+        if parts.next().is_some() {
+            return Err(HttpError::BadRequest("extra tokens in request line".into()));
+        }
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError::BadRequest(format!(
+                "unsupported version {version:?}"
+            )));
+        }
+        if !target.starts_with('/') {
+            return Err(HttpError::BadRequest(format!("bad target {target:?}")));
+        }
+        let (path, query) = parse_target(target);
+
+        let mut headers = Vec::new();
+        loop {
+            let line = read_line(r)?;
+            if line.is_empty() {
+                break;
+            }
+            if headers.len() >= MAX_HEADERS {
+                return Err(HttpError::BadRequest("too many headers".into()));
+            }
+            let (name, value) = line
+                .split_once(':')
+                .ok_or_else(|| HttpError::BadRequest(format!("header without colon: {line:?}")))?;
+            if name.is_empty() || name.contains(' ') {
+                return Err(HttpError::BadRequest(format!("bad header name {name:?}")));
+            }
+            headers.push((name.to_ascii_lowercase(), value.trim().to_owned()));
+        }
+
+        let mut body = Vec::new();
+        let content_length = headers
+            .iter()
+            .find(|(k, _)| k == "content-length")
+            .map(|(_, v)| v.as_str());
+        if let Some(v) = content_length {
+            let n: usize = v
+                .parse()
+                .map_err(|_| HttpError::BadRequest(format!("bad content-length {v:?}")))?;
+            if n > max_body {
+                return Err(HttpError::TooLarge(format!(
+                    "body of {n} bytes exceeds limit of {max_body}"
+                )));
+            }
+            body = vec![0u8; n];
+            r.read_exact(&mut body)?;
+        }
+        if headers
+            .iter()
+            .any(|(k, v)| k == "transfer-encoding" && !v.eq_ignore_ascii_case("identity"))
+        {
+            return Err(HttpError::BadRequest(
+                "transfer-encoding not supported".into(),
+            ));
+        }
+
+        Ok(Request {
+            method: method.to_owned(),
+            path,
+            query,
+            headers,
+            body,
+        })
+    }
+}
+
+/// Splits a request target into path and decoded query pairs.
+fn parse_target(target: &str) -> (String, Vec<(String, String)>) {
+    match target.split_once('?') {
+        None => (target.to_owned(), Vec::new()),
+        Some((path, qs)) => {
+            let query = qs
+                .split('&')
+                .filter(|kv| !kv.is_empty())
+                .map(|kv| match kv.split_once('=') {
+                    Some((k, v)) => (k.to_owned(), v.to_owned()),
+                    None => (kv.to_owned(), String::new()),
+                })
+                .collect();
+            (path.to_owned(), query)
+        }
+    }
+}
+
+/// Reads one CRLF- (or bare-LF-) terminated line, without the terminator.
+fn read_line(r: &mut impl BufRead) -> Result<String, HttpError> {
+    let mut buf = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match r.read(&mut byte)? {
+            0 => {
+                if buf.is_empty() {
+                    return Err(HttpError::BadRequest("empty request".into()));
+                }
+                return Err(HttpError::BadRequest("connection closed mid-line".into()));
+            }
+            _ => {
+                if byte[0] == b'\n' {
+                    if buf.last() == Some(&b'\r') {
+                        buf.pop();
+                    }
+                    return String::from_utf8(buf)
+                        .map_err(|_| HttpError::BadRequest("non-utf8 header line".into()));
+                }
+                if buf.len() >= MAX_LINE_LEN {
+                    return Err(HttpError::BadRequest("header line too long".into()));
+                }
+                buf.push(byte[0]);
+            }
+        }
+    }
+}
+
+/// An HTTP response under construction.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code (200, 404, …).
+    pub status: u16,
+    /// Content type header value.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// 200 with a plaintext body.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// 200 with a binary body.
+    pub fn bytes(status: u16, body: Vec<u8>) -> Self {
+        Response {
+            status,
+            content_type: "application/octet-stream",
+            body,
+        }
+    }
+
+    /// Canonical reason phrase for the status code.
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            409 => "Conflict",
+            413 => "Payload Too Large",
+            429 => "Too Many Requests",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            504 => "Gateway Timeout",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serializes the full response (headers + body) to `w`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+            self.status,
+            self.reason(),
+            self.content_type,
+            self.body.len()
+        )?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(bytes: &[u8]) -> Result<Request, HttpError> {
+        Request::read_from(&mut &bytes[..], 1 << 20)
+    }
+
+    #[test]
+    fn parses_get_with_query() {
+        let req = parse(b"GET /metrics?verbose=1&raw HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/metrics");
+        assert_eq!(req.query_param("verbose"), Some("1"));
+        assert_eq!(req.query_param("raw"), Some(""));
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = parse(b"POST /predict HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello").unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn rejects_oversized_body() {
+        let r = Request::read_from(
+            &mut &b"POST /p HTTP/1.1\r\nContent-Length: 100\r\n\r\n"[..],
+            10,
+        );
+        assert!(matches!(r, Err(HttpError::TooLarge(_))));
+    }
+
+    #[test]
+    fn rejects_bad_request_line() {
+        for bad in [
+            &b""[..],
+            b"\r\n",
+            b"GET\r\n\r\n",
+            b"GET /x\r\n\r\n",
+            b"GET /x HTTP/2.0\r\n\r\n",
+            b"get /x HTTP/1.1\r\n\r\n",
+            b"GET x HTTP/1.1\r\n\r\n",
+            b"GET /x HTTP/1.1 junk\r\n\r\n",
+        ] {
+            assert!(
+                matches!(parse(bad), Err(HttpError::BadRequest(_))),
+                "{bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn response_serializes_with_length() {
+        let mut out = Vec::new();
+        Response::text(200, "ok\n").write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("content-length: 3\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\nok\n"), "{text}");
+    }
+}

@@ -1,0 +1,44 @@
+//! `mfaplace-serve` — a zero-external-dependency inference service for
+//! the congestion-prediction models, built directly on `std::net`.
+//!
+//! # Architecture
+//!
+//! ```text
+//! client ──HTTP/1.1──▶ accept loop ──▶ handler thread (per connection)
+//!                                          │ submit [6,H,W]
+//!                                          ▼
+//!                                  bounded queue (429 when full)
+//!                                          │
+//!                                          ▼
+//!                                  micro-batch worker
+//!                            coalesce ≤ max_batch within window
+//!                                          │ one [N,6,H,W] forward
+//!                                          ▼
+//!                                  ModelSlot (hot-reloadable)
+//! ```
+//!
+//! - [`http`] — minimal HTTP/1.1 parsing/serialization with hard limits.
+//! - [`protocol`] — binary wire formats for feature stacks and level
+//!   maps, plus server-side featurization of textual design+placement.
+//! - [`batcher`] — bounded queue, dynamic micro-batcher, deadlines,
+//!   graceful drain, and the hot-swappable [`batcher::ModelSlot`].
+//! - [`metrics`] — request/batch/latency metrics rendered as plaintext
+//!   `GET /metrics`, including the process-wide `mfaplace_rt::timer`
+//!   counters.
+//! - [`server`] — the TCP front end and endpoint routing.
+//! - [`client`] — a matching blocking client for the CLI and tests.
+//!
+//! Batching never changes results: batched forwards are bitwise
+//! identical per sample to single-item inference (asserted by tests in
+//! `mfaplace-core` and in this crate).
+
+pub mod batcher;
+pub mod client;
+pub mod http;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use batcher::{BatchConfig, Batcher, JobError, ModelSlot, SubmitError};
+pub use metrics::Metrics;
+pub use server::{serve, ServeConfig, ServerHandle};

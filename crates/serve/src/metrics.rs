@@ -1,0 +1,244 @@
+//! Service observability: request counters, queue depth, a batch-size
+//! histogram and request-latency quantiles, rendered as a plaintext
+//! `GET /metrics` document in the Prometheus exposition style. The
+//! process-wide `mfaplace_rt::timer` counters and scope timers ride along
+//! under `mfaplace_rt_*` names, so kernel-level instrumentation shows up
+//! in the same scrape.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Upper bucket bounds of the batch-size histogram (last bucket is +Inf).
+pub const BATCH_BUCKETS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Number of most-recent request latencies kept for quantile estimates.
+const LATENCY_WINDOW: usize = 4096;
+
+#[derive(Default)]
+struct Inner {
+    requests_total: BTreeMap<(String, u16), u64>,
+    batch_hist: [u64; BATCH_BUCKETS.len() + 1],
+    batches_total: u64,
+    batched_items_total: u64,
+    latencies_us: Vec<u64>,
+    latency_next: usize,
+    queue_depth: u64,
+    queue_rejections: u64,
+    deadline_misses: u64,
+    model_version: u64,
+    model_name: String,
+}
+
+/// Thread-safe metrics registry shared by the server, batcher and worker.
+#[derive(Default)]
+pub struct Metrics {
+    inner: Mutex<Inner>,
+}
+
+impl Metrics {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Counts one completed request on `endpoint` with HTTP `status`.
+    pub fn record_request(&self, endpoint: &str, status: u16) {
+        let mut m = self.lock();
+        *m.requests_total
+            .entry((endpoint.to_owned(), status))
+            .or_insert(0) += 1;
+    }
+
+    /// Counts one executed batch of `size` requests.
+    pub fn record_batch(&self, size: usize) {
+        let mut m = self.lock();
+        let idx = BATCH_BUCKETS
+            .iter()
+            .position(|&b| size <= b)
+            .unwrap_or(BATCH_BUCKETS.len());
+        m.batch_hist[idx] += 1;
+        m.batches_total += 1;
+        m.batched_items_total += size as u64;
+    }
+
+    /// Records one request's end-to-end latency.
+    pub fn record_latency(&self, latency: Duration) {
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        let mut m = self.lock();
+        if m.latencies_us.len() < LATENCY_WINDOW {
+            m.latencies_us.push(us);
+        } else {
+            let at = m.latency_next % LATENCY_WINDOW;
+            m.latencies_us[at] = us;
+        }
+        m.latency_next = (m.latency_next + 1) % LATENCY_WINDOW;
+    }
+
+    /// Sets the queue-depth gauge.
+    pub fn set_queue_depth(&self, depth: usize) {
+        self.lock().queue_depth = depth as u64;
+    }
+
+    /// Counts one request rejected due to a full queue.
+    pub fn record_queue_rejection(&self) {
+        self.lock().queue_rejections += 1;
+    }
+
+    /// Counts one request dropped for missing its deadline.
+    pub fn record_deadline_miss(&self) {
+        self.lock().deadline_misses += 1;
+    }
+
+    /// Publishes the currently served model (name + hot-reload version).
+    pub fn set_model(&self, name: &str, version: u64) {
+        let mut m = self.lock();
+        m.model_name = name.to_owned();
+        m.model_version = version;
+    }
+
+    /// Renders the plaintext exposition document.
+    pub fn render(&self) -> String {
+        let m = self.lock();
+        let mut out = String::new();
+
+        out.push_str("# TYPE mfaplace_requests_total counter\n");
+        for ((endpoint, status), n) in &m.requests_total {
+            out.push_str(&format!(
+                "mfaplace_requests_total{{endpoint=\"{endpoint}\",status=\"{status}\"}} {n}\n"
+            ));
+        }
+
+        out.push_str("# TYPE mfaplace_queue_depth gauge\n");
+        out.push_str(&format!("mfaplace_queue_depth {}\n", m.queue_depth));
+        out.push_str(&format!(
+            "mfaplace_queue_rejections_total {}\n",
+            m.queue_rejections
+        ));
+        out.push_str(&format!(
+            "mfaplace_deadline_misses_total {}\n",
+            m.deadline_misses
+        ));
+
+        out.push_str("# TYPE mfaplace_batch_size histogram\n");
+        let mut cumulative = 0;
+        for (i, &bound) in BATCH_BUCKETS.iter().enumerate() {
+            cumulative += m.batch_hist[i];
+            out.push_str(&format!(
+                "mfaplace_batch_size_bucket{{le=\"{bound}\"}} {cumulative}\n"
+            ));
+        }
+        cumulative += m.batch_hist[BATCH_BUCKETS.len()];
+        out.push_str(&format!(
+            "mfaplace_batch_size_bucket{{le=\"+Inf\"}} {cumulative}\n"
+        ));
+        out.push_str(&format!("mfaplace_batch_size_count {}\n", m.batches_total));
+        out.push_str(&format!(
+            "mfaplace_batch_size_sum {}\n",
+            m.batched_items_total
+        ));
+
+        if !m.latencies_us.is_empty() {
+            let mut sorted = m.latencies_us.clone();
+            sorted.sort_unstable();
+            out.push_str("# TYPE mfaplace_request_latency_seconds summary\n");
+            for (q, label) in [(0.5, "0.5"), (0.99, "0.99")] {
+                let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+                out.push_str(&format!(
+                    "mfaplace_request_latency_seconds{{quantile=\"{label}\"}} {:.6}\n",
+                    sorted[idx] as f64 / 1e6
+                ));
+            }
+            out.push_str(&format!(
+                "mfaplace_request_latency_seconds_count {}\n",
+                sorted.len()
+            ));
+        }
+
+        out.push_str(&format!(
+            "mfaplace_model_info{{name=\"{}\"}} 1\n",
+            m.model_name
+        ));
+        out.push_str(&format!("mfaplace_model_version {}\n", m.model_version));
+        drop(m);
+
+        // Process-wide runtime counters and scope timers.
+        let snap = mfaplace_rt::timer::snapshot();
+        for (name, v) in &snap.counters {
+            out.push_str(&format!("mfaplace_rt_counter{{name=\"{name}\"}} {v}\n"));
+        }
+        for (name, stat) in &snap.timers {
+            out.push_str(&format!(
+                "mfaplace_rt_timer_calls{{scope=\"{name}\"}} {}\n",
+                stat.calls
+            ));
+            out.push_str(&format!(
+                "mfaplace_rt_timer_seconds_total{{scope=\"{name}\"}} {:.6}\n",
+                stat.total.as_secs_f64()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_all_families() {
+        let m = Metrics::new();
+        m.record_request("/predict", 200);
+        m.record_request("/predict", 200);
+        m.record_request("/metrics", 200);
+        m.record_batch(1);
+        m.record_batch(8);
+        m.record_batch(100);
+        m.record_latency(Duration::from_millis(2));
+        m.record_latency(Duration::from_millis(4));
+        m.set_queue_depth(3);
+        m.record_queue_rejection();
+        m.record_deadline_miss();
+        m.set_model("Ours", 2);
+
+        let text = m.render();
+        assert!(
+            text.contains("mfaplace_requests_total{endpoint=\"/predict\",status=\"200\"} 2"),
+            "{text}"
+        );
+        assert!(text.contains("mfaplace_queue_depth 3"), "{text}");
+        assert!(text.contains("mfaplace_queue_rejections_total 1"), "{text}");
+        assert!(text.contains("mfaplace_deadline_misses_total 1"), "{text}");
+        assert!(
+            text.contains("mfaplace_batch_size_bucket{le=\"8\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("mfaplace_batch_size_bucket{le=\"+Inf\"} 3"),
+            "{text}"
+        );
+        assert!(text.contains("mfaplace_batch_size_sum 109"), "{text}");
+        assert!(
+            text.contains("mfaplace_request_latency_seconds{quantile=\"0.5\"}"),
+            "{text}"
+        );
+        assert!(text.contains("mfaplace_model_version 2"), "{text}");
+        assert!(
+            text.contains("mfaplace_model_info{name=\"Ours\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn latency_window_wraps_without_growing() {
+        let m = Metrics::new();
+        for i in 0..(LATENCY_WINDOW + 10) {
+            m.record_latency(Duration::from_micros(i as u64));
+        }
+        assert_eq!(m.lock().latencies_us.len(), LATENCY_WINDOW);
+    }
+}

@@ -1,0 +1,232 @@
+//! Wire formats of the prediction service.
+//!
+//! Two request flavors, both answered with the same binary level map:
+//!
+//! - **Pre-featurized** (`POST /predict`): the client sends the six-channel
+//!   feature stack as little-endian binary — `u32 c, u32 h, u32 w` followed
+//!   by `c*h*w` `f32` values in channel-major order (exactly
+//!   `FeatureStack::to_tensor` layout).
+//! - **Server-side featurization** (`POST /predict/design`): the client
+//!   sends the textual design and placement (the `.nl`/`.pl` formats of
+//!   `mfaplace_fpga::io`) concatenated with a `---PLACEMENT---` separator
+//!   line; the server extracts features itself.
+//!
+//! Responses carry `u32 h, u32 w` followed by `h*w` `f32` expected
+//! congestion levels (`0..=7` scale), row-major.
+
+use mfaplace_fpga::design::Design;
+use mfaplace_fpga::features::{FeatureStack, NUM_FEATURES};
+use mfaplace_fpga::io;
+use mfaplace_fpga::placement::Placement;
+use mfaplace_tensor::Tensor;
+
+/// Separator line between the design and placement parts of a
+/// `POST /predict/design` body.
+pub const PART_SEPARATOR: &str = "---PLACEMENT---";
+
+/// Number of feature channels every request must carry (the six channels
+/// of [`FeatureStack`]).
+pub const NUM_WIRE_FEATURES: usize = NUM_FEATURES;
+
+/// Largest accepted grid side, matching the paper's full-scale 256 grid
+/// with headroom.
+pub const MAX_GRID: usize = 1024;
+
+/// Encodes a `[C, H, W]` feature stack into the request wire format.
+pub fn encode_features(t: &Tensor) -> Vec<u8> {
+    assert_eq!(t.rank(), 3, "features must be [C, H, W]");
+    let mut out = Vec::with_capacity(12 + t.numel() * 4);
+    for &d in t.shape() {
+        out.extend_from_slice(&(d as u32).to_le_bytes());
+    }
+    for &v in t.data() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes a feature-stack request body into a `[6, H, W]` tensor.
+///
+/// # Errors
+///
+/// Returns a description of the problem when the header is short, the
+/// channel count is not six, the grid is implausible, or the payload
+/// length disagrees with the header.
+pub fn decode_features(bytes: &[u8]) -> Result<Tensor, String> {
+    let (c, h, w, data) = decode_array(bytes)?;
+    if c != NUM_FEATURES {
+        return Err(format!("expected {NUM_FEATURES} feature channels, got {c}"));
+    }
+    Tensor::from_vec(vec![c, h, w], data).map_err(|e| e.to_string())
+}
+
+/// Encodes an `[H, W]` level map into the response wire format.
+pub fn encode_levels(t: &Tensor) -> Vec<u8> {
+    assert_eq!(t.rank(), 2, "levels must be [H, W]");
+    let mut out = Vec::with_capacity(8 + t.numel() * 4);
+    for &d in t.shape() {
+        out.extend_from_slice(&(d as u32).to_le_bytes());
+    }
+    for &v in t.data() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes a level-map response body into an `[H, W]` tensor.
+///
+/// # Errors
+///
+/// Returns a description of the problem on any length/shape mismatch.
+pub fn decode_levels(bytes: &[u8]) -> Result<Tensor, String> {
+    if bytes.len() < 8 {
+        return Err("level map shorter than its 8-byte header".into());
+    }
+    let h = read_u32(bytes, 0) as usize;
+    let w = read_u32(bytes, 4) as usize;
+    if h == 0 || w == 0 || h > MAX_GRID || w > MAX_GRID {
+        return Err(format!("implausible level-map shape {h}x{w}"));
+    }
+    let expected = 8 + h * w * 4;
+    if bytes.len() != expected {
+        return Err(format!(
+            "level map of {h}x{w} needs {expected} bytes, got {}",
+            bytes.len()
+        ));
+    }
+    let data = decode_f32s(&bytes[8..]);
+    Tensor::from_vec(vec![h, w], data).map_err(|e| e.to_string())
+}
+
+fn decode_array(bytes: &[u8]) -> Result<(usize, usize, usize, Vec<f32>), String> {
+    if bytes.len() < 12 {
+        return Err("feature stack shorter than its 12-byte header".into());
+    }
+    let c = read_u32(bytes, 0) as usize;
+    let h = read_u32(bytes, 4) as usize;
+    let w = read_u32(bytes, 8) as usize;
+    if c == 0 || c > 64 || h == 0 || w == 0 || h > MAX_GRID || w > MAX_GRID {
+        return Err(format!("implausible feature shape {c}x{h}x{w}"));
+    }
+    let expected = 12 + c * h * w * 4;
+    if bytes.len() != expected {
+        return Err(format!(
+            "feature stack of {c}x{h}x{w} needs {expected} bytes, got {}",
+            bytes.len()
+        ));
+    }
+    Ok((c, h, w, decode_f32s(&bytes[12..])))
+}
+
+fn read_u32(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"))
+}
+
+fn decode_f32s(bytes: &[u8]) -> Vec<f32> {
+    bytes
+        .chunks_exact(4)
+        .map(|b| f32::from_le_bytes(b.try_into().expect("4 bytes")))
+        .collect()
+}
+
+/// Builds a `POST /predict/design` body from the textual design and
+/// placement.
+pub fn encode_design_request(design_text: &str, placement_text: &str) -> String {
+    format!("{design_text}\n{PART_SEPARATOR}\n{placement_text}")
+}
+
+/// Parses a `POST /predict/design` body and featurizes it on a
+/// `grid x grid` grid.
+///
+/// # Errors
+///
+/// Returns a description of the problem when the separator is missing or
+/// either part fails to parse.
+pub fn featurize_design_request(body: &str, grid: usize) -> Result<Tensor, String> {
+    let (design_text, placement_text) = split_design_request(body)?;
+    let design: Design = io::read_design(design_text).map_err(|e| format!("design: {e}"))?;
+    let placement: Placement =
+        io::read_placement(placement_text).map_err(|e| format!("placement: {e}"))?;
+    if placement.len() != design.netlist.num_instances() {
+        return Err(format!(
+            "placement has {} positions for {} instances",
+            placement.len(),
+            design.netlist.num_instances()
+        ));
+    }
+    Ok(FeatureStack::extract(&design, &placement, grid, grid).to_tensor())
+}
+
+fn split_design_request(body: &str) -> Result<(&str, &str), String> {
+    let mut offset = 0;
+    loop {
+        let rest = &body[offset..];
+        let line_end = rest.find('\n').map_or(body.len(), |i| offset + i);
+        let line = &body[offset..line_end];
+        if line.trim() == PART_SEPARATOR {
+            let placement = &body[line_end.min(body.len())..];
+            return Ok((&body[..offset], placement.trim_start_matches(['\r', '\n'])));
+        }
+        if line_end >= body.len() {
+            return Err(format!(
+                "body is missing the {PART_SEPARATOR:?} separator line"
+            ));
+        }
+        offset = line_end + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfaplace_fpga::design::DesignPreset;
+
+    #[test]
+    fn features_round_trip() {
+        let t = Tensor::from_fn(vec![6, 4, 4], |i| i as f32 * 0.5);
+        let bytes = encode_features(&t);
+        let back = decode_features(&bytes).unwrap();
+        assert_eq!(back.shape(), t.shape());
+        assert_eq!(back.data(), t.data());
+    }
+
+    #[test]
+    fn levels_round_trip() {
+        let t = Tensor::from_fn(vec![4, 3], |i| i as f32);
+        let back = decode_levels(&encode_levels(&t)).unwrap();
+        assert_eq!(back.shape(), t.shape());
+        assert_eq!(back.data(), t.data());
+    }
+
+    #[test]
+    fn short_and_mismatched_payloads_rejected() {
+        assert!(decode_features(&[]).is_err());
+        assert!(decode_features(&[0; 11]).is_err());
+        let mut bytes = encode_features(&Tensor::zeros(vec![6, 4, 4]));
+        bytes.pop();
+        assert!(decode_features(&bytes).is_err());
+        // Wrong channel count.
+        let bad = encode_features(&Tensor::zeros(vec![5, 4, 4]));
+        assert!(decode_features(&bad).unwrap_err().contains("channels"));
+        assert!(decode_levels(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn design_request_round_trips_through_featurizer() {
+        let design = DesignPreset::design_116()
+            .with_scale(512, 64, 32)
+            .generate(1);
+        let placement = design.random_placement(2);
+        let body =
+            encode_design_request(&io::write_design(&design), &io::write_placement(&placement));
+        let features = featurize_design_request(&body, 32).unwrap();
+        let expected = FeatureStack::extract(&design, &placement, 32, 32).to_tensor();
+        assert_eq!(features.data(), expected.data());
+    }
+
+    #[test]
+    fn missing_separator_rejected() {
+        let err = featurize_design_request("just one part", 32).unwrap_err();
+        assert!(err.contains("separator"), "{err}");
+    }
+}

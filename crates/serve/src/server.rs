@@ -1,0 +1,312 @@
+//! The TCP front end: accept loop, per-connection request handling, and
+//! the graceful-shutdown choreography.
+//!
+//! One thread accepts connections and spawns a handler thread per
+//! connection (requests are small and short-lived; the bounded batcher
+//! queue — not the connection count — is the real concurrency limiter).
+//! A dedicated worker thread owns the model and runs the micro-batch
+//! loop. Shutdown drains in order: stop accepting, finish in-flight
+//! connections, drain the batcher queue, then join the worker.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use mfaplace_core::loader::LoadOptions;
+use mfaplace_tensor::Tensor;
+
+use crate::batcher::{BatchConfig, Batcher, JobError, ModelSlot, SubmitError};
+use crate::http::{HttpError, Request, Response};
+use crate::metrics::Metrics;
+use crate::protocol;
+
+/// Server-level knobs (batching knobs live in [`BatchConfig`]).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address to bind, e.g. `127.0.0.1:8953` (port `0` picks one).
+    pub addr: String,
+    /// Batching and queueing configuration.
+    pub batch: BatchConfig,
+    /// Hard cap on request bodies, bytes.
+    pub max_body: usize,
+    /// Default per-request deadline when the client sends no
+    /// `x-mfaplace-deadline-ms` header.
+    pub default_deadline: Duration,
+    /// Socket read timeout: a client that stalls mid-request is dropped
+    /// after this long.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:8953".into(),
+            batch: BatchConfig::default().with_env_overrides(),
+            max_body: 32 << 20,
+            default_deadline: Duration::from_secs(30),
+            read_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+struct Shared {
+    metrics: Arc<Metrics>,
+    slot: ModelSlot,
+    batcher: Batcher,
+    stop: AtomicBool,
+    cfg: ServeConfig,
+    addr: SocketAddr,
+}
+
+/// A running server; dropping the handle does **not** stop it — call
+/// [`ServerHandle::shutdown`] and/or [`ServerHandle::join`].
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    main: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The actually bound address (resolves port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The server's metrics registry.
+    pub fn metrics(&self) -> Arc<Metrics> {
+        self.shared.metrics.clone()
+    }
+
+    /// Requests a graceful shutdown: stop accepting, finish in-flight
+    /// requests, drain the queue. Returns immediately; use
+    /// [`ServerHandle::join`] to wait for completion.
+    pub fn shutdown(&self) {
+        trigger_shutdown(&self.shared);
+    }
+
+    /// Requests shutdown (idempotent) and blocks until the server has
+    /// fully drained and exited.
+    pub fn join(mut self) {
+        trigger_shutdown(&self.shared);
+        if let Some(main) = self.main.take() {
+            let _ = main.join();
+        }
+    }
+
+    /// Blocks until the server exits on its own — i.e. until something
+    /// (typically `POST /admin/shutdown`) triggers the drain. This is what
+    /// the CLI foreground mode uses.
+    pub fn wait(mut self) {
+        if let Some(main) = self.main.take() {
+            let _ = main.join();
+        }
+    }
+}
+
+fn trigger_shutdown(shared: &Shared) {
+    shared.stop.store(true, Ordering::SeqCst);
+    // Unblock the accept loop with a throwaway connection.
+    let _ = TcpStream::connect(shared.addr);
+}
+
+/// Binds `cfg.addr` and starts serving `slot` on background threads.
+///
+/// # Errors
+///
+/// Returns the bind error if the address is unavailable.
+pub fn serve(
+    slot: ModelSlot,
+    metrics: Arc<Metrics>,
+    cfg: ServeConfig,
+) -> std::io::Result<ServerHandle> {
+    let listener = bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let batcher = Batcher::new(cfg.batch, metrics.clone());
+    let shared = Arc::new(Shared {
+        metrics,
+        slot,
+        batcher,
+        stop: AtomicBool::new(false),
+        cfg,
+        addr,
+    });
+    let main = {
+        let shared = shared.clone();
+        std::thread::Builder::new()
+            .name("mfaplace-serve-accept".into())
+            .spawn(move || accept_loop(&shared, &listener))?
+    };
+    Ok(ServerHandle {
+        shared,
+        main: Some(main),
+    })
+}
+
+fn bind(addr: &str) -> std::io::Result<TcpListener> {
+    let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+    TcpListener::bind(&addrs[..])
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    let worker = {
+        let shared = shared.clone();
+        std::thread::Builder::new()
+            .name("mfaplace-serve-batcher".into())
+            .spawn(move || shared.batcher.run_worker(&shared.slot))
+            .expect("spawn batch worker")
+    };
+
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        conns.retain(|h| !h.is_finished());
+        let shared = shared.clone();
+        if let Ok(handle) = std::thread::Builder::new()
+            .name("mfaplace-serve-conn".into())
+            .spawn(move || handle_connection(&shared, stream))
+        {
+            conns.push(handle);
+        }
+    }
+
+    // Graceful drain: in-flight connections first (they may still submit
+    // jobs), then the queue, then the worker.
+    for handle in conns {
+        let _ = handle.join();
+    }
+    shared.batcher.shutdown();
+    let _ = worker.join();
+}
+
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    let (endpoint, response) = match Request::read_from(&mut reader, shared.cfg.max_body) {
+        Ok(req) => {
+            let started = Instant::now();
+            let endpoint = req.path.clone();
+            let response = route(shared, &req);
+            shared.metrics.record_latency(started.elapsed());
+            (endpoint, response)
+        }
+        Err(HttpError::BadRequest(m)) => ("<parse>".to_owned(), Response::text(400, m + "\n")),
+        Err(HttpError::TooLarge(m)) => ("<parse>".to_owned(), Response::text(413, m + "\n")),
+        Err(HttpError::Io(_)) => return,
+    };
+    shared.metrics.record_request(&endpoint, response.status);
+    let _ = response.write_to(&mut writer);
+}
+
+fn route(shared: &Shared, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => Response::text(200, "ok\n"),
+        ("GET", "/metrics") => Response::text(200, shared.metrics.render()),
+        ("GET", "/model") => {
+            let spec = shared.slot.spec();
+            Response::text(
+                200,
+                format!(
+                    "model {}\ngrid {}\nbase_channels {}\nversion {}\n",
+                    spec.arch.model_name(),
+                    spec.grid,
+                    spec.base_channels,
+                    shared.slot.version()
+                ),
+            )
+        }
+        ("POST", "/predict") => match protocol::decode_features(&req.body) {
+            Ok(features) => predict(shared, req, features),
+            Err(m) => Response::text(400, m + "\n"),
+        },
+        ("POST", "/predict/design") => {
+            let grid = shared.slot.spec().grid;
+            match std::str::from_utf8(&req.body)
+                .map_err(|_| "body is not utf-8 text".to_owned())
+                .and_then(|text| protocol::featurize_design_request(text, grid))
+            {
+                Ok(features) => predict(shared, req, features),
+                Err(m) => Response::text(400, m + "\n"),
+            }
+        }
+        ("POST", "/admin/reload") => {
+            let path = String::from_utf8_lossy(&req.body).trim().to_owned();
+            if path.is_empty() {
+                return Response::text(400, "body must be a checkpoint path\n");
+            }
+            match shared.slot.reload(&path, LoadOptions::default()) {
+                Ok((version, spec)) => Response::text(
+                    200,
+                    format!(
+                        "reloaded {} (grid {}) as version {version}\n",
+                        spec.arch.model_name(),
+                        spec.grid
+                    ),
+                ),
+                Err(m) => Response::text(409, m + "\n"),
+            }
+        }
+        ("POST", "/admin/shutdown") => {
+            shared.stop.store(true, Ordering::SeqCst);
+            // The throwaway connection unblocking accept comes from a
+            // separate thread so this handler can still write its reply.
+            let addr = shared.addr;
+            std::thread::spawn(move || {
+                let _ = TcpStream::connect(addr);
+            });
+            Response::text(200, "draining\n")
+        }
+        (
+            _,
+            "/healthz" | "/metrics" | "/model" | "/predict" | "/predict/design" | "/admin/reload"
+            | "/admin/shutdown",
+        ) => Response::text(405, "method not allowed\n"),
+        _ => Response::text(404, "no such endpoint\n"),
+    }
+}
+
+fn predict(shared: &Shared, req: &Request, features: Tensor) -> Response {
+    let grid = shared.slot.spec().grid;
+    let shape = features.shape().to_vec();
+    if shape != [protocol::NUM_WIRE_FEATURES, grid, grid] {
+        return Response::text(
+            400,
+            format!(
+                "feature shape {shape:?} does not match served model \
+                 [{}, {grid}, {grid}]\n",
+                protocol::NUM_WIRE_FEATURES
+            ),
+        );
+    }
+    let deadline_ms = req
+        .header("x-mfaplace-deadline-ms")
+        .and_then(|v| v.parse::<u64>().ok())
+        .map_or(shared.cfg.default_deadline, Duration::from_millis);
+    let deadline = Instant::now() + deadline_ms;
+    let rx = match shared.batcher.submit(features, deadline) {
+        Ok(rx) => rx,
+        Err(SubmitError::QueueFull) => {
+            return Response::text(429, "queue full, retry later\n");
+        }
+        Err(SubmitError::Draining) => {
+            return Response::text(503, "server is draining\n");
+        }
+    };
+    match rx.recv() {
+        Ok(Ok(levels)) => Response::bytes(200, protocol::encode_levels(&levels)),
+        Ok(Err(JobError::DeadlineExceeded)) => Response::text(504, "deadline exceeded\n"),
+        Ok(Err(JobError::ModelError(m))) => Response::text(500, m + "\n"),
+        Err(_) => Response::text(500, "worker exited before answering\n"),
+    }
+}

@@ -1,0 +1,108 @@
+//! Randomized robustness tests for the HTTP parser and the binary wire
+//! codecs, driven by `mfaplace_rt::check`: whatever bytes arrive, the
+//! parser must return a typed error or a valid request — never panic,
+//! never allocate unboundedly.
+
+use mfaplace_rt::check::{run_cases, vec_u8};
+use mfaplace_rt::rng::Rng;
+use mfaplace_serve::http::{HttpError, Request};
+use mfaplace_serve::protocol;
+
+const MAX_BODY: usize = 1 << 20;
+
+fn parse(bytes: &[u8]) -> Result<Request, HttpError> {
+    Request::read_from(&mut &bytes[..], MAX_BODY)
+}
+
+#[test]
+fn random_bytes_never_panic_the_parser() {
+    run_cases("http_random_bytes", 64, 0x4774, |_case, rng| {
+        let len = rng.gen_range(0..512usize);
+        let bytes = vec_u8(rng, len, 0, 255);
+        let _ = parse(&bytes);
+    });
+}
+
+#[test]
+fn random_ascii_soup_never_panics() {
+    run_cases("http_ascii_soup", 64, 0x4775, |_case, rng| {
+        let len = rng.gen_range(0..2048usize);
+        // Printable ASCII plus CR/LF so header structure appears by chance.
+        let bytes: Vec<u8> = (0..len)
+            .map(|_| match rng.gen_range(0..10u32) {
+                0 => b'\r',
+                1 => b'\n',
+                2 => b' ',
+                3 => b':',
+                _ => rng.gen_range(33..127u32) as u8,
+            })
+            .collect();
+        let _ = parse(&bytes);
+    });
+}
+
+#[test]
+fn truncating_a_valid_request_gives_typed_errors() {
+    let full = b"POST /predict HTTP/1.1\r\ncontent-type: application/octet-stream\r\ncontent-length: 16\r\n\r\n0123456789abcdef";
+    assert!(parse(full).is_ok());
+    run_cases("http_truncation", 64, 0x4776, |_case, rng| {
+        let cut = rng.gen_range(0..full.len());
+        match parse(&full[..cut]) {
+            Ok(req) => {
+                // Only possible when the cut removed body bytes but the
+                // header survived — impossible here because content-length
+                // then exceeds what remains.
+                panic!("truncated request unexpectedly parsed: {req:?}");
+            }
+            Err(HttpError::BadRequest(_)) => {}
+            Err(other) => panic!("want BadRequest, got {other:?}"),
+        }
+    });
+}
+
+#[test]
+fn corrupted_headers_reject_without_panic() {
+    let full = b"GET /metrics HTTP/1.1\r\nhost: localhost\r\n\r\n".to_vec();
+    run_cases("http_corruption", 128, 0x4777, |_case, rng| {
+        let mut bytes = full.clone();
+        let at = rng.gen_range(0..bytes.len());
+        bytes[at] = rng.gen_range(0..=255u32) as u8;
+        // Either still parses (benign corruption) or rejects cleanly.
+        let _ = parse(&bytes);
+    });
+}
+
+#[test]
+fn oversized_declared_bodies_rejected_as_too_large() {
+    run_cases("http_oversize", 16, 0x4778, |_case, rng| {
+        let n = MAX_BODY as u64 + rng.gen_range(1..1_000_000u64);
+        let req = format!("POST /predict HTTP/1.1\r\ncontent-length: {n}\r\n\r\n");
+        match parse(req.as_bytes()) {
+            Err(HttpError::TooLarge(_)) => {}
+            other => panic!("want TooLarge, got {other:?}"),
+        }
+    });
+}
+
+#[test]
+fn feature_codec_never_panics_on_random_bytes() {
+    run_cases("protocol_random", 64, 0x4779, |_case, rng| {
+        let len = rng.gen_range(0..256usize);
+        let bytes = vec_u8(rng, len, 0, 255);
+        let _ = protocol::decode_features(&bytes);
+        let _ = protocol::decode_levels(&bytes);
+    });
+}
+
+#[test]
+fn feature_codec_rejects_any_truncation() {
+    let t = mfaplace_tensor::Tensor::from_fn(vec![6, 8, 8], |i| i as f32);
+    let bytes = protocol::encode_features(&t);
+    run_cases("protocol_truncation", 64, 0x477A, |_case, rng| {
+        let cut = rng.gen_range(0..bytes.len());
+        assert!(
+            protocol::decode_features(&bytes[..cut]).is_err(),
+            "prefix of {cut} bytes must be rejected"
+        );
+    });
+}

@@ -520,9 +520,18 @@ fn gemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize, acc
     });
 }
 
+/// Column-block width for [`gemm_rows`]: chosen so a `k x GEMM_COL_BLOCK`
+/// slab of `b` stays cache-resident while every output row reuses it.
+/// Without blocking, wide products (e.g. batched-inference GEMMs, where
+/// `n` scales with the batch) re-stream all of `b` from memory once per
+/// output row.
+const GEMM_COL_BLOCK: usize = 512;
+
 /// GEMM over the row block starting at `row0` whose output rows occupy
-/// `out` (`out.len() / n` rows). i-k-j loop order: streams through `b` and
-/// `out` rows contiguously.
+/// `out` (`out.len() / n` rows). i-k-j loop order within each column
+/// block: for any output element the reduction over `p` runs in the same
+/// order as the unblocked serial loop, so blocking (and thread count)
+/// never changes results bitwise.
 fn gemm_rows(
     a: &[f32],
     b: &[f32],
@@ -535,16 +544,21 @@ fn gemm_rows(
     if !accumulate {
         out.fill(0.0);
     }
-    for (r, out_row) in out.chunks_mut(n).enumerate() {
-        let i = row0 + r;
-        for p in 0..k {
-            let aik = a[i * k + p];
-            if aik == 0.0 {
-                continue;
-            }
-            let b_row = &b[p * n..(p + 1) * n];
-            for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                *o += aik * bv;
+    let rows = out.len() / n;
+    for j0 in (0..n).step_by(GEMM_COL_BLOCK) {
+        let j1 = (j0 + GEMM_COL_BLOCK).min(n);
+        for r in 0..rows {
+            let i = row0 + r;
+            let out_row = &mut out[r * n + j0..r * n + j1];
+            for p in 0..k {
+                let aik = a[i * k + p];
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = &b[p * n + j0..p * n + j1];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += aik * bv;
+                }
             }
         }
     }

@@ -9,10 +9,11 @@
 use mfaplace::autograd::Graph;
 use mfaplace::core::dataset::{build_design_dataset, DatasetConfig};
 use mfaplace::core::flow::{FlowConfig, MacroPlacementFlow};
+use mfaplace::core::loader::save_predictor;
 use mfaplace::core::predictor::ModelPredictor;
 use mfaplace::core::train::{TrainConfig, Trainer};
 use mfaplace::fpga::design::DesignPreset;
-use mfaplace::models::{OursConfig, OursModel};
+use mfaplace::models::{ArchSpec, OursConfig, OursModel};
 use mfaplace_rt::rng::SeedableRng;
 use mfaplace_rt::rng::StdRng;
 
@@ -36,20 +37,17 @@ fn main() {
     println!("{} train / {} test samples", train.len(), test.len());
 
     // 2. Train the model (Adam, lr 1e-3, weighted pixel cross entropy).
+    let ours_cfg = OursConfig {
+        grid,
+        base_channels: 8,
+        vit_layers: 2,
+        vit_heads: 4,
+        use_mfa: true,
+        mfa_reduction: 4,
+    };
     let mut g = Graph::new();
     let mut rng = StdRng::seed_from_u64(0);
-    let model = OursModel::new(
-        &mut g,
-        OursConfig {
-            grid,
-            base_channels: 8,
-            vit_layers: 2,
-            vit_heads: 4,
-            use_mfa: true,
-            mfa_reduction: 4,
-        },
-        &mut rng,
-    );
+    let model = OursModel::new(&mut g, ours_cfg, &mut rng);
     let mut trainer = Trainer::new(
         g,
         model,
@@ -77,8 +75,17 @@ fn main() {
         metrics.acc, metrics.r2, metrics.nrms
     );
 
-    // 4. Plug the trained model into the placement flow (Sec. IV).
+    // 4. Save a self-describing v2 checkpoint: `mfaplace serve --model ...`
+    // and `mfaplace place --model ...` rebuild the architecture from it.
     let (graph, model) = trainer.into_parts();
+    let spec = ArchSpec::from_ours(ours_cfg);
+    let ckpt = "trained_ours.mfaw";
+    match save_predictor(&graph, &model, &spec, ckpt) {
+        Ok(()) => println!("saved checkpoint {ckpt} (serve it: mfaplace serve --model {ckpt})"),
+        Err(e) => eprintln!("checkpoint not saved: {e}"),
+    }
+
+    // 5. Plug the trained model into the placement flow (Sec. IV).
     let mut predictor = ModelPredictor::new(graph, model);
     let mut flow_cfg = FlowConfig::default();
     flow_cfg.placer.grid_w = grid;

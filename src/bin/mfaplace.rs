@@ -2,26 +2,35 @@
 //! and render — the end-user face of the reproduction.
 //!
 //! ```sh
-//! mfaplace generate --design 116 --seed 1 --out design.nl
-//! mfaplace place    --design design.nl --flow seu --seed 1 --out placement.pl
-//! mfaplace route    --design design.nl --placement placement.pl
-//! mfaplace features --design design.nl --placement placement.pl --grid 48 --out feats
-//! mfaplace render   --design design.nl --placement placement.pl --out place.ppm
+//! mfaplace generate   --design 116 --seed 1 --out design.nl
+//! mfaplace place      --design design.nl --flow seu --seed 1 --out placement.pl
+//! mfaplace place      --design design.nl --model ours.mfaw --out placement.pl
+//! mfaplace route      --design design.nl --placement placement.pl
+//! mfaplace features   --design design.nl --placement placement.pl --grid 48 --out feats
+//! mfaplace render     --design design.nl --placement placement.pl --out place.ppm
+//! mfaplace init-model --arch ours --grid 32 --out ours.mfaw
+//! mfaplace serve      --model ours.mfaw --addr 127.0.0.1:8953
+//! mfaplace predict    --addr 127.0.0.1:8953 --design design.nl --placement placement.pl
 //! ```
 
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use mfaplace::core::flow::{calibrated_router_for, simulated_pnr_hours};
+use mfaplace::core::loader::{init_checkpoint, load_predictor, peek_meta, LoadOptions};
 use mfaplace::fpga::design::{Design, DesignPreset};
 use mfaplace::fpga::features::FeatureStack;
+use mfaplace::fpga::gridmap::GridMap;
 use mfaplace::fpga::io;
 use mfaplace::fpga::viz::{render_heatmap, render_placement};
+use mfaplace::models::{Arch, ArchSpec};
 use mfaplace::placer::flows::{FlowConfig, PlacementFlow, RudyPredictor};
 use mfaplace::router::congestion::CongestionAnalysis;
 use mfaplace::router::detailed::detailed_route_iterations;
 use mfaplace::router::global::GlobalRouter;
 use mfaplace::router::score::{RoutabilityScore, ScoreInputs};
+use mfaplace::serve::{client, serve, Metrics, ModelSlot, ServeConfig};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -43,13 +52,24 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  mfaplace generate --design <116|120|136|156|176|180|190|197|227|230|237> \\
-                    [--seed N] [--scale cells,dsp,bram] --out <file.nl>
-  mfaplace place    --design <file.nl> [--flow ours|utda|seu|mpku] [--seed N] \\
-                    [--iterations N] --out <file.pl>
-  mfaplace route    --design <file.nl> --placement <file.pl> [--grid N]
-  mfaplace features --design <file.nl> --placement <file.pl> [--grid N] --out <prefix>
-  mfaplace render   --design <file.nl> --placement <file.pl> --out <file.ppm>";
+  mfaplace generate   --design <116|120|136|156|176|180|190|197|227|230|237> \\
+                      [--seed N] [--scale cells,dsp,bram] --out <file.nl>
+  mfaplace place      --design <file.nl> [--flow ours|utda|seu|mpku] [--seed N] \\
+                      [--iterations N] [--model <file.mfaw> [--arch ours|unet|pgnn|pros2] \\
+                      [--grid N] [--channels N]] --out <file.pl>
+  mfaplace route      --design <file.nl> --placement <file.pl> [--grid N]
+  mfaplace features   --design <file.nl> --placement <file.pl> [--grid N] --out <prefix>
+  mfaplace render     --design <file.nl> --placement <file.pl> --out <file.ppm>
+  mfaplace init-model [--arch ours|unet|pgnn|pros2] [--grid N] [--channels N] \\
+                      [--seed N] --out <file.mfaw>
+  mfaplace model-info --model <file.mfaw>
+  mfaplace serve      --model <file.mfaw> [--addr host:port] \\
+                      [--arch ...] [--grid N] [--channels N]   (v1 checkpoints)
+  mfaplace predict    --addr host:port --design <file.nl> --placement <file.pl> \\
+                      [--out <file.ppm>]
+
+serve honors MFAPLACE_MAX_BATCH, MFAPLACE_BATCH_WINDOW_MS and
+MFAPLACE_QUEUE_BOUND; stop it with POST /admin/shutdown.";
 
 fn run(args: &[String]) -> Result<(), String> {
     let Some(cmd) = args.first() else {
@@ -62,8 +82,38 @@ fn run(args: &[String]) -> Result<(), String> {
         "route" => cmd_route(&flags),
         "features" => cmd_features(&flags),
         "render" => cmd_render(&flags),
+        "init-model" => cmd_init_model(&flags),
+        "model-info" => cmd_model_info(&flags),
+        "serve" => cmd_serve(&flags),
+        "predict" => cmd_predict(&flags),
         other => Err(format!("unknown subcommand {other:?}")),
     }
+}
+
+/// `--arch/--grid/--channels` overrides for loading v1 checkpoints (v2
+/// files are self-describing and ignore these).
+fn load_options(flags: &HashMap<String, String>) -> Result<LoadOptions, String> {
+    let arch = match flags.get("arch") {
+        None => None,
+        Some(s) => Some(s.parse::<Arch>()?),
+    };
+    Ok(LoadOptions {
+        arch,
+        grid: match flags.get("grid") {
+            None => None,
+            Some(v) => Some(
+                v.parse()
+                    .map_err(|_| format!("invalid value for --grid: {v:?}"))?,
+            ),
+        },
+        base_channels: match flags.get("channels") {
+            None => None,
+            Some(v) => Some(
+                v.parse()
+                    .map_err(|_| format!("invalid value for --channels: {v:?}"))?,
+            ),
+        },
+    })
 }
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -169,10 +219,29 @@ fn cmd_place(flags: &HashMap<String, String>) -> Result<(), String> {
     };
     cfg.gp_stage1.iterations = cfg.gp_stage1.iterations.min(iterations);
     cfg.gp_stage2.iterations = cfg.gp_stage2.iterations.min(iterations / 2 + 1);
+
+    // With --model, the learned predictor from the checkpoint drives the
+    // inflation rounds instead of RUDY; the congestion grid follows the
+    // model's training grid.
+    let model = match flags.get("model") {
+        None => None,
+        Some(path) => {
+            let (spec, predictor) = load_predictor(path, load_options(flags)?)?;
+            cfg.grid_w = spec.grid;
+            cfg.grid_h = spec.grid;
+            println!(
+                "predicting with {} from {path} (grid {})",
+                spec.arch.model_name(),
+                spec.grid
+            );
+            Some(predictor)
+        }
+    };
     let flow = PlacementFlow::new(cfg);
-    // The CLI uses the RUDY predictor; train a model via the library or the
-    // train_predictor example for learned prediction.
-    let result = flow.run(&design, &mut RudyPredictor::default(), seed);
+    let result = match model {
+        Some(mut predictor) => flow.run(&design, &mut predictor, seed),
+        None => flow.run(&design, &mut RudyPredictor::default(), seed),
+    };
     let out = get(flags, "out")?;
     std::fs::write(out, io::write_placement(&result.placement)).map_err(|e| e.to_string())?;
     println!(
@@ -181,6 +250,98 @@ fn cmd_place(flags: &HashMap<String, String>) -> Result<(), String> {
         result.t_macro_min,
         result.placement.hpwl(&design.netlist)
     );
+    Ok(())
+}
+
+fn cmd_init_model(flags: &HashMap<String, String>) -> Result<(), String> {
+    let arch: Arch = flags
+        .get("arch")
+        .map_or(Ok(Arch::Ours), |s| s.parse::<Arch>())?;
+    let grid: usize = get_num(flags, "grid", 32)?;
+    let seed: u64 = get_num(flags, "seed", 0)?;
+    let mut spec = ArchSpec::new(arch, grid);
+    if let Some(v) = flags.get("channels") {
+        spec.base_channels = v
+            .parse()
+            .map_err(|_| format!("invalid value for --channels: {v:?}"))?;
+    }
+    let out = get(flags, "out")?;
+    init_checkpoint(&spec, seed, out)?;
+    println!(
+        "wrote {out} ({} at grid {grid}, {} base channels, randomly initialized)",
+        arch.model_name(),
+        spec.base_channels
+    );
+    Ok(())
+}
+
+fn cmd_model_info(flags: &HashMap<String, String>) -> Result<(), String> {
+    let path = get(flags, "model")?;
+    match peek_meta(path)? {
+        None => println!("{path}: v1 checkpoint (no metadata; load with --arch/--grid)"),
+        Some(meta) => {
+            println!("{path}: v2 checkpoint, model {}", meta.model);
+            for (key, value) in meta.entries() {
+                println!("  {key} = {value}");
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    let path = get(flags, "model")?;
+    let addr = flags
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:8953".into());
+    let metrics = Arc::new(Metrics::new());
+    let slot = ModelSlot::load(path, load_options(flags)?, metrics.clone())?;
+    let spec = slot.spec();
+    let cfg = ServeConfig {
+        addr,
+        ..ServeConfig::default()
+    };
+    let batch = cfg.batch;
+    let handle = serve(slot, metrics, cfg).map_err(|e| format!("bind: {e}"))?;
+    println!(
+        "serving {} (grid {}) on http://{}",
+        spec.arch.model_name(),
+        spec.grid,
+        handle.addr()
+    );
+    println!(
+        "batching: up to {} requests per {:?} window, queue bound {}",
+        batch.max_batch, batch.batch_window, batch.queue_bound
+    );
+    println!("endpoints: POST /predict, POST /predict/design, GET /metrics, GET /model,");
+    println!("           POST /admin/reload, POST /admin/shutdown");
+    handle.wait();
+    println!("server drained and stopped");
+    Ok(())
+}
+
+fn cmd_predict(flags: &HashMap<String, String>) -> Result<(), String> {
+    let addr = get(flags, "addr")?;
+    let design_path = get(flags, "design")?;
+    let placement_path = get(flags, "placement")?;
+    let design_text = std::fs::read_to_string(design_path)
+        .map_err(|e| format!("cannot read {design_path}: {e}"))?;
+    let placement_text = std::fs::read_to_string(placement_path)
+        .map_err(|e| format!("cannot read {placement_path}: {e}"))?;
+    let levels = client::predict_design(addr, &design_text, &placement_text)?;
+    let (h, w) = (levels.shape()[0], levels.shape()[1]);
+    let data = levels.data();
+    let max = data.iter().cloned().fold(0.0f32, f32::max);
+    let mean = data.iter().sum::<f32>() / data.len() as f32;
+    let hot = data.iter().filter(|&&v| v >= 4.0).count();
+    println!("{h}x{w} congestion levels from {addr}");
+    println!("  mean level {mean:.3}, max level {max:.3}, tiles >= level 4: {hot}");
+    if let Some(out) = flags.get("out") {
+        let map = GridMap::from_vec(w, h, data.to_vec());
+        std::fs::write(out, render_heatmap(&map, 7.0).to_ppm()).map_err(|e| e.to_string())?;
+        println!("wrote {out}");
+    }
     Ok(())
 }
 

@@ -14,6 +14,7 @@
 //! - [`placer`] — analytical global placement, inflation and legalization
 //! - [`models`] — the paper's model and the three published baselines
 //! - [`core`] — dataset generation, training, metrics and the full flow
+//! - [`serve`] — batched HTTP inference service with checkpoint hot-reload
 //!
 //! # Quickstart
 //!
@@ -34,4 +35,5 @@ pub use mfaplace_models as models;
 pub use mfaplace_nn as nn;
 pub use mfaplace_placer as placer;
 pub use mfaplace_router as router;
+pub use mfaplace_serve as serve;
 pub use mfaplace_tensor as tensor;
