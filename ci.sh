@@ -1,9 +1,18 @@
 #!/usr/bin/env sh
 # Local CI gate. Everything runs offline — the workspace has no external
 # dependencies (see DESIGN.md, "zero-external-dependency policy").
+#
+#   ./ci.sh          full gate: lints, build, tests, training/determinism
+#                    suites, smoke runs, benches
+#   ./ci.sh --quick  same minus the benches and smoke runs (fast tier)
 set -eu
 
 cd "$(dirname "$0")"
+
+QUICK=0
+if [ "${1:-}" = "--quick" ]; then
+    QUICK=1
+fi
 
 echo "==> cargo fmt --check"
 cargo fmt --all --check
@@ -17,7 +26,35 @@ cargo build --workspace --release --offline
 echo "==> cargo test --offline"
 cargo test -q --workspace --offline
 
+echo "==> gradient checks (primitives + MFA/transformer modules)"
+cargo test -q -p mfaplace-autograd --offline --test gradcheck_ops
+
+echo "==> training determinism + checkpoint/resume suite"
+cargo test -q -p mfaplace-core --offline --test train_determinism
+
+echo "==> golden regression suite"
+cargo test -q -p mfaplace-core --offline --test golden_regression
+
+if [ "$QUICK" = "1" ]; then
+    echo "CI OK (quick tier: benches and smoke runs skipped)"
+    exit 0
+fi
+
+echo "==> 2-worker training smoke (CLI train path)"
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+./target/release/mfaplace generate --design 180 --seed 1 \
+    --scale 512,64,32 --out "$TMP/d.nl" >/dev/null
+MFAPLACE_TRAIN_WORKERS=2 ./target/release/mfaplace train \
+    --design "$TMP/d.nl" --out "$TMP/m.mfaw" \
+    --grid 32 --channels 4 --epochs 1 --placements 2 --iterations 4
+./target/release/mfaplace model-info --model "$TMP/m.mfaw"
+
 echo "==> serve smoke test"
 cargo run -q --release --offline -p mfaplace-serve --example smoke
+
+echo "==> train-throughput bench (results/train_parallel.json)"
+MFA_SCALE=quick cargo run -q --release --offline -p mfaplace-bench \
+    --bin train_parallel >/dev/null
 
 echo "CI OK"

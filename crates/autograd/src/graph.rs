@@ -14,6 +14,7 @@ impl Var {
     }
 }
 
+#[derive(Clone)]
 enum Op {
     Leaf,
     Add(Var, Var),
@@ -88,6 +89,7 @@ enum Op {
     MulScalarVar(Var, Var),
 }
 
+#[derive(Clone)]
 struct Node {
     value: Tensor,
     grad: Option<Tensor>,
@@ -98,7 +100,12 @@ struct Node {
 /// Arena tape holding values, gradients and the recorded operations.
 ///
 /// See the [crate-level documentation](crate) for the usage pattern.
-#[derive(Default)]
+///
+/// `Graph` is `Clone`: a clone is an independent tape whose `Var` handles
+/// coincide with the original's — cloning a params-only graph is how the
+/// data-parallel trainer builds worker-local replicas that accept the same
+/// parameter `Var`s as the primary.
+#[derive(Default, Clone)]
 pub struct Graph {
     nodes: Vec<Node>,
 }
@@ -171,6 +178,27 @@ impl Graph {
         for n in &mut self.nodes {
             n.grad = None;
         }
+    }
+
+    /// Overwrites a node's gradient accumulator directly.
+    ///
+    /// This is the injection point for externally-combined gradients: a
+    /// data-parallel trainer runs backward on worker replicas, tree-reduces
+    /// the per-shard gradients, and stores the result here so a stock
+    /// optimizer `step` on this graph sees them as if `backward` had run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is `Some` with a shape different from the node value.
+    pub fn set_grad(&mut self, v: Var, g: Option<Tensor>) {
+        if let Some(t) = &g {
+            assert_eq!(
+                t.shape(),
+                self.nodes[v.0].value.shape(),
+                "set_grad shape mismatch"
+            );
+        }
+        self.nodes[v.0].grad = g;
     }
 
     /// Returns a mark for later [`Graph::truncate`].
@@ -506,6 +534,38 @@ impl Graph {
         labels: &[u8],
         class_weights: Option<&[f32]>,
     ) -> Var {
+        self.cross_entropy2d_impl(logits, labels, class_weights, true)
+    }
+
+    /// Un-normalized variant of [`Graph::cross_entropy2d`]: the node value
+    /// is the **weighted loss sum** (not divided by the weight sum), and
+    /// backward propagates the upstream gradient unscaled.
+    ///
+    /// This is the per-shard loss of the data-parallel trainer: each shard
+    /// contributes its loss sum, the trainer divides by a weight
+    /// denominator it computes serially from the labels (see
+    /// [`Graph::backward_seeded`]), so the combined gradient is independent
+    /// of how samples were sharded.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent shapes or out-of-range labels.
+    pub fn cross_entropy2d_sum(
+        &mut self,
+        logits: Var,
+        labels: &[u8],
+        class_weights: Option<&[f32]>,
+    ) -> Var {
+        self.cross_entropy2d_impl(logits, labels, class_weights, false)
+    }
+
+    fn cross_entropy2d_impl(
+        &mut self,
+        logits: Var,
+        labels: &[u8],
+        class_weights: Option<&[f32]>,
+        normalize: bool,
+    ) -> Var {
         let (b, k, h, w) = self.value(logits).dims4();
         assert_eq!(labels.len(), b * h * w, "label count mismatch");
         if let Some(cw) = class_weights {
@@ -540,7 +600,11 @@ impl Graph {
                 }
             }
         }
-        let weight_sum = weight_sum.max(1e-12) as f32;
+        let weight_sum = if normalize {
+            weight_sum.max(1e-12) as f32
+        } else {
+            1.0
+        };
         let v = Tensor::scalar((loss / weight_sum as f64) as f32);
         let probs = Tensor::from_vec(vec![b, k, h, w], probs).expect("ce probs");
         let rg = self.rg(logits);
@@ -669,12 +733,28 @@ impl Graph {
     ///
     /// Panics if `loss` is not a single-element tensor.
     pub fn backward(&mut self, loss: Var) {
+        self.backward_seeded(loss, 1.0);
+    }
+
+    /// [`Graph::backward`] with an explicit seed gradient `d(out)/d(loss)`
+    /// instead of `1.0`.
+    ///
+    /// Seeding with a reciprocal denominator turns a loss-**sum** node
+    /// (e.g. [`Graph::cross_entropy2d_sum`]) into the exact gradient of
+    /// `sum / denom` without adding the division to the tape — the
+    /// data-parallel trainer uses this with a denominator computed serially
+    /// over the whole minibatch so per-shard gradients are shard-invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not a single-element tensor.
+    pub fn backward_seeded(&mut self, loss: Var, seed: f32) {
         assert_eq!(
             self.nodes[loss.0].value.numel(),
             1,
             "backward requires a scalar loss"
         );
-        let seed = Tensor::from_vec(self.nodes[loss.0].value.shape().to_vec(), vec![1.0])
+        let seed = Tensor::from_vec(self.nodes[loss.0].value.shape().to_vec(), vec![seed])
             .expect("seed gradient");
         accum_into(&mut self.nodes[loss.0], seed);
         for i in (0..=loss.0).rev() {

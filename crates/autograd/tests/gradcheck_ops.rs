@@ -356,3 +356,156 @@ fn graph_and_var_are_send() {
     assert_send::<Graph>();
     assert_send::<mfaplace_autograd::Var>();
 }
+
+// ---------------------------------------------------------------------------
+// Module-level checks: finite differences through whole paper modules
+// (constructor-created parameters), not just primitives. Valid because these
+// modules are stateless in train mode — no batch norm, dropout p = 0 — so
+// the loss is a pure function of the parameter values.
+// ---------------------------------------------------------------------------
+
+use mfaplace_nn::Module;
+
+/// Finite-difference check of `d loss / d params` for a module built by
+/// `build`. Parameters are re-randomized after construction so zero-init
+/// layers (e.g. the MFA restore projection) don't make the check vacuous.
+fn module_gradcheck<M: Module>(
+    seed: u64,
+    x: Tensor,
+    rtol: f32,
+    build: impl Fn(&mut Graph, &mut StdRng) -> M,
+) {
+    use mfaplace_autograd::gradcheck::ATOL;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new();
+    let mut module = build(&mut g, &mut rng);
+    let params = module.params();
+    assert!(!params.is_empty());
+    for &p in &params {
+        let shape = g.value(p).shape().to_vec();
+        *g.value_mut(p) = Tensor::randn(shape, 0.5, &mut rng);
+    }
+    let mark = g.mark();
+    let eval = |g: &mut Graph, module: &mut M| -> f32 {
+        let xv = g.constant(x.clone());
+        let y = module.forward(g, xv, true);
+        let y2 = g.mul(y, y);
+        let loss = g.mean(y2);
+        let v = g.value(loss).item();
+        g.truncate(mark);
+        v
+    };
+
+    // Analytic gradients.
+    let analytic: Vec<Tensor> = {
+        let xv = g.constant(x.clone());
+        let y = module.forward(&mut g, xv, true);
+        let y2 = g.mul(y, y);
+        let loss = g.mean(y2);
+        g.zero_grads();
+        g.backward(loss);
+        let grads = params
+            .iter()
+            .map(|&p| {
+                g.grad(p)
+                    .expect("every module param reaches the loss")
+                    .clone()
+            })
+            .collect();
+        g.truncate(mark);
+        grads
+    };
+
+    // Central differences, element by element.
+    for (pi, &p) in params.iter().enumerate() {
+        for k in 0..analytic[pi].data().len() {
+            let old = g.value(p).data()[k];
+            g.value_mut(p).data_mut()[k] = old + EPS;
+            let up = eval(&mut g, &mut module);
+            g.value_mut(p).data_mut()[k] = old - EPS;
+            let down = eval(&mut g, &mut module);
+            g.value_mut(p).data_mut()[k] = old;
+            let numeric = (up - down) / (2.0 * EPS);
+            let a = analytic[pi].data()[k];
+            let diff = (a - numeric).abs();
+            let bound = ATOL + rtol * a.abs().max(numeric.abs());
+            assert!(
+                diff <= bound,
+                "param {pi} elem {k}: analytic {a} vs numeric {numeric} (diff {diff} > {bound})"
+            );
+        }
+    }
+}
+
+#[test]
+fn grad_mfa_pam_cam_module() {
+    // The full MFA block: 1x1 reduce -> PAM + CAM dual attention -> restore
+    // -> outer residual.
+    let x = rt(&[1, 4, 4, 4], 60);
+    module_gradcheck(61, x, 6e-2, |g, rng| {
+        mfaplace_models::MfaBlock::with_reduction(g, 4, 2, rng)
+    });
+}
+
+#[test]
+fn grad_transformer_block_module() {
+    // LayerNorm + multi-head self-attention + MLP, both residual branches.
+    let x = rt(&[1, 5, 4], 62);
+    module_gradcheck(63, x, 6e-2, |g, rng| {
+        mfaplace_nn::TransformerBlock::new(g, 4, 2, 2, 0.0, rng)
+    });
+}
+
+#[test]
+fn grad_cross_entropy_sum() {
+    // The un-normalized sum variant used by the data-parallel trainer.
+    let x = rt(&[2, 4, 2, 2], 64);
+    let labels: Vec<u8> = vec![0, 1, 2, 3, 3, 2, 1, 0];
+    assert_grads_close(std::slice::from_ref(&x), EPS, TOL, |g, v| {
+        g.cross_entropy2d_sum(v[0], &labels, None)
+    });
+    let weights = [0.5f32, 1.0, 2.0, 4.0];
+    assert_grads_close(&[x], EPS, TOL, |g, v| {
+        g.cross_entropy2d_sum(v[0], &labels, Some(&weights))
+    });
+}
+
+#[test]
+fn seeded_backward_on_sum_matches_normalized_backward() {
+    // backward_seeded(sum_loss, 1/den) is how the trainer folds the batch
+    // denominator into per-shard backward passes; it must agree with the
+    // normalized loss + plain backward up to rounding.
+    let x = rt(&[2, 4, 2, 2], 65);
+    let labels: Vec<u8> = vec![0, 1, 2, 3, 3, 2, 1, 0];
+    let weights = [0.5f32, 1.0, 2.0, 4.0];
+    let den: f64 = labels.iter().map(|&y| f64::from(weights[y as usize])).sum();
+
+    let mut g1 = Graph::new();
+    let v1 = g1.param(x.clone());
+    let l1 = g1.cross_entropy2d(v1, &labels, Some(&weights));
+    g1.backward(l1);
+
+    let mut g2 = Graph::new();
+    let v2 = g2.param(x);
+    let l2 = g2.cross_entropy2d_sum(v2, &labels, Some(&weights));
+    g2.backward_seeded(l2, (1.0 / den) as f32);
+
+    let sum = f64::from(g1.value(l1).item()) * den;
+    let got = f64::from(g2.value(l2).item());
+    assert!(
+        (sum - got).abs() < 1e-4 * sum.abs().max(1.0),
+        "{sum} vs {got}"
+    );
+    for (a, b) in g1
+        .grad(v1)
+        .unwrap()
+        .data()
+        .iter()
+        .zip(g2.grad(v2).unwrap().data())
+    {
+        assert!(
+            (a - b).abs() <= 1e-6 + 1e-4 * a.abs().max(b.abs()),
+            "{a} vs {b}"
+        );
+    }
+}

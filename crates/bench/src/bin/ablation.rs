@@ -70,6 +70,7 @@ fn main() {
                 class_weighting: true,
                 cosine_schedule: true,
                 seed: 13,
+                ..TrainConfig::default()
             },
         );
         trainer.fit(&suite.train);

@@ -58,6 +58,7 @@ fn main() {
             class_weighting: true,
             cosine_schedule: true,
             seed: 3,
+            ..TrainConfig::default()
         },
     );
     let report = trainer.fit(&suite.train);

@@ -1,0 +1,117 @@
+//! Data-parallel training throughput: wall-clock per epoch for worker
+//! counts K = 1, 2, 4 on the paper's model, plus a bitwise cross-check
+//! that every K produced identical final parameters.
+//!
+//! Emits `results/train_parallel.json`. Scale via `MFA_SCALE=quick|full`.
+//! Note that speedup is bounded by the host's core count
+//! ([`mfaplace_rt::pool::max_threads`] is reported alongside the numbers):
+//! on a single-core container all K time the same and the bench only
+//! demonstrates the determinism contract.
+
+use mfaplace_autograd::Graph;
+use mfaplace_bench::{emit_report, Scale};
+use mfaplace_core::dataset::{Dataset, Sample};
+use mfaplace_core::train::{TrainConfig, Trainer};
+use mfaplace_models::{CongestionModel, OursModel};
+use mfaplace_rt::rng::{Rng, SeedableRng, StdRng};
+use mfaplace_tensor::Tensor;
+
+const EPOCHS: usize = 2;
+const SAMPLES: usize = 8;
+const BATCH: usize = 4;
+
+/// Synthetic dataset so the bench times training, not the placement
+/// pipeline that normally produces the data.
+fn synth_dataset(grid: usize) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(17);
+    let samples = (0..SAMPLES)
+        .map(|_| Sample {
+            features: Tensor::randn(vec![6, grid, grid], 1.0, &mut rng),
+            labels: (0..grid * grid)
+                .map(|_| rng.gen_range(0..8u32) as u8)
+                .collect(),
+        })
+        .collect();
+    Dataset { samples, grid }
+}
+
+fn run(k: usize, scale: &Scale, ds: &Dataset) -> (f64, usize, Vec<u32>) {
+    let mut g = Graph::new();
+    let mut rng = StdRng::seed_from_u64(23);
+    let model = OursModel::new(&mut g, scale.ours_config(), &mut rng);
+    let mut trainer = Trainer::new(
+        g,
+        model,
+        TrainConfig {
+            epochs: EPOCHS,
+            batch_size: BATCH,
+            workers: Some(k),
+            ..TrainConfig::default()
+        },
+    );
+    let t0 = std::time::Instant::now();
+    let report = trainer.fit(ds);
+    let secs = t0.elapsed().as_secs_f64();
+    let (g, model) = trainer.into_parts();
+    let bits = model
+        .params()
+        .iter()
+        .flat_map(|&p| {
+            g.value(p)
+                .data()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    (secs / EPOCHS as f64, report.steps, bits)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let ds = synth_dataset(scale.grid);
+    eprintln!(
+        "train_parallel: grid {}, base_channels {}, {} samples x {} epochs, {} host threads",
+        scale.grid,
+        scale.base_channels,
+        SAMPLES,
+        EPOCHS,
+        mfaplace_rt::pool::max_threads()
+    );
+
+    let mut rows = Vec::new();
+    let mut baseline_epoch_secs = 0.0f64;
+    let mut baseline_bits: Vec<u32> = Vec::new();
+    let mut bitwise_identical = true;
+    for k in [1usize, 2, 4] {
+        let (epoch_secs, steps, bits) = run(k, &scale, &ds);
+        if k == 1 {
+            baseline_epoch_secs = epoch_secs;
+            baseline_bits = bits;
+        } else if bits != baseline_bits {
+            bitwise_identical = false;
+        }
+        let speedup = baseline_epoch_secs / epoch_secs;
+        eprintln!("  K={k}: {epoch_secs:.3} s/epoch ({steps} steps, speedup {speedup:.2}x)");
+        rows.push(format!(
+            "    {{\"workers\": {k}, \"epoch_seconds\": {epoch_secs:.6}, \"steps\": {steps}, \"speedup_vs_1\": {speedup:.4}}}"
+        ));
+    }
+
+    let json = format!
+        (
+        "{{\n  \"bench\": \"train_parallel\",\n  \"grid\": {},\n  \"base_channels\": {},\n  \"samples\": {},\n  \"epochs\": {},\n  \"host_threads\": {},\n  \"bitwise_identical_across_workers\": {},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        scale.grid,
+        scale.base_channels,
+        SAMPLES,
+        EPOCHS,
+        mfaplace_rt::pool::max_threads(),
+        bitwise_identical,
+        rows.join(",\n")
+    );
+    emit_report("train_parallel.json", &json);
+    assert!(
+        bitwise_identical,
+        "worker counts diverged — determinism contract broken"
+    );
+}

@@ -157,6 +157,7 @@ pub fn build_suite_data(designs: &[Design], cfg: &DatasetConfig, seed: u64) -> S
 // The variants intentionally hold the models inline: a handful of zoo
 // entries exist per run, so the size skew does not matter.
 #[allow(clippy::large_enum_variant)]
+#[derive(Clone)]
 pub enum ZooModel {
     /// U-Net baseline \[6\].
     UNet(UNetModel),
@@ -198,6 +199,15 @@ impl CongestionModel for ZooModel {
             ZooModel::Pgnn(m) => m.name(),
             ZooModel::Pros2(m) => m.name(),
             ZooModel::Ours(m) => m.name(),
+        }
+    }
+
+    fn batch_norms(&mut self) -> Vec<&mut mfaplace_nn::BatchNorm2d> {
+        match self {
+            ZooModel::UNet(m) => m.batch_norms(),
+            ZooModel::Pgnn(m) => m.batch_norms(),
+            ZooModel::Pros2(m) => m.batch_norms(),
+            ZooModel::Ours(m) => m.batch_norms(),
         }
     }
 }
@@ -251,6 +261,7 @@ pub fn train_and_evaluate(
             class_weighting: true,
             cosine_schedule: true,
             seed: 11,
+            ..TrainConfig::default()
         },
     );
     let report = trainer.fit(&suite.train);

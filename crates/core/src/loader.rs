@@ -57,11 +57,22 @@ pub fn load_predictor(
     // Seed is irrelevant: every parameter is overwritten by the file.
     let mut g = Graph::new();
     let mut rng = StdRng::seed_from_u64(0);
-    let model = spec
+    let mut model = spec
         .build(&mut g, &mut rng)
         .map_err(|e| format!("{path}: {e}"))?;
     checkpoint::assign_params(&mut g, &model.params(), ckpt.tensors)
         .map_err(|e| format!("{path}: {e} (wrong --arch/--grid/--channels for this file?)"))?;
+    // v3 checkpoints carry batch-norm running statistics (they are state,
+    // not parameters); restore them so inference matches the trainer's
+    // in-memory model exactly. v1/v2 files fall back to init stats.
+    if let Some(train) = &ckpt.train {
+        let mut bns = model.batch_norms();
+        if bns.len() == train.bn_stats.len() {
+            for (bn, (m, v)) in bns.iter_mut().zip(&train.bn_stats) {
+                bn.set_running_stats(m, v);
+            }
+        }
+    }
     Ok((spec, ModelPredictor::new(g, model)))
 }
 
@@ -102,6 +113,18 @@ pub fn init_checkpoint(spec: &ArchSpec, seed: u64, path: &str) -> Result<(), Str
 /// Returns a human-readable error if the header is malformed.
 pub fn peek_meta(path: &str) -> Result<Option<CheckpointMeta>, String> {
     checkpoint::read_meta(path).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Reads the mid-run training state of a v3 checkpoint, if present:
+/// `(optimizer steps, epoch, completed-epoch losses)`. `None` for v1/v2
+/// files (weights only).
+///
+/// # Errors
+///
+/// Returns an error naming the file if it cannot be read or parsed.
+pub fn peek_train_state(path: &str) -> Result<Option<(u64, u64, Vec<f32>)>, String> {
+    let ckpt = checkpoint::read_checkpoint(path).map_err(|e| format!("{path}: {e}"))?;
+    Ok(ckpt.train.map(|t| (t.steps, t.epoch, t.epoch_losses)))
 }
 
 #[cfg(test)]

@@ -1,12 +1,51 @@
 //! Training loop for congestion-prediction models (Sec. V-A: Adam,
 //! learning rate `1e-3`, pixel-wise cross entropy over congestion levels).
+//!
+//! # Deterministic data parallelism
+//!
+//! [`Trainer::fit`] shards every minibatch at **fixed one-sample
+//! granularity** and runs forward+backward per shard on worker-local
+//! replicas (a [`Graph::clone`] of the parameter tape plus a clone of the
+//! model, so the primary's parameter `Var`s are valid on every replica).
+//! Per-shard gradients come back in sample order and are combined with the
+//! fixed-order pairwise tree reduction of [`Tensor::tree_sum`]; the loss
+//! denominator (the class-weight sum of the whole minibatch) is computed
+//! serially from the labels alone and folded into the backward seed
+//! ([`Graph::backward_seeded`]). Because neither the shard boundaries nor
+//! any reduction order depend on the worker count `K`, the summed gradient
+//! — and therefore the entire training trajectory — is **bitwise identical
+//! for any `K`** (enforced by `tests/train_determinism.rs`). Batch-norm
+//! running statistics stay `K`-invariant the same way: replicas capture
+//! their shard's batch statistics and the primary replays the EMA updates
+//! in sample order.
+//!
+//! The worker count comes from [`TrainConfig::workers`], then the
+//! `MFAPLACE_TRAIN_WORKERS` environment variable, then the rt pool size;
+//! kernel-level threads are divided among the workers so the machine is
+//! not oversubscribed.
+//!
+//! # Checkpoint/resume
+//!
+//! With [`TrainConfig::checkpoint`] set, `fit` atomically saves a
+//! version-3 checkpoint (weights + optimizer moments + LR-schedule step +
+//! shuffle-RNG state + batch-norm statistics) every
+//! [`TrainConfig::save_every`] steps, and with [`TrainConfig::resume`] it
+//! restores that state and continues to bitwise the same final weights as
+//! an uninterrupted run.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
 
 use mfaplace_autograd::Graph;
 use mfaplace_models::{expected_levels, predicted_classes, CongestionModel, NUM_LEVEL_CLASSES};
+use mfaplace_nn::checkpoint::{self, CheckpointMeta, TrainState};
 use mfaplace_nn::{class_weights_from_labels, Adam};
 use mfaplace_rt::rng::SeedableRng;
 use mfaplace_rt::rng::SliceRandom;
 use mfaplace_rt::rng::StdRng;
+use mfaplace_rt::{pool, timer::ScopeTimer};
+use mfaplace_tensor::Tensor;
 
 use crate::dataset::{batch, Dataset};
 use crate::metrics::PredictionMetrics;
@@ -28,6 +67,29 @@ pub struct TrainConfig {
     pub cosine_schedule: bool,
     /// Shuffle seed.
     pub seed: u64,
+    /// Data-parallel worker count. `None` consults the
+    /// `MFAPLACE_TRAIN_WORKERS` environment variable and falls back to the
+    /// rt pool size ([`pool::max_threads`]). Any value trains bitwise
+    /// identically; only throughput changes.
+    pub workers: Option<usize>,
+    /// Save a resumable checkpoint every this many optimizer steps
+    /// (requires [`TrainConfig::checkpoint`]; `0` disables periodic saves).
+    pub save_every: usize,
+    /// Path for resumable checkpoints. When set, `fit` also saves here on
+    /// normal completion and on an early [`TrainConfig::stop_after_steps`]
+    /// stop.
+    pub checkpoint: Option<PathBuf>,
+    /// Resume from [`TrainConfig::checkpoint`] if the file exists (a
+    /// missing file starts fresh, so first runs and restarts share one
+    /// configuration).
+    pub resume: bool,
+    /// Stop after this many total optimizer steps, saving a checkpoint —
+    /// simulates a killed run for resume testing, and bounds smoke-test
+    /// cost.
+    pub stop_after_steps: Option<usize>,
+    /// Stream a JSON-lines training log (one object per step) to this
+    /// path.
+    pub log_path: Option<PathBuf>,
 }
 
 impl Default for TrainConfig {
@@ -39,17 +101,81 @@ impl Default for TrainConfig {
             class_weighting: true,
             cosine_schedule: true,
             seed: 7,
+            workers: None,
+            save_every: 0,
+            checkpoint: None,
+            resume: false,
+            stop_after_steps: None,
+            log_path: None,
         }
     }
 }
 
-/// Per-epoch training statistics.
+impl TrainConfig {
+    /// The effective data-parallel worker count (see
+    /// [`TrainConfig::workers`]).
+    pub fn effective_workers(&self) -> usize {
+        self.workers
+            .or_else(|| {
+                std::env::var("MFAPLACE_TRAIN_WORKERS")
+                    .ok()
+                    .and_then(|s| s.trim().parse::<usize>().ok())
+                    .filter(|&n| n >= 1)
+            })
+            .unwrap_or_else(pool::max_threads)
+            .max(1)
+    }
+}
+
+/// Per-step training record (observability; not part of the deterministic
+/// state).
+#[derive(Debug, Clone)]
+pub struct StepRecord {
+    /// Global optimizer step (1-based after the step completes).
+    pub step: usize,
+    /// Epoch the step belongs to (0-based).
+    pub epoch: usize,
+    /// Minibatch loss.
+    pub loss: f32,
+    /// Learning rate used.
+    pub lr: f32,
+    /// Samples in the minibatch.
+    pub samples: usize,
+    /// Wall-clock duration of the step in milliseconds.
+    pub millis: f64,
+}
+
+/// Training statistics.
 #[derive(Debug, Clone, Default)]
 pub struct TrainReport {
     /// Mean loss per epoch.
     pub epoch_losses: Vec<f32>,
-    /// Total optimizer steps taken.
+    /// Total optimizer steps taken (including restored ones on resume).
     pub steps: usize,
+    /// Per-step records for the steps executed by this `fit` call.
+    pub steps_log: Vec<StepRecord>,
+    /// Data-parallel worker count used.
+    pub workers: usize,
+    /// If the run resumed from a checkpoint, the step count it resumed at.
+    pub resumed_at_step: Option<usize>,
+}
+
+/// One worker's unit of work: a single-sample shard plus the parameter
+/// snapshot to compute it against.
+struct ShardJob {
+    x: Tensor,
+    labels: Vec<u8>,
+    snapshot: Arc<Vec<Tensor>>,
+    version: u64,
+    /// Backward seed `1/denominator` for this minibatch.
+    seed: f32,
+}
+
+/// One worker's result for a shard, in primary-parameter order.
+struct ShardOut {
+    loss_sum: f64,
+    grads: Vec<Option<Tensor>>,
+    bn_stats: Vec<Option<(Vec<f32>, Vec<f32>)>>,
 }
 
 /// Drives training and evaluation of one model on one graph.
@@ -57,16 +183,27 @@ pub struct Trainer<M: CongestionModel> {
     graph: Graph,
     model: M,
     config: TrainConfig,
+    meta: CheckpointMeta,
 }
 
 impl<M: CongestionModel> Trainer<M> {
     /// Wraps a model (already constructed on `graph`) for training.
     pub fn new(graph: Graph, model: M, config: TrainConfig) -> Self {
+        let meta = CheckpointMeta::new(model.name());
         Trainer {
             graph,
             model,
             config,
+            meta,
         }
+    }
+
+    /// Sets the metadata written into checkpoints (e.g. an
+    /// architecture spec's `to_meta()`), so saved files are
+    /// self-describing for the loader and the CLI. Defaults to just the
+    /// model name.
+    pub fn set_checkpoint_meta(&mut self, meta: CheckpointMeta) {
+        self.meta = meta;
     }
 
     /// The wrapped model.
@@ -80,66 +217,9 @@ impl<M: CongestionModel> Trainer<M> {
         (self.graph, self.model)
     }
 
-    /// Trains on `dataset`, returning per-epoch losses.
-    pub fn fit(&mut self, dataset: &Dataset) -> TrainReport {
-        use mfaplace_nn::{CosineLr, LrSchedule};
-        let _t = mfaplace_rt::timer::ScopeTimer::new("core/fit");
-        let mut opt = Adam::new(self.config.lr);
-        let batches_per_epoch = dataset.len().div_ceil(self.config.batch_size).max(1);
-        let total_steps = batches_per_epoch * self.config.epochs;
-        let schedule = self.config.cosine_schedule.then(|| CosineLr {
-            base: self.config.lr,
-            floor: self.config.lr * 0.05,
-            total: total_steps,
-            warmup: (total_steps / 20).max(1),
-        });
-        let params = self.model.params();
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let mark = self.graph.mark();
-        let mut report = TrainReport::default();
-
-        // Class weights from the whole training set.
-        let weights = self.config.class_weighting.then(|| {
-            let all: Vec<u8> = dataset
-                .samples
-                .iter()
-                .flat_map(|s| s.labels.iter().copied())
-                .collect();
-            class_weights_from_labels(&all, NUM_LEVEL_CLASSES)
-        });
-
-        for _epoch in 0..self.config.epochs {
-            let _te = mfaplace_rt::timer::ScopeTimer::new("core/fit_epoch");
-            let mut order: Vec<usize> = (0..dataset.len()).collect();
-            order.shuffle(&mut rng);
-            let mut epoch_loss = 0.0f32;
-            let mut batches = 0usize;
-            for chunk in order.chunks(self.config.batch_size) {
-                if let Some(s) = &schedule {
-                    opt.set_lr(s.lr_at(report.steps));
-                }
-                let (x, labels) = batch(dataset, chunk);
-                let xv = self.graph.constant(x);
-                let logits = self.model.forward(&mut self.graph, xv, true);
-                let loss = self
-                    .graph
-                    .cross_entropy2d(logits, &labels, weights.as_deref());
-                epoch_loss += self.graph.value(loss).item();
-                batches += 1;
-                self.graph.zero_grads();
-                self.graph.backward(loss);
-                opt.step(&mut self.graph, &params);
-                self.graph.truncate(mark);
-                report.steps += 1;
-            }
-            report.epoch_losses.push(epoch_loss / batches.max(1) as f32);
-        }
-        report
-    }
-
     /// Evaluates ACC / R^2 / NRMS on `dataset` (inference mode).
     pub fn evaluate(&mut self, dataset: &Dataset) -> PredictionMetrics {
-        let _t = mfaplace_rt::timer::ScopeTimer::new("core/evaluate");
+        let _t = ScopeTimer::new("core/evaluate");
         let mark = self.graph.mark();
         let mut pred_classes = Vec::new();
         let mut pred_levels = Vec::new();
@@ -155,6 +235,377 @@ impl<M: CongestionModel> Trainer<M> {
             self.graph.truncate(mark);
         }
         PredictionMetrics::compute(&pred_classes, &pred_levels, &labels_all)
+    }
+}
+
+impl<M: CongestionModel + Clone + Send> Trainer<M> {
+    /// Trains on `dataset`, returning per-epoch losses and per-step
+    /// records. See the module docs for the determinism and
+    /// checkpoint/resume contracts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a configured resume checkpoint exists but is corrupt or
+    /// belongs to a different architecture, or if the training log cannot
+    /// be written.
+    pub fn fit(&mut self, dataset: &Dataset) -> TrainReport {
+        let _t = ScopeTimer::new("core/fit");
+        let k = self.config.effective_workers();
+        let params = self.model.params();
+        let mut opt = Adam::new(self.config.lr);
+        let batches_per_epoch = dataset.len().div_ceil(self.config.batch_size).max(1);
+        let total_steps = batches_per_epoch * self.config.epochs;
+        let schedule = self.config.cosine_schedule.then(|| {
+            use mfaplace_nn::CosineLr;
+            CosineLr {
+                base: self.config.lr,
+                floor: self.config.lr * 0.05,
+                total: total_steps,
+                warmup: (total_steps / 20).max(1),
+            }
+        });
+
+        // Class weights from the whole training set (serial, so identical
+        // for every worker count).
+        let weights = self.config.class_weighting.then(|| {
+            let all: Vec<u8> = dataset
+                .samples
+                .iter()
+                .flat_map(|s| s.labels.iter().copied())
+                .collect();
+            class_weights_from_labels(&all, NUM_LEVEL_CLASSES)
+        });
+
+        // ----------------------------------------------------- resume
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut steps = 0usize;
+        let mut start_epoch = 0usize;
+        let mut start_batch = 0usize;
+        let mut done_epoch_losses: Vec<f32> = Vec::new();
+        let mut partial_loss = 0.0f64;
+        let mut resumed_at_step = None;
+        if self.config.resume {
+            if let Some(path) = self.config.checkpoint.clone() {
+                if path.exists() {
+                    let st = self.load_resume_state(&path, &params, &mut opt);
+                    rng = StdRng::from_state(st.rng_state);
+                    steps = st.steps as usize;
+                    start_epoch = st.epoch as usize;
+                    start_batch = st.batch_in_epoch as usize;
+                    done_epoch_losses = st.epoch_losses;
+                    partial_loss = st.partial_loss;
+                    resumed_at_step = Some(steps);
+                }
+            }
+        }
+
+        let mut log = self.open_step_log(resumed_at_step.is_some());
+
+        // Worker-local replicas: a clone of the parameter tape plus the
+        // model, pre-built here and handed to each worker thread through a
+        // take-once slot.
+        let replicas: Vec<Mutex<Option<(Graph, M)>>> = (0..k)
+            .map(|_| Mutex::new(Some((self.graph.clone(), self.model.clone()))))
+            .collect();
+        // Split kernel-level threads among the workers (kernels are
+        // bitwise thread-count invariant, so this only affects speed).
+        let kernel_threads = (pool::max_threads() / k).max(1);
+        let params_ref = &params;
+        let weights_ref = &weights;
+
+        let state = |w: usize| {
+            let (graph, model) = replicas[w]
+                .lock()
+                .expect("replica slot lock")
+                .take()
+                .expect("replica taken once per worker");
+            let mark = graph.mark();
+            (graph, model, mark, 0u64)
+        };
+        let work = move |s: &mut (Graph, M, usize, u64), job: ShardJob| -> ShardOut {
+            let _t = ScopeTimer::new("core/fit_shard");
+            let (g, model, mark, version) = s;
+            pool::with_threads(kernel_threads, || {
+                if *version != job.version {
+                    for (&p, t) in params_ref.iter().zip(job.snapshot.iter()) {
+                        *g.value_mut(p) = t.clone();
+                    }
+                    *version = job.version;
+                }
+                let xv = g.constant(job.x);
+                let logits = model.forward(g, xv, true);
+                let loss = g.cross_entropy2d_sum(logits, &job.labels, weights_ref.as_deref());
+                let loss_sum = f64::from(g.value(loss).item());
+                g.zero_grads();
+                g.backward_seeded(loss, job.seed);
+                let grads = params_ref.iter().map(|&p| g.grad(p).cloned()).collect();
+                let bn_stats = model
+                    .batch_norms()
+                    .into_iter()
+                    .map(mfaplace_nn::BatchNorm2d::take_batch_stats)
+                    .collect();
+                g.truncate(*mark);
+                ShardOut {
+                    loss_sum,
+                    grads,
+                    bn_stats,
+                }
+            })
+        };
+
+        pool::worker_team(k, state, work, |team| {
+            let mut report = TrainReport {
+                epoch_losses: done_epoch_losses,
+                steps,
+                workers: k,
+                resumed_at_step,
+                ..TrainReport::default()
+            };
+            let mut version = 0u64;
+            let mut epoch = start_epoch;
+            let mut pending_skip = start_batch;
+            let mut epoch_loss = partial_loss;
+            'epochs: while epoch < self.config.epochs {
+                let _te = ScopeTimer::new("core/fit_epoch");
+                // Captured *before* the shuffle so a resume can re-shuffle
+                // to recover both the order and the post-shuffle state.
+                let epoch_start_rng = rng.state();
+                let mut order: Vec<usize> = (0..dataset.len()).collect();
+                order.shuffle(&mut rng);
+                let mut batches_done = pending_skip;
+                for chunk in order.chunks(self.config.batch_size).skip(pending_skip) {
+                    let step_t0 = std::time::Instant::now();
+                    let _ts = ScopeTimer::new("core/fit_step");
+                    let lr = schedule.map_or(self.config.lr, |s| {
+                        use mfaplace_nn::LrSchedule;
+                        s.lr_at(report.steps)
+                    });
+                    opt.set_lr(lr);
+
+                    // Minibatch weight denominator, serial over (sample,
+                    // pixel) so it is identical for every worker count.
+                    let mut den = 0.0f64;
+                    for &i in chunk {
+                        for &y in &dataset.samples[i].labels {
+                            den += f64::from(weights.as_ref().map_or(1.0, |cw| cw[y as usize]));
+                        }
+                    }
+                    let den = den.max(1e-12);
+                    let seed = (1.0 / den) as f32;
+
+                    version += 1;
+                    let snapshot = Arc::new(
+                        params
+                            .iter()
+                            .map(|&p| self.graph.value(p).clone())
+                            .collect::<Vec<_>>(),
+                    );
+                    let jobs: Vec<ShardJob> = chunk
+                        .iter()
+                        .map(|&i| {
+                            let (x, labels) = batch(dataset, &[i]);
+                            ShardJob {
+                                x,
+                                labels,
+                                snapshot: Arc::clone(&snapshot),
+                                version,
+                                seed,
+                            }
+                        })
+                        .collect();
+                    let results = team.run(jobs);
+
+                    // Fixed-order combination: loss sums and batch-norm
+                    // statistics in sample order, gradients per parameter
+                    // through the pairwise tree reduction.
+                    let _tr = ScopeTimer::new("core/fit_reduce");
+                    let mut loss_sum = 0.0f64;
+                    let mut grad_cols: Vec<Vec<Tensor>> = params
+                        .iter()
+                        .map(|_| Vec::with_capacity(chunk.len()))
+                        .collect();
+                    for r in results {
+                        loss_sum += r.loss_sum;
+                        for (col, g) in grad_cols.iter_mut().zip(r.grads) {
+                            if let Some(t) = g {
+                                col.push(t);
+                            }
+                        }
+                        let mut bns = self.model.batch_norms();
+                        for (bn, s) in bns.iter_mut().zip(r.bn_stats) {
+                            if let Some((m, v)) = s {
+                                bn.ema_update(&m, &v);
+                            }
+                        }
+                    }
+                    for (&p, col) in params.iter().zip(grad_cols) {
+                        self.graph.set_grad(p, Tensor::tree_sum(col));
+                    }
+                    drop(_tr);
+                    opt.step(&mut self.graph, &params);
+
+                    let batch_loss = loss_sum / den;
+                    epoch_loss += batch_loss;
+                    batches_done += 1;
+                    report.steps += 1;
+                    let record = StepRecord {
+                        step: report.steps,
+                        epoch,
+                        loss: batch_loss as f32,
+                        lr,
+                        samples: chunk.len(),
+                        millis: step_t0.elapsed().as_secs_f64() * 1e3,
+                    };
+                    self.log_step(&mut log, &record);
+                    report.steps_log.push(record);
+
+                    let stop_now = self.config.stop_after_steps == Some(report.steps);
+                    let periodic = self.config.save_every > 0
+                        && report.steps.is_multiple_of(self.config.save_every);
+                    if stop_now || periodic {
+                        self.save_train_state(
+                            &params,
+                            &opt,
+                            TrainState {
+                                steps: report.steps as u64,
+                                epoch: epoch as u64,
+                                batch_in_epoch: batches_done as u64,
+                                rng_state: epoch_start_rng,
+                                adam_t: 0,           // filled by save_train_state
+                                moments: Vec::new(), // filled by save_train_state
+                                epoch_losses: report.epoch_losses.clone(),
+                                partial_loss: epoch_loss,
+                                bn_stats: Vec::new(), // filled by save_train_state
+                            },
+                        );
+                    }
+                    if stop_now {
+                        break 'epochs;
+                    }
+                }
+                report
+                    .epoch_losses
+                    .push((epoch_loss / (batches_done.max(1) as f64)) as f32);
+                epoch += 1;
+                pending_skip = 0;
+                epoch_loss = 0.0;
+            }
+            if self.config.checkpoint.is_some() && self.config.stop_after_steps.is_none() {
+                self.save_train_state(
+                    &params,
+                    &opt,
+                    TrainState {
+                        steps: report.steps as u64,
+                        epoch: self.config.epochs as u64,
+                        batch_in_epoch: 0,
+                        rng_state: rng.state(),
+                        adam_t: 0,
+                        moments: Vec::new(),
+                        epoch_losses: report.epoch_losses.clone(),
+                        partial_loss: 0.0,
+                        bn_stats: Vec::new(),
+                    },
+                );
+            }
+            report
+        })
+    }
+
+    /// Restores weights + optimizer + RNG + batch-norm state from a v3
+    /// checkpoint, returning the raw train state for the loop to consume.
+    fn load_resume_state(
+        &mut self,
+        path: &Path,
+        params: &[mfaplace_autograd::Var],
+        opt: &mut Adam,
+    ) -> TrainState {
+        let ckpt = checkpoint::read_checkpoint(path)
+            .unwrap_or_else(|e| panic!("resume from {}: {e}", path.display()));
+        checkpoint::assign_params(&mut self.graph, params, ckpt.tensors)
+            .unwrap_or_else(|e| panic!("resume from {}: {e}", path.display()));
+        let st = ckpt.train.unwrap_or_else(|| {
+            panic!(
+                "resume from {}: checkpoint has no training-state section (v1/v2 file?)",
+                path.display()
+            )
+        });
+        opt.import_moments(params, st.adam_t, st.moments.clone());
+        let mut bns = self.model.batch_norms();
+        assert_eq!(
+            bns.len(),
+            st.bn_stats.len(),
+            "resume: batch-norm layer count mismatch"
+        );
+        for (bn, (m, v)) in bns.iter_mut().zip(&st.bn_stats) {
+            bn.set_running_stats(m, v);
+        }
+        st
+    }
+
+    /// Saves a resumable v3 checkpoint (atomic rename) at
+    /// [`TrainConfig::checkpoint`]. `partial` carries the loop counters;
+    /// optimizer moments and batch-norm statistics are filled in here.
+    fn save_train_state(
+        &mut self,
+        params: &[mfaplace_autograd::Var],
+        opt: &Adam,
+        partial: TrainState,
+    ) {
+        let Some(path) = self.config.checkpoint.clone() else {
+            return;
+        };
+        let _t = ScopeTimer::new("core/fit_save");
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).ok();
+            }
+        }
+        let (adam_t, moments) = opt.export_moments(&self.graph, params);
+        let bn_stats = self
+            .model
+            .batch_norms()
+            .into_iter()
+            .map(|bn| (bn.running_mean().to_vec(), bn.running_var().to_vec()))
+            .collect();
+        let st = TrainState {
+            adam_t,
+            moments,
+            bn_stats,
+            ..partial
+        };
+        checkpoint::save_train_checkpoint(&self.graph, params, &self.meta, &st, &path)
+            .unwrap_or_else(|e| panic!("saving checkpoint {}: {e}", path.display()));
+    }
+
+    fn open_step_log(&self, resumed: bool) -> Option<std::io::BufWriter<std::fs::File>> {
+        let path = self.config.log_path.as_ref()?;
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).ok();
+            }
+        }
+        let file = if resumed {
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+        } else {
+            std::fs::File::create(path)
+        }
+        .unwrap_or_else(|e| panic!("opening training log {}: {e}", path.display()));
+        Some(std::io::BufWriter::new(file))
+    }
+
+    fn log_step(&self, log: &mut Option<std::io::BufWriter<std::fs::File>>, r: &StepRecord) {
+        if let Some(w) = log {
+            writeln!(
+                w,
+                "{{\"step\":{},\"epoch\":{},\"loss\":{},\"lr\":{},\"samples\":{},\"millis\":{:.3}}}",
+                r.step, r.epoch, r.loss, r.lr, r.samples, r.millis
+            )
+            .and_then(|()| w.flush())
+            .expect("writing training log");
+        }
     }
 }
 
@@ -212,6 +663,7 @@ mod tests {
         );
         let report = trainer.fit(&ds);
         assert_eq!(report.epoch_losses.len(), 4);
+        assert_eq!(report.steps_log.len(), report.steps);
         let first = report.epoch_losses[0];
         let last = *report.epoch_losses.last().unwrap();
         assert!(last < first, "loss should fall: {first} -> {last}");

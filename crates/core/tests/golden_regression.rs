@@ -1,0 +1,127 @@
+//! Golden-regression tests: fixed-seed training runs on a tiny synthetic
+//! dataset must reproduce committed final-loss and metric values **exactly**
+//! (bit patterns, not tolerances) for Ours, U-Net, and PGNN.
+//!
+//! Because the whole stack is deterministic — same-seeded init, bitwise
+//! thread-count-invariant kernels, fixed-order gradient reduction — any bit
+//! drift here means a numerics change, intended or not. To re-bless after
+//! an intended change:
+//!
+//! ```text
+//! MFAPLACE_BLESS=1 cargo test -p mfaplace-core --test golden_regression
+//! ```
+//!
+//! and commit the regenerated files under `tests/golden/` with a note on
+//! why the numbers moved.
+
+use std::path::PathBuf;
+
+use mfaplace_autograd::Graph;
+use mfaplace_core::dataset::{Dataset, Sample};
+use mfaplace_core::train::{TrainConfig, Trainer};
+use mfaplace_models::{Arch, ArchSpec};
+use mfaplace_rt::rng::{Rng, SeedableRng, StdRng};
+use mfaplace_tensor::Tensor;
+
+const GRID: usize = 16;
+
+fn synth_dataset() -> Dataset {
+    let mut rng = StdRng::seed_from_u64(13);
+    let samples = (0..4)
+        .map(|_| Sample {
+            features: Tensor::randn(vec![6, GRID, GRID], 1.0, &mut rng),
+            labels: (0..GRID * GRID)
+                .map(|_| rng.gen_range(0..8u32) as u8)
+                .collect(),
+        })
+        .collect();
+    Dataset {
+        samples,
+        grid: GRID,
+    }
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.golden"))
+}
+
+/// Trains the architecture with a fixed seed and renders the golden
+/// content: exact bit patterns plus approximate decimals for review.
+fn run_case(arch: Arch, name: &str) -> String {
+    let ds = synth_dataset();
+    let mut g = Graph::new();
+    let mut rng = StdRng::seed_from_u64(77);
+    let mut spec = ArchSpec::new(arch, GRID);
+    spec.base_channels = 2;
+    spec.vit_layers = 1;
+    spec.vit_heads = 2;
+    let model = spec.build(&mut g, &mut rng).unwrap();
+    let mut trainer = Trainer::new(
+        g,
+        model,
+        TrainConfig {
+            epochs: 2,
+            batch_size: 2,
+            workers: Some(2), // any K is bitwise identical (test-enforced)
+            ..TrainConfig::default()
+        },
+    );
+    let report = trainer.fit(&ds);
+    let loss = *report.epoch_losses.last().unwrap();
+    let m = trainer.evaluate(&ds);
+    format!(
+        "# {name}: fixed-seed golden (dataset seed 13, init seed 77, 2 epochs)\n\
+         loss_bits={:08x} # {}\n\
+         acc_bits={:016x} # {}\n\
+         r2_bits={:016x} # {}\n\
+         nrms_bits={:016x} # {}\n",
+        loss.to_bits(),
+        loss,
+        m.acc.to_bits(),
+        m.acc,
+        m.r2.to_bits(),
+        m.r2,
+        m.nrms.to_bits(),
+        m.nrms,
+    )
+}
+
+fn check(arch: Arch, name: &str) {
+    let got = run_case(arch, name);
+    let path = golden_path(name);
+    if std::env::var_os("MFAPLACE_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with MFAPLACE_BLESS=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        want,
+        got,
+        "{name} drifted from its golden file {}; if the numerics change is \
+         intended, re-bless with MFAPLACE_BLESS=1",
+        path.display()
+    );
+}
+
+#[test]
+fn golden_ours() {
+    check(Arch::Ours, "ours");
+}
+
+#[test]
+fn golden_unet() {
+    check(Arch::UNet, "unet");
+}
+
+#[test]
+fn golden_pgnn() {
+    check(Arch::Pgnn, "pgnn");
+}

@@ -1,0 +1,243 @@
+//! Determinism matrix for the data-parallel trainer.
+//!
+//! The contract (see `crates/core/src/train.rs` module docs): the worker
+//! count `K` only changes scheduling, never numerics — minibatches shard at
+//! fixed one-sample granularity and combine through a fixed-order pairwise
+//! tree reduction — so training is **bitwise identical** for any `K`. And a
+//! run killed mid-training resumes from its checkpoint to bitwise the same
+//! final state as an uninterrupted run.
+
+use std::path::PathBuf;
+
+use mfaplace_autograd::Graph;
+use mfaplace_core::dataset::{Dataset, Sample};
+use mfaplace_core::train::{TrainConfig, Trainer};
+use mfaplace_models::{CongestionModel, UNetModel};
+use mfaplace_rt::rng::{Rng, SeedableRng, StdRng};
+use mfaplace_tensor::Tensor;
+
+const GRID: usize = 16;
+const SAMPLES: usize = 6;
+
+/// A small random dataset (no placement pipeline — this file tests the
+/// trainer, not the data).
+fn synth_dataset(seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let samples = (0..SAMPLES)
+        .map(|_| Sample {
+            features: Tensor::randn(vec![6, GRID, GRID], 1.0, &mut rng),
+            labels: (0..GRID * GRID)
+                .map(|_| rng.gen_range(0..8u32) as u8)
+                .collect(),
+        })
+        .collect();
+    Dataset {
+        samples,
+        grid: GRID,
+    }
+}
+
+/// Same-seeded model so every run starts from identical weights.
+fn fresh_model() -> (Graph, UNetModel) {
+    let mut g = Graph::new();
+    let mut rng = StdRng::seed_from_u64(42);
+    let model = UNetModel::new(&mut g, 2, &mut rng);
+    (g, model)
+}
+
+fn config() -> TrainConfig {
+    TrainConfig {
+        epochs: 2,
+        batch_size: 2,
+        lr: 1e-3,
+        class_weighting: true,
+        cosine_schedule: true,
+        seed: 9,
+        ..TrainConfig::default()
+    }
+}
+
+/// Runs `fit` on a fresh same-seeded model and returns the final state as
+/// bit patterns (parameters, then batch-norm running stats).
+fn run(cfg: TrainConfig, ds: &Dataset) -> (Vec<u32>, Vec<f32>, usize) {
+    let (g, model) = fresh_model();
+    let mut trainer = Trainer::new(g, model, cfg);
+    let report = trainer.fit(ds);
+    let (g, mut model) = trainer.into_parts();
+    let mut bits = Vec::new();
+    for p in model.params() {
+        bits.extend(g.value(p).data().iter().map(|v| v.to_bits()));
+    }
+    for bn in model.batch_norms() {
+        bits.extend(bn.running_mean().iter().map(|v| v.to_bits()));
+        bits.extend(bn.running_var().iter().map(|v| v.to_bits()));
+    }
+    (bits, report.epoch_losses, report.steps)
+}
+
+fn tmp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("mfaplace_determinism");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn worker_count_is_bitwise_invariant() {
+    let ds = synth_dataset(3);
+    let baseline = run(
+        TrainConfig {
+            workers: Some(1),
+            ..config()
+        },
+        &ds,
+    );
+    for k in [2usize, 4] {
+        let got = run(
+            TrainConfig {
+                workers: Some(k),
+                ..config()
+            },
+            &ds,
+        );
+        assert_eq!(
+            baseline.0, got.0,
+            "K={k} parameters/BN stats differ from K=1"
+        );
+        assert_eq!(
+            baseline.1.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            got.1.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "K={k} epoch losses differ from K=1"
+        );
+        assert_eq!(baseline.2, got.2, "K={k} step count differs");
+    }
+}
+
+#[test]
+fn env_var_selects_workers() {
+    // Explicit config wins over everything.
+    assert_eq!(
+        TrainConfig {
+            workers: Some(5),
+            ..config()
+        }
+        .effective_workers(),
+        5
+    );
+    // Env var fills in when the config leaves it open. (Other tests in
+    // this binary pass `workers: Some(..)` so the temporary global is
+    // safe.)
+    std::env::set_var("MFAPLACE_TRAIN_WORKERS", "3");
+    assert_eq!(config().effective_workers(), 3);
+    std::env::remove_var("MFAPLACE_TRAIN_WORKERS");
+    assert!(config().effective_workers() >= 1);
+}
+
+#[test]
+fn resume_after_kill_matches_uninterrupted_exactly() {
+    let ds = synth_dataset(7);
+    // 6 samples / batch 2 = 3 steps per epoch; 2 epochs = 6 total steps.
+    // Kill at step 4 — mid second epoch — the hardest resume point (needs
+    // the epoch-start RNG state and the partial epoch-loss sum).
+    for (kill_at, workers) in [(4usize, 1usize), (2, 2)] {
+        let ckpt = tmp_path(&format!("resume_{kill_at}_{workers}.mfaw"));
+        let _ = std::fs::remove_file(&ckpt);
+
+        let uninterrupted = run(
+            TrainConfig {
+                workers: Some(workers),
+                ..config()
+            },
+            &ds,
+        );
+
+        // Killed run: stops (and checkpoints) after `kill_at` steps.
+        let killed = run(
+            TrainConfig {
+                workers: Some(workers),
+                checkpoint: Some(ckpt.clone()),
+                stop_after_steps: Some(kill_at),
+                ..config()
+            },
+            &ds,
+        );
+        assert_eq!(killed.2, kill_at, "killed run stopped at wrong step");
+        assert!(ckpt.exists(), "kill must leave a checkpoint behind");
+        assert!(
+            !ckpt.with_extension("tmp").exists(),
+            "atomic save must not leave a .tmp sibling"
+        );
+
+        // Resumed run: picks up from the checkpoint and finishes.
+        let resumed = {
+            let (g, model) = fresh_model();
+            let mut trainer = Trainer::new(
+                g,
+                model,
+                TrainConfig {
+                    workers: Some(workers),
+                    checkpoint: Some(ckpt.clone()),
+                    resume: true,
+                    ..config()
+                },
+            );
+            let report = trainer.fit(&ds);
+            assert_eq!(report.resumed_at_step, Some(kill_at));
+            let (g, mut model) = trainer.into_parts();
+            let mut bits = Vec::new();
+            for p in model.params() {
+                bits.extend(g.value(p).data().iter().map(|v| v.to_bits()));
+            }
+            for bn in model.batch_norms() {
+                bits.extend(bn.running_mean().iter().map(|v| v.to_bits()));
+                bits.extend(bn.running_var().iter().map(|v| v.to_bits()));
+            }
+            (bits, report.epoch_losses, report.steps)
+        };
+
+        assert_eq!(
+            uninterrupted.0, resumed.0,
+            "kill@{kill_at} K={workers}: resumed weights differ from uninterrupted"
+        );
+        assert_eq!(
+            uninterrupted
+                .1
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            resumed.1.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "kill@{kill_at} K={workers}: epoch losses differ"
+        );
+        assert_eq!(uninterrupted.2, resumed.2, "total steps differ");
+        let _ = std::fs::remove_file(&ckpt);
+    }
+}
+
+#[test]
+fn resume_with_missing_checkpoint_starts_fresh() {
+    let ds = synth_dataset(11);
+    let ckpt = tmp_path("never_written.mfaw");
+    let _ = std::fs::remove_file(&ckpt);
+    let plain = run(
+        TrainConfig {
+            workers: Some(1),
+            epochs: 1,
+            ..config()
+        },
+        &ds,
+    );
+    // resume=true with no file on disk must behave like a fresh run (and
+    // then write the completion checkpoint).
+    let fresh = run(
+        TrainConfig {
+            workers: Some(1),
+            epochs: 1,
+            checkpoint: Some(ckpt.clone()),
+            resume: true,
+            ..config()
+        },
+        &ds,
+    );
+    assert_eq!(plain.0, fresh.0);
+    assert!(ckpt.exists(), "completed run should save its checkpoint");
+    let _ = std::fs::remove_file(&ckpt);
+}

@@ -7,7 +7,7 @@ use mfaplace_rt::rng::Rng;
 
 /// A ResNet basic block `conv-bn-relu-conv-bn (+ projection skip) -relu`,
 /// optionally downsampling by stride 2.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ResBlock {
     conv1: Conv2d,
     bn1: BatchNorm2d,
@@ -37,6 +37,15 @@ impl ResBlock {
             bn2,
             proj,
         }
+    }
+
+    /// The block's batch-norm layers in forward order.
+    pub fn batch_norms(&mut self) -> Vec<&mut BatchNorm2d> {
+        let mut out = vec![&mut self.bn1, &mut self.bn2];
+        if let Some((_, bn)) = &mut self.proj {
+            out.push(bn);
+        }
+        out
     }
 }
 
@@ -72,7 +81,7 @@ impl Module for ResBlock {
 }
 
 /// A plain `conv3x3-bn-relu` stage.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ConvBnRelu {
     conv: Conv2d,
     bn: BatchNorm2d,
@@ -85,6 +94,11 @@ impl ConvBnRelu {
             conv: Conv2d::new(g, cin, cout, 3, stride, 1, false, rng),
             bn: BatchNorm2d::new(g, cout),
         }
+    }
+
+    /// The stage's batch-norm layer.
+    pub fn batch_norms(&mut self) -> Vec<&mut BatchNorm2d> {
+        vec![&mut self.bn]
     }
 }
 
@@ -104,7 +118,7 @@ impl Module for ConvBnRelu {
 
 /// A decoder up-block: 2x nearest upsample, concatenation with the skip
 /// feature, then `conv3x3-bn-relu` (Sec. III-D).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct UpBlock {
     fuse: ConvBnRelu,
 }
@@ -144,6 +158,11 @@ impl UpBlock {
     /// Parameters of the block.
     pub fn params(&self) -> Vec<Var> {
         self.fuse.params()
+    }
+
+    /// The block's batch-norm layers.
+    pub fn batch_norms(&mut self) -> Vec<&mut BatchNorm2d> {
+        self.fuse.batch_norms()
     }
 }
 

@@ -15,7 +15,7 @@ use mfaplace_tensor::Tensor;
 /// `P_ji = softmax_i(B_i . C_j)` and the output is
 /// `M^p_j = alpha * sum_i P_ji D_i + M_j` with learnable `alpha`
 /// (initialized to 0, as in DANet).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct PamBlock {
     conv_b: Conv2d,
     conv_c: Conv2d,
@@ -78,7 +78,7 @@ impl Module for PamBlock {
 ///
 /// (The paper writes `C in R^{L x L}`; as in DANet the Gram matrix is over
 /// *channels*, i.e. `N x N` — we implement the channel form.)
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CamBlock {
     beta: Var,
 }
@@ -118,7 +118,7 @@ impl Module for CamBlock {
 /// The full MFA block: 1x1 reduce (factor 16) -> PAM and CAM in parallel ->
 /// sum -> 1x1 restore, with an outer residual connection preserving the
 /// multiscale feature (Fig. 3).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MfaBlock {
     reduce: Conv2d,
     pam: PamBlock,

@@ -1,4 +1,5 @@
 use mfaplace_autograd::{Graph, Var};
+use mfaplace_nn::BatchNorm2d;
 use mfaplace_tensor::Tensor;
 
 /// Number of congestion-level classes (levels `0..=7`).
@@ -15,6 +16,19 @@ pub trait CongestionModel {
 
     /// Model name as used in the paper's tables.
     fn name(&self) -> &str;
+
+    /// All batch-norm layers in a fixed traversal order.
+    ///
+    /// The data-parallel trainer uses this to keep running statistics
+    /// worker-count invariant: each replica captures its shard's batch
+    /// statistics, and the primary replays them in sample order (see
+    /// [`BatchNorm2d::ema_update`]). The order only has to be stable and
+    /// identical between a model and its clones — which any deterministic
+    /// traversal of the struct is. Models without batch norm return the
+    /// default empty list.
+    fn batch_norms(&mut self) -> Vec<&mut BatchNorm2d> {
+        Vec::new()
+    }
 }
 
 /// Converts logits `[B, K, H, W]` into the *expected* congestion level per

@@ -54,7 +54,7 @@ impl Default for OursConfig {
 }
 
 /// The MFA + transformer congestion-prediction model.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct OursModel {
     config: OursConfig,
     name: String,
@@ -216,6 +216,24 @@ impl CongestionModel for OursModel {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn batch_norms(&mut self) -> Vec<&mut mfaplace_nn::BatchNorm2d> {
+        // Same traversal order as `params`; the MFA and ViT stages carry no
+        // batch norm.
+        let mut out = self.stem.batch_norms();
+        for blk in [
+            &mut self.down1,
+            &mut self.down2,
+            &mut self.down3,
+            &mut self.down4,
+        ] {
+            out.extend(blk.batch_norms());
+        }
+        for up in [&mut self.up1, &mut self.up2, &mut self.up3, &mut self.up4] {
+            out.extend(up.batch_norms());
+        }
+        out
     }
 }
 

@@ -22,7 +22,7 @@ use crate::unet::UNetModel;
 const GNN_ROUNDS: usize = 2;
 
 /// The PGNN congestion predictor.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct PgnnModel {
     /// Learned mixing after each aggregation round.
     mixes: Vec<Conv2d>,
@@ -86,6 +86,10 @@ impl CongestionModel for PgnnModel {
 
     fn name(&self) -> &str {
         "PGNN"
+    }
+
+    fn batch_norms(&mut self) -> Vec<&mut mfaplace_nn::BatchNorm2d> {
+        self.unet.batch_norms()
     }
 }
 

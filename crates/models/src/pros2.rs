@@ -10,7 +10,7 @@ use crate::blocks::{ConvBnRelu, ResBlock, UpBlock};
 use crate::model::{CongestionModel, NUM_LEVEL_CLASSES};
 
 /// The PROS 2.0 congestion predictor.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Pros2Model {
     stem: ConvBnRelu,
     levels: Vec<(ResBlock, ResBlock)>,
@@ -81,6 +81,18 @@ impl CongestionModel for Pros2Model {
 
     fn name(&self) -> &str {
         "PROS2.0"
+    }
+
+    fn batch_norms(&mut self) -> Vec<&mut mfaplace_nn::BatchNorm2d> {
+        let mut out = self.stem.batch_norms();
+        for (a, b) in &mut self.levels {
+            out.extend(a.batch_norms());
+            out.extend(b.batch_norms());
+        }
+        for up in [&mut self.up1, &mut self.up2, &mut self.up3, &mut self.up4] {
+            out.extend(up.batch_norms());
+        }
+        out
     }
 }
 

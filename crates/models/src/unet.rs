@@ -10,7 +10,7 @@ use crate::blocks::{ConvBnRelu, UpBlock};
 use crate::model::{CongestionModel, NUM_LEVEL_CLASSES};
 
 /// The U-Net congestion predictor.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct UNetModel {
     enc1: ConvBnRelu,
     enc2: ConvBnRelu,
@@ -75,6 +75,18 @@ impl CongestionModel for UNetModel {
 
     fn name(&self) -> &str {
         "U-net"
+    }
+
+    fn batch_norms(&mut self) -> Vec<&mut mfaplace_nn::BatchNorm2d> {
+        let mut out = self.enc1.batch_norms();
+        out.extend(self.enc2.batch_norms());
+        out.extend(self.enc3.batch_norms());
+        out.extend(self.enc4.batch_norms());
+        out.extend(self.bottleneck.batch_norms());
+        for up in [&mut self.up1, &mut self.up2, &mut self.up3, &mut self.up4] {
+            out.extend(up.batch_norms());
+        }
+        out
     }
 }
 

@@ -10,7 +10,7 @@ use mfaplace_rt::rng::Rng;
 use mfaplace_tensor::Tensor;
 
 /// The complete bottleneck transformer stage.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct VitStage {
     embed: Conv2d,
     pos: Var,

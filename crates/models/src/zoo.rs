@@ -190,7 +190,7 @@ impl ArchSpec {
 /// Any of the four congestion models behind one concrete type, so loaders
 /// can pick the architecture at runtime (from checkpoint metadata or a CLI
 /// flag) and still hand a single [`CongestionModel`] to downstream code.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 #[allow(clippy::large_enum_variant)] // built once per process, never stored in bulk
 pub enum AnyModel {
     /// The paper's MFA + transformer model.
@@ -228,6 +228,15 @@ impl CongestionModel for AnyModel {
             AnyModel::UNet(m) => m.name(),
             AnyModel::Pgnn(m) => m.name(),
             AnyModel::Pros2(m) => m.name(),
+        }
+    }
+
+    fn batch_norms(&mut self) -> Vec<&mut mfaplace_nn::BatchNorm2d> {
+        match self {
+            AnyModel::Ours(m) => m.batch_norms(),
+            AnyModel::UNet(m) => m.batch_norms(),
+            AnyModel::Pgnn(m) => m.batch_norms(),
+            AnyModel::Pros2(m) => m.batch_norms(),
         }
     }
 }

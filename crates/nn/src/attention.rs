@@ -7,7 +7,7 @@ use crate::{Linear, Module};
 ///
 /// Operates on token sequences of shape `[B, L, D]`. `D` must be divisible
 /// by the number of heads.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MultiHeadSelfAttention {
     wq: Linear,
     wk: Linear,

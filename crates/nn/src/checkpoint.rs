@@ -7,22 +7,35 @@
 //!
 //! ```text
 //! magic  "MFAW"            4 bytes
-//! version u32              (1 or 2)
-//! -- version 2 only: metadata section --
+//! version u32              (1, 2 or 3)
+//! -- versions 2/3 only: metadata section --
 //! model_len u32, model utf-8 bytes      model/architecture name
 //! n_entries u32
 //! per entry:
 //!   key_len u32, key utf-8 bytes, value u32
-//! -- both versions --
+//! -- all versions --
 //! count  u32               number of tensors
 //! per tensor:
 //!   rank u32, dims u32*rank, data f32*numel
+//! -- version 3 only: training-state section --
+//! tag "TRN1"               4 bytes
+//! steps u64, epoch u64, batch_in_epoch u64
+//! rng_state u64*4          shuffle RNG at the start of `epoch`
+//! adam_t u64
+//! n_moments u32; per parameter: m tensor, v tensor (layout as above)
+//! n_epoch_losses u32, f32 each
+//! partial_loss f64         running loss sum of the unfinished epoch
+//! n_bn u32; per layer: channels u32, mean f32*ch, var f32*ch
 //! ```
 //!
 //! Version 1 files (no metadata) remain readable; [`save_params`] still
 //! writes them for tools that do not care about metadata, while
 //! [`save_checkpoint`] writes version 2 with a [`CheckpointMeta`] that
-//! records the model name and its integer config knobs. Truncated or
+//! records the model name and its integer config knobs.
+//! [`save_train_checkpoint`] writes version 3, which appends the mid-run
+//! optimizer/scheduler/RNG state a trainer needs to resume bit-exactly;
+//! it writes to a temporary sibling file and renames into place so a kill
+//! mid-save never corrupts the previous checkpoint. Truncated or
 //! corrupted files are rejected with a [`CheckpointError`] before any
 //! parameter is modified — a load either fully succeeds or changes
 //! nothing.
@@ -39,6 +52,8 @@ use mfaplace_tensor::Tensor;
 const MAGIC: &[u8; 4] = b"MFAW";
 const VERSION_V1: u32 = 1;
 const VERSION_V2: u32 = 2;
+const VERSION_V3: u32 = 3;
+const TRAIN_TAG: &[u8; 4] = b"TRN1";
 /// Upper bounds used to reject garbage before allocating.
 const MAX_NAME_LEN: usize = 256;
 const MAX_META_ENTRIES: usize = 64;
@@ -133,6 +148,35 @@ impl CheckpointMeta {
     }
 }
 
+/// Mid-run training state stored in a version-3 checkpoint — everything a
+/// trainer needs (beyond the weights) to resume and reach bitwise the same
+/// final parameters as an uninterrupted run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TrainState {
+    /// Optimizer steps completed so far (drives the LR schedule).
+    pub steps: u64,
+    /// Epoch the run was in when saved (0-based).
+    pub epoch: u64,
+    /// Batches completed within that epoch.
+    pub batch_in_epoch: u64,
+    /// Shuffle-RNG state captured at the **start** of `epoch`; resuming
+    /// re-shuffles from it to recover both the epoch's sample order and the
+    /// post-shuffle generator state.
+    pub rng_state: [u64; 4],
+    /// Adam's step counter `t` (bias correction).
+    pub adam_t: u64,
+    /// Adam `(m, v)` moments per parameter, in parameter order.
+    pub moments: Vec<(Tensor, Tensor)>,
+    /// Mean loss of each completed epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Loss sum accumulated over the `batch_in_epoch` batches of the
+    /// unfinished epoch (f64 to keep the resumed accumulation bit-exact).
+    pub partial_loss: f64,
+    /// Batch-norm running `(mean, var)` per layer, in the model's
+    /// `batch_norms()` order.
+    pub bn_stats: Vec<(Vec<f32>, Vec<f32>)>,
+}
+
 /// A fully parsed checkpoint file.
 #[derive(Debug, Clone)]
 pub struct Checkpoint {
@@ -140,6 +184,8 @@ pub struct Checkpoint {
     pub meta: Option<CheckpointMeta>,
     /// All weight tensors in save order.
     pub tensors: Vec<Tensor>,
+    /// Training-state section; `None` for version-1/2 files.
+    pub train: Option<TrainState>,
 }
 
 /// Saves the values of `params` (in order) to `path` as a version-1 file
@@ -184,6 +230,52 @@ pub fn save_checkpoint(
     let mut w = BufWriter::new(File::create(path)?);
     w.write_all(MAGIC)?;
     w.write_all(&VERSION_V2.to_le_bytes())?;
+    write_meta(&mut w, meta)?;
+    write_tensors(&mut w, g, params)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Saves weights, `meta` and mid-run `train` state to `path` as a
+/// version-3 file.
+///
+/// The write is atomic with respect to kills: the bytes go to a `.tmp`
+/// sibling first and are renamed over `path` only once fully flushed, so
+/// an interrupted save leaves the previous checkpoint intact.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Io`] on filesystem failures and
+/// [`CheckpointError::Format`] if `meta` exceeds the format's limits.
+pub fn save_train_checkpoint(
+    g: &Graph,
+    params: &[Var],
+    meta: &CheckpointMeta,
+    train: &TrainState,
+    path: impl AsRef<Path>,
+) -> Result<(), CheckpointError> {
+    let path = path.as_ref();
+    let tmp = path.with_extension("tmp");
+    {
+        let mut w = BufWriter::new(File::create(&tmp)?);
+        w.write_all(MAGIC)?;
+        w.write_all(&VERSION_V3.to_le_bytes())?;
+        write_meta(&mut w, meta)?;
+        write_tensors(&mut w, g, params)?;
+        write_train_state(&mut w, train)?;
+        w.flush()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+fn write_meta(w: &mut impl Write, meta: &CheckpointMeta) -> Result<(), CheckpointError> {
+    if meta.model.len() > MAX_NAME_LEN {
+        return Err(CheckpointError::Format("model name too long".into()));
+    }
+    if meta.entries.len() > MAX_META_ENTRIES {
+        return Err(CheckpointError::Format("too many meta entries".into()));
+    }
     w.write_all(&(meta.model.len() as u32).to_le_bytes())?;
     w.write_all(meta.model.as_bytes())?;
     w.write_all(&(meta.entries.len() as u32).to_le_bytes())?;
@@ -197,21 +289,60 @@ pub fn save_checkpoint(
         w.write_all(key.as_bytes())?;
         w.write_all(&value.to_le_bytes())?;
     }
-    write_tensors(&mut w, g, params)?;
-    w.flush()?;
     Ok(())
 }
 
 fn write_tensors(w: &mut impl Write, g: &Graph, params: &[Var]) -> Result<(), CheckpointError> {
     w.write_all(&(params.len() as u32).to_le_bytes())?;
     for &p in params {
-        let t = g.value(p);
-        w.write_all(&(t.rank() as u32).to_le_bytes())?;
-        for &d in t.shape() {
-            w.write_all(&(d as u32).to_le_bytes())?;
+        write_tensor(w, g.value(p))?;
+    }
+    Ok(())
+}
+
+fn write_tensor(w: &mut impl Write, t: &Tensor) -> Result<(), CheckpointError> {
+    w.write_all(&(t.rank() as u32).to_le_bytes())?;
+    for &d in t.shape() {
+        w.write_all(&(d as u32).to_le_bytes())?;
+    }
+    for &v in t.data() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn write_train_state(w: &mut impl Write, train: &TrainState) -> Result<(), CheckpointError> {
+    w.write_all(TRAIN_TAG)?;
+    w.write_all(&train.steps.to_le_bytes())?;
+    w.write_all(&train.epoch.to_le_bytes())?;
+    w.write_all(&train.batch_in_epoch.to_le_bytes())?;
+    for s in train.rng_state {
+        w.write_all(&s.to_le_bytes())?;
+    }
+    w.write_all(&train.adam_t.to_le_bytes())?;
+    w.write_all(&(train.moments.len() as u32).to_le_bytes())?;
+    for (m, v) in &train.moments {
+        write_tensor(w, m)?;
+        write_tensor(w, v)?;
+    }
+    w.write_all(&(train.epoch_losses.len() as u32).to_le_bytes())?;
+    for &l in &train.epoch_losses {
+        w.write_all(&l.to_le_bytes())?;
+    }
+    w.write_all(&train.partial_loss.to_le_bytes())?;
+    w.write_all(&(train.bn_stats.len() as u32).to_le_bytes())?;
+    for (mean, var) in &train.bn_stats {
+        if mean.len() != var.len() {
+            return Err(CheckpointError::Format(
+                "batch-norm mean/var length mismatch".into(),
+            ));
         }
-        for &v in t.data() {
-            w.write_all(&v.to_le_bytes())?;
+        w.write_all(&(mean.len() as u32).to_le_bytes())?;
+        for &x in mean {
+            w.write_all(&x.to_le_bytes())?;
+        }
+        for &x in var {
+            w.write_all(&x.to_le_bytes())?;
         }
     }
     Ok(())
@@ -284,7 +415,7 @@ pub fn read_tensors(path: impl AsRef<Path>) -> Result<Vec<Tensor>, CheckpointErr
 /// header is not parsed (and so not validated) by this function.
 pub fn read_meta(path: impl AsRef<Path>) -> Result<Option<CheckpointMeta>, CheckpointError> {
     let mut r = BufReader::new(File::open(path)?);
-    read_header(&mut r)
+    Ok(read_header(&mut r)?.1)
 }
 
 /// Parses a full checkpoint file (metadata + tensors).
@@ -296,60 +427,148 @@ pub fn read_meta(path: impl AsRef<Path>) -> Result<Option<CheckpointMeta>, Check
 /// [`CheckpointError::Io`] for filesystem failures.
 pub fn read_checkpoint(path: impl AsRef<Path>) -> Result<Checkpoint, CheckpointError> {
     let mut r = BufReader::new(File::open(path)?);
-    let meta = read_header(&mut r)?;
+    let (version, meta) = read_header(&mut r)?;
     let count = read_u32(&mut r)? as usize;
     if count > 1_000_000 {
         return Err(CheckpointError::Format("implausible tensor count".into()));
     }
     let mut tensors = Vec::with_capacity(count);
     for i in 0..count {
-        let rank = read_u32(&mut r)? as usize;
-        if rank > 8 {
-            return Err(CheckpointError::Format(format!(
-                "implausible rank for tensor {i}"
-            )));
-        }
-        let mut shape = Vec::with_capacity(rank);
-        for _ in 0..rank {
-            shape.push(read_u32(&mut r)? as usize);
-        }
-        let numel: usize = shape.iter().product();
-        if numel > 256 << 20 {
-            return Err(CheckpointError::Format(format!(
-                "implausible size for tensor {i}"
-            )));
-        }
-        let mut data = vec![0.0f32; numel];
-        for v in &mut data {
-            let mut b = [0u8; 4];
-            r.read_exact(&mut b)?;
-            *v = f32::from_le_bytes(b);
-        }
-        tensors.push(
-            Tensor::from_vec(shape, data).map_err(|e| CheckpointError::Format(e.to_string()))?,
-        );
+        tensors.push(read_tensor(&mut r, i)?);
     }
+    let train = if version == VERSION_V3 {
+        Some(read_train_state(&mut r)?)
+    } else {
+        None
+    };
     // Trailing garbage means the writer and reader disagree on the layout;
     // reject rather than silently ignore.
     let mut probe = [0u8; 1];
     match r.read(&mut probe)? {
-        0 => Ok(Checkpoint { meta, tensors }),
+        0 => Ok(Checkpoint {
+            meta,
+            tensors,
+            train,
+        }),
         _ => Err(CheckpointError::Format(
-            "trailing bytes after last tensor".into(),
+            "trailing bytes after last section".into(),
         )),
     }
 }
 
-/// Parses magic, version and (for v2) the metadata section.
-fn read_header(r: &mut impl Read) -> Result<Option<CheckpointMeta>, CheckpointError> {
+fn read_tensor(r: &mut impl Read, i: usize) -> Result<Tensor, CheckpointError> {
+    let rank = read_u32(r)? as usize;
+    if rank > 8 {
+        return Err(CheckpointError::Format(format!(
+            "implausible rank for tensor {i}"
+        )));
+    }
+    let mut shape = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        shape.push(read_u32(r)? as usize);
+    }
+    let numel: usize = shape.iter().product();
+    if numel > 256 << 20 {
+        return Err(CheckpointError::Format(format!(
+            "implausible size for tensor {i}"
+        )));
+    }
+    let mut data = vec![0.0f32; numel];
+    for v in &mut data {
+        *v = read_f32(r)?;
+    }
+    Tensor::from_vec(shape, data).map_err(|e| CheckpointError::Format(e.to_string()))
+}
+
+fn read_train_state(r: &mut impl Read) -> Result<TrainState, CheckpointError> {
+    let mut tag = [0u8; 4];
+    r.read_exact(&mut tag)?;
+    if &tag != TRAIN_TAG {
+        return Err(CheckpointError::Format(
+            "bad training-state section tag".into(),
+        ));
+    }
+    let steps = read_u64(r)?;
+    let epoch = read_u64(r)?;
+    let batch_in_epoch = read_u64(r)?;
+    let mut rng_state = [0u64; 4];
+    for s in &mut rng_state {
+        *s = read_u64(r)?;
+    }
+    let adam_t = read_u64(r)?;
+    let n_moments = read_u32(r)? as usize;
+    if n_moments > 1_000_000 {
+        return Err(CheckpointError::Format("implausible moment count".into()));
+    }
+    let mut moments = Vec::with_capacity(n_moments);
+    for i in 0..n_moments {
+        let m = read_tensor(r, i)?;
+        let v = read_tensor(r, i)?;
+        if m.shape() != v.shape() {
+            return Err(CheckpointError::Format(format!(
+                "moment pair {i} shape mismatch"
+            )));
+        }
+        moments.push((m, v));
+    }
+    let n_losses = read_u32(r)? as usize;
+    if n_losses > 1_000_000 {
+        return Err(CheckpointError::Format(
+            "implausible epoch-loss count".into(),
+        ));
+    }
+    let mut epoch_losses = Vec::with_capacity(n_losses);
+    for _ in 0..n_losses {
+        epoch_losses.push(read_f32(r)?);
+    }
+    let partial_loss = f64::from_bits(read_u64(r)?);
+    let n_bn = read_u32(r)? as usize;
+    if n_bn > 100_000 {
+        return Err(CheckpointError::Format(
+            "implausible batch-norm count".into(),
+        ));
+    }
+    let mut bn_stats = Vec::with_capacity(n_bn);
+    for _ in 0..n_bn {
+        let channels = read_u32(r)? as usize;
+        if channels > 1 << 20 {
+            return Err(CheckpointError::Format(
+                "implausible batch-norm width".into(),
+            ));
+        }
+        let mut mean = Vec::with_capacity(channels);
+        for _ in 0..channels {
+            mean.push(read_f32(r)?);
+        }
+        let mut var = Vec::with_capacity(channels);
+        for _ in 0..channels {
+            var.push(read_f32(r)?);
+        }
+        bn_stats.push((mean, var));
+    }
+    Ok(TrainState {
+        steps,
+        epoch,
+        batch_in_epoch,
+        rng_state,
+        adam_t,
+        moments,
+        epoch_losses,
+        partial_loss,
+        bn_stats,
+    })
+}
+
+/// Parses magic, version and (for v2/v3) the metadata section.
+fn read_header(r: &mut impl Read) -> Result<(u32, Option<CheckpointMeta>), CheckpointError> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
         return Err(CheckpointError::Format("bad magic".into()));
     }
     match read_u32(r)? {
-        VERSION_V1 => Ok(None),
-        VERSION_V2 => {
+        VERSION_V1 => Ok((VERSION_V1, None)),
+        v @ (VERSION_V2 | VERSION_V3) => {
             let model = read_string(r, MAX_NAME_LEN, "model name")?;
             let n_entries = read_u32(r)? as usize;
             if n_entries > MAX_META_ENTRIES {
@@ -363,7 +582,7 @@ fn read_header(r: &mut impl Read) -> Result<Option<CheckpointMeta>, CheckpointEr
                 let value = read_u32(r)?;
                 meta.entries.push((key, value));
             }
-            Ok(Some(meta))
+            Ok((v, Some(meta)))
         }
         v => Err(CheckpointError::Format(format!("unsupported version {v}"))),
     }
@@ -385,6 +604,18 @@ fn read_u32(r: &mut impl Read) -> Result<u32, CheckpointError> {
     let mut b = [0u8; 4];
     r.read_exact(&mut b)?;
     Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(r: &mut impl Read) -> Result<u64, CheckpointError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_f32(r: &mut impl Read) -> Result<f32, CheckpointError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(f32::from_le_bytes(b))
 }
 
 #[cfg(test)]
@@ -526,6 +757,85 @@ mod tests {
             read_checkpoint(&path),
             Err(CheckpointError::Format(_))
         ));
+        std::fs::remove_file(path).ok();
+    }
+
+    fn sample_train_state(g: &Graph, params: &[Var]) -> TrainState {
+        TrainState {
+            steps: 17,
+            epoch: 2,
+            batch_in_epoch: 3,
+            rng_state: [1, 2, 3, 4],
+            adam_t: 17,
+            moments: params
+                .iter()
+                .map(|&p| {
+                    let shape = g.value(p).shape().to_vec();
+                    (Tensor::full(shape.clone(), 0.5), Tensor::full(shape, 0.25))
+                })
+                .collect(),
+            epoch_losses: vec![1.5, 1.25],
+            partial_loss: 3.75,
+            bn_stats: vec![(vec![0.1, 0.2], vec![0.9, 1.1])],
+        }
+    }
+
+    #[test]
+    fn v3_round_trip_preserves_train_state() {
+        let path = temp_path("roundtrip_v3.mfaw");
+        let mut g = Graph::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = g.param(Tensor::randn(vec![2, 3], 1.0, &mut rng));
+        let b = g.param(Tensor::randn(vec![4], 1.0, &mut rng));
+        let meta = CheckpointMeta::new("Ours").with("grid", 32);
+        let train = sample_train_state(&g, &[a, b]);
+        save_train_checkpoint(&g, &[a, b], &meta, &train, &path).unwrap();
+
+        let ckpt = read_checkpoint(&path).unwrap();
+        assert_eq!(ckpt.meta.unwrap(), meta);
+        assert_eq!(ckpt.tensors.len(), 2);
+        assert_eq!(ckpt.train.unwrap(), train);
+        // v2 loaders of the weights section still work through load_params.
+        g.value_mut(a).fill(0.0);
+        load_params(&mut g, &[a, b], &path).unwrap();
+        assert_ne!(g.value(a).data()[0], 0.0);
+        // No stray .tmp left behind.
+        assert!(!path.with_extension("tmp").exists());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn v3_truncation_at_every_byte_rejected() {
+        let path = temp_path("trunc_v3_src.mfaw");
+        let mut g = Graph::new();
+        let a = g.param(Tensor::zeros(vec![2]));
+        let meta = CheckpointMeta::new("UNet");
+        let train = sample_train_state(&g, &[a]);
+        save_train_checkpoint(&g, &[a], &meta, &train, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        let trunc = temp_path("trunc_v3.mfaw");
+        for len in 0..bytes.len() {
+            std::fs::write(&trunc, &bytes[..len]).unwrap();
+            let err = read_checkpoint(&trunc)
+                .map(|_| ())
+                .expect_err(&format!("prefix of {len} bytes must be rejected"));
+            assert!(
+                matches!(err, CheckpointError::Format(_)),
+                "prefix of {len} bytes: expected Format error, got {err:?}"
+            );
+        }
+        std::fs::remove_file(&trunc).ok();
+    }
+
+    #[test]
+    fn v2_file_has_no_train_state() {
+        let path = temp_path("v2_no_train.mfaw");
+        let mut g = Graph::new();
+        let a = g.param(Tensor::zeros(vec![2]));
+        save_checkpoint(&g, &[a], &CheckpointMeta::new("Ours"), &path).unwrap();
+        assert!(read_checkpoint(&path).unwrap().train.is_none());
         std::fs::remove_file(path).ok();
     }
 

@@ -9,7 +9,7 @@ use crate::Module;
 ///
 /// Weight shape is `[out_channels, in_channels, k, k]`, initialized with
 /// Kaiming-normal for ReLU networks.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Conv2d {
     w: Var,
     b: Option<Var>,

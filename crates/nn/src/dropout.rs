@@ -7,7 +7,7 @@ use crate::Module;
 
 /// Inverted dropout: zeroes each element with probability `p` during
 /// training and rescales survivors by `1/(1-p)`; identity at evaluation.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Dropout {
     p: f32,
     rng: StdRng,

@@ -7,7 +7,7 @@ use crate::Module;
 /// Fully-connected layer applied to the last axis of its input.
 ///
 /// For an input of shape `[..., in_dim]` the output is `[..., out_dim]`.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Linear {
     w: Var,
     b: Option<Var>,

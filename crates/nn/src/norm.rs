@@ -8,7 +8,7 @@ use crate::Module;
 /// Training mode uses batch statistics (differentiable) and updates running
 /// statistics with exponential smoothing; evaluation mode folds the running
 /// statistics into a constant per-channel affine transform.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BatchNorm2d {
     gamma: Var,
     beta: Var,
@@ -16,6 +16,12 @@ pub struct BatchNorm2d {
     running_var: Vec<f32>,
     momentum: f32,
     eps: f32,
+    /// Batch statistics of the most recent train-mode forward, for
+    /// data-parallel replay: worker replicas capture these per shard and
+    /// the primary re-applies them in sample order via
+    /// [`BatchNorm2d::ema_update`], keeping running statistics independent
+    /// of the worker count.
+    last_batch: Option<(Vec<f32>, Vec<f32>)>,
 }
 
 impl BatchNorm2d {
@@ -28,6 +34,7 @@ impl BatchNorm2d {
             running_var: vec![1.0; channels],
             momentum: 0.1,
             eps: 1e-5,
+            last_batch: None,
         }
     }
 
@@ -43,6 +50,7 @@ impl BatchNorm2d {
             running_var: vec![1.0; channels],
             momentum: 0.1,
             eps: 1e-5,
+            last_batch: None,
         }
     }
 
@@ -55,18 +63,45 @@ impl BatchNorm2d {
     pub fn running_var(&self) -> &[f32] {
         &self.running_var
     }
+
+    /// Takes the batch `(mean, var)` captured by the most recent
+    /// train-mode forward, clearing the capture slot.
+    pub fn take_batch_stats(&mut self) -> Option<(Vec<f32>, Vec<f32>)> {
+        self.last_batch.take()
+    }
+
+    /// Applies one exponential-moving-average update of the running
+    /// statistics from explicit batch statistics — the primary model's
+    /// side of the data-parallel replay (see `last_batch`). Statistics must
+    /// be replayed in sample order to be worker-count invariant.
+    pub fn ema_update(&mut self, mean: &[f32], var: &[f32]) {
+        for c in 0..self.running_mean.len() {
+            self.running_mean[c] =
+                (1.0 - self.momentum) * self.running_mean[c] + self.momentum * mean[c];
+            self.running_var[c] =
+                (1.0 - self.momentum) * self.running_var[c] + self.momentum * var[c];
+        }
+    }
+
+    /// Overwrites the running statistics (checkpoint restore).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths disagree with the channel count.
+    pub fn set_running_stats(&mut self, mean: &[f32], var: &[f32]) {
+        assert_eq!(mean.len(), self.running_mean.len(), "running mean length");
+        assert_eq!(var.len(), self.running_var.len(), "running var length");
+        self.running_mean.copy_from_slice(mean);
+        self.running_var.copy_from_slice(var);
+    }
 }
 
 impl Module for BatchNorm2d {
     fn forward(&mut self, g: &mut Graph, x: Var, train: bool) -> Var {
         if train {
             let (y, mean, var) = g.batch_norm2d(x, self.gamma, self.beta, self.eps);
-            for c in 0..mean.len() {
-                self.running_mean[c] =
-                    (1.0 - self.momentum) * self.running_mean[c] + self.momentum * mean[c];
-                self.running_var[c] =
-                    (1.0 - self.momentum) * self.running_var[c] + self.momentum * var[c];
-            }
+            self.ema_update(&mean, &var);
+            self.last_batch = Some((mean, var));
             y
         } else {
             let gamma = g.value(self.gamma).data().to_vec();
@@ -92,7 +127,7 @@ impl Module for BatchNorm2d {
 }
 
 /// Layer normalization over the last axis with learnable affine.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct LayerNorm {
     gamma: Var,
     beta: Var,

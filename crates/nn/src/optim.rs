@@ -49,6 +49,43 @@ impl Adam {
         self.lr = lr;
     }
 
+    /// Number of steps taken so far (the `t` of the bias correction).
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Exports `(t, per-parameter (m, v) moments)` in `params` order for
+    /// checkpointing. Parameters that never received a gradient export
+    /// zero moments, which is exactly the state lazy allocation would give
+    /// them on their first step.
+    pub fn export_moments(&self, g: &Graph, params: &[Var]) -> (u64, Vec<(Tensor, Tensor)>) {
+        let moments = params
+            .iter()
+            .map(|p| {
+                self.state.get(&p.index()).cloned().unwrap_or_else(|| {
+                    let shape = g.value(*p).shape().to_vec();
+                    (Tensor::zeros(shape.clone()), Tensor::zeros(shape))
+                })
+            })
+            .collect();
+        (self.t, moments)
+    }
+
+    /// Restores state exported by [`Adam::export_moments`], keyed to
+    /// `params` in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the moment count disagrees with `params`.
+    pub fn import_moments(&mut self, params: &[Var], t: u64, moments: Vec<(Tensor, Tensor)>) {
+        assert_eq!(params.len(), moments.len(), "moment count mismatch");
+        self.t = t;
+        self.state.clear();
+        for (p, mv) in params.iter().zip(moments) {
+            self.state.insert(p.index(), mv);
+        }
+    }
+
     /// Applies one update step to `params` using the gradients accumulated
     /// on `g`. Parameters without a gradient are skipped.
     pub fn step(&mut self, g: &mut Graph, params: &[Var]) {

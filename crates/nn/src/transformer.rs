@@ -5,7 +5,7 @@ use crate::{Dropout, LayerNorm, Linear, Module, MultiHeadSelfAttention};
 
 /// Two-layer perceptron with GELU, the feed-forward half of a transformer
 /// block.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Mlp {
     fc1: Linear,
     fc2: Linear,
@@ -48,7 +48,7 @@ impl Module for Mlp {
 /// The paper's Eq. (10) writes `MSA` for the second sub-layer; per Fig. 4 and
 /// the ViT reference \[12\] the second sub-layer is the MLP — we follow the
 /// figure.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TransformerBlock {
     ln1: LayerNorm,
     attn: MultiHeadSelfAttention,

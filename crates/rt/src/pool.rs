@@ -218,6 +218,102 @@ where
     });
 }
 
+/// Handle to a persistent team of worker threads created by
+/// [`worker_team`]: dispatch jobs with [`Team::run`] from the body closure.
+///
+/// Unlike [`parallel_for`], which spawns fresh threads per dispatch, a team
+/// keeps its workers (and their per-worker state, e.g. a replicated model
+/// graph) alive across many dispatches — the shape a training loop needs,
+/// where thousands of steps reuse the same worker-local replicas.
+pub struct Team<J, R> {
+    txs: Vec<std::sync::mpsc::Sender<(usize, J)>>,
+    rx: std::sync::mpsc::Receiver<(usize, R)>,
+}
+
+impl<J, R> Team<J, R> {
+    /// Number of workers in the team.
+    pub fn size(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// Dispatches `jobs` round-robin over the workers and returns the
+    /// results **in job order**, regardless of completion order — results
+    /// are index-tagged in flight and reordered here, so any reduction the
+    /// caller performs over the returned `Vec` is independent of worker
+    /// count and scheduling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread died (panicked) mid-run.
+    pub fn run(&self, jobs: Vec<J>) -> Vec<R> {
+        let n = jobs.len();
+        for (i, job) in jobs.into_iter().enumerate() {
+            self.txs[i % self.txs.len()]
+                .send((i, job))
+                .expect("worker_team: worker thread is gone");
+        }
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let (i, r) = self
+                .rx
+                .recv()
+                .expect("worker_team: worker thread died before finishing");
+            out[i] = Some(r);
+        }
+        out.into_iter()
+            .map(|r| r.expect("worker_team: duplicate/missing result index"))
+            .collect()
+    }
+}
+
+/// Runs `body` with a persistent team of `n` worker threads.
+///
+/// Each worker thread first builds its local state with `state(worker_idx)`
+/// (on the worker thread, so the state never crosses threads), then serves
+/// jobs via `work(&mut state, job)` until the team is dropped at the end of
+/// `body`. Jobs are index-tagged and results reordered by [`Team::run`], so
+/// outputs are always in job order.
+///
+/// With `n == 1` the single worker still runs on its own thread; callers
+/// that want a strictly serial path should not use a team at all.
+pub fn worker_team<J, R, S, Out>(
+    n: usize,
+    state: impl Fn(usize) -> S + Sync,
+    work: impl Fn(&mut S, J) -> R + Sync,
+    body: impl FnOnce(&Team<J, R>) -> Out,
+) -> Out
+where
+    J: Send,
+    R: Send,
+{
+    let n = n.max(1);
+    std::thread::scope(|scope| {
+        let (res_tx, res_rx) = std::sync::mpsc::channel::<(usize, R)>();
+        let mut txs = Vec::with_capacity(n);
+        for w in 0..n {
+            let (tx, rx) = std::sync::mpsc::channel::<(usize, J)>();
+            txs.push(tx);
+            let res_tx = res_tx.clone();
+            let state = &state;
+            let work = &work;
+            scope.spawn(move || {
+                let mut s = state(w);
+                while let Ok((idx, job)) = rx.recv() {
+                    let r = work(&mut s, job);
+                    if res_tx.send((idx, r)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(res_tx);
+        let team = Team { txs, rx: res_rx };
+        let out = body(&team);
+        drop(team); // close job channels so the workers exit and join
+        out
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -297,5 +393,52 @@ mod tests {
         parallel_for(0, |_| panic!("must not be called"));
         let mut empty: [u8; 0] = [];
         parallel_chunks_mut(&mut empty, 4, |_, _| panic!("must not be called"));
+    }
+
+    #[test]
+    fn worker_team_returns_results_in_job_order() {
+        for n in [1, 2, 4, 7] {
+            let sums = worker_team(
+                n,
+                |w| w, // state = worker index
+                |_w, job: usize| job * 10,
+                |team| {
+                    assert_eq!(team.size(), n);
+                    // Two dispatches over the same team; 13 jobs each.
+                    let a = team.run((0..13).collect());
+                    let b = team.run((0..13).collect());
+                    assert_eq!(a, b);
+                    a
+                },
+            );
+            assert_eq!(sums, (0..13).map(|j| j * 10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn worker_team_state_persists_across_dispatches() {
+        // Each worker counts the jobs it has served; with round-robin
+        // dispatch of 8 jobs over 2 workers twice, each serves 8 total.
+        let counts = worker_team(
+            2,
+            |_w| 0usize,
+            |served, _job: ()| {
+                *served += 1;
+                *served
+            },
+            |team| {
+                team.run(vec![(); 8]);
+                team.run(vec![(); 8])
+            },
+        );
+        // Job i of the second dispatch goes to worker i % 2, which already
+        // served 4 jobs in the first dispatch.
+        assert_eq!(counts, vec![5, 5, 6, 6, 7, 7, 8, 8]);
+    }
+
+    #[test]
+    fn worker_team_empty_run_is_noop() {
+        let out: Vec<u8> = worker_team(3, |_| (), |_, _j: ()| 0u8, |team| team.run(Vec::new()));
+        assert!(out.is_empty());
     }
 }

@@ -285,6 +285,30 @@ impl Tensor {
         self.map(|x| x * c)
     }
 
+    /// Sums a list of same-shaped tensors with a **fixed-order pairwise
+    /// tree reduction**: adjacent pairs are combined bottom-up
+    /// (`((t0+t1)+(t2+t3))+…`), an odd leftover is promoted unchanged.
+    ///
+    /// The reduction order is a pure function of the list — it does not
+    /// depend on how the tensors were produced or on any worker count — so
+    /// data-parallel gradient combination through this function is bitwise
+    /// identical for any sharding of the work. Returns `None` for an empty
+    /// list. Panics on shape mismatch.
+    pub fn tree_sum(mut level: Vec<Tensor>) -> Option<Tensor> {
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            let mut it = level.into_iter();
+            while let Some(a) = it.next() {
+                match it.next() {
+                    Some(b) => next.push(a.add(&b)),
+                    None => next.push(a),
+                }
+            }
+            level = next;
+        }
+        level.pop()
+    }
+
     /// Adds `other * c` into `self` in place. Panics on shape mismatch.
     pub fn add_scaled_assign(&mut self, other: &Tensor, c: f32) {
         assert_eq!(self.shape, other.shape, "add_scaled_assign shape mismatch");
@@ -418,5 +442,23 @@ mod tests {
         let t = Tensor::zeros(vec![2, 3]);
         assert!(t.reshape(vec![3, 2]).is_ok());
         assert!(t.reshape(vec![4, 2]).is_err());
+    }
+
+    #[test]
+    fn tree_sum_fixed_pairwise_order() {
+        // Values chosen so float addition order is observable: summing
+        // left-to-right vs pairwise gives different bit patterns.
+        let vals = [1.0e8f32, 1.0, -1.0e8, 0.25, 3.0];
+        let parts: Vec<Tensor> = vals.iter().map(|&v| Tensor::scalar(v)).collect();
+        let got = Tensor::tree_sum(parts).unwrap().item();
+        let expect = ((1.0e8f32 + 1.0) + (-1.0e8 + 0.25)) + 3.0;
+        assert_eq!(got.to_bits(), expect.to_bits());
+    }
+
+    #[test]
+    fn tree_sum_edge_cases() {
+        assert!(Tensor::tree_sum(Vec::new()).is_none());
+        let one = Tensor::from_vec(vec![2], vec![1.5, -2.0]).unwrap();
+        assert_eq!(Tensor::tree_sum(vec![one.clone()]).unwrap(), one);
     }
 }

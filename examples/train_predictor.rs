@@ -9,7 +9,6 @@
 use mfaplace::autograd::Graph;
 use mfaplace::core::dataset::{build_design_dataset, DatasetConfig};
 use mfaplace::core::flow::{FlowConfig, MacroPlacementFlow};
-use mfaplace::core::loader::save_predictor;
 use mfaplace::core::predictor::ModelPredictor;
 use mfaplace::core::train::{TrainConfig, Trainer};
 use mfaplace::fpga::design::DesignPreset;
@@ -48,19 +47,36 @@ fn main() {
     let mut g = Graph::new();
     let mut rng = StdRng::seed_from_u64(0);
     let model = OursModel::new(&mut g, ours_cfg, &mut rng);
+    let spec = ArchSpec::from_ours(ours_cfg);
+    let ckpt = "trained_ours.mfaw";
+    // Data-parallel + resumable: shards each minibatch across workers
+    // (bitwise identical for any count), checkpoints every 4 steps, and
+    // picks up exactly where it left off if re-run with `resume`.
     let mut trainer = Trainer::new(
         g,
         model,
         TrainConfig {
             epochs: 4,
             batch_size: 2,
+            workers: None, // MFAPLACE_TRAIN_WORKERS or the rt pool size
+            save_every: 4,
+            checkpoint: Some(ckpt.into()),
+            resume: true,
+            log_path: Some("trained_ours.log.jsonl".into()),
             ..TrainConfig::default()
         },
     );
+    trainer.set_checkpoint_meta(spec.to_meta());
     let report = trainer.fit(&train);
+    if let Some(at) = report.resumed_at_step {
+        println!("resumed from {ckpt} at step {at}");
+    }
+    let trained_ms: f64 = report.steps_log.iter().map(|s| s.millis).sum();
     println!(
-        "trained {} steps; epoch losses: {:?}",
+        "trained {} steps on {} workers ({:.1} ms/step); epoch losses: {:?}",
         report.steps,
+        report.workers,
+        trained_ms / report.steps_log.len().max(1) as f64,
         report
             .epoch_losses
             .iter()
@@ -75,15 +91,13 @@ fn main() {
         metrics.acc, metrics.r2, metrics.nrms
     );
 
-    // 4. Save a self-describing v2 checkpoint: `mfaplace serve --model ...`
-    // and `mfaplace place --model ...` rebuild the architecture from it.
+    // 4. The trainer already saved a self-describing v3 checkpoint (weights
+    // + optimizer state): `mfaplace serve --model ...` and `mfaplace place
+    // --model ...` rebuild the architecture from it, and `mfaplace train
+    // --resume` continues it. `save_predictor` still writes a weights-only
+    // v2 file when the training state is not wanted.
     let (graph, model) = trainer.into_parts();
-    let spec = ArchSpec::from_ours(ours_cfg);
-    let ckpt = "trained_ours.mfaw";
-    match save_predictor(&graph, &model, &spec, ckpt) {
-        Ok(()) => println!("saved checkpoint {ckpt} (serve it: mfaplace serve --model {ckpt})"),
-        Err(e) => eprintln!("checkpoint not saved: {e}"),
-    }
+    println!("saved checkpoint {ckpt} (serve it: mfaplace serve --model {ckpt})");
 
     // 5. Plug the trained model into the placement flow (Sec. IV).
     let mut predictor = ModelPredictor::new(graph, model);

@@ -17,8 +17,12 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 use std::sync::Arc;
 
+use mfaplace::core::dataset::{build_design_dataset, DatasetConfig};
 use mfaplace::core::flow::{calibrated_router_for, simulated_pnr_hours};
-use mfaplace::core::loader::{init_checkpoint, load_predictor, peek_meta, LoadOptions};
+use mfaplace::core::loader::{
+    init_checkpoint, load_predictor, peek_meta, peek_train_state, LoadOptions,
+};
+use mfaplace::core::train::{TrainConfig, Trainer};
 use mfaplace::fpga::design::{Design, DesignPreset};
 use mfaplace::fpga::features::FeatureStack;
 use mfaplace::fpga::gridmap::GridMap;
@@ -62,6 +66,11 @@ const USAGE: &str = "usage:
   mfaplace render     --design <file.nl> --placement <file.pl> --out <file.ppm>
   mfaplace init-model [--arch ours|unet|pgnn|pros2] [--grid N] [--channels N] \\
                       [--seed N] --out <file.mfaw>
+  mfaplace train      --design <file.nl> --out <file.mfaw> [--resume] \\
+                      [--arch ours|unet|pgnn|pros2] [--grid N] [--channels N] \\
+                      [--epochs N] [--batch N] [--lr F] [--seed N] [--workers N] \\
+                      [--save-every N] [--stop-after N] [--log <file.jsonl>] \\
+                      [--placements N] [--iterations N]
   mfaplace model-info --model <file.mfaw>
   mfaplace serve      --model <file.mfaw> [--addr host:port] \\
                       [--arch ...] [--grid N] [--channels N]   (v1 checkpoints)
@@ -69,7 +78,9 @@ const USAGE: &str = "usage:
                       [--out <file.ppm>]
 
 serve honors MFAPLACE_MAX_BATCH, MFAPLACE_BATCH_WINDOW_MS and
-MFAPLACE_QUEUE_BOUND; stop it with POST /admin/shutdown.";
+MFAPLACE_QUEUE_BOUND; stop it with POST /admin/shutdown.
+train honors MFAPLACE_TRAIN_WORKERS when --workers is not given; --resume
+continues bitwise-exactly from the checkpoint at --out if it exists.";
 
 fn run(args: &[String]) -> Result<(), String> {
     let Some(cmd) = args.first() else {
@@ -83,6 +94,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "features" => cmd_features(&flags),
         "render" => cmd_render(&flags),
         "init-model" => cmd_init_model(&flags),
+        "train" => cmd_train(&flags),
         "model-info" => cmd_model_info(&flags),
         "serve" => cmd_serve(&flags),
         "predict" => cmd_predict(&flags),
@@ -116,6 +128,9 @@ fn load_options(flags: &HashMap<String, String>) -> Result<LoadOptions, String> 
     })
 }
 
+/// Flags that take no value (presence means "on").
+const BOOL_FLAGS: &[&str] = &["resume"];
+
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
     let mut it = args.iter();
@@ -123,6 +138,10 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let Some(name) = key.strip_prefix("--") else {
             return Err(format!("expected --flag, found {key:?}"));
         };
+        if BOOL_FLAGS.contains(&name) {
+            flags.insert(name.to_string(), "1".to_string());
+            continue;
+        }
         let value = it
             .next()
             .ok_or_else(|| format!("flag --{name} needs a value"))?;
@@ -275,14 +294,128 @@ fn cmd_init_model(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
+    use mfaplace_rt::rng::{SeedableRng, StdRng};
+
+    let design = load_design(flags)?;
+    let out = get(flags, "out")?;
+    let resume = flags.contains_key("resume");
+    let seed: u64 = get_num(flags, "seed", 0)?;
+
+    // With --resume and an existing checkpoint, the architecture comes from
+    // the file (it is self-describing); otherwise from the flags.
+    let spec = if resume && std::path::Path::new(out).exists() {
+        match peek_meta(out)? {
+            Some(meta) => ArchSpec::from_meta(&meta).map_err(|e| format!("{out}: {e}"))?,
+            None => {
+                return Err(format!(
+                    "{out}: cannot resume from a v1 checkpoint (no metadata)"
+                ))
+            }
+        }
+    } else {
+        let arch: Arch = flags
+            .get("arch")
+            .map_or(Ok(Arch::Ours), |s| s.parse::<Arch>())?;
+        let mut spec = ArchSpec::new(arch, get_num(flags, "grid", 32)?);
+        if let Some(v) = flags.get("channels") {
+            spec.base_channels = v
+                .parse()
+                .map_err(|_| format!("invalid value for --channels: {v:?}"))?;
+        }
+        spec
+    };
+
+    // Dataset from the design: legal placements scored by the global
+    // router, at the model's grid.
+    let mut ds_cfg = DatasetConfig {
+        grid: spec.grid,
+        placements_per_design: get_num(flags, "placements", 4)?,
+        placer_iterations: get_num(flags, "iterations", 10)?,
+        ..DatasetConfig::default()
+    };
+    ds_cfg.router.grid_w = spec.grid;
+    ds_cfg.router.grid_h = spec.grid;
+    let dataset = build_design_dataset(&design, &ds_cfg, seed.wrapping_add(1));
+    println!(
+        "dataset: {} samples at grid {} from {}",
+        dataset.len(),
+        spec.grid,
+        design.name
+    );
+
+    let mut g = mfaplace::autograd::Graph::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let model = spec.build(&mut g, &mut rng)?;
+    let config = TrainConfig {
+        epochs: get_num(flags, "epochs", 4)?,
+        batch_size: get_num(flags, "batch", 2)?,
+        lr: get_num(flags, "lr", 1e-3)?,
+        seed,
+        workers: match flags.get("workers") {
+            None => None,
+            Some(v) => Some(
+                v.parse()
+                    .map_err(|_| format!("invalid value for --workers: {v:?}"))?,
+            ),
+        },
+        save_every: get_num(flags, "save-every", 0)?,
+        checkpoint: Some(out.into()),
+        resume,
+        stop_after_steps: match flags.get("stop-after") {
+            None => None,
+            Some(v) => Some(
+                v.parse()
+                    .map_err(|_| format!("invalid value for --stop-after: {v:?}"))?,
+            ),
+        },
+        log_path: flags.get("log").map(Into::into),
+        ..TrainConfig::default()
+    };
+    let workers = config.effective_workers();
+    let mut trainer = Trainer::new(g, model, config);
+    trainer.set_checkpoint_meta(spec.to_meta());
+    let report = trainer.fit(&dataset);
+    if let Some(at) = report.resumed_at_step {
+        println!("resumed from {out} at step {at}");
+    }
+    println!(
+        "trained {} ({} workers): {} steps, loss {:.4} -> {:.4}",
+        spec.arch.model_name(),
+        workers,
+        report.steps,
+        report.epoch_losses.first().copied().unwrap_or(0.0),
+        report.epoch_losses.last().copied().unwrap_or(0.0),
+    );
+    let m = trainer.evaluate(&dataset);
+    println!(
+        "train-set metrics: ACC {:.3}, R2 {:.3}, NRMS {:.3}",
+        m.acc, m.r2, m.nrms
+    );
+    println!("wrote {out}");
+    Ok(())
+}
+
 fn cmd_model_info(flags: &HashMap<String, String>) -> Result<(), String> {
     let path = get(flags, "model")?;
     match peek_meta(path)? {
         None => println!("{path}: v1 checkpoint (no metadata; load with --arch/--grid)"),
         Some(meta) => {
-            println!("{path}: v2 checkpoint, model {}", meta.model);
+            let train = peek_train_state(path)?;
+            let version = if train.is_some() { 3 } else { 2 };
+            println!("{path}: v{version} checkpoint, model {}", meta.model);
             for (key, value) in meta.entries() {
                 println!("  {key} = {value}");
+            }
+            if let Some((steps, epoch, losses)) = train {
+                println!(
+                    "  training state: step {steps}, epoch {epoch}, {} completed epoch(s){}",
+                    losses.len(),
+                    losses
+                        .last()
+                        .map(|l| format!(", last epoch loss {l:.4}"))
+                        .unwrap_or_default()
+                );
             }
         }
     }

@@ -71,3 +71,72 @@ fn renderers_produce_valid_ppm() {
     assert_eq!(heat.width(), 4);
     assert!(heat.to_ppm().starts_with("P3\n4 4\n255\n"));
 }
+
+/// The CLI `train` path: fit with a checkpoint configured, then reload the
+/// saved v3 file with `load_predictor` (the `serve`/`place --model` path)
+/// and check the reloaded model predicts **bitwise identically** to the
+/// in-memory trained model — including batch-norm running statistics,
+/// which are state, not parameters, and ride in the v3 training section.
+#[test]
+fn trained_v3_checkpoint_reloads_as_identical_predictor() {
+    use mfaplace::autograd::Graph;
+    use mfaplace::core::dataset::{Dataset, Sample};
+    use mfaplace::core::loader::{load_predictor, LoadOptions};
+    use mfaplace::core::predictor::ModelPredictor;
+    use mfaplace::core::train::{TrainConfig, Trainer};
+    use mfaplace::models::{Arch, ArchSpec};
+    use mfaplace::tensor::Tensor;
+    use mfaplace_rt::rng::{Rng, SeedableRng, StdRng};
+
+    let grid = 16;
+    let mut rng = StdRng::seed_from_u64(31);
+    let dataset = Dataset {
+        samples: (0..4)
+            .map(|_| Sample {
+                features: Tensor::randn(vec![6, grid, grid], 1.0, &mut rng),
+                labels: (0..grid * grid)
+                    .map(|_| rng.gen_range(0..8u32) as u8)
+                    .collect(),
+            })
+            .collect(),
+        grid,
+    };
+
+    let dir = std::env::temp_dir().join("mfaplace_cli_paths");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("trained_v3.mfaw");
+    let _ = std::fs::remove_file(&ckpt);
+
+    let mut spec = ArchSpec::new(Arch::UNet, grid);
+    spec.base_channels = 2;
+    let mut g = Graph::new();
+    let mut init_rng = StdRng::seed_from_u64(32);
+    let model = spec.build(&mut g, &mut init_rng).unwrap();
+    let mut trainer = Trainer::new(
+        g,
+        model,
+        TrainConfig {
+            epochs: 2,
+            batch_size: 2,
+            checkpoint: Some(ckpt.clone()),
+            ..TrainConfig::default()
+        },
+    );
+    trainer.set_checkpoint_meta(spec.to_meta());
+    trainer.fit(&dataset);
+
+    let x = dataset.samples[0].features.clone();
+    let (graph, model) = trainer.into_parts();
+    let mut in_memory = ModelPredictor::new(graph, model);
+    let want = in_memory.predict_batch_tensors(std::slice::from_ref(&x));
+
+    let (loaded_spec, mut reloaded) =
+        load_predictor(ckpt.to_str().unwrap(), LoadOptions::default()).unwrap();
+    assert_eq!(loaded_spec, spec, "spec must round-trip through the file");
+    let got = reloaded.predict_batch_tensors(std::slice::from_ref(&x));
+    assert_eq!(want.len(), got.len());
+    for (a, b) in want[0].data().iter().zip(got[0].data()) {
+        assert_eq!(a.to_bits(), b.to_bits(), "reloaded prediction drifted");
+    }
+    let _ = std::fs::remove_file(&ckpt);
+}
