@@ -29,6 +29,11 @@ cargo test -q --workspace --offline
 echo "==> gradient checks (primitives + MFA/transformer modules)"
 cargo test -q -p mfaplace-autograd --offline --test gradcheck_ops
 
+echo "==> fused-attention equivalence + buffer-pool suite"
+cargo test -q -p mfaplace-autograd --offline --test attention_equivalence
+cargo test -q -p mfaplace-nn --offline --test fused_attention
+cargo test -q -p mfaplace-models --offline --test fused_mfa
+
 echo "==> training determinism + checkpoint/resume suite"
 cargo test -q -p mfaplace-core --offline --test train_determinism
 
@@ -56,5 +61,8 @@ cargo run -q --release --offline -p mfaplace-serve --example smoke
 echo "==> train-throughput bench (results/train_parallel.json)"
 MFA_SCALE=quick cargo run -q --release --offline -p mfaplace-bench \
     --bin train_parallel >/dev/null
+
+echo "==> fused-attention bench (results/attention_fused.json)"
+cargo bench -q --offline -p mfaplace-bench --bench attention_fused
 
 echo "CI OK"

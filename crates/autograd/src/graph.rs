@@ -1,4 +1,9 @@
-use mfaplace_tensor::{numel, Tensor};
+use mfaplace_tensor::{
+    attention_fm_backward, attention_fm_into, attention_tm_backward, attention_tm_into, numel,
+    Tensor,
+};
+
+use crate::recycle::BufferPool;
 
 /// Handle to a node in a [`Graph`].
 ///
@@ -25,12 +30,24 @@ enum Op {
     AddScalar(Var),
     Matmul(Var, Var),
     Bmm(Var, Var),
+    BmmNT(Var, Var),
+    BmmTN(Var, Var),
+    Attention {
+        q: Var,
+        k: Var,
+        v: Var,
+        scale: f32,
+        feature_major: bool,
+    },
     Conv2d {
         x: Var,
         w: Var,
         stride: usize,
         pad: usize,
-        cols: Tensor,
+        /// im2col lowering, retained only when the op requires grad — the
+        /// inference path drops it (recycled into the buffer pool) instead
+        /// of keeping `C·KH·KW × B·OH·OW` floats alive per conv.
+        cols: Option<Tensor>,
     },
     AddBiasChannel(Var, Var),
     AddBiasRow(Var, Var),
@@ -105,9 +122,24 @@ struct Node {
 /// coincide with the original's — cloning a params-only graph is how the
 /// data-parallel trainer builds worker-local replicas that accept the same
 /// parameter `Var`s as the primary.
-#[derive(Default, Clone)]
+#[derive(Clone)]
 pub struct Graph {
     nodes: Vec<Node>,
+    /// Size-keyed free list fed by [`Graph::truncate`]/[`Graph::zero_grads`]
+    /// and drained by the forward ops — mark/forward/truncate loops stop
+    /// round-tripping activations through the allocator. Cloned graphs
+    /// (trainer replicas) start with an empty pool.
+    pool: BufferPool,
+    /// When `false`, every pushed node records `requires_grad = false`, so
+    /// backward-only storage (conv `cols`) is dropped at creation. The
+    /// inference `Predictor` disables grads after building its model.
+    grad_enabled: bool,
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Graph::new()
+    }
 }
 
 impl std::fmt::Debug for Graph {
@@ -117,9 +149,38 @@ impl std::fmt::Debug for Graph {
 }
 
 impl Graph {
-    /// Creates an empty graph.
+    /// Creates an empty graph (gradients enabled).
     pub fn new() -> Self {
-        Graph { nodes: Vec::new() }
+        Graph {
+            nodes: Vec::new(),
+            pool: BufferPool::default(),
+            grad_enabled: true,
+        }
+    }
+
+    /// Enables or disables gradient recording for subsequently pushed
+    /// nodes. With grads disabled every new node has
+    /// `requires_grad = false` and ops skip retaining backward-only
+    /// storage (the conv `cols` buffers); existing nodes are untouched, so
+    /// a predictor can build its parameters first and then switch the
+    /// graph to inference mode.
+    pub fn set_grad_enabled(&mut self, enabled: bool) {
+        self.grad_enabled = enabled;
+    }
+
+    /// Whether new nodes currently record gradients.
+    pub fn grad_enabled(&self) -> bool {
+        self.grad_enabled
+    }
+
+    /// Buffer-pool counters `(hits, misses, recycled_bytes, retained)`.
+    pub fn pool_stats(&self) -> (u64, u64, u64, usize) {
+        (
+            self.pool.hits(),
+            self.pool.misses(),
+            self.pool.recycled_bytes(),
+            self.pool.retained(),
+        )
     }
 
     /// Number of nodes currently on the tape.
@@ -137,9 +198,34 @@ impl Graph {
             value,
             grad: None,
             op,
-            requires_grad,
+            requires_grad: requires_grad && self.grad_enabled,
         });
         Var(self.nodes.len() - 1)
+    }
+
+    /// Pooled elementwise map: same results as `Tensor::map`, storage from
+    /// the free list.
+    fn pooled_map(&mut self, x: Var, f: impl Fn(f32) -> f32) -> Tensor {
+        let n = self.nodes[x.0].value.numel();
+        let mut buf = self.pool.take_any(n);
+        let xv = &self.nodes[x.0].value;
+        for (o, &s) in buf.iter_mut().zip(xv.data()) {
+            *o = f(s);
+        }
+        Tensor::from_vec(xv.shape().to_vec(), buf).expect("pooled map")
+    }
+
+    /// Pooled elementwise zip of two same-shape nodes.
+    fn pooled_zip(&mut self, a: Var, b: Var, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        let n = self.nodes[a.0].value.numel();
+        let mut buf = self.pool.take_any(n);
+        let av = &self.nodes[a.0].value;
+        let bv = &self.nodes[b.0].value;
+        assert_eq!(av.shape(), bv.shape(), "elementwise shape mismatch");
+        for ((o, &x), &y) in buf.iter_mut().zip(av.data()).zip(bv.data()) {
+            *o = f(x, y);
+        }
+        Tensor::from_vec(av.shape().to_vec(), buf).expect("pooled zip")
     }
 
     fn rg(&self, v: Var) -> bool {
@@ -173,10 +259,12 @@ impl Graph {
         self.nodes[v.0].grad.as_ref()
     }
 
-    /// Clears all gradients.
+    /// Clears all gradients (recycling their storage).
     pub fn zero_grads(&mut self) {
         for n in &mut self.nodes {
-            n.grad = None;
+            if let Some(g) = n.grad.take() {
+                self.pool.give(g.into_vec());
+            }
         }
     }
 
@@ -214,56 +302,78 @@ impl Graph {
     /// Panics if `mark` exceeds the current length.
     pub fn truncate(&mut self, mark: usize) {
         assert!(mark <= self.nodes.len(), "truncate beyond tape length");
-        self.nodes.truncate(mark);
+        for node in self.nodes.drain(mark..) {
+            match node.op {
+                Op::Conv2d {
+                    cols: Some(cols), ..
+                } => self.pool.give(cols.into_vec()),
+                Op::BatchNorm2d { xhat, .. } | Op::LayerNorm { xhat, .. } => {
+                    self.pool.give(xhat.into_vec());
+                }
+                Op::CrossEntropy2d { probs, .. } => self.pool.give(probs.into_vec()),
+                Op::MseLoss { target, .. } => self.pool.give(target.into_vec()),
+                _ => {}
+            }
+            if let Some(g) = node.grad {
+                self.pool.give(g.into_vec());
+            }
+            self.pool.give(node.value.into_vec());
+        }
+        self.pool.flush_counters();
     }
 
     // ----------------------------------------------------------------- ops
 
     /// Element-wise sum of two same-shape nodes.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).add(self.value(b));
+        let v = self.pooled_zip(a, b, |x, y| x + y);
         let rg = self.rg(a) || self.rg(b);
         self.push(v, Op::Add(a, b), rg)
     }
 
     /// Element-wise difference `a - b`.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).sub(self.value(b));
+        let v = self.pooled_zip(a, b, |x, y| x - y);
         let rg = self.rg(a) || self.rg(b);
         self.push(v, Op::Sub(a, b), rg)
     }
 
     /// Element-wise product of two same-shape nodes.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).mul(self.value(b));
+        let v = self.pooled_zip(a, b, |x, y| x * y);
         let rg = self.rg(a) || self.rg(b);
         self.push(v, Op::Mul(a, b), rg)
     }
 
     /// Negation.
     pub fn neg(&mut self, a: Var) -> Var {
-        let v = self.value(a).scale(-1.0);
+        let v = self.pooled_map(a, |x| -x);
         let rg = self.rg(a);
         self.push(v, Op::Neg(a), rg)
     }
 
     /// Multiplication by a compile-time scalar.
     pub fn scale(&mut self, a: Var, c: f32) -> Var {
-        let v = self.value(a).scale(c);
+        let v = self.pooled_map(a, |x| x * c);
         let rg = self.rg(a);
         self.push(v, Op::Scale(a, c), rg)
     }
 
     /// Addition of a compile-time scalar.
     pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
-        let v = self.value(a).map(|x| x + c);
+        let v = self.pooled_map(a, |x| x + c);
         let rg = self.rg(a);
         self.push(v, Op::AddScalar(a), rg)
     }
 
     /// 2-D matrix product `[m,k] x [k,n]`.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).matmul2d(self.value(b));
+        let (m, n) = (self.value(a).shape()[0], self.value(b).shape()[1]);
+        let mut out = self.pool.take_any(m * n);
+        self.nodes[a.0]
+            .value
+            .matmul2d_into(&self.nodes[b.0].value, &mut out);
+        let v = Tensor::from_vec(vec![m, n], out).expect("matmul out");
         let rg = self.rg(a) || self.rg(b);
         self.push(v, Op::Matmul(a, b), rg)
     }
@@ -275,6 +385,109 @@ impl Graph {
         self.push(v, Op::Bmm(a, b), rg)
     }
 
+    /// Batched transpose-aware product `a · bᵀ`:
+    /// `[b,m,k] x [b,n,k] -> [b,m,n]`, bitwise identical to
+    /// `bmm(a, permute(b, [0,2,1]))` without materializing the permuted
+    /// copy.
+    pub fn bmm_nt(&mut self, a: Var, b: Var) -> Var {
+        let (ba, m) = (self.value(a).shape()[0], self.value(a).shape()[1]);
+        let n = self.value(b).shape()[1];
+        let mut out = self.pool.take_any(ba * m * n);
+        self.nodes[a.0]
+            .value
+            .bmm_nt_into(&self.nodes[b.0].value, &mut out);
+        let v = Tensor::from_vec(vec![ba, m, n], out).expect("bmm_nt out");
+        let rg = self.rg(a) || self.rg(b);
+        self.push(v, Op::BmmNT(a, b), rg)
+    }
+
+    /// Batched transpose-aware product `aᵀ · b`:
+    /// `[b,k,m] x [b,k,n] -> [b,m,n]`, bitwise identical to
+    /// `bmm(permute(a, [0,2,1]), b)` without materializing the permuted
+    /// copy.
+    pub fn bmm_tn(&mut self, a: Var, b: Var) -> Var {
+        let (ba, m) = (self.value(a).shape()[0], self.value(a).shape()[2]);
+        let n = self.value(b).shape()[2];
+        let mut out = self.pool.take_any(ba * m * n);
+        self.nodes[a.0]
+            .value
+            .bmm_tn_into(&self.nodes[b.0].value, &mut out);
+        let v = Tensor::from_vec(vec![ba, m, n], out).expect("bmm_tn out");
+        let rg = self.rg(a) || self.rg(b);
+        self.push(v, Op::BmmTN(a, b), rg)
+    }
+
+    /// Fused token-major attention `softmax(q·kᵀ·scale)·v` for
+    /// `q: [B,Lq,D]`, `k: [B,Lk,D]`, `v: [B,Lk,Dv]`.
+    ///
+    /// Forward streams query row-tiles (the `[Lq, Lk]` score/softmax
+    /// matrices are never materialized — peak activation memory drops from
+    /// `O(L²)` to `O(tile·L)`), and backward recomputes score rows instead
+    /// of storing the softmax on the tape. Output and all three gradients
+    /// are bitwise identical to the composed
+    /// `permute → bmm → scale → softmax_last → bmm` chain, including when
+    /// `q`, `k`, `v` alias the same node (gradient contributions accumulate
+    /// in the composed order: v, then k, then q).
+    pub fn attention(&mut self, q: Var, k: Var, v: Var, scale: f32) -> Var {
+        let (b, lq) = (self.value(q).shape()[0], self.value(q).shape()[1]);
+        let dv = self.value(v).shape()[2];
+        // Zero-filled: the fused kernel accumulates output rows in place.
+        let mut out = self.pool.take(b * lq * dv);
+        attention_tm_into(
+            &self.nodes[q.0].value,
+            &self.nodes[k.0].value,
+            &self.nodes[v.0].value,
+            scale,
+            &mut out,
+        );
+        let val = Tensor::from_vec(vec![b, lq, dv], out).expect("attention out");
+        let rg = self.rg(q) || self.rg(k) || self.rg(v);
+        self.push(
+            val,
+            Op::Attention {
+                q,
+                k,
+                v,
+                scale,
+                feature_major: false,
+            },
+            rg,
+        )
+    }
+
+    /// Fused feature-major attention for `q, k: [B,D,L]`, `v: [B,Dv,L]`
+    /// (the PAM position-attention layout: channels outermost, attention
+    /// over spatial positions).
+    ///
+    /// `out[b,c,y] = Σ_x softmax_x(Σ_p q[b,p,y]·k[b,p,x]·scale) · v[b,c,x]`,
+    /// bitwise identical to the composed PAM chain
+    /// `bmm(kᵀ, q) → permute → softmax_last → permute → bmm(v, ·)`.
+    pub fn attention_fm(&mut self, q: Var, k: Var, v: Var, scale: f32) -> Var {
+        let (b, l) = (self.value(q).shape()[0], self.value(q).shape()[2]);
+        let nv = self.value(v).shape()[1];
+        let mut out = self.pool.take_any(b * nv * l);
+        attention_fm_into(
+            &self.nodes[q.0].value,
+            &self.nodes[k.0].value,
+            &self.nodes[v.0].value,
+            scale,
+            &mut out,
+        );
+        let val = Tensor::from_vec(vec![b, nv, l], out).expect("attention_fm out");
+        let rg = self.rg(q) || self.rg(k) || self.rg(v);
+        self.push(
+            val,
+            Op::Attention {
+                q,
+                k,
+                v,
+                scale,
+                feature_major: true,
+            },
+            rg,
+        )
+    }
+
     /// 2-D convolution of `x: [B,C,H,W]` with `w: [OC,C,KH,KW]`.
     pub fn conv2d(&mut self, x: Var, w: Var, stride: usize, pad: usize) -> Var {
         let (kh, kw) = {
@@ -282,32 +495,44 @@ impl Graph {
             assert_eq!(ws.len(), 4, "conv2d weight must be [OC,C,KH,KW]");
             (ws[2], ws[3])
         };
-        let (b, _c, _h, _wd) = self.value(x).dims4();
-        let cols = self.value(x).im2col(kh, kw, stride, pad);
+        let (b, c, h, wd) = self.value(x).dims4();
+        let (oh, ow) = mfaplace_tensor_conv_out(h, wd, kh, kw, stride, pad);
+        let ohow = oh * ow;
         let oc = self.value(w).shape()[0];
         let ckk = self.value(w).numel() / oc;
+        // im2col relies on zero-initialized padding cells, so the lowering
+        // buffer comes from the zeroing pool entry point.
+        let mut cols_buf = self.pool.take(c * kh * kw * b * ohow);
+        self.nodes[x.0]
+            .value
+            .im2col_into(kh, kw, stride, pad, &mut cols_buf);
+        let cols =
+            Tensor::from_vec(vec![c * kh * kw, b * ohow], cols_buf).expect("conv2d cols shape");
         let wm = self
             .value(w)
             .reshape(vec![oc, ckk])
             .expect("conv2d weight reshape");
-        let y_mat = wm.matmul2d(&cols); // [OC, B*OH*OW]
-        let ohow = y_mat.shape()[1] / b;
-        let mut out = vec![0.0f32; y_mat.numel()];
-        // reorder [OC, B, OH*OW] -> [B, OC, OH*OW]
+        let mut y_mat = self.pool.take_any(oc * b * ohow);
+        wm.matmul2d_into(&cols, &mut y_mat); // [OC, B*OH*OW]
+                                             // reorder [OC, B, OH*OW] -> [B, OC, OH*OW]
+        let mut out = self.pool.take_any(oc * b * ohow);
         for ocx in 0..oc {
             for bi in 0..b {
-                let src = &y_mat.data()[(ocx * b + bi) * ohow..(ocx * b + bi + 1) * ohow];
+                let src = &y_mat[(ocx * b + bi) * ohow..(ocx * b + bi + 1) * ohow];
                 out[(bi * oc + ocx) * ohow..(bi * oc + ocx + 1) * ohow].copy_from_slice(src);
             }
         }
-        let (h, wd) = {
-            let xs = self.value(x).shape();
-            (xs[2], xs[3])
-        };
-        let (oh, ow) = mfaplace_tensor_conv_out(h, wd, kh, kw, stride, pad);
-        debug_assert_eq!(oh * ow, ohow);
+        self.pool.give(y_mat);
         let v = Tensor::from_vec(vec![b, oc, oh, ow], out).expect("conv2d output");
-        let rg = self.rg(x) || self.rg(w);
+        let rg = (self.rg(x) || self.rg(w)) && self.grad_enabled;
+        // The lowering is backward-only state: on the inference path it is
+        // recycled immediately instead of riding the tape node.
+        let cols = if rg {
+            Some(cols)
+        } else {
+            self.pool.give(cols.into_vec());
+            None
+        };
         self.push(
             v,
             Op::Conv2d {
@@ -325,7 +550,8 @@ impl Graph {
     pub fn add_bias_channel(&mut self, x: Var, b: Var) -> Var {
         let (bs, c, h, w) = self.value(x).dims4();
         assert_eq!(self.value(b).shape(), &[c], "bias shape mismatch");
-        let mut out = self.value(x).data().to_vec();
+        let mut out = self.pool.take_any(self.value(x).numel());
+        out.copy_from_slice(self.value(x).data());
         let bias = self.value(b).data().to_vec();
         for bi in 0..bs {
             for ci in 0..c {
@@ -344,7 +570,8 @@ impl Graph {
         let d = *self.value(x).shape().last().expect("rank >= 1");
         assert_eq!(self.value(b).shape(), &[d], "row bias shape mismatch");
         let bias = self.value(b).data().to_vec();
-        let mut out = self.value(x).data().to_vec();
+        let mut out = self.pool.take_any(self.value(x).numel());
+        out.copy_from_slice(self.value(x).data());
         for row in out.chunks_mut(d) {
             for (o, &bv) in row.iter_mut().zip(&bias) {
                 *o += bv;
@@ -357,28 +584,28 @@ impl Graph {
 
     /// Rectified linear unit.
     pub fn relu(&mut self, x: Var) -> Var {
-        let v = self.value(x).map(|a| a.max(0.0));
+        let v = self.pooled_map(x, |a| a.max(0.0));
         let rg = self.rg(x);
         self.push(v, Op::Relu(x), rg)
     }
 
     /// Leaky ReLU with the given negative slope.
     pub fn leaky_relu(&mut self, x: Var, slope: f32) -> Var {
-        let v = self.value(x).map(|a| if a > 0.0 { a } else { slope * a });
+        let v = self.pooled_map(x, |a| if a > 0.0 { a } else { slope * a });
         let rg = self.rg(x);
         self.push(v, Op::LeakyRelu(x, slope), rg)
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, x: Var) -> Var {
-        let v = self.value(x).map(|a| 1.0 / (1.0 + (-a).exp()));
+        let v = self.pooled_map(x, |a| 1.0 / (1.0 + (-a).exp()));
         let rg = self.rg(x);
         self.push(v, Op::Sigmoid(x), rg)
     }
 
     /// GELU activation (tanh approximation), used in transformer MLPs.
     pub fn gelu(&mut self, x: Var) -> Var {
-        let v = self.value(x).map(gelu_fwd);
+        let v = self.pooled_map(x, gelu_fwd);
         let rg = self.rg(x);
         self.push(v, Op::Gelu(x), rg)
     }
@@ -397,7 +624,7 @@ impl Graph {
     ) -> (Var, Vec<f32>, Vec<f32>) {
         let (b, c, h, w) = self.value(x).dims4();
         let n = (b * h * w) as f32;
-        let src = self.value(x).data();
+        let src = self.nodes[x.0].value.data();
         let mut mean = vec![0.0f32; c];
         let mut var = vec![0.0f32; c];
         for bi in 0..b {
@@ -422,10 +649,10 @@ impl Graph {
             *v /= n;
         }
         let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + eps).sqrt()).collect();
-        let mut xhat = vec![0.0f32; src.len()];
+        let mut xhat = self.pool.take_any(src.len());
         let g = self.value(gamma).data().to_vec();
         let be = self.value(beta).data().to_vec();
-        let mut out = vec![0.0f32; src.len()];
+        let mut out = self.pool.take_any(src.len());
         for bi in 0..b {
             for ci in 0..c {
                 let base = (bi * c + ci) * h * w;
@@ -461,8 +688,8 @@ impl Graph {
         let (b, c, h, w) = self.value(x).dims4();
         assert_eq!(scale.len(), c, "channel_affine scale length");
         assert_eq!(shift.len(), c, "channel_affine shift length");
-        let src = self.value(x).data();
-        let mut out = vec![0.0f32; src.len()];
+        let src = self.nodes[x.0].value.data();
+        let mut out = self.pool.take_any(src.len());
         for bi in 0..b {
             for ci in 0..c {
                 let base = (bi * c + ci) * h * w;
@@ -479,12 +706,12 @@ impl Graph {
     /// Layer normalization over the last axis with affine `gamma, beta: [D]`.
     pub fn layer_norm(&mut self, x: Var, gamma: Var, beta: Var, eps: f32) -> Var {
         let d = *self.value(x).shape().last().expect("rank >= 1");
-        let src = self.value(x).data();
+        let src = self.nodes[x.0].value.data();
         let rows = src.len() / d;
         let g = self.value(gamma).data().to_vec();
         let be = self.value(beta).data().to_vec();
-        let mut xhat = vec![0.0f32; src.len()];
-        let mut out = vec![0.0f32; src.len()];
+        let mut xhat = self.pool.take_any(src.len());
+        let mut out = self.pool.take_any(src.len());
         let mut inv_std = vec![0.0f32; rows];
         for r in 0..rows {
             let row = &src[r * d..(r + 1) * d];
@@ -571,9 +798,9 @@ impl Graph {
         if let Some(cw) = class_weights {
             assert_eq!(cw.len(), k, "class weight count mismatch");
         }
-        let src = self.value(logits).data();
+        let src = self.nodes[logits.0].value.data();
         let hw = h * w;
-        let mut probs = vec![0.0f32; src.len()];
+        let mut probs = self.pool.take_any(src.len());
         let mut loss = 0.0f64;
         let mut weight_sum = 0.0f64;
         for bi in 0..b {
@@ -652,7 +879,9 @@ impl Graph {
             self.value(x).numel(),
             "reshape element mismatch"
         );
-        let v = self.value(x).clone().reshaped(shape);
+        let mut buf = self.pool.take_any(self.nodes[x.0].value.numel());
+        buf.copy_from_slice(self.nodes[x.0].value.data());
+        let v = Tensor::from_vec(shape, buf).expect("reshape");
         let rg = self.rg(x);
         self.push(v, Op::Reshape(x), rg)
     }
@@ -719,7 +948,7 @@ impl Graph {
     pub fn mul_scalar_var(&mut self, x: Var, s: Var) -> Var {
         assert_eq!(self.value(s).numel(), 1, "scalar var must hold one element");
         let sv = self.value(s).item();
-        let v = self.value(x).scale(sv);
+        let v = self.pooled_map(x, |a| a * sv);
         let rg = self.rg(x) || self.rg(s);
         self.push(v, Op::MulScalarVar(x, s), rg)
     }
@@ -834,18 +1063,70 @@ fn backward_op(node: &Node, dy: &Tensor, parents: &mut [Node]) {
         Op::Matmul(a, b) => {
             let av = &parents[a.0].value;
             let bv = &parents[b.0].value;
-            let ga = dy.matmul2d(&bv.transpose2d());
-            let gb = av.transpose2d().matmul2d(dy);
+            // Transpose-aware kernels: bitwise identical to
+            // dy·bᵀ / aᵀ·dy via materialized transposes, without the copies.
+            let ga = dy.matmul2d_nt(bv);
+            let gb = av.matmul2d_tn(dy);
             accum(parents, *a, ga);
             accum(parents, *b, gb);
         }
         Op::Bmm(a, b) => {
             let av = &parents[a.0].value;
             let bv = &parents[b.0].value;
-            let ga = dy.bmm(&bv.permute(&[0, 2, 1]));
-            let gb = av.permute(&[0, 2, 1]).bmm(dy);
+            let ga = dy.bmm_nt(bv);
+            let gb = av.bmm_tn(dy);
             accum(parents, *a, ga);
             accum(parents, *b, gb);
+        }
+        Op::BmmNT(a, b) => {
+            // y = a·bᵀ ⇒ da = dy·b, db = dyᵀ·a.
+            let av = &parents[a.0].value;
+            let bv = &parents[b.0].value;
+            let ga = dy.bmm(bv);
+            let gb = dy.bmm_tn(av);
+            accum(parents, *a, ga);
+            accum(parents, *b, gb);
+        }
+        Op::BmmTN(a, b) => {
+            // y = aᵀ·b ⇒ da = b·dyᵀ, db = a·dy.
+            let av = &parents[a.0].value;
+            let bv = &parents[b.0].value;
+            let ga = bv.bmm_nt(dy);
+            let gb = av.bmm(dy);
+            accum(parents, *a, ga);
+            accum(parents, *b, gb);
+        }
+        Op::Attention {
+            q,
+            k,
+            v,
+            scale,
+            feature_major,
+        } => {
+            let (dq, dk, dv) = if *feature_major {
+                attention_fm_backward(
+                    &parents[q.0].value,
+                    &parents[k.0].value,
+                    &parents[v.0].value,
+                    *scale,
+                    dy,
+                )
+            } else {
+                attention_tm_backward(
+                    &parents[q.0].value,
+                    &parents[k.0].value,
+                    &parents[v.0].value,
+                    *scale,
+                    dy,
+                )
+            };
+            // Accumulation order v, k, q replicates the composed chain's
+            // backward sequence (softmax·v bmm, then the key permute, then
+            // the score bmm), which is what makes gradients bitwise
+            // identical when q/k/v alias one node (CAM's self-attention).
+            accum(parents, *v, dv);
+            accum(parents, *k, dk);
+            accum(parents, *q, dq);
         }
         Op::Conv2d {
             x,
@@ -871,15 +1152,18 @@ fn backward_op(node: &Node, dy: &Tensor, parents: &mut [Node]) {
                 }
             }
             let dym = Tensor::from_vec(vec![oc, b * ohow], dym).expect("conv dym");
+            let cols = cols
+                .as_ref()
+                .expect("conv2d cols retained for grad-requiring ops");
             if parents[w.0].requires_grad {
-                let dwm = dym.matmul2d(&cols.transpose2d());
+                let dwm = dym.matmul2d_nt(cols);
                 let dw = dwm.reshaped(vec![oc, c, kh, kw]);
                 accum(parents, *w, dw);
             }
             if parents[x.0].requires_grad {
                 let ckk = c * kh * kw;
                 let wm = parents[w.0].value.reshape(vec![oc, ckk]).expect("conv wm");
-                let dcols = wm.transpose2d().matmul2d(&dym);
+                let dcols = wm.matmul2d_tn(&dym);
                 let dx = dcols.col2im(b, c, h, wd, kh, kw, *stride, *pad);
                 accum(parents, *x, dx);
             }

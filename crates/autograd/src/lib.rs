@@ -34,5 +34,7 @@
 
 pub mod gradcheck;
 mod graph;
+mod recycle;
 
 pub use graph::{Graph, Var};
+pub use recycle::BufferPool;

@@ -509,3 +509,57 @@ fn seeded_backward_on_sum_matches_normalized_backward() {
         );
     }
 }
+
+#[test]
+fn grad_bmm_nt_tn() {
+    let a = rt(&[2, 3, 4], 40);
+    let b = rt(&[2, 5, 4], 41); // b in [B, N, K]: bmm_nt contracts over K
+    assert_grads_close(&[a, b], EPS, TOL, |g, v| {
+        let c = g.bmm_nt(v[0], v[1]);
+        let c2 = g.mul(c, c);
+        g.mean(c2)
+    });
+    let a = rt(&[2, 4, 3], 42); // a in [B, K, M]: bmm_tn contracts over K
+    let b = rt(&[2, 4, 5], 43);
+    assert_grads_close(&[a, b], EPS, TOL, |g, v| {
+        let c = g.bmm_tn(v[0], v[1]);
+        let c2 = g.mul(c, c);
+        g.mean(c2)
+    });
+}
+
+#[test]
+fn grad_fused_attention_token_major() {
+    let q = rt(&[2, 5, 3], 44);
+    let k = rt(&[2, 7, 3], 45);
+    let v = rt(&[2, 7, 4], 46);
+    assert_grads_close(&[q, k, v], EPS, TOL, |g, vars| {
+        let y = g.attention(vars[0], vars[1], vars[2], 0.7);
+        let y2 = g.mul(y, y);
+        g.mean(y2)
+    });
+}
+
+#[test]
+fn grad_fused_attention_feature_major() {
+    let q = rt(&[2, 3, 6], 47);
+    let k = rt(&[2, 3, 6], 48);
+    let v = rt(&[2, 4, 6], 49);
+    assert_grads_close(&[q, k, v], EPS, TOL, |g, vars| {
+        let y = g.attention_fm(vars[0], vars[1], vars[2], 0.5);
+        let y2 = g.mul(y, y);
+        g.mean(y2)
+    });
+}
+
+#[test]
+fn grad_fused_attention_aliased_self() {
+    // q = k = v through one parameter, like the CAM block.
+    let m = rt(&[1, 4, 5], 50);
+    assert_grads_close(&[m], EPS, TOL, |g, vars| {
+        let y = g.attention(vars[0], vars[0], vars[0], 1.0);
+        let out = g.add(y, vars[0]);
+        let o2 = g.mul(out, out);
+        g.mean(o2)
+    });
+}

@@ -35,7 +35,10 @@ fn synth_dataset(grid: usize) -> Dataset {
     Dataset { samples, grid }
 }
 
-fn run(k: usize, scale: &Scale, ds: &Dataset) -> (f64, usize, Vec<u32>) {
+fn run(k: usize, scale: &Scale, ds: &Dataset) -> (f64, usize, Option<u64>, Vec<u32>) {
+    // Attribute the peak-RSS watermark to this worker count's run rather
+    // than whatever ran before it in the process.
+    let rss_supported = mfaplace_rt::bench::reset_peak_rss();
     let mut g = Graph::new();
     let mut rng = StdRng::seed_from_u64(23);
     let model = OursModel::new(&mut g, scale.ours_config(), &mut rng);
@@ -52,6 +55,11 @@ fn run(k: usize, scale: &Scale, ds: &Dataset) -> (f64, usize, Vec<u32>) {
     let t0 = std::time::Instant::now();
     let report = trainer.fit(ds);
     let secs = t0.elapsed().as_secs_f64();
+    let peak_rss = if rss_supported {
+        mfaplace_rt::bench::peak_rss_bytes()
+    } else {
+        None
+    };
     let (g, model) = trainer.into_parts();
     let bits = model
         .params()
@@ -64,7 +72,7 @@ fn run(k: usize, scale: &Scale, ds: &Dataset) -> (f64, usize, Vec<u32>) {
                 .collect::<Vec<_>>()
         })
         .collect();
-    (secs / EPOCHS as f64, report.steps, bits)
+    (secs / EPOCHS as f64, report.steps, peak_rss, bits)
 }
 
 fn main() {
@@ -84,7 +92,7 @@ fn main() {
     let mut baseline_bits: Vec<u32> = Vec::new();
     let mut bitwise_identical = true;
     for k in [1usize, 2, 4] {
-        let (epoch_secs, steps, bits) = run(k, &scale, &ds);
+        let (epoch_secs, steps, peak_rss, bits) = run(k, &scale, &ds);
         if k == 1 {
             baseline_epoch_secs = epoch_secs;
             baseline_bits = bits;
@@ -92,9 +100,10 @@ fn main() {
             bitwise_identical = false;
         }
         let speedup = baseline_epoch_secs / epoch_secs;
+        let rss_json = peak_rss.map_or_else(|| "null".to_owned(), |b| b.to_string());
         eprintln!("  K={k}: {epoch_secs:.3} s/epoch ({steps} steps, speedup {speedup:.2}x)");
         rows.push(format!(
-            "    {{\"workers\": {k}, \"epoch_seconds\": {epoch_secs:.6}, \"steps\": {steps}, \"speedup_vs_1\": {speedup:.4}}}"
+            "    {{\"workers\": {k}, \"epoch_seconds\": {epoch_secs:.6}, \"steps\": {steps}, \"speedup_vs_1\": {speedup:.4}, \"peak_rss_bytes\": {rss_json}}}"
         ));
     }
 

@@ -32,6 +32,11 @@ impl<M: CongestionModel> ModelPredictor<M> {
     /// [`crate::Trainer::into_parts`]).
     pub fn new(graph: Graph, model: M) -> Self {
         let name = model.name().to_string();
+        let mut graph = graph;
+        // Inference-only: forwards recorded from here on skip gradient
+        // bookkeeping and drop backward-only storage (conv im2col buffers)
+        // at creation instead of retaining it on the tape.
+        graph.set_grad_enabled(false);
         ModelPredictor { graph, model, name }
     }
 

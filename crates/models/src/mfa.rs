@@ -7,7 +7,7 @@
 //! every skip-connection level and before the transformer stage.
 
 use mfaplace_autograd::{Graph, Var};
-use mfaplace_nn::{Conv2d, Module};
+use mfaplace_nn::{composed_attention, Conv2d, Module};
 use mfaplace_rt::rng::Rng;
 use mfaplace_tensor::Tensor;
 
@@ -48,15 +48,22 @@ impl Module for PamBlock {
         let fb = g.reshape(fb, vec![b, n, l]);
         let fc = g.reshape(fc, vec![b, n, l]);
         let fd = g.reshape(fd, vec![b, n, l]);
-        // E[i, j] = B_i . C_j  ->  [B, L, L]
-        let bt = g.permute(fb, &[0, 2, 1]);
-        let e = g.bmm(bt, fc);
-        // P_ji = softmax over i of E[i, j]: row-softmax of E^T.
-        let et = g.permute(e, &[0, 2, 1]);
-        let p = g.softmax_last(et); // p[j, i]
-                                    // out_j = sum_i P_ji D_i  ->  D (N x L) x P^T (L x L)
-        let pt = g.permute(p, &[0, 2, 1]);
-        let attended = g.bmm(fd, pt); // [B, N, L]
+        let attended = if composed_attention() {
+            // E[i, j] = B_i . C_j  ->  [B, L, L]
+            let bt = g.permute(fb, &[0, 2, 1]);
+            let e = g.bmm(bt, fc);
+            // P_ji = softmax over i of E[i, j]: row-softmax of E^T.
+            let et = g.permute(e, &[0, 2, 1]);
+            let p = g.softmax_last(et); // p[j, i]
+                                        // out_j = sum_i P_ji D_i  ->  D (N x L) x P^T (L x L)
+            let pt = g.permute(p, &[0, 2, 1]);
+            g.bmm(fd, pt) // [B, N, L]
+        } else {
+            // Fused feature-major kernel: C is the query, B the key, D the
+            // value; none of the [B, L, L] score/softmax/permute tensors are
+            // materialized. Bitwise identical to the chain above.
+            g.attention_fm(fc, fb, fd, 1.0)
+        };
         let m_flat = g.reshape(m, vec![b, n, l]);
         let scaled = g.mul_scalar_var(attended, self.alpha);
         let out = g.add(scaled, m_flat);
@@ -97,14 +104,22 @@ impl Module for CamBlock {
         let (b, n, h, w) = g.value(m).dims4();
         let l = h * w;
         let m_flat = g.reshape(m, vec![b, n, l]);
-        // E[i, j] = M_i . M_j  ->  [B, N, N]
-        let mt = g.permute(m_flat, &[0, 2, 1]);
-        let e = g.bmm(m_flat, mt);
-        // C_ji = softmax over i of E[i, j]: row-softmax of E^T.
-        let et = g.permute(e, &[0, 2, 1]);
-        let c = g.softmax_last(et); // c[j, i]
-                                    // out_j = sum_i C_ji M_i  ->  C (N x N) x M (N x L)
-        let attended = g.bmm(c, m_flat);
+        let attended = if composed_attention() {
+            // E[i, j] = M_i . M_j  ->  [B, N, N]
+            let mt = g.permute(m_flat, &[0, 2, 1]);
+            let e = g.bmm(m_flat, mt);
+            // C_ji = softmax over i of E[i, j]: row-softmax of E^T.
+            let et = g.permute(e, &[0, 2, 1]);
+            let c = g.softmax_last(et); // c[j, i]
+                                        // out_j = sum_i C_ji M_i  ->  C (N x N) x M (N x L)
+            g.bmm(c, m_flat)
+        } else {
+            // Fused token-major self-attention over channels (tokens =
+            // channel vectors, q = k = v = M). Bitwise identical to the
+            // chain above, including the aliased-gradient accumulation
+            // order into m_flat.
+            g.attention(m_flat, m_flat, m_flat, 1.0)
+        };
         let scaled = g.mul_scalar_var(attended, self.beta);
         let out = g.add(scaled, m_flat);
         g.reshape(out, vec![b, n, h, w])

@@ -1,0 +1,103 @@
+//! Fused-vs-composed equivalence for the MFA dual attention: PamBlock,
+//! CamBlock and the whole MfaBlock must produce bitwise-identical values
+//! and gradients whether they record the fused attention ops or the
+//! composed permute/bmm/softmax chains.
+//!
+//! The composed-attention fallback is process-wide, so all tests serialize
+//! on one mutex.
+
+use std::sync::Mutex;
+
+use mfaplace_autograd::{Graph, Var};
+use mfaplace_models::{CamBlock, MfaBlock, PamBlock};
+use mfaplace_nn::{set_composed_attention, Module};
+use mfaplace_rt::rng::{SeedableRng, StdRng};
+use mfaplace_tensor::Tensor;
+
+static FLAG_LOCK: Mutex<()> = Mutex::new(());
+
+fn assert_bitwise(label: &str, a: &Tensor, b: &Tensor) {
+    assert_eq!(a.shape(), b.shape(), "{label}: shape mismatch");
+    for (i, (x, y)) in a.data().iter().zip(b.data()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{label}: element {i} differs ({x} vs {y})"
+        );
+    }
+}
+
+/// Builds a block from a fixed seed, runs forward+backward on a fixed
+/// input, and returns `(output, input grad, param grads)`.
+fn run_block<M: Module>(
+    composed: bool,
+    shape: &[usize],
+    build: impl FnOnce(&mut Graph, &mut StdRng) -> M,
+) -> (Tensor, Tensor, Vec<Tensor>) {
+    set_composed_attention(composed);
+    let mut g = Graph::new();
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut block = build(&mut g, &mut rng);
+    // alpha/beta initialize to zero, which would multiply the upstream
+    // gradient of the attention output by zero and mask any backward
+    // divergence — set every scalar gate to a nonzero value first.
+    for &p in &block.params() {
+        if g.value(p).numel() == 1 {
+            *g.value_mut(p) = Tensor::from_vec(vec![1], vec![0.8]).expect("scalar");
+        }
+    }
+    let x = g.param(Tensor::randn(shape.to_vec(), 1.0, &mut rng));
+    let y = block.forward(&mut g, x, true);
+    let y2 = g.mul(y, y);
+    let loss = g.mean(y2);
+    g.backward(loss);
+    let out = g.value(y).clone();
+    let dx = g.grad(x).cloned().expect("input grad");
+    let dparams: Vec<Tensor> = block
+        .params()
+        .iter()
+        .map(|&p: &Var| g.grad(p).cloned().unwrap_or_else(|| Tensor::zeros(vec![1])))
+        .collect();
+    set_composed_attention(false);
+    (out, dx, dparams)
+}
+
+fn assert_equivalent<M: Module>(
+    label: &str,
+    shape: &[usize],
+    build: impl Fn(&mut Graph, &mut StdRng) -> M,
+) {
+    let (y_f, dx_f, dp_f) = run_block(false, shape, &build);
+    let (y_c, dx_c, dp_c) = run_block(true, shape, &build);
+    assert_bitwise(&format!("{label} value"), &y_f, &y_c);
+    assert_bitwise(&format!("{label} dx"), &dx_f, &dx_c);
+    assert_eq!(dp_f.len(), dp_c.len());
+    for (i, (a, b)) in dp_f.iter().zip(&dp_c).enumerate() {
+        assert_bitwise(&format!("{label} dparam{i}"), a, b);
+    }
+}
+
+#[test]
+fn pam_fused_matches_composed_bitwise() {
+    let _guard = FLAG_LOCK.lock().unwrap();
+    // 5x5 and 7x7 grids give L = 25 / 49: odd, not tile multiples.
+    assert_equivalent("pam 5x5", &[2, 3, 5, 5], |g, rng| PamBlock::new(g, 3, rng));
+    assert_equivalent("pam 7x7", &[1, 4, 7, 7], |g, rng| PamBlock::new(g, 4, rng));
+}
+
+#[test]
+fn cam_fused_matches_composed_bitwise() {
+    let _guard = FLAG_LOCK.lock().unwrap();
+    // CAM aliases q = k = v onto one tensor; this exercises the fused
+    // backward's accumulation order into the shared gradient buffer.
+    assert_equivalent("cam 5x5", &[2, 3, 5, 5], |g, _| CamBlock::new(g));
+    assert_equivalent("cam 6x6", &[1, 5, 6, 6], |g, _| CamBlock::new(g));
+}
+
+#[test]
+fn mfa_block_fused_matches_composed_bitwise() {
+    let _guard = FLAG_LOCK.lock().unwrap();
+    assert_equivalent("mfa 8x8", &[1, 8, 8, 8], |g, rng| {
+        MfaBlock::with_reduction(g, 8, 2, rng)
+    });
+}

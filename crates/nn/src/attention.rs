@@ -1,7 +1,27 @@
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use mfaplace_autograd::{Graph, Var};
 use mfaplace_rt::rng::Rng;
 
 use crate::{Linear, Module};
+
+/// When set, attention modules (MHSA here, PAM/CAM in `mfaplace-models`)
+/// record the original composed op chain
+/// (`permute → bmm → scale → softmax → bmm`) instead of the fused streamed
+/// attention op. The fused path is bitwise identical to the composed one
+/// (values and gradients), so this exists only as the reference for
+/// equivalence tests and before/after benchmarks.
+static COMPOSED_ATTENTION: AtomicBool = AtomicBool::new(false);
+
+/// Selects the composed (reference) attention path process-wide.
+pub fn set_composed_attention(enabled: bool) {
+    COMPOSED_ATTENTION.store(enabled, Ordering::SeqCst);
+}
+
+/// Whether the composed (reference) attention path is selected.
+pub fn composed_attention() -> bool {
+    COMPOSED_ATTENTION.load(Ordering::SeqCst)
+}
 
 /// Multi-head scaled-dot-product self-attention (Eq. 9 of the paper).
 ///
@@ -63,11 +83,17 @@ impl Module for MultiHeadSelfAttention {
         let k = self.split_heads(g, k, b, l);
         let v = self.split_heads(g, v, b, l);
 
-        let kt = g.permute(k, &[0, 2, 1]); // [B*H, dh, L]
-        let scores = g.bmm(q, kt); // [B*H, L, L]
-        let scaled = g.scale(scores, 1.0 / (dh as f32).sqrt());
-        let attn = g.softmax_last(scaled);
-        let ctx = g.bmm(attn, v); // [B*H, L, dh]
+        let ctx = if composed_attention() {
+            let kt = g.permute(k, &[0, 2, 1]); // [B*H, dh, L]
+            let scores = g.bmm(q, kt); // [B*H, L, L]
+            let scaled = g.scale(scores, 1.0 / (dh as f32).sqrt());
+            let attn = g.softmax_last(scaled);
+            g.bmm(attn, v) // [B*H, L, dh]
+        } else {
+            // Fused streamed kernel: no [L, L] score/softmax tensors on the
+            // tape, bitwise identical to the composed chain above.
+            g.attention(q, k, v, 1.0 / (dh as f32).sqrt())
+        };
 
         let ctx = g.reshape(ctx, vec![b, self.heads, l, dh]);
         let ctx = g.permute(ctx, &[0, 2, 1, 3]); // [B, L, H, dh]

@@ -1,0 +1,80 @@
+//! Fused-vs-composed equivalence at the module level: toggling the
+//! process-wide composed-attention fallback must not change a single bit
+//! of `MultiHeadSelfAttention`'s output or gradients.
+//!
+//! The toggle is global process state, so every test here serializes on
+//! one mutex (cargo runs a binary's tests on parallel threads).
+
+use std::sync::Mutex;
+
+use mfaplace_autograd::Graph;
+use mfaplace_nn::{set_composed_attention, Module, MultiHeadSelfAttention};
+use mfaplace_rt::rng::{SeedableRng, StdRng};
+use mfaplace_tensor::Tensor;
+
+static FLAG_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs one MHSA forward+backward from a fixed seed and returns
+/// `(output, input grad, per-param grads)`.
+fn run_mhsa(
+    dim: usize,
+    heads: usize,
+    tokens: usize,
+    composed: bool,
+) -> (Tensor, Tensor, Vec<Tensor>) {
+    set_composed_attention(composed);
+    let mut g = Graph::new();
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut mhsa = MultiHeadSelfAttention::new(&mut g, dim, heads, &mut rng);
+    let x = g.param(Tensor::randn(vec![2, tokens, dim], 1.0, &mut rng));
+    let y = mhsa.forward(&mut g, x, true);
+    let y2 = g.mul(y, y);
+    let loss = g.mean(y2);
+    g.backward(loss);
+    let out = g.value(y).clone();
+    let dx = g.grad(x).cloned().expect("input grad");
+    let dparams = mhsa
+        .params()
+        .iter()
+        .map(|&p| g.grad(p).cloned().unwrap_or_else(|| Tensor::zeros(vec![1])))
+        .collect();
+    set_composed_attention(false);
+    (out, dx, dparams)
+}
+
+fn assert_bitwise(label: &str, a: &Tensor, b: &Tensor) {
+    assert_eq!(a.shape(), b.shape(), "{label}: shape mismatch");
+    for (i, (x, y)) in a.data().iter().zip(b.data()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{label}: element {i} differs ({x} vs {y})"
+        );
+    }
+}
+
+#[test]
+fn mhsa_fused_matches_composed_bitwise() {
+    let _guard = FLAG_LOCK.lock().unwrap();
+    // Odd token counts (not multiples of the attention tile) and several
+    // head layouts, including single-head.
+    for &(dim, heads, tokens) in &[(8, 2, 5), (6, 3, 9), (4, 1, 33), (8, 4, 7)] {
+        let (y_fused, dx_fused, dp_fused) = run_mhsa(dim, heads, tokens, false);
+        let (y_comp, dx_comp, dp_comp) = run_mhsa(dim, heads, tokens, true);
+        let label = format!("mhsa d{dim} h{heads} t{tokens}");
+        assert_bitwise(&format!("{label} value"), &y_fused, &y_comp);
+        assert_bitwise(&format!("{label} dx"), &dx_fused, &dx_comp);
+        assert_eq!(dp_fused.len(), dp_comp.len());
+        for (i, (a, b)) in dp_fused.iter().zip(&dp_comp).enumerate() {
+            assert_bitwise(&format!("{label} dparam{i}"), a, b);
+        }
+    }
+}
+
+#[test]
+#[should_panic(expected = "attention dim must be divisible by heads")]
+fn mhsa_rejects_heads_not_dividing_dim() {
+    let mut g = Graph::new();
+    let mut rng = StdRng::seed_from_u64(0);
+    let _ = MultiHeadSelfAttention::new(&mut g, 10, 3, &mut rng);
+}

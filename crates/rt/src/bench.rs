@@ -34,6 +34,29 @@ pub struct BenchResult {
     pub min_ns: f64,
     /// Slowest sample's per-iteration time.
     pub max_ns: f64,
+    /// Peak resident set size (`VmHWM`) observed over this benchmark's
+    /// samples, in bytes. `None` when the platform does not expose
+    /// `/proc/self/status` / `/proc/self/clear_refs`.
+    pub peak_rss_bytes: Option<u64>,
+}
+
+/// Resets the kernel's peak-RSS watermark for this process (writes `"5"` to
+/// `/proc/self/clear_refs`). Returns `false` when unsupported.
+pub fn reset_peak_rss() -> bool {
+    std::fs::write("/proc/self/clear_refs", "5").is_ok()
+}
+
+/// Current peak resident set size in bytes (`VmHWM` from
+/// `/proc/self/status`), or `None` when unavailable.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
 }
 
 /// Passed to the benchmark closure; call [`Bencher::iter`] exactly once.
@@ -105,7 +128,15 @@ impl Suite {
             samples: self.samples,
             result: None,
         };
+        // Reset the watermark so the sampled peak is attributable to this
+        // benchmark rather than whatever ran before it in the process.
+        let rss_supported = reset_peak_rss();
         f(&mut bencher);
+        let peak_rss = if rss_supported {
+            peak_rss_bytes()
+        } else {
+            None
+        };
         let (iters, mut times) = bencher
             .result
             .expect("benchmark closure must call Bencher::iter");
@@ -124,9 +155,14 @@ impl Suite {
             mean_ns: mean,
             min_ns: *times.first().expect("at least one sample"),
             max_ns: *times.last().expect("at least one sample"),
+            peak_rss_bytes: peak_rss,
         };
+        let rss = result.peak_rss_bytes.map_or_else(
+            || "n/a".to_owned(),
+            |b| format!("{:.1} MiB", b as f64 / (1024.0 * 1024.0)),
+        );
         eprintln!(
-            "bench {label:<40} median {:>12.1} ns  mean {:>12.1} ns  ({} samples x {} iters)",
+            "bench {label:<40} median {:>12.1} ns  mean {:>12.1} ns  peak rss {rss:>10}  ({} samples x {} iters)",
             result.median_ns, result.mean_ns, result.samples, result.iters_per_sample
         );
         self.results.push(result);
@@ -155,7 +191,8 @@ impl Suite {
 
     /// JSON document:
     /// `{"suite": name, "benchmarks": [{name, samples, iters_per_sample,
-    /// median_ns, mean_ns, min_ns, max_ns}]}`.
+    /// median_ns, mean_ns, min_ns, max_ns, peak_rss_bytes}]}`
+    /// (`peak_rss_bytes` is `null` where the platform cannot report it).
     pub fn to_json(&self) -> String {
         let mut out = format!("{{\"suite\":\"{}\",\"benchmarks\":[", escape(&self.name));
         for (i, r) in self.results.iter().enumerate() {
@@ -164,14 +201,16 @@ impl Suite {
             }
             out.push_str(&format!(
                 "{{\"name\":\"{}\",\"samples\":{},\"iters_per_sample\":{},\
-                 \"median_ns\":{:.1},\"mean_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1}}}",
+                 \"median_ns\":{:.1},\"mean_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},                 \"peak_rss_bytes\":{}}}",
                 escape(&r.name),
                 r.samples,
                 r.iters_per_sample,
                 r.median_ns,
                 r.mean_ns,
                 r.min_ns,
-                r.max_ns
+                r.max_ns,
+                r.peak_rss_bytes
+                    .map_or_else(|| "null".to_owned(), |b| b.to_string())
             ));
         }
         out.push_str("]}");
@@ -210,6 +249,18 @@ mod tests {
         let json = suite.to_json();
         assert!(json.starts_with("{\"suite\":\"unit\""), "{json}");
         assert!(json.contains("\"name\":\"spin\""), "{json}");
+        assert!(json.contains("\"peak_rss_bytes\":"), "{json}");
         assert!(suite.table().contains("spin"));
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn peak_rss_sampling_works_on_linux() {
+        assert!(reset_peak_rss());
+        // Touch a few MiB so the watermark is visibly nonzero.
+        let buf = vec![1u8; 4 << 20];
+        std::hint::black_box(&buf);
+        let peak = peak_rss_bytes().expect("VmHWM available on linux");
+        assert!(peak > 0, "peak rss should be positive, got {peak}");
     }
 }

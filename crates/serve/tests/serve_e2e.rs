@@ -112,6 +112,23 @@ fn concurrent_batched_responses_are_bitwise_identical_to_local_inference() {
         metrics.contains("mfaplace_request_latency_seconds{quantile=\"0.99\"}"),
         "{metrics}"
     );
+    // The graph buffer pool flushes its counters into the process-wide
+    // runtime counter registry on every tape truncation, so after the
+    // predict traffic above the scrape must carry them. The reference
+    // predictor ran 8 repeated-shape forwards in this process, so recycling
+    // has both populated (misses) and reused (hits) the free lists.
+    assert!(
+        metrics.contains("mfaplace_rt_counter{name=\"graph/pool_misses\"}"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("mfaplace_rt_counter{name=\"graph/pool_hits\"}"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("mfaplace_rt_counter{name=\"graph/pool_recycled_bytes\"}"),
+        "{metrics}"
+    );
 
     server.join();
 }

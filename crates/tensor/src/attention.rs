@@ -1,0 +1,555 @@
+//! Fused streamed attention kernels.
+//!
+//! Computes `softmax(q·kᵀ·scale)·v` in query row-tiles with a per-row score
+//! scratch buffer — the `[L, L]` score and softmax matrices are never
+//! materialized, dropping peak activation memory from `O(L²)` to
+//! `O(tile·L)`. The backward pass recomputes score rows instead of reading
+//! a stored softmax.
+//!
+//! # Bitwise contract
+//!
+//! For finite inputs, forward outputs and all three input gradients are
+//! **bitwise identical** to the composed op sequence
+//! (`permute → bmm → scale → softmax → bmm` and its reverse) that the
+//! autograd tape would otherwise record:
+//!
+//! - every per-element reduction runs over its contraction index in
+//!   increasing order, matching the composed GEMM/softmax loops;
+//! - the softmax replicates [`Tensor::softmax_lastdim`] exactly (row max
+//!   via `f32::max` fold, one exp/sum pass, one divide pass);
+//! - the scale factor multiplies the finished dot product, exactly like
+//!   the composed elementwise `Scale` node (`x * 1.0` is the bitwise
+//!   identity, so callers without a composed scale node pass `1.0`);
+//! - GEMM zero-skips differ from the composed path only in *which* exact
+//!   ±0.0 product terms are skipped. Under round-to-nearest an `f32`
+//!   accumulator that starts at +0.0 can never become -0.0, and adding
+//!   ±0.0 to it never changes its bits, so skipping any subset of zero
+//!   products is bitwise neutral for finite data.
+//!
+//! Two memory layouts are provided: **token-major** (`[B, L, D]`,
+//! multi-head self-attention and the channel-attention CAM) and
+//! **feature-major** (`[B, D, L]`, the position-attention PAM, which keeps
+//! channels outermost and attends over spatial positions).
+
+use mfaplace_rt::pool;
+
+use crate::kernels::PAR_GEMM_FLOPS;
+use crate::Tensor;
+
+/// Query rows processed per tile: the parallel-dispatch granularity of the
+/// forward pass and the recomputation granularity of the backward pass.
+pub const ATTN_TILE: usize = 32;
+
+/// Token-major fused attention: `q: [B, Lq, D]`, `k: [B, Lk, D]`,
+/// `v: [B, Lk, Dv] -> [B, Lq, Dv]`.
+///
+/// `out[b, i, d] = Σ_j softmax_j(Σ_p q[b,i,p]·k[b,j,p] · scale) · v[b,j,d]`.
+///
+/// # Panics
+///
+/// Panics on rank or dimension mismatches.
+pub fn attention_tm(q: &Tensor, k: &Tensor, v: &Tensor, scale: f32) -> Tensor {
+    let (b, lq) = (q.shape()[0], q.shape()[1]);
+    let dv = v.shape()[2];
+    let mut out = vec![0.0f32; b * lq * dv];
+    attention_tm_into(q, k, v, scale, &mut out);
+    Tensor::from_vec(vec![b, lq, dv], out).expect("attention_tm shape")
+}
+
+/// [`attention_tm`] writing into a caller-provided buffer.
+///
+/// `out` **must be zero-filled**: output rows are accumulated over keys in
+/// index order (a recycled buffer from the autograd pool is handed out
+/// zeroed for exactly this reason).
+///
+/// # Panics
+///
+/// Panics on rank/dimension mismatches or if `out.len() != B*Lq*Dv`.
+pub fn attention_tm_into(q: &Tensor, k: &Tensor, v: &Tensor, scale: f32, out: &mut [f32]) {
+    assert_eq!(q.rank(), 3, "attention_tm q must be rank-3");
+    assert_eq!(k.rank(), 3, "attention_tm k must be rank-3");
+    assert_eq!(v.rank(), 3, "attention_tm v must be rank-3");
+    let (b, lq, d) = (q.shape()[0], q.shape()[1], q.shape()[2]);
+    let (bk, lk, dk) = (k.shape()[0], k.shape()[1], k.shape()[2]);
+    let (bv, lv, dv) = (v.shape()[0], v.shape()[1], v.shape()[2]);
+    assert_eq!(b, bk, "attention_tm q/k batch mismatch");
+    assert_eq!(b, bv, "attention_tm q/v batch mismatch");
+    assert_eq!(d, dk, "attention_tm q/k feature mismatch");
+    assert_eq!(lk, lv, "attention_tm k/v length mismatch");
+    assert_eq!(
+        out.len(),
+        b * lq * dv,
+        "attention_tm output length mismatch"
+    );
+    let (qd, kd, vd) = (q.data(), k.data(), v.data());
+    for bi in 0..b {
+        let qb = &qd[bi * lq * d..(bi + 1) * lq * d];
+        let kb = &kd[bi * lk * d..(bi + 1) * lk * d];
+        let vb = &vd[bi * lk * dv..(bi + 1) * lk * dv];
+        let ob = &mut out[bi * lq * dv..(bi + 1) * lq * dv];
+        // Query tiles write disjoint output rows, so the per-batch fan-out
+        // is bitwise-safe: each row's arithmetic is thread-independent.
+        if lq * lk * (d + dv) >= PAR_GEMM_FLOPS && lq > ATTN_TILE {
+            pool::parallel_chunks_mut(ob, ATTN_TILE * dv, |ti, chunk| {
+                attn_tm_rows(qb, kb, vb, scale, lk, d, dv, ti * ATTN_TILE, chunk);
+            });
+        } else {
+            attn_tm_rows(qb, kb, vb, scale, lk, d, dv, 0, ob);
+        }
+    }
+}
+
+/// Forward row-tile worker: computes output rows `[i0, i0 + rows)` of one
+/// batch, with a single score-row scratch reused across the tile's rows.
+#[allow(clippy::too_many_arguments)]
+fn attn_tm_rows(
+    qb: &[f32],
+    kb: &[f32],
+    vb: &[f32],
+    scale: f32,
+    lk: usize,
+    d: usize,
+    dv: usize,
+    i0: usize,
+    chunk: &mut [f32],
+) {
+    let rows = chunk.len() / dv;
+    let mut s = vec![0.0f32; lk];
+    for r in 0..rows {
+        let qrow = &qb[(i0 + r) * d..(i0 + r + 1) * d];
+        score_row_tm(qrow, kb, scale, lk, d, &mut s);
+        softmax_row(&mut s);
+        let orow = &mut chunk[r * dv..(r + 1) * dv];
+        for (j, &wj) in s.iter().enumerate() {
+            // Same lhs zero-skip as the composed softmax·v GEMM.
+            if wj == 0.0 {
+                continue;
+            }
+            let vrow = &vb[j * dv..(j + 1) * dv];
+            for (o, &vv) in orow.iter_mut().zip(vrow) {
+                *o += wj * vv;
+            }
+        }
+    }
+}
+
+/// One scaled score row `s[j] = (Σ_p qrow[p]·k[j,p]) · scale`, reduction
+/// over `p` in increasing order with the composed GEMM's lhs zero-skip.
+fn score_row_tm(qrow: &[f32], kb: &[f32], scale: f32, lk: usize, d: usize, s: &mut [f32]) {
+    for (j, sj) in s.iter_mut().enumerate().take(lk) {
+        let krow = &kb[j * d..(j + 1) * d];
+        let mut acc = 0.0f32;
+        for (&qv, &kv) in qrow.iter().zip(krow) {
+            if qv == 0.0 {
+                continue;
+            }
+            acc += qv * kv;
+        }
+        *sj = acc * scale;
+    }
+}
+
+/// In-place softmax of one score row, replicating
+/// [`Tensor::softmax_lastdim`] bitwise (max fold, exp/sum pass, divide).
+fn softmax_row(s: &mut [f32]) {
+    let m = s.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut z = 0.0f32;
+    for x in s.iter_mut() {
+        *x = (*x - m).exp();
+        z += *x;
+    }
+    for x in s.iter_mut() {
+        *x /= z;
+    }
+}
+
+/// Backward of [`attention_tm`]: returns `(dq, dk, dv)` for upstream
+/// gradient `dy: [B, Lq, Dv]`.
+///
+/// Score rows are recomputed tile-by-tile instead of being read from a
+/// stored `[Lq, Lk]` softmax. `dk` and `dv` accumulate over the query index
+/// in globally increasing order (serial over tiles), matching the composed
+/// backward GEMMs bitwise.
+///
+/// # Panics
+///
+/// Panics on rank or dimension mismatches.
+pub fn attention_tm_backward(
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    scale: f32,
+    dy: &Tensor,
+) -> (Tensor, Tensor, Tensor) {
+    let (b, lq, d) = (q.shape()[0], q.shape()[1], q.shape()[2]);
+    let (lk, dv) = (k.shape()[1], v.shape()[2]);
+    assert_eq!(
+        dy.shape(),
+        &[b, lq, dv],
+        "attention_tm_backward dy shape mismatch"
+    );
+    let (qd, kd, vd, dyd) = (q.data(), k.data(), v.data(), dy.data());
+    let mut dq = vec![0.0f32; b * lq * d];
+    let mut dk = vec![0.0f32; b * lk * d];
+    let mut dvb_all = vec![0.0f32; b * lk * dv];
+    let mut s = vec![0.0f32; lk];
+    let mut g = vec![0.0f32; lk];
+    for bi in 0..b {
+        let qb = &qd[bi * lq * d..(bi + 1) * lq * d];
+        let kb = &kd[bi * lk * d..(bi + 1) * lk * d];
+        let vb = &vd[bi * lk * dv..(bi + 1) * lk * dv];
+        let dyb = &dyd[bi * lq * dv..(bi + 1) * lq * dv];
+        let dqb = &mut dq[bi * lq * d..(bi + 1) * lq * d];
+        let dkb = &mut dk[bi * lk * d..(bi + 1) * lk * d];
+        let dvb = &mut dvb_all[bi * lk * dv..(bi + 1) * lk * dv];
+        for i in 0..lq {
+            // Recompute the softmax row exactly as the forward did.
+            let qrow = &qb[i * d..(i + 1) * d];
+            score_row_tm(qrow, kb, scale, lk, d, &mut s);
+            softmax_row(&mut s);
+            let dyrow = &dyb[i * dv..(i + 1) * dv];
+            // g[j] = Σ_d dy[i,d]·v[j,d] (the composed dy·vᵀ GEMM row).
+            for (j, gj) in g.iter_mut().enumerate().take(lk) {
+                let vrow = &vb[j * dv..(j + 1) * dv];
+                let mut acc = 0.0f32;
+                for (&gv, &vv) in dyrow.iter().zip(vrow) {
+                    if gv == 0.0 {
+                        continue;
+                    }
+                    acc += gv * vv;
+                }
+                *gj = acc;
+            }
+            // dv[j,d] += w[j]·dy[i,d]: query index i strictly increasing.
+            for (j, &wj) in s.iter().enumerate() {
+                if wj == 0.0 {
+                    continue;
+                }
+                let dvrow = &mut dvb[j * dv..(j + 1) * dv];
+                for (o, &gv) in dvrow.iter_mut().zip(dyrow) {
+                    *o += wj * gv;
+                }
+            }
+            // Softmax backward then the composed Scale node's backward:
+            // gs[j] = (w[j]·(g[j] - dot))·scale, overwriting g in place.
+            let dot: f32 = s.iter().zip(&g).map(|(&a, &b)| a * b).sum();
+            for (gj, &wj) in g.iter_mut().zip(&s) {
+                *gj = (wj * (*gj - dot)) * scale;
+            }
+            // dq[i,p] += gs[j]·k[j,p], key index j increasing (axpy).
+            let dqrow = &mut dqb[i * d..(i + 1) * d];
+            for (j, &gs) in g.iter().enumerate() {
+                if gs == 0.0 {
+                    continue;
+                }
+                let krow = &kb[j * d..(j + 1) * d];
+                for (o, &kv) in dqrow.iter_mut().zip(krow) {
+                    *o += gs * kv;
+                }
+            }
+            // dk[j,p] += q[i,p]·gs[j]: query index i strictly increasing.
+            for (j, &gs) in g.iter().enumerate() {
+                let dkrow = &mut dkb[j * d..(j + 1) * d];
+                for (o, &qv) in dkrow.iter_mut().zip(qrow) {
+                    *o += qv * gs;
+                }
+            }
+        }
+    }
+    (
+        Tensor::from_vec(vec![b, lq, d], dq).expect("attention_tm dq"),
+        Tensor::from_vec(vec![b, lk, d], dk).expect("attention_tm dk"),
+        Tensor::from_vec(vec![b, lk, dv], dvb_all).expect("attention_tm dv"),
+    )
+}
+
+/// Feature-major fused attention: `q: [B, D, L]`, `k: [B, D, L]`,
+/// `v: [B, Dv, L] -> [B, Dv, L]`.
+///
+/// `out[b, c, y] = Σ_x softmax_x(Σ_p q[b,p,y]·k[b,p,x] · scale) · v[b,c,x]`
+/// — the position-attention (PAM) form, where channels stay outermost and
+/// attention runs over the spatial index.
+///
+/// # Panics
+///
+/// Panics on rank or dimension mismatches.
+pub fn attention_fm(q: &Tensor, k: &Tensor, v: &Tensor, scale: f32) -> Tensor {
+    let (b, l) = (q.shape()[0], q.shape()[2]);
+    let nv = v.shape()[1];
+    let mut out = vec![0.0f32; b * nv * l];
+    attention_fm_into(q, k, v, scale, &mut out);
+    Tensor::from_vec(vec![b, nv, l], out).expect("attention_fm shape")
+}
+
+/// [`attention_fm`] writing into a caller-provided buffer (any contents;
+/// every element is overwritten).
+///
+/// # Panics
+///
+/// Panics on rank/dimension mismatches or if `out.len() != B*Dv*L`.
+pub fn attention_fm_into(q: &Tensor, k: &Tensor, v: &Tensor, scale: f32, out: &mut [f32]) {
+    assert_eq!(q.rank(), 3, "attention_fm q must be rank-3");
+    assert_eq!(k.rank(), 3, "attention_fm k must be rank-3");
+    assert_eq!(v.rank(), 3, "attention_fm v must be rank-3");
+    let (b, n, l) = (q.shape()[0], q.shape()[1], q.shape()[2]);
+    let (bk, nk, lk) = (k.shape()[0], k.shape()[1], k.shape()[2]);
+    let (bv, nv, lv) = (v.shape()[0], v.shape()[1], v.shape()[2]);
+    assert_eq!(b, bk, "attention_fm q/k batch mismatch");
+    assert_eq!(b, bv, "attention_fm q/v batch mismatch");
+    assert_eq!(n, nk, "attention_fm q/k feature mismatch");
+    assert_eq!(l, lk, "attention_fm q/k length mismatch");
+    assert_eq!(l, lv, "attention_fm k/v length mismatch");
+    assert_eq!(out.len(), b * nv * l, "attention_fm output length mismatch");
+    let (qd, kd, vd) = (q.data(), k.data(), v.data());
+    // Output columns interleave across queries, so the feature-major
+    // forward stays serial within a batch (attention cost here scales with
+    // L², far above the L·N channel form, and L-sized rows still stream).
+    let mut s = vec![0.0f32; l];
+    for bi in 0..b {
+        let qb = &qd[bi * n * l..(bi + 1) * n * l];
+        let kb = &kd[bi * n * l..(bi + 1) * n * l];
+        let vb = &vd[bi * nv * l..(bi + 1) * nv * l];
+        let ob = &mut out[bi * nv * l..(bi + 1) * nv * l];
+        for y in 0..l {
+            score_row_fm(qb, kb, scale, n, l, y, &mut s);
+            softmax_row(&mut s);
+            // out[c,y] = Σ_x v[c,x]·w[x] with the composed GEMM's lhs
+            // zero-skip on v.
+            for c in 0..nv {
+                let vrow = &vb[c * l..(c + 1) * l];
+                let mut acc = 0.0f32;
+                for (&vv, &wx) in vrow.iter().zip(&*s) {
+                    if vv == 0.0 {
+                        continue;
+                    }
+                    acc += vv * wx;
+                }
+                ob[c * l + y] = acc;
+            }
+        }
+    }
+}
+
+/// One scaled feature-major score row
+/// `s[x] = (Σ_p q[p,y]·k[p,x]) · scale` via axpy over `p` (increasing, so
+/// per-element reduction order matches the composed GEMM).
+fn score_row_fm(qb: &[f32], kb: &[f32], scale: f32, n: usize, l: usize, y: usize, s: &mut [f32]) {
+    s.fill(0.0);
+    for p in 0..n {
+        let qv = qb[p * l + y];
+        if qv == 0.0 {
+            continue;
+        }
+        let krow = &kb[p * l..(p + 1) * l];
+        for (sx, &kv) in s.iter_mut().zip(krow) {
+            *sx += qv * kv;
+        }
+    }
+    for sx in s.iter_mut() {
+        *sx *= scale;
+    }
+}
+
+/// Backward of [`attention_fm`]: returns `(dq, dk, dv)` for upstream
+/// gradient `dy: [B, Dv, L]`. Score rows are recomputed per query column;
+/// `dk` and `dv` accumulate over the query index in increasing order.
+///
+/// # Panics
+///
+/// Panics on rank or dimension mismatches.
+pub fn attention_fm_backward(
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    scale: f32,
+    dy: &Tensor,
+) -> (Tensor, Tensor, Tensor) {
+    let (b, n, l) = (q.shape()[0], q.shape()[1], q.shape()[2]);
+    let nv = v.shape()[1];
+    assert_eq!(
+        dy.shape(),
+        &[b, nv, l],
+        "attention_fm_backward dy shape mismatch"
+    );
+    let (qd, kd, vd, dyd) = (q.data(), k.data(), v.data(), dy.data());
+    let mut dq = vec![0.0f32; b * n * l];
+    let mut dk = vec![0.0f32; b * n * l];
+    let mut dv_all = vec![0.0f32; b * nv * l];
+    let mut s = vec![0.0f32; l];
+    let mut g = vec![0.0f32; l];
+    for bi in 0..b {
+        let qb = &qd[bi * n * l..(bi + 1) * n * l];
+        let kb = &kd[bi * n * l..(bi + 1) * n * l];
+        let vb = &vd[bi * nv * l..(bi + 1) * nv * l];
+        let dyb = &dyd[bi * nv * l..(bi + 1) * nv * l];
+        let dqb = &mut dq[bi * n * l..(bi + 1) * n * l];
+        let dkb = &mut dk[bi * n * l..(bi + 1) * n * l];
+        let dvb = &mut dv_all[bi * nv * l..(bi + 1) * nv * l];
+        for y in 0..l {
+            score_row_fm(qb, kb, scale, n, l, y, &mut s);
+            softmax_row(&mut s);
+            // g[x] = Σ_c v[c,x]·dy[c,y] via axpy over c (increasing).
+            g.fill(0.0);
+            for c in 0..nv {
+                let dyv = dyb[c * l + y];
+                if dyv == 0.0 {
+                    continue;
+                }
+                let vrow = &vb[c * l..(c + 1) * l];
+                for (gx, &vv) in g.iter_mut().zip(vrow) {
+                    *gx += vv * dyv;
+                }
+            }
+            // dv[c,x] += dy[c,y]·w[x]: query index y strictly increasing.
+            for c in 0..nv {
+                let dyv = dyb[c * l + y];
+                if dyv == 0.0 {
+                    continue;
+                }
+                let dvrow = &mut dvb[c * l..(c + 1) * l];
+                for (o, &wx) in dvrow.iter_mut().zip(&*s) {
+                    *o += dyv * wx;
+                }
+            }
+            // gs[x] = (w[x]·(g[x] - dot))·scale, overwriting g in place.
+            let dot: f32 = s.iter().zip(&g).map(|(&a, &b)| a * b).sum();
+            for (gx, &wx) in g.iter_mut().zip(&s) {
+                *gx = (wx * (*gx - dot)) * scale;
+            }
+            // dq[p,y] = Σ_x k[p,x]·gs[x] with the composed lhs zero-skip.
+            for p in 0..n {
+                let krow = &kb[p * l..(p + 1) * l];
+                let mut acc = 0.0f32;
+                for (&kv, &gs) in krow.iter().zip(&*g) {
+                    if kv == 0.0 {
+                        continue;
+                    }
+                    acc += kv * gs;
+                }
+                dqb[p * l + y] = acc;
+            }
+            // dk[p,x] += gs[x]·q[p,y]: query index y strictly increasing,
+            // zero-skip on gs (the composed GEMM's lhs).
+            for p in 0..n {
+                let qv = qb[p * l + y];
+                let dkrow = &mut dkb[p * l..(p + 1) * l];
+                for (o, &gs) in dkrow.iter_mut().zip(&*g) {
+                    if gs == 0.0 {
+                        continue;
+                    }
+                    *o += gs * qv;
+                }
+            }
+        }
+    }
+    (
+        Tensor::from_vec(vec![b, n, l], dq).expect("attention_fm dq"),
+        Tensor::from_vec(vec![b, n, l], dk).expect("attention_fm dk"),
+        Tensor::from_vec(vec![b, nv, l], dv_all).expect("attention_fm dv"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tensor(shape: Vec<usize>, seed: usize) -> Tensor {
+        Tensor::from_fn(shape, |i| {
+            (((i * 2_654_435_761 + seed * 97) % 1000) as f32 / 499.5 - 1.0) * 0.7
+        })
+    }
+
+    /// Composed token-major reference: permute → bmm → scale → softmax →
+    /// bmm, exactly the op chain the tape records without fusion.
+    fn composed_tm(q: &Tensor, k: &Tensor, v: &Tensor, scale: f32) -> Tensor {
+        let kt = k.permute(&[0, 2, 1]);
+        let scores = q.bmm(&kt).scale(scale);
+        scores.softmax_lastdim().bmm(v)
+    }
+
+    /// Composed feature-major (PAM) reference: `bᵗ·c` scores, transposed
+    /// row-softmax, `v·pᵗ` output.
+    fn composed_fm(q: &Tensor, k: &Tensor, v: &Tensor, scale: f32) -> Tensor {
+        let bt = k.permute(&[0, 2, 1]);
+        let e = bt.bmm(q).scale(scale);
+        let p = e.permute(&[0, 2, 1]).softmax_lastdim();
+        v.bmm(&p.permute(&[0, 2, 1]))
+    }
+
+    fn assert_bitwise(a: &Tensor, b: &Tensor) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn tm_forward_bitwise_matches_composed() {
+        // Odd lengths (not multiples of ATTN_TILE), rectangular q/k, and a
+        // size big enough to engage the tiled parallel path.
+        for (b, lq, lk, d, dv) in [(1, 3, 5, 4, 2), (2, 33, 7, 5, 3), (1, 129, 129, 16, 16)] {
+            let q = tensor(vec![b, lq, d], 1);
+            let k = tensor(vec![b, lk, d], 2);
+            let v = tensor(vec![b, lk, dv], 3);
+            for scale in [1.0, 0.37] {
+                assert_bitwise(
+                    &attention_tm(&q, &k, &v, scale),
+                    &composed_tm(&q, &k, &v, scale),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fm_forward_bitwise_matches_composed() {
+        for (b, n, nv, l) in [(1, 2, 3, 5), (2, 3, 3, 33), (1, 4, 4, 100)] {
+            let q = tensor(vec![b, n, l], 4);
+            let k = tensor(vec![b, n, l], 5);
+            let v = tensor(vec![b, nv, l], 6);
+            for scale in [1.0, 0.37] {
+                assert_bitwise(
+                    &attention_fm(&q, &k, &v, scale),
+                    &composed_fm(&q, &k, &v, scale),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tm_backward_shapes_and_zero_dy() {
+        let q = tensor(vec![2, 5, 3], 7);
+        let k = tensor(vec![2, 4, 3], 8);
+        let v = tensor(vec![2, 4, 6], 9);
+        let dy = Tensor::zeros(vec![2, 5, 6]);
+        let (dq, dk, dv) = attention_tm_backward(&q, &k, &v, 0.5, &dy);
+        assert_eq!(dq.shape(), q.shape());
+        assert_eq!(dk.shape(), k.shape());
+        assert_eq!(dv.shape(), v.shape());
+        assert!(dq.data().iter().all(|&x| x == 0.0));
+        assert!(dk.data().iter().all(|&x| x == 0.0));
+        assert!(dv.data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn fm_backward_shapes() {
+        let q = tensor(vec![1, 3, 7], 10);
+        let k = tensor(vec![1, 3, 7], 11);
+        let v = tensor(vec![1, 2, 7], 12);
+        let dy = tensor(vec![1, 2, 7], 13);
+        let (dq, dk, dv) = attention_fm_backward(&q, &k, &v, 1.0, &dy);
+        assert_eq!(dq.shape(), q.shape());
+        assert_eq!(dk.shape(), k.shape());
+        assert_eq!(dv.shape(), v.shape());
+    }
+
+    #[test]
+    fn tm_into_requires_zeroed_and_matches() {
+        let q = tensor(vec![1, 4, 3], 14);
+        let k = tensor(vec![1, 5, 3], 15);
+        let v = tensor(vec![1, 5, 2], 16);
+        let base = attention_tm(&q, &k, &v, 0.25);
+        let mut buf = vec![0.0f32; base.numel()];
+        attention_tm_into(&q, &k, &v, 0.25, &mut buf);
+        assert_eq!(base.data(), &buf[..]);
+    }
+}

@@ -23,7 +23,7 @@ use mfaplace_rt::pool;
 use crate::{strides_for, Tensor};
 
 /// Minimum multiply-add count before a GEMM fans out to the pool.
-const PAR_GEMM_FLOPS: usize = 1 << 19;
+pub(crate) const PAR_GEMM_FLOPS: usize = 1 << 19;
 /// Minimum element count before data-movement kernels (im2col, col2im,
 /// pooling, upsampling) fan out to the pool.
 const PAR_ELEMS: usize = 1 << 16;
@@ -93,6 +93,178 @@ impl Tensor {
             }
         }
         Tensor::from_vec(vec![b, m, n], out).expect("bmm shape")
+    }
+
+    /// [`Tensor::matmul2d`] writing into a caller-provided buffer (any
+    /// contents; it is overwritten). This is the allocation-free entry point
+    /// used by the autograd tape's buffer pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank/shape mismatch or if `out.len() != m * n`.
+    pub fn matmul2d_into(&self, other: &Tensor, out: &mut [f32]) {
+        assert_eq!(self.rank(), 2, "matmul2d lhs must be rank-2");
+        assert_eq!(other.rank(), 2, "matmul2d rhs must be rank-2");
+        let (m, k) = (self.shape()[0], self.shape()[1]);
+        let (k2, n) = (other.shape()[0], other.shape()[1]);
+        assert_eq!(k, k2, "matmul2d inner dimension mismatch");
+        assert_eq!(out.len(), m * n, "matmul2d_into output length mismatch");
+        gemm(self.data(), other.data(), out, m, k, n, false);
+    }
+
+    /// Transpose-aware matrix product `a x b^T`: `[m, k] x [n, k] -> [m, n]`.
+    ///
+    /// Bitwise identical to `self.matmul2d(&other.transpose2d())` — the
+    /// per-element reduction runs over `k` in increasing index order with
+    /// the same lhs zero-skip as [`Tensor::matmul2d`] — without
+    /// materializing the transposed copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both operands are rank-2 with matching trailing
+    /// dimension.
+    pub fn matmul2d_nt(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul2d_nt lhs must be rank-2");
+        assert_eq!(other.rank(), 2, "matmul2d_nt rhs must be rank-2");
+        let (m, k) = (self.shape()[0], self.shape()[1]);
+        let (n, k2) = (other.shape()[0], other.shape()[1]);
+        assert_eq!(k, k2, "matmul2d_nt inner dimension mismatch");
+        let mut out = vec![0.0f32; m * n];
+        gemm_nt(self.data(), other.data(), &mut out, m, k, n);
+        Tensor::from_vec(vec![m, n], out).expect("matmul2d_nt shape")
+    }
+
+    /// Transpose-aware matrix product `a^T x b`: `[k, m] x [k, n] -> [m, n]`.
+    ///
+    /// Bitwise identical to `self.transpose2d().matmul2d(&other)` (same
+    /// reduction order and zero-skip on the transposed-lhs element) without
+    /// materializing the transposed copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both operands are rank-2 with matching leading
+    /// dimension.
+    pub fn matmul2d_tn(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul2d_tn lhs must be rank-2");
+        assert_eq!(other.rank(), 2, "matmul2d_tn rhs must be rank-2");
+        let (k, m) = (self.shape()[0], self.shape()[1]);
+        let (k2, n) = (other.shape()[0], other.shape()[1]);
+        assert_eq!(k, k2, "matmul2d_tn inner dimension mismatch");
+        let mut out = vec![0.0f32; m * n];
+        gemm_tn(self.data(), other.data(), &mut out, m, k, n);
+        Tensor::from_vec(vec![m, n], out).expect("matmul2d_tn shape")
+    }
+
+    /// Batched `a x b^T`: `[b, m, k] x [b, n, k] -> [b, m, n]`.
+    ///
+    /// Bitwise identical to `self.bmm(&other.permute(&[0, 2, 1]))` without
+    /// materializing the permuted copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both operands are rank-3 with matching batch and
+    /// trailing dimensions, or if `out.len()` mismatches in the `_into`
+    /// variant.
+    pub fn bmm_nt(&self, other: &Tensor) -> Tensor {
+        let (b, m, _) = (self.shape()[0], self.shape()[1], self.shape()[2]);
+        let n = other.shape()[1];
+        let mut out = vec![0.0f32; b * m * n];
+        self.bmm_nt_into(other, &mut out);
+        Tensor::from_vec(vec![b, m, n], out).expect("bmm_nt shape")
+    }
+
+    /// [`Tensor::bmm_nt`] writing into a caller-provided buffer (any
+    /// contents; every element is overwritten).
+    pub fn bmm_nt_into(&self, other: &Tensor, out: &mut [f32]) {
+        assert_eq!(self.rank(), 3, "bmm_nt lhs must be rank-3");
+        assert_eq!(other.rank(), 3, "bmm_nt rhs must be rank-3");
+        let (b, m, k) = (self.shape()[0], self.shape()[1], self.shape()[2]);
+        let (b2, n, k2) = (other.shape()[0], other.shape()[1], other.shape()[2]);
+        assert_eq!(b, b2, "bmm_nt batch mismatch");
+        assert_eq!(k, k2, "bmm_nt inner dimension mismatch");
+        assert_eq!(out.len(), b * m * n, "bmm_nt output length mismatch");
+        let (a_data, b_data) = (self.data(), other.data());
+        if b >= pool::max_threads() && b * m * k * n >= PAR_GEMM_FLOPS {
+            pool::parallel_chunks_mut(out, m * n, |i, chunk| {
+                pool::with_threads(1, || {
+                    gemm_nt(
+                        &a_data[i * m * k..(i + 1) * m * k],
+                        &b_data[i * n * k..(i + 1) * n * k],
+                        chunk,
+                        m,
+                        k,
+                        n,
+                    );
+                });
+            });
+        } else {
+            for i in 0..b {
+                gemm_nt(
+                    &a_data[i * m * k..(i + 1) * m * k],
+                    &b_data[i * n * k..(i + 1) * n * k],
+                    &mut out[i * m * n..(i + 1) * m * n],
+                    m,
+                    k,
+                    n,
+                );
+            }
+        }
+    }
+
+    /// Batched `a^T x b`: `[b, k, m] x [b, k, n] -> [b, m, n]`.
+    ///
+    /// Bitwise identical to `self.permute(&[0, 2, 1]).bmm(&other)` without
+    /// materializing the permuted copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both operands are rank-3 with matching batch and
+    /// leading dimensions, or if `out.len()` mismatches in the `_into`
+    /// variant.
+    pub fn bmm_tn(&self, other: &Tensor) -> Tensor {
+        let (b, m) = (self.shape()[0], self.shape()[2]);
+        let n = other.shape()[2];
+        let mut out = vec![0.0f32; b * m * n];
+        self.bmm_tn_into(other, &mut out);
+        Tensor::from_vec(vec![b, m, n], out).expect("bmm_tn shape")
+    }
+
+    /// [`Tensor::bmm_tn`] writing into a caller-provided buffer (any
+    /// contents; every element is overwritten).
+    pub fn bmm_tn_into(&self, other: &Tensor, out: &mut [f32]) {
+        assert_eq!(self.rank(), 3, "bmm_tn lhs must be rank-3");
+        assert_eq!(other.rank(), 3, "bmm_tn rhs must be rank-3");
+        let (b, k, m) = (self.shape()[0], self.shape()[1], self.shape()[2]);
+        let (b2, k2, n) = (other.shape()[0], other.shape()[1], other.shape()[2]);
+        assert_eq!(b, b2, "bmm_tn batch mismatch");
+        assert_eq!(k, k2, "bmm_tn inner dimension mismatch");
+        assert_eq!(out.len(), b * m * n, "bmm_tn output length mismatch");
+        let (a_data, b_data) = (self.data(), other.data());
+        if b >= pool::max_threads() && b * m * k * n >= PAR_GEMM_FLOPS {
+            pool::parallel_chunks_mut(out, m * n, |i, chunk| {
+                pool::with_threads(1, || {
+                    gemm_tn(
+                        &a_data[i * k * m..(i + 1) * k * m],
+                        &b_data[i * k * n..(i + 1) * k * n],
+                        chunk,
+                        m,
+                        k,
+                        n,
+                    );
+                });
+            });
+        } else {
+            for i in 0..b {
+                gemm_tn(
+                    &a_data[i * k * m..(i + 1) * k * m],
+                    &b_data[i * k * n..(i + 1) * k * n],
+                    &mut out[i * m * n..(i + 1) * m * n],
+                    m,
+                    k,
+                    n,
+                );
+            }
+        }
     }
 
     /// Transpose of a rank-2 tensor.
@@ -178,6 +350,26 @@ impl Tensor {
         let rows = c * kh * kw;
         let cols = b * oh * ow;
         let mut out = vec![0.0f32; rows * cols];
+        self.im2col_into(kh, kw, stride, pad, &mut out);
+        Tensor::from_vec(vec![rows, cols], out).expect("im2col shape")
+    }
+
+    /// [`Tensor::im2col`] writing into a caller-provided buffer.
+    ///
+    /// `out` **must be zero-filled**: padding positions are never written,
+    /// they rely on the zero initialization (a recycled buffer from the
+    /// autograd pool is handed out zeroed for exactly this reason).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the tensor is rank-4 and `out` has exactly
+    /// `C*kh*kw * B*oh*ow` elements.
+    pub fn im2col_into(&self, kh: usize, kw: usize, stride: usize, pad: usize, out: &mut [f32]) {
+        let (b, c, h, w) = self.dims4();
+        let (oh, ow) = conv_out_size(h, w, kh, kw, stride, pad);
+        let rows = c * kh * kw;
+        let cols = b * oh * ow;
+        assert_eq!(out.len(), rows * cols, "im2col_into output length mismatch");
         let src = self.data();
         // Each output row (ci, ki, kj) gathers independently; rows fan out
         // to the pool when the matrix is large. Every element is written at
@@ -205,13 +397,12 @@ impl Tensor {
             }
         };
         if rows * cols >= PAR_ELEMS {
-            pool::parallel_chunks_mut(&mut out, cols, fill_row);
+            pool::parallel_chunks_mut(out, cols, fill_row);
         } else {
             for (row, out_row) in out.chunks_mut(cols).enumerate() {
                 fill_row(row, out_row);
             }
         }
-        Tensor::from_vec(vec![rows, cols], out).expect("im2col shape")
     }
 
     /// Inverse of [`Tensor::im2col`]: scatters a `[C*kh*kw, B*oh*ow]` matrix
@@ -564,6 +755,86 @@ fn gemm_rows(
     }
 }
 
+/// `out = a x b^T` for `a: [m, k]`, `b: [n, k]` without materializing the
+/// transpose. Each output element is a contiguous-row dot product whose
+/// reduction over `p` runs in increasing order with the lhs zero-skip of
+/// [`gemm_rows`], so the result is bitwise identical to
+/// `gemm(a, transpose(b))`. Large products split over output-row blocks.
+fn gemm_nt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    let nt = if m * k * n >= PAR_GEMM_FLOPS {
+        pool::max_threads().min(m)
+    } else {
+        1
+    };
+    if nt <= 1 {
+        gemm_nt_rows(a, b, out, 0, k, n);
+        return;
+    }
+    let rows_per = m.div_ceil(nt);
+    pool::parallel_chunks_mut(out, rows_per * n, |ci, chunk| {
+        gemm_nt_rows(a, b, chunk, ci * rows_per, k, n);
+    });
+}
+
+fn gemm_nt_rows(a: &[f32], b: &[f32], out: &mut [f32], row0: usize, k: usize, n: usize) {
+    let rows = out.len() / n;
+    for r in 0..rows {
+        let arow = &a[(row0 + r) * k..(row0 + r + 1) * k];
+        let orow = &mut out[r * n..(r + 1) * n];
+        for (j, o) in orow.iter_mut().enumerate() {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in arow.iter().zip(brow) {
+                if av == 0.0 {
+                    continue;
+                }
+                acc += av * bv;
+            }
+            *o = acc;
+        }
+    }
+}
+
+/// `out = a^T x b` for `a: [k, m]`, `b: [k, n]` without materializing the
+/// transpose. The `p` (contraction) loop is outermost so both operand rows
+/// stream contiguously; for any output element the reduction over `p` still
+/// runs in increasing order with the transposed-lhs zero-skip, bitwise
+/// identical to `gemm(transpose(a), b)`. Large products split over
+/// output-row blocks.
+fn gemm_tn(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    let nt = if m * k * n >= PAR_GEMM_FLOPS {
+        pool::max_threads().min(m)
+    } else {
+        1
+    };
+    if nt <= 1 {
+        gemm_tn_rows(a, b, out, 0, m, k, n);
+        return;
+    }
+    let rows_per = m.div_ceil(nt);
+    pool::parallel_chunks_mut(out, rows_per * n, |ci, chunk| {
+        gemm_tn_rows(a, b, chunk, ci * rows_per, m, k, n);
+    });
+}
+
+fn gemm_tn_rows(a: &[f32], b: &[f32], out: &mut [f32], row0: usize, m: usize, k: usize, n: usize) {
+    out.fill(0.0);
+    let rows = out.len() / n;
+    for p in 0..k {
+        let brow = &b[p * n..(p + 1) * n];
+        for r in 0..rows {
+            let av = a[p * m + row0 + r];
+            if av == 0.0 {
+                continue;
+            }
+            let orow = &mut out[r * n..(r + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -588,6 +859,63 @@ mod tests {
             let c2 = a2.matmul2d(&b2);
             assert_eq!(&c.data()[bi * 4..(bi + 1) * 4], c2.data());
         }
+    }
+
+    #[test]
+    fn bmm_nt_bitwise_matches_permuted_bmm() {
+        // Includes a size large enough to cross the parallel thresholds and
+        // an odd (non-multiple-of-block) shape; equality must be bitwise.
+        for (b, m, k, n) in [(1, 2, 3, 4), (3, 7, 5, 9), (2, 96, 64, 96)] {
+            let a = Tensor::from_fn(vec![b, m, k], |i| ((i * 37 % 19) as f32 - 9.0) * 0.13);
+            let bt = Tensor::from_fn(vec![b, n, k], |i| ((i * 23 % 17) as f32 - 8.0) * 0.07);
+            let fused = a.bmm_nt(&bt);
+            let composed = a.bmm(&bt.permute(&[0, 2, 1]));
+            assert_eq!(fused.shape(), &[b, m, n]);
+            for (x, y) in fused.data().iter().zip(composed.data()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn bmm_tn_bitwise_matches_permuted_bmm() {
+        for (b, m, k, n) in [(1, 2, 3, 4), (3, 7, 5, 9), (2, 96, 64, 96)] {
+            let a = Tensor::from_fn(vec![b, k, m], |i| ((i * 41 % 23) as f32 - 11.0) * 0.11);
+            let bt = Tensor::from_fn(vec![b, k, n], |i| ((i * 29 % 13) as f32 - 6.0) * 0.17);
+            let fused = a.bmm_tn(&bt);
+            let composed = a.permute(&[0, 2, 1]).bmm(&bt);
+            assert_eq!(fused.shape(), &[b, m, n]);
+            for (x, y) in fused.data().iter().zip(composed.data()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn matmul2d_nt_tn_bitwise_match_transposed_matmul() {
+        let a = Tensor::from_fn(vec![5, 7], |i| ((i * 31 % 11) as f32 - 5.0) * 0.19);
+        let b = Tensor::from_fn(vec![4, 7], |i| ((i * 13 % 9) as f32 - 4.0) * 0.23);
+        let nt = a.matmul2d_nt(&b);
+        let nt_ref = a.matmul2d(&b.transpose2d());
+        for (x, y) in nt.data().iter().zip(nt_ref.data()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        let c = Tensor::from_fn(vec![7, 5], |i| ((i * 17 % 13) as f32 - 6.0) * 0.29);
+        let d = Tensor::from_fn(vec![7, 4], |i| ((i * 19 % 15) as f32 - 7.0) * 0.31);
+        let tn = c.matmul2d_tn(&d);
+        let tn_ref = c.transpose2d().matmul2d(&d);
+        for (x, y) in tn.data().iter().zip(tn_ref.data()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn im2col_into_matches_im2col() {
+        let x = Tensor::from_fn(vec![2, 3, 5, 5], |i| (i as f32 * 0.7).sin());
+        let cols = x.im2col(3, 3, 1, 1);
+        let mut buf = vec![0.0f32; cols.numel()];
+        x.im2col_into(3, 3, 1, 1, &mut buf);
+        assert_eq!(cols.data(), &buf[..]);
     }
 
     #[test]

@@ -21,11 +21,16 @@
 //! # Ok::<(), mfaplace_tensor::TensorError>(())
 //! ```
 
+mod attention;
 mod error;
 mod init;
 mod kernels;
 mod tensor;
 
+pub use attention::{
+    attention_fm, attention_fm_backward, attention_fm_into, attention_tm, attention_tm_backward,
+    attention_tm_into, ATTN_TILE,
+};
 pub use error::TensorError;
 pub use init::{kaiming_normal, xavier_uniform};
 pub use tensor::Tensor;
