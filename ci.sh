@@ -45,6 +45,11 @@ if [ "$QUICK" = "1" ]; then
     exit 0
 fi
 
+# The workspace test pass above already ran this; the explicit invocation
+# keeps the equivalence contract visible in the full gate's log.
+echo "==> compiled-plan equivalence suite (plan vs tape, bitwise)"
+cargo test -q -p mfaplace-infer --offline --test plan_equivalence
+
 echo "==> 2-worker training smoke (CLI train path)"
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
@@ -64,5 +69,8 @@ MFA_SCALE=quick cargo run -q --release --offline -p mfaplace-bench \
 
 echo "==> fused-attention bench (results/attention_fused.json)"
 cargo bench -q --offline -p mfaplace-bench --bench attention_fused
+
+echo "==> compiled-plan bench (results/infer_plan.json)"
+cargo bench -q --offline -p mfaplace-bench --bench infer_plan
 
 echo "CI OK"

@@ -65,6 +65,9 @@ enum Op {
     ChannelAffine {
         x: Var,
         scale: Vec<f32>,
+        /// Backward only needs `scale`; `shift` rides the node so the plan
+        /// capture can reconstruct the full affine.
+        shift: Vec<f32>,
     },
     LayerNorm {
         x: Var,
@@ -72,6 +75,8 @@ enum Op {
         beta: Var,
         xhat: Tensor,
         inv_std: Vec<f32>,
+        /// Backward reads `inv_std`; `eps` rides the node for plan capture.
+        eps: f32,
     },
     SoftmaxLast(Var),
     CrossEntropy2d {
@@ -700,7 +705,7 @@ impl Graph {
         }
         let v = Tensor::from_vec(vec![b, c, h, w], out).expect("affine out");
         let rg = self.rg(x);
-        self.push(v, Op::ChannelAffine { x, scale }, rg)
+        self.push(v, Op::ChannelAffine { x, scale, shift }, rg)
     }
 
     /// Layer normalization over the last axis with affine `gamma, beta: [D]`.
@@ -736,6 +741,7 @@ impl Graph {
                 beta,
                 xhat,
                 inv_std,
+                eps,
             },
             rg,
         )
@@ -965,6 +971,130 @@ impl Graph {
         self.backward_seeded(loss, 1.0);
     }
 
+    /// Read-only access to a node value by raw tape index (the plan
+    /// capture walks exported [`TapeOp`] operand indices, which are raw
+    /// `usize`s rather than `Var` handles).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn value_at(&self, index: usize) -> &Tensor {
+        &self.nodes[index].value
+    }
+
+    /// Exports the tape segment `[from, len)` as a list of [`TapeNode`]s —
+    /// the capture hook of the compiled inference plan (`mfaplace-infer`).
+    ///
+    /// Operand indices are raw tape indices; indices `< from` refer to
+    /// pre-existing leaves (parameters), indices `>= from` to nodes inside
+    /// the segment (including constants materialized mid-forward, e.g. the
+    /// PGNN aggregation kernels). Returns `Err` naming the offending op if
+    /// the segment contains a training-only op that has no inference-plan
+    /// equivalent (batch-stats BatchNorm, losses, reductions, `add_scalar`
+    /// whose scalar is not recorded on the tape).
+    pub fn export_segment(&self, from: usize) -> Result<Vec<TapeNode>, String> {
+        assert!(from <= self.nodes.len(), "export beyond tape length");
+        let mut out = Vec::with_capacity(self.nodes.len() - from);
+        for (i, node) in self.nodes.iter().enumerate().skip(from) {
+            let op = match &node.op {
+                Op::Leaf => TapeOp::Leaf,
+                Op::Add(a, b) => TapeOp::Add(a.0, b.0),
+                Op::Sub(a, b) => TapeOp::Sub(a.0, b.0),
+                Op::Mul(a, b) => TapeOp::Mul(a.0, b.0),
+                Op::Neg(a) => TapeOp::Neg(a.0),
+                Op::Scale(a, c) => TapeOp::Scale(a.0, *c),
+                Op::Matmul(a, b) => TapeOp::Matmul(a.0, b.0),
+                Op::Bmm(a, b) => TapeOp::Bmm(a.0, b.0),
+                Op::BmmNT(a, b) => TapeOp::BmmNT(a.0, b.0),
+                Op::BmmTN(a, b) => TapeOp::BmmTN(a.0, b.0),
+                Op::Attention {
+                    q,
+                    k,
+                    v,
+                    scale,
+                    feature_major,
+                } => TapeOp::Attention {
+                    q: q.0,
+                    k: k.0,
+                    v: v.0,
+                    scale: *scale,
+                    feature_major: *feature_major,
+                },
+                Op::Conv2d {
+                    x, w, stride, pad, ..
+                } => TapeOp::Conv2d {
+                    x: x.0,
+                    w: w.0,
+                    stride: *stride,
+                    pad: *pad,
+                },
+                Op::AddBiasChannel(x, b) => TapeOp::AddBiasChannel(x.0, b.0),
+                Op::AddBiasRow(x, b) => TapeOp::AddBiasRow(x.0, b.0),
+                Op::Relu(x) => TapeOp::Relu(x.0),
+                Op::LeakyRelu(x, s) => TapeOp::LeakyRelu(x.0, *s),
+                Op::Sigmoid(x) => TapeOp::Sigmoid(x.0),
+                Op::Gelu(x) => TapeOp::Gelu(x.0),
+                Op::ChannelAffine { x, scale, shift } => TapeOp::ChannelAffine {
+                    x: x.0,
+                    scale: scale.clone(),
+                    shift: shift.clone(),
+                },
+                Op::LayerNorm {
+                    x,
+                    gamma,
+                    beta,
+                    eps,
+                    ..
+                } => TapeOp::LayerNorm {
+                    x: x.0,
+                    gamma: gamma.0,
+                    beta: beta.0,
+                    eps: *eps,
+                },
+                Op::SoftmaxLast(x) => TapeOp::SoftmaxLast(x.0),
+                Op::Reshape(x) => TapeOp::Reshape(x.0),
+                Op::Permute { x, axes } => TapeOp::Permute {
+                    x: x.0,
+                    axes: axes.clone(),
+                },
+                Op::ConcatChannels(parts) => {
+                    TapeOp::ConcatChannels(parts.iter().map(|p| p.0).collect())
+                }
+                Op::SliceChannels { x, c0, c1 } => TapeOp::SliceChannels {
+                    x: x.0,
+                    c0: *c0,
+                    c1: *c1,
+                },
+                Op::Upsample2x(x) => TapeOp::Upsample2x(x.0),
+                Op::MaxPool2x2 { x, .. } => TapeOp::MaxPool2x2(x.0),
+                Op::MulScalarVar(x, s) => TapeOp::MulScalarVar(x.0, s.0),
+                Op::AddScalar(_) => {
+                    return Err(format!(
+                        "node {i}: add_scalar is not plan-exportable (scalar not on the tape)"
+                    ))
+                }
+                Op::BatchNorm2d { .. } => {
+                    return Err(format!(
+                        "node {i}: batch-stats batch_norm2d is training-only; \
+                         inference forwards record channel_affine instead"
+                    ))
+                }
+                Op::CrossEntropy2d { .. } => {
+                    return Err(format!("node {i}: cross_entropy2d is training-only"))
+                }
+                Op::MseLoss { .. } => return Err(format!("node {i}: mse_loss is training-only")),
+                Op::Mean(_) => return Err(format!("node {i}: mean reduction is training-only")),
+                Op::Sum(_) => return Err(format!("node {i}: sum reduction is training-only")),
+            };
+            out.push(TapeNode {
+                index: i,
+                shape: node.value.shape().to_vec(),
+                op,
+            });
+        }
+        Ok(out)
+    }
+
     /// [`Graph::backward`] with an explicit seed gradient `d(out)/d(loss)`
     /// instead of `1.0`.
     ///
@@ -1012,7 +1142,11 @@ fn accum_into(node: &mut Node, g: Tensor) {
     }
 }
 
-fn gelu_fwd(x: f32) -> f32 {
+/// Forward GELU nonlinearity (tanh approximation), public so the plan
+/// executor applies the exact same per-element arithmetic as the tape's
+/// `Gelu` node — sharing the function is what keeps the compiled plan
+/// bitwise identical to the recorded forward.
+pub fn gelu_fwd(x: f32) -> f32 {
     const C: f32 = 0.797_884_6; // sqrt(2/pi)
     0.5 * x * (1.0 + (C * (x + 0.044_715 * x * x * x)).tanh())
 }
@@ -1283,7 +1417,7 @@ fn backward_op(node: &Node, dy: &Tensor, parents: &mut [Node]) {
                 Tensor::from_vec(vec![c], dbeta).expect("bn dbeta"),
             );
         }
-        Op::ChannelAffine { x, scale } => {
+        Op::ChannelAffine { x, scale, .. } => {
             let (b, c, h, w) = node.value.dims4();
             let mut dx = vec![0.0f32; dy.numel()];
             for bi in 0..b {
@@ -1306,6 +1440,7 @@ fn backward_op(node: &Node, dy: &Tensor, parents: &mut [Node]) {
             beta,
             xhat,
             inv_std,
+            ..
         } => {
             let d = *node.value.shape().last().expect("rank >= 1");
             let rows = node.value.numel() / d;
@@ -1482,4 +1617,103 @@ fn backward_op(node: &Node, dy: &Tensor, parents: &mut [Node]) {
             accum(parents, *x, dy.scale(sv));
         }
     }
+}
+
+// ------------------------------------------------------------- plan export
+
+/// Exported view of one tape node's operation, with operands as raw tape
+/// indices. Produced by [`Graph::export_segment`] and consumed by the plan
+/// compiler in `mfaplace-infer`; tape-internal backward state (conv `cols`,
+/// normalization `xhat`, pool argmaxes) is deliberately not exported — the
+/// plan re-derives what it needs from shapes.
+#[derive(Clone, Debug)]
+pub enum TapeOp {
+    /// A leaf created inside the segment (an input or a constant
+    /// materialized mid-forward, e.g. PGNN's aggregation kernels).
+    Leaf,
+    /// Elementwise `a + b`.
+    Add(usize, usize),
+    /// Elementwise `a - b`.
+    Sub(usize, usize),
+    /// Elementwise `a * b`.
+    Mul(usize, usize),
+    /// Elementwise negation.
+    Neg(usize),
+    /// Elementwise `x * c` for a compile-time scalar.
+    Scale(usize, f32),
+    /// `[m,k] x [k,n]` matrix product.
+    Matmul(usize, usize),
+    /// Batched `[b,m,k] x [b,k,n]`.
+    Bmm(usize, usize),
+    /// Batched `a · bᵀ`.
+    BmmNT(usize, usize),
+    /// Batched `aᵀ · b`.
+    BmmTN(usize, usize),
+    /// Fused attention (token-major when `feature_major` is false).
+    Attention {
+        q: usize,
+        k: usize,
+        v: usize,
+        scale: f32,
+        feature_major: bool,
+    },
+    /// 2-D convolution of `x` with weight `w`.
+    Conv2d {
+        x: usize,
+        w: usize,
+        stride: usize,
+        pad: usize,
+    },
+    /// Per-channel bias add on a rank-4 tensor.
+    AddBiasChannel(usize, usize),
+    /// Last-axis bias add.
+    AddBiasRow(usize, usize),
+    /// Rectified linear unit.
+    Relu(usize),
+    /// Leaky ReLU with the given negative slope.
+    LeakyRelu(usize, f32),
+    /// Logistic sigmoid.
+    Sigmoid(usize),
+    /// GELU (tanh approximation, [`gelu_fwd`]).
+    Gelu(usize),
+    /// Constant per-channel affine (inference-mode batch norm).
+    ChannelAffine {
+        x: usize,
+        scale: Vec<f32>,
+        shift: Vec<f32>,
+    },
+    /// Last-axis layer normalization.
+    LayerNorm {
+        x: usize,
+        gamma: usize,
+        beta: usize,
+        eps: f32,
+    },
+    /// Softmax over the last axis.
+    SoftmaxLast(usize),
+    /// Reshape (tape semantics: a copy).
+    Reshape(usize),
+    /// General axis permutation.
+    Permute { x: usize, axes: Vec<usize> },
+    /// Channel-axis concatenation.
+    ConcatChannels(Vec<usize>),
+    /// Channel slice `[c0, c1)`.
+    SliceChannels { x: usize, c0: usize, c1: usize },
+    /// Nearest-neighbour 2× upsampling.
+    Upsample2x(usize),
+    /// 2×2 max pooling with stride 2.
+    MaxPool2x2(usize),
+    /// Broadcast product with a single-element node.
+    MulScalarVar(usize, usize),
+}
+
+/// One exported tape node: its raw index, output shape, and operation.
+#[derive(Clone, Debug)]
+pub struct TapeNode {
+    /// Raw tape index of this node.
+    pub index: usize,
+    /// Output shape of the node value.
+    pub shape: Vec<usize>,
+    /// The recorded operation.
+    pub op: TapeOp,
 }

@@ -36,5 +36,5 @@ pub mod gradcheck;
 mod graph;
 mod recycle;
 
-pub use graph::{Graph, Var};
+pub use graph::{gelu_fwd, Graph, TapeNode, TapeOp, Var};
 pub use recycle::BufferPool;

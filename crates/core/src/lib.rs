@@ -24,5 +24,5 @@ pub use dataset::{Dataset, DatasetConfig, Sample};
 pub use flow::{FlowConfig, FlowOutcome, MacroPlacementFlow};
 pub use loader::{load_predictor, save_predictor, LoadOptions};
 pub use metrics::{accuracy, nrms, r_squared, ConfusionMatrix, PredictionMetrics};
-pub use predictor::ModelPredictor;
+pub use predictor::{Engine, ModelPredictor};
 pub use train::{TrainConfig, TrainReport, Trainer};

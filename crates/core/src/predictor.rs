@@ -10,26 +10,90 @@
 //! reduction order independent of the batch dimension), which is what lets
 //! the serve subsystem coalesce concurrent requests without changing
 //! anyone's answer.
+//!
+//! Two interchangeable [`Engine`]s drive the forward: the dynamic autograd
+//! tape (reference) and compiled [`mfaplace_infer`] plans (default) — a
+//! static op list per input shape executed allocation-free from a
+//! liveness-packed arena. Plan outputs are bitwise identical to the tape's
+//! (test-enforced), so switching engines never changes an answer; if a
+//! recorded tape cannot be compiled the predictor falls back to the tape
+//! permanently and reports why via [`ModelPredictor::plan_broken`].
+
+use std::collections::HashMap;
+use std::sync::Arc;
 
 use mfaplace_autograd::Graph;
 use mfaplace_fpga::design::Design;
 use mfaplace_fpga::features::FeatureStack;
 use mfaplace_fpga::gridmap::GridMap;
 use mfaplace_fpga::placement::Placement;
+use mfaplace_infer::{Plan, PlanExecutor, PlanOptions, PlanStats};
 use mfaplace_models::{expected_levels, CongestionModel};
 use mfaplace_placer::CongestionPredictor;
+use mfaplace_rt::timer::ScopeTimer;
 use mfaplace_tensor::Tensor;
+
+/// Which machinery runs the inference forward.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Engine {
+    /// Replay the model through the dynamic autograd tape (reference
+    /// implementation; allocates nodes and re-derives shapes per forward).
+    Tape,
+    /// Execute a compiled, shape-specialized [`mfaplace_infer::Plan`]
+    /// (fused kernels, zero allocations per forward). Bitwise identical
+    /// outputs to [`Engine::Tape`].
+    Plan,
+}
+
+impl Engine {
+    /// Parses `"tape"` / `"plan"` (case-insensitive).
+    pub fn parse(s: &str) -> Option<Engine> {
+        match s.to_ascii_lowercase().as_str() {
+            "tape" => Some(Engine::Tape),
+            "plan" => Some(Engine::Plan),
+            _ => None,
+        }
+    }
+
+    /// Reads `MFAPLACE_ENGINE` (`tape` or `plan`); defaults to
+    /// [`Engine::Plan`] when unset or unrecognized.
+    pub fn from_env() -> Engine {
+        std::env::var("MFAPLACE_ENGINE")
+            .ok()
+            .and_then(|v| Engine::parse(&v))
+            .unwrap_or(Engine::Plan)
+    }
+
+    /// Stable lowercase name (`"tape"` / `"plan"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Tape => "tape",
+            Engine::Plan => "plan",
+        }
+    }
+}
 
 /// A trained model plus its graph, usable inside a placement flow.
 pub struct ModelPredictor<M: CongestionModel> {
     graph: Graph,
     model: M,
     name: String,
+    engine: Engine,
+    /// Compiled executors keyed by full input shape (`[N, C, H, W]`) —
+    /// batch sizes get separate plans because recorded control flow may
+    /// branch on them (e.g. the ViT positional-embedding broadcast).
+    plans: HashMap<Vec<usize>, PlanExecutor>,
+    /// Parameter snapshots shared across the per-shape plans.
+    weight_cache: HashMap<usize, Arc<Tensor>>,
+    /// Set on the first failed capture; the predictor then stays on the
+    /// tape (the error is surfaced via metrics/CLI, never a panic).
+    plan_broken: Option<String>,
 }
 
 impl<M: CongestionModel> ModelPredictor<M> {
     /// Wraps a trained `(graph, model)` pair (e.g. from
-    /// [`crate::Trainer::into_parts`]).
+    /// [`crate::Trainer::into_parts`]). The forward engine comes from
+    /// `MFAPLACE_ENGINE` (default: compiled plans).
     pub fn new(graph: Graph, model: M) -> Self {
         let name = model.name().to_string();
         let mut graph = graph;
@@ -37,12 +101,121 @@ impl<M: CongestionModel> ModelPredictor<M> {
         // bookkeeping and drop backward-only storage (conv im2col buffers)
         // at creation instead of retaining it on the tape.
         graph.set_grad_enabled(false);
-        ModelPredictor { graph, model, name }
+        ModelPredictor {
+            graph,
+            model,
+            name,
+            engine: Engine::from_env(),
+            plans: HashMap::new(),
+            weight_cache: HashMap::new(),
+            plan_broken: None,
+        }
     }
 
     /// Borrows the wrapped model.
     pub fn model(&self) -> &M {
         &self.model
+    }
+
+    /// The active forward engine.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// Switches the forward engine. Compiled plans are kept (switching
+    /// back to [`Engine::Plan`] reuses them).
+    pub fn set_engine(&mut self, engine: Engine) {
+        self.engine = engine;
+    }
+
+    /// Why plan compilation failed, if it did (the predictor is then
+    /// permanently on the tape fallback).
+    pub fn plan_broken(&self) -> Option<&str> {
+        self.plan_broken.as_deref()
+    }
+
+    /// Stats of the compiled plan with the largest arena (the peak-memory
+    /// plan), if any forward has been compiled.
+    pub fn plan_stats(&self) -> Option<PlanStats> {
+        self.plans
+            .values()
+            .map(|e| e.plan().stats().clone())
+            .max_by_key(|s| s.arena_bytes)
+    }
+
+    /// Compiles (and caches) the plan for a `[n, c, h, w]` input without
+    /// running it, returning its stats — the `model-info` hook.
+    ///
+    /// Capture runs the model once on a zeros input; zoo forwards branch
+    /// only on shape, so the recording is valid for any batch content.
+    pub fn compile_plan(
+        &mut self,
+        n: usize,
+        c: usize,
+        h: usize,
+        w: usize,
+    ) -> Result<PlanStats, String> {
+        let shape = vec![n, c, h, w];
+        if !self.plans.contains_key(&shape) {
+            let batch = Tensor::zeros(shape.clone());
+            self.compile_plan_for(&batch)?;
+        }
+        Ok(self.plans[&shape].plan().stats().clone())
+    }
+
+    /// Records one tape forward of `batch` and compiles it into a cached
+    /// executor.
+    fn compile_plan_for(&mut self, batch: &Tensor) -> Result<(), String> {
+        let mark = self.graph.mark();
+        let xv = self.graph.constant(batch.clone());
+        let yv = self.model.forward(&mut self.graph, xv, false);
+        let captured = Plan::capture_cached(
+            &self.graph,
+            mark,
+            xv,
+            yv,
+            PlanOptions::default(),
+            &mut self.weight_cache,
+        );
+        self.graph.truncate(mark);
+        let plan = captured?;
+        self.plans
+            .insert(batch.shape().to_vec(), PlanExecutor::new(plan));
+        Ok(())
+    }
+
+    /// Plan-engine logits, or `None` when compilation failed (caller falls
+    /// back to the tape).
+    fn plan_logits(&mut self, batch: &Tensor) -> Option<Tensor> {
+        if self.plan_broken.is_some() {
+            return None;
+        }
+        if !self.plans.contains_key(batch.shape()) {
+            if let Err(e) = self.compile_plan_for(batch) {
+                mfaplace_rt::timer::count("infer/plan_fallback", 1);
+                self.plan_broken = Some(e);
+                return None;
+            }
+        }
+        let exec = self
+            .plans
+            .get_mut(batch.shape())
+            .expect("compiled just above");
+        let shape = exec.plan().output_shape().to_vec();
+        let _t = ScopeTimer::new("core/forward_plan");
+        let out = exec.run_batch(batch.data()).to_vec();
+        Some(Tensor::from_vec(shape, out).expect("plan output tensor"))
+    }
+
+    /// Tape-engine logits (the reference path).
+    fn tape_logits(&mut self, batch: &Tensor) -> Tensor {
+        let _t = ScopeTimer::new("core/forward_tape");
+        let mark = self.graph.mark();
+        let xv = self.graph.constant(batch.clone());
+        let logits_var = self.model.forward(&mut self.graph, xv, false);
+        let logits = self.graph.value(logits_var).clone();
+        self.graph.truncate(mark);
+        logits
     }
 
     /// Runs one batched forward over `inputs` (each a `[C, H, W]` feature
@@ -68,11 +241,12 @@ impl<M: CongestionModel> ModelPredictor<M> {
         }
         let batch = Tensor::from_vec(vec![n, c, h, w], data).expect("stacked batch");
 
-        let mark = self.graph.mark();
-        let xv = self.graph.constant(batch);
-        let logits_var = self.model.forward(&mut self.graph, xv, false);
-        let logits = self.graph.value(logits_var).clone();
-        self.graph.truncate(mark);
+        let logits = match self.engine {
+            Engine::Plan => self
+                .plan_logits(&batch)
+                .unwrap_or_else(|| self.tape_logits(&batch)),
+            Engine::Tape => self.tape_logits(&batch),
+        };
         let levels = expected_levels(&logits); // [N, H, W]
         let hw = h * w;
         let src = levels.data();
@@ -202,6 +376,45 @@ mod tests {
                 "sample {i}: batched inference must be bitwise identical to single-item"
             );
         }
+    }
+
+    #[test]
+    fn plan_engine_is_bitwise_identical_to_tape_engine() {
+        let d = DesignPreset::design_116()
+            .with_scale(512, 64, 32)
+            .generate(1);
+        let placements: Vec<_> = (0..3).map(|s| d.random_placement(s)).collect();
+        let inputs: Vec<Tensor> = placements
+            .iter()
+            .map(|p| FeatureStack::extract(&d, p, 32, 32).to_tensor())
+            .collect();
+
+        let mut tape = small_predictor(5);
+        tape.set_engine(Engine::Tape);
+        let mut plan = small_predictor(5); // same seed => same weights
+        plan.set_engine(Engine::Plan);
+        assert_eq!(tape.engine().name(), "tape");
+        assert_eq!(plan.engine().name(), "plan");
+
+        let from_tape = tape.predict_batch_tensors(&inputs);
+        let from_plan = plan.predict_batch_tensors(&inputs);
+        for (i, (t, p)) in from_tape.iter().zip(&from_plan).enumerate() {
+            assert_eq!(t.data(), p.data(), "sample {i}: engines must agree bitwise");
+        }
+        assert!(plan.plan_broken().is_none());
+        let stats = plan.plan_stats().expect("plan compiled during predict");
+        assert!(stats.ops > 0 && stats.arena_bytes > 0);
+        assert!(tape.plan_stats().is_none(), "tape engine compiles nothing");
+    }
+
+    #[test]
+    fn compile_plan_reports_stats_without_predicting() {
+        let mut p = small_predictor(6);
+        let stats = p.compile_plan(2, 6, 32, 32).expect("compile");
+        assert!(stats.ops > 0);
+        assert!(stats.fused_conv_relu > 0);
+        // The cached plan is reused by a later predict at the same shape.
+        assert_eq!(p.plan_stats().expect("cached").ops, stats.ops);
     }
 
     #[test]

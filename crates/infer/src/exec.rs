@@ -1,0 +1,512 @@
+//! The plan executor: runs a compiled [`Plan`] with zero per-forward heap
+//! allocations, writing every intermediate into the pre-sized arena.
+//!
+//! # Bitwise contract
+//!
+//! Every op either calls the *same* kernel code the tape forward calls
+//! (GEMM family, fused attention, im2col — via `mfaplace_tensor::lowlevel`
+//! and the `*_slices` attention entry points) or replicates the tape's
+//! per-element arithmetic expression exactly (activations, normalization,
+//! bias adds — pure per-element ops are bitwise-safe under any loop
+//! partitioning as long as the arithmetic sequence per element is
+//! identical). The equivalence suite asserts bit equality against the tape
+//! for every zoo architecture.
+//!
+//! # Allocation contract
+//!
+//! `run_batch` performs no heap allocation: outputs and op-local scratch
+//! (conv lowering buffers, attention score rows) live at plan-assigned
+//! arena offsets. The one documented exception matches the tape path:
+//! when an attention call is large enough to take the parallel tile path,
+//! each worker allocates its private score row (identical behaviour and
+//! threshold as the tape kernel, so tape-vs-plan comparisons stay fair).
+//!
+//! # Safety
+//!
+//! Ops borrow disjoint arena spans mutably and immutably at once through
+//! raw pointers. Soundness rests on the allocator invariant (an op's
+//! output/scratch spans never overlap a live operand span — see
+//! `assign_arena`), which is re-checked per op in debug builds.
+
+use mfaplace_autograd::gelu_fwd;
+use mfaplace_tensor::{lowlevel, softmax_row};
+
+#[cfg(debug_assertions)]
+use crate::plan::for_each_operand;
+use crate::plan::{ArenaRange, BmmKind, IrOp, Loc, Plan, Step, ValId};
+
+/// Owns the mutable state (activation arena) needed to run a [`Plan`].
+#[derive(Debug)]
+pub struct PlanExecutor {
+    plan: Plan,
+    arena: Vec<f32>,
+    runs: u64,
+}
+
+impl PlanExecutor {
+    /// Builds an executor, allocating the arena once up front.
+    pub fn new(plan: Plan) -> PlanExecutor {
+        let arena = vec![0.0f32; plan.arena_len()];
+        PlanExecutor {
+            plan,
+            arena,
+            runs: 0,
+        }
+    }
+
+    /// The compiled plan this executor runs.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// Number of completed forwards.
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    /// Arena base address — exposed so tests can assert the buffer is
+    /// reused (stable) across forwards rather than reallocated.
+    pub fn arena_ptr(&self) -> *const f32 {
+        self.arena.as_ptr()
+    }
+
+    /// Runs one forward over `input` (row-major, must match the captured
+    /// input shape) and returns the output slice, valid until the next
+    /// call. Allocation-free: every write lands in the arena.
+    pub fn run_batch(&mut self, input: &[f32]) -> &[f32] {
+        assert_eq!(
+            input.len(),
+            self.plan.input_numel(),
+            "plan input length mismatch (plan compiled for shape {:?})",
+            self.plan.input_shape(),
+        );
+        let base = self.arena.as_mut_ptr();
+        for step in &self.plan.steps {
+            #[cfg(debug_assertions)]
+            check_disjoint(&self.plan, step);
+            exec_step(&self.plan, input, base, step);
+        }
+        self.runs += 1;
+        mfaplace_rt::timer::count("infer/plan_forwards", 1);
+        let Loc::Arena { off, len } = self.plan.values[self.plan.output].loc else {
+            unreachable!("plan output is always arena-resident");
+        };
+        &self.arena[off..off + len]
+    }
+}
+
+/// Immutable view of a plan value.
+///
+/// # Safety
+///
+/// For arena values the returned slice aliases `base`; the caller must not
+/// hold a mutable span overlapping it (guaranteed by `assign_arena`).
+unsafe fn src<'a>(plan: &'a Plan, input: &'a [f32], base: *const f32, v: ValId) -> &'a [f32] {
+    match plan.values[v].loc {
+        Loc::Input => input,
+        Loc::Weight(i) => plan.weights[i].data(),
+        Loc::Arena { off, len } => std::slice::from_raw_parts(base.add(off), len),
+        Loc::Unassigned => unreachable!("read of a fused-away value"),
+    }
+}
+
+/// Mutable view of an arena span.
+///
+/// # Safety
+///
+/// The span must be disjoint from every other span borrowed for the same
+/// op (allocator invariant, debug-asserted by `check_disjoint`).
+unsafe fn span_mut<'a>(base: *mut f32, r: ArenaRange) -> &'a mut [f32] {
+    std::slice::from_raw_parts_mut(base.add(r.off), r.len)
+}
+
+/// Debug re-check of the allocator invariant: the op's output and scratch
+/// spans overlap neither each other nor any operand span.
+#[cfg(debug_assertions)]
+fn check_disjoint(plan: &Plan, step: &Step) {
+    let mut writes: Vec<(usize, usize)> = Vec::new();
+    if let Loc::Arena { off, len } = plan.values[step.out].loc {
+        writes.push((off, len));
+    }
+    match &step.op {
+        IrOp::Conv2d { cols, ymat, .. } => {
+            writes.push((cols.off, cols.len));
+            writes.push((ymat.off, ymat.len));
+        }
+        IrOp::AttentionTm { scratch, .. } | IrOp::AttentionFm { scratch, .. } => {
+            writes.push((scratch.off, scratch.len));
+        }
+        _ => {}
+    }
+    let overlap = |a: (usize, usize), b: (usize, usize)| a.0 < b.0 + b.1 && b.0 < a.0 + a.1;
+    for (i, &wa) in writes.iter().enumerate() {
+        for &wb in &writes[i + 1..] {
+            assert!(!overlap(wa, wb), "write spans overlap in step {step:?}");
+        }
+    }
+    for_each_operand(&step.op, &mut |v| {
+        if let Loc::Arena { off, len } = plan.values[v].loc {
+            for &w in &writes {
+                assert!(
+                    !overlap(w, (off, len)),
+                    "operand span overlaps a write span in step {step:?}"
+                );
+            }
+        }
+    });
+}
+
+/// Executes one step. `base` points at the executor's arena.
+fn exec_step(plan: &Plan, input: &[f32], base: *mut f32, step: &Step) {
+    // SAFETY: all spans handed out below are either weight/input borrows or
+    // arena spans that `assign_arena` guarantees disjoint for this op; the
+    // debug assertion above re-checks the invariant.
+    let s = |v: ValId| unsafe { src(plan, input, base, v) };
+    let dst: &mut [f32] = {
+        let Loc::Arena { off, len } = plan.values[step.out].loc else {
+            unreachable!("step outputs are always arena-resident");
+        };
+        unsafe { span_mut(base, ArenaRange { off, len }) }
+    };
+    match &step.op {
+        IrOp::Conv2d {
+            x,
+            w,
+            bias,
+            affine,
+            relu,
+            stride,
+            pad,
+            b,
+            c,
+            h,
+            w_in,
+            kh,
+            kw,
+            oc,
+            oh,
+            ow,
+            cols,
+            ymat,
+        } => {
+            let xs = s(*x);
+            let ws = s(*w);
+            let cols_m = unsafe { span_mut(base, *cols) };
+            // The arena span may hold a dead value from an earlier op;
+            // im2col relies on zeroed padding cells, so clear every run.
+            cols_m.fill(0.0);
+            lowlevel::im2col_into(xs, *b, *c, *h, *w_in, *kh, *kw, *stride, *pad, cols_m);
+            let ymat_m = unsafe { span_mut(base, *ymat) };
+            lowlevel::gemm_into(ws, &*cols_m, ymat_m, *oc, *c * *kh * *kw, *b * *oh * *ow);
+            let bias_s = bias.map(&s);
+            let aff = affine
+                .as_ref()
+                .map(|(sc, sh)| (sc.as_slice(), sh.as_slice()));
+            lowlevel::conv_reorder_epilogue(&*ymat_m, dst, *b, *oc, *oh * *ow, bias_s, aff, *relu);
+        }
+        IrOp::AddBiasChannel { x, bias, b, c, hw } => {
+            let xs = s(*x);
+            let bv = s(*bias);
+            for bi in 0..*b {
+                for (ci, &add) in bv.iter().enumerate().take(*c) {
+                    let base_i = (bi * c + ci) * hw;
+                    for (o, &xv) in dst[base_i..base_i + hw]
+                        .iter_mut()
+                        .zip(&xs[base_i..base_i + hw])
+                    {
+                        *o = xv + add;
+                    }
+                }
+            }
+        }
+        IrOp::AddBiasRow { x, bias, d } => {
+            let xs = s(*x);
+            let bv = s(*bias);
+            for (row_o, row_x) in dst.chunks_mut(*d).zip(xs.chunks(*d)) {
+                for ((o, &xv), &b) in row_o.iter_mut().zip(row_x).zip(bv) {
+                    *o = xv + b;
+                }
+            }
+        }
+        IrOp::Add { a, b, relu } => {
+            let (av, bv) = (s(*a), s(*b));
+            if *relu {
+                for ((o, &x), &y) in dst.iter_mut().zip(av).zip(bv) {
+                    *o = (x + y).max(0.0);
+                }
+            } else {
+                for ((o, &x), &y) in dst.iter_mut().zip(av).zip(bv) {
+                    *o = x + y;
+                }
+            }
+        }
+        IrOp::Sub { a, b } => {
+            let (av, bv) = (s(*a), s(*b));
+            for ((o, &x), &y) in dst.iter_mut().zip(av).zip(bv) {
+                *o = x - y;
+            }
+        }
+        IrOp::Mul { a, b } => {
+            let (av, bv) = (s(*a), s(*b));
+            for ((o, &x), &y) in dst.iter_mut().zip(av).zip(bv) {
+                *o = x * y;
+            }
+        }
+        IrOp::Neg { x } => {
+            for (o, &v) in dst.iter_mut().zip(s(*x)) {
+                *o = -v;
+            }
+        }
+        IrOp::Scale { x, c } => {
+            for (o, &v) in dst.iter_mut().zip(s(*x)) {
+                *o = v * c;
+            }
+        }
+        IrOp::Relu { x } => {
+            for (o, &v) in dst.iter_mut().zip(s(*x)) {
+                *o = v.max(0.0);
+            }
+        }
+        IrOp::LeakyRelu { x, slope } => {
+            for (o, &v) in dst.iter_mut().zip(s(*x)) {
+                *o = if v > 0.0 { v } else { slope * v };
+            }
+        }
+        IrOp::Sigmoid { x } => {
+            for (o, &v) in dst.iter_mut().zip(s(*x)) {
+                *o = 1.0 / (1.0 + (-v).exp());
+            }
+        }
+        IrOp::Gelu { x } => {
+            for (o, &v) in dst.iter_mut().zip(s(*x)) {
+                *o = gelu_fwd(v);
+            }
+        }
+        IrOp::ChannelAffine {
+            x,
+            scale,
+            shift,
+            b,
+            c,
+            hw,
+        } => {
+            let xs = s(*x);
+            for bi in 0..*b {
+                for ci in 0..*c {
+                    let base_i = (bi * c + ci) * hw;
+                    let (sc, sh) = (scale[ci], shift[ci]);
+                    for (o, &xv) in dst[base_i..base_i + hw]
+                        .iter_mut()
+                        .zip(&xs[base_i..base_i + hw])
+                    {
+                        *o = sc * xv + sh;
+                    }
+                }
+            }
+        }
+        IrOp::LayerNorm {
+            x,
+            gamma,
+            beta,
+            eps,
+            d,
+        } => {
+            let xs = s(*x);
+            let g = s(*gamma);
+            let be = s(*beta);
+            for (row_o, row) in dst.chunks_mut(*d).zip(xs.chunks(*d)) {
+                let mean: f32 = row.iter().sum::<f32>() / *d as f32;
+                let var: f32 =
+                    row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / *d as f32;
+                let is = 1.0 / (var + eps).sqrt();
+                for ((o, &xv), (&gk, &bk)) in row_o.iter_mut().zip(row).zip(g.iter().zip(be)) {
+                    *o = gk * ((xv - mean) * is) + bk;
+                }
+            }
+        }
+        IrOp::SoftmaxLast { x, d } => {
+            dst.copy_from_slice(s(*x));
+            for row in dst.chunks_mut(*d) {
+                softmax_row(row);
+            }
+        }
+        IrOp::Matmul { a, b, m, k, n } => {
+            lowlevel::gemm_into(s(*a), s(*b), dst, *m, *k, *n);
+        }
+        IrOp::Bmm {
+            kind,
+            a,
+            b,
+            bt,
+            m,
+            k,
+            n,
+        } => {
+            let (av, bv) = (s(*a), s(*b));
+            match kind {
+                BmmKind::Nn => lowlevel::bmm_into(av, bv, dst, *bt, *m, *k, *n),
+                BmmKind::Nt => lowlevel::bmm_nt_into(av, bv, dst, *bt, *m, *k, *n),
+                BmmKind::Tn => lowlevel::bmm_tn_into(av, bv, dst, *bt, *m, *k, *n),
+            }
+        }
+        IrOp::AttentionTm {
+            q,
+            k,
+            v,
+            scale,
+            b,
+            lq,
+            lk,
+            d,
+            dv,
+            scratch,
+        } => {
+            // The fused kernel accumulates into a zeroed output (the tape
+            // takes a zero-filled pool buffer).
+            dst.fill(0.0);
+            let sc = unsafe { span_mut(base, *scratch) };
+            mfaplace_tensor::attention_tm_slices(
+                s(*q),
+                s(*k),
+                s(*v),
+                *b,
+                *lq,
+                *lk,
+                *d,
+                *dv,
+                *scale,
+                dst,
+                sc,
+            );
+        }
+        IrOp::AttentionFm {
+            q,
+            k,
+            v,
+            scale,
+            b,
+            n,
+            nv,
+            l,
+            scratch,
+        } => {
+            let sc = unsafe { span_mut(base, *scratch) };
+            mfaplace_tensor::attention_fm_slices(
+                s(*q),
+                s(*k),
+                s(*v),
+                *b,
+                *n,
+                *nv,
+                *l,
+                *scale,
+                dst,
+                sc,
+            );
+        }
+        IrOp::Copy { x } => {
+            dst.copy_from_slice(s(*x));
+        }
+        IrOp::Permute {
+            x,
+            stride_axes,
+            out_dims,
+        } => {
+            let xs = s(*x);
+            let rank = out_dims.len();
+            let mut idx = [0usize; 8];
+            // Same output-order walk as `Tensor::permute`, with the input
+            // strides pre-gathered per output axis at compile time.
+            for o in dst.iter_mut() {
+                let mut off = 0usize;
+                for d in 0..rank {
+                    off += idx[d] * stride_axes[d];
+                }
+                *o = xs[off];
+                for d in (0..rank).rev() {
+                    idx[d] += 1;
+                    if idx[d] < out_dims[d] {
+                        break;
+                    }
+                    idx[d] = 0;
+                }
+            }
+        }
+        IrOp::ConcatChannels {
+            parts,
+            part_c,
+            b,
+            hw,
+            total_c,
+        } => {
+            for bi in 0..*b {
+                let mut c_off = 0usize;
+                for (&p, &pc) in parts.iter().zip(part_c) {
+                    let ps = s(p);
+                    dst[(bi * total_c + c_off) * hw..(bi * total_c + c_off + pc) * hw]
+                        .copy_from_slice(&ps[bi * pc * hw..(bi + 1) * pc * hw]);
+                    c_off += pc;
+                }
+            }
+        }
+        IrOp::SliceChannels {
+            x,
+            c0,
+            c1,
+            b,
+            c,
+            hw,
+        } => {
+            let xs = s(*x);
+            let nc = c1 - c0;
+            for bi in 0..*b {
+                dst[bi * nc * hw..(bi + 1) * nc * hw]
+                    .copy_from_slice(&xs[(bi * c + c0) * hw..(bi * c + c1) * hw]);
+            }
+        }
+        IrOp::Upsample2x { x, planes, h, w } => {
+            let xs = s(*x);
+            for bc in 0..*planes {
+                let plane = &mut dst[bc * 4 * h * w..(bc + 1) * 4 * h * w];
+                for i in 0..*h {
+                    for j in 0..*w {
+                        let v = xs[bc * h * w + i * w + j];
+                        for di in 0..2 {
+                            for dj in 0..2 {
+                                plane[(i * 2 + di) * 2 * w + (j * 2 + dj)] = v;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        IrOp::MaxPool2x2 { x, planes, h, w } => {
+            let xs = s(*x);
+            let (oh, ow) = (h / 2, w / 2);
+            for bc in 0..*planes {
+                let in_base = bc * h * w;
+                let plane = &mut dst[bc * oh * ow..(bc + 1) * oh * ow];
+                for oi in 0..oh {
+                    for oj in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        for di in 0..2 {
+                            for dj in 0..2 {
+                                let v = xs[in_base + (oi * 2 + di) * w + (oj * 2 + dj)];
+                                if v > best {
+                                    best = v;
+                                }
+                            }
+                        }
+                        plane[oi * ow + oj] = best;
+                    }
+                }
+            }
+        }
+        IrOp::MulScalarVar { x, s: sv } => {
+            let scalar = s(*sv)[0];
+            for (o, &v) in dst.iter_mut().zip(s(*x)) {
+                *o = v * scalar;
+            }
+        }
+    }
+}

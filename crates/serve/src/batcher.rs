@@ -29,7 +29,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use mfaplace_core::loader::{load_predictor, LoadOptions};
-use mfaplace_core::predictor::ModelPredictor;
+use mfaplace_core::predictor::{Engine, ModelPredictor};
 use mfaplace_models::{AnyModel, ArchSpec};
 use mfaplace_rt::timer::ScopeTimer;
 use mfaplace_tensor::Tensor;
@@ -272,6 +272,7 @@ impl ModelSlot {
     pub fn load(path: &str, opts: LoadOptions, metrics: Arc<Metrics>) -> Result<Self, String> {
         let (spec, predictor) = load_predictor(path, opts)?;
         metrics.set_model(spec.arch.model_name(), 1);
+        metrics.set_engine(predictor.engine().name());
         Ok(ModelSlot {
             inner: Mutex::new(LoadedModel {
                 predictor,
@@ -289,6 +290,7 @@ impl ModelSlot {
         metrics: Arc<Metrics>,
     ) -> Self {
         metrics.set_model(spec.arch.model_name(), 1);
+        metrics.set_engine(predictor.engine().name());
         ModelSlot {
             inner: Mutex::new(LoadedModel {
                 predictor,
@@ -313,6 +315,19 @@ impl ModelSlot {
         self.lock().version
     }
 
+    /// The inference engine the served predictor is using.
+    pub fn engine(&self) -> Engine {
+        self.lock().predictor.engine()
+    }
+
+    /// Switches the served predictor between the tape and plan engines
+    /// (compiled plans are kept either way) and republishes the engine
+    /// gauge.
+    pub fn set_engine(&self, engine: Engine) {
+        self.lock().predictor.set_engine(engine);
+        self.metrics.set_engine(engine.name());
+    }
+
     /// Runs one batched forward. Panics inside the model are caught and
     /// reported as errors so a bad batch cannot kill the worker thread.
     ///
@@ -335,6 +350,13 @@ impl ModelSlot {
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             model.predictor.predict_batch_tensors(inputs)
         }));
+        if result.is_ok() {
+            let (ops, arena) = model
+                .predictor
+                .plan_stats()
+                .map_or((0, 0), |s| (s.ops as u64, s.arena_bytes as u64));
+            self.metrics.set_plan_stats(ops, arena);
+        }
         result.map_err(|payload| {
             let msg = payload
                 .downcast_ref::<&str>()
@@ -366,11 +388,15 @@ impl ModelSlot {
             ));
         }
         let mut slot = self.lock();
+        // Keep the engine choice sticky across hot reloads.
+        let engine = slot.predictor.engine();
         slot.predictor = predictor;
+        slot.predictor.set_engine(engine);
         slot.spec = spec;
         slot.version += 1;
         let version = slot.version;
         self.metrics.set_model(spec.arch.model_name(), version);
+        self.metrics.set_engine(engine.name());
         Ok((version, spec))
     }
 }

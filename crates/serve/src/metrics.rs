@@ -28,6 +28,9 @@ struct Inner {
     deadline_misses: u64,
     model_version: u64,
     model_name: String,
+    engine_name: String,
+    plan_ops: u64,
+    plan_arena_bytes: u64,
 }
 
 /// Thread-safe metrics registry shared by the server, batcher and worker.
@@ -101,6 +104,19 @@ impl Metrics {
         m.model_version = version;
     }
 
+    /// Publishes the active inference engine (`"tape"` / `"plan"`).
+    pub fn set_engine(&self, name: &str) {
+        self.lock().engine_name = name.to_owned();
+    }
+
+    /// Publishes the compiled-plan gauges (op count and arena bytes of the
+    /// peak-memory plan). Zeroed while no plan is compiled.
+    pub fn set_plan_stats(&self, ops: u64, arena_bytes: u64) {
+        let mut m = self.lock();
+        m.plan_ops = ops;
+        m.plan_arena_bytes = arena_bytes;
+    }
+
     /// Renders the plaintext exposition document.
     pub fn render(&self) -> String {
         let m = self.lock();
@@ -164,6 +180,18 @@ impl Metrics {
             m.model_name
         ));
         out.push_str(&format!("mfaplace_model_version {}\n", m.model_version));
+
+        out.push_str(&format!(
+            "mfaplace_engine_info{{engine=\"{}\"}} 1\n",
+            m.engine_name
+        ));
+        out.push_str("# TYPE mfaplace_infer_plan_ops gauge\n");
+        out.push_str(&format!("mfaplace_infer_plan_ops {}\n", m.plan_ops));
+        out.push_str("# TYPE mfaplace_infer_plan_arena_bytes gauge\n");
+        out.push_str(&format!(
+            "mfaplace_infer_plan_arena_bytes {}\n",
+            m.plan_arena_bytes
+        ));
         drop(m);
 
         // Process-wide runtime counters and scope timers.
@@ -204,6 +232,8 @@ mod tests {
         m.record_queue_rejection();
         m.record_deadline_miss();
         m.set_model("Ours", 2);
+        m.set_engine("plan");
+        m.set_plan_stats(42, 1024);
 
         let text = m.render();
         assert!(
@@ -229,6 +259,15 @@ mod tests {
         assert!(text.contains("mfaplace_model_version 2"), "{text}");
         assert!(
             text.contains("mfaplace_model_info{name=\"Ours\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("mfaplace_engine_info{engine=\"plan\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("mfaplace_infer_plan_ops 42"), "{text}");
+        assert!(
+            text.contains("mfaplace_infer_plan_arena_bytes 1024"),
             "{text}"
         );
     }

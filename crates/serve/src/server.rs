@@ -16,6 +16,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use mfaplace_core::loader::LoadOptions;
+use mfaplace_core::predictor::Engine;
 use mfaplace_tensor::Tensor;
 
 use crate::batcher::{BatchConfig, Batcher, JobError, ModelSlot, SubmitError};
@@ -218,11 +219,12 @@ fn route(shared: &Shared, req: &Request) -> Response {
             Response::text(
                 200,
                 format!(
-                    "model {}\ngrid {}\nbase_channels {}\nversion {}\n",
+                    "model {}\ngrid {}\nbase_channels {}\nversion {}\nengine {}\n",
                     spec.arch.model_name(),
                     spec.grid,
                     spec.base_channels,
-                    shared.slot.version()
+                    shared.slot.version(),
+                    shared.slot.engine().name()
                 ),
             )
         }
@@ -257,6 +259,16 @@ fn route(shared: &Shared, req: &Request) -> Response {
                 Err(m) => Response::text(409, m + "\n"),
             }
         }
+        ("POST", "/admin/engine") => {
+            let name = String::from_utf8_lossy(&req.body).trim().to_owned();
+            match Engine::parse(&name) {
+                Some(engine) => {
+                    shared.slot.set_engine(engine);
+                    Response::text(200, format!("engine {}\n", engine.name()))
+                }
+                None => Response::text(400, "body must be \"tape\" or \"plan\"\n"),
+            }
+        }
         ("POST", "/admin/shutdown") => {
             shared.stop.store(true, Ordering::SeqCst);
             // The throwaway connection unblocking accept comes from a
@@ -270,7 +282,7 @@ fn route(shared: &Shared, req: &Request) -> Response {
         (
             _,
             "/healthz" | "/metrics" | "/model" | "/predict" | "/predict/design" | "/admin/reload"
-            | "/admin/shutdown",
+            | "/admin/engine" | "/admin/shutdown",
         ) => Response::text(405, "method not allowed\n"),
         _ => Response::text(404, "no such endpoint\n"),
     }

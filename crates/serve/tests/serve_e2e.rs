@@ -7,6 +7,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use mfaplace_core::loader::{init_checkpoint, load_predictor, LoadOptions};
+use mfaplace_core::predictor::Engine;
 use mfaplace_fpga::design::DesignPreset;
 use mfaplace_fpga::io;
 use mfaplace_models::{Arch, ArchSpec};
@@ -127,6 +128,50 @@ fn concurrent_batched_responses_are_bitwise_identical_to_local_inference() {
     );
     assert!(
         metrics.contains("mfaplace_rt_counter{name=\"graph/pool_recycled_bytes\"}"),
+        "{metrics}"
+    );
+
+    server.join();
+}
+
+#[test]
+fn metrics_expose_engine_plan_gauges_and_per_engine_timers() {
+    let ckpt = checkpoint("e2e_engine.mfaw", 13);
+    let server = start_server(&ckpt, BatchConfig::default());
+    let addr = server.addr().to_string();
+
+    // Serve traffic runs on the default plan engine, populating the
+    // compiled-plan gauges and the plan-side forward timer.
+    for i in 0..3 {
+        client::predict_features(&addr, &input(i as f32)).unwrap();
+    }
+    // The runtime timer registry is process-wide, so one local tape-engine
+    // forward is enough to make the tape-side timer show up in the scrape.
+    let (_, mut tape_ref) = load_predictor(&ckpt, LoadOptions::default()).unwrap();
+    tape_ref.set_engine(Engine::Tape);
+    tape_ref.predict_batch_tensors(std::slice::from_ref(&input(0.0)));
+
+    let metrics = client::request(&addr, "GET", "/metrics", &[], b"")
+        .unwrap()
+        .text();
+    assert!(
+        metrics.contains("mfaplace_engine_info{engine=\"plan\"} 1"),
+        "{metrics}"
+    );
+    let gauge = |name: &str| -> u64 {
+        metrics
+            .lines()
+            .find_map(|l| l.strip_prefix(name).and_then(|v| v.trim().parse().ok()))
+            .unwrap_or_else(|| panic!("missing gauge {name} in scrape:\n{metrics}"))
+    };
+    assert!(gauge("mfaplace_infer_plan_ops ") > 0, "{metrics}");
+    assert!(gauge("mfaplace_infer_plan_arena_bytes ") > 0, "{metrics}");
+    assert!(
+        metrics.contains("mfaplace_rt_timer_calls{scope=\"core/forward_plan\"}"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("mfaplace_rt_timer_calls{scope=\"core/forward_tape\"}"),
         "{metrics}"
     );
 

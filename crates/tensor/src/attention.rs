@@ -81,7 +81,55 @@ pub fn attention_tm_into(q: &Tensor, k: &Tensor, v: &Tensor, scale: f32, out: &m
         b * lq * dv,
         "attention_tm output length mismatch"
     );
-    let (qd, kd, vd) = (q.data(), k.data(), v.data());
+    let mut scratch = vec![0.0f32; lk];
+    attention_tm_slices(
+        q.data(),
+        k.data(),
+        v.data(),
+        b,
+        lq,
+        lk,
+        d,
+        dv,
+        scale,
+        out,
+        &mut scratch,
+    );
+}
+
+/// Slice-level [`attention_tm_into`] with a caller-provided score-row
+/// scratch of at least `lk` elements (contents ignored; used by the plan
+/// executor so the serial path allocates nothing per forward). The parallel
+/// tile path still allocates one score row per tile worker, exactly like
+/// the tape path. `out` **must be zero-filled**.
+///
+/// # Panics
+///
+/// Panics on slice-length mismatches or if `scratch.len() < lk`.
+#[allow(clippy::too_many_arguments)]
+pub fn attention_tm_slices(
+    qd: &[f32],
+    kd: &[f32],
+    vd: &[f32],
+    b: usize,
+    lq: usize,
+    lk: usize,
+    d: usize,
+    dv: usize,
+    scale: f32,
+    out: &mut [f32],
+    scratch: &mut [f32],
+) {
+    assert_eq!(qd.len(), b * lq * d, "attention_tm q length mismatch");
+    assert_eq!(kd.len(), b * lk * d, "attention_tm k length mismatch");
+    assert_eq!(vd.len(), b * lk * dv, "attention_tm v length mismatch");
+    assert_eq!(
+        out.len(),
+        b * lq * dv,
+        "attention_tm output length mismatch"
+    );
+    assert!(scratch.len() >= lk, "attention_tm scratch too small");
+    let scratch = &mut scratch[..lk];
     for bi in 0..b {
         let qb = &qd[bi * lq * d..(bi + 1) * lq * d];
         let kb = &kd[bi * lk * d..(bi + 1) * lk * d];
@@ -91,10 +139,11 @@ pub fn attention_tm_into(q: &Tensor, k: &Tensor, v: &Tensor, scale: f32, out: &m
         // is bitwise-safe: each row's arithmetic is thread-independent.
         if lq * lk * (d + dv) >= PAR_GEMM_FLOPS && lq > ATTN_TILE {
             pool::parallel_chunks_mut(ob, ATTN_TILE * dv, |ti, chunk| {
-                attn_tm_rows(qb, kb, vb, scale, lk, d, dv, ti * ATTN_TILE, chunk);
+                let mut s = vec![0.0f32; lk];
+                attn_tm_rows(qb, kb, vb, scale, lk, d, dv, ti * ATTN_TILE, chunk, &mut s);
             });
         } else {
-            attn_tm_rows(qb, kb, vb, scale, lk, d, dv, 0, ob);
+            attn_tm_rows(qb, kb, vb, scale, lk, d, dv, 0, ob, scratch);
         }
     }
 }
@@ -112,13 +161,13 @@ fn attn_tm_rows(
     dv: usize,
     i0: usize,
     chunk: &mut [f32],
+    s: &mut [f32],
 ) {
     let rows = chunk.len() / dv;
-    let mut s = vec![0.0f32; lk];
     for r in 0..rows {
         let qrow = &qb[(i0 + r) * d..(i0 + r + 1) * d];
-        score_row_tm(qrow, kb, scale, lk, d, &mut s);
-        softmax_row(&mut s);
+        score_row_tm(qrow, kb, scale, lk, d, &mut *s);
+        softmax_row(&mut *s);
         let orow = &mut chunk[r * dv..(r + 1) * dv];
         for (j, &wj) in s.iter().enumerate() {
             // Same lhs zero-skip as the composed softmax·v GEMM.
@@ -151,7 +200,8 @@ fn score_row_tm(qrow: &[f32], kb: &[f32], scale: f32, lk: usize, d: usize, s: &m
 
 /// In-place softmax of one score row, replicating
 /// [`Tensor::softmax_lastdim`] bitwise (max fold, exp/sum pass, divide).
-fn softmax_row(s: &mut [f32]) {
+/// Public so the plan executor's `SoftmaxLast` op shares the exact loop.
+pub fn softmax_row(s: &mut [f32]) {
     let m = s.iter().copied().fold(f32::NEG_INFINITY, f32::max);
     let mut z = 0.0f32;
     for x in s.iter_mut() {
@@ -300,19 +350,59 @@ pub fn attention_fm_into(q: &Tensor, k: &Tensor, v: &Tensor, scale: f32, out: &m
     assert_eq!(l, lk, "attention_fm q/k length mismatch");
     assert_eq!(l, lv, "attention_fm k/v length mismatch");
     assert_eq!(out.len(), b * nv * l, "attention_fm output length mismatch");
-    let (qd, kd, vd) = (q.data(), k.data(), v.data());
+    let mut scratch = vec![0.0f32; l];
+    attention_fm_slices(
+        q.data(),
+        k.data(),
+        v.data(),
+        b,
+        n,
+        nv,
+        l,
+        scale,
+        out,
+        &mut scratch,
+    );
+}
+
+/// Slice-level [`attention_fm_into`] with a caller-provided score-row
+/// scratch of at least `l` elements (contents ignored; used by the plan
+/// executor so the forward allocates nothing). `out` may hold any contents;
+/// every element is overwritten.
+///
+/// # Panics
+///
+/// Panics on slice-length mismatches or if `scratch.len() < l`.
+#[allow(clippy::too_many_arguments)]
+pub fn attention_fm_slices(
+    qd: &[f32],
+    kd: &[f32],
+    vd: &[f32],
+    b: usize,
+    n: usize,
+    nv: usize,
+    l: usize,
+    scale: f32,
+    out: &mut [f32],
+    scratch: &mut [f32],
+) {
+    assert_eq!(qd.len(), b * n * l, "attention_fm q length mismatch");
+    assert_eq!(kd.len(), b * n * l, "attention_fm k length mismatch");
+    assert_eq!(vd.len(), b * nv * l, "attention_fm v length mismatch");
+    assert_eq!(out.len(), b * nv * l, "attention_fm output length mismatch");
+    assert!(scratch.len() >= l, "attention_fm scratch too small");
     // Output columns interleave across queries, so the feature-major
     // forward stays serial within a batch (attention cost here scales with
     // L², far above the L·N channel form, and L-sized rows still stream).
-    let mut s = vec![0.0f32; l];
+    let s = &mut scratch[..l];
     for bi in 0..b {
         let qb = &qd[bi * n * l..(bi + 1) * n * l];
         let kb = &kd[bi * n * l..(bi + 1) * n * l];
         let vb = &vd[bi * nv * l..(bi + 1) * nv * l];
         let ob = &mut out[bi * nv * l..(bi + 1) * nv * l];
         for y in 0..l {
-            score_row_fm(qb, kb, scale, n, l, y, &mut s);
-            softmax_row(&mut s);
+            score_row_fm(qb, kb, scale, n, l, y, &mut *s);
+            softmax_row(&mut *s);
             // out[c,y] = Σ_x v[c,x]·w[x] with the composed GEMM's lhs
             // zero-skip on v.
             for c in 0..nv {

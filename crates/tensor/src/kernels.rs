@@ -366,43 +366,7 @@ impl Tensor {
     /// `C*kh*kw * B*oh*ow` elements.
     pub fn im2col_into(&self, kh: usize, kw: usize, stride: usize, pad: usize, out: &mut [f32]) {
         let (b, c, h, w) = self.dims4();
-        let (oh, ow) = conv_out_size(h, w, kh, kw, stride, pad);
-        let rows = c * kh * kw;
-        let cols = b * oh * ow;
-        assert_eq!(out.len(), rows * cols, "im2col_into output length mismatch");
-        let src = self.data();
-        // Each output row (ci, ki, kj) gathers independently; rows fan out
-        // to the pool when the matrix is large. Every element is written at
-        // most once, so parallel and serial results are bitwise identical.
-        let fill_row = |row: usize, out_row: &mut [f32]| {
-            let ci = row / (kh * kw);
-            let ki = (row / kw) % kh;
-            let kj = row % kw;
-            for bi in 0..b {
-                for oi in 0..oh {
-                    let iy = (oi * stride + ki) as isize - pad as isize;
-                    if iy < 0 || iy >= h as isize {
-                        continue;
-                    }
-                    let iy = iy as usize;
-                    for oj in 0..ow {
-                        let ix = (oj * stride + kj) as isize - pad as isize;
-                        if ix < 0 || ix >= w as isize {
-                            continue;
-                        }
-                        out_row[bi * oh * ow + oi * ow + oj] =
-                            src[((bi * c + ci) * h + iy) * w + ix as usize];
-                    }
-                }
-            }
-        };
-        if rows * cols >= PAR_ELEMS {
-            pool::parallel_chunks_mut(out, cols, fill_row);
-        } else {
-            for (row, out_row) in out.chunks_mut(cols).enumerate() {
-                fill_row(row, out_row);
-            }
-        }
+        im2col_slices(self.data(), b, c, h, w, kh, kw, stride, pad, out);
     }
 
     /// Inverse of [`Tensor::im2col`]: scatters a `[C*kh*kw, B*oh*ow]` matrix
@@ -689,13 +653,77 @@ pub fn conv_out_size(
     (oh, ow)
 }
 
+/// Slice-level [`Tensor::im2col_into`]: lowers a `[B, C, H, W]` slice to the
+/// `[C*kh*kw, B*oh*ow]` im2col matrix. `out` **must be zero-filled** (padding
+/// positions are never written). Shared verbatim between the autograd tape's
+/// conv forward and the plan executor, so both lower identically.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn im2col_slices(
+    src: &[f32],
+    b: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    out: &mut [f32],
+) {
+    let (oh, ow) = conv_out_size(h, w, kh, kw, stride, pad);
+    let rows = c * kh * kw;
+    let cols = b * oh * ow;
+    assert_eq!(src.len(), b * c * h * w, "im2col input length mismatch");
+    assert_eq!(out.len(), rows * cols, "im2col_into output length mismatch");
+    // Each output row (ci, ki, kj) gathers independently; rows fan out
+    // to the pool when the matrix is large. Every element is written at
+    // most once, so parallel and serial results are bitwise identical.
+    let fill_row = |row: usize, out_row: &mut [f32]| {
+        let ci = row / (kh * kw);
+        let ki = (row / kw) % kh;
+        let kj = row % kw;
+        for bi in 0..b {
+            for oi in 0..oh {
+                let iy = (oi * stride + ki) as isize - pad as isize;
+                if iy < 0 || iy >= h as isize {
+                    continue;
+                }
+                let iy = iy as usize;
+                for oj in 0..ow {
+                    let ix = (oj * stride + kj) as isize - pad as isize;
+                    if ix < 0 || ix >= w as isize {
+                        continue;
+                    }
+                    out_row[bi * oh * ow + oi * ow + oj] =
+                        src[((bi * c + ci) * h + iy) * w + ix as usize];
+                }
+            }
+        }
+    };
+    if rows * cols >= PAR_ELEMS {
+        pool::parallel_chunks_mut(out, cols, fill_row);
+    } else {
+        for (row, out_row) in out.chunks_mut(cols).enumerate() {
+            fill_row(row, out_row);
+        }
+    }
+}
+
 /// Simple blocked GEMM: `out (+)= a[m,k] * b[k,n]`.
 ///
 /// If `accumulate` is false, `out` is overwritten. Large products are
 /// split over output-row blocks on the worker pool; each row's i-k-j
 /// reduction order is unchanged, so the result is bitwise identical to
 /// the serial path.
-fn gemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize, accumulate: bool) {
+pub(crate) fn gemm(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    accumulate: bool,
+) {
     let nt = if m * k * n >= PAR_GEMM_FLOPS {
         pool::max_threads().min(m)
     } else {
@@ -760,7 +788,7 @@ fn gemm_rows(
 /// reduction over `p` runs in increasing order with the lhs zero-skip of
 /// [`gemm_rows`], so the result is bitwise identical to
 /// `gemm(a, transpose(b))`. Large products split over output-row blocks.
-fn gemm_nt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+pub(crate) fn gemm_nt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     let nt = if m * k * n >= PAR_GEMM_FLOPS {
         pool::max_threads().min(m)
     } else {
@@ -801,7 +829,7 @@ fn gemm_nt_rows(a: &[f32], b: &[f32], out: &mut [f32], row0: usize, k: usize, n:
 /// runs in increasing order with the transposed-lhs zero-skip, bitwise
 /// identical to `gemm(transpose(a), b)`. Large products split over
 /// output-row blocks.
-fn gemm_tn(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+pub(crate) fn gemm_tn(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     let nt = if m * k * n >= PAR_GEMM_FLOPS {
         pool::max_threads().min(m)
     } else {

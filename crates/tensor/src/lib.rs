@@ -25,14 +25,16 @@ mod attention;
 mod error;
 mod init;
 mod kernels;
+pub mod lowlevel;
 mod tensor;
 
 pub use attention::{
-    attention_fm, attention_fm_backward, attention_fm_into, attention_tm, attention_tm_backward,
-    attention_tm_into, ATTN_TILE,
+    attention_fm, attention_fm_backward, attention_fm_into, attention_fm_slices, attention_tm,
+    attention_tm_backward, attention_tm_into, attention_tm_slices, softmax_row, ATTN_TILE,
 };
 pub use error::TensorError;
 pub use init::{kaiming_normal, xavier_uniform};
+pub use kernels::conv_out_size;
 pub use tensor::Tensor;
 
 /// Row-major strides for a shape.

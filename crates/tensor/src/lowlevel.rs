@@ -1,0 +1,320 @@
+//! Slice-level kernel entry points for the compiled inference plan.
+//!
+//! The plan executor (`mfaplace-infer`) holds every activation in one
+//! pre-sized arena and therefore cannot call the [`Tensor`]-typed kernel
+//! methods without materializing tensors. The functions here operate on
+//! raw `&[f32]` slices plus explicit dimensions and **delegate to the
+//! exact same internal kernels** as the `Tensor` methods (`gemm`,
+//! `gemm_nt`, `gemm_tn`, the im2col gather, the batched-GEMM dispatch),
+//! so results are bitwise identical to the dynamic tape path by
+//! construction — including the parallel/serial dispatch thresholds.
+//!
+//! [`conv_reorder_epilogue`] is the one genuinely new kernel: it folds the
+//! conv output reorder (`[OC, B·OH·OW] → [B, OC, OH·OW]`) together with the
+//! optional bias / channel-affine / ReLU epilogue into a single pass. The
+//! per-element arithmetic sequence (`v = y; v += bias[c]; v = scale[c]*v +
+//! shift[c]; v = v.max(0.0)`) is exactly the sequence the tape's separate
+//! `AddBiasChannel` → `ChannelAffine` → `Relu` nodes apply, so fusing the
+//! loop changes memory traffic, not bits.
+
+use mfaplace_rt::pool;
+
+use crate::kernels::{self, PAR_GEMM_FLOPS};
+
+/// `out = a[m,k] x b[k,n]`, overwriting `out`. Same kernel as
+/// [`crate::Tensor::matmul2d_into`].
+///
+/// # Panics
+///
+/// Panics on slice-length mismatches.
+pub fn gemm_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "gemm_into lhs length mismatch");
+    assert_eq!(b.len(), k * n, "gemm_into rhs length mismatch");
+    assert_eq!(out.len(), m * n, "gemm_into output length mismatch");
+    kernels::gemm(a, b, out, m, k, n, false);
+}
+
+/// Batched `[bt, m, k] x [bt, k, n] -> [bt, m, n]`, replicating the
+/// [`crate::Tensor::bmm`] dispatch (batch-parallel fan-out above the same
+/// thresholds, serial per-batch GEMM below them) bitwise.
+///
+/// # Panics
+///
+/// Panics on slice-length mismatches.
+pub fn bmm_into(a: &[f32], b: &[f32], out: &mut [f32], bt: usize, m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), bt * m * k, "bmm_into lhs length mismatch");
+    assert_eq!(b.len(), bt * k * n, "bmm_into rhs length mismatch");
+    assert_eq!(out.len(), bt * m * n, "bmm_into output length mismatch");
+    if bt >= pool::max_threads() && bt * m * k * n >= PAR_GEMM_FLOPS {
+        pool::parallel_chunks_mut(out, m * n, |i, chunk| {
+            pool::with_threads(1, || {
+                kernels::gemm(
+                    &a[i * m * k..(i + 1) * m * k],
+                    &b[i * k * n..(i + 1) * k * n],
+                    chunk,
+                    m,
+                    k,
+                    n,
+                    false,
+                );
+            });
+        });
+    } else {
+        for i in 0..bt {
+            kernels::gemm(
+                &a[i * m * k..(i + 1) * m * k],
+                &b[i * k * n..(i + 1) * k * n],
+                &mut out[i * m * n..(i + 1) * m * n],
+                m,
+                k,
+                n,
+                false,
+            );
+        }
+    }
+}
+
+/// Batched `a x b^T`: `[bt, m, k] x [bt, n, k] -> [bt, m, n]`, replicating
+/// the [`crate::Tensor::bmm_nt_into`] dispatch bitwise.
+///
+/// # Panics
+///
+/// Panics on slice-length mismatches.
+pub fn bmm_nt_into(a: &[f32], b: &[f32], out: &mut [f32], bt: usize, m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), bt * m * k, "bmm_nt_into lhs length mismatch");
+    assert_eq!(b.len(), bt * n * k, "bmm_nt_into rhs length mismatch");
+    assert_eq!(out.len(), bt * m * n, "bmm_nt_into output length mismatch");
+    if bt >= pool::max_threads() && bt * m * k * n >= PAR_GEMM_FLOPS {
+        pool::parallel_chunks_mut(out, m * n, |i, chunk| {
+            pool::with_threads(1, || {
+                kernels::gemm_nt(
+                    &a[i * m * k..(i + 1) * m * k],
+                    &b[i * n * k..(i + 1) * n * k],
+                    chunk,
+                    m,
+                    k,
+                    n,
+                );
+            });
+        });
+    } else {
+        for i in 0..bt {
+            kernels::gemm_nt(
+                &a[i * m * k..(i + 1) * m * k],
+                &b[i * n * k..(i + 1) * n * k],
+                &mut out[i * m * n..(i + 1) * m * n],
+                m,
+                k,
+                n,
+            );
+        }
+    }
+}
+
+/// Batched `a^T x b`: `[bt, k, m] x [bt, k, n] -> [bt, m, n]`, replicating
+/// the [`crate::Tensor::bmm_tn_into`] dispatch bitwise.
+///
+/// # Panics
+///
+/// Panics on slice-length mismatches.
+pub fn bmm_tn_into(a: &[f32], b: &[f32], out: &mut [f32], bt: usize, m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), bt * k * m, "bmm_tn_into lhs length mismatch");
+    assert_eq!(b.len(), bt * k * n, "bmm_tn_into rhs length mismatch");
+    assert_eq!(out.len(), bt * m * n, "bmm_tn_into output length mismatch");
+    if bt >= pool::max_threads() && bt * m * k * n >= PAR_GEMM_FLOPS {
+        pool::parallel_chunks_mut(out, m * n, |i, chunk| {
+            pool::with_threads(1, || {
+                kernels::gemm_tn(
+                    &a[i * k * m..(i + 1) * k * m],
+                    &b[i * k * n..(i + 1) * k * n],
+                    chunk,
+                    m,
+                    k,
+                    n,
+                );
+            });
+        });
+    } else {
+        for i in 0..bt {
+            kernels::gemm_tn(
+                &a[i * k * m..(i + 1) * k * m],
+                &b[i * k * n..(i + 1) * k * n],
+                &mut out[i * m * n..(i + 1) * m * n],
+                m,
+                k,
+                n,
+            );
+        }
+    }
+}
+
+/// Slice-level im2col: lowers a `[b, c, h, w]` input slice to the
+/// `[c*kh*kw, b*oh*ow]` matrix. `out` **must be zero-filled** (padding
+/// positions are never written). Same gather as
+/// [`crate::Tensor::im2col_into`].
+///
+/// # Panics
+///
+/// Panics on slice-length mismatches.
+#[allow(clippy::too_many_arguments)]
+pub fn im2col_into(
+    src: &[f32],
+    b: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    out: &mut [f32],
+) {
+    kernels::im2col_slices(src, b, c, h, w, kh, kw, stride, pad, out);
+}
+
+/// Reorders a conv GEMM result `y_mat: [oc, b*ohow]` into the `[b, oc,
+/// ohow]` output layout, applying the optional fused epilogue in the same
+/// pass: `v = y; v += bias[c]; v = scale[c]*v + shift[c]; v = v.max(0.0)` —
+/// per element exactly the sequence of the tape's `AddBiasChannel`,
+/// `ChannelAffine` and `Relu` nodes, so the fused result is bitwise
+/// identical to the composed chain.
+///
+/// # Panics
+///
+/// Panics on slice-length mismatches.
+#[allow(clippy::too_many_arguments)]
+pub fn conv_reorder_epilogue(
+    y_mat: &[f32],
+    out: &mut [f32],
+    b: usize,
+    oc: usize,
+    ohow: usize,
+    bias: Option<&[f32]>,
+    affine: Option<(&[f32], &[f32])>,
+    relu: bool,
+) {
+    assert_eq!(y_mat.len(), oc * b * ohow, "conv epilogue y_mat mismatch");
+    assert_eq!(out.len(), b * oc * ohow, "conv epilogue output mismatch");
+    if let Some(bv) = bias {
+        assert_eq!(bv.len(), oc, "conv epilogue bias length mismatch");
+    }
+    if let Some((sc, sh)) = affine {
+        assert_eq!(sc.len(), oc, "conv epilogue scale length mismatch");
+        assert_eq!(sh.len(), oc, "conv epilogue shift length mismatch");
+    }
+    for ocx in 0..oc {
+        let bias_v = bias.map(|bv| bv[ocx]);
+        let aff = affine.map(|(sc, sh)| (sc[ocx], sh[ocx]));
+        for bi in 0..b {
+            let src = &y_mat[(ocx * b + bi) * ohow..(ocx * b + bi + 1) * ohow];
+            let dst = &mut out[(bi * oc + ocx) * ohow..(bi * oc + ocx + 1) * ohow];
+            for (o, &yv) in dst.iter_mut().zip(src) {
+                let mut v = yv;
+                if let Some(bv) = bias_v {
+                    v += bv;
+                }
+                if let Some((sc, sh)) = aff {
+                    v = sc * v + sh;
+                }
+                if relu {
+                    v = v.max(0.0);
+                }
+                *o = v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tensor;
+
+    fn tensor(shape: Vec<usize>, seed: usize) -> Tensor {
+        Tensor::from_fn(shape, |i| {
+            (((i * 2_654_435_761 + seed * 131) % 997) as f32 / 498.0 - 1.0) * 0.6
+        })
+    }
+
+    #[test]
+    fn gemm_into_bitwise_matches_matmul2d() {
+        let a = tensor(vec![5, 7], 1);
+        let b = tensor(vec![7, 4], 2);
+        let reference = a.matmul2d(&b);
+        let mut out = vec![f32::NAN; 20];
+        gemm_into(a.data(), b.data(), &mut out, 5, 7, 4);
+        for (x, y) in out.iter().zip(reference.data()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn bmm_variants_bitwise_match_tensor_methods() {
+        for (bt, m, k, n) in [(2, 3, 4, 5), (3, 16, 8, 16)] {
+            let a = tensor(vec![bt, m, k], 3);
+            let b = tensor(vec![bt, k, n], 4);
+            let mut out = vec![f32::NAN; bt * m * n];
+            bmm_into(a.data(), b.data(), &mut out, bt, m, k, n);
+            assert_eq!(out, a.bmm(&b).data());
+
+            let bnt = tensor(vec![bt, n, k], 5);
+            bmm_nt_into(a.data(), bnt.data(), &mut out, bt, m, k, n);
+            assert_eq!(out, a.bmm_nt(&bnt).data());
+
+            let atn = tensor(vec![bt, k, m], 6);
+            bmm_tn_into(atn.data(), b.data(), &mut out, bt, m, k, n);
+            assert_eq!(out, atn.bmm_tn(&b).data());
+        }
+    }
+
+    #[test]
+    fn im2col_slices_matches_tensor_method() {
+        let x = tensor(vec![2, 3, 5, 5], 7);
+        let reference = x.im2col(3, 3, 1, 1);
+        let mut out = vec![0.0f32; reference.numel()];
+        im2col_into(x.data(), 2, 3, 5, 5, 3, 3, 1, 1, &mut out);
+        assert_eq!(out, reference.data());
+    }
+
+    #[test]
+    fn conv_epilogue_matches_composed_chain() {
+        let (b, oc, ohow) = (2, 3, 4);
+        let y = tensor(vec![oc, b * ohow], 8);
+        let bias = [0.3f32, -0.6, 0.1];
+        let scale = [1.2f32, -0.8, 0.5];
+        let shift = [-0.2f32, 0.4, 0.0];
+        // Composed reference: reorder, then +=bias, then affine, then relu.
+        let mut reference = vec![0.0f32; b * oc * ohow];
+        for o in 0..oc {
+            for bi in 0..b {
+                for k in 0..ohow {
+                    reference[(bi * oc + o) * ohow + k] = y.data()[(o * b + bi) * ohow + k];
+                }
+            }
+        }
+        for bi in 0..b {
+            for o in 0..oc {
+                for k in 0..ohow {
+                    let v = &mut reference[(bi * oc + o) * ohow + k];
+                    *v += bias[o];
+                    *v = scale[o] * *v + shift[o];
+                    *v = v.max(0.0);
+                }
+            }
+        }
+        let mut out = vec![f32::NAN; b * oc * ohow];
+        conv_reorder_epilogue(
+            y.data(),
+            &mut out,
+            b,
+            oc,
+            ohow,
+            Some(&bias),
+            Some((&scale, &shift)),
+            true,
+        );
+        for (x, r) in out.iter().zip(&reference) {
+            assert_eq!(x.to_bits(), r.to_bits());
+        }
+    }
+}

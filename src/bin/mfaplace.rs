@@ -22,6 +22,7 @@ use mfaplace::core::flow::{calibrated_router_for, simulated_pnr_hours};
 use mfaplace::core::loader::{
     init_checkpoint, load_predictor, peek_meta, peek_train_state, LoadOptions,
 };
+use mfaplace::core::predictor::Engine;
 use mfaplace::core::train::{TrainConfig, Trainer};
 use mfaplace::fpga::design::{Design, DesignPreset};
 use mfaplace::fpga::features::FeatureStack;
@@ -71,14 +72,17 @@ const USAGE: &str = "usage:
                       [--epochs N] [--batch N] [--lr F] [--seed N] [--workers N] \\
                       [--save-every N] [--stop-after N] [--log <file.jsonl>] \\
                       [--placements N] [--iterations N]
-  mfaplace model-info --model <file.mfaw>
-  mfaplace serve      --model <file.mfaw> [--addr host:port] \\
+  mfaplace model-info --model <file.mfaw> [--grid N]
+  mfaplace serve      --model <file.mfaw> [--addr host:port] [--engine tape|plan] \\
                       [--arch ...] [--grid N] [--channels N]   (v1 checkpoints)
   mfaplace predict    --addr host:port --design <file.nl> --placement <file.pl> \\
-                      [--out <file.ppm>]
+                      [--engine tape|plan] [--out <file.ppm>]
 
 serve honors MFAPLACE_MAX_BATCH, MFAPLACE_BATCH_WINDOW_MS and
-MFAPLACE_QUEUE_BOUND; stop it with POST /admin/shutdown.
+MFAPLACE_QUEUE_BOUND; stop it with POST /admin/shutdown. The inference
+engine defaults to the compiled plan (bitwise identical to the tape);
+--engine or MFAPLACE_ENGINE selects it, and predict's --engine switches
+the remote server via POST /admin/engine before predicting.
 train honors MFAPLACE_TRAIN_WORKERS when --workers is not given; --resume
 continues bitwise-exactly from the checkpoint at --out if it exists.";
 
@@ -126,6 +130,16 @@ fn load_options(flags: &HashMap<String, String>) -> Result<LoadOptions, String> 
             ),
         },
     })
+}
+
+/// `--engine tape|plan`; `None` leaves the `MFAPLACE_ENGINE` default.
+fn parse_engine(flags: &HashMap<String, String>) -> Result<Option<Engine>, String> {
+    match flags.get("engine") {
+        None => Ok(None),
+        Some(v) => Engine::parse(v)
+            .map(Some)
+            .ok_or_else(|| format!("invalid value for --engine: {v:?} (use tape or plan)")),
+    }
 }
 
 /// Flags that take no value (presence means "on").
@@ -419,6 +433,32 @@ fn cmd_model_info(flags: &HashMap<String, String>) -> Result<(), String> {
             }
         }
     }
+    // Compile the inference plan for a batch-1 forward and summarize it.
+    match load_predictor(path, load_options(flags)?) {
+        Err(e) => println!("  plan: unavailable ({e})"),
+        Ok((spec, mut predictor)) => match predictor.compile_plan(1, 6, spec.grid, spec.grid) {
+            Err(e) => println!("  plan: unavailable ({e})"),
+            Ok(s) => {
+                println!(
+                    "  plan (batch 1, grid {}): {} ops, arena {:.2} MiB ({} bytes)",
+                    spec.grid,
+                    s.ops,
+                    s.arena_bytes as f64 / (1024.0 * 1024.0),
+                    s.arena_bytes
+                );
+                println!(
+                    "  plan fusions: {} conv+bias, {} conv+affine, {} conv+relu, \
+                         {} add+relu; {} weight tensors ({} bytes)",
+                    s.fused_conv_bias,
+                    s.fused_conv_affine,
+                    s.fused_conv_relu,
+                    s.fused_add_relu,
+                    s.weights,
+                    s.weight_bytes
+                );
+            }
+        },
+    }
     Ok(())
 }
 
@@ -430,7 +470,11 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         .unwrap_or_else(|| "127.0.0.1:8953".into());
     let metrics = Arc::new(Metrics::new());
     let slot = ModelSlot::load(path, load_options(flags)?, metrics.clone())?;
+    if let Some(engine) = parse_engine(flags)? {
+        slot.set_engine(engine);
+    }
     let spec = slot.spec();
+    let engine = slot.engine();
     let cfg = ServeConfig {
         addr,
         ..ServeConfig::default()
@@ -438,9 +482,10 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     let batch = cfg.batch;
     let handle = serve(slot, metrics, cfg).map_err(|e| format!("bind: {e}"))?;
     println!(
-        "serving {} (grid {}) on http://{}",
+        "serving {} (grid {}, {} engine) on http://{}",
         spec.arch.model_name(),
         spec.grid,
+        engine.name(),
         handle.addr()
     );
     println!(
@@ -456,6 +501,13 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
 
 fn cmd_predict(flags: &HashMap<String, String>) -> Result<(), String> {
     let addr = get(flags, "addr")?;
+    if let Some(engine) = parse_engine(flags)? {
+        let r = client::request(addr, "POST", "/admin/engine", &[], engine.name().as_bytes())?;
+        if r.status != 200 {
+            return Err(format!("engine switch failed: {}", r.text().trim()));
+        }
+        println!("server engine set to {}", engine.name());
+    }
     let design_path = get(flags, "design")?;
     let placement_path = get(flags, "placement")?;
     let design_text = std::fs::read_to_string(design_path)

@@ -140,3 +140,90 @@ fn trained_v3_checkpoint_reloads_as_identical_predictor() {
     }
     let _ = std::fs::remove_file(&ckpt);
 }
+
+/// Checkpoints of both on-disk versions must load into the compiled-plan
+/// engine and predict **bitwise identically** to the tape engine: a v2
+/// file (parameters only, fresh init of the full `Ours` arch) and a v3
+/// file (trained U-Net whose batch-norm running statistics ride in the
+/// training section and feed the plan's inference-mode channel affines).
+#[test]
+fn v2_and_v3_checkpoints_run_bitwise_identically_on_the_plan_engine() {
+    use mfaplace::autograd::Graph;
+    use mfaplace::core::dataset::{Dataset, Sample};
+    use mfaplace::core::loader::{init_checkpoint, load_predictor, LoadOptions};
+    use mfaplace::core::predictor::Engine;
+    use mfaplace::core::train::{TrainConfig, Trainer};
+    use mfaplace::models::{Arch, ArchSpec};
+    use mfaplace::tensor::Tensor;
+    use mfaplace_rt::rng::{Rng, SeedableRng, StdRng};
+
+    let grid = 16;
+    let dir = std::env::temp_dir().join("mfaplace_cli_paths");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // v2: parameters only, the paper's full architecture.
+    let mut ours = ArchSpec::new(Arch::Ours, grid);
+    ours.base_channels = 2;
+    ours.vit_layers = 1;
+    ours.vit_heads = 2;
+    let v2 = dir.join("engine_v2.mfaw");
+    let _ = std::fs::remove_file(&v2);
+    init_checkpoint(&ours, 21, v2.to_str().unwrap()).unwrap();
+
+    // v3: a briefly trained U-Net, so the running stats are non-trivial.
+    let mut rng = StdRng::seed_from_u64(41);
+    let dataset = Dataset {
+        samples: (0..4)
+            .map(|_| Sample {
+                features: Tensor::randn(vec![6, grid, grid], 1.0, &mut rng),
+                labels: (0..grid * grid)
+                    .map(|_| rng.gen_range(0..8u32) as u8)
+                    .collect(),
+            })
+            .collect(),
+        grid,
+    };
+    let mut unet = ArchSpec::new(Arch::UNet, grid);
+    unet.base_channels = 2;
+    let v3 = dir.join("engine_v3.mfaw");
+    let _ = std::fs::remove_file(&v3);
+    let mut g = Graph::new();
+    let mut init_rng = StdRng::seed_from_u64(42);
+    let model = unet.build(&mut g, &mut init_rng).unwrap();
+    let mut trainer = Trainer::new(
+        g,
+        model,
+        TrainConfig {
+            epochs: 1,
+            batch_size: 2,
+            checkpoint: Some(v3.clone()),
+            ..TrainConfig::default()
+        },
+    );
+    trainer.set_checkpoint_meta(unet.to_meta());
+    trainer.fit(&dataset);
+
+    for ckpt in [v2, v3] {
+        let path = ckpt.to_str().unwrap();
+        let (_, mut tape) = load_predictor(path, LoadOptions::default()).unwrap();
+        tape.set_engine(Engine::Tape);
+        let (_, mut plan) = load_predictor(path, LoadOptions::default()).unwrap();
+        plan.set_engine(Engine::Plan);
+        for seed in [0u64, 9] {
+            let mut xr = StdRng::seed_from_u64(seed);
+            let x = Tensor::randn(vec![6, grid, grid], 1.0, &mut xr);
+            let want = tape.predict_batch_tensors(std::slice::from_ref(&x));
+            let got = plan.predict_batch_tensors(std::slice::from_ref(&x));
+            assert_eq!(want.len(), got.len());
+            for (a, b) in want[0].data().iter().zip(got[0].data()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{path}: plan drifted from tape");
+            }
+        }
+        assert!(
+            plan.plan_broken().is_none(),
+            "{path}: plan compilation failed: {:?}",
+            plan.plan_broken()
+        );
+        let _ = std::fs::remove_file(&ckpt);
+    }
+}
