@@ -63,6 +63,9 @@ MFAPLACE_TRAIN_WORKERS=2 ./target/release/mfaplace train \
 echo "==> serve smoke test"
 cargo run -q --release --offline -p mfaplace-serve --example smoke
 
+echo "==> two-slot fleet smoke test"
+cargo run -q --release --offline -p mfaplace-serve --example fleet_smoke
+
 echo "==> train-throughput bench (results/train_parallel.json)"
 MFA_SCALE=quick cargo run -q --release --offline -p mfaplace-bench \
     --bin train_parallel >/dev/null
@@ -72,5 +75,8 @@ cargo bench -q --offline -p mfaplace-bench --bench attention_fused
 
 echo "==> compiled-plan bench (results/infer_plan.json)"
 cargo bench -q --offline -p mfaplace-bench --bench infer_plan
+
+echo "==> fleet scaling bench (results/serve_fleet.json)"
+cargo bench -q --offline -p mfaplace-bench --bench serve_fleet
 
 echo "CI OK"

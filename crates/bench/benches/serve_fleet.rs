@@ -1,0 +1,168 @@
+//! Benchmark of the multi-tenant model fleet: how does end-to-end HTTP
+//! throughput scale as one checkpoint file is served from 1, 2 and 4
+//! named slots over a single shared plan cache?
+//!
+//! Every fleet size serves the same byte-identical checkpoint, so the
+//! content-hash keyed cache compiles each input shape exactly once no
+//! matter how many slots route to it — the scrape's
+//! `mfaplace_plan_cache_entries` gauge stays flat while slots multiply,
+//! which is the memory story this bench records next to the throughput.
+//! One closed-loop client per slot drives the measurement; on a 1-core
+//! host the slot workers time-share, so the point is the flat cache
+//! footprint and graceful scaling, not linear speedup (no hard
+//! throughput assertion here, unlike `serve.rs`).
+//!
+//! Results land in `results/serve_fleet.json`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use mfaplace_core::loader::{init_checkpoint, LoadOptions};
+use mfaplace_models::{Arch, ArchSpec};
+use mfaplace_serve::{
+    client, serve_fleet, BatchConfig, Metrics, ModelFleet, ServeConfig, SlotLimits,
+};
+use mfaplace_tensor::Tensor;
+
+/// Requests per slot per measurement.
+const REQUESTS_PER_SLOT: usize = 24;
+
+struct FleetNumbers {
+    slots: usize,
+    total_rps: f64,
+    per_slot_rps: f64,
+    plan_cache_entries: u64,
+    plan_cache_bytes: u64,
+    plan_cache_hits: u64,
+}
+
+fn bench_fleet(ckpt: &str, spec: &ArchSpec, slots: usize) -> FleetNumbers {
+    let metrics = Arc::new(Metrics::new());
+    let fleet = Arc::new(ModelFleet::new(metrics.clone(), BatchConfig::default()));
+    let names: Vec<String> = (0..slots).map(|i| format!("slot{i}")).collect();
+    for name in &names {
+        fleet
+            .add_slot(name, ckpt, LoadOptions::default(), SlotLimits::default())
+            .expect("add slot");
+    }
+    let server = serve_fleet(
+        fleet,
+        metrics,
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.addr().to_string();
+    let input = Tensor::from_fn(vec![6, spec.grid, spec.grid], |j| (j as f32 * 0.013).sin());
+
+    // Warmup compiles the plan once; every later slot resolves it from the
+    // shared cache.
+    for name in &names {
+        client::predict_features_slot(&addr, Some(name), &input).expect("warmup");
+    }
+
+    // One closed-loop client per slot, all slots loaded concurrently.
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for name in &names {
+            let addr = addr.clone();
+            let input = input.clone();
+            s.spawn(move || {
+                for _ in 0..REQUESTS_PER_SLOT {
+                    client::predict_features_slot(&addr, Some(name), &input)
+                        .expect("bench request");
+                }
+            });
+        }
+    });
+    let total = (slots * REQUESTS_PER_SLOT) as f64;
+    let total_rps = total / start.elapsed().as_secs_f64();
+
+    let scrape = client::request(&addr, "GET", "/metrics", &[], b"")
+        .expect("metrics")
+        .text();
+    let gauge = |name: &str| -> u64 {
+        scrape
+            .lines()
+            .find_map(|l| l.strip_prefix(name).and_then(|v| v.trim().parse().ok()))
+            .unwrap_or_else(|| panic!("missing gauge {name} in scrape:\n{scrape}"))
+    };
+    let numbers = FleetNumbers {
+        slots,
+        total_rps,
+        per_slot_rps: total_rps / slots as f64,
+        plan_cache_entries: gauge("mfaplace_plan_cache_entries "),
+        plan_cache_bytes: gauge("mfaplace_plan_cache_bytes "),
+        plan_cache_hits: gauge("mfaplace_plan_cache_hits_total "),
+    };
+    server.join();
+
+    // The sharing contract, enforced: N slots, one file, one compiled plan.
+    assert_eq!(
+        numbers.plan_cache_entries, 1,
+        "{slots} slots serving one file must share one plan entry"
+    );
+    eprintln!(
+        "bench serve_fleet/slots{slots}: {:.1} req/s total ({:.1}/slot), \
+         plan cache {} entries / {} bytes / {} hits",
+        numbers.total_rps,
+        numbers.per_slot_rps,
+        numbers.plan_cache_entries,
+        numbers.plan_cache_bytes,
+        numbers.plan_cache_hits
+    );
+    numbers
+}
+
+fn main() {
+    let spec = {
+        let mut s = ArchSpec::new(Arch::Ours, 16);
+        s.base_channels = 4;
+        s
+    };
+    let ckpt = std::env::temp_dir()
+        .join("serve_fleet_bench.mfaw")
+        .to_string_lossy()
+        .into_owned();
+    init_checkpoint(&spec, 1, &ckpt).expect("init checkpoint");
+
+    let runs: Vec<FleetNumbers> = [1usize, 2, 4]
+        .iter()
+        .map(|&k| bench_fleet(&ckpt, &spec, k))
+        .collect();
+    std::fs::remove_file(&ckpt).ok();
+
+    let mut json = String::from(
+        "{\"suite\":\"serve_fleet\",\"checkpoint\":\"ours_g16\",\
+         \"requests_per_slot\":24,\"fleets\":[",
+    );
+    for (i, r) in runs.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "{{\"slots\":{},\"total_rps\":{:.1},\"per_slot_rps\":{:.1},\
+             \"plan_cache_entries\":{},\"plan_cache_bytes\":{},\
+             \"plan_cache_hits\":{}}}",
+            r.slots,
+            r.total_rps,
+            r.per_slot_rps,
+            r.plan_cache_entries,
+            r.plan_cache_bytes,
+            r.plan_cache_hits
+        ));
+    }
+    json.push_str("]}");
+
+    let out = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/serve_fleet.json"
+    );
+    if let Some(parent) = std::path::Path::new(out).parent() {
+        std::fs::create_dir_all(parent).expect("results dir");
+    }
+    std::fs::write(out, &json).expect("write serve_fleet.json");
+    eprintln!("wrote {out}");
+}

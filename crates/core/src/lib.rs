@@ -22,7 +22,12 @@ pub mod train;
 
 pub use dataset::{Dataset, DatasetConfig, Sample};
 pub use flow::{FlowConfig, FlowOutcome, MacroPlacementFlow};
-pub use loader::{load_predictor, save_predictor, LoadOptions};
+pub use loader::{
+    content_hash, load_predictor, load_predictor_with_cache, save_predictor, LoadOptions,
+};
+// Re-exported so downstream crates (serve, CLI) can share plan caches
+// without depending on `mfaplace-infer` directly.
 pub use metrics::{accuracy, nrms, r_squared, ConfusionMatrix, PredictionMetrics};
+pub use mfaplace_infer::{PlanCache, PlanCacheStats, PlanKey, PlanSource};
 pub use predictor::{Engine, ModelPredictor};
 pub use train::{TrainConfig, TrainReport, Trainer};

@@ -7,7 +7,10 @@
 //! for those the caller must supply the architecture (and grid) out of
 //! band — in the CLI that is the `--arch`/`--grid` flags.
 
+use std::sync::Arc;
+
 use mfaplace_autograd::Graph;
+use mfaplace_infer::{PlanCache, PlanSource};
 use mfaplace_models::{AnyModel, Arch, ArchSpec, CongestionModel};
 use mfaplace_nn::checkpoint::{self, CheckpointMeta};
 use mfaplace_rt::rng::{SeedableRng, StdRng};
@@ -40,6 +43,40 @@ pub fn load_predictor(
     path: &str,
     opts: LoadOptions,
 ) -> Result<(ArchSpec, ModelPredictor<AnyModel>), String> {
+    load_predictor_with_cache(path, opts, &Arc::new(PlanCache::from_env()))
+}
+
+/// FNV-1a 64 hash of the file's bytes — the checkpoint's *content*
+/// identity. Two paths holding byte-identical checkpoints hash equal, so
+/// predictors loaded from either share compiled plans in a common cache.
+///
+/// # Errors
+///
+/// Returns a human-readable error naming the file if it cannot be read.
+pub fn content_hash(path: &str) -> Result<u64, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in &bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    Ok(h)
+}
+
+/// Like [`load_predictor`], but the predictor compiles its inference plans
+/// into (and out of) `plan_cache`, keyed by the checkpoint file's content
+/// hash — so any number of predictors loaded from byte-identical files
+/// share one compiled plan set instead of duplicating it.
+///
+/// # Errors
+///
+/// Same failure modes as [`load_predictor`].
+pub fn load_predictor_with_cache(
+    path: &str,
+    opts: LoadOptions,
+    plan_cache: &Arc<PlanCache>,
+) -> Result<(ArchSpec, ModelPredictor<AnyModel>), String> {
+    let source = PlanSource::Content(content_hash(path)?);
     let ckpt = checkpoint::read_checkpoint(path).map_err(|e| format!("{path}: {e}"))?;
     let spec = match &ckpt.meta {
         Some(meta) => ArchSpec::from_meta(meta).map_err(|e| format!("{path}: {e}"))?,
@@ -73,7 +110,10 @@ pub fn load_predictor(
             }
         }
     }
-    Ok((spec, ModelPredictor::new(g, model)))
+    Ok((
+        spec,
+        ModelPredictor::with_plan_cache(g, model, plan_cache.clone(), source),
+    ))
 }
 
 /// Saves `model`'s parameters as a self-describing v2 checkpoint with

@@ -27,7 +27,7 @@ use mfaplace_fpga::design::Design;
 use mfaplace_fpga::features::FeatureStack;
 use mfaplace_fpga::gridmap::GridMap;
 use mfaplace_fpga::placement::Placement;
-use mfaplace_infer::{Plan, PlanExecutor, PlanOptions, PlanStats};
+use mfaplace_infer::{run_plan, Plan, PlanCache, PlanKey, PlanOptions, PlanSource, PlanStats};
 use mfaplace_models::{expected_levels, CongestionModel};
 use mfaplace_placer::CongestionPredictor;
 use mfaplace_rt::timer::ScopeTimer;
@@ -79,10 +79,18 @@ pub struct ModelPredictor<M: CongestionModel> {
     model: M,
     name: String,
     engine: Engine,
-    /// Compiled executors keyed by full input shape (`[N, C, H, W]`) —
-    /// batch sizes get separate plans because recorded control flow may
-    /// branch on them (e.g. the ViT positional-embedding broadcast).
-    plans: HashMap<Vec<usize>, PlanExecutor>,
+    /// Shared, byte-bounded cache of compiled plans; predictors loaded
+    /// from the same checkpoint file (same [`PlanSource::Content`]) share
+    /// entries, so a fleet of N identical slots compiles each shape once.
+    plan_cache: Arc<PlanCache>,
+    /// This predictor's weight identity in the cache key.
+    plan_source: PlanSource,
+    /// One activation arena reused across every plan this predictor runs
+    /// (grown to the largest plan seen, never shrunk). Safe because every
+    /// plan op fully overwrites or explicitly clears its destination span.
+    arena: Vec<f32>,
+    /// Stats of the largest-arena plan resolved so far (peak memory).
+    peak_stats: Option<PlanStats>,
     /// Parameter snapshots shared across the per-shape plans.
     weight_cache: HashMap<usize, Arc<Tensor>>,
     /// Set on the first failed capture; the predictor then stays on the
@@ -93,8 +101,29 @@ pub struct ModelPredictor<M: CongestionModel> {
 impl<M: CongestionModel> ModelPredictor<M> {
     /// Wraps a trained `(graph, model)` pair (e.g. from
     /// [`crate::Trainer::into_parts`]). The forward engine comes from
-    /// `MFAPLACE_ENGINE` (default: compiled plans).
+    /// `MFAPLACE_ENGINE` (default: compiled plans); plans land in a
+    /// private cache sized by `MFAPLACE_PLAN_CACHE_MB`. Use
+    /// [`ModelPredictor::with_plan_cache`] to share plans across
+    /// predictors built from identical weights.
     pub fn new(graph: Graph, model: M) -> Self {
+        Self::with_plan_cache(
+            graph,
+            model,
+            Arc::new(PlanCache::from_env()),
+            PlanSource::unique(),
+        )
+    }
+
+    /// Like [`ModelPredictor::new`], but compiled plans go into (and come
+    /// from) `plan_cache` under `plan_source`. Callers must only pass the
+    /// same `plan_source` for predictors with bitwise-identical weights —
+    /// the loader derives it from the checkpoint file's content hash.
+    pub fn with_plan_cache(
+        graph: Graph,
+        model: M,
+        plan_cache: Arc<PlanCache>,
+        plan_source: PlanSource,
+    ) -> Self {
         let name = model.name().to_string();
         let mut graph = graph;
         // Inference-only: forwards recorded from here on skip gradient
@@ -106,7 +135,10 @@ impl<M: CongestionModel> ModelPredictor<M> {
             model,
             name,
             engine: Engine::from_env(),
-            plans: HashMap::new(),
+            plan_cache,
+            plan_source,
+            arena: Vec::new(),
+            peak_stats: None,
             weight_cache: HashMap::new(),
             plan_broken: None,
         }
@@ -134,17 +166,43 @@ impl<M: CongestionModel> ModelPredictor<M> {
         self.plan_broken.as_deref()
     }
 
-    /// Stats of the compiled plan with the largest arena (the peak-memory
-    /// plan), if any forward has been compiled.
-    pub fn plan_stats(&self) -> Option<PlanStats> {
-        self.plans
-            .values()
-            .map(|e| e.plan().stats().clone())
-            .max_by_key(|s| s.arena_bytes)
+    /// The plan cache this predictor resolves through.
+    pub fn plan_cache(&self) -> &Arc<PlanCache> {
+        &self.plan_cache
     }
 
-    /// Compiles (and caches) the plan for a `[n, c, h, w]` input without
-    /// running it, returning its stats — the `model-info` hook.
+    /// This predictor's weight identity in the plan-cache key.
+    pub fn plan_source(&self) -> PlanSource {
+        self.plan_source
+    }
+
+    /// Stats of the largest-arena plan this predictor has resolved so far
+    /// (the peak-memory plan), if any forward has been compiled.
+    pub fn plan_stats(&self) -> Option<PlanStats> {
+        self.peak_stats.clone()
+    }
+
+    /// The batch size a request batch of `n` samples is padded to before
+    /// plan lookup: `{1, 2, 4}` exactly, then the next multiple of 8.
+    ///
+    /// Bucketing keeps the shared plan cache bounded under adversarial
+    /// batch sizes — at most 3 + ⌈max_batch/8⌉ plans per model shape —
+    /// at the cost of up to 7 padded (wasted) samples per forward. The
+    /// padded samples are sliced off before anyone sees them, and batched
+    /// forwards are per-sample bitwise independent, so bucketing never
+    /// changes an answer.
+    pub fn bucketed_batch(n: usize) -> usize {
+        match n {
+            0 | 1 => 1,
+            2 => 2,
+            3 | 4 => 4,
+            _ => n.div_ceil(8) * 8,
+        }
+    }
+
+    /// Compiles (or fetches from the shared cache) the plan for a
+    /// `[n, c, h, w]` input without running it, returning its stats — the
+    /// `model-info` hook. `n` is bucketed exactly as a predict would.
     ///
     /// Capture runs the model once on a zeros input; zoo forwards branch
     /// only on shape, so the recording is valid for any batch content.
@@ -155,56 +213,85 @@ impl<M: CongestionModel> ModelPredictor<M> {
         h: usize,
         w: usize,
     ) -> Result<PlanStats, String> {
-        let shape = vec![n, c, h, w];
-        if !self.plans.contains_key(&shape) {
-            let batch = Tensor::zeros(shape.clone());
-            self.compile_plan_for(&batch)?;
-        }
-        Ok(self.plans[&shape].plan().stats().clone())
+        let shape = vec![Self::bucketed_batch(n), c, h, w];
+        let plan = self.resolve_plan(&shape)?;
+        Ok(plan.stats().clone())
     }
 
-    /// Records one tape forward of `batch` and compiles it into a cached
-    /// executor.
-    fn compile_plan_for(&mut self, batch: &Tensor) -> Result<(), String> {
-        let mark = self.graph.mark();
-        let xv = self.graph.constant(batch.clone());
-        let yv = self.model.forward(&mut self.graph, xv, false);
-        let captured = Plan::capture_cached(
-            &self.graph,
-            mark,
-            xv,
-            yv,
-            PlanOptions::default(),
-            &mut self.weight_cache,
-        );
-        self.graph.truncate(mark);
-        let plan = captured?;
-        self.plans
-            .insert(batch.shape().to_vec(), PlanExecutor::new(plan));
-        Ok(())
+    /// Fetches the plan for `shape` from the shared cache, capturing and
+    /// inserting it on a miss. The capture runs outside the cache lock, so
+    /// two predictors racing on one cold key may both compile; the loser
+    /// replaces the winner's identical entry.
+    fn resolve_plan(&mut self, shape: &[usize]) -> Result<Arc<Plan>, String> {
+        let key = PlanKey {
+            source: self.plan_source,
+            shape: shape.to_vec(),
+        };
+        let plan = match self.plan_cache.get(&key) {
+            Some(plan) => plan,
+            None => {
+                let batch = Tensor::zeros(shape.to_vec());
+                let mark = self.graph.mark();
+                let xv = self.graph.constant(batch);
+                let yv = self.model.forward(&mut self.graph, xv, false);
+                let captured = Plan::capture_cached(
+                    &self.graph,
+                    mark,
+                    xv,
+                    yv,
+                    PlanOptions::default(),
+                    &mut self.weight_cache,
+                );
+                self.graph.truncate(mark);
+                let plan = Arc::new(captured?);
+                self.plan_cache.insert(key, plan.clone());
+                plan
+            }
+        };
+        let stats = plan.stats();
+        let is_peak = match &self.peak_stats {
+            None => true,
+            Some(peak) => stats.arena_bytes > peak.arena_bytes,
+        };
+        if is_peak {
+            self.peak_stats = Some(stats.clone());
+        }
+        Ok(plan)
     }
 
     /// Plan-engine logits, or `None` when compilation failed (caller falls
-    /// back to the tape).
+    /// back to the tape). Pads the batch up to its bucket size, runs the
+    /// bucketed plan, and slices the padding back off.
     fn plan_logits(&mut self, batch: &Tensor) -> Option<Tensor> {
         if self.plan_broken.is_some() {
             return None;
         }
-        if !self.plans.contains_key(batch.shape()) {
-            if let Err(e) = self.compile_plan_for(batch) {
+        let n = batch.shape()[0];
+        let bucket = Self::bucketed_batch(n);
+        let mut plan_shape = batch.shape().to_vec();
+        plan_shape[0] = bucket;
+        let plan = match self.resolve_plan(&plan_shape) {
+            Ok(plan) => plan,
+            Err(e) => {
                 mfaplace_rt::timer::count("infer/plan_fallback", 1);
                 self.plan_broken = Some(e);
                 return None;
             }
-        }
-        let exec = self
-            .plans
-            .get_mut(batch.shape())
-            .expect("compiled just above");
-        let shape = exec.plan().output_shape().to_vec();
+        };
         let _t = ScopeTimer::new("core/forward_plan");
-        let out = exec.run_batch(batch.data()).to_vec();
-        Some(Tensor::from_vec(shape, out).expect("plan output tensor"))
+        let out = if bucket == n {
+            run_plan(&plan, &mut self.arena, batch.data()).to_vec()
+        } else {
+            let per_in = batch.data().len() / n;
+            let mut padded = vec![0.0f32; bucket * per_in];
+            padded[..n * per_in].copy_from_slice(batch.data());
+            let full = run_plan(&plan, &mut self.arena, &padded);
+            let per_out = full.len() / bucket;
+            full[..n * per_out].to_vec()
+        };
+        let mut out_shape = plan.output_shape().to_vec();
+        out_shape[0] = n;
+        Some(Tensor::from_vec(out_shape, out).expect("plan output tensor"))
     }
 
     /// Tape-engine logits (the reference path).

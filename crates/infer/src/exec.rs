@@ -28,6 +28,8 @@
 //! output/scratch spans never overlap a live operand span — see
 //! `assign_arena`), which is re-checked per op in debug builds.
 
+use std::sync::Arc;
+
 use mfaplace_autograd::gelu_fwd;
 use mfaplace_tensor::{lowlevel, softmax_row};
 
@@ -36,16 +38,22 @@ use crate::plan::for_each_operand;
 use crate::plan::{ArenaRange, BmmKind, IrOp, Loc, Plan, Step, ValId};
 
 /// Owns the mutable state (activation arena) needed to run a [`Plan`].
+///
+/// The plan itself is held through an `Arc`, so many executors (or a
+/// shared [`crate::PlanCache`]) can reference one compiled plan while each
+/// keeps its own private arena.
 #[derive(Debug)]
 pub struct PlanExecutor {
-    plan: Plan,
+    plan: Arc<Plan>,
     arena: Vec<f32>,
     runs: u64,
 }
 
 impl PlanExecutor {
-    /// Builds an executor, allocating the arena once up front.
-    pub fn new(plan: Plan) -> PlanExecutor {
+    /// Builds an executor, allocating the arena once up front. Accepts a
+    /// bare `Plan` or an `Arc<Plan>` (e.g. out of a [`crate::PlanCache`]).
+    pub fn new(plan: impl Into<Arc<Plan>>) -> PlanExecutor {
+        let plan = plan.into();
         let arena = vec![0.0f32; plan.arena_len()];
         PlanExecutor {
             plan,
@@ -74,25 +82,43 @@ impl PlanExecutor {
     /// input shape) and returns the output slice, valid until the next
     /// call. Allocation-free: every write lands in the arena.
     pub fn run_batch(&mut self, input: &[f32]) -> &[f32] {
-        assert_eq!(
-            input.len(),
-            self.plan.input_numel(),
-            "plan input length mismatch (plan compiled for shape {:?})",
-            self.plan.input_shape(),
-        );
-        let base = self.arena.as_mut_ptr();
-        for step in &self.plan.steps {
-            #[cfg(debug_assertions)]
-            check_disjoint(&self.plan, step);
-            exec_step(&self.plan, input, base, step);
-        }
         self.runs += 1;
-        mfaplace_rt::timer::count("infer/plan_forwards", 1);
-        let Loc::Arena { off, len } = self.plan.values[self.plan.output].loc else {
-            unreachable!("plan output is always arena-resident");
-        };
-        &self.arena[off..off + len]
+        run_plan(&self.plan, &mut self.arena, input)
     }
+}
+
+/// Runs one forward of `plan` over `input` using `arena` for every
+/// intermediate, growing (never shrinking) the arena to the plan's
+/// requirement first. Returns the output slice, valid until the arena is
+/// next written.
+///
+/// This is the executor's run loop exposed over caller-owned storage, so
+/// one arena can be reused across *different* plans (the predictor keeps
+/// one arena per model while plans live in a shared cache). Safe because
+/// every plan op either fully overwrites its destination span or
+/// explicitly clears it first — stale data from a previous plan is never
+/// observable.
+pub fn run_plan<'a>(plan: &Plan, arena: &'a mut Vec<f32>, input: &[f32]) -> &'a [f32] {
+    assert_eq!(
+        input.len(),
+        plan.input_numel(),
+        "plan input length mismatch (plan compiled for shape {:?})",
+        plan.input_shape(),
+    );
+    if arena.len() < plan.arena_len() {
+        arena.resize(plan.arena_len(), 0.0);
+    }
+    let base = arena.as_mut_ptr();
+    for step in &plan.steps {
+        #[cfg(debug_assertions)]
+        check_disjoint(plan, step);
+        exec_step(plan, input, base, step);
+    }
+    mfaplace_rt::timer::count("infer/plan_forwards", 1);
+    let Loc::Arena { off, len } = plan.values[plan.output].loc else {
+        unreachable!("plan output is always arena-resident");
+    };
+    &arena[off..off + len]
 }
 
 /// Immutable view of a plan value.

@@ -37,8 +37,10 @@
 //! # Ok::<(), mfaplace_tensor::TensorError>(())
 //! ```
 
+mod cache;
 mod exec;
 mod plan;
 
-pub use exec::PlanExecutor;
+pub use cache::{PlanCache, PlanCacheStats, PlanKey, PlanSource, DEFAULT_PLAN_CACHE_BYTES};
+pub use exec::{run_plan, PlanExecutor};
 pub use plan::{Plan, PlanOptions, PlanStats};

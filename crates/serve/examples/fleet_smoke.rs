@@ -1,0 +1,112 @@
+//! CI smoke test for the model fleet: boot a real two-slot server from
+//! one checkpoint file, route to each slot by header and by path, manage
+//! slots at runtime through `POST /admin/slots`, and verify the shared
+//! plan cache and per-slot metrics. Exits non-zero on any failure.
+
+use std::sync::Arc;
+
+use mfaplace_core::loader::{init_checkpoint, LoadOptions};
+use mfaplace_models::{Arch, ArchSpec};
+use mfaplace_serve::{
+    client, serve_fleet, BatchConfig, Metrics, ModelFleet, ServeConfig, SlotLimits,
+};
+use mfaplace_tensor::Tensor;
+
+fn main() {
+    const GRID: usize = 16;
+    let dir = std::env::temp_dir().join("mfaplace_fleet_smoke");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let ckpt = dir.join("shared.mfaw").to_string_lossy().into_owned();
+    let other = dir.join("other.mfaw").to_string_lossy().into_owned();
+    let mut spec = ArchSpec::new(Arch::UNet, GRID);
+    spec.base_channels = 2;
+    init_checkpoint(&spec, 42, &ckpt).expect("init shared checkpoint");
+    init_checkpoint(&spec, 43, &other).expect("init other checkpoint");
+
+    // Two slots serving one byte-identical file share one plan set.
+    let metrics = Arc::new(Metrics::new());
+    let fleet = Arc::new(ModelFleet::new(metrics.clone(), BatchConfig::default()));
+    for name in ["prod", "canary"] {
+        fleet
+            .add_slot(name, &ckpt, LoadOptions::default(), SlotLimits::default())
+            .expect("add slot");
+    }
+    let server = serve_fleet(
+        fleet,
+        metrics,
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.addr().to_string();
+    println!("fleet-smoke: serving slots prod+canary on {addr}");
+
+    let x = Tensor::from_fn(vec![6, GRID, GRID], |i| (i as f32 * 0.01).cos());
+
+    // Header routing: both slots answer, and identically (same weights).
+    let via_prod = client::predict_features_slot(&addr, Some("prod"), &x).expect("prod");
+    let via_canary = client::predict_features_slot(&addr, Some("canary"), &x).expect("canary");
+    assert_eq!(
+        via_prod.data(),
+        via_canary.data(),
+        "same file, same answers"
+    );
+    // Unnamed requests land on the default slot (first added).
+    let via_default = client::predict_features(&addr, &x).expect("default");
+    assert_eq!(via_default.data(), via_prod.data());
+    println!("fleet-smoke: header + default routing OK");
+
+    // Path routing and the fleet listing.
+    let body = mfaplace_serve::protocol::encode_features(&x);
+    let r = client::request(&addr, "POST", "/models/canary/predict", &[], &body).expect("path");
+    assert_eq!(r.status, 200, "POST /models/canary/predict: {}", r.text());
+    let listing = client::request(&addr, "GET", "/models", &[], b"")
+        .expect("list")
+        .text();
+    assert!(
+        listing.contains("prod") && listing.contains("canary"),
+        "{listing}"
+    );
+    println!("fleet-smoke: path routing + GET /models OK");
+
+    // Unknown slots get the distinct 404.
+    let err = client::predict_features_slot(&addr, Some("ghost"), &x).unwrap_err();
+    assert!(err.contains("no such model slot"), "{err}");
+
+    // Runtime slot management: add, reload, remove.
+    let cmd = format!("add extra {other} queue=16");
+    let r = client::request(&addr, "POST", "/admin/slots", &[], cmd.as_bytes()).expect("add");
+    assert_eq!(r.status, 200, "add: {}", r.text());
+    let via_extra = client::predict_features_slot(&addr, Some("extra"), &x).expect("extra");
+    assert_ne!(via_extra.data(), via_prod.data(), "different weights");
+    let cmd = format!("reload extra {ckpt}");
+    let r = client::request(&addr, "POST", "/admin/slots", &[], cmd.as_bytes()).expect("reload");
+    assert_eq!(r.status, 200, "reload: {}", r.text());
+    let r = client::request(&addr, "POST", "/admin/slots", &[], b"remove extra").expect("remove");
+    assert_eq!(r.status, 200, "remove: {}", r.text());
+    println!("fleet-smoke: POST /admin/slots add/reload/remove OK");
+
+    // The scrape shows per-slot series and the shared plan cache: the two
+    // original slots compiled the [1,6,G,G] shape once between them.
+    let scrape = client::request(&addr, "GET", "/metrics", &[], b"")
+        .expect("metrics")
+        .text();
+    for family in [
+        "mfaplace_slot_requests_total{slot=\"prod\",status=\"200\"}",
+        "mfaplace_slot_requests_total{slot=\"canary\",status=\"200\"}",
+        "mfaplace_plan_cache_hits_total",
+    ] {
+        assert!(
+            scrape.contains(family),
+            "metrics missing {family:?}:\n{scrape}"
+        );
+    }
+    println!("fleet-smoke: per-slot + plan-cache metrics OK");
+
+    server.join();
+    std::fs::remove_file(&ckpt).ok();
+    std::fs::remove_file(&other).ok();
+    println!("fleet-smoke: graceful shutdown OK");
+}

@@ -28,13 +28,18 @@ use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
-use mfaplace_core::loader::{load_predictor, LoadOptions};
+use mfaplace_core::loader::{load_predictor_with_cache, LoadOptions};
 use mfaplace_core::predictor::{Engine, ModelPredictor};
+use mfaplace_core::PlanCache;
 use mfaplace_models::{AnyModel, ArchSpec};
 use mfaplace_rt::timer::ScopeTimer;
 use mfaplace_tensor::Tensor;
 
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, SlotMetrics};
+
+/// Name of the implicit slot single-model deployments serve under; the
+/// fleet routes requests naming no slot here.
+pub const DEFAULT_SLOT: &str = "default";
 
 /// Batching and queueing knobs.
 #[derive(Debug, Clone, Copy)]
@@ -116,12 +121,17 @@ pub struct Batcher {
     state: Mutex<QueueState>,
     cv: Condvar,
     cfg: BatchConfig,
-    metrics: Arc<Metrics>,
+    metrics: SlotMetrics,
 }
 
 impl Batcher {
-    /// Creates an empty batcher.
+    /// Creates an empty batcher recording under the default slot.
     pub fn new(cfg: BatchConfig, metrics: Arc<Metrics>) -> Self {
+        Batcher::for_slot(cfg, metrics.slot(DEFAULT_SLOT))
+    }
+
+    /// Creates an empty batcher recording under a named fleet slot.
+    pub fn for_slot(cfg: BatchConfig, metrics: SlotMetrics) -> Self {
         Batcher {
             state: Mutex::new(QueueState::default()),
             cv: Condvar::new(),
@@ -257,52 +267,103 @@ struct LoadedModel {
 }
 
 /// The currently served model behind an atomic-swap lock.
+///
+/// Every publication of slot state to metrics (engine gauge, model
+/// info/version) happens while the state lock is held, so concurrent
+/// `set_engine` / `reload` calls publish in the same order they mutate —
+/// the gauges can never end up describing a state the slot is not in.
 pub struct ModelSlot {
+    name: String,
     inner: Mutex<LoadedModel>,
-    metrics: Arc<Metrics>,
+    plan_cache: Arc<PlanCache>,
+    metrics: SlotMetrics,
 }
 
 impl ModelSlot {
-    /// Loads the initial model from `path`.
+    /// Loads the initial model from `path` under the default slot name,
+    /// with a private plan cache sized from the environment.
     ///
     /// # Errors
     ///
     /// Returns a human-readable error when the checkpoint cannot be
     /// loaded.
     pub fn load(path: &str, opts: LoadOptions, metrics: Arc<Metrics>) -> Result<Self, String> {
-        let (spec, predictor) = load_predictor(path, opts)?;
+        Self::load_named(
+            DEFAULT_SLOT,
+            path,
+            opts,
+            Arc::new(PlanCache::from_env()),
+            metrics,
+        )
+    }
+
+    /// Loads the initial model from `path` as fleet slot `name`, compiling
+    /// inference plans into the shared `plan_cache` (keyed by the file's
+    /// content hash, so slots loaded from byte-identical checkpoints share
+    /// one compiled plan set).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable error when the checkpoint cannot be
+    /// loaded.
+    pub fn load_named(
+        name: &str,
+        path: &str,
+        opts: LoadOptions,
+        plan_cache: Arc<PlanCache>,
+        metrics: Arc<Metrics>,
+    ) -> Result<Self, String> {
+        let (spec, predictor) = load_predictor_with_cache(path, opts, &plan_cache)?;
+        let metrics = metrics.slot(name);
         metrics.set_model(spec.arch.model_name(), 1);
         metrics.set_engine(predictor.engine().name());
         Ok(ModelSlot {
+            name: name.to_owned(),
             inner: Mutex::new(LoadedModel {
                 predictor,
                 spec,
                 version: 1,
             }),
+            plan_cache,
             metrics,
         })
     }
 
-    /// Wraps an already-built predictor (tests, in-process serving).
+    /// Wraps an already-built predictor (tests, in-process serving) under
+    /// the default slot name.
     pub fn from_predictor(
         spec: ArchSpec,
         predictor: ModelPredictor<AnyModel>,
         metrics: Arc<Metrics>,
     ) -> Self {
+        let plan_cache = predictor.plan_cache().clone();
+        let metrics = metrics.slot(DEFAULT_SLOT);
         metrics.set_model(spec.arch.model_name(), 1);
         metrics.set_engine(predictor.engine().name());
         ModelSlot {
+            name: DEFAULT_SLOT.to_owned(),
             inner: Mutex::new(LoadedModel {
                 predictor,
                 spec,
                 version: 1,
             }),
+            plan_cache,
             metrics,
         }
     }
 
     fn lock(&self) -> MutexGuard<'_, LoadedModel> {
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The fleet slot name this model serves under.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The plan cache this slot's predictor compiles into.
+    pub fn plan_cache(&self) -> &Arc<PlanCache> {
+        &self.plan_cache
     }
 
     /// The served architecture spec (grid size is what inputs must match).
@@ -322,9 +383,13 @@ impl ModelSlot {
 
     /// Switches the served predictor between the tape and plan engines
     /// (compiled plans are kept either way) and republishes the engine
-    /// gauge.
+    /// gauge — both under the state lock, so a concurrent [`reload`]
+    /// cannot interleave and leave the gauge describing the wrong engine.
+    ///
+    /// [`reload`]: ModelSlot::reload
     pub fn set_engine(&self, engine: Engine) {
-        self.lock().predictor.set_engine(engine);
+        let mut model = self.lock();
+        model.predictor.set_engine(engine);
         self.metrics.set_engine(engine.name());
     }
 
@@ -377,8 +442,9 @@ impl ModelSlot {
     /// the served one.
     pub fn reload(&self, path: &str, opts: LoadOptions) -> Result<(u64, ArchSpec), String> {
         // Build and validate entirely before taking the lock: a corrupt
-        // file must never interrupt serving.
-        let (spec, predictor) = load_predictor(path, opts)?;
+        // file must never interrupt serving. Plans for the new weights go
+        // into the same shared cache, keyed by the new file's content hash.
+        let (spec, mut predictor) = load_predictor_with_cache(path, opts, &self.plan_cache)?;
         let current_grid = self.spec().grid;
         if spec.grid != current_grid {
             return Err(format!(
@@ -388,13 +454,20 @@ impl ModelSlot {
             ));
         }
         let mut slot = self.lock();
-        // Keep the engine choice sticky across hot reloads.
-        let engine = slot.predictor.engine();
-        slot.predictor = predictor;
-        slot.predictor.set_engine(engine);
-        slot.spec = spec;
-        slot.version += 1;
-        let version = slot.version;
+        // Keep the engine choice sticky across hot reloads, swap the whole
+        // loaded state as one assignment, and publish the gauges before
+        // releasing the lock — a concurrent `set_engine` either fully
+        // precedes this swap (its choice is the sticky one) or fully
+        // follows it (it overrides); no interleaving can desynchronize
+        // the served state from the metrics.
+        predictor.set_engine(slot.predictor.engine());
+        let version = slot.version + 1;
+        let engine = predictor.engine();
+        *slot = LoadedModel {
+            predictor,
+            spec,
+            version,
+        };
         self.metrics.set_model(spec.arch.model_name(), version);
         self.metrics.set_engine(engine.name());
         Ok((version, spec))
@@ -538,5 +611,58 @@ mod tests {
         assert_eq!(slot.version(), 2);
         let still = slot.predict_batch(std::slice::from_ref(&x)).unwrap();
         assert_eq!(after[0].data(), still[0].data());
+    }
+
+    /// Regression test for the engine/reload publication race: `reload`
+    /// and `set_engine` both mutate the predictor *and* publish a metrics
+    /// gauge. Before the fix, `set_engine` published outside the state
+    /// lock, so a concurrent reload could interleave and leave the gauge
+    /// describing an engine the slot was not using. Both now publish under
+    /// the lock, so after any interleaving the gauge must equal the actual
+    /// engine.
+    #[test]
+    fn engine_gauge_stays_consistent_under_concurrent_reloads() {
+        let metrics = Arc::new(Metrics::new());
+        let slot = Arc::new(tiny_slot(metrics.clone()));
+        let other = temp_path("race_unet.mfaw");
+        init_checkpoint(&tiny_spec(), 7, &other).unwrap();
+
+        let toggler = {
+            let slot = slot.clone();
+            std::thread::spawn(move || {
+                for i in 0..200 {
+                    slot.set_engine(if i % 2 == 0 {
+                        Engine::Tape
+                    } else {
+                        Engine::Plan
+                    });
+                }
+            })
+        };
+        let reloader = {
+            let slot = slot.clone();
+            let other = other.clone();
+            std::thread::spawn(move || {
+                for _ in 0..20 {
+                    slot.reload(&other, LoadOptions::default()).unwrap();
+                }
+            })
+        };
+        toggler.join().unwrap();
+        reloader.join().unwrap();
+
+        let engine = slot.engine().name();
+        let gauge = format!("mfaplace_engine_info{{engine=\"{engine}\"}} 1");
+        let text = metrics.render();
+        assert!(
+            text.contains(&gauge),
+            "gauge must match the served engine {engine:?}:\n{text}"
+        );
+        assert_eq!(slot.version(), 21, "every reload must have landed");
+        // The slot still serves after the churn.
+        let out = slot
+            .predict_batch(std::slice::from_ref(&input(1.0)))
+            .unwrap();
+        assert_eq!(out[0].shape(), &[16, 16]);
     }
 }

@@ -87,11 +87,30 @@ fn parse_response(raw: &[u8]) -> Result<ClientResponse, String> {
 /// Returns the transport error, or the server's error body on a non-200
 /// status.
 pub fn predict_features(addr: &str, features: &Tensor) -> Result<Tensor, String> {
+    predict_features_slot(addr, None, features)
+}
+
+/// Like [`predict_features`], routed to fleet slot `slot` via the
+/// `x-mfaplace-model` header (`None` targets the default slot).
+///
+/// # Errors
+///
+/// Returns the transport error, or the server's error body on a non-200
+/// status (including the unknown-slot 404).
+pub fn predict_features_slot(
+    addr: &str,
+    slot: Option<&str>,
+    features: &Tensor,
+) -> Result<Tensor, String> {
+    let mut headers = vec![("content-type", "application/octet-stream")];
+    if let Some(name) = slot {
+        headers.push(("x-mfaplace-model", name));
+    }
     let resp = request(
         addr,
         "POST",
         "/predict",
-        &[("content-type", "application/octet-stream")],
+        &headers,
         &protocol::encode_features(features),
     )?;
     if resp.status != 200 {
@@ -116,14 +135,28 @@ pub fn predict_design(
     design_text: &str,
     placement_text: &str,
 ) -> Result<Tensor, String> {
+    predict_design_slot(addr, None, design_text, placement_text)
+}
+
+/// Like [`predict_design`], routed to fleet slot `slot` via the
+/// `x-mfaplace-model` header (`None` targets the default slot).
+///
+/// # Errors
+///
+/// Returns the transport error, or the server's error body on a non-200
+/// status (including the unknown-slot 404).
+pub fn predict_design_slot(
+    addr: &str,
+    slot: Option<&str>,
+    design_text: &str,
+    placement_text: &str,
+) -> Result<Tensor, String> {
     let body = protocol::encode_design_request(design_text, placement_text);
-    let resp = request(
-        addr,
-        "POST",
-        "/predict/design",
-        &[("content-type", "text/plain")],
-        body.as_bytes(),
-    )?;
+    let mut headers = vec![("content-type", "text/plain")];
+    if let Some(name) = slot {
+        headers.push(("x-mfaplace-model", name));
+    }
+    let resp = request(addr, "POST", "/predict/design", &headers, body.as_bytes())?;
     if resp.status != 200 {
         return Err(format!(
             "server returned {}: {}",

@@ -5,16 +5,21 @@
 //!
 //! ```text
 //! client ──HTTP/1.1──▶ accept loop ──▶ handler thread (per connection)
-//!                                          │ submit [6,H,W]
+//!                                          │ route by slot name
+//!                                          │ (header/path; default slot)
 //!                                          ▼
-//!                                  bounded queue (429 when full)
-//!                                          │
-//!                                          ▼
-//!                                  micro-batch worker
-//!                            coalesce ≤ max_batch within window
-//!                                          │ one [N,6,H,W] forward
-//!                                          ▼
-//!                                  ModelSlot (hot-reloadable)
+//!                                     ModelFleet
+//!                              ┌─────────┴─────────┐
+//!                        slot "a"              slot "b"     …
+//!                  bounded queue (429)    bounded queue (429)
+//!                          │                    │
+//!                  micro-batch worker    micro-batch worker
+//!                          │ one [N,6,H,W] forward each
+//!                          ▼                    ▼
+//!                  ModelSlot (hot-…)     ModelSlot (hot-reloadable)
+//!                          └────────┬───────────┘
+//!                       shared byte-bounded PlanCache
+//!                     (keyed by checkpoint content hash)
 //! ```
 //!
 //! - [`http`] — minimal HTTP/1.1 parsing/serialization with hard limits.
@@ -22,9 +27,12 @@
 //!   maps, plus server-side featurization of textual design+placement.
 //! - [`batcher`] — bounded queue, dynamic micro-batcher, deadlines,
 //!   graceful drain, and the hot-swappable [`batcher::ModelSlot`].
+//! - [`fleet`] — the [`fleet::ModelFleet`] registry: named slots, per-
+//!   tenant admission control, shared compiled-plan cache, zero-downtime
+//!   add/remove/reload.
 //! - [`metrics`] — request/batch/latency metrics rendered as plaintext
-//!   `GET /metrics`, including the process-wide `mfaplace_rt::timer`
-//!   counters.
+//!   `GET /metrics` — fleet-wide aggregates plus per-slot
+//!   `mfaplace_slot_*` families and `mfaplace_plan_cache_*` gauges.
 //! - [`server`] — the TCP front end and endpoint routing.
 //! - [`client`] — a matching blocking client for the CLI and tests.
 //!
@@ -34,11 +42,13 @@
 
 pub mod batcher;
 pub mod client;
+pub mod fleet;
 pub mod http;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
 
-pub use batcher::{BatchConfig, Batcher, JobError, ModelSlot, SubmitError};
-pub use metrics::Metrics;
-pub use server::{serve, ServeConfig, ServerHandle};
+pub use batcher::{BatchConfig, Batcher, JobError, ModelSlot, SubmitError, DEFAULT_SLOT};
+pub use fleet::{FleetSlot, ModelFleet, SlotLimits};
+pub use metrics::{Metrics, SlotMetrics};
+pub use server::{serve, serve_fleet, ServeConfig, ServerHandle};

@@ -4,16 +4,43 @@
 //! process-wide `mfaplace_rt::timer` counters and scope timers ride along
 //! under `mfaplace_rt_*` names, so kernel-level instrumentation shows up
 //! in the same scrape.
+//!
+//! With the model fleet the registry is two-level: the original
+//! un-labelled families (`mfaplace_queue_depth`, `mfaplace_batch_size`,
+//! `mfaplace_engine_info`, …) stay as **aggregates** across every slot —
+//! existing dashboards keep working — while a [`SlotMetrics`] handle (one
+//! per fleet slot) additionally maintains `mfaplace_slot_*` families
+//! labelled `{slot="…"}`. Point-in-time gauges (model info, engine) are
+//! last-writer-wins at the aggregate level; the per-slot copies are the
+//! authoritative ones in a multi-slot deployment.
 
 use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
+
+use mfaplace_core::PlanCacheStats;
 
 /// Upper bucket bounds of the batch-size histogram (last bucket is +Inf).
 pub const BATCH_BUCKETS: [usize; 6] = [1, 2, 4, 8, 16, 32];
 
 /// Number of most-recent request latencies kept for quantile estimates.
 const LATENCY_WINDOW: usize = 4096;
+
+/// Per-slot slice of the registry, rendered under `mfaplace_slot_*`.
+#[derive(Default)]
+struct SlotStats {
+    requests: BTreeMap<u16, u64>,
+    queue_depth: u64,
+    queue_rejections: u64,
+    deadline_misses: u64,
+    batches: u64,
+    batched_items: u64,
+    model_name: String,
+    model_version: u64,
+    engine_name: String,
+    plan_ops: u64,
+    plan_arena_bytes: u64,
+}
 
 #[derive(Default)]
 struct Inner {
@@ -31,6 +58,8 @@ struct Inner {
     engine_name: String,
     plan_ops: u64,
     plan_arena_bytes: u64,
+    slots: BTreeMap<String, SlotStats>,
+    plan_cache: Option<PlanCacheStats>,
 }
 
 /// Thread-safe metrics registry shared by the server, batcher and worker.
@@ -117,6 +146,41 @@ impl Metrics {
         m.plan_arena_bytes = arena_bytes;
     }
 
+    /// Creates the per-slot handle for `name`, registering the slot in the
+    /// rendered output immediately.
+    pub fn slot(self: &Arc<Self>, name: &str) -> SlotMetrics {
+        self.lock().slots.entry(name.to_owned()).or_default();
+        SlotMetrics {
+            metrics: self.clone(),
+            slot: name.to_owned(),
+        }
+    }
+
+    /// Drops `name`'s `mfaplace_slot_*` series (slot removed from the
+    /// fleet) and re-derives the aggregate queue depth from the survivors.
+    pub fn remove_slot(&self, name: &str) {
+        let mut m = self.lock();
+        m.slots.remove(name);
+        m.queue_depth = m.slots.values().map(|s| s.queue_depth).sum();
+    }
+
+    /// Counts one completed predict on `slot` with HTTP `status`.
+    pub fn record_slot_request(&self, slot: &str, status: u16) {
+        let mut m = self.lock();
+        *m.slots
+            .entry(slot.to_owned())
+            .or_default()
+            .requests
+            .entry(status)
+            .or_insert(0) += 1;
+    }
+
+    /// Publishes the shared plan cache's counters (entries, bytes, budget,
+    /// hits/misses/evictions) for the next render.
+    pub fn set_plan_cache_stats(&self, stats: PlanCacheStats) {
+        self.lock().plan_cache = Some(stats);
+    }
+
     /// Renders the plaintext exposition document.
     pub fn render(&self) -> String {
         let m = self.lock();
@@ -192,6 +256,67 @@ impl Metrics {
             "mfaplace_infer_plan_arena_bytes {}\n",
             m.plan_arena_bytes
         ));
+
+        for (name, s) in &m.slots {
+            for (status, n) in &s.requests {
+                out.push_str(&format!(
+                    "mfaplace_slot_requests_total{{slot=\"{name}\",status=\"{status}\"}} {n}\n"
+                ));
+            }
+            out.push_str(&format!(
+                "mfaplace_slot_queue_depth{{slot=\"{name}\"}} {}\n",
+                s.queue_depth
+            ));
+            out.push_str(&format!(
+                "mfaplace_slot_queue_rejections_total{{slot=\"{name}\"}} {}\n",
+                s.queue_rejections
+            ));
+            out.push_str(&format!(
+                "mfaplace_slot_deadline_misses_total{{slot=\"{name}\"}} {}\n",
+                s.deadline_misses
+            ));
+            out.push_str(&format!(
+                "mfaplace_slot_batches_total{{slot=\"{name}\"}} {}\n",
+                s.batches
+            ));
+            out.push_str(&format!(
+                "mfaplace_slot_batched_items_total{{slot=\"{name}\"}} {}\n",
+                s.batched_items
+            ));
+            out.push_str(&format!(
+                "mfaplace_slot_model_info{{slot=\"{name}\",name=\"{}\"}} 1\n",
+                s.model_name
+            ));
+            out.push_str(&format!(
+                "mfaplace_slot_model_version{{slot=\"{name}\"}} {}\n",
+                s.model_version
+            ));
+            out.push_str(&format!(
+                "mfaplace_slot_engine_info{{slot=\"{name}\",engine=\"{}\"}} 1\n",
+                s.engine_name
+            ));
+            out.push_str(&format!(
+                "mfaplace_slot_plan_ops{{slot=\"{name}\"}} {}\n",
+                s.plan_ops
+            ));
+            out.push_str(&format!(
+                "mfaplace_slot_plan_arena_bytes{{slot=\"{name}\"}} {}\n",
+                s.plan_arena_bytes
+            ));
+        }
+
+        if let Some(pc) = &m.plan_cache {
+            out.push_str("# TYPE mfaplace_plan_cache_bytes gauge\n");
+            out.push_str(&format!("mfaplace_plan_cache_entries {}\n", pc.entries));
+            out.push_str(&format!("mfaplace_plan_cache_bytes {}\n", pc.bytes));
+            out.push_str(&format!("mfaplace_plan_cache_max_bytes {}\n", pc.max_bytes));
+            out.push_str(&format!("mfaplace_plan_cache_hits_total {}\n", pc.hits));
+            out.push_str(&format!("mfaplace_plan_cache_misses_total {}\n", pc.misses));
+            out.push_str(&format!(
+                "mfaplace_plan_cache_evictions_total {}\n",
+                pc.evictions
+            ));
+        }
         drop(m);
 
         // Process-wide runtime counters and scope timers.
@@ -210,6 +335,109 @@ impl Metrics {
             ));
         }
         out
+    }
+}
+
+/// A per-slot view of the shared [`Metrics`] registry. Every recording
+/// method updates both the slot's `mfaplace_slot_*` series and the
+/// fleet-wide aggregate family under one lock, so the two can never
+/// disagree about what was counted.
+#[derive(Clone)]
+pub struct SlotMetrics {
+    metrics: Arc<Metrics>,
+    slot: String,
+}
+
+impl SlotMetrics {
+    /// The underlying shared registry.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// The slot this handle records under.
+    pub fn slot_name(&self) -> &str {
+        &self.slot
+    }
+
+    fn with_slot(&self, f: impl FnOnce(&mut SlotStats, &mut Inner)) {
+        let mut m = self.metrics.lock();
+        // Detach the slot entry so both it and the aggregates can be
+        // borrowed mutably; re-inserted below.
+        let mut s = m.slots.remove(&self.slot).unwrap_or_default();
+        f(&mut s, &mut m);
+        m.slots.insert(self.slot.clone(), s);
+    }
+
+    /// Counts one executed batch of `size` requests on this slot.
+    pub fn record_batch(&self, size: usize) {
+        self.metrics.record_batch(size);
+        self.with_slot(|s, _| {
+            s.batches += 1;
+            s.batched_items += size as u64;
+        });
+    }
+
+    /// Sets this slot's queue-depth gauge; the aggregate becomes the sum
+    /// over all live slots.
+    pub fn set_queue_depth(&self, depth: usize) {
+        self.with_slot(|s, m| {
+            s.queue_depth = depth as u64;
+            m.queue_depth = m.slots.values().map(|o| o.queue_depth).sum::<u64>() + s.queue_depth;
+        });
+    }
+
+    /// Counts one request rejected by this slot's full queue.
+    pub fn record_queue_rejection(&self) {
+        self.with_slot(|s, m| {
+            s.queue_rejections += 1;
+            m.queue_rejections += 1;
+        });
+    }
+
+    /// Counts one request dropped on this slot for missing its deadline.
+    pub fn record_deadline_miss(&self) {
+        self.with_slot(|s, m| {
+            s.deadline_misses += 1;
+            m.deadline_misses += 1;
+        });
+    }
+
+    /// Publishes this slot's served model (aggregate copy is last-writer-
+    /// wins across slots).
+    pub fn set_model(&self, name: &str, version: u64) {
+        self.with_slot(|s, m| {
+            s.model_name = name.to_owned();
+            s.model_version = version;
+            m.model_name = name.to_owned();
+            m.model_version = version;
+        });
+    }
+
+    /// Publishes this slot's active engine (aggregate copy is last-writer-
+    /// wins across slots).
+    pub fn set_engine(&self, name: &str) {
+        self.with_slot(|s, m| {
+            s.engine_name = name.to_owned();
+            m.engine_name = name.to_owned();
+        });
+    }
+
+    /// Publishes this slot's compiled-plan gauges (aggregate copy is
+    /// last-writer-wins across slots).
+    pub fn set_plan_stats(&self, ops: u64, arena_bytes: u64) {
+        self.with_slot(|s, m| {
+            s.plan_ops = ops;
+            s.plan_arena_bytes = arena_bytes;
+            m.plan_ops = ops;
+            m.plan_arena_bytes = arena_bytes;
+        });
+    }
+
+    /// Counts one completed predict on this slot with HTTP `status`.
+    pub fn record_request(&self, status: u16) {
+        self.with_slot(|s, _| {
+            *s.requests.entry(status).or_insert(0) += 1;
+        });
     }
 }
 
@@ -270,6 +498,82 @@ mod tests {
             text.contains("mfaplace_infer_plan_arena_bytes 1024"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn slot_metrics_update_both_levels() {
+        let m = Arc::new(Metrics::new());
+        let a = m.slot("alpha");
+        let b = m.slot("beta");
+        a.set_model("UNet", 1);
+        a.set_engine("plan");
+        a.record_batch(3);
+        a.set_queue_depth(2);
+        b.set_queue_depth(5);
+        a.record_queue_rejection();
+        b.record_deadline_miss();
+        a.set_plan_stats(7, 4096);
+        a.record_request(200);
+        a.record_request(200);
+        m.record_slot_request("beta", 504);
+        m.set_plan_cache_stats(PlanCacheStats {
+            entries: 2,
+            bytes: 99,
+            max_bytes: 1000,
+            hits: 4,
+            misses: 2,
+            evictions: 1,
+        });
+
+        let text = m.render();
+        // Aggregates keep working.
+        assert!(text.contains("mfaplace_queue_depth 7"), "{text}");
+        assert!(text.contains("mfaplace_queue_rejections_total 1"), "{text}");
+        assert!(text.contains("mfaplace_deadline_misses_total 1"), "{text}");
+        assert!(text.contains("mfaplace_batch_size_sum 3"), "{text}");
+        // Per-slot families.
+        assert!(
+            text.contains("mfaplace_slot_requests_total{slot=\"alpha\",status=\"200\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("mfaplace_slot_requests_total{slot=\"beta\",status=\"504\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("mfaplace_slot_queue_depth{slot=\"alpha\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("mfaplace_slot_queue_depth{slot=\"beta\"} 5"),
+            "{text}"
+        );
+        assert!(
+            text.contains("mfaplace_slot_model_info{slot=\"alpha\",name=\"UNet\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("mfaplace_slot_engine_info{slot=\"alpha\",engine=\"plan\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("mfaplace_slot_plan_arena_bytes{slot=\"alpha\"} 4096"),
+            "{text}"
+        );
+        // Plan-cache gauges.
+        assert!(text.contains("mfaplace_plan_cache_entries 2"), "{text}");
+        assert!(text.contains("mfaplace_plan_cache_bytes 99"), "{text}");
+        assert!(text.contains("mfaplace_plan_cache_hits_total 4"), "{text}");
+        assert!(
+            text.contains("mfaplace_plan_cache_evictions_total 1"),
+            "{text}"
+        );
+
+        // Removal drops the series and re-derives the aggregate depth.
+        m.remove_slot("beta");
+        let text = m.render();
+        assert!(!text.contains("slot=\"beta\""), "{text}");
+        assert!(text.contains("mfaplace_queue_depth 2"), "{text}");
     }
 
     #[test]

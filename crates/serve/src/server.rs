@@ -2,11 +2,19 @@
 //! the graceful-shutdown choreography.
 //!
 //! One thread accepts connections and spawns a handler thread per
-//! connection (requests are small and short-lived; the bounded batcher
-//! queue — not the connection count — is the real concurrency limiter).
-//! A dedicated worker thread owns the model and runs the micro-batch
-//! loop. Shutdown drains in order: stop accepting, finish in-flight
-//! connections, drain the batcher queue, then join the worker.
+//! connection (requests are small and short-lived; the bounded per-slot
+//! batcher queues — not the connection count — are the real concurrency
+//! limiter). The [`ModelFleet`] owns one worker thread per slot, each
+//! running that slot's micro-batch loop. Shutdown drains in order: stop
+//! accepting, finish in-flight connections, drain every slot's queue,
+//! then join the workers.
+//!
+//! Routing: `/predict` and `/predict/design` go to the slot named by the
+//! `x-mfaplace-model` header, defaulting to the fleet's default slot —
+//! which is what keeps single-model clients wire-compatible. The same
+//! endpoints are also reachable per slot at `/models/<name>/predict` and
+//! `/models/<name>/predict/design`; `GET /models` lists the fleet and
+//! `POST /admin/slots` adds/removes/reloads slots at runtime.
 
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -19,7 +27,8 @@ use mfaplace_core::loader::LoadOptions;
 use mfaplace_core::predictor::Engine;
 use mfaplace_tensor::Tensor;
 
-use crate::batcher::{BatchConfig, Batcher, JobError, ModelSlot, SubmitError};
+use crate::batcher::{BatchConfig, JobError, ModelSlot, SubmitError};
+use crate::fleet::{FleetSlot, ModelFleet, SlotLimits};
 use crate::http::{HttpError, Request, Response};
 use crate::metrics::Metrics;
 use crate::protocol;
@@ -55,8 +64,7 @@ impl Default for ServeConfig {
 
 struct Shared {
     metrics: Arc<Metrics>,
-    slot: ModelSlot,
-    batcher: Batcher,
+    fleet: Arc<ModelFleet>,
     stop: AtomicBool,
     cfg: ServeConfig,
     addr: SocketAddr,
@@ -78,6 +86,11 @@ impl ServerHandle {
     /// The server's metrics registry.
     pub fn metrics(&self) -> Arc<Metrics> {
         self.shared.metrics.clone()
+    }
+
+    /// The served model fleet.
+    pub fn fleet(&self) -> Arc<ModelFleet> {
+        self.shared.fleet.clone()
     }
 
     /// Requests a graceful shutdown: stop accepting, finish in-flight
@@ -112,7 +125,10 @@ fn trigger_shutdown(shared: &Shared) {
     let _ = TcpStream::connect(shared.addr);
 }
 
-/// Binds `cfg.addr` and starts serving `slot` on background threads.
+/// Binds `cfg.addr` and starts serving `slot` on background threads —
+/// the single-model entry point, wrapping `slot` into a one-slot
+/// [`ModelFleet`] (requests naming no slot route to it, so the wire
+/// behavior is identical to the pre-fleet server).
 ///
 /// # Errors
 ///
@@ -122,13 +138,34 @@ pub fn serve(
     metrics: Arc<Metrics>,
     cfg: ServeConfig,
 ) -> std::io::Result<ServerHandle> {
+    let fleet = Arc::new(ModelFleet::with_plan_cache(
+        metrics.clone(),
+        cfg.batch,
+        slot.plan_cache().clone(),
+    ));
+    fleet
+        .install_slot(slot, SlotLimits::default())
+        .map_err(std::io::Error::other)?;
+    serve_fleet(fleet, metrics, cfg)
+}
+
+/// Binds `cfg.addr` and starts serving an already-populated `fleet` on
+/// background threads. Slots added to the fleet later (e.g. via
+/// `POST /admin/slots`) become routable immediately.
+///
+/// # Errors
+///
+/// Returns the bind error if the address is unavailable.
+pub fn serve_fleet(
+    fleet: Arc<ModelFleet>,
+    metrics: Arc<Metrics>,
+    cfg: ServeConfig,
+) -> std::io::Result<ServerHandle> {
     let listener = bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
-    let batcher = Batcher::new(cfg.batch, metrics.clone());
     let shared = Arc::new(Shared {
         metrics,
-        slot,
-        batcher,
+        fleet,
         stop: AtomicBool::new(false),
         cfg,
         addr,
@@ -151,14 +188,7 @@ fn bind(addr: &str) -> std::io::Result<TcpListener> {
 }
 
 fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
-    let worker = {
-        let shared = shared.clone();
-        std::thread::Builder::new()
-            .name("mfaplace-serve-batcher".into())
-            .spawn(move || shared.batcher.run_worker(&shared.slot))
-            .expect("spawn batch worker")
-    };
-
+    // Slot workers are owned (spawned and joined) by the fleet itself.
     let mut conns: Vec<JoinHandle<()>> = Vec::new();
     for stream in listener.incoming() {
         if shared.stop.load(Ordering::SeqCst) {
@@ -179,12 +209,11 @@ fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
     }
 
     // Graceful drain: in-flight connections first (they may still submit
-    // jobs), then the queue, then the worker.
+    // jobs), then every slot's queue and worker.
     for handle in conns {
         let _ = handle.join();
     }
-    shared.batcher.shutdown();
-    let _ = worker.join();
+    shared.fleet.shutdown();
 }
 
 fn handle_connection(shared: &Shared, stream: TcpStream) {
@@ -211,44 +240,34 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
 }
 
 fn route(shared: &Shared, req: &Request) -> Response {
+    // Path-based slot routing: /models, /models/<name>, and the per-slot
+    // predict endpoints underneath it.
+    if req.path == "/models" || req.path.starts_with("/models/") {
+        return route_models(shared, req);
+    }
+    // Header-based routing for the legacy endpoints: no header means the
+    // default slot, which is what keeps single-model clients compatible.
+    let slot = req.header("x-mfaplace-model").map(str::to_owned);
+    let slot = slot.as_deref();
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => Response::text(200, "ok\n"),
-        ("GET", "/metrics") => Response::text(200, shared.metrics.render()),
-        ("GET", "/model") => {
-            let spec = shared.slot.spec();
-            Response::text(
-                200,
-                format!(
-                    "model {}\ngrid {}\nbase_channels {}\nversion {}\nengine {}\n",
-                    spec.arch.model_name(),
-                    spec.grid,
-                    spec.base_channels,
-                    shared.slot.version(),
-                    shared.slot.engine().name()
-                ),
-            )
+        ("GET", "/metrics") => {
+            shared.fleet.publish_plan_cache_stats();
+            Response::text(200, shared.metrics.render())
         }
-        ("POST", "/predict") => match protocol::decode_features(&req.body) {
-            Ok(features) => predict(shared, req, features),
-            Err(m) => Response::text(400, m + "\n"),
-        },
-        ("POST", "/predict/design") => {
-            let grid = shared.slot.spec().grid;
-            match std::str::from_utf8(&req.body)
-                .map_err(|_| "body is not utf-8 text".to_owned())
-                .and_then(|text| protocol::featurize_design_request(text, grid))
-            {
-                Ok(features) => predict(shared, req, features),
-                Err(m) => Response::text(400, m + "\n"),
-            }
-        }
+        ("GET", "/model") => model_info(shared, slot, false),
+        ("POST", "/predict") => predict_features(shared, req, slot),
+        ("POST", "/predict/design") => predict_design(shared, req, slot),
         ("POST", "/admin/reload") => {
             let path = String::from_utf8_lossy(&req.body).trim().to_owned();
             if path.is_empty() {
                 return Response::text(400, "body must be a checkpoint path\n");
             }
-            match shared.slot.reload(&path, LoadOptions::default()) {
-                Ok((version, spec)) => Response::text(
+            match shared
+                .fleet
+                .reload_slot(slot, &path, LoadOptions::default())
+            {
+                Ok((_, version, spec)) => Response::text(
                     200,
                     format!(
                         "reloaded {} (grid {}) as version {version}\n",
@@ -256,19 +275,26 @@ fn route(shared: &Shared, req: &Request) -> Response {
                         spec.grid
                     ),
                 ),
+                Err(m) if is_unknown_slot(&m) => Response::text(404, m + "\n"),
                 Err(m) => Response::text(409, m + "\n"),
             }
         }
         ("POST", "/admin/engine") => {
             let name = String::from_utf8_lossy(&req.body).trim().to_owned();
+            let fs = match shared.fleet.resolve(slot) {
+                Ok(fs) => fs,
+                Err(m) => return Response::text(404, m + "\n"),
+            };
             match Engine::parse(&name) {
                 Some(engine) => {
-                    shared.slot.set_engine(engine);
+                    fs.slot().set_engine(engine);
                     Response::text(200, format!("engine {}\n", engine.name()))
                 }
                 None => Response::text(400, "body must be \"tape\" or \"plan\"\n"),
             }
         }
+        ("GET", "/admin/slots") => Response::text(200, fleet_listing(shared)),
+        ("POST", "/admin/slots") => admin_slots(shared, req),
         ("POST", "/admin/shutdown") => {
             shared.stop.store(true, Ordering::SeqCst);
             // The throwaway connection unblocking accept comes from a
@@ -282,14 +308,187 @@ fn route(shared: &Shared, req: &Request) -> Response {
         (
             _,
             "/healthz" | "/metrics" | "/model" | "/predict" | "/predict/design" | "/admin/reload"
-            | "/admin/engine" | "/admin/shutdown",
+            | "/admin/engine" | "/admin/slots" | "/admin/shutdown",
         ) => Response::text(405, "method not allowed\n"),
         _ => Response::text(404, "no such endpoint\n"),
     }
 }
 
-fn predict(shared: &Shared, req: &Request, features: Tensor) -> Response {
-    let grid = shared.slot.spec().grid;
+/// Routes `/models` (fleet listing) and `/models/<name>[/predict[/design]]`.
+fn route_models(shared: &Shared, req: &Request) -> Response {
+    let rest = req.path.strip_prefix("/models").unwrap_or_default();
+    let (slot, tail) = match rest.strip_prefix('/') {
+        None => ("", ""),
+        Some(r) => match r.split_once('/') {
+            None => (r, ""),
+            Some((name, t)) => (name, t),
+        },
+    };
+    match (req.method.as_str(), slot, tail) {
+        ("GET", "", "") => Response::text(200, fleet_listing(shared)),
+        (_, "", "") => Response::text(405, "method not allowed\n"),
+        ("GET", name, "") => model_info(shared, Some(name), true),
+        ("POST", name, "predict") => predict_features(shared, req, Some(name)),
+        ("POST", name, "predict/design") => predict_design(shared, req, Some(name)),
+        (_, _, "" | "predict" | "predict/design") => Response::text(405, "method not allowed\n"),
+        _ => Response::text(404, "no such endpoint\n"),
+    }
+}
+
+fn is_unknown_slot(msg: &str) -> bool {
+    msg.starts_with("no such model slot")
+}
+
+fn fleet_listing(shared: &Shared) -> String {
+    let default = shared.fleet.default_name();
+    let mut out = String::new();
+    for name in shared.fleet.names() {
+        let Ok(fs) = shared.fleet.resolve(Some(&name)) else {
+            continue; // removed between names() and resolve()
+        };
+        let spec = fs.slot().spec();
+        out.push_str(&format!(
+            "{name} model={} grid={} version={} engine={}{}\n",
+            spec.arch.model_name(),
+            spec.grid,
+            fs.slot().version(),
+            fs.slot().engine().name(),
+            if default.as_deref() == Some(name.as_str()) {
+                " default"
+            } else {
+                ""
+            }
+        ));
+    }
+    out
+}
+
+fn model_info(shared: &Shared, slot: Option<&str>, with_slot_line: bool) -> Response {
+    let fs = match shared.fleet.resolve(slot) {
+        Ok(fs) => fs,
+        Err(m) => return Response::text(404, m + "\n"),
+    };
+    let spec = fs.slot().spec();
+    let mut body = String::new();
+    if with_slot_line {
+        body.push_str(&format!("slot {}\n", fs.name()));
+    }
+    body.push_str(&format!(
+        "model {}\ngrid {}\nbase_channels {}\nversion {}\nengine {}\n",
+        spec.arch.model_name(),
+        spec.grid,
+        spec.base_channels,
+        fs.slot().version(),
+        fs.slot().engine().name()
+    ));
+    Response::text(200, body)
+}
+
+/// `POST /admin/slots` command interpreter. Whitespace-token commands:
+/// `add <name> <path> [queue=N] [deadline_ms=N]`, `remove <name>`,
+/// `reload <name> <path>`.
+fn admin_slots(shared: &Shared, req: &Request) -> Response {
+    const USAGE: &str = "body must be one of:\n  add <name> <checkpoint> [queue=N] [deadline_ms=N]\n  remove <name>\n  reload <name> <checkpoint>\n";
+    let body = String::from_utf8_lossy(&req.body).into_owned();
+    let tokens: Vec<&str> = body.split_whitespace().collect();
+    match tokens.as_slice() {
+        ["add", name, path, opts @ ..] => {
+            let mut limits = SlotLimits::default();
+            for opt in opts {
+                if let Some(v) = opt.strip_prefix("queue=") {
+                    match v.parse::<usize>() {
+                        Ok(n) if n > 0 => limits.queue_bound = Some(n),
+                        _ => return Response::text(400, format!("bad queue bound {v:?}\n")),
+                    }
+                } else if let Some(v) = opt.strip_prefix("deadline_ms=") {
+                    match v.parse::<u64>() {
+                        Ok(ms) => limits.default_deadline = Some(Duration::from_millis(ms)),
+                        Err(_) => return Response::text(400, format!("bad deadline {v:?}\n")),
+                    }
+                } else {
+                    return Response::text(400, format!("unknown option {opt:?}\n{USAGE}"));
+                }
+            }
+            match shared
+                .fleet
+                .add_slot(name, path, LoadOptions::default(), limits)
+            {
+                Ok(fs) => {
+                    let spec = fs.slot().spec();
+                    Response::text(
+                        200,
+                        format!(
+                            "added slot {name} serving {} (grid {})\n",
+                            spec.arch.model_name(),
+                            spec.grid
+                        ),
+                    )
+                }
+                Err(m) => Response::text(409, m + "\n"),
+            }
+        }
+        ["remove", name] => match shared.fleet.remove_slot(name) {
+            Ok(()) => Response::text(200, format!("removed slot {name}\n")),
+            Err(m) if is_unknown_slot(&m) => Response::text(404, m + "\n"),
+            Err(m) => Response::text(409, m + "\n"),
+        },
+        ["reload", name, path] => {
+            match shared
+                .fleet
+                .reload_slot(Some(name), path, LoadOptions::default())
+            {
+                Ok((slot, version, spec)) => Response::text(
+                    200,
+                    format!(
+                        "reloaded slot {slot} with {} (grid {}) as version {version}\n",
+                        spec.arch.model_name(),
+                        spec.grid
+                    ),
+                ),
+                Err(m) if is_unknown_slot(&m) => Response::text(404, m + "\n"),
+                Err(m) => Response::text(409, m + "\n"),
+            }
+        }
+        _ => Response::text(400, USAGE),
+    }
+}
+
+fn predict_features(shared: &Shared, req: &Request, slot: Option<&str>) -> Response {
+    let fs = match shared.fleet.resolve(slot) {
+        Ok(fs) => fs,
+        Err(m) => return Response::text(404, m + "\n"),
+    };
+    let response = match protocol::decode_features(&req.body) {
+        Ok(features) => predict_on(shared, req, &fs, features),
+        Err(m) => Response::text(400, m + "\n"),
+    };
+    shared
+        .metrics
+        .record_slot_request(fs.name(), response.status);
+    response
+}
+
+fn predict_design(shared: &Shared, req: &Request, slot: Option<&str>) -> Response {
+    let fs = match shared.fleet.resolve(slot) {
+        Ok(fs) => fs,
+        Err(m) => return Response::text(404, m + "\n"),
+    };
+    let grid = fs.slot().spec().grid;
+    let response = match std::str::from_utf8(&req.body)
+        .map_err(|_| "body is not utf-8 text".to_owned())
+        .and_then(|text| protocol::featurize_design_request(text, grid))
+    {
+        Ok(features) => predict_on(shared, req, &fs, features),
+        Err(m) => Response::text(400, m + "\n"),
+    };
+    shared
+        .metrics
+        .record_slot_request(fs.name(), response.status);
+    response
+}
+
+fn predict_on(shared: &Shared, req: &Request, fs: &Arc<FleetSlot>, features: Tensor) -> Response {
+    let grid = fs.slot().spec().grid;
     let shape = features.shape().to_vec();
     if shape != [protocol::NUM_WIRE_FEATURES, grid, grid] {
         return Response::text(
@@ -301,12 +500,16 @@ fn predict(shared: &Shared, req: &Request, features: Tensor) -> Response {
             ),
         );
     }
+    // Deadline class: request header beats the slot's configured default,
+    // which beats the server-wide default.
     let deadline_ms = req
         .header("x-mfaplace-deadline-ms")
         .and_then(|v| v.parse::<u64>().ok())
-        .map_or(shared.cfg.default_deadline, Duration::from_millis);
+        .map(Duration::from_millis)
+        .or_else(|| fs.default_deadline())
+        .unwrap_or(shared.cfg.default_deadline);
     let deadline = Instant::now() + deadline_ms;
-    let rx = match shared.batcher.submit(features, deadline) {
+    let rx = match fs.batcher().submit(features, deadline) {
         Ok(rx) => rx,
         Err(SubmitError::QueueFull) => {
             return Response::text(429, "queue full, retry later\n");

@@ -10,7 +10,9 @@
 //! mfaplace render     --design design.nl --placement placement.pl --out place.ppm
 //! mfaplace init-model --arch ours --grid 32 --out ours.mfaw
 //! mfaplace serve      --model ours.mfaw --addr 127.0.0.1:8953
+//! mfaplace serve      --model a=ours.mfaw --model b=ablation.mfaw
 //! mfaplace predict    --addr 127.0.0.1:8953 --design design.nl --placement placement.pl
+//! mfaplace predict    --addr 127.0.0.1:8953 --slot b --design design.nl --placement placement.pl
 //! ```
 
 use std::collections::HashMap;
@@ -20,7 +22,7 @@ use std::sync::Arc;
 use mfaplace::core::dataset::{build_design_dataset, DatasetConfig};
 use mfaplace::core::flow::{calibrated_router_for, simulated_pnr_hours};
 use mfaplace::core::loader::{
-    init_checkpoint, load_predictor, peek_meta, peek_train_state, LoadOptions,
+    content_hash, init_checkpoint, load_predictor, peek_meta, peek_train_state, LoadOptions,
 };
 use mfaplace::core::predictor::Engine;
 use mfaplace::core::train::{TrainConfig, Trainer};
@@ -35,7 +37,9 @@ use mfaplace::router::congestion::CongestionAnalysis;
 use mfaplace::router::detailed::detailed_route_iterations;
 use mfaplace::router::global::GlobalRouter;
 use mfaplace::router::score::{RoutabilityScore, ScoreInputs};
-use mfaplace::serve::{client, serve, Metrics, ModelSlot, ServeConfig};
+use mfaplace::serve::{
+    client, serve_fleet, Metrics, ModelFleet, ServeConfig, SlotLimits, DEFAULT_SLOT,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -73,16 +77,23 @@ const USAGE: &str = "usage:
                       [--save-every N] [--stop-after N] [--log <file.jsonl>] \\
                       [--placements N] [--iterations N]
   mfaplace model-info --model <file.mfaw> [--grid N]
-  mfaplace serve      --model <file.mfaw> [--addr host:port] [--engine tape|plan] \\
+  mfaplace serve      --model [name=]<file.mfaw> [--model name=<file.mfaw> ...] \\
+                      [--addr host:port] [--engine tape|plan] \\
                       [--arch ...] [--grid N] [--channels N]   (v1 checkpoints)
   mfaplace predict    --addr host:port --design <file.nl> --placement <file.pl> \\
-                      [--engine tape|plan] [--out <file.ppm>]
+                      [--slot name] [--engine tape|plan] [--out <file.ppm>]
 
-serve honors MFAPLACE_MAX_BATCH, MFAPLACE_BATCH_WINDOW_MS and
-MFAPLACE_QUEUE_BOUND; stop it with POST /admin/shutdown. The inference
-engine defaults to the compiled plan (bitwise identical to the tape);
---engine or MFAPLACE_ENGINE selects it, and predict's --engine switches
-the remote server via POST /admin/engine before predicting.
+serve loads one hot-swappable slot per --model (repeatable; a bare path
+names its slot \"default\", and the first slot is the default routing
+target). Requests pick a slot with the x-mfaplace-model header or a
+/models/<name>/... path; manage slots at runtime via POST /admin/slots
+(add/remove/reload). All slots compile into one shared plan cache sized
+by MFAPLACE_PLAN_CACHE_MB; serve also honors MFAPLACE_MAX_BATCH,
+MFAPLACE_BATCH_WINDOW_MS and MFAPLACE_QUEUE_BOUND, and stops with
+POST /admin/shutdown. The inference engine defaults to the compiled plan
+(bitwise identical to the tape); --engine or MFAPLACE_ENGINE selects it,
+and predict's --engine switches the remote server (its --slot's slot)
+via POST /admin/engine before predicting.
 train honors MFAPLACE_TRAIN_WORKERS when --workers is not given; --resume
 continues bitwise-exactly from the checkpoint at --out if it exists.";
 
@@ -108,7 +119,7 @@ fn run(args: &[String]) -> Result<(), String> {
 
 /// `--arch/--grid/--channels` overrides for loading v1 checkpoints (v2
 /// files are self-describing and ignore these).
-fn load_options(flags: &HashMap<String, String>) -> Result<LoadOptions, String> {
+fn load_options(flags: &Flags) -> Result<LoadOptions, String> {
     let arch = match flags.get("arch") {
         None => None,
         Some(s) => Some(s.parse::<Arch>()?),
@@ -133,7 +144,7 @@ fn load_options(flags: &HashMap<String, String>) -> Result<LoadOptions, String> 
 }
 
 /// `--engine tape|plan`; `None` leaves the `MFAPLACE_ENGINE` default.
-fn parse_engine(flags: &HashMap<String, String>) -> Result<Option<Engine>, String> {
+fn parse_engine(flags: &Flags) -> Result<Option<Engine>, String> {
     match flags.get("engine") {
         None => Ok(None),
         Some(v) => Engine::parse(v)
@@ -145,37 +156,58 @@ fn parse_engine(flags: &HashMap<String, String>) -> Result<Option<Engine>, Strin
 /// Flags that take no value (presence means "on").
 const BOOL_FLAGS: &[&str] = &["resume"];
 
-fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
-    let mut flags = HashMap::new();
+/// Parsed command-line flags. Every flag may repeat; `get` returns the
+/// last occurrence (so `--grid 16 --grid 32` means 32) and `all` returns
+/// every occurrence in order (used by `serve --model`).
+#[derive(Debug, Default)]
+struct Flags(HashMap<String, Vec<String>>);
+
+impl Flags {
+    /// The last value given for `--name`, if any.
+    fn get(&self, name: &str) -> Option<&String> {
+        self.0.get(name).and_then(|v| v.last())
+    }
+
+    /// Every value given for `--name`, in command-line order.
+    fn all(&self, name: &str) -> &[String] {
+        self.0.get(name).map_or(&[][..], Vec::as_slice)
+    }
+
+    fn contains_key(&self, name: &str) -> bool {
+        self.0.contains_key(name)
+    }
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags: HashMap<String, Vec<String>> = HashMap::new();
     let mut it = args.iter();
     while let Some(key) = it.next() {
         let Some(name) = key.strip_prefix("--") else {
             return Err(format!("expected --flag, found {key:?}"));
         };
         if BOOL_FLAGS.contains(&name) {
-            flags.insert(name.to_string(), "1".to_string());
+            flags.entry(name.to_string()).or_default().push("1".into());
             continue;
         }
         let value = it
             .next()
             .ok_or_else(|| format!("flag --{name} needs a value"))?;
-        flags.insert(name.to_string(), value.clone());
+        flags
+            .entry(name.to_string())
+            .or_default()
+            .push(value.clone());
     }
-    Ok(flags)
+    Ok(Flags(flags))
 }
 
-fn get<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a str, String> {
+fn get<'a>(flags: &'a Flags, name: &str) -> Result<&'a str, String> {
     flags
         .get(name)
         .map(String::as_str)
         .ok_or_else(|| format!("missing required flag --{name}"))
 }
 
-fn get_num<T: std::str::FromStr>(
-    flags: &HashMap<String, String>,
-    name: &str,
-    default: T,
-) -> Result<T, String> {
+fn get_num<T: std::str::FromStr>(flags: &Flags, name: &str, default: T) -> Result<T, String> {
     match flags.get(name) {
         None => Ok(default),
         Some(v) => v
@@ -184,13 +216,13 @@ fn get_num<T: std::str::FromStr>(
     }
 }
 
-fn load_design(flags: &HashMap<String, String>) -> Result<Design, String> {
+fn load_design(flags: &Flags) -> Result<Design, String> {
     let path = get(flags, "design")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     io::read_design(&text).map_err(|e| format!("{path}: {e}"))
 }
 
-fn load_placement(flags: &HashMap<String, String>) -> Result<mfaplace::fpga::Placement, String> {
+fn load_placement(flags: &Flags) -> Result<mfaplace::fpga::Placement, String> {
     let path = get(flags, "placement")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     io::read_placement(&text).map_err(|e| format!("{path}: {e}"))
@@ -208,7 +240,7 @@ fn preset_by_name(name: &str) -> Result<DesignPreset, String> {
     Err(format!("unknown design {name:?}"))
 }
 
-fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_generate(flags: &Flags) -> Result<(), String> {
     let preset = preset_by_name(get(flags, "design")?)?;
     let seed: u64 = get_num(flags, "seed", 1)?;
     let preset = match flags.get("scale") {
@@ -239,7 +271,7 @@ fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_place(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_place(flags: &Flags) -> Result<(), String> {
     let design = load_design(flags)?;
     let seed: u64 = get_num(flags, "seed", 1)?;
     let iterations: usize = get_num(flags, "iterations", 30)?;
@@ -286,7 +318,7 @@ fn cmd_place(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_init_model(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_init_model(flags: &Flags) -> Result<(), String> {
     let arch: Arch = flags
         .get("arch")
         .map_or(Ok(Arch::Ours), |s| s.parse::<Arch>())?;
@@ -308,7 +340,7 @@ fn cmd_init_model(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_train(flags: &Flags) -> Result<(), String> {
     use mfaplace_rt::rng::{SeedableRng, StdRng};
 
     let design = load_design(flags)?;
@@ -410,8 +442,11 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_model_info(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_model_info(flags: &Flags) -> Result<(), String> {
     let path = get(flags, "model")?;
+    // The fleet's plan-cache key: slots serving byte-identical files share
+    // one compiled plan set, and this is how to tell from the outside.
+    let hash = content_hash(path)?;
     match peek_meta(path)? {
         None => println!("{path}: v1 checkpoint (no metadata; load with --arch/--grid)"),
         Some(meta) => {
@@ -433,6 +468,7 @@ fn cmd_model_info(flags: &HashMap<String, String>) -> Result<(), String> {
             }
         }
     }
+    println!("  content hash {hash:016x}");
     // Compile the inference plan for a batch-1 forward and summarize it.
     match load_predictor(path, load_options(flags)?) {
         Err(e) => println!("  plan: unavailable ({e})"),
@@ -462,51 +498,108 @@ fn cmd_model_info(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
-    let path = get(flags, "model")?;
+/// Splits the repeated `--model` values into `(slot, path)` pairs.
+///
+/// Each value is `name=path`; a bare `path` (no `=`) names the slot
+/// "default" for single-model back-compat. The first entry becomes the
+/// default routing target. Duplicate slot names are rejected here, at
+/// parse time, before any checkpoint is read.
+fn parse_model_specs(values: &[String]) -> Result<Vec<(String, String)>, String> {
+    if values.is_empty() {
+        return Err("missing required flag --model".into());
+    }
+    let mut specs: Vec<(String, String)> = Vec::with_capacity(values.len());
+    for value in values {
+        let (name, path) = match value.split_once('=') {
+            Some((name, path)) => (name, path),
+            None => (DEFAULT_SLOT, value.as_str()),
+        };
+        if name.is_empty() || path.is_empty() {
+            return Err(format!(
+                "invalid --model {value:?}: expected name=path or a bare path"
+            ));
+        }
+        if specs.iter().any(|(n, _)| n == name) {
+            return Err(format!("duplicate --model name {name:?}"));
+        }
+        specs.push((name.to_owned(), path.to_owned()));
+    }
+    Ok(specs)
+}
+
+fn cmd_serve(flags: &Flags) -> Result<(), String> {
+    let specs = parse_model_specs(flags.all("model"))?;
     let addr = flags
         .get("addr")
         .cloned()
         .unwrap_or_else(|| "127.0.0.1:8953".into());
+    let opts = load_options(flags)?;
+    let engine = parse_engine(flags)?;
     let metrics = Arc::new(Metrics::new());
-    let slot = ModelSlot::load(path, load_options(flags)?, metrics.clone())?;
-    if let Some(engine) = parse_engine(flags)? {
-        slot.set_engine(engine);
-    }
-    let spec = slot.spec();
-    let engine = slot.engine();
     let cfg = ServeConfig {
         addr,
         ..ServeConfig::default()
     };
     let batch = cfg.batch;
-    let handle = serve(slot, metrics, cfg).map_err(|e| format!("bind: {e}"))?;
+    let fleet = Arc::new(ModelFleet::new(metrics.clone(), batch));
+    let mut slot_lines = Vec::with_capacity(specs.len());
+    for (name, path) in &specs {
+        let fs = fleet.add_slot(name, path, opts, SlotLimits::default())?;
+        if let Some(engine) = engine {
+            fs.slot().set_engine(engine);
+        }
+        let spec = fs.slot().spec();
+        slot_lines.push(format!(
+            "  slot {name}: {} (grid {}, {} engine) from {path}",
+            spec.arch.model_name(),
+            spec.grid,
+            fs.slot().engine().name()
+        ));
+    }
+    let handle = serve_fleet(fleet, metrics, cfg).map_err(|e| format!("bind: {e}"))?;
     println!(
-        "serving {} (grid {}, {} engine) on http://{}",
-        spec.arch.model_name(),
-        spec.grid,
-        engine.name(),
-        handle.addr()
+        "serving {} model slot(s) on http://{} (default slot {:?})",
+        specs.len(),
+        handle.addr(),
+        specs[0].0
     );
+    for line in slot_lines {
+        println!("{line}");
+    }
     println!(
-        "batching: up to {} requests per {:?} window, queue bound {}",
+        "batching: up to {} requests per {:?} window, queue bound {} per slot",
         batch.max_batch, batch.batch_window, batch.queue_bound
     );
     println!("endpoints: POST /predict, POST /predict/design, GET /metrics, GET /model,");
-    println!("           POST /admin/reload, POST /admin/shutdown");
+    println!("           GET /models, POST /models/<name>/predict[/design],");
+    println!("           GET|POST /admin/slots, POST /admin/reload, POST /admin/shutdown");
     handle.wait();
     println!("server drained and stopped");
     Ok(())
 }
 
-fn cmd_predict(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_predict(flags: &Flags) -> Result<(), String> {
     let addr = get(flags, "addr")?;
+    let slot = flags.get("slot").map(String::as_str);
     if let Some(engine) = parse_engine(flags)? {
-        let r = client::request(addr, "POST", "/admin/engine", &[], engine.name().as_bytes())?;
+        let mut headers = Vec::new();
+        if let Some(name) = slot {
+            headers.push(("x-mfaplace-model", name));
+        }
+        let r = client::request(
+            addr,
+            "POST",
+            "/admin/engine",
+            &headers,
+            engine.name().as_bytes(),
+        )?;
         if r.status != 200 {
             return Err(format!("engine switch failed: {}", r.text().trim()));
         }
-        println!("server engine set to {}", engine.name());
+        match slot {
+            Some(name) => println!("slot {name} engine set to {}", engine.name()),
+            None => println!("server engine set to {}", engine.name()),
+        }
     }
     let design_path = get(flags, "design")?;
     let placement_path = get(flags, "placement")?;
@@ -514,7 +607,7 @@ fn cmd_predict(flags: &HashMap<String, String>) -> Result<(), String> {
         .map_err(|e| format!("cannot read {design_path}: {e}"))?;
     let placement_text = std::fs::read_to_string(placement_path)
         .map_err(|e| format!("cannot read {placement_path}: {e}"))?;
-    let levels = client::predict_design(addr, &design_text, &placement_text)?;
+    let levels = client::predict_design_slot(addr, slot, &design_text, &placement_text)?;
     let (h, w) = (levels.shape()[0], levels.shape()[1]);
     let data = levels.data();
     let max = data.iter().cloned().fold(0.0f32, f32::max);
@@ -530,7 +623,7 @@ fn cmd_predict(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_route(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_route(flags: &Flags) -> Result<(), String> {
     let design = load_design(flags)?;
     let placement = load_placement(flags)?;
     let grid: usize = get_num(flags, "grid", 48)?;
@@ -557,7 +650,7 @@ fn cmd_route(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_features(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_features(flags: &Flags) -> Result<(), String> {
     let design = load_design(flags)?;
     let placement = load_placement(flags)?;
     let grid: usize = get_num(flags, "grid", 48)?;
@@ -578,7 +671,7 @@ fn cmd_features(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_render(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_render(flags: &Flags) -> Result<(), String> {
     let design = load_design(flags)?;
     let placement = load_placement(flags)?;
     let out = get(flags, "out")?;
@@ -586,4 +679,48 @@ fn cmd_render(flags: &HashMap<String, String>) -> Result<(), String> {
     std::fs::write(out, img.to_ppm()).map_err(|e| e.to_string())?;
     println!("wrote {out} ({}x{})", img.width(), img.height());
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_keep_every_occurrence_and_get_returns_the_last() {
+        let flags = parse_flags(&argv(&[
+            "--model", "a=x.mfaw", "--grid", "16", "--model", "b=y.mfaw", "--grid", "32",
+        ]))
+        .unwrap();
+        assert_eq!(flags.get("grid").unwrap(), "32");
+        assert_eq!(flags.all("model"), ["a=x.mfaw", "b=y.mfaw"]);
+        assert!(flags.all("missing").is_empty());
+        assert!(!flags.contains_key("resume"));
+    }
+
+    #[test]
+    fn model_specs_split_names_and_default_bare_paths() {
+        let specs = parse_model_specs(&argv(&["a=x.mfaw", "b=y.mfaw"])).unwrap();
+        assert_eq!(specs[0], ("a".into(), "x.mfaw".into()));
+        assert_eq!(specs[1], ("b".into(), "y.mfaw".into()));
+
+        let specs = parse_model_specs(&argv(&["x.mfaw"])).unwrap();
+        assert_eq!(specs, [("default".into(), "x.mfaw".into())]);
+    }
+
+    #[test]
+    fn model_specs_reject_duplicates_at_parse_time() {
+        let err = parse_model_specs(&argv(&["a=x.mfaw", "a=y.mfaw"])).unwrap_err();
+        assert!(err.contains("duplicate --model name \"a\""), "{err}");
+        // Two bare paths collide on the implicit "default" name.
+        let err = parse_model_specs(&argv(&["x.mfaw", "y.mfaw"])).unwrap_err();
+        assert!(err.contains("duplicate --model name \"default\""), "{err}");
+        let err = parse_model_specs(&argv(&["=x.mfaw"])).unwrap_err();
+        assert!(err.contains("expected name=path"), "{err}");
+        let err = parse_model_specs(&[]).unwrap_err();
+        assert!(err.contains("--model"), "{err}");
+    }
 }
