@@ -66,6 +66,9 @@ cargo run -q --release --offline -p mfaplace-serve --example smoke
 echo "==> two-slot fleet smoke test"
 cargo run -q --release --offline -p mfaplace-serve --example fleet_smoke
 
+echo "==> placement-jobs smoke test (two concurrent jobs, one slot)"
+cargo run -q --release --offline -p mfaplace-jobs --example jobs_smoke
+
 echo "==> train-throughput bench (results/train_parallel.json)"
 MFA_SCALE=quick cargo run -q --release --offline -p mfaplace-bench \
     --bin train_parallel >/dev/null
@@ -78,5 +81,8 @@ cargo bench -q --offline -p mfaplace-bench --bench infer_plan
 
 echo "==> fleet scaling bench (results/serve_fleet.json)"
 cargo bench -q --offline -p mfaplace-bench --bench serve_fleet
+
+echo "==> placement-jobs bench (results/serve_jobs.json)"
+cargo bench -q --offline -p mfaplace-bench --bench serve_jobs
 
 echo "CI OK"

@@ -1,0 +1,208 @@
+//! Benchmark of placement-as-a-service: wall-clock for 1 vs 4 concurrent
+//! placement jobs sharing one model slot, next to the predictor batch
+//! sizes the slot's micro-batcher actually formed.
+//!
+//! Each job runs the full predictor-in-the-loop flow; its per-round
+//! predictions go through the slot batcher, so with 4 jobs in flight the
+//! forwards coalesce (mean batch size > 1) and the wall-clock for 4 jobs
+//! lands well under 4x the single-job time. That amortization — not raw
+//! single-job speed — is what this bench records.
+//!
+//! Results land in `results/serve_jobs.json`.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mfaplace_core::loader::{init_checkpoint, LoadOptions};
+use mfaplace_fpga::design::DesignPreset;
+use mfaplace_fpga::io::write_design;
+use mfaplace_jobs::{JobEngine, JobsConfig, JobsExtension};
+use mfaplace_models::{Arch, ArchSpec};
+use mfaplace_serve::{
+    client, serve_fleet_with, BatchConfig, Metrics, ModelFleet, ServeConfig, ServerHandle,
+    SlotLimits,
+};
+
+struct JobsNumbers {
+    jobs: usize,
+    wall_s: f64,
+    batches: u64,
+    items: u64,
+    mean_batch: f64,
+}
+
+fn start_server(ckpt: &str, workers: usize) -> ServerHandle {
+    let batch = BatchConfig {
+        max_batch: 8,
+        batch_window: Duration::from_millis(150),
+        queue_bound: 64,
+    };
+    let metrics = Arc::new(Metrics::new());
+    let fleet = Arc::new(ModelFleet::new(metrics.clone(), batch));
+    fleet
+        .add_slot(
+            "default",
+            ckpt,
+            LoadOptions::default(),
+            SlotLimits::default(),
+        )
+        .expect("add slot");
+    let engine = JobEngine::start(
+        Arc::clone(&fleet),
+        JobsConfig {
+            workers,
+            queue_bound: 16,
+            ..JobsConfig::default()
+        },
+    );
+    engine.register_metrics(&metrics);
+    serve_fleet_with(
+        fleet,
+        metrics,
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            batch,
+            ..ServeConfig::default()
+        },
+        vec![Arc::new(JobsExtension::new(engine))],
+    )
+    .expect("bind")
+}
+
+fn slot_counter(scrape: &str, name: &str) -> u64 {
+    let prefix = format!("{name}{{slot=\"default\"}}");
+    scrape
+        .lines()
+        .find_map(|l| {
+            l.strip_prefix(prefix.as_str())
+                .and_then(|v| v.trim().parse().ok())
+        })
+        .unwrap_or_else(|| panic!("missing {prefix} in scrape:\n{scrape}"))
+}
+
+/// Runs `jobs` identical placement jobs concurrently to completion and
+/// returns wall-clock plus the batch counters the phase added.
+fn bench_jobs(addr: &str, body: &str, jobs: usize) -> JobsNumbers {
+    let scrape = client::request(addr, "GET", "/metrics", &[], b"")
+        .expect("metrics")
+        .text();
+    let batches0 = slot_counter(&scrape, "mfaplace_slot_batches_total");
+    let items0 = slot_counter(&scrape, "mfaplace_slot_batched_items_total");
+
+    let start = Instant::now();
+    let ids: Vec<String> = (0..jobs)
+        .map(|_| {
+            let r = client::request(addr, "POST", "/jobs", &[], body.as_bytes()).expect("submit");
+            assert_eq!(r.status, 200, "{}", r.text());
+            r.text()
+                .lines()
+                .next()
+                .and_then(|l| l.strip_prefix("id "))
+                .expect("job id")
+                .to_owned()
+        })
+        .collect();
+    std::thread::scope(|s| {
+        for id in &ids {
+            s.spawn(move || {
+                let mut last = String::new();
+                let path = format!("/jobs/{id}/events");
+                client::stream_lines(addr, "GET", &path, &[], b"", &mut |line| {
+                    if !line.is_empty() {
+                        last = line.to_owned();
+                    }
+                    true
+                })
+                .expect("stream");
+                assert_eq!(
+                    last, "{\"event\":\"done\",\"state\":\"completed\"}",
+                    "job {id} must complete"
+                );
+            });
+        }
+    });
+    let wall_s = start.elapsed().as_secs_f64();
+
+    let scrape = client::request(addr, "GET", "/metrics", &[], b"")
+        .expect("metrics")
+        .text();
+    let batches = slot_counter(&scrape, "mfaplace_slot_batches_total") - batches0;
+    let items = slot_counter(&scrape, "mfaplace_slot_batched_items_total") - items0;
+    let numbers = JobsNumbers {
+        jobs,
+        wall_s,
+        batches,
+        items,
+        mean_batch: if batches == 0 {
+            0.0
+        } else {
+            items as f64 / batches as f64
+        },
+    };
+    eprintln!(
+        "bench serve_jobs/jobs{}: {:.2}s wall, {} forwards for {} predictions \
+         (mean batch {:.2})",
+        numbers.jobs, numbers.wall_s, numbers.batches, numbers.items, numbers.mean_batch
+    );
+    numbers
+}
+
+fn main() {
+    let mut spec = ArchSpec::new(Arch::UNet, 16);
+    spec.base_channels = 2;
+    let ckpt = std::env::temp_dir()
+        .join("serve_jobs_bench.mfaw")
+        .to_string_lossy()
+        .into_owned();
+    init_checkpoint(&spec, 1, &ckpt).expect("init checkpoint");
+
+    let server = start_server(&ckpt, 4);
+    let addr = server.addr().to_string();
+    let design = DesignPreset::design_116()
+        .with_scale(1024, 128, 64)
+        .generate(1);
+    let body = format!(
+        "seed=5 iterations=6\n---DESIGN---\n{}",
+        write_design(&design)
+    );
+
+    let runs: Vec<JobsNumbers> = [1usize, 4]
+        .iter()
+        .map(|&n| bench_jobs(&addr, &body, n))
+        .collect();
+    server.shutdown();
+    server.join();
+    std::fs::remove_file(&ckpt).ok();
+
+    // With 4 jobs in flight the batcher must have coalesced at least once.
+    let four = runs.last().expect("two runs");
+    assert!(
+        four.items > four.batches,
+        "4 concurrent jobs formed no batch > 1 ({} items in {} batches)",
+        four.items,
+        four.batches
+    );
+
+    let mut json = String::from(
+        "{\"suite\":\"serve_jobs\",\"checkpoint\":\"unet_g16\",\
+         \"flow\":\"ours\",\"iterations\":6,\"runs\":[",
+    );
+    for (i, r) in runs.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "{{\"jobs\":{},\"wall_s\":{:.3},\"predict_batches\":{},\
+             \"predict_items\":{},\"mean_batch\":{:.3}}}",
+            r.jobs, r.wall_s, r.batches, r.items, r.mean_batch
+        ));
+    }
+    json.push_str("]}");
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/serve_jobs.json");
+    if let Some(parent) = std::path::Path::new(out).parent() {
+        std::fs::create_dir_all(parent).expect("results dir");
+    }
+    std::fs::write(out, &json).expect("write serve_jobs.json");
+    eprintln!("wrote {out}");
+}

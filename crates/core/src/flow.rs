@@ -4,7 +4,9 @@
 //! MLCAD 2023 score formulas, including a simulated Vivado `T_P&R`.
 
 use mfaplace_fpga::design::Design;
-use mfaplace_placer::flows::{CongestionPredictor, PlacementFlow, PlacementResult};
+use mfaplace_placer::flows::{
+    CongestionPredictor, FlowAborted, FlowEvent, PlacementFlow, PlacementResult,
+};
 use mfaplace_placer::FlowConfig as PlacerFlowConfig;
 use mfaplace_router::congestion::CongestionAnalysis;
 use mfaplace_router::detailed::detailed_route_iterations;
@@ -45,6 +47,35 @@ pub struct FlowOutcome {
     pub overflow: f32,
 }
 
+/// A progress event emitted by [`MacroPlacementFlow::run_with_observer`].
+///
+/// Like [`FlowEvent`], every payload is derived deterministically from the
+/// flow state (no timestamps), so identical runs emit identical sequences.
+#[derive(Debug, Clone)]
+pub enum FlowProgress {
+    /// A placement-stage event (GP iterations, predictions, inflation,
+    /// legalization).
+    Placement(FlowEvent),
+    /// Global routing finished.
+    Routed {
+        /// Total routed wirelength.
+        wirelength: f64,
+        /// Residual routing overflow.
+        overflow: f32,
+    },
+    /// Contest scoring finished — the flow is complete.
+    Scored {
+        /// Initial-routing congestion score.
+        s_ir: f64,
+        /// Detailed-route iteration count.
+        s_dr: f64,
+        /// Combined routability score.
+        s_r: f64,
+        /// Final contest score.
+        s_score: f64,
+    },
+}
+
 /// Runs placement + routing + scoring for one design.
 #[derive(Debug, Clone)]
 pub struct MacroPlacementFlow {
@@ -78,7 +109,51 @@ impl MacroPlacementFlow {
     ) -> FlowOutcome {
         let placement_flow = PlacementFlow::new(self.config.placer.clone());
         let placement = placement_flow.run(design, predictor, seed);
+        self.score_placement(design, placement)
+    }
 
+    /// Like [`run_with`](Self::run_with), but emits a [`FlowProgress`]
+    /// event after every GP iteration, prediction, inflation round,
+    /// legalization, routing and scoring. Observers only read derived
+    /// values, so observed runs produce outcomes bitwise identical to
+    /// unobserved ones. Returning `false` from `observe` aborts the flow
+    /// at the next event boundary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowAborted`] when the observer requests an abort.
+    pub fn run_with_observer(
+        &self,
+        design: &Design,
+        predictor: &mut dyn CongestionPredictor,
+        seed: u64,
+        observe: &mut dyn FnMut(&FlowProgress) -> bool,
+    ) -> Result<FlowOutcome, FlowAborted> {
+        let placement_flow = PlacementFlow::new(self.config.placer.clone());
+        let placement = placement_flow.run_observed(design, predictor, seed, &mut |e| {
+            observe(&FlowProgress::Placement(e.clone()))
+        })?;
+        let out = self.score_placement(design, placement);
+        if !observe(&FlowProgress::Routed {
+            wirelength: out.wirelength,
+            overflow: out.overflow,
+        }) {
+            return Err(FlowAborted);
+        }
+        if !observe(&FlowProgress::Scored {
+            s_ir: out.score.s_ir(),
+            s_dr: out.score.s_dr(),
+            s_r: out.score.s_r(),
+            s_score: out.score.s_score(),
+        }) {
+            return Err(FlowAborted);
+        }
+        Ok(out)
+    }
+
+    /// Routes and scores a finished placement (the non-placement half of
+    /// the flow, shared by the observed and unobserved entry points).
+    fn score_placement(&self, design: &Design, placement: PlacementResult) -> FlowOutcome {
         let router = GlobalRouter::new(self.config.router.clone());
         let outcome = router.route(design, &placement.placement);
         let analysis = CongestionAnalysis::from_usage(&outcome.usage, &self.config.router);

@@ -21,7 +21,7 @@ pub mod report;
 pub mod train;
 
 pub use dataset::{Dataset, DatasetConfig, Sample};
-pub use flow::{FlowConfig, FlowOutcome, MacroPlacementFlow};
+pub use flow::{FlowConfig, FlowOutcome, FlowProgress, MacroPlacementFlow};
 pub use loader::{
     content_hash, load_predictor, load_predictor_with_cache, save_predictor, LoadOptions,
 };

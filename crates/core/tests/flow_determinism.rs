@@ -1,0 +1,106 @@
+//! Flow determinism: `MacroPlacementFlow::run_with` under a fixed seed and
+//! the same checkpoint must produce bitwise-identical `FlowOutcome`s across
+//! runs, and an observed run must be bitwise identical to an unobserved
+//! one with an event stream that is itself reproducible. The only field
+//! excluded from comparison is `t_macro_min`, which is wall-clock by
+//! definition.
+
+use mfaplace_core::loader::{init_checkpoint, load_predictor, LoadOptions};
+use mfaplace_core::{FlowConfig, FlowOutcome, MacroPlacementFlow};
+use mfaplace_fpga::design::{Design, DesignPreset};
+use mfaplace_models::{Arch, ArchSpec};
+use mfaplace_placer::flows::CongestionPredictor;
+
+const GRID: usize = 16;
+const SEED: u64 = 7;
+
+fn temp_checkpoint(name: &str) -> String {
+    let dir = std::env::temp_dir().join("mfaplace_flow_determinism_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name).to_string_lossy().into_owned();
+    let mut spec = ArchSpec::new(Arch::UNet, GRID);
+    spec.base_channels = 2;
+    init_checkpoint(&spec, 11, &path).unwrap();
+    path
+}
+
+fn quick_config() -> FlowConfig {
+    let mut cfg = FlowConfig::default();
+    cfg.placer.gp_stage1.iterations = 8;
+    cfg.placer.gp_stage2.iterations = 4;
+    cfg.placer.grid_w = GRID;
+    cfg.placer.grid_h = GRID;
+    cfg.router.grid_w = GRID;
+    cfg.router.grid_h = GRID;
+    cfg
+}
+
+fn small_design() -> Design {
+    DesignPreset::design_116()
+        .with_scale(512, 64, 32)
+        .generate(1)
+}
+
+fn run_once(ckpt: &str, flow: &MacroPlacementFlow, design: &Design) -> FlowOutcome {
+    let (_, mut predictor) = load_predictor(ckpt, LoadOptions::default()).unwrap();
+    flow.run_with(design, &mut predictor, SEED)
+}
+
+/// Asserts every deterministic field of two outcomes matches bitwise
+/// (`t_macro_min` is wall-clock and deliberately excluded).
+fn assert_outcomes_identical(a: &FlowOutcome, b: &FlowOutcome) {
+    assert_eq!(a.placement.placement, b.placement.placement);
+    assert_eq!(a.placement.final_overflow, b.placement.final_overflow);
+    assert_eq!(a.placement.inflation, b.placement.inflation);
+    assert_eq!(a.placement.stage1_iterations, b.placement.stage1_iterations);
+    assert_eq!(a.score.s_ir().to_bits(), b.score.s_ir().to_bits());
+    assert_eq!(a.score.s_dr().to_bits(), b.score.s_dr().to_bits());
+    assert_eq!(a.analysis.short_levels(), b.analysis.short_levels());
+    assert_eq!(a.analysis.global_levels(), b.analysis.global_levels());
+    assert_eq!(a.wirelength.to_bits(), b.wirelength.to_bits());
+    assert_eq!(a.overflow.to_bits(), b.overflow.to_bits());
+}
+
+#[test]
+fn run_with_is_bitwise_deterministic_across_runs() {
+    let ckpt = temp_checkpoint("flow_det.mfaw");
+    let flow = MacroPlacementFlow::new(quick_config());
+    let d = small_design();
+    let a = run_once(&ckpt, &flow, &d);
+    let b = run_once(&ckpt, &flow, &d);
+    assert_outcomes_identical(&a, &b);
+}
+
+#[test]
+fn observed_run_is_bitwise_identical_with_reproducible_events() {
+    let ckpt = temp_checkpoint("flow_det_obs.mfaw");
+    let flow = MacroPlacementFlow::new(quick_config());
+    let d = small_design();
+    let plain = run_once(&ckpt, &flow, &d);
+
+    let observed_run = || {
+        let (_, mut predictor) = load_predictor(&ckpt, LoadOptions::default()).unwrap();
+        let mut events = Vec::new();
+        let out = flow
+            .run_with_observer(
+                &d,
+                &mut predictor as &mut dyn CongestionPredictor,
+                SEED,
+                &mut |e| {
+                    events.push(format!("{e:?}"));
+                    true
+                },
+            )
+            .unwrap();
+        (out, events)
+    };
+    let (obs_a, events_a) = observed_run();
+    let (obs_b, events_b) = observed_run();
+
+    assert_outcomes_identical(&plain, &obs_a);
+    assert_outcomes_identical(&obs_a, &obs_b);
+    // Events carry no timestamps, so the streams match verbatim.
+    assert_eq!(events_a, events_b);
+    assert!(events_a.iter().any(|e| e.contains("Predicted")));
+    assert!(events_a.iter().any(|e| e.contains("Scored")));
+}

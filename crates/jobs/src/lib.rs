@@ -1,0 +1,47 @@
+//! `mfaplace-jobs` — placement-as-a-service: an async job engine that
+//! runs the paper's predictor-in-the-loop macro placement flow
+//! ([`mfaplace_core::MacroPlacementFlow`]) behind the serve layer.
+//!
+//! # Architecture
+//!
+//! ```text
+//! POST /jobs ──▶ bounded queue (429 when full) ──▶ worker pool
+//!                                                    │ one flow per job
+//!                                                    ▼
+//!                                      Flow::run_with_observer
+//!                             GP iterations ─ predict ─ inflate ─ route
+//!                                                    │ per-round predicts
+//!                                                    ▼
+//!                                    fleet slot micro-batcher (shared
+//!                                    with /predict — N concurrent jobs
+//!                                    coalesce into [N,6,H,W] forwards)
+//! ```
+//!
+//! - [`spec`] — the job-submission wire format (`flow=… seed=…` options,
+//!   design inline after a `---DESIGN---` marker or server-side by path);
+//! - [`predictor`] — a [`mfaplace_placer::CongestionPredictor`] that
+//!   resolves predictions through a fleet slot's batcher, which is what
+//!   makes concurrent jobs share forwards with each other and with plain
+//!   `/predict` traffic;
+//! - [`engine`] — the bounded worker pool, job registry, per-job NDJSON
+//!   event logs, cancellation, graceful drain, and `mfaplace_jobs_*`
+//!   metrics;
+//! - [`api`] — the `/jobs` HTTP surface, mounted into the server as a
+//!   [`mfaplace_serve::ServeExtension`] (`POST /jobs`, `GET /jobs[/<id>]`,
+//!   `GET /jobs/<id>/events` NDJSON stream, `DELETE /jobs/<id>`).
+//!
+//! Job event streams carry no timestamps: a job's stream is a pure
+//! function of (design, flow, seed, checkpoint), so two runs of the same
+//! spec — serial or concurrently interleaved with other jobs — produce
+//! bitwise-identical streams. This is asserted end to end in this crate's
+//! tests.
+
+pub mod api;
+pub mod engine;
+pub mod predictor;
+pub mod spec;
+
+pub use api::JobsExtension;
+pub use engine::{Job, JobEngine, JobState, JobsConfig, SubmitJobError};
+pub use predictor::SlotPredictor;
+pub use spec::{DesignSource, JobSpec, PredictorKind};

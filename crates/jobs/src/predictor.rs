@@ -1,0 +1,97 @@
+//! A [`CongestionPredictor`] that resolves predictions through a fleet
+//! slot's micro-batcher.
+//!
+//! This is what makes jobs "predictor-in-the-loop *at scale*": every
+//! per-round prediction inside a running flow is submitted to the same
+//! bounded queue as `/predict` traffic, so N concurrent jobs placing at
+//! the same time coalesce their forwards into `[N, 6, H, W]` batches on
+//! one compiled plan instead of N serial `[1, 6, H, W]` passes.
+//!
+//! The flow's `CongestionPredictor::predict` signature is infallible (it
+//! returns a `GridMap`), so failures are handled out of band: the first
+//! batcher/model error is latched into a shared error slot and an
+//! all-zero map is returned. The job worker's observer checks the error
+//! slot after every event and aborts the flow, so at most a handful of
+//! iterations run on the zero map before the job is failed.
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use mfaplace_fpga::features::FeatureStack;
+use mfaplace_fpga::{Design, GridMap, Placement};
+use mfaplace_placer::CongestionPredictor;
+use mfaplace_serve::FleetSlot;
+
+/// A predictor bound to one fleet slot and one job deadline.
+pub struct SlotPredictor {
+    slot: Arc<FleetSlot>,
+    deadline: Instant,
+    error: Arc<Mutex<Option<String>>>,
+}
+
+impl SlotPredictor {
+    /// Binds a predictor to `slot`, with every prediction sharing the
+    /// whole-job `deadline`.
+    pub fn new(slot: Arc<FleetSlot>, deadline: Instant) -> Self {
+        SlotPredictor {
+            slot,
+            deadline,
+            error: Arc::new(Mutex::new(None)),
+        }
+    }
+
+    /// Shared handle the job worker polls to notice prediction failures
+    /// (the trait's `predict` cannot return errors).
+    pub fn error_slot(&self) -> Arc<Mutex<Option<String>>> {
+        Arc::clone(&self.error)
+    }
+
+    fn fail(&self, message: String, grid_w: usize, grid_h: usize) -> GridMap {
+        let mut slot = self.error.lock().expect("predictor error lock poisoned");
+        if slot.is_none() {
+            *slot = Some(message);
+        }
+        GridMap::new(grid_w, grid_h)
+    }
+}
+
+impl CongestionPredictor for SlotPredictor {
+    fn predict(
+        &mut self,
+        design: &Design,
+        placement: &Placement,
+        grid_w: usize,
+        grid_h: usize,
+    ) -> GridMap {
+        if self
+            .error
+            .lock()
+            .expect("predictor error lock poisoned")
+            .is_some()
+        {
+            // Already failed: the flow is about to be aborted by the
+            // observer; don't queue more work.
+            return GridMap::new(grid_w, grid_h);
+        }
+        let features = FeatureStack::extract(design, placement, grid_w, grid_h).to_tensor();
+        let rx = match self.slot.batcher().submit(features, self.deadline) {
+            Ok(rx) => rx,
+            Err(err) => {
+                return self.fail(format!("predict submit failed: {err:?}"), grid_w, grid_h)
+            }
+        };
+        match rx.recv() {
+            Ok(Ok(levels)) => GridMap::from_vec(grid_w, grid_h, levels.into_vec()),
+            Ok(Err(err)) => self.fail(format!("predict failed: {err:?}"), grid_w, grid_h),
+            Err(_) => self.fail(
+                "predict worker dropped the reply channel".into(),
+                grid_w,
+                grid_h,
+            ),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "fleet-slot"
+    }
+}

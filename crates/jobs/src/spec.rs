@@ -1,0 +1,223 @@
+//! The job-submission wire format.
+//!
+//! A `POST /jobs` body is a header of whitespace-separated `key=value`
+//! options, optionally followed by a line containing only `---DESIGN---`
+//! and the design text inline:
+//!
+//! ```text
+//! flow=ours seed=7 slot=default deadline_ms=600000
+//! ---DESIGN---
+//! design design_116
+//! arch 168 120
+//! …
+//! ```
+//!
+//! Designs come either inline (the usual remote case) or by server-side
+//! path (`design=/path/to/design.nl`, for co-located clients) — exactly
+//! one of the two.
+
+use std::time::Duration;
+
+/// Which congestion predictor drives inflation inside the job's flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictorKind {
+    /// The learned model, resolved through the fleet slot named by the
+    /// spec (or the default slot). Predictions go through the slot's
+    /// micro-batcher and coalesce with other jobs' forwards.
+    Model,
+    /// The RUDY analytical baseline — no model involved, runs even on a
+    /// slotless fleet.
+    Rudy,
+}
+
+impl PredictorKind {
+    /// Wire name (`model` / `rudy`).
+    pub fn name(self) -> &'static str {
+        match self {
+            PredictorKind::Model => "model",
+            PredictorKind::Rudy => "rudy",
+        }
+    }
+}
+
+/// Where the design text comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DesignSource {
+    /// Design text shipped in the request body after `---DESIGN---`.
+    Inline(String),
+    /// Server-side path to a `.nl` design file.
+    Path(String),
+}
+
+/// A parsed placement-job request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Flow preset: `ours` (default), `utda`, `seu` or `mpku`.
+    pub flow: String,
+    /// Placement seed.
+    pub seed: u64,
+    /// Fleet slot whose model drives inflation (`None` = default slot).
+    pub slot: Option<String>,
+    /// Predictor kind (default [`PredictorKind::Model`]).
+    pub predictor: PredictorKind,
+    /// Whole-job deadline; `None` uses the engine default.
+    pub deadline: Option<Duration>,
+    /// Optional cap on GP iterations (stage 1 capped at this, stage 2 at
+    /// half plus one — same mapping as the CLI `place --iterations`).
+    pub iterations: Option<usize>,
+    /// Congestion/routing grid for RUDY jobs (model jobs always use the
+    /// slot's grid). Default 32.
+    pub grid: Option<usize>,
+    /// The design to place.
+    pub design: DesignSource,
+}
+
+/// The marker separating the option header from inline design text.
+pub const DESIGN_MARKER: &str = "---DESIGN---";
+
+/// Flow preset names accepted in `flow=`.
+pub const FLOW_NAMES: [&str; 4] = ["ours", "utda", "seu", "mpku"];
+
+/// Parses a `POST /jobs` body.
+///
+/// # Errors
+///
+/// Returns a human-readable message naming the offending option.
+pub fn parse_spec(body: &str) -> Result<JobSpec, String> {
+    let (header, inline) = match body.split_once(DESIGN_MARKER) {
+        Some((head, rest)) => {
+            let design = rest.trim_start_matches(['\r', '\n']).to_owned();
+            if design.trim().is_empty() {
+                return Err("inline design after ---DESIGN--- is empty".into());
+            }
+            (head, Some(design))
+        }
+        None => (body, None),
+    };
+
+    let mut spec = JobSpec {
+        flow: "ours".into(),
+        seed: 1,
+        slot: None,
+        predictor: PredictorKind::Model,
+        deadline: None,
+        iterations: None,
+        grid: None,
+        design: DesignSource::Inline(String::new()),
+    };
+    let mut path: Option<String> = None;
+
+    for token in header.split_whitespace() {
+        let Some((key, value)) = token.split_once('=') else {
+            return Err(format!("bad option {token:?}: expected key=value"));
+        };
+        match key {
+            "flow" => {
+                if !FLOW_NAMES.contains(&value) {
+                    return Err(format!(
+                        "unknown flow {value:?}; expected one of {}",
+                        FLOW_NAMES.join(", ")
+                    ));
+                }
+                spec.flow = value.to_owned();
+            }
+            "seed" => {
+                spec.seed = value.parse().map_err(|_| format!("bad seed {value:?}"))?;
+            }
+            "slot" => spec.slot = Some(value.to_owned()),
+            "predictor" => {
+                spec.predictor = match value {
+                    "model" => PredictorKind::Model,
+                    "rudy" => PredictorKind::Rudy,
+                    _ => return Err(format!("unknown predictor {value:?} (model|rudy)")),
+                }
+            }
+            "deadline_ms" => {
+                let ms: u64 = value
+                    .parse()
+                    .map_err(|_| format!("bad deadline_ms {value:?}"))?;
+                if ms == 0 {
+                    return Err("deadline_ms must be positive".into());
+                }
+                spec.deadline = Some(Duration::from_millis(ms));
+            }
+            "iterations" => {
+                let n: usize = value
+                    .parse()
+                    .map_err(|_| format!("bad iterations {value:?}"))?;
+                if n == 0 {
+                    return Err("iterations must be positive".into());
+                }
+                spec.iterations = Some(n);
+            }
+            "grid" => {
+                let n: usize = value.parse().map_err(|_| format!("bad grid {value:?}"))?;
+                if n == 0 || n > 1024 {
+                    return Err(format!("grid {n} out of range 1..=1024"));
+                }
+                spec.grid = Some(n);
+            }
+            "design" => path = Some(value.to_owned()),
+            _ => return Err(format!("unknown option {key:?}")),
+        }
+    }
+
+    spec.design = match (path, inline) {
+        (Some(_), Some(_)) => {
+            return Err("give either design=<path> or an inline design, not both".into())
+        }
+        (Some(p), None) => DesignSource::Path(p),
+        (None, Some(text)) => DesignSource::Inline(text),
+        (None, None) => {
+            return Err("no design: pass design=<path> or inline text after ---DESIGN---".into())
+        }
+    };
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_header_with_inline_design() {
+        let body = "flow=seu seed=9 slot=canary predictor=model deadline_ms=1000 \
+                    iterations=6 grid=16\n---DESIGN---\ndesign d\narch 8 8\n";
+        let spec = parse_spec(body).unwrap();
+        assert_eq!(spec.flow, "seu");
+        assert_eq!(spec.seed, 9);
+        assert_eq!(spec.slot.as_deref(), Some("canary"));
+        assert_eq!(spec.predictor, PredictorKind::Model);
+        assert_eq!(spec.deadline, Some(Duration::from_millis(1000)));
+        assert_eq!(spec.iterations, Some(6));
+        assert_eq!(spec.grid, Some(16));
+        assert_eq!(
+            spec.design,
+            DesignSource::Inline("design d\narch 8 8\n".into())
+        );
+    }
+
+    #[test]
+    fn defaults_are_ours_model_seed_one() {
+        let spec = parse_spec("design=/tmp/d.nl").unwrap();
+        assert_eq!(spec.flow, "ours");
+        assert_eq!(spec.seed, 1);
+        assert_eq!(spec.slot, None);
+        assert_eq!(spec.predictor, PredictorKind::Model);
+        assert_eq!(spec.design, DesignSource::Path("/tmp/d.nl".into()));
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(parse_spec("flow=bogus design=/d.nl").is_err());
+        assert!(parse_spec("seed=abc design=/d.nl").is_err());
+        assert!(parse_spec("predictor=oracle design=/d.nl").is_err());
+        assert!(parse_spec("deadline_ms=0 design=/d.nl").is_err());
+        assert!(parse_spec("noequals design=/d.nl").is_err());
+        assert!(parse_spec("mystery=1 design=/d.nl").is_err());
+        // No design at all, both designs, empty inline.
+        assert!(parse_spec("flow=ours").is_err());
+        assert!(parse_spec("design=/d.nl\n---DESIGN---\ndesign d\n").is_err());
+        assert!(parse_spec("flow=ours\n---DESIGN---\n\n").is_err());
+    }
+}

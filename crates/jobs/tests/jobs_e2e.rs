@@ -1,0 +1,242 @@
+//! Placement-as-a-service end to end: a real fleet server with the jobs
+//! extension mounted, exercised over HTTP.
+//!
+//! The acceptance assertions from the issue:
+//! - two concurrent jobs sharing one model slot complete with event
+//!   streams bitwise identical to their serial runs (determinism survives
+//!   batching and interleaving);
+//! - `/metrics` exposes the `mfaplace_jobs_*` families;
+//! - the slot's batch counters prove the concurrent jobs coalesced
+//!   per-iteration forwards (`batched_items_total > batches_total`).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use mfaplace_core::loader::{init_checkpoint, LoadOptions};
+use mfaplace_fpga::design::DesignPreset;
+use mfaplace_fpga::io::write_design;
+use mfaplace_jobs::{JobEngine, JobsConfig, JobsExtension};
+use mfaplace_models::{Arch, ArchSpec};
+use mfaplace_serve::{
+    client, serve_fleet_with, BatchConfig, Metrics, ModelFleet, ServeConfig, ServerHandle,
+    SlotLimits,
+};
+
+const GRID: usize = 16;
+
+fn checkpoint(name: &str, seed: u64) -> String {
+    let dir = std::env::temp_dir().join("mfaplace_jobs_e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name).to_string_lossy().into_owned();
+    let mut spec = ArchSpec::new(Arch::UNet, GRID);
+    spec.base_channels = 2;
+    init_checkpoint(&spec, seed, &path).unwrap();
+    path
+}
+
+/// One-slot fleet server with the jobs extension mounted. The batch
+/// window is stretched so concurrent jobs' per-round predictions land in
+/// one forward.
+fn start_jobs_server(ckpt: &str) -> ServerHandle {
+    let batch = BatchConfig {
+        max_batch: 8,
+        batch_window: Duration::from_millis(500),
+        queue_bound: 64,
+    };
+    let metrics = Arc::new(Metrics::new());
+    let fleet = Arc::new(ModelFleet::new(metrics.clone(), batch));
+    fleet
+        .add_slot(
+            "default",
+            ckpt,
+            LoadOptions::default(),
+            SlotLimits::default(),
+        )
+        .unwrap();
+    let engine = JobEngine::start(
+        Arc::clone(&fleet),
+        JobsConfig {
+            workers: 2,
+            queue_bound: 8,
+            default_deadline: Duration::from_secs(120),
+            retain: 16,
+        },
+    );
+    engine.register_metrics(&metrics);
+    serve_fleet_with(
+        fleet,
+        metrics,
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            batch,
+            ..ServeConfig::default()
+        },
+        vec![Arc::new(JobsExtension::new(engine))],
+    )
+    .unwrap()
+}
+
+fn submit(addr: &str, body: &str) -> String {
+    let r = client::request(addr, "POST", "/jobs", &[], body.as_bytes()).unwrap();
+    assert_eq!(r.status, 200, "{}", r.text());
+    r.text()
+        .lines()
+        .next()
+        .unwrap()
+        .strip_prefix("id ")
+        .expect("submit response starts with the job id")
+        .to_owned()
+}
+
+/// Follows a job's NDJSON stream to completion and returns its lines.
+fn watch(addr: &str, id: &str) -> Vec<String> {
+    let mut lines = Vec::new();
+    let path = format!("/jobs/{id}/events");
+    let status = client::stream_lines(addr, "GET", &path, &[], b"", &mut |line| {
+        if !line.is_empty() {
+            lines.push(line.to_owned());
+        }
+        true
+    })
+    .unwrap();
+    assert_eq!(status, 200);
+    lines
+}
+
+#[test]
+fn concurrent_jobs_match_serial_runs_bitwise_and_coalesce_batches() {
+    let ckpt = checkpoint("jobs.mfaw", 11);
+    let server = start_jobs_server(&ckpt);
+    let addr = server.addr().to_string();
+
+    let design = DesignPreset::design_116()
+        .with_scale(1024, 128, 64)
+        .generate(1);
+    let body = format!(
+        "seed=5 iterations=6\n---DESIGN---\n{}",
+        write_design(&design)
+    );
+
+    // Serial phase: two identical jobs, one after the other.
+    let serial_a = {
+        let id = submit(&addr, &body);
+        watch(&addr, &id)
+    };
+    let serial_b = {
+        let id = submit(&addr, &body);
+        watch(&addr, &id)
+    };
+    assert!(!serial_a.is_empty());
+    assert_eq!(
+        serial_a.last().unwrap(),
+        "{\"event\":\"done\",\"state\":\"completed\"}"
+    );
+    assert!(
+        serial_a
+            .iter()
+            .any(|l| l.contains("\"event\":\"predicted\"")),
+        "stream must include model predictions: {serial_a:#?}"
+    );
+    assert!(serial_a.iter().any(|l| l.contains("\"event\":\"scored\"")));
+    assert_eq!(
+        serial_a, serial_b,
+        "serial reruns must be bitwise identical"
+    );
+
+    // Concurrent phase: submit both, then follow both streams while the
+    // two workers place simultaneously against the one slot.
+    let id_a = submit(&addr, &body);
+    let id_b = submit(&addr, &body);
+    let (conc_a, conc_b) = std::thread::scope(|s| {
+        let ta = s.spawn(|| watch(&addr, &id_a));
+        let tb = s.spawn(|| watch(&addr, &id_b));
+        (ta.join().unwrap(), tb.join().unwrap())
+    });
+    assert_eq!(
+        conc_a, serial_a,
+        "concurrent job A diverged from its serial run"
+    );
+    assert_eq!(
+        conc_b, serial_a,
+        "concurrent job B diverged from its serial run"
+    );
+
+    // Job status + listing reflect four completed jobs.
+    let listing = client::request(&addr, "GET", "/jobs", &[], b"")
+        .unwrap()
+        .text();
+    assert_eq!(listing.lines().count(), 4, "{listing}");
+    assert!(
+        listing.lines().all(|l| l.contains(" completed ")),
+        "{listing}"
+    );
+    let status = client::request(&addr, "GET", &format!("/jobs/{id_a}"), &[], b"")
+        .unwrap()
+        .text();
+    assert!(status.contains("state completed"), "{status}");
+    assert!(status.contains("summary s_score="), "{status}");
+
+    // Metrics: the jobs families are present…
+    let metrics = client::request(&addr, "GET", "/metrics", &[], b"")
+        .unwrap()
+        .text();
+    assert!(
+        metrics.contains("mfaplace_jobs_submitted_total 4"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("mfaplace_jobs_completed_total 4"),
+        "{metrics}"
+    );
+    assert!(metrics.contains("mfaplace_jobs_workers 2"), "{metrics}");
+    assert!(
+        metrics.contains(&format!(
+            "mfaplace_jobs_job_state{{job=\"{id_a}\",state=\"completed\"}} 1"
+        )),
+        "{metrics}"
+    );
+
+    // …and the slot's batch counters prove the concurrent phase coalesced
+    // predictions: serial jobs only ever submit batches of one, so items
+    // can exceed batches only if some forward carried more than one job.
+    let counter = |name: &str| -> u64 {
+        metrics
+            .lines()
+            .find_map(|l| l.strip_prefix(name).and_then(|v| v.trim().parse().ok()))
+            .unwrap_or_else(|| panic!("missing {name} in scrape:\n{metrics}"))
+    };
+    let batches = counter("mfaplace_slot_batches_total{slot=\"default\"}");
+    let items = counter("mfaplace_slot_batched_items_total{slot=\"default\"}");
+    assert!(
+        items > batches,
+        "expected coalesced forwards (items {items} > batches {batches})"
+    );
+
+    server.join();
+}
+
+#[test]
+fn jobs_survive_server_drain_and_streams_replay_after_completion() {
+    let ckpt = checkpoint("jobs_drain.mfaw", 12);
+    let server = start_jobs_server(&ckpt);
+    let addr = server.addr().to_string();
+
+    let design = DesignPreset::design_116()
+        .with_scale(1024, 128, 64)
+        .generate(2);
+    let body = format!(
+        "seed=9 iterations=4\n---DESIGN---\n{}",
+        write_design(&design)
+    );
+    let id = submit(&addr, &body);
+    let live = watch(&addr, &id);
+
+    // A second watch of the finished job replays the identical stream.
+    let replay = watch(&addr, &id);
+    assert_eq!(live, replay);
+
+    // Graceful shutdown: the extension drains (no panics, engine joins)
+    // and the server comes down cleanly.
+    server.shutdown();
+    server.join();
+}

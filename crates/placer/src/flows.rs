@@ -189,6 +189,69 @@ impl FlowConfig {
     }
 }
 
+/// A progress event emitted by an observed placement flow.
+///
+/// Events carry only values derived deterministically from the placement
+/// state — no wall-clock timestamps — so two runs with the same design,
+/// seed and predictor produce bitwise-identical event sequences.
+#[derive(Debug, Clone)]
+pub enum FlowEvent {
+    /// A GP stage is starting. `stage` is 1 for the pre-inflation stage and
+    /// 2 for each post-inflation stage.
+    StageStart {
+        /// Stage number (1 or 2).
+        stage: usize,
+        /// Iteration budget for the stage.
+        iterations: usize,
+    },
+    /// One global-placement iteration finished.
+    GpIteration {
+        /// Stage number (1 or 2).
+        stage: usize,
+        /// Zero-based iteration index within the stage.
+        iteration: usize,
+        /// HPWL of the current (unlegalized) placement.
+        hpwl: f64,
+        /// Per-type overflow after the iteration.
+        overflow: Overflow,
+    },
+    /// The congestion predictor ran on a placement snapshot.
+    Predicted {
+        /// Zero-based inflation round.
+        round: usize,
+        /// Mean predicted congestion level over the grid.
+        mean_level: f32,
+        /// Peak predicted congestion level.
+        max_level: f32,
+        /// Tiles at or above level 4 (the "hot" half of the 0..=7 scale).
+        hot_tiles: usize,
+    },
+    /// Instance areas were inflated from the prediction.
+    Inflated {
+        /// Zero-based inflation round.
+        round: usize,
+        /// Inflation statistics for the round.
+        stats: InflationStats,
+    },
+    /// Macro and cell legalization (plus refinement) completed.
+    Legalized {
+        /// HPWL of the final legalized placement.
+        hpwl: f64,
+    },
+}
+
+/// An observed flow was aborted by its observer (e.g. job cancellation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowAborted;
+
+impl std::fmt::Display for FlowAborted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "flow aborted by observer")
+    }
+}
+
+impl std::error::Error for FlowAborted {}
+
 /// Outcome of a placement flow.
 #[derive(Debug, Clone)]
 pub struct PlacementResult {
@@ -234,18 +297,82 @@ impl PlacementFlow {
         predictor: &mut dyn CongestionPredictor,
         seed: u64,
     ) -> PlacementResult {
+        self.run_inner(design, predictor, seed, None)
+            .expect("unobserved runs never abort")
+    }
+
+    /// Like [`run`](Self::run), but emits a [`FlowEvent`] after every GP
+    /// iteration, prediction, inflation round and legalization. The
+    /// observer only reads derived values, so an observed run is bitwise
+    /// identical to an unobserved one. If `observe` returns `false` the
+    /// flow stops at the next event boundary and returns
+    /// `Err(FlowAborted)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowAborted`] when the observer requests an abort.
+    ///
+    /// # Panics
+    ///
+    /// Panics if macro legalization fails (generated designs always fit).
+    pub fn run_observed(
+        &self,
+        design: &Design,
+        predictor: &mut dyn CongestionPredictor,
+        seed: u64,
+        observe: &mut dyn FnMut(&FlowEvent) -> bool,
+    ) -> Result<PlacementResult, FlowAborted> {
+        self.run_inner(design, predictor, seed, Some(observe))
+    }
+
+    /// Shared flow body. When `observer` is `None`, events (and the HPWL
+    /// sample each one carries) are never computed, so `run` costs exactly
+    /// what it did before observers existed.
+    fn run_inner<'o>(
+        &self,
+        design: &Design,
+        predictor: &mut dyn CongestionPredictor,
+        seed: u64,
+        mut observer: Option<&mut (dyn FnMut(&FlowEvent) -> bool + 'o)>,
+    ) -> Result<PlacementResult, FlowAborted> {
         let start = Instant::now();
         let cfg = &self.config;
         let mut gp = GlobalPlacer::new(design, seed);
 
         let mut stage1 = cfg.gp_stage1.clone();
         stage1.seed = seed;
-        let (stage1_iterations, mut overflow) = gp.run_stage(&stage1);
+        if let Some(obs) = observer.as_deref_mut() {
+            if !obs(&FlowEvent::StageStart {
+                stage: 1,
+                iterations: stage1.iterations,
+            }) {
+                return Err(FlowAborted);
+            }
+        }
+        let (stage1_iterations, mut overflow) =
+            run_stage_maybe_observed(&mut gp, &stage1, design, 1, observer.as_deref_mut())?;
 
         let mut inflation = Vec::new();
-        for _round in 0..cfg.inflation_rounds {
+        for round in 0..cfg.inflation_rounds {
             let snapshot = gp.placement();
             let congestion = predictor.predict(design, &snapshot, cfg.grid_w, cfg.grid_h);
+            if let Some(obs) = observer.as_deref_mut() {
+                let cells = congestion.data();
+                let mean_level = if cells.is_empty() {
+                    0.0
+                } else {
+                    cells.iter().sum::<f32>() / cells.len() as f32
+                };
+                let hot_tiles = cells.iter().filter(|&&v| v >= 4.0).count();
+                if !obs(&FlowEvent::Predicted {
+                    round,
+                    mean_level,
+                    max_level: congestion.max(),
+                    hot_tiles,
+                }) {
+                    return Err(FlowAborted);
+                }
+            }
             let stats = {
                 let areas_ptr = gp.areas().to_vec();
                 let mut areas = areas_ptr;
@@ -254,10 +381,24 @@ impl PlacementFlow {
                 gp.areas_mut().copy_from_slice(&areas);
                 stats
             };
+            if let Some(obs) = observer.as_deref_mut() {
+                if !obs(&FlowEvent::Inflated { round, stats }) {
+                    return Err(FlowAborted);
+                }
+            }
             inflation.push(stats);
             let mut stage2 = cfg.gp_stage2.clone();
             stage2.seed = seed.wrapping_add(1);
-            let (_, of) = gp.run_stage(&stage2);
+            if let Some(obs) = observer.as_deref_mut() {
+                if !obs(&FlowEvent::StageStart {
+                    stage: 2,
+                    iterations: stage2.iterations,
+                }) {
+                    return Err(FlowAborted);
+                }
+            }
+            let (_, of) =
+                run_stage_maybe_observed(&mut gp, &stage2, design, 2, observer.as_deref_mut())?;
             overflow = of;
         }
 
@@ -267,14 +408,46 @@ impl PlacementFlow {
         if cfg.refine_passes > 0 {
             crate::detail::refine_cells(design, &mut placement, cfg.refine_passes, seed ^ 0xDE);
         }
+        if let Some(obs) = observer {
+            if !obs(&FlowEvent::Legalized {
+                hpwl: placement.hpwl(&design.netlist),
+            }) {
+                return Err(FlowAborted);
+            }
+        }
 
-        PlacementResult {
+        Ok(PlacementResult {
             placement,
             t_macro_min: start.elapsed().as_secs_f64() / 60.0,
             final_overflow: overflow,
             inflation,
             stage1_iterations,
-        }
+        })
+    }
+}
+
+/// Runs one GP stage, forwarding each iteration to the flow observer (when
+/// present) as a [`FlowEvent::GpIteration`]. The per-iteration HPWL sample
+/// is only computed when there is an observer to consume it.
+fn run_stage_maybe_observed<'o>(
+    gp: &mut GlobalPlacer,
+    cfg: &GpConfig,
+    design: &Design,
+    stage: usize,
+    observer: Option<&mut (dyn FnMut(&FlowEvent) -> bool + 'o)>,
+) -> Result<(usize, Overflow), FlowAborted> {
+    match observer {
+        None => Ok(gp.run_stage(cfg)),
+        Some(observe) => gp
+            .run_stage_observed(cfg, &mut |gp, iteration, overflow| {
+                observe(&FlowEvent::GpIteration {
+                    stage,
+                    iteration,
+                    hpwl: gp.placement().hpwl(&design.netlist),
+                    overflow: *overflow,
+                })
+            })
+            .ok_or(FlowAborted),
     }
 }
 
@@ -358,6 +531,50 @@ mod tests {
         let res = flow.run(&d, &mut Hot, 3);
         assert!(res.inflation[0].inflated_instances > 0);
         assert!(res.inflation[0].added_area > 0.0);
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved_bitwise() {
+        let d = small_design();
+        let flow = PlacementFlow::new(quick(FlowConfig::model_driven()));
+        let plain = flow.run(&d, &mut RudyPredictor::default(), 9);
+        let mut events = Vec::new();
+        let observed = flow
+            .run_observed(&d, &mut RudyPredictor::default(), 9, &mut |e| {
+                events.push(e.clone());
+                true
+            })
+            .unwrap();
+        assert_eq!(plain.placement, observed.placement);
+        assert_eq!(plain.final_overflow, observed.final_overflow);
+        assert_eq!(plain.stage1_iterations, observed.stage1_iterations);
+        // Event shape: stage starts, one GpIteration per iteration, one
+        // Predicted + Inflated per round, one Legalized at the end.
+        let rounds = flow.config().inflation_rounds;
+        let preds = events
+            .iter()
+            .filter(|e| matches!(e, FlowEvent::Predicted { .. }))
+            .count();
+        assert_eq!(preds, rounds);
+        assert!(matches!(events.last(), Some(FlowEvent::Legalized { .. })));
+        let gp_iters = events
+            .iter()
+            .filter(|e| matches!(e, FlowEvent::GpIteration { .. }))
+            .count();
+        assert!(gp_iters > 0);
+    }
+
+    #[test]
+    fn observer_abort_stops_flow() {
+        let d = small_design();
+        let flow = PlacementFlow::new(quick(FlowConfig::seu_like()));
+        let mut seen = 0usize;
+        let res = flow.run_observed(&d, &mut RudyPredictor::default(), 4, &mut |_| {
+            seen += 1;
+            seen < 3
+        });
+        assert_eq!(res.unwrap_err(), FlowAborted);
+        assert_eq!(seen, 3);
     }
 
     #[test]

@@ -662,6 +662,20 @@ impl<'a> GlobalPlacer<'a> {
     /// or `cfg.iterations` is exhausted. Returns the iteration count and the
     /// final overflow.
     pub fn run_stage(&mut self, cfg: &GpConfig) -> (usize, Overflow) {
+        self.run_stage_observed(cfg, &mut |_, _, _| true)
+            .expect("no-op observer never aborts")
+    }
+
+    /// Like [`run_stage`](Self::run_stage), but calls `observe` after every
+    /// iteration with the placer state, the iteration index and the current
+    /// overflow. The observer must not mutate placement state (it only gets
+    /// a shared borrow) so observed and unobserved runs stay bitwise
+    /// identical; returning `false` aborts the stage, yielding `None`.
+    pub fn run_stage_observed(
+        &mut self,
+        cfg: &GpConfig,
+        observe: &mut dyn FnMut(&GlobalPlacer, usize, &Overflow) -> bool,
+    ) -> Option<(usize, Overflow)> {
         let _t = mfaplace_rt::timer::ScopeTimer::new("placer/gp_stage");
         let mut last = self.overflow(cfg);
         for it in 0..cfg.iterations {
@@ -677,11 +691,15 @@ impl<'a> GlobalPlacer<'a> {
             self.density_pass(&anneal_cfg);
             self.region_pass(cfg.region_weight);
             last = self.overflow(cfg);
-            if last.meets_targets(cfg.target_overflow_macro, cfg.target_overflow_cell) {
-                return (it + 1, last);
+            let done = last.meets_targets(cfg.target_overflow_macro, cfg.target_overflow_cell);
+            if !observe(self, it, &last) {
+                return None;
+            }
+            if done {
+                return Some((it + 1, last));
             }
         }
-        (cfg.iterations, last)
+        Some((cfg.iterations, last))
     }
 }
 

@@ -38,7 +38,10 @@ pub mod inflate;
 pub mod legal;
 
 pub use detail::{refine_cells, RefineStats};
-pub use flows::{CongestionPredictor, FlowConfig, PlacementFlow, PlacementResult, RudyPredictor};
+pub use flows::{
+    CongestionPredictor, FlowAborted, FlowConfig, FlowEvent, PlacementFlow, PlacementResult,
+    RudyPredictor,
+};
 pub use gp::{GlobalPlacer, GpConfig, Overflow};
 pub use inflate::{inflate_areas, InflationConfig};
 pub use legal::{legalize_cells, legalize_macros, LegalizeError};

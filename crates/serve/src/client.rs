@@ -3,7 +3,7 @@
 //! Like the server it speaks one-request-per-connection HTTP/1.1 over
 //! plain `std::net`.
 
-use std::io::{Read, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 
 use mfaplace_tensor::Tensor;
@@ -60,6 +60,87 @@ pub fn request(
     parse_response(&raw)
 }
 
+/// Performs one request against `addr` and consumes the response body as
+/// a line stream: `on_line` is called once per line (without the trailing
+/// newline) as lines arrive, until the server closes the connection or
+/// `on_line` returns `false`. This is the client side of the server's
+/// streaming (no-content-length) responses, e.g. `GET /jobs/<id>/events`.
+///
+/// Returns the HTTP status code.
+///
+/// # Errors
+///
+/// Returns a human-readable error on connection failure or a malformed
+/// response head.
+pub fn stream_lines(
+    addr: &str,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+    on_line: &mut dyn FnMut(&str) -> bool,
+) -> Result<u16, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: close\r\n",
+        body.len()
+    );
+    for (k, v) in headers {
+        head.push_str(&format!("{k}: {v}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body))
+        .map_err(|e| format!("send {addr}: {e}"))?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader
+        .read_line(&mut status_line)
+        .map_err(|e| format!("receive {addr}: {e}"))?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line {:?}", status_line.trim_end()))?;
+    // Skip the remaining response headers.
+    loop {
+        let mut line = String::new();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| format!("receive {addr}: {e}"))?;
+        if n == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    loop {
+        let mut line = String::new();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| format!("receive {addr}: {e}"))?;
+        if n == 0 {
+            break;
+        }
+        if !on_line(line.trim_end_matches(['\r', '\n'])) {
+            break;
+        }
+    }
+    Ok(status)
+}
+
+/// Maps a non-200 predict response to the error message shown to the
+/// user. The server's unknown-slot 404 body already names the requested
+/// slot *and lists the loaded ones*, so it is surfaced verbatim instead
+/// of being buried in a generic "server returned …" wrapper.
+fn predict_error(status: u16, body: &str) -> String {
+    let body = body.trim();
+    if status == 404 && body.starts_with("no such model slot") {
+        return body.to_owned();
+    }
+    format!("server returned {status}: {body}")
+}
+
 fn parse_response(raw: &[u8]) -> Result<ClientResponse, String> {
     let header_end = raw
         .windows(4)
@@ -114,11 +195,7 @@ pub fn predict_features_slot(
         &protocol::encode_features(features),
     )?;
     if resp.status != 200 {
-        return Err(format!(
-            "server returned {}: {}",
-            resp.status,
-            resp.text().trim()
-        ));
+        return Err(predict_error(resp.status, &resp.text()));
     }
     protocol::decode_levels(&resp.body)
 }
@@ -158,11 +235,7 @@ pub fn predict_design_slot(
     }
     let resp = request(addr, "POST", "/predict/design", &headers, body.as_bytes())?;
     if resp.status != 200 {
-        return Err(format!(
-            "server returned {}: {}",
-            resp.status,
-            resp.text().trim()
-        ));
+        return Err(predict_error(resp.status, &resp.text()));
     }
     protocol::decode_levels(&resp.body)
 }
@@ -183,5 +256,31 @@ mod tests {
     fn rejects_garbage_response() {
         assert!(parse_response(b"not http").is_err());
         assert!(parse_response(b"HTTP/1.1 abc\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn unknown_slot_404_surfaces_server_body_verbatim() {
+        // The server's unknown-slot body names the slot and lists what is
+        // loaded; the client must pass that through unchanged so the CLI
+        // user sees the available slot names.
+        let body = "no such model slot \"staging\"; loaded slots: default, canary\n";
+        let msg = predict_error(404, body);
+        assert_eq!(
+            msg,
+            "no such model slot \"staging\"; loaded slots: default, canary"
+        );
+    }
+
+    #[test]
+    fn other_errors_keep_the_status_wrapper() {
+        assert_eq!(
+            predict_error(429, "queue full, retry later\n"),
+            "server returned 429: queue full, retry later"
+        );
+        // A 404 that is not the unknown-slot shape stays wrapped too.
+        assert_eq!(
+            predict_error(404, "no such endpoint\n"),
+            "server returned 404: no such endpoint"
+        );
     }
 }

@@ -249,19 +249,7 @@ impl Response {
 
     /// Canonical reason phrase for the status code.
     pub fn reason(&self) -> &'static str {
-        match self.status {
-            200 => "OK",
-            400 => "Bad Request",
-            404 => "Not Found",
-            405 => "Method Not Allowed",
-            409 => "Conflict",
-            413 => "Payload Too Large",
-            429 => "Too Many Requests",
-            500 => "Internal Server Error",
-            503 => "Service Unavailable",
-            504 => "Gateway Timeout",
-            _ => "Unknown",
-        }
+        reason_phrase(self.status)
     }
 
     /// Serializes the full response (headers + body) to `w`.
@@ -281,6 +269,47 @@ impl Response {
         w.write_all(&self.body)?;
         w.flush()
     }
+}
+
+/// Canonical reason phrase for an HTTP status code.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Writes the status line and headers of a *streaming* response. Unlike
+/// [`Response::write_to`] there is no `content-length`: the body is
+/// delimited by connection close (the server speaks one request per
+/// connection), so the caller can write records incrementally — flushing
+/// after each one — and simply drop the connection when done.
+///
+/// # Errors
+///
+/// Propagates write failures.
+pub fn write_stream_head(
+    w: &mut dyn Write,
+    status: u16,
+    content_type: &str,
+) -> std::io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\nconnection: close\r\n\r\n",
+        status,
+        reason_phrase(status),
+        content_type
+    )?;
+    w.flush()
 }
 
 #[cfg(test)]

@@ -51,4 +51,7 @@ pub mod server;
 pub use batcher::{BatchConfig, Batcher, JobError, ModelSlot, SubmitError, DEFAULT_SLOT};
 pub use fleet::{FleetSlot, ModelFleet, SlotLimits};
 pub use metrics::{Metrics, SlotMetrics};
-pub use server::{serve, serve_fleet, ServeConfig, ServerHandle};
+pub use server::{
+    serve, serve_fleet, serve_fleet_with, ExtensionOutcome, ServeConfig, ServeExtension,
+    ServerHandle,
+};

@@ -66,6 +66,10 @@ struct Inner {
 #[derive(Default)]
 pub struct Metrics {
     inner: Mutex<Inner>,
+    /// Extra exposition sources appended to every render — how subsystems
+    /// outside this crate (e.g. the job engine) publish their own families
+    /// into the same `/metrics` document.
+    externals: Mutex<Vec<Box<dyn Fn() -> String + Send + Sync>>>,
 }
 
 impl Metrics {
@@ -179,6 +183,17 @@ impl Metrics {
     /// hits/misses/evictions) for the next render.
     pub fn set_plan_cache_stats(&self, stats: PlanCacheStats) {
         self.lock().plan_cache = Some(stats);
+    }
+
+    /// Registers an extra exposition source: `render_fn` is called on
+    /// every [`Metrics::render`] and its output appended verbatim. The
+    /// callback must return complete, newline-terminated exposition lines
+    /// and must not call back into this registry.
+    pub fn register_external(&self, render_fn: Box<dyn Fn() -> String + Send + Sync>) {
+        self.externals
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(render_fn);
     }
 
     /// Renders the plaintext exposition document.
@@ -318,6 +333,17 @@ impl Metrics {
             ));
         }
         drop(m);
+
+        // Families published by registered subsystems (e.g. the job
+        // engine's `mfaplace_jobs_*`).
+        for external in self
+            .externals
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+        {
+            out.push_str(&external());
+        }
 
         // Process-wide runtime counters and scope timers.
         let snap = mfaplace_rt::timer::snapshot();
@@ -574,6 +600,21 @@ mod tests {
         let text = m.render();
         assert!(!text.contains("slot=\"beta\""), "{text}");
         assert!(text.contains("mfaplace_queue_depth 2"), "{text}");
+    }
+
+    #[test]
+    fn external_sources_are_appended_to_render() {
+        let m = Metrics::new();
+        m.register_external(Box::new(|| "mfaplace_jobs_running 3\n".to_owned()));
+        let n = Arc::new(Mutex::new(0u64));
+        let n2 = n.clone();
+        m.register_external(Box::new(move || {
+            format!("mfaplace_jobs_queue_depth {}\n", n2.lock().unwrap())
+        }));
+        assert!(m.render().contains("mfaplace_jobs_running 3"));
+        assert!(m.render().contains("mfaplace_jobs_queue_depth 0"));
+        *n.lock().unwrap() = 9;
+        assert!(m.render().contains("mfaplace_jobs_queue_depth 9"));
     }
 
     #[test]

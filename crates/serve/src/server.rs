@@ -16,7 +16,7 @@
 //! `/models/<name>/predict/design`; `GET /models` lists the fleet and
 //! `POST /admin/slots` adds/removes/reloads slots at runtime.
 
-use std::io::BufReader;
+use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -62,12 +62,44 @@ impl Default for ServeConfig {
     }
 }
 
+/// What a [`ServeExtension`] did with an offered request.
+#[derive(Debug)]
+pub enum ExtensionOutcome {
+    /// Not this extension's path space; keep looking.
+    NotHandled,
+    /// Reply with this buffered response.
+    Respond(Response),
+    /// The extension wrote a complete (typically streaming) response to
+    /// the connection itself; `status` is recorded in the request metrics.
+    Streamed {
+        /// HTTP status the extension sent in its stream head.
+        status: u16,
+    },
+}
+
+/// A pluggable route space mounted into the server, for subsystems that
+/// live above this crate (the job engine mounts `/jobs` this way).
+/// Extensions are offered every request that no built-in endpoint claims;
+/// handlers get the raw connection writer so they can produce streaming
+/// (connection-close-delimited) responses via
+/// [`crate::http::write_stream_head`].
+pub trait ServeExtension: Send + Sync {
+    /// Handles `req` or declines it. Runs on the connection's thread.
+    fn handle(&self, req: &Request, writer: &mut dyn Write) -> ExtensionOutcome;
+
+    /// Called once during graceful shutdown, after in-flight connections
+    /// finish but *before* the fleet's slot workers drain — so extension
+    /// work queues that submit predictions can still complete them.
+    fn on_shutdown(&self) {}
+}
+
 struct Shared {
     metrics: Arc<Metrics>,
     fleet: Arc<ModelFleet>,
     stop: AtomicBool,
     cfg: ServeConfig,
     addr: SocketAddr,
+    extensions: Vec<Arc<dyn ServeExtension>>,
 }
 
 /// A running server; dropping the handle does **not** stop it — call
@@ -161,6 +193,24 @@ pub fn serve_fleet(
     metrics: Arc<Metrics>,
     cfg: ServeConfig,
 ) -> std::io::Result<ServerHandle> {
+    serve_fleet_with(fleet, metrics, cfg, Vec::new())
+}
+
+/// Like [`serve_fleet`], additionally mounting `extensions`: each request
+/// that no built-in endpoint claims is offered to them in order, before
+/// the final 404. On graceful shutdown every extension's
+/// [`ServeExtension::on_shutdown`] runs after in-flight connections drain
+/// and before the fleet's slot workers do.
+///
+/// # Errors
+///
+/// Returns the bind error if the address is unavailable.
+pub fn serve_fleet_with(
+    fleet: Arc<ModelFleet>,
+    metrics: Arc<Metrics>,
+    cfg: ServeConfig,
+    extensions: Vec<Arc<dyn ServeExtension>>,
+) -> std::io::Result<ServerHandle> {
     let listener = bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
     let shared = Arc::new(Shared {
@@ -169,6 +219,7 @@ pub fn serve_fleet(
         stop: AtomicBool::new(false),
         cfg,
         addr,
+        extensions,
     });
     let main = {
         let shared = shared.clone();
@@ -209,9 +260,13 @@ fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
     }
 
     // Graceful drain: in-flight connections first (they may still submit
-    // jobs), then every slot's queue and worker.
+    // jobs), then mounted extensions (their work queues may still submit
+    // predictions), then every slot's queue and worker.
     for handle in conns {
         let _ = handle.join();
+    }
+    for ext in &shared.extensions {
+        ext.on_shutdown();
     }
     shared.fleet.shutdown();
 }
@@ -227,7 +282,20 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
         Ok(req) => {
             let started = Instant::now();
             let endpoint = req.path.clone();
-            let response = route(shared, &req);
+            let response = match route(shared, &req) {
+                Some(response) => response,
+                // Not a built-in endpoint: offer it to the mounted
+                // extensions, which may stream their reply directly.
+                None => match offer_to_extensions(shared, &req, &mut writer) {
+                    ExtensionOutcome::Respond(response) => response,
+                    ExtensionOutcome::Streamed { status } => {
+                        shared.metrics.record_latency(started.elapsed());
+                        shared.metrics.record_request(&endpoint, status);
+                        return;
+                    }
+                    ExtensionOutcome::NotHandled => Response::text(404, "no such endpoint\n"),
+                },
+            };
             shared.metrics.record_latency(started.elapsed());
             (endpoint, response)
         }
@@ -239,17 +307,29 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
     let _ = response.write_to(&mut writer);
 }
 
-fn route(shared: &Shared, req: &Request) -> Response {
+fn offer_to_extensions(shared: &Shared, req: &Request, writer: &mut dyn Write) -> ExtensionOutcome {
+    for ext in &shared.extensions {
+        match ext.handle(req, writer) {
+            ExtensionOutcome::NotHandled => continue,
+            handled => return handled,
+        }
+    }
+    ExtensionOutcome::NotHandled
+}
+
+/// Routes built-in endpoints; `None` means the path belongs to no built-in
+/// route space and should be offered to the mounted extensions.
+fn route(shared: &Shared, req: &Request) -> Option<Response> {
     // Path-based slot routing: /models, /models/<name>, and the per-slot
     // predict endpoints underneath it.
     if req.path == "/models" || req.path.starts_with("/models/") {
-        return route_models(shared, req);
+        return Some(route_models(shared, req));
     }
     // Header-based routing for the legacy endpoints: no header means the
     // default slot, which is what keeps single-model clients compatible.
     let slot = req.header("x-mfaplace-model").map(str::to_owned);
     let slot = slot.as_deref();
-    match (req.method.as_str(), req.path.as_str()) {
+    Some(match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => Response::text(200, "ok\n"),
         ("GET", "/metrics") => {
             shared.fleet.publish_plan_cache_stats();
@@ -261,7 +341,7 @@ fn route(shared: &Shared, req: &Request) -> Response {
         ("POST", "/admin/reload") => {
             let path = String::from_utf8_lossy(&req.body).trim().to_owned();
             if path.is_empty() {
-                return Response::text(400, "body must be a checkpoint path\n");
+                return Some(Response::text(400, "body must be a checkpoint path\n"));
             }
             match shared
                 .fleet
@@ -283,7 +363,7 @@ fn route(shared: &Shared, req: &Request) -> Response {
             let name = String::from_utf8_lossy(&req.body).trim().to_owned();
             let fs = match shared.fleet.resolve(slot) {
                 Ok(fs) => fs,
-                Err(m) => return Response::text(404, m + "\n"),
+                Err(m) => return Some(Response::text(404, m + "\n")),
             };
             match Engine::parse(&name) {
                 Some(engine) => {
@@ -310,8 +390,8 @@ fn route(shared: &Shared, req: &Request) -> Response {
             "/healthz" | "/metrics" | "/model" | "/predict" | "/predict/design" | "/admin/reload"
             | "/admin/engine" | "/admin/slots" | "/admin/shutdown",
         ) => Response::text(405, "method not allowed\n"),
-        _ => Response::text(404, "no such endpoint\n"),
-    }
+        _ => return None,
+    })
 }
 
 /// Routes `/models` (fleet listing) and `/models/<name>[/predict[/design]]`.

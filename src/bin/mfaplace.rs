@@ -31,6 +31,7 @@ use mfaplace::fpga::features::FeatureStack;
 use mfaplace::fpga::gridmap::GridMap;
 use mfaplace::fpga::io;
 use mfaplace::fpga::viz::{render_heatmap, render_placement};
+use mfaplace::jobs::{JobEngine, JobsConfig, JobsExtension};
 use mfaplace::models::{Arch, ArchSpec};
 use mfaplace::placer::flows::{FlowConfig, PlacementFlow, RudyPredictor};
 use mfaplace::router::congestion::CongestionAnalysis;
@@ -38,7 +39,7 @@ use mfaplace::router::detailed::detailed_route_iterations;
 use mfaplace::router::global::GlobalRouter;
 use mfaplace::router::score::{RoutabilityScore, ScoreInputs};
 use mfaplace::serve::{
-    client, serve_fleet, Metrics, ModelFleet, ServeConfig, SlotLimits, DEFAULT_SLOT,
+    client, serve_fleet_with, Metrics, ModelFleet, ServeConfig, SlotLimits, DEFAULT_SLOT,
 };
 
 fn main() -> ExitCode {
@@ -62,7 +63,8 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   mfaplace generate   --design <116|120|136|156|176|180|190|197|227|230|237> \\
-                      [--seed N] [--scale cells,dsp,bram] --out <file.nl>
+                      [--seed N] [--preset small|large] [--scale cells,dsp,bram] \\
+                      --out <file.nl>
   mfaplace place      --design <file.nl> [--flow ours|utda|seu|mpku] [--seed N] \\
                       [--iterations N] [--model <file.mfaw> [--arch ours|unet|pgnn|pros2] \\
                       [--grid N] [--channels N]] --out <file.pl>
@@ -82,6 +84,13 @@ const USAGE: &str = "usage:
                       [--arch ...] [--grid N] [--channels N]   (v1 checkpoints)
   mfaplace predict    --addr host:port --design <file.nl> --placement <file.pl> \\
                       [--slot name] [--engine tape|plan] [--out <file.ppm>]
+  mfaplace job submit --addr host:port --design <file.nl> [--flow ours|utda|seu|mpku] \\
+                      [--seed N] [--slot name] [--predictor model|rudy] \\
+                      [--iterations N] [--grid N] [--deadline-ms N] [--watch]
+  mfaplace job status --addr host:port --id <job-N>
+  mfaplace job watch  --addr host:port --id <job-N>
+  mfaplace job cancel --addr host:port --id <job-N>
+  mfaplace job list   --addr host:port
 
 serve loads one hot-swappable slot per --model (repeatable; a bare path
 names its slot \"default\", and the first slot is the default routing
@@ -94,6 +103,12 @@ POST /admin/shutdown. The inference engine defaults to the compiled plan
 (bitwise identical to the tape); --engine or MFAPLACE_ENGINE selects it,
 and predict's --engine switches the remote server (its --slot's slot)
 via POST /admin/engine before predicting.
+serve also runs the placement job engine at /jobs (sized by
+MFAPLACE_JOB_WORKERS, MFAPLACE_JOB_QUEUE and MFAPLACE_JOB_DEADLINE_MS);
+job submit ships the design inline and prints the job id, job watch
+follows the NDJSON per-iteration event stream to completion.
+generate --preset large builds ~1/16-scale designs (default small is
+~1/64); an explicit --scale overrides the preset.
 train honors MFAPLACE_TRAIN_WORKERS when --workers is not given; --resume
 continues bitwise-exactly from the checkpoint at --out if it exists.";
 
@@ -101,6 +116,9 @@ fn run(args: &[String]) -> Result<(), String> {
     let Some(cmd) = args.first() else {
         return Err("missing subcommand".into());
     };
+    if cmd == "job" {
+        return run_job(&args[1..]);
+    }
     let flags = parse_flags(&args[1..])?;
     match cmd.as_str() {
         "generate" => cmd_generate(&flags),
@@ -114,6 +132,25 @@ fn run(args: &[String]) -> Result<(), String> {
         "serve" => cmd_serve(&flags),
         "predict" => cmd_predict(&flags),
         other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+/// `mfaplace job <action> --flags…` — the action is positional, everything
+/// after it is ordinary flags.
+fn run_job(args: &[String]) -> Result<(), String> {
+    let Some(action) = args.first() else {
+        return Err("job needs an action: submit, status, watch, cancel or list".into());
+    };
+    let flags = parse_flags(&args[1..])?;
+    match action.as_str() {
+        "submit" => cmd_job_submit(&flags),
+        "status" => cmd_job_status(&flags),
+        "watch" => cmd_job_watch(&flags),
+        "cancel" => cmd_job_cancel(&flags),
+        "list" => cmd_job_list(&flags),
+        other => Err(format!(
+            "unknown job action {other:?} (submit, status, watch, cancel, list)"
+        )),
     }
 }
 
@@ -154,7 +191,7 @@ fn parse_engine(flags: &Flags) -> Result<Option<Engine>, String> {
 }
 
 /// Flags that take no value (presence means "on").
-const BOOL_FLAGS: &[&str] = &["resume"];
+const BOOL_FLAGS: &[&str] = &["resume", "watch"];
 
 /// Parsed command-line flags. Every flag may repeat; `get` returns the
 /// last occurrence (so `--grid 16 --grid 32` means 32) and `all` returns
@@ -243,8 +280,14 @@ fn preset_by_name(name: &str) -> Result<DesignPreset, String> {
 fn cmd_generate(flags: &Flags) -> Result<(), String> {
     let preset = preset_by_name(get(flags, "design")?)?;
     let seed: u64 = get_num(flags, "seed", 1)?;
+    // --preset picks a named scale; an explicit --scale wins over it.
+    let preset_scale = match flags.get("preset").map(String::as_str) {
+        None | Some("small") => (128, 24, 12),
+        Some("large") => (32, 6, 3),
+        Some(other) => return Err(format!("unknown preset {other:?} (small|large)")),
+    };
     let preset = match flags.get("scale") {
-        None => preset.with_scale(128, 24, 12),
+        None => preset.with_scale(preset_scale.0, preset_scale.1, preset_scale.2),
         Some(s) => {
             let parts: Vec<&str> = s.split(',').collect();
             if parts.len() != 3 {
@@ -556,7 +599,18 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
             fs.slot().engine().name()
         ));
     }
-    let handle = serve_fleet(fleet, metrics, cfg).map_err(|e| format!("bind: {e}"))?;
+    // Placement jobs run through the same fleet, so their per-iteration
+    // predictions coalesce with /predict traffic in the slot batchers.
+    let jobs_cfg = JobsConfig::from_env();
+    let engine = JobEngine::start(Arc::clone(&fleet), jobs_cfg.clone());
+    engine.register_metrics(&metrics);
+    let handle = serve_fleet_with(
+        fleet,
+        metrics,
+        cfg,
+        vec![Arc::new(JobsExtension::new(engine))],
+    )
+    .map_err(|e| format!("bind: {e}"))?;
     println!(
         "serving {} model slot(s) on http://{} (default slot {:?})",
         specs.len(),
@@ -570,8 +624,13 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         "batching: up to {} requests per {:?} window, queue bound {} per slot",
         batch.max_batch, batch.batch_window, batch.queue_bound
     );
+    println!(
+        "jobs: {} worker(s), queue bound {}, default deadline {:?}",
+        jobs_cfg.workers, jobs_cfg.queue_bound, jobs_cfg.default_deadline
+    );
     println!("endpoints: POST /predict, POST /predict/design, GET /metrics, GET /model,");
     println!("           GET /models, POST /models/<name>/predict[/design],");
+    println!("           POST|GET /jobs, GET /jobs/<id>[/events], DELETE /jobs/<id>,");
     println!("           GET|POST /admin/slots, POST /admin/reload, POST /admin/shutdown");
     handle.wait();
     println!("server drained and stopped");
@@ -619,6 +678,101 @@ fn cmd_predict(flags: &Flags) -> Result<(), String> {
         let map = GridMap::from_vec(w, h, data.to_vec());
         std::fs::write(out, render_heatmap(&map, 7.0).to_ppm()).map_err(|e| e.to_string())?;
         println!("wrote {out}");
+    }
+    Ok(())
+}
+
+/// Builds the `POST /jobs` body from the submit flags: an option header,
+/// then the design shipped inline after the `---DESIGN---` marker.
+fn job_submit_body(flags: &Flags) -> Result<String, String> {
+    let design_path = get(flags, "design")?;
+    let design_text = std::fs::read_to_string(design_path)
+        .map_err(|e| format!("cannot read {design_path}: {e}"))?;
+    let mut header = Vec::new();
+    for key in ["flow", "seed", "slot", "predictor", "iterations", "grid"] {
+        if let Some(value) = flags.get(key) {
+            header.push(format!("{key}={value}"));
+        }
+    }
+    if let Some(ms) = flags.get("deadline-ms") {
+        header.push(format!("deadline_ms={ms}"));
+    }
+    Ok(format!("{}\n---DESIGN---\n{design_text}", header.join(" ")))
+}
+
+fn cmd_job_submit(flags: &Flags) -> Result<(), String> {
+    let addr = get(flags, "addr")?;
+    let body = job_submit_body(flags)?;
+    let r = client::request(addr, "POST", "/jobs", &[], body.as_bytes())?;
+    if r.status != 200 {
+        return Err(format!("submit failed ({}): {}", r.status, r.text().trim()));
+    }
+    let text = r.text();
+    print!("{text}");
+    if flags.contains_key("watch") {
+        let id = text
+            .lines()
+            .next()
+            .and_then(|l| l.strip_prefix("id "))
+            .ok_or("submit response did not start with the job id")?
+            .to_owned();
+        return watch_job(addr, &id);
+    }
+    Ok(())
+}
+
+/// Follows a job's NDJSON event stream, printing each line as it arrives.
+fn watch_job(addr: &str, id: &str) -> Result<(), String> {
+    let path = format!("/jobs/{id}/events");
+    let status = client::stream_lines(addr, "GET", &path, &[], b"", &mut |line| {
+        if !line.is_empty() {
+            println!("{line}");
+        }
+        true
+    })?;
+    if status != 200 {
+        return Err(format!("watch failed ({status})"));
+    }
+    Ok(())
+}
+
+fn cmd_job_status(flags: &Flags) -> Result<(), String> {
+    let addr = get(flags, "addr")?;
+    let id = get(flags, "id")?;
+    let r = client::request(addr, "GET", &format!("/jobs/{id}"), &[], b"")?;
+    if r.status != 200 {
+        return Err(format!("status failed ({}): {}", r.status, r.text().trim()));
+    }
+    print!("{}", r.text());
+    Ok(())
+}
+
+fn cmd_job_watch(flags: &Flags) -> Result<(), String> {
+    watch_job(get(flags, "addr")?, get(flags, "id")?)
+}
+
+fn cmd_job_cancel(flags: &Flags) -> Result<(), String> {
+    let addr = get(flags, "addr")?;
+    let id = get(flags, "id")?;
+    let r = client::request(addr, "DELETE", &format!("/jobs/{id}"), &[], b"")?;
+    if r.status != 200 {
+        return Err(format!("cancel failed ({}): {}", r.status, r.text().trim()));
+    }
+    print!("{}", r.text());
+    Ok(())
+}
+
+fn cmd_job_list(flags: &Flags) -> Result<(), String> {
+    let addr = get(flags, "addr")?;
+    let r = client::request(addr, "GET", "/jobs", &[], b"")?;
+    if r.status != 200 {
+        return Err(format!("list failed ({}): {}", r.status, r.text().trim()));
+    }
+    let text = r.text();
+    if text.is_empty() {
+        println!("no jobs");
+    } else {
+        print!("{text}");
     }
     Ok(())
 }

@@ -15,6 +15,7 @@
 //! - [`models`] — the paper's model and the three published baselines
 //! - [`core`] — dataset generation, training, metrics and the full flow
 //! - [`serve`] — batched HTTP inference service with checkpoint hot-reload
+//! - [`jobs`] — placement-as-a-service: async placement jobs over `/jobs`
 //!
 //! # Quickstart
 //!
@@ -31,6 +32,7 @@
 pub use mfaplace_autograd as autograd;
 pub use mfaplace_core as core;
 pub use mfaplace_fpga as fpga;
+pub use mfaplace_jobs as jobs;
 pub use mfaplace_models as models;
 pub use mfaplace_nn as nn;
 pub use mfaplace_placer as placer;
