@@ -23,8 +23,13 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "==> cargo build --release --offline"
 cargo build --workspace --release --offline
 
-echo "==> cargo test --offline"
+echo "==> cargo test --offline (auto-detected kernel backend)"
 cargo test -q --workspace --offline
+
+# Second pass with the vector kernels disabled: the scalar reference path
+# must stay green on its own, not just as the fallback arm of dispatch.
+echo "==> cargo test --offline (forced scalar kernels)"
+MFAPLACE_KERNELS=scalar cargo test -q --workspace --offline
 
 echo "==> gradient checks (primitives + MFA/transformer modules)"
 cargo test -q -p mfaplace-autograd --offline --test gradcheck_ops
@@ -39,6 +44,10 @@ cargo test -q -p mfaplace-core --offline --test train_determinism
 
 echo "==> golden regression suite"
 cargo test -q -p mfaplace-core --offline --test golden_regression
+
+echo "==> SIMD differential suite (vector kernels vs scalar reference)"
+cargo test -q -p mfaplace-tensor --offline --test simd_equivalence
+cargo test -q -p mfaplace-core --offline --test kernel_tolerance
 
 if [ "$QUICK" = "1" ]; then
     echo "CI OK (quick tier: benches and smoke runs skipped)"
@@ -60,6 +69,19 @@ MFAPLACE_TRAIN_WORKERS=2 ./target/release/mfaplace train \
     --grid 32 --channels 4 --epochs 1 --placements 2 --iterations 4
 ./target/release/mfaplace model-info --model "$TMP/m.mfaw"
 
+# The kernel backend must be reported identically everywhere it surfaces:
+# the `kernels` subcommand, `model-info`, and (asserted by the serve unit
+# tests above) the `mfaplace_kernel_backend` metrics gauge.
+echo "==> kernel-backend report consistency (kernels vs model-info)"
+ACTIVE=$(./target/release/mfaplace kernels | sed -n 's/^active backend: //p')
+REPORTED=$(./target/release/mfaplace model-info --model "$TMP/m.mfaw" \
+    | sed -n 's/^  kernel backend: //p')
+if [ -z "$ACTIVE" ] || [ "$ACTIVE" != "$REPORTED" ]; then
+    echo "kernel backend mismatch: kernels='$ACTIVE' model-info='$REPORTED'" >&2
+    exit 1
+fi
+echo "    active backend: $ACTIVE (consistent)"
+
 echo "==> serve smoke test"
 cargo run -q --release --offline -p mfaplace-serve --example smoke
 
@@ -72,6 +94,9 @@ cargo run -q --release --offline -p mfaplace-jobs --example jobs_smoke
 echo "==> train-throughput bench (results/train_parallel.json)"
 MFA_SCALE=quick cargo run -q --release --offline -p mfaplace-bench \
     --bin train_parallel >/dev/null
+
+echo "==> SIMD kernel bench, one child per backend (results/simd_kernels.json)"
+cargo bench -q --offline -p mfaplace-bench --bench simd_kernels
 
 echo "==> fused-attention bench (results/attention_fused.json)"
 cargo bench -q --offline -p mfaplace-bench --bench attention_fused

@@ -1,7 +1,9 @@
 //! Before/after benchmark for the compiled inference plan: the full
 //! `ours` model forward through `ModelPredictor` on the tape engine
-//! versus the plan engine, at grids 32/64 and batches 1/8. Writes
-//! `results/infer_plan.json`.
+//! versus the plan engine, at grids 32/64 with batches 1/8 plus a
+//! batch-1 run at grid 256 (the placement-scale stress case; batch 8
+//! there would push a single sample past ten seconds for no extra
+//! signal). Writes `results/infer_plan.json`.
 //!
 //! Every (grid, batch, engine) combination runs in its **own child
 //! process**: peak RSS is sampled from the kernel's `VmHWM` watermark,
@@ -19,8 +21,7 @@ use mfaplace_rt::rng::{SeedableRng, StdRng};
 use mfaplace_tensor::Tensor;
 
 const CHILD_ENV: &str = "MFA_PLAN_CHILD";
-const GRIDS: [usize; 2] = [32, 64];
-const BATCHES: [usize; 2] = [1, 8];
+const CONFIGS: [(usize, usize); 5] = [(32, 1), (32, 8), (64, 1), (64, 8), (256, 1)];
 const ENGINES: [&str; 2] = ["tape", "plan"];
 
 fn spec(grid: usize) -> ArchSpec {
@@ -106,18 +107,16 @@ fn main() {
 
     let exe = std::env::current_exe().expect("current exe");
     let mut fragments = Vec::new();
-    for grid in GRIDS {
-        for batch in BATCHES {
-            for engine in ENGINES {
-                let out = std::process::Command::new(&exe)
-                    .env(CHILD_ENV, format!("{grid}:{batch}:{engine}"))
-                    .stderr(std::process::Stdio::inherit())
-                    .output()
-                    .expect("spawn bench child");
-                assert!(out.status.success(), "child {grid}:{batch}:{engine} failed");
-                let json = String::from_utf8(out.stdout).expect("child json");
-                fragments.push(benchmarks_fragment(&json).to_owned());
-            }
+    for (grid, batch) in CONFIGS {
+        for engine in ENGINES {
+            let out = std::process::Command::new(&exe)
+                .env(CHILD_ENV, format!("{grid}:{batch}:{engine}"))
+                .stderr(std::process::Stdio::inherit())
+                .output()
+                .expect("spawn bench child");
+            assert!(out.status.success(), "child {grid}:{batch}:{engine} failed");
+            let json = String::from_utf8(out.stdout).expect("child json");
+            fragments.push(benchmarks_fragment(&json).to_owned());
         }
     }
     let merged = format!(
@@ -125,40 +124,38 @@ fn main() {
         fragments.join(",")
     );
 
-    for grid in GRIDS {
-        for batch in BATCHES {
-            let tape = median_of(
-                &merged,
-                &format!("infer/tape/grid{grid}/batch{batch}/forward"),
+    for (grid, batch) in CONFIGS {
+        let tape = median_of(
+            &merged,
+            &format!("infer/tape/grid{grid}/batch{batch}/forward"),
+        );
+        let plan = median_of(
+            &merged,
+            &format!("infer/plan/grid{grid}/batch{batch}/forward"),
+        );
+        let rss_t = peak_rss_of(
+            &merged,
+            &format!("infer/tape/grid{grid}/batch{batch}/forward"),
+        );
+        let rss_p = peak_rss_of(
+            &merged,
+            &format!("infer/plan/grid{grid}/batch{batch}/forward"),
+        );
+        if let (Some(t), Some(p)) = (tape, plan) {
+            let rss = match (rss_t, rss_p) {
+                (Some(t), Some(p)) => format!(
+                    "peak rss {:.1} -> {:.1} MiB",
+                    t as f64 / (1024.0 * 1024.0),
+                    p as f64 / (1024.0 * 1024.0)
+                ),
+                _ => "peak rss n/a".to_owned(),
+            };
+            println!(
+                "grid {grid} batch {batch}  tape {:>12.1} ns  plan {:>12.1} ns  speedup {:.2}x  {rss}",
+                t,
+                p,
+                t / p
             );
-            let plan = median_of(
-                &merged,
-                &format!("infer/plan/grid{grid}/batch{batch}/forward"),
-            );
-            let rss_t = peak_rss_of(
-                &merged,
-                &format!("infer/tape/grid{grid}/batch{batch}/forward"),
-            );
-            let rss_p = peak_rss_of(
-                &merged,
-                &format!("infer/plan/grid{grid}/batch{batch}/forward"),
-            );
-            if let (Some(t), Some(p)) = (tape, plan) {
-                let rss = match (rss_t, rss_p) {
-                    (Some(t), Some(p)) => format!(
-                        "peak rss {:.1} -> {:.1} MiB",
-                        t as f64 / (1024.0 * 1024.0),
-                        p as f64 / (1024.0 * 1024.0)
-                    ),
-                    _ => "peak rss n/a".to_owned(),
-                };
-                println!(
-                    "grid {grid} batch {batch}  tape {:>12.1} ns  plan {:>12.1} ns  speedup {:.2}x  {rss}",
-                    t,
-                    p,
-                    t / p
-                );
-            }
         }
     }
 

@@ -264,6 +264,13 @@ impl Metrics {
             "mfaplace_engine_info{{engine=\"{}\"}} 1\n",
             m.engine_name
         ));
+        // Process-global SIMD kernel backend; read at render time so the
+        // gauge always reflects the dispatcher's actual state (the CI
+        // consistency check compares this against `mfaplace kernels`).
+        out.push_str(&format!(
+            "mfaplace_kernel_backend{{backend=\"{}\"}} 1\n",
+            mfaplace_tensor::simd::active().name()
+        ));
         out.push_str("# TYPE mfaplace_infer_plan_ops gauge\n");
         out.push_str(&format!("mfaplace_infer_plan_ops {}\n", m.plan_ops));
         out.push_str("# TYPE mfaplace_infer_plan_arena_bytes gauge\n");
@@ -517,6 +524,13 @@ mod tests {
         );
         assert!(
             text.contains("mfaplace_engine_info{engine=\"plan\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains(&format!(
+                "mfaplace_kernel_backend{{backend=\"{}\"}} 1",
+                mfaplace_tensor::simd::active().name()
+            )),
             "{text}"
         );
         assert!(text.contains("mfaplace_infer_plan_ops 42"), "{text}");

@@ -11,7 +11,12 @@
 //! For finite inputs, forward outputs and all three input gradients are
 //! **bitwise identical** to the composed op sequence
 //! (`permute → bmm → scale → softmax → bmm` and its reverse) that the
-//! autograd tape would otherwise record:
+//! autograd tape would otherwise record, **under whichever kernel backend
+//! is active** (`crate::simd`): the scalar arms below are the verbatim
+//! reference loops, and the vector arms express the same computation as
+//! microkernel tile sequences whose per-element FMA chains coincide with
+//! the composed GEMMs run under the same backend. Specifically, for the
+//! scalar backend:
 //!
 //! - every per-element reduction runs over its contraction index in
 //!   increasing order, matching the composed GEMM/softmax loops;
@@ -34,6 +39,7 @@
 use mfaplace_rt::pool;
 
 use crate::kernels::PAR_GEMM_FLOPS;
+use crate::simd::{self, AView, Backend};
 use crate::Tensor;
 
 /// Query rows processed per tile: the parallel-dispatch granularity of the
@@ -120,6 +126,47 @@ pub fn attention_tm_slices(
     out: &mut [f32],
     scratch: &mut [f32],
 ) {
+    attention_tm_slices_with(
+        simd::active(),
+        qd,
+        kd,
+        vd,
+        b,
+        lq,
+        lk,
+        d,
+        dv,
+        scale,
+        out,
+        scratch,
+    );
+}
+
+/// Explicit-backend [`attention_tm_slices`] — the differential suite's
+/// entry point. The scalar arm is the verbatim reference loop; the vector
+/// arms run the same computation as packed microkernel tile sequences
+/// (score tile, scale, softmax rows, weighted-value tile), so within a
+/// backend the fused result stays bitwise identical to the composed op
+/// chain executed under that same backend.
+///
+/// # Panics
+///
+/// Panics on slice-length mismatches or if `scratch.len() < lk`.
+#[allow(clippy::too_many_arguments)]
+pub fn attention_tm_slices_with(
+    bk: Backend,
+    qd: &[f32],
+    kd: &[f32],
+    vd: &[f32],
+    b: usize,
+    lq: usize,
+    lk: usize,
+    d: usize,
+    dv: usize,
+    scale: f32,
+    out: &mut [f32],
+    scratch: &mut [f32],
+) {
     assert_eq!(qd.len(), b * lq * d, "attention_tm q length mismatch");
     assert_eq!(kd.len(), b * lk * d, "attention_tm k length mismatch");
     assert_eq!(vd.len(), b * lk * dv, "attention_tm v length mismatch");
@@ -135,6 +182,10 @@ pub fn attention_tm_slices(
         let kb = &kd[bi * lk * d..(bi + 1) * lk * d];
         let vb = &vd[bi * lk * dv..(bi + 1) * lk * dv];
         let ob = &mut out[bi * lq * dv..(bi + 1) * lq * dv];
+        if bk != Backend::Scalar {
+            tm_forward_vec(bk, qb, kb, vb, scale, lq, lk, d, dv, ob);
+            continue;
+        }
         // Query tiles write disjoint output rows, so the per-batch fan-out
         // is bitwise-safe: each row's arithmetic is thread-independent.
         if lq * lk * (d + dv) >= PAR_GEMM_FLOPS && lq > ATTN_TILE {
@@ -146,6 +197,96 @@ pub fn attention_tm_slices(
             attn_tm_rows(qb, kb, vb, scale, lk, d, dv, 0, ob, scratch);
         }
     }
+}
+
+/// Vector-backend token-major forward for one batch: `k`/`v` are packed
+/// once, then each query tile runs score-GEMM → scale → softmax rows →
+/// value-GEMM through the microkernel. Per-element chains are identical to
+/// the composed `bmm`/`scale`/`softmax`/`bmm` sequence under the same
+/// backend, and rows are thread-independent, so the parallel fan-out uses
+/// the same policy as the scalar path.
+#[allow(clippy::too_many_arguments)]
+fn tm_forward_vec(
+    bk: Backend,
+    qb: &[f32],
+    kb: &[f32],
+    vb: &[f32],
+    scale: f32,
+    lq: usize,
+    lk: usize,
+    d: usize,
+    dv: usize,
+    ob: &mut [f32],
+) {
+    simd::with_scratch(|sc| {
+        let simd::Scratch {
+            pack_a: pk_buf,
+            pack_b: pv_buf,
+            tile_a: s_buf,
+            ..
+        } = sc;
+        simd::pack_b(kb, d, lk, true, pk_buf); // kᵀ panels for the NT score tile
+        simd::pack_b(vb, lk, dv, false, pv_buf); // v panels for the NN value tile
+        let pk: &[f32] = pk_buf;
+        let pv: &[f32] = pv_buf;
+        if lq * lk * (d + dv) >= PAR_GEMM_FLOPS && lq > ATTN_TILE {
+            pool::parallel_chunks_mut(ob, ATTN_TILE * dv, |ti, chunk| {
+                let rows = chunk.len() / dv;
+                let mut s = vec![0.0f32; rows * lk];
+                tm_tile_vec(
+                    bk,
+                    qb,
+                    pk,
+                    pv,
+                    scale,
+                    lk,
+                    d,
+                    dv,
+                    ti * ATTN_TILE,
+                    rows,
+                    chunk,
+                    &mut s,
+                );
+            });
+        } else {
+            let mut i0 = 0;
+            while i0 < lq {
+                let rows = ATTN_TILE.min(lq - i0);
+                s_buf.clear();
+                s_buf.resize(rows * lk, 0.0);
+                let chunk = &mut ob[i0 * dv..(i0 + rows) * dv];
+                tm_tile_vec(bk, qb, pk, pv, scale, lk, d, dv, i0, rows, chunk, s_buf);
+                i0 += rows;
+            }
+        }
+    });
+}
+
+/// One vector token-major forward tile: output rows `[i0, i0 + rows)`.
+#[allow(clippy::too_many_arguments)]
+fn tm_tile_vec(
+    bk: Backend,
+    qb: &[f32],
+    pk: &[f32],
+    pv: &[f32],
+    scale: f32,
+    lk: usize,
+    d: usize,
+    dv: usize,
+    i0: usize,
+    rows: usize,
+    chunk: &mut [f32],
+    s: &mut [f32],
+) {
+    let s = &mut s[..rows * lk];
+    simd::kernel(bk, AView::rows(qb, i0 * d, d), pk, s, rows, d, lk, false);
+    for x in s.iter_mut() {
+        *x *= scale;
+    }
+    for r in 0..rows {
+        simd::softmax_row_with(bk, &mut s[r * lk..(r + 1) * lk]);
+    }
+    simd::kernel(bk, AView::rows(s, 0, lk), pv, chunk, rows, lk, dv, false);
 }
 
 /// Forward row-tile worker: computes output rows `[i0, i0 + rows)` of one
@@ -198,10 +339,18 @@ fn score_row_tm(qrow: &[f32], kb: &[f32], scale: f32, lk: usize, d: usize, s: &m
     }
 }
 
-/// In-place softmax of one score row, replicating
-/// [`Tensor::softmax_lastdim`] bitwise (max fold, exp/sum pass, divide).
-/// Public so the plan executor's `SoftmaxLast` op shares the exact loop.
+/// In-place softmax of one score row, routed through the active kernel
+/// backend. Public so the plan executor's `SoftmaxLast` op,
+/// [`Tensor::softmax_lastdim`] and the fused attention paths all share the
+/// exact same row loop — whichever backend is active, every softmax in the
+/// process computes identical bits for identical input rows.
 pub fn softmax_row(s: &mut [f32]) {
+    simd::softmax_row_with(simd::active(), s)
+}
+
+/// Scalar reference softmax row (max fold, exp/sum pass, divide) — the
+/// bitwise-golden loop every pre-existing golden file was produced with.
+pub(crate) fn softmax_row_scalar(s: &mut [f32]) {
     let m = s.iter().copied().fold(f32::NEG_INFINITY, f32::max);
     let mut z = 0.0f32;
     for x in s.iter_mut() {
@@ -231,6 +380,26 @@ pub fn attention_tm_backward(
     scale: f32,
     dy: &Tensor,
 ) -> (Tensor, Tensor, Tensor) {
+    attention_tm_backward_with(simd::active(), q, k, v, scale, dy)
+}
+
+/// Explicit-backend [`attention_tm_backward`] — the differential suite's
+/// entry point. `dk`/`dv` accumulate over the query index in globally
+/// increasing order on every backend (the vector arm concatenates exact
+/// per-tile FMA chain segments via accumulate reloads), matching the
+/// composed backward GEMMs bitwise under the same backend.
+///
+/// # Panics
+///
+/// Panics on rank or dimension mismatches.
+pub fn attention_tm_backward_with(
+    bk: Backend,
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    scale: f32,
+    dy: &Tensor,
+) -> (Tensor, Tensor, Tensor) {
     let (b, lq, d) = (q.shape()[0], q.shape()[1], q.shape()[2]);
     let (lk, dv) = (k.shape()[1], v.shape()[2]);
     assert_eq!(
@@ -252,6 +421,10 @@ pub fn attention_tm_backward(
         let dqb = &mut dq[bi * lq * d..(bi + 1) * lq * d];
         let dkb = &mut dk[bi * lk * d..(bi + 1) * lk * d];
         let dvb = &mut dvb_all[bi * lk * dv..(bi + 1) * lk * dv];
+        if bk != Backend::Scalar {
+            tm_backward_vec(bk, qb, kb, vb, dyb, scale, lq, lk, d, dv, dqb, dkb, dvb);
+            continue;
+        }
         for i in 0..lq {
             // Recompute the softmax row exactly as the forward did.
             let qrow = &qb[i * d..(i + 1) * d];
@@ -311,6 +484,123 @@ pub fn attention_tm_backward(
         Tensor::from_vec(vec![b, lk, d], dk).expect("attention_tm dk"),
         Tensor::from_vec(vec![b, lk, dv], dvb_all).expect("attention_tm dv"),
     )
+}
+
+/// Vector-backend token-major backward for one batch. Tiles run serially
+/// in increasing query order; the softmax tile is recomputed with exactly
+/// the forward's kernel sequence, `dk`/`dv` accumulate per tile (exact
+/// chain concatenation), and the softmax+scale backward rows use the same
+/// scalar expressions as the tape's `SoftmaxLast`/`Scale` nodes.
+#[allow(clippy::too_many_arguments)]
+fn tm_backward_vec(
+    bk: Backend,
+    qb: &[f32],
+    kb: &[f32],
+    vb: &[f32],
+    dyb: &[f32],
+    scale: f32,
+    lq: usize,
+    lk: usize,
+    d: usize,
+    dv: usize,
+    dqb: &mut [f32],
+    dkb: &mut [f32],
+    dvb: &mut [f32],
+) {
+    simd::with_scratch(|sc| {
+        let simd::Scratch {
+            pack_a: pk_nt,
+            pack_b: pv_nt,
+            pack_c: pk_nn,
+            tile_a: s_buf,
+            tile_b: g_buf,
+            tile_c: bt_buf,
+            ..
+        } = sc;
+        simd::pack_b(kb, d, lk, true, pk_nt); // kᵀ panels: score recompute
+        simd::pack_b(vb, dv, lk, true, pv_nt); // vᵀ panels: g = dy·vᵀ
+        simd::pack_b(kb, lk, d, false, pk_nn); // k panels: dq = gs·k
+        let mut i0 = 0;
+        while i0 < lq {
+            let rows = ATTN_TILE.min(lq - i0);
+            // Recompute the softmax tile exactly as the forward did.
+            s_buf.clear();
+            s_buf.resize(rows * lk, 0.0);
+            simd::kernel(
+                bk,
+                AView::rows(qb, i0 * d, d),
+                pk_nt,
+                s_buf,
+                rows,
+                d,
+                lk,
+                false,
+            );
+            for x in s_buf.iter_mut() {
+                *x *= scale;
+            }
+            for r in 0..rows {
+                simd::softmax_row_with(bk, &mut s_buf[r * lk..(r + 1) * lk]);
+            }
+            // g[t,j] = Σ_c dy[i0+t,c]·v[j,c] (the composed dy·vᵀ tile).
+            g_buf.clear();
+            g_buf.resize(rows * lk, 0.0);
+            simd::kernel(
+                bk,
+                AView::rows(dyb, i0 * dv, dv),
+                pv_nt,
+                g_buf,
+                rows,
+                dv,
+                lk,
+                false,
+            );
+            // dv[j,c] += Σ_t w[t,j]·dy[i0+t,c]: query index strictly
+            // increasing across tiles, chain resumed by the accumulate
+            // reload.
+            simd::pack_b(&dyb[i0 * dv..(i0 + rows) * dv], rows, dv, false, bt_buf);
+            let wview = AView {
+                data: s_buf,
+                base: 0,
+                row_stride: 1,
+                p_stride: lk,
+            };
+            simd::kernel(bk, wview, bt_buf, dvb, lk, rows, dv, true);
+            // gs[t,j] = (w[t,j]·(g[t,j] − dot))·scale — the tape's
+            // SoftmaxLast backward then the Scale node's backward, row by
+            // row in the exact scalar expressions.
+            for r in 0..rows {
+                let srow = &s_buf[r * lk..(r + 1) * lk];
+                let grow = &mut g_buf[r * lk..(r + 1) * lk];
+                let dot: f32 = srow.iter().zip(grow.iter()).map(|(&a, &b)| a * b).sum();
+                for (gj, &wj) in grow.iter_mut().zip(srow) {
+                    *gj = (wj * (*gj - dot)) * scale;
+                }
+            }
+            // dq[i0+t,p] = Σ_j gs[t,j]·k[j,p] (rows written exactly once).
+            simd::kernel(
+                bk,
+                AView::rows(g_buf, 0, lk),
+                pk_nn,
+                &mut dqb[i0 * d..(i0 + rows) * d],
+                rows,
+                lk,
+                d,
+                false,
+            );
+            // dk[j,p] += Σ_t gs[t,j]·q[i0+t,p]: same accumulate chaining
+            // as dv.
+            simd::pack_b(&qb[i0 * d..(i0 + rows) * d], rows, d, false, bt_buf);
+            let gsview = AView {
+                data: g_buf,
+                base: 0,
+                row_stride: 1,
+                p_stride: lk,
+            };
+            simd::kernel(bk, gsview, bt_buf, dkb, lk, rows, d, true);
+            i0 += rows;
+        }
+    });
 }
 
 /// Feature-major fused attention: `q: [B, D, L]`, `k: [B, D, L]`,
@@ -386,6 +676,33 @@ pub fn attention_fm_slices(
     out: &mut [f32],
     scratch: &mut [f32],
 ) {
+    attention_fm_slices_with(simd::active(), qd, kd, vd, b, n, nv, l, scale, out, scratch);
+}
+
+/// Explicit-backend [`attention_fm_slices`] — the differential suite's
+/// entry point. The vector arm gathers query-column tiles into contiguous
+/// buffers and runs the same score → scale → softmax → weighted-value
+/// sequence through the microkernel, matching the composed
+/// `bmm`/`scale`/`permute`/`softmax`/`bmm` chain bitwise under the same
+/// backend.
+///
+/// # Panics
+///
+/// Panics on slice-length mismatches or if `scratch.len() < l`.
+#[allow(clippy::too_many_arguments)]
+pub fn attention_fm_slices_with(
+    bk: Backend,
+    qd: &[f32],
+    kd: &[f32],
+    vd: &[f32],
+    b: usize,
+    n: usize,
+    nv: usize,
+    l: usize,
+    scale: f32,
+    out: &mut [f32],
+    scratch: &mut [f32],
+) {
     assert_eq!(qd.len(), b * n * l, "attention_fm q length mismatch");
     assert_eq!(kd.len(), b * n * l, "attention_fm k length mismatch");
     assert_eq!(vd.len(), b * nv * l, "attention_fm v length mismatch");
@@ -400,6 +717,10 @@ pub fn attention_fm_slices(
         let kb = &kd[bi * n * l..(bi + 1) * n * l];
         let vb = &vd[bi * nv * l..(bi + 1) * nv * l];
         let ob = &mut out[bi * nv * l..(bi + 1) * nv * l];
+        if bk != Backend::Scalar {
+            fm_forward_vec(bk, qb, kb, vb, scale, n, nv, l, ob);
+            continue;
+        }
         for y in 0..l {
             score_row_fm(qb, kb, scale, n, l, y, &mut *s);
             softmax_row(&mut *s);
@@ -418,6 +739,74 @@ pub fn attention_fm_slices(
             }
         }
     }
+}
+
+/// Vector-backend feature-major forward for one batch: `k` is packed once;
+/// each query-column tile gathers `q[:, y0..y0+t]` into a contiguous
+/// `[n, t]` buffer, computes the `[t, l]` score tile (TN microkernel),
+/// scales, softmaxes rows, then produces the `[nv, t]` output tile from a
+/// transposed pack of the softmax tile (NT microkernel) and scatters it
+/// back into the interleaved output columns.
+#[allow(clippy::too_many_arguments)]
+fn fm_forward_vec(
+    bk: Backend,
+    qb: &[f32],
+    kb: &[f32],
+    vb: &[f32],
+    scale: f32,
+    n: usize,
+    nv: usize,
+    l: usize,
+    ob: &mut [f32],
+) {
+    simd::with_scratch(|sc| {
+        let simd::Scratch {
+            pack_a: pk_buf,
+            pack_b: pt_buf,
+            tile_a: e_buf,
+            tile_b: o_buf,
+            tile_c: q_buf,
+            ..
+        } = sc;
+        simd::pack_b(kb, n, l, false, pk_buf); // k panels: score contraction over n
+        let mut y0 = 0;
+        while y0 < l {
+            let t = ATTN_TILE.min(l - y0);
+            q_buf.clear();
+            q_buf.resize(n * t, 0.0);
+            for p in 0..n {
+                q_buf[p * t..(p + 1) * t].copy_from_slice(&qb[p * l + y0..p * l + y0 + t]);
+            }
+            // e[r,x] = Σ_p q[p,y0+r]·k[p,x], then scale and softmax rows.
+            e_buf.clear();
+            e_buf.resize(t * l, 0.0);
+            let qview = AView {
+                data: q_buf,
+                base: 0,
+                row_stride: 1,
+                p_stride: t,
+            };
+            simd::kernel(bk, qview, pk_buf, e_buf, t, n, l, false);
+            for x in e_buf.iter_mut() {
+                *x *= scale;
+            }
+            for r in 0..t {
+                simd::softmax_row_with(bk, &mut e_buf[r * l..(r + 1) * l]);
+            }
+            // out[c,y0+r] = Σ_x v[c,x]·w[r,x] via a transposed pack of the
+            // softmax tile.
+            simd::pack_b(e_buf, l, t, true, pt_buf);
+            o_buf.clear();
+            o_buf.resize(nv * t, 0.0);
+            simd::kernel(bk, AView::rows(vb, 0, l), pt_buf, o_buf, nv, l, t, false);
+            for c in 0..nv {
+                for r in 0..t {
+                    ob[c * l + y0 + r] = o_buf[c * t + r];
+                }
+            }
+            y0 += t;
+        }
+    });
 }
 
 /// One scaled feature-major score row
@@ -454,6 +843,25 @@ pub fn attention_fm_backward(
     scale: f32,
     dy: &Tensor,
 ) -> (Tensor, Tensor, Tensor) {
+    attention_fm_backward_with(simd::active(), q, k, v, scale, dy)
+}
+
+/// Explicit-backend [`attention_fm_backward`] — the differential suite's
+/// entry point. `dk`/`dv` accumulate over the query index in increasing
+/// order on every backend; the vector arm recomputes the softmax tile with
+/// exactly the forward's kernel sequence.
+///
+/// # Panics
+///
+/// Panics on rank or dimension mismatches.
+pub fn attention_fm_backward_with(
+    bk: Backend,
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    scale: f32,
+    dy: &Tensor,
+) -> (Tensor, Tensor, Tensor) {
     let (b, n, l) = (q.shape()[0], q.shape()[1], q.shape()[2]);
     let nv = v.shape()[1];
     assert_eq!(
@@ -475,6 +883,10 @@ pub fn attention_fm_backward(
         let dqb = &mut dq[bi * n * l..(bi + 1) * n * l];
         let dkb = &mut dk[bi * n * l..(bi + 1) * n * l];
         let dvb = &mut dv_all[bi * nv * l..(bi + 1) * nv * l];
+        if bk != Backend::Scalar {
+            fm_backward_vec(bk, qb, kb, vb, dyb, scale, n, nv, l, dqb, dkb, dvb);
+            continue;
+        }
         for y in 0..l {
             score_row_fm(qb, kb, scale, n, l, y, &mut s);
             softmax_row(&mut s);
@@ -537,6 +949,109 @@ pub fn attention_fm_backward(
         Tensor::from_vec(vec![b, n, l], dk).expect("attention_fm dk"),
         Tensor::from_vec(vec![b, nv, l], dv_all).expect("attention_fm dv"),
     )
+}
+
+/// Vector-backend feature-major backward for one batch. Query-column tiles
+/// run serially in increasing order; `dk`/`dv` chains resume across tiles
+/// via accumulate reloads, and the softmax+scale backward rows use the
+/// tape's exact scalar expressions.
+#[allow(clippy::too_many_arguments)]
+fn fm_backward_vec(
+    bk: Backend,
+    qb: &[f32],
+    kb: &[f32],
+    vb: &[f32],
+    dyb: &[f32],
+    scale: f32,
+    n: usize,
+    nv: usize,
+    l: usize,
+    dqb: &mut [f32],
+    dkb: &mut [f32],
+    dvb: &mut [f32],
+) {
+    simd::with_scratch(|sc| {
+        let simd::Scratch {
+            pack_a: pk_buf,
+            pack_b: pv_buf,
+            pack_c: pt_buf,
+            tile_a: e_buf,
+            tile_b: g_buf,
+            tile_c: q_buf,
+            tile_d: dy_buf,
+        } = sc;
+        simd::pack_b(kb, n, l, false, pk_buf); // k panels: score recompute
+        simd::pack_b(vb, nv, l, false, pv_buf); // v panels: g = vᵀ·dy
+        let mut y0 = 0;
+        while y0 < l {
+            let t = ATTN_TILE.min(l - y0);
+            // Recompute the softmax tile exactly as the forward did.
+            q_buf.clear();
+            q_buf.resize(n * t, 0.0);
+            for p in 0..n {
+                q_buf[p * t..(p + 1) * t].copy_from_slice(&qb[p * l + y0..p * l + y0 + t]);
+            }
+            e_buf.clear();
+            e_buf.resize(t * l, 0.0);
+            let qview = AView {
+                data: q_buf,
+                base: 0,
+                row_stride: 1,
+                p_stride: t,
+            };
+            simd::kernel(bk, qview, pk_buf, e_buf, t, n, l, false);
+            for x in e_buf.iter_mut() {
+                *x *= scale;
+            }
+            for r in 0..t {
+                simd::softmax_row_with(bk, &mut e_buf[r * l..(r + 1) * l]);
+            }
+            // Gather dy[:, y0..y0+t] into a contiguous [nv, t] tile.
+            dy_buf.clear();
+            dy_buf.resize(nv * t, 0.0);
+            for c in 0..nv {
+                dy_buf[c * t..(c + 1) * t].copy_from_slice(&dyb[c * l + y0..c * l + y0 + t]);
+            }
+            // g[r,x] = Σ_c dy[c,y0+r]·v[c,x].
+            g_buf.clear();
+            g_buf.resize(t * l, 0.0);
+            let dyview = AView {
+                data: dy_buf,
+                base: 0,
+                row_stride: 1,
+                p_stride: t,
+            };
+            simd::kernel(bk, dyview, pv_buf, g_buf, t, nv, l, false);
+            // dv[c,x] += Σ_r dy[c,y0+r]·w[r,x]: accumulate chaining over
+            // tiles keeps the query index globally increasing.
+            simd::pack_b(e_buf, t, l, false, pt_buf);
+            simd::kernel(bk, AView::rows(dy_buf, 0, t), pt_buf, dvb, nv, t, l, true);
+            // gs[r,x] = (w[r,x]·(g[r,x] − dot))·scale, tape expressions.
+            for r in 0..t {
+                let srow = &e_buf[r * l..(r + 1) * l];
+                let grow = &mut g_buf[r * l..(r + 1) * l];
+                let dot: f32 = srow.iter().zip(grow.iter()).map(|(&a, &b)| a * b).sum();
+                for (gx, &wx) in grow.iter_mut().zip(srow) {
+                    *gx = (wx * (*gx - dot)) * scale;
+                }
+            }
+            // dq[p,y0+r] = Σ_x k[p,x]·gs[r,x] via a transposed pack of gs;
+            // the [n, t] tile reuses the dy buffer, then scatters back.
+            simd::pack_b(g_buf, l, t, true, pt_buf);
+            dy_buf.clear();
+            dy_buf.resize(n * t, 0.0);
+            simd::kernel(bk, AView::rows(kb, 0, l), pt_buf, dy_buf, n, l, t, false);
+            for p in 0..n {
+                for r in 0..t {
+                    dqb[p * l + y0 + r] = dy_buf[p * t + r];
+                }
+            }
+            // dk[p,x] += Σ_r q[p,y0+r]·gs[r,x]: same accumulate chaining.
+            simd::pack_b(g_buf, t, l, false, pt_buf);
+            simd::kernel(bk, AView::rows(q_buf, 0, t), pt_buf, dkb, n, t, l, true);
+            y0 += t;
+        }
+    });
 }
 
 #[cfg(test)]

@@ -600,19 +600,16 @@ impl Tensor {
         Tensor::from_vec(vec![b, nc, h, w], out).expect("slice shape")
     }
 
-    /// Softmax over the last axis.
+    /// Softmax over the last axis. Every row runs through the shared
+    /// dispatched [`crate::softmax_row`], so the composed tape op, the
+    /// fused attention kernels and the plan executor all use the exact
+    /// same per-row arithmetic on every kernel backend.
     pub fn softmax_lastdim(&self) -> Tensor {
         let n = *self.shape().last().expect("softmax needs rank >= 1");
         let mut out = self.data().to_vec();
-        for row in out.chunks_mut(n) {
-            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut z = 0.0f32;
-            for x in row.iter_mut() {
-                *x = (*x - m).exp();
-                z += *x;
-            }
-            for x in row.iter_mut() {
-                *x /= z;
+        if n > 0 {
+            for row in out.chunks_mut(n) {
+                crate::attention::softmax_row(row);
             }
         }
         Tensor::from_vec(self.shape().to_vec(), out).expect("softmax shape")
@@ -709,12 +706,10 @@ pub(crate) fn im2col_slices(
     }
 }
 
-/// Simple blocked GEMM: `out (+)= a[m,k] * b[k,n]`.
-///
-/// If `accumulate` is false, `out` is overwritten. Large products are
-/// split over output-row blocks on the worker pool; each row's i-k-j
-/// reduction order is unchanged, so the result is bitwise identical to
-/// the serial path.
+/// GEMM `out (+)= a[m,k] * b[k,n]`, dispatched to the active kernel
+/// backend: the scalar reference below, or the packed-panel vector
+/// microkernels in [`crate::simd`]. If `accumulate` is false, `out` is
+/// overwritten.
 pub(crate) fn gemm(
     a: &[f32],
     b: &[f32],
@@ -724,6 +719,27 @@ pub(crate) fn gemm(
     n: usize,
     accumulate: bool,
 ) {
+    crate::simd::gemm_with(crate::simd::active(), a, b, out, m, k, n, accumulate);
+}
+
+/// Scalar reference GEMM — the bitwise-golden path. Large products are
+/// split over output-row blocks on the worker pool; each row's i-k-j
+/// reduction order is unchanged, so the result is bitwise identical to
+/// the serial path.
+pub(crate) fn gemm_scalar(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    accumulate: bool,
+) {
+    // Degenerate dims: nothing to compute, and the row workers divide by
+    // `n` (and fan out on `out` chunks), so bail out before they would.
+    if m == 0 || n == 0 {
+        return;
+    }
     let nt = if m * k * n >= PAR_GEMM_FLOPS {
         pool::max_threads().min(m)
     } else {
@@ -783,12 +799,21 @@ fn gemm_rows(
     }
 }
 
-/// `out = a x b^T` for `a: [m, k]`, `b: [n, k]` without materializing the
-/// transpose. Each output element is a contiguous-row dot product whose
-/// reduction over `p` runs in increasing order with the lhs zero-skip of
-/// [`gemm_rows`], so the result is bitwise identical to
-/// `gemm(a, transpose(b))`. Large products split over output-row blocks.
+/// `out = a x b^T` for `a: [m, k]`, `b: [n, k]`, dispatched to the active
+/// kernel backend.
 pub(crate) fn gemm_nt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    crate::simd::gemm_nt_with(crate::simd::active(), a, b, out, m, k, n);
+}
+
+/// Scalar reference `a x b^T` without materializing the transpose. Each
+/// output element is a contiguous-row dot product whose reduction over `p`
+/// runs in increasing order with the lhs zero-skip of [`gemm_rows`], so
+/// the result is bitwise identical to `gemm(a, transpose(b))`. Large
+/// products split over output-row blocks.
+pub(crate) fn gemm_nt_scalar(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    if m == 0 || n == 0 {
+        return;
+    }
     let nt = if m * k * n >= PAR_GEMM_FLOPS {
         pool::max_threads().min(m)
     } else {
@@ -823,13 +848,22 @@ fn gemm_nt_rows(a: &[f32], b: &[f32], out: &mut [f32], row0: usize, k: usize, n:
     }
 }
 
-/// `out = a^T x b` for `a: [k, m]`, `b: [k, n]` without materializing the
-/// transpose. The `p` (contraction) loop is outermost so both operand rows
-/// stream contiguously; for any output element the reduction over `p` still
-/// runs in increasing order with the transposed-lhs zero-skip, bitwise
+/// `out = a^T x b` for `a: [k, m]`, `b: [k, n]`, dispatched to the active
+/// kernel backend.
+pub(crate) fn gemm_tn(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    crate::simd::gemm_tn_with(crate::simd::active(), a, b, out, m, k, n);
+}
+
+/// Scalar reference `a^T x b` without materializing the transpose. The `p`
+/// (contraction) loop is outermost so both operand rows stream
+/// contiguously; for any output element the reduction over `p` still runs
+/// in increasing order with the transposed-lhs zero-skip, bitwise
 /// identical to `gemm(transpose(a), b)`. Large products split over
 /// output-row blocks.
-pub(crate) fn gemm_tn(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+pub(crate) fn gemm_tn_scalar(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    if m == 0 || n == 0 {
+        return;
+    }
     let nt = if m * k * n >= PAR_GEMM_FLOPS {
         pool::max_threads().min(m)
     } else {

@@ -202,25 +202,17 @@ pub fn conv_reorder_epilogue(
         assert_eq!(sc.len(), oc, "conv epilogue scale length mismatch");
         assert_eq!(sh.len(), oc, "conv epilogue shift length mismatch");
     }
+    // The epilogue is elementwise, so the vector backends are bitwise
+    // identical to the scalar loop (same IEEE add/mul/add/max per element);
+    // dispatching per contiguous run costs one branch per (oc, b) pair.
+    let bk = crate::simd::active();
     for ocx in 0..oc {
         let bias_v = bias.map(|bv| bv[ocx]);
         let aff = affine.map(|(sc, sh)| (sc[ocx], sh[ocx]));
         for bi in 0..b {
             let src = &y_mat[(ocx * b + bi) * ohow..(ocx * b + bi + 1) * ohow];
             let dst = &mut out[(bi * oc + ocx) * ohow..(bi * oc + ocx + 1) * ohow];
-            for (o, &yv) in dst.iter_mut().zip(src) {
-                let mut v = yv;
-                if let Some(bv) = bias_v {
-                    v += bv;
-                }
-                if let Some((sc, sh)) = aff {
-                    v = sc * v + sh;
-                }
-                if relu {
-                    v = v.max(0.0);
-                }
-                *o = v;
-            }
+            crate::simd::conv_epilogue_with(bk, src, dst, bias_v, aff, relu);
         }
     }
 }

@@ -1,0 +1,69 @@
+//! Polynomial `exp` shared by the vector softmax backends.
+//!
+//! Cephes `expf` coefficients (the classic `exp_ps` constants): range
+//! reduction `x = x - fx*ln2` with `fx = floor(x*log2(e) + 0.5)` split
+//! into a high/low `ln2` pair, a degree-5 polynomial on the reduced
+//! argument, and `2^fx` reassembled through the exponent bits. Absolute
+//! relative error is ~2e-7 over the clamped range — well inside the
+//! kernel layer's 1e-5-of-scale contract.
+//!
+//! [`exp_scalar`] is the scalar twin used for row tails: each step is the
+//! same operation a vector lane performs (`f32::mul_add` for every FMA),
+//! so a tail element gets the same bits it would get in a full lane.
+
+pub(super) const EXP_HI: f32 = 88.376_26;
+pub(super) const EXP_LO: f32 = -88.376_26;
+pub(super) const LOG2EF: f32 = std::f32::consts::LOG2_E;
+pub(super) const EXP_C1: f32 = 0.693_359_4;
+pub(super) const EXP_C2: f32 = -2.121_944_4e-4;
+pub(super) const EXP_P0: f32 = 1.987_569_1e-4;
+pub(super) const EXP_P1: f32 = 1.398_199_9e-3;
+pub(super) const EXP_P2: f32 = 8.333_452e-3;
+pub(super) const EXP_P3: f32 = 4.166_579_6e-2;
+pub(super) const EXP_P4: f32 = 1.666_666_5e-1;
+// Cephes publishes 5.0000001201e-1, which rounds to exactly 0.5 in f32.
+pub(super) const EXP_P5: f32 = 0.5;
+
+/// Scalar twin of the vector `exp` lanes. See module docs.
+// Not `clamp`: min-then-max in this order is the exact operation sequence
+// of the vector lanes (min_ps then max_ps), including NaN propagation.
+#[allow(clippy::manual_clamp)]
+pub(super) fn exp_scalar(x: f32) -> f32 {
+    let x = x.min(EXP_HI).max(EXP_LO);
+    let fx = x.mul_add(LOG2EF, 0.5).floor();
+    let x = fx.mul_add(-EXP_C1, x);
+    let x = fx.mul_add(-EXP_C2, x);
+    let z = x * x;
+    let mut y = EXP_P0;
+    y = y.mul_add(x, EXP_P1);
+    y = y.mul_add(x, EXP_P2);
+    y = y.mul_add(x, EXP_P3);
+    y = y.mul_add(x, EXP_P4);
+    y = y.mul_add(x, EXP_P5);
+    y = y.mul_add(z, x) + 1.0;
+    let pow2n = f32::from_bits((((fx as i32) + 127) << 23) as u32);
+    y * pow2n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp_scalar_tracks_libm_exp() {
+        // Stay above the 2^-126 denormal cliff, where the bit-reassembled
+        // `2^fx` flushes to zero (and real softmax terms are dead anyway).
+        for i in -780..=800 {
+            let x = i as f32 * 0.11;
+            let reference = x.exp();
+            let got = exp_scalar(x);
+            let rel = if reference == 0.0 {
+                got.abs()
+            } else {
+                ((got - reference) / reference).abs()
+            };
+            assert!(rel < 2e-6, "x={x}: {got} vs {reference}");
+        }
+        assert_eq!(exp_scalar(0.0), 1.0);
+    }
+}

@@ -1,0 +1,645 @@
+//! Runtime-dispatched SIMD microkernels.
+//!
+//! The hot inner loops of the tensor crate — the GEMM family
+//! (`matmul2d`/`bmm`/`bmm_nt`/`bmm_tn` and the plan executor's slice entry
+//! points), softmax rows, the fused conv epilogue and the fused attention
+//! tiles — route through one of three backends selected **once per
+//! process**:
+//!
+//! - [`Backend::Scalar`] — the original scalar loops, kept verbatim in
+//!   `kernels.rs`/`attention.rs`/`lowlevel.rs`. This is the **bitwise
+//!   reference**: every golden file and every pre-existing equivalence
+//!   suite pins its results to this backend.
+//! - [`Backend::Avx2`] — AVX2 + FMA packed-panel microkernels (x86_64),
+//!   detected via `is_x86_feature_detected!`.
+//! - [`Backend::Neon`] — NEON microkernels (aarch64, always available).
+//!
+//! The backend is chosen from the `MFAPLACE_KERNELS` environment variable
+//! (`auto` | `scalar` | `avx2` | `neon`, default `auto`) on first kernel
+//! use, or forced programmatically via [`force`] (the CLI `--kernels`
+//! flag). Forcing an unsupported backend through the environment falls
+//! back to auto-detection with a warning; forcing through [`force`]
+//! returns an error so the CLI can reject it cleanly.
+//!
+//! # Numeric contract
+//!
+//! The vector backends do **not** promise bitwise equality with the scalar
+//! reference — vectorized reductions use FMA chains (one rounding per
+//! multiply-add instead of two) and the vector softmax uses a polynomial
+//! `exp`. They promise something more structured:
+//!
+//! 1. **Per-element contraction-order chains.** Every GEMM-family output
+//!    element is produced by a single accumulator walking the contraction
+//!    index in increasing order (an FMA chain), vectorized across
+//!    *independent output columns*. Column position, row blocking, panel
+//!    packing, batch size and thread count never change an element's
+//!    chain, so every *within-backend* bitwise contract in the codebase —
+//!    fused-vs-composed attention (values and gradients), plan-vs-tape,
+//!    batched-vs-single, serial-vs-parallel, `bmm_nt`/`bmm_tn` vs composed
+//!    permute — holds under the vector backends exactly as it does under
+//!    scalar. Only *scalar-vs-vector* comparisons need a tolerance.
+//! 2. **Tolerance vs. scalar.** Vector results stay within `1e-5` of the
+//!    output scale of the scalar reference in max-norm (the `fold_bn`
+//!    precedent, relaxed from `1e-6` because FMA contraction differences
+//!    grow with reduction length). `crates/tensor/tests/simd_equivalence.rs`
+//!    enforces this per kernel; `crates/core/tests/kernel_tolerance.rs`
+//!    enforces it end-to-end per zoo architecture, where the predictor-level
+//!    acceptance is "the 8-class argmax congestion level map is unchanged".
+//! 3. **Elementwise ops stay bitwise.** The fused conv epilogue
+//!    (bias/affine/ReLU) is elementwise; its vector form performs the same
+//!    IEEE ops per element and remains bitwise identical to scalar.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use mfaplace_rt::pool;
+
+use crate::kernels;
+
+#[cfg(target_arch = "x86_64")]
+mod avx2;
+#[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+mod exp;
+#[cfg(target_arch = "aarch64")]
+mod neon;
+
+/// Kernel backend identifier. See the module docs for the numeric
+/// contract each backend carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Portable scalar loops — the bitwise-golden reference.
+    Scalar,
+    /// AVX2 + FMA microkernels (x86_64).
+    Avx2,
+    /// NEON microkernels (aarch64).
+    Neon,
+}
+
+impl Backend {
+    /// Stable lowercase name (`scalar` / `avx2` / `neon`) used by the CLI,
+    /// `model-info`, the `mfaplace_kernel_backend` metrics gauge and bench
+    /// labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Avx2 => "avx2",
+            Backend::Neon => "neon",
+        }
+    }
+
+    /// Parses a knob value. `auto` (or empty) parses to `None`, meaning
+    /// "detect the best supported backend".
+    pub fn parse(s: &str) -> Result<Option<Backend>, String> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "" | "auto" => Ok(None),
+            "scalar" => Ok(Some(Backend::Scalar)),
+            "avx2" => Ok(Some(Backend::Avx2)),
+            "neon" => Ok(Some(Backend::Neon)),
+            other => Err(format!(
+                "unknown kernel backend '{other}' (expected auto|scalar|avx2|neon)"
+            )),
+        }
+    }
+
+    /// Whether this backend can execute on the current host.
+    pub fn is_supported(self) -> bool {
+        match self {
+            Backend::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            Backend::Avx2 => {
+                std::arch::is_x86_feature_detected!("avx2")
+                    && std::arch::is_x86_feature_detected!("fma")
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            Backend::Avx2 => false,
+            #[cfg(target_arch = "aarch64")]
+            Backend::Neon => true,
+            #[cfg(not(target_arch = "aarch64"))]
+            Backend::Neon => false,
+        }
+    }
+}
+
+/// Best backend the current host supports.
+pub fn detect() -> Backend {
+    if Backend::Avx2.is_supported() {
+        Backend::Avx2
+    } else if Backend::Neon.is_supported() {
+        Backend::Neon
+    } else {
+        Backend::Scalar
+    }
+}
+
+/// Every backend the current host supports, scalar first.
+pub fn supported() -> Vec<Backend> {
+    let mut v = vec![Backend::Scalar];
+    if Backend::Avx2.is_supported() {
+        v.push(Backend::Avx2);
+    }
+    if Backend::Neon.is_supported() {
+        v.push(Backend::Neon);
+    }
+    v
+}
+
+/// Process-global active backend: 0 = uninitialized, else `Backend as u8
+/// + 1`.
+static ACTIVE: AtomicU8 = AtomicU8::new(0);
+
+fn encode(b: Backend) -> u8 {
+    match b {
+        Backend::Scalar => 1,
+        Backend::Avx2 => 2,
+        Backend::Neon => 3,
+    }
+}
+
+fn decode(v: u8) -> Option<Backend> {
+    match v {
+        1 => Some(Backend::Scalar),
+        2 => Some(Backend::Avx2),
+        3 => Some(Backend::Neon),
+        _ => None,
+    }
+}
+
+/// The active backend, initializing from `MFAPLACE_KERNELS` on first use.
+///
+/// An unknown or host-unsupported value in the environment prints one
+/// warning to stderr and falls back to auto-detection — kernels must keep
+/// working under a typo'd service environment. Use [`force`] for strict
+/// validation.
+pub fn active() -> Backend {
+    if let Some(b) = decode(ACTIVE.load(Ordering::Relaxed)) {
+        return b;
+    }
+    let requested = std::env::var("MFAPLACE_KERNELS").unwrap_or_default();
+    let chosen = match Backend::parse(&requested) {
+        Ok(None) => detect(),
+        Ok(Some(b)) if b.is_supported() => b,
+        Ok(Some(b)) => {
+            eprintln!(
+                "warning: MFAPLACE_KERNELS={} is not supported on this host; using {}",
+                b.name(),
+                detect().name()
+            );
+            detect()
+        }
+        Err(e) => {
+            eprintln!("warning: {e}; using {}", detect().name());
+            detect()
+        }
+    };
+    // A racing initializer computes the same value; last store wins.
+    ACTIVE.store(encode(chosen), Ordering::Relaxed);
+    chosen
+}
+
+/// Forces the active backend for the rest of the process (`None` =
+/// auto-detect). Returns the backend that is now active, or an error if
+/// the requested backend is not supported on this host.
+pub fn force(choice: Option<Backend>) -> Result<Backend, String> {
+    let chosen = match choice {
+        None => detect(),
+        Some(b) if b.is_supported() => b,
+        Some(b) => {
+            return Err(format!(
+                "kernel backend '{}' is not supported on this host (detected: {})",
+                b.name(),
+                detect().name()
+            ))
+        }
+    };
+    ACTIVE.store(encode(chosen), Ordering::Relaxed);
+    Ok(chosen)
+}
+
+// --------------------------------------------------------------- scratch
+
+/// Vector-lane panel width of the packed-B microkernels. Both ISAs pack
+/// `NR`-column panels (AVX2 consumes them as two 8-lane registers, NEON as
+/// four 4-lane registers); the per-element FMA chain is identical either
+/// way, so the two vector backends produce bitwise-identical GEMM results.
+pub(crate) const NR: usize = 16;
+
+/// Output rows per microkernel step.
+const MR: usize = 4;
+
+/// Per-thread reusable buffers for panel packing and attention tiles, so
+/// the steady-state vector path allocates nothing per call (matching the
+/// plan executor's amortized zero-allocation property).
+#[derive(Default)]
+pub(crate) struct Scratch {
+    pub pack_a: Vec<f32>,
+    pub pack_b: Vec<f32>,
+    pub pack_c: Vec<f32>,
+    pub tile_a: Vec<f32>,
+    pub tile_b: Vec<f32>,
+    pub tile_c: Vec<f32>,
+    pub tile_d: Vec<f32>,
+}
+
+thread_local! {
+    static SCRATCH: std::cell::RefCell<Scratch> = std::cell::RefCell::new(Scratch::default());
+}
+
+/// Runs `f` with this thread's kernel scratch. Do not nest.
+pub(crate) fn with_scratch<R>(f: impl FnOnce(&mut Scratch) -> R) -> R {
+    SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}
+
+// ------------------------------------------------------------ B packing
+
+/// Packs `b` into `ceil(n / NR)` column panels of `k` rows each
+/// (`panel[jb][p][lane] = b[p, jb*NR + lane]`), zero-padding lanes past
+/// `n`. With `trans`, `b` is `[n, k]` and the packed panel reads
+/// `b[jb*NR + lane, p]` — the packed result is the transpose, which turns
+/// an NT product into the NN microkernel without changing any output
+/// element's contraction order.
+pub(crate) fn pack_b(src: &[f32], k: usize, n: usize, trans: bool, buf: &mut Vec<f32>) {
+    let nb = n.div_ceil(NR);
+    buf.clear();
+    buf.resize(nb * k * NR, 0.0);
+    for jb in 0..nb {
+        let j0 = jb * NR;
+        let width = NR.min(n - j0);
+        let panel = &mut buf[jb * k * NR..(jb + 1) * k * NR];
+        if trans {
+            for lane in 0..width {
+                let col = &src[(j0 + lane) * k..(j0 + lane + 1) * k];
+                for (p, &v) in col.iter().enumerate() {
+                    panel[p * NR + lane] = v;
+                }
+            }
+        } else {
+            for (p, prow) in panel.chunks_mut(NR).enumerate() {
+                let brow = &src[p * n + j0..p * n + j0 + width];
+                prow[..width].copy_from_slice(brow);
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------- microkernel
+
+/// Strided view of the A operand of [`kernel`]: element `(row, p)` of the
+/// product reads `a[base + row * row_stride + p * p_stride]`. Covers NN
+/// (`row_stride = k, p_stride = 1`), TN (`row_stride = 1, p_stride = m`)
+/// and packed attention tiles without copying A.
+#[derive(Clone, Copy)]
+pub(crate) struct AView<'a> {
+    pub data: &'a [f32],
+    pub base: usize,
+    pub row_stride: usize,
+    pub p_stride: usize,
+}
+
+impl<'a> AView<'a> {
+    pub(crate) fn rows(data: &'a [f32], base: usize, k: usize) -> Self {
+        AView {
+            data,
+            base,
+            row_stride: k,
+            p_stride: 1,
+        }
+    }
+}
+
+/// Packed-panel GEMM microkernel: `out[r, j] (+)= Σ_p A(row0+r, p) ·
+/// panel[j, p]` over `rows x n` outputs, `out` row-major with stride `n`.
+///
+/// Each output element is one FMA chain over `p` in increasing order —
+/// lane position, row grouping and column-tail handling never change an
+/// element's arithmetic, which is what keeps every within-backend bitwise
+/// contract intact (see module docs). With `accumulate`, chains start from
+/// the existing `out` value (an exact f32 reload), so tiled accumulation
+/// over a leading index is bitwise identical to one long chain.
+///
+/// # Panics
+///
+/// Panics if `bk == Backend::Scalar` (callers dispatch the scalar
+/// reference in `kernels.rs` instead), or on slice-length mismatches.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn kernel(
+    bk: Backend,
+    a: AView<'_>,
+    packed: &[f32],
+    out: &mut [f32],
+    rows: usize,
+    k: usize,
+    n: usize,
+    accumulate: bool,
+) {
+    if rows == 0 || n == 0 {
+        return;
+    }
+    assert_eq!(out.len(), rows * n, "simd kernel output length mismatch");
+    assert!(
+        packed.len() >= n.div_ceil(NR) * k * NR,
+        "simd kernel packed panel too small"
+    );
+    if k > 0 {
+        let last = a.base + (rows - 1) * a.row_stride + (k - 1) * a.p_stride;
+        assert!(last < a.data.len(), "simd kernel A view out of bounds");
+    }
+    match bk {
+        Backend::Scalar => panic!("simd kernel called with scalar backend"),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `Avx2` is only ever active()/forced when
+        // `is_x86_feature_detected!` confirmed avx2+fma; bounds asserted
+        // above.
+        Backend::Avx2 => unsafe { avx2::gemm_packed(a, packed, out, rows, k, n, accumulate) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: NEON is baseline on aarch64; bounds asserted above.
+        Backend::Neon => unsafe { neon::gemm_packed(a, packed, out, rows, k, n, accumulate) },
+        #[allow(unreachable_patterns)]
+        other => panic!(
+            "kernel backend {} not compiled on this target",
+            other.name()
+        ),
+    }
+}
+
+// ------------------------------------------------- dispatched GEMM entry
+
+/// Vector-backend GEMM `out (+)= a[m,k] * b[k,n]` with the same
+/// row-parallel fan-out policy as the scalar [`kernels::gemm`]. Packs `b`
+/// once into this thread's scratch; worker rows share the packed panels.
+#[allow(clippy::too_many_arguments)]
+fn gemm_vec(
+    bk: Backend,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    accumulate: bool,
+    trans_b: bool,
+    a_tn: bool,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    with_scratch(|sc| {
+        pack_b(b, k, n, trans_b, &mut sc.pack_a);
+        let packed: &[f32] = &sc.pack_a;
+        let aview = |row0: usize| {
+            if a_tn {
+                AView {
+                    data: a,
+                    base: row0,
+                    row_stride: 1,
+                    p_stride: m,
+                }
+            } else {
+                AView::rows(a, row0 * k, k)
+            }
+        };
+        let nt = if m * k * n >= kernels::PAR_GEMM_FLOPS {
+            pool::max_threads().min(m)
+        } else {
+            1
+        };
+        if nt <= 1 {
+            kernel(bk, aview(0), packed, out, m, k, n, accumulate);
+            return;
+        }
+        let rows_per = m.div_ceil(nt);
+        pool::parallel_chunks_mut(out, rows_per * n, |ci, chunk| {
+            let rows = chunk.len() / n;
+            kernel(
+                bk,
+                aview(ci * rows_per),
+                packed,
+                chunk,
+                rows,
+                k,
+                n,
+                accumulate,
+            );
+        });
+    });
+}
+
+/// Explicit-backend `out (+)= a[m,k] x b[k,n]` — the differential test
+/// suite's entry point; the dispatched [`kernels::gemm`] calls this with
+/// [`active`]. Scalar delegates to the verbatim reference loops.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_with(
+    bk: Backend,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    accumulate: bool,
+) {
+    assert_eq!(a.len(), m * k, "gemm lhs length mismatch");
+    assert_eq!(b.len(), k * n, "gemm rhs length mismatch");
+    assert_eq!(out.len(), m * n, "gemm output length mismatch");
+    match bk {
+        Backend::Scalar => kernels::gemm_scalar(a, b, out, m, k, n, accumulate),
+        bk => gemm_vec(bk, a, b, out, m, k, n, accumulate, false, false),
+    }
+}
+
+/// Explicit-backend `out = a[m,k] x b[n,k]^T`. See [`gemm_with`].
+pub fn gemm_nt_with(
+    bk: Backend,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    assert_eq!(a.len(), m * k, "gemm_nt lhs length mismatch");
+    assert_eq!(b.len(), n * k, "gemm_nt rhs length mismatch");
+    assert_eq!(out.len(), m * n, "gemm_nt output length mismatch");
+    match bk {
+        Backend::Scalar => kernels::gemm_nt_scalar(a, b, out, m, k, n),
+        bk => gemm_vec(bk, a, b, out, m, k, n, false, true, false),
+    }
+}
+
+/// Explicit-backend `out = a[k,m]^T x b[k,n]`. See [`gemm_with`].
+pub fn gemm_tn_with(
+    bk: Backend,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    assert_eq!(a.len(), k * m, "gemm_tn lhs length mismatch");
+    assert_eq!(b.len(), k * n, "gemm_tn rhs length mismatch");
+    assert_eq!(out.len(), m * n, "gemm_tn output length mismatch");
+    match bk {
+        Backend::Scalar => kernels::gemm_tn_scalar(a, b, out, m, k, n),
+        bk => gemm_vec(bk, a, b, out, m, k, n, false, false, true),
+    }
+}
+
+// --------------------------------------------------------------- softmax
+
+/// Explicit-backend in-place softmax of one row. The scalar backend is the
+/// verbatim reference loop (max fold, `f32::exp` + sum pass, divide); the
+/// vector backends use an exact max, a polynomial `exp` (Cephes
+/// coefficients, FMA evaluation, identical per element between the vector
+/// body and the scalar-code tail), a fixed-tree lane sum plus in-order
+/// tail sum, and an exact IEEE divide. Deterministic per backend.
+pub fn softmax_row_with(bk: Backend, row: &mut [f32]) {
+    match bk {
+        Backend::Scalar => crate::attention::softmax_row_scalar(row),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2 is only active when detection confirmed avx2+fma.
+        Backend::Avx2 => unsafe { avx2::softmax_row(row) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: NEON is baseline on aarch64.
+        Backend::Neon => unsafe { neon::softmax_row(row) },
+        #[allow(unreachable_patterns)]
+        other => panic!(
+            "kernel backend {} not compiled on this target",
+            other.name()
+        ),
+    }
+}
+
+// --------------------------------------------------------- conv epilogue
+
+/// Explicit-backend fused conv epilogue over one contiguous run:
+/// `dst = relu(scale*(src + bias) + shift)` with each stage optional.
+/// Elementwise, so **bitwise identical across all backends** — the vector
+/// form issues the same IEEE add/mul/add/max per element as the scalar
+/// loop (`mul` + `add` for the affine stage, deliberately *not* FMA).
+pub fn conv_epilogue_with(
+    bk: Backend,
+    src: &[f32],
+    dst: &mut [f32],
+    bias: Option<f32>,
+    affine: Option<(f32, f32)>,
+    relu: bool,
+) {
+    assert_eq!(src.len(), dst.len(), "conv epilogue length mismatch");
+    match bk {
+        Backend::Scalar => conv_epilogue_scalar(src, dst, bias, affine, relu),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2 is only active when detection confirmed avx2+fma.
+        Backend::Avx2 => unsafe { avx2::conv_epilogue(src, dst, bias, affine, relu) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: NEON is baseline on aarch64.
+        Backend::Neon => unsafe { neon::conv_epilogue(src, dst, bias, affine, relu) },
+        #[allow(unreachable_patterns)]
+        other => panic!(
+            "kernel backend {} not compiled on this target",
+            other.name()
+        ),
+    }
+}
+
+/// Scalar reference epilogue run — the exact per-element sequence of the
+/// tape's `AddBiasChannel` → `ChannelAffine` → `Relu` nodes.
+pub(crate) fn conv_epilogue_scalar(
+    src: &[f32],
+    dst: &mut [f32],
+    bias: Option<f32>,
+    affine: Option<(f32, f32)>,
+    relu: bool,
+) {
+    for (o, &yv) in dst.iter_mut().zip(src) {
+        let mut v = yv;
+        if let Some(bv) = bias {
+            v += bv;
+        }
+        if let Some((sc, sh)) = affine {
+            v = sc * v + sh;
+        }
+        if relu {
+            v = v.max(0.0);
+        }
+        *o = v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trip_and_auto() {
+        assert_eq!(Backend::parse("auto").unwrap(), None);
+        assert_eq!(Backend::parse("").unwrap(), None);
+        assert_eq!(Backend::parse("Scalar").unwrap(), Some(Backend::Scalar));
+        assert_eq!(Backend::parse("AVX2").unwrap(), Some(Backend::Avx2));
+        assert_eq!(Backend::parse("neon").unwrap(), Some(Backend::Neon));
+        assert!(Backend::parse("sse9").is_err());
+        for b in supported() {
+            assert_eq!(Backend::parse(b.name()).unwrap(), Some(b));
+            assert!(b.is_supported());
+        }
+    }
+
+    #[test]
+    fn detect_is_supported_and_listed() {
+        let d = detect();
+        assert!(d.is_supported());
+        assert!(supported().contains(&d));
+        assert_eq!(supported()[0], Backend::Scalar);
+    }
+
+    #[test]
+    fn pack_b_pads_column_tails_with_zeros() {
+        // k = 2, n = 3: one NR-wide panel, lanes 3.. zero.
+        let b = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let mut buf = Vec::new();
+        pack_b(&b, 2, 3, false, &mut buf);
+        assert_eq!(buf.len(), 2 * NR);
+        assert_eq!(&buf[..3], &[1.0, 2.0, 3.0]);
+        assert!(buf[3..NR].iter().all(|&x| x == 0.0));
+        assert_eq!(&buf[NR..NR + 3], &[4.0, 5.0, 6.0]);
+        // Transposed pack of the same data viewed as [n=2, k=3].
+        pack_b(&b, 3, 2, true, &mut buf);
+        assert_eq!(buf.len(), 3 * NR);
+        assert_eq!(buf[0], 1.0); // b[0*k+0]
+        assert_eq!(buf[1], 4.0); // b[1*k+0]
+        assert_eq!(buf[NR], 2.0); // p=1 lane 0
+    }
+
+    #[test]
+    fn gemm_with_scalar_matches_reference_and_vector_within_tolerance() {
+        let (m, k, n) = (5, 7, 19); // n crosses one NR panel
+        let a: Vec<f32> = (0..m * k)
+            .map(|i| ((i * 37 % 23) as f32 - 11.0) * 0.13)
+            .collect();
+        let b: Vec<f32> = (0..k * n)
+            .map(|i| ((i * 29 % 19) as f32 - 9.0) * 0.07)
+            .collect();
+        let mut reference = vec![0.0f32; m * n];
+        gemm_with(Backend::Scalar, &a, &b, &mut reference, m, k, n, false);
+        for bk in supported() {
+            let mut out = vec![f32::NAN; m * n];
+            gemm_with(bk, &a, &b, &mut out, m, k, n, false);
+            let scale = reference.iter().fold(0.0f32, |acc, x| acc.max(x.abs()));
+            for (x, y) in out.iter().zip(&reference) {
+                assert!((x - y).abs() <= 1e-5 * scale.max(1.0), "{bk:?}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_dims_are_noops() {
+        for bk in supported() {
+            let mut out = vec![0.0f32; 0];
+            gemm_with(bk, &[], &[], &mut out, 0, 3, 0, false);
+            let mut out1 = vec![7.0f32; 4];
+            // k = 0: accumulate leaves out unchanged, overwrite zeroes it.
+            gemm_with(bk, &[], &[], &mut out1, 2, 0, 2, true);
+            assert_eq!(out1, vec![7.0; 4]);
+            gemm_with(bk, &[], &[], &mut out1, 2, 0, 2, false);
+            assert_eq!(out1, vec![0.0; 4]);
+        }
+    }
+}

@@ -41,6 +41,7 @@ use mfaplace::router::score::{RoutabilityScore, ScoreInputs};
 use mfaplace::serve::{
     client, serve_fleet_with, Metrics, ModelFleet, ServeConfig, SlotLimits, DEFAULT_SLOT,
 };
+use mfaplace::tensor::simd;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -79,6 +80,7 @@ const USAGE: &str = "usage:
                       [--save-every N] [--stop-after N] [--log <file.jsonl>] \\
                       [--placements N] [--iterations N]
   mfaplace model-info --model <file.mfaw> [--grid N]
+  mfaplace kernels    (report detected/active SIMD kernel backend)
   mfaplace serve      --model [name=]<file.mfaw> [--model name=<file.mfaw> ...] \\
                       [--addr host:port] [--engine tape|plan] \\
                       [--arch ...] [--grid N] [--channels N]   (v1 checkpoints)
@@ -110,7 +112,12 @@ follows the NDJSON per-iteration event stream to completion.
 generate --preset large builds ~1/16-scale designs (default small is
 ~1/64); an explicit --scale overrides the preset.
 train honors MFAPLACE_TRAIN_WORKERS when --workers is not given; --resume
-continues bitwise-exactly from the checkpoint at --out if it exists.";
+continues bitwise-exactly from the checkpoint at --out if it exists.
+every subcommand accepts --kernels auto|scalar|avx2|neon to pin the SIMD
+kernel backend (strict; the MFAPLACE_KERNELS env var is the forgiving
+equivalent, falling back to auto-detection with a warning). scalar is the
+bitwise-golden reference; vector backends carry a documented 1e-5-of-scale
+tolerance and never change the predicted congestion level map.";
 
 fn run(args: &[String]) -> Result<(), String> {
     let Some(cmd) = args.first() else {
@@ -120,7 +127,9 @@ fn run(args: &[String]) -> Result<(), String> {
         return run_job(&args[1..]);
     }
     let flags = parse_flags(&args[1..])?;
+    apply_kernels_flag(&flags)?;
     match cmd.as_str() {
+        "kernels" => cmd_kernels(),
         "generate" => cmd_generate(&flags),
         "place" => cmd_place(&flags),
         "route" => cmd_route(&flags),
@@ -178,6 +187,28 @@ fn load_options(flags: &Flags) -> Result<LoadOptions, String> {
             ),
         },
     })
+}
+
+/// `--kernels auto|scalar|avx2|neon` — strict: an unsupported backend is a
+/// CLI error here, unlike the forgiving `MFAPLACE_KERNELS` environment
+/// fallback. Applied before every subcommand so `serve`, `predict`,
+/// `train` and `model-info` all honor it.
+fn apply_kernels_flag(flags: &Flags) -> Result<(), String> {
+    if let Some(v) = flags.get("kernels") {
+        let choice =
+            simd::Backend::parse(v).map_err(|e| format!("invalid value for --kernels: {e}"))?;
+        simd::force(choice)?;
+    }
+    Ok(())
+}
+
+/// `mfaplace kernels`: reports the runtime kernel-backend dispatch state.
+fn cmd_kernels() -> Result<(), String> {
+    let names: Vec<&str> = simd::supported().iter().map(|b| b.name()).collect();
+    println!("active backend: {}", simd::active().name());
+    println!("detected best:  {}", simd::detect().name());
+    println!("supported:      {}", names.join(" "));
+    Ok(())
 }
 
 /// `--engine tape|plan`; `None` leaves the `MFAPLACE_ENGINE` default.
@@ -512,6 +543,7 @@ fn cmd_model_info(flags: &Flags) -> Result<(), String> {
         }
     }
     println!("  content hash {hash:016x}");
+    println!("  kernel backend: {}", simd::active().name());
     // Compile the inference plan for a batch-1 forward and summarize it.
     match load_predictor(path, load_options(flags)?) {
         Err(e) => println!("  plan: unavailable ({e})"),
