@@ -49,6 +49,13 @@ echo "==> SIMD differential suite (vector kernels vs scalar reference)"
 cargo test -q -p mfaplace-tensor --offline --test simd_equivalence
 cargo test -q -p mfaplace-core --offline --test kernel_tolerance
 
+# The parallel level scheduler must be bitwise identical to serial replay
+# at every worker count; run the infer suites under both a forced-serial
+# and a forced-parallel executor so the env plumbing itself is exercised.
+echo "==> plan scheduler suite (MFAPLACE_PLAN_WORKERS=1 and =4)"
+MFAPLACE_PLAN_WORKERS=1 cargo test -q -p mfaplace-infer --offline
+MFAPLACE_PLAN_WORKERS=4 cargo test -q -p mfaplace-infer --offline
+
 if [ "$QUICK" = "1" ]; then
     echo "CI OK (quick tier: benches and smoke runs skipped)"
     exit 0

@@ -718,18 +718,19 @@ impl Graph {
         let mut xhat = self.pool.take_any(src.len());
         let mut out = self.pool.take_any(src.len());
         let mut inv_std = vec![0.0f32; rows];
-        for r in 0..rows {
-            let row = &src[r * d..(r + 1) * d];
-            let mean: f32 = row.iter().sum::<f32>() / d as f32;
-            let var: f32 = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
-            let is = 1.0 / (var + eps).sqrt();
-            inv_std[r] = is;
-            for k in 0..d {
-                let xh = (row[k] - mean) * is;
-                xhat[r * d + k] = xh;
-                out[r * d + k] = g[k] * xh + be[k];
-            }
-        }
+        // Dispatched kernel shared with the plan executor: scalar backend
+        // is the verbatim reference loop, vector backends vectorize the
+        // row reductions (see `mfaplace_tensor::simd`).
+        mfaplace_tensor::layer_norm_rows(
+            src,
+            &g,
+            &be,
+            eps,
+            d,
+            &mut out,
+            Some(&mut xhat),
+            Some(&mut inv_std),
+        );
         let xhat = Tensor::from_vec(self.value(x).shape().to_vec(), xhat).expect("ln xhat");
         let v = Tensor::from_vec(self.value(x).shape().to_vec(), out).expect("ln out");
         let rg = self.rg(x) || self.rg(gamma) || self.rg(beta);

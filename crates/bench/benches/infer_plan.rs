@@ -3,7 +3,10 @@
 //! versus the plan engine, at grids 32/64 with batches 1/8 plus a
 //! batch-1 run at grid 256 (the placement-scale stress case; batch 8
 //! there would push a single sample past ten seconds for no extra
-//! signal). Writes `results/infer_plan.json`.
+//! signal). The batch-1 grid-64/grid-256 points additionally run a
+//! `plan-par` variant — the plan engine with the level scheduler at
+//! four workers — against the serial `plan` baseline (workers = 1,
+//! scheduler effectively off). Writes `results/infer_plan.json`.
 //!
 //! Every (grid, batch, engine) combination runs in its **own child
 //! process**: peak RSS is sampled from the kernel's `VmHWM` watermark,
@@ -23,6 +26,20 @@ use mfaplace_tensor::Tensor;
 const CHILD_ENV: &str = "MFA_PLAN_CHILD";
 const CONFIGS: [(usize, usize); 5] = [(32, 1), (32, 8), (64, 1), (64, 8), (256, 1)];
 const ENGINES: [&str; 2] = ["tape", "plan"];
+/// Level-scheduler worker count for the `plan-par` variant.
+const PAR_WORKERS: usize = 4;
+
+/// Engine variants for one (grid, batch) point: tape and serial plan
+/// everywhere; the parallel scheduler only where it can pay off (batch-1
+/// latency at placement-relevant grids — batched forwards already
+/// parallelize across the batch dimension inside the kernels).
+fn variants(grid: usize, batch: usize) -> &'static [&'static str] {
+    if batch == 1 && grid >= 64 {
+        &["tape", "plan", "plan-par"]
+    } else {
+        &ENGINES
+    }
+}
 
 fn spec(grid: usize) -> ArchSpec {
     let mut spec = ArchSpec::new(Arch::Ours, grid);
@@ -38,13 +55,22 @@ fn run_child(child: &str) {
     let mut parts = child.split(':');
     let grid: usize = parts.next().and_then(|s| s.parse().ok()).expect("grid");
     let batch: usize = parts.next().and_then(|s| s.parse().ok()).expect("batch");
-    let engine = Engine::parse(parts.next().expect("engine")).expect("engine");
+    let variant = parts.next().expect("engine");
+    let engine = match variant {
+        "plan-par" => Engine::Plan,
+        other => Engine::parse(other).expect("engine"),
+    };
 
     let mut g = Graph::new();
     let mut rng = StdRng::seed_from_u64(0);
     let model = spec(grid).build(&mut g, &mut rng).expect("build model");
     let mut predictor = ModelPredictor::new(g, model);
     predictor.set_engine(engine);
+    predictor.set_plan_workers(if variant == "plan-par" {
+        PAR_WORKERS
+    } else {
+        1
+    });
 
     let mut in_rng = StdRng::seed_from_u64(1);
     let inputs: Vec<Tensor> = (0..batch)
@@ -66,7 +92,7 @@ fn run_child(child: &str) {
 
     let mut suite = Suite::new("infer_plan").with_config(2, 7);
     suite.run(
-        &format!("infer/{}/grid{grid}/batch{batch}/forward", engine.name()),
+        &format!("infer/{variant}/grid{grid}/batch{batch}/forward"),
         |b| b.iter(|| std::hint::black_box(predictor.predict_batch_tensors(&inputs))),
     );
     print!("{}", suite.to_json());
@@ -108,7 +134,7 @@ fn main() {
     let exe = std::env::current_exe().expect("current exe");
     let mut fragments = Vec::new();
     for (grid, batch) in CONFIGS {
-        for engine in ENGINES {
+        for engine in variants(grid, batch) {
             let out = std::process::Command::new(&exe)
                 .env(CHILD_ENV, format!("{grid}:{batch}:{engine}"))
                 .stderr(std::process::Stdio::inherit())
@@ -156,6 +182,18 @@ fn main() {
                 p,
                 t / p
             );
+            let par = median_of(
+                &merged,
+                &format!("infer/plan-par/grid{grid}/batch{batch}/forward"),
+            );
+            if let Some(pp) = par {
+                println!(
+                    "grid {grid} batch {batch}  plan {:>12.1} ns  plan-par({PAR_WORKERS}w) {:>12.1} ns  scheduler speedup {:.2}x",
+                    p,
+                    pp,
+                    p / pp
+                );
+            }
         }
     }
 

@@ -27,7 +27,9 @@ use mfaplace_fpga::design::Design;
 use mfaplace_fpga::features::FeatureStack;
 use mfaplace_fpga::gridmap::GridMap;
 use mfaplace_fpga::placement::Placement;
-use mfaplace_infer::{run_plan, Plan, PlanCache, PlanKey, PlanOptions, PlanSource, PlanStats};
+use mfaplace_infer::{
+    run_plan_workers, Plan, PlanCache, PlanKey, PlanOptions, PlanSource, PlanStats,
+};
 use mfaplace_models::{expected_levels, CongestionModel};
 use mfaplace_placer::CongestionPredictor;
 use mfaplace_rt::timer::ScopeTimer;
@@ -96,6 +98,10 @@ pub struct ModelPredictor<M: CongestionModel> {
     /// Set on the first failed capture; the predictor then stays on the
     /// tape (the error is surfaced via metrics/CLI, never a panic).
     plan_broken: Option<String>,
+    /// Level-scheduler worker count for plan forwards (`1` = serial
+    /// replay; outputs are bitwise identical either way). Defaults to
+    /// `MFAPLACE_PLAN_WORKERS`, falling back to the pool thread budget.
+    plan_workers: usize,
 }
 
 impl<M: CongestionModel> ModelPredictor<M> {
@@ -141,7 +147,20 @@ impl<M: CongestionModel> ModelPredictor<M> {
             peak_stats: None,
             weight_cache: HashMap::new(),
             plan_broken: None,
+            plan_workers: mfaplace_infer::plan_workers_from_env(),
         }
+    }
+
+    /// Sets the level-scheduler worker count for plan forwards (`1` =
+    /// serial replay). Purely a latency knob: outputs are bitwise
+    /// identical at any count.
+    pub fn set_plan_workers(&mut self, workers: usize) {
+        self.plan_workers = workers.max(1);
+    }
+
+    /// The configured level-scheduler worker count.
+    pub fn plan_workers(&self) -> usize {
+        self.plan_workers
     }
 
     /// Borrows the wrapped model.
@@ -280,12 +299,12 @@ impl<M: CongestionModel> ModelPredictor<M> {
         };
         let _t = ScopeTimer::new("core/forward_plan");
         let out = if bucket == n {
-            run_plan(&plan, &mut self.arena, batch.data()).to_vec()
+            run_plan_workers(&plan, &mut self.arena, batch.data(), self.plan_workers).to_vec()
         } else {
             let per_in = batch.data().len() / n;
             let mut padded = vec![0.0f32; bucket * per_in];
             padded[..n * per_in].copy_from_slice(batch.data());
-            let full = run_plan(&plan, &mut self.arena, &padded);
+            let full = run_plan_workers(&plan, &mut self.arena, &padded, self.plan_workers);
             let per_out = full.len() / bucket;
             full[..n * per_out].to_vec()
         };

@@ -42,5 +42,7 @@ mod exec;
 mod plan;
 
 pub use cache::{PlanCache, PlanCacheStats, PlanKey, PlanSource, DEFAULT_PLAN_CACHE_BYTES};
-pub use exec::{run_plan, PlanExecutor};
+pub use exec::{
+    plan_workers_from_env, plan_workers_from_str, run_plan, run_plan_workers, PlanExecutor,
+};
 pub use plan::{Plan, PlanOptions, PlanStats};

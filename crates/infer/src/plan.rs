@@ -22,11 +22,27 @@
 //!    `channel_affine` epilogue is folded into the conv weight/bias through
 //!    an f64 refold. This changes weight values, so it is off by default:
 //!    the bitwise contract becomes a ≤1e-6 one.
-//! 4. **Arena assignment** — liveness intervals for every intermediate plus
+//! 4. **Copy elision** — pure-reshape [`IrOp::Copy`] steps are rewritten
+//!    into *aliases* of their source value: no op in the IR ever mutates an
+//!    existing span, so a reshape output can share its source's storage as
+//!    long as the liveness pass keeps the shared span alive until the last
+//!    reader of **either** value (a write-after-read extension of the
+//!    plain per-value liveness).
+//! 5. **Level scheduling** — the op-level dependency DAG (an edge per
+//!    operand definition, aliases resolved to their roots) is partitioned
+//!    into topological levels: waves of mutually independent ops. Steps are
+//!    reordered level-major (stable within a level), so serial replay is
+//!    still a valid topological order and the executor can run any level's
+//!    ops concurrently.
+//! 6. **Arena assignment** — liveness intervals for every intermediate plus
 //!    op-local scratch (conv im2col/GEMM buffers, attention score rows) are
 //!    packed by a first-fit free list with coalescing into a single arena
-//!    whose peak size is known at compile time. The executor then runs
-//!    every forward with zero heap allocations.
+//!    whose peak size is known at compile time. Spans are allocated and
+//!    released at *level* granularity, so ops in the same level always hold
+//!    pairwise-disjoint write spans (verified after the pass) — the
+//!    property that makes parallel level execution bitwise identical to
+//!    serial replay. The executor then runs every forward with zero heap
+//!    allocations.
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -69,6 +85,14 @@ pub struct PlanStats {
     pub weights: usize,
     /// Weight-table bytes (shared `Arc`s counted once per plan).
     pub weight_bytes: usize,
+    /// Dependency-DAG levels (waves of mutually independent ops). Each
+    /// level advances the longest dependency chain by exactly one op, so
+    /// this is also the critical-path depth in ops.
+    pub levels: usize,
+    /// Ops in the widest level — the plan's maximum op-level parallelism.
+    pub max_level_width: usize,
+    /// Pure-reshape `Copy` steps elided into arena aliases.
+    pub copies_elided: usize,
 }
 
 pub(crate) type ValId = usize;
@@ -309,6 +333,11 @@ pub struct Plan {
     pub(crate) input: ValId,
     pub(crate) output: ValId,
     pub(crate) arena_len: usize,
+    /// Step-index ranges of the dependency levels, in execution order.
+    /// Steps are stored level-major, so the ranges are contiguous and
+    /// cover `0..steps.len()`; ops inside one level are mutually
+    /// independent and write pairwise-disjoint arena spans.
+    pub(crate) levels: Vec<std::ops::Range<usize>>,
     stats: PlanStats,
 }
 
@@ -410,7 +439,10 @@ impl Plan {
         if opts.fold_bn {
             fold_bn(&mut steps, &mut values, &mut weights, &mut stats);
         }
-        let arena_len = assign_arena(&mut steps, &mut values, output_val);
+        let alias = elide_copies(&mut steps, &values, output_val, &mut stats);
+        let levels = schedule_levels(&mut steps, &values, &alias);
+        let arena_len = assign_arena(&mut steps, &mut values, output_val, &alias, &levels);
+        verify_levels(&steps, &values, &levels)?;
 
         stats.ops = steps.len();
         stats.arena_bytes = arena_len * std::mem::size_of::<f32>();
@@ -419,6 +451,8 @@ impl Plan {
             .iter()
             .map(|w| w.numel() * std::mem::size_of::<f32>())
             .sum();
+        stats.levels = levels.len();
+        stats.max_level_width = levels.iter().map(|r| r.len()).max().unwrap_or(0);
 
         Ok(Plan {
             steps,
@@ -427,6 +461,7 @@ impl Plan {
             input: input_val,
             output: output_val,
             arena_len,
+            levels,
             stats,
         })
     }
@@ -481,6 +516,11 @@ impl Plan {
             s.fused_conv_relu,
             s.fused_add_relu,
             s.folded_bn,
+        );
+        let _ = writeln!(
+            out,
+            "  scheduler: {} levels (critical path {} ops), widest level {} ops, copies elided {}",
+            s.levels, s.levels, s.max_level_width, s.copies_elided,
         );
         let _ = write!(
             out,
@@ -1076,108 +1116,284 @@ impl FreeList {
     }
 }
 
+/// Rewrites pure-reshape [`IrOp::Copy`] steps into aliases of their source
+/// value and removes them from the step list.
+///
+/// Returns `alias`, mapping every value to its storage root (`alias[v] ==
+/// v` for non-aliased values; chains are collapsed at build time). Safe
+/// because no IR op ever mutates an existing span — a reshape output is
+/// byte-identical to its source forever — provided the liveness pass keeps
+/// the shared span alive until the last reader of *any* member of the
+/// alias class ([`assign_arena`] resolves reads through `alias` for
+/// exactly this write-after-read extension).
+///
+/// The one copy kept: a reshape **of the input or a weight** that is the
+/// plan output, because the executor's output getter requires an
+/// arena-resident span.
+fn elide_copies(
+    steps: &mut Vec<Step>,
+    values: &[ValueInfo],
+    output: ValId,
+    stats: &mut PlanStats,
+) -> Vec<ValId> {
+    let mut alias: Vec<ValId> = (0..values.len()).collect();
+    let mut removed: Vec<bool> = Vec::with_capacity(steps.len());
+    for step in steps.iter() {
+        let IrOp::Copy { x } = step.op else {
+            removed.push(false);
+            continue;
+        };
+        let root = alias[x];
+        let root_in_arena = matches!(values[root].loc, Loc::Unassigned);
+        if step.out == output && !root_in_arena {
+            removed.push(false);
+            continue;
+        }
+        debug_assert_eq!(values[step.out].numel, values[root].numel);
+        alias[step.out] = root;
+        stats.copies_elided += 1;
+        removed.push(true);
+    }
+    let mut rm = removed.into_iter();
+    steps.retain(|_| !rm.next().expect("removal mask covers all steps"));
+    alias
+}
+
+/// Partitions the steps into dependency levels (ASAP schedule): `level[s]`
+/// is the length of the longest operand chain feeding `s`, so every level
+/// is a wave of mutually independent ops and the level count equals the
+/// DAG's critical-path depth. Reorders `steps` level-major (stable within
+/// a level, preserving the original op-index merge order) and returns the
+/// contiguous step range of each level.
+fn schedule_levels(
+    steps: &mut Vec<Step>,
+    values: &[ValueInfo],
+    alias: &[ValId],
+) -> Vec<std::ops::Range<usize>> {
+    let n = steps.len();
+    // def_level[v]: level of the step defining root value v (None for the
+    // input and weights, which are ready before level 0).
+    let mut def_level: Vec<Option<usize>> = vec![None; values.len()];
+    let mut level_of: Vec<usize> = vec![0; n];
+    for (i, step) in steps.iter().enumerate() {
+        let mut lv = 0usize;
+        for_each_operand(&step.op, &mut |v| {
+            if let Some(dl) = def_level[alias[v]] {
+                lv = lv.max(dl + 1);
+            }
+        });
+        level_of[i] = lv;
+        def_level[step.out] = Some(lv);
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| (level_of[i], i));
+    let reordered: Vec<Step> = order.iter().map(|&i| steps[i].clone()).collect();
+    *steps = reordered;
+    let mut ranges = Vec::new();
+    let mut start = 0usize;
+    for j in 1..=n {
+        if j == n || level_of[order[j]] != level_of[order[j - 1]] {
+            ranges.push(start..j);
+            start = j;
+        }
+    }
+    ranges
+}
+
 /// Assigns every intermediate (and op-local scratch) an arena span from
 /// liveness intervals; returns the arena length in floats.
 ///
-/// The walk allocates an op's output and scratch while its operands are
-/// still live, so a destination span never overlaps a live source — the
-/// invariant the executor's raw-pointer slicing relies on.
-fn assign_arena(steps: &mut [Step], values: &mut [ValueInfo], output: ValId) -> usize {
-    const KEEP: usize = usize::MAX;
-    // last_use[v]: step index of the final read, KEEP for the plan output,
-    // or the defining step itself for dead values (freed immediately).
-    let mut last_use: Vec<usize> = (0..values.len())
-        .map(|v| {
-            steps
-                .iter()
-                .enumerate()
-                .filter(|(_, s)| {
-                    let mut used = false;
-                    for_each_operand(&s.op, &mut |o| used |= o == v);
-                    used
-                })
-                .map(|(i, _)| i)
-                .max()
-                .unwrap_or(usize::MIN)
-        })
-        .collect();
-    last_use[output] = KEEP;
+/// Spans are allocated and released at **level** granularity: all of a
+/// level's outputs and scratch are placed while every span read at or
+/// after this level is still held, and frees happen only at the end of a
+/// level. Consequences, which the executor's raw-pointer slicing relies
+/// on:
+///
+/// - an op's destination/scratch span never overlaps a live source span
+///   (the per-op invariant serial replay needs), and
+/// - ops in the *same* level hold pairwise-disjoint write spans and never
+///   write a span any same-level op reads (the stronger invariant that
+///   makes parallel level execution bitwise identical to serial replay).
+///
+/// Reads resolve through `alias`, so an elided reshape extends its
+/// source's lifetime to the last reader of the whole alias class.
+fn assign_arena(
+    steps: &mut [Step],
+    values: &mut [ValueInfo],
+    output: ValId,
+    alias: &[ValId],
+    levels: &[std::ops::Range<usize>],
+) -> usize {
+    let out_root = alias[output];
+    // last_level[r]: level of the final read of root value r.
+    let mut last_level: Vec<Option<usize>> = vec![None; values.len()];
+    for (li, range) in levels.iter().enumerate() {
+        for step in &steps[range.clone()] {
+            for_each_operand(&step.op, &mut |v| {
+                last_level[alias[v]] = Some(li);
+            });
+        }
+    }
 
     let mut fl = FreeList::default();
     let mut freed = vec![false; values.len()];
-    for (i, step) in steps.iter_mut().enumerate() {
-        let out = step.out;
-        let out_len = values[out].numel;
-        let off = fl.alloc(out_len);
-        values[out].loc = Loc::Arena { off, len: out_len };
-        // Op-local scratch: alloc after the output (operands still live),
-        // release before operand frees — it never survives the op.
-        let mut scratch: Vec<ArenaRange> = Vec::new();
-        match &mut step.op {
-            IrOp::Conv2d {
-                cols,
-                ymat,
-                b,
-                c,
-                kh,
-                kw,
-                oc,
-                oh,
-                ow,
-                ..
-            } => {
-                let cl = *c * *kh * *kw * *b * *oh * *ow;
-                let yl = *oc * *b * *oh * *ow;
-                *cols = ArenaRange {
-                    off: fl.alloc(cl),
-                    len: cl,
-                };
-                *ymat = ArenaRange {
-                    off: fl.alloc(yl),
-                    len: yl,
-                };
-                scratch.push(*cols);
-                scratch.push(*ymat);
+    for (li, range) in levels.iter().enumerate() {
+        // Allocate every output and scratch span of the level first…
+        let mut level_scratch: Vec<ArenaRange> = Vec::new();
+        for step in &mut steps[range.clone()] {
+            let out = step.out;
+            let out_len = values[out].numel;
+            let off = fl.alloc(out_len);
+            values[out].loc = Loc::Arena { off, len: out_len };
+            match &mut step.op {
+                IrOp::Conv2d {
+                    cols,
+                    ymat,
+                    b,
+                    c,
+                    kh,
+                    kw,
+                    oc,
+                    oh,
+                    ow,
+                    ..
+                } => {
+                    let cl = *c * *kh * *kw * *b * *oh * *ow;
+                    let yl = *oc * *b * *oh * *ow;
+                    *cols = ArenaRange {
+                        off: fl.alloc(cl),
+                        len: cl,
+                    };
+                    *ymat = ArenaRange {
+                        off: fl.alloc(yl),
+                        len: yl,
+                    };
+                    level_scratch.push(*cols);
+                    level_scratch.push(*ymat);
+                }
+                IrOp::AttentionTm { scratch: s, lk, .. } => {
+                    *s = ArenaRange {
+                        off: fl.alloc(*lk),
+                        len: *lk,
+                    };
+                    level_scratch.push(*s);
+                }
+                IrOp::AttentionFm { scratch: s, l, .. } => {
+                    *s = ArenaRange {
+                        off: fl.alloc(*l),
+                        len: *l,
+                    };
+                    level_scratch.push(*s);
+                }
+                _ => {}
             }
-            IrOp::AttentionTm { scratch: s, lk, .. } => {
-                *s = ArenaRange {
-                    off: fl.alloc(*lk),
-                    len: *lk,
-                };
-                scratch.push(*s);
-            }
-            IrOp::AttentionFm { scratch: s, l, .. } => {
-                *s = ArenaRange {
-                    off: fl.alloc(*l),
-                    len: *l,
-                };
-                scratch.push(*s);
-            }
-            _ => {}
         }
-        for s in scratch {
+        // …then release at level end: scratch, operands whose final read
+        // is in this level, and outputs nothing ever reads.
+        for s in level_scratch {
             fl.release(s.off, s.len);
         }
-        // Free operands whose last read was this op (dedup: q=k=v aliases).
-        let mut dying: Vec<ValId> = Vec::new();
-        for_each_operand(&step.op, &mut |v| {
-            if last_use[v] == i && !dying.contains(&v) {
-                dying.push(v);
+        for step in &steps[range.clone()] {
+            let mut dying: Vec<ValId> = Vec::new();
+            for_each_operand(&step.op, &mut |v| {
+                let r = alias[v];
+                if last_level[r] == Some(li) && r != out_root && !dying.contains(&r) {
+                    dying.push(r);
+                }
+            });
+            for r in dying {
+                if let Loc::Arena { off, len } = values[r].loc {
+                    if !freed[r] {
+                        fl.release(off, len);
+                        freed[r] = true;
+                    }
+                }
             }
-        });
-        for v in dying {
-            if let Loc::Arena { off, len } = values[v].loc {
-                if !freed[v] {
-                    fl.release(off, len);
-                    freed[v] = true;
+            let out = step.out;
+            if last_level[out].is_none() && out != out_root {
+                if let Loc::Arena { off, len } = values[out].loc {
+                    if !freed[out] {
+                        fl.release(off, len);
+                        freed[out] = true;
+                    }
                 }
             }
         }
-        // A value nothing ever reads (and that isn't the output) dies here.
-        if last_use[out] < i || (last_use[out] == usize::MIN && out != output) {
-            fl.release(off, out_len);
-            freed[out] = true;
+    }
+    // Aliased values share their root's storage (same byte length — a
+    // reshape preserves numel; roots that are weights or the input keep
+    // their non-arena loc).
+    for v in 0..values.len() {
+        if alias[v] != v {
+            values[v].loc = values[alias[v]].loc;
         }
     }
     fl.high
+}
+
+/// Post-assignment safety check of the parallel-execution invariant: ops
+/// in the same level must neither write overlapping spans nor write a span
+/// another same-level op reads. A violation turns into a capture error
+/// (the predictor then falls back to the tape engine) instead of silent
+/// data corruption.
+fn verify_levels(
+    steps: &[Step],
+    values: &[ValueInfo],
+    levels: &[std::ops::Range<usize>],
+) -> Result<(), String> {
+    let write_spans = |step: &Step| -> Vec<(usize, usize)> {
+        let mut w = Vec::new();
+        if let Loc::Arena { off, len } = values[step.out].loc {
+            w.push((off, len));
+        }
+        match &step.op {
+            IrOp::Conv2d { cols, ymat, .. } => {
+                w.push((cols.off, cols.len));
+                w.push((ymat.off, ymat.len));
+            }
+            IrOp::AttentionTm { scratch, .. } | IrOp::AttentionFm { scratch, .. } => {
+                w.push((scratch.off, scratch.len));
+            }
+            _ => {}
+        }
+        w.retain(|&(_, len)| len > 0);
+        w
+    };
+    let read_spans = |step: &Step| -> Vec<(usize, usize)> {
+        let mut r = Vec::new();
+        for_each_operand(&step.op, &mut |v| {
+            if let Loc::Arena { off, len } = values[v].loc {
+                if len > 0 {
+                    r.push((off, len));
+                }
+            }
+        });
+        r
+    };
+    let overlap = |a: (usize, usize), b: (usize, usize)| a.0 < b.0 + b.1 && b.0 < a.0 + a.1;
+    for (li, range) in levels.iter().enumerate() {
+        let level = &steps[range.clone()];
+        for i in 0..level.len() {
+            let wi = write_spans(&level[i]);
+            let ri = read_spans(&level[i]);
+            for other in level.iter().skip(i + 1) {
+                let wj = write_spans(other);
+                let rj = read_spans(other);
+                for &a in &wi {
+                    if wj.iter().any(|&b| overlap(a, b)) {
+                        return Err(format!("level {li}: write/write span overlap"));
+                    }
+                    if rj.iter().any(|&b| overlap(a, b)) {
+                        return Err(format!("level {li}: write/read span overlap"));
+                    }
+                }
+                for &a in &ri {
+                    if wj.iter().any(|&b| overlap(a, b)) {
+                        return Err(format!("level {li}: read/write span overlap"));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
 }

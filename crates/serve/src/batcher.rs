@@ -416,11 +416,16 @@ impl ModelSlot {
             model.predictor.predict_batch_tensors(inputs)
         }));
         if result.is_ok() {
-            let (ops, arena) = model
-                .predictor
-                .plan_stats()
-                .map_or((0, 0), |s| (s.ops as u64, s.arena_bytes as u64));
-            self.metrics.set_plan_stats(ops, arena);
+            let (ops, arena, levels, elided) =
+                model.predictor.plan_stats().map_or((0, 0, 0, 0), |s| {
+                    (
+                        s.ops as u64,
+                        s.arena_bytes as u64,
+                        s.levels as u64,
+                        s.copies_elided as u64,
+                    )
+                });
+            self.metrics.set_plan_stats(ops, arena, levels, elided);
         }
         result.map_err(|payload| {
             let msg = payload

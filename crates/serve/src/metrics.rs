@@ -40,6 +40,8 @@ struct SlotStats {
     engine_name: String,
     plan_ops: u64,
     plan_arena_bytes: u64,
+    plan_levels: u64,
+    plan_copies_elided: u64,
 }
 
 #[derive(Default)]
@@ -58,6 +60,8 @@ struct Inner {
     engine_name: String,
     plan_ops: u64,
     plan_arena_bytes: u64,
+    plan_levels: u64,
+    plan_copies_elided: u64,
     slots: BTreeMap<String, SlotStats>,
     plan_cache: Option<PlanCacheStats>,
 }
@@ -142,12 +146,15 @@ impl Metrics {
         self.lock().engine_name = name.to_owned();
     }
 
-    /// Publishes the compiled-plan gauges (op count and arena bytes of the
-    /// peak-memory plan). Zeroed while no plan is compiled.
-    pub fn set_plan_stats(&self, ops: u64, arena_bytes: u64) {
+    /// Publishes the compiled-plan gauges (op count, arena bytes, scheduler
+    /// level count and elided-copy count of the peak-memory plan). Zeroed
+    /// while no plan is compiled.
+    pub fn set_plan_stats(&self, ops: u64, arena_bytes: u64, levels: u64, copies_elided: u64) {
         let mut m = self.lock();
         m.plan_ops = ops;
         m.plan_arena_bytes = arena_bytes;
+        m.plan_levels = levels;
+        m.plan_copies_elided = copies_elided;
     }
 
     /// Creates the per-slot handle for `name`, registering the slot in the
@@ -278,6 +285,13 @@ impl Metrics {
             "mfaplace_infer_plan_arena_bytes {}\n",
             m.plan_arena_bytes
         ));
+        out.push_str("# TYPE mfaplace_infer_plan_levels gauge\n");
+        out.push_str(&format!("mfaplace_infer_plan_levels {}\n", m.plan_levels));
+        out.push_str("# TYPE mfaplace_infer_plan_copies_elided gauge\n");
+        out.push_str(&format!(
+            "mfaplace_infer_plan_copies_elided {}\n",
+            m.plan_copies_elided
+        ));
 
         for (name, s) in &m.slots {
             for (status, n) in &s.requests {
@@ -324,6 +338,14 @@ impl Metrics {
             out.push_str(&format!(
                 "mfaplace_slot_plan_arena_bytes{{slot=\"{name}\"}} {}\n",
                 s.plan_arena_bytes
+            ));
+            out.push_str(&format!(
+                "mfaplace_slot_plan_levels{{slot=\"{name}\"}} {}\n",
+                s.plan_levels
+            ));
+            out.push_str(&format!(
+                "mfaplace_slot_plan_copies_elided{{slot=\"{name}\"}} {}\n",
+                s.plan_copies_elided
             ));
         }
 
@@ -457,12 +479,16 @@ impl SlotMetrics {
 
     /// Publishes this slot's compiled-plan gauges (aggregate copy is
     /// last-writer-wins across slots).
-    pub fn set_plan_stats(&self, ops: u64, arena_bytes: u64) {
+    pub fn set_plan_stats(&self, ops: u64, arena_bytes: u64, levels: u64, copies_elided: u64) {
         self.with_slot(|s, m| {
             s.plan_ops = ops;
             s.plan_arena_bytes = arena_bytes;
+            s.plan_levels = levels;
+            s.plan_copies_elided = copies_elided;
             m.plan_ops = ops;
             m.plan_arena_bytes = arena_bytes;
+            m.plan_levels = levels;
+            m.plan_copies_elided = copies_elided;
         });
     }
 
@@ -494,7 +520,7 @@ mod tests {
         m.record_deadline_miss();
         m.set_model("Ours", 2);
         m.set_engine("plan");
-        m.set_plan_stats(42, 1024);
+        m.set_plan_stats(42, 1024, 9, 3);
 
         let text = m.render();
         assert!(
@@ -538,6 +564,11 @@ mod tests {
             text.contains("mfaplace_infer_plan_arena_bytes 1024"),
             "{text}"
         );
+        assert!(text.contains("mfaplace_infer_plan_levels 9"), "{text}");
+        assert!(
+            text.contains("mfaplace_infer_plan_copies_elided 3"),
+            "{text}"
+        );
     }
 
     #[test]
@@ -552,7 +583,7 @@ mod tests {
         b.set_queue_depth(5);
         a.record_queue_rejection();
         b.record_deadline_miss();
-        a.set_plan_stats(7, 4096);
+        a.set_plan_stats(7, 4096, 5, 2);
         a.record_request(200);
         a.record_request(200);
         m.record_slot_request("beta", 504);
@@ -598,6 +629,14 @@ mod tests {
         );
         assert!(
             text.contains("mfaplace_slot_plan_arena_bytes{slot=\"alpha\"} 4096"),
+            "{text}"
+        );
+        assert!(
+            text.contains("mfaplace_slot_plan_levels{slot=\"alpha\"} 5"),
+            "{text}"
+        );
+        assert!(
+            text.contains("mfaplace_slot_plan_copies_elided{slot=\"alpha\"} 2"),
             "{text}"
         );
         // Plan-cache gauges.

@@ -40,6 +40,25 @@ pub use init::{kaiming_normal, xavier_uniform};
 pub use kernels::conv_out_size;
 pub use tensor::Tensor;
 
+/// Layer norm over rows of width `d` through the active kernel backend;
+/// the tape forward and the plan executor both call this, so tape-vs-plan
+/// stays bitwise under every backend. Optional `xhat`/`inv_std` outputs
+/// serve the tape backward; filling them never changes `out`. See
+/// [`simd::layer_norm_rows_with`] for the per-backend numeric contract.
+#[allow(clippy::too_many_arguments)]
+pub fn layer_norm_rows(
+    src: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    eps: f32,
+    d: usize,
+    out: &mut [f32],
+    xhat: Option<&mut [f32]>,
+    inv_std: Option<&mut [f32]>,
+) {
+    simd::layer_norm_rows_with(simd::active(), src, gamma, beta, eps, d, out, xhat, inv_std);
+}
+
 /// Row-major strides for a shape.
 ///
 /// ```

@@ -217,6 +217,91 @@ pub(crate) unsafe fn softmax_row(row: &mut [f32]) {
     }
 }
 
+// ------------------------------------------------------------ layer norm
+
+/// Layer norm over rows of width `d` with optional `xhat`/`inv_std`
+/// capture for the tape backward. Mean and variance are lane-parallel
+/// reductions (one FMA chain per lane for the variance) combined in a
+/// fixed tree plus an in-order scalar tail; the normalize stage is one
+/// FMA per element, with `f32::mul_add` on the row tail so every element
+/// of a row sees identical arithmetic. Deterministic per row.
+///
+/// # Safety
+///
+/// Requires AVX2 + FMA. Slice lengths are asserted by the dispatching
+/// caller (`layer_norm_rows_with`).
+#[target_feature(enable = "avx2", enable = "fma")]
+#[allow(clippy::too_many_arguments)]
+pub(crate) unsafe fn layer_norm_rows(
+    src: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    eps: f32,
+    d: usize,
+    out: &mut [f32],
+    mut xhat: Option<&mut [f32]>,
+    mut inv_std: Option<&mut [f32]>,
+) {
+    let rows = src.len() / d;
+    let body = d / 8 * 8;
+    let gp = gamma.as_ptr();
+    let bp = beta.as_ptr();
+    for r in 0..rows {
+        let rp = src.as_ptr().add(r * d);
+        // Row sum: lane partials, fixed-tree combine, in-order tail.
+        let mut sv = _mm256_setzero_ps();
+        for i in (0..body).step_by(8) {
+            sv = _mm256_add_ps(sv, _mm256_loadu_ps(rp.add(i)));
+        }
+        let mut lanes = [0.0f32; 8];
+        _mm256_storeu_ps(lanes.as_mut_ptr(), sv);
+        let mut sum = ((lanes[0] + lanes[4]) + (lanes[1] + lanes[5]))
+            + ((lanes[2] + lanes[6]) + (lanes[3] + lanes[7]));
+        for i in body..d {
+            sum += *rp.add(i);
+        }
+        let mean = sum / d as f32;
+        // Σ (x - mean)²: one FMA chain per lane, same combine shape.
+        let mv = _mm256_set1_ps(mean);
+        let mut vv = _mm256_setzero_ps();
+        for i in (0..body).step_by(8) {
+            let dv = _mm256_sub_ps(_mm256_loadu_ps(rp.add(i)), mv);
+            vv = _mm256_fmadd_ps(dv, dv, vv);
+        }
+        _mm256_storeu_ps(lanes.as_mut_ptr(), vv);
+        let mut varsum = ((lanes[0] + lanes[4]) + (lanes[1] + lanes[5]))
+            + ((lanes[2] + lanes[6]) + (lanes[3] + lanes[7]));
+        for i in body..d {
+            let dv = *rp.add(i) - mean;
+            varsum = dv.mul_add(dv, varsum);
+        }
+        let var = varsum / d as f32;
+        let is = 1.0 / (var + eps).sqrt();
+        if let Some(buf) = inv_std.as_deref_mut() {
+            buf[r] = is;
+        }
+        // Normalize + affine: xh = (x - mean) * is, out = fma(g, xh, b).
+        let op = out.as_mut_ptr().add(r * d);
+        let isv = _mm256_set1_ps(is);
+        let xh_ptr = xhat.as_deref_mut().map(|buf| buf.as_mut_ptr().add(r * d));
+        for i in (0..body).step_by(8) {
+            let xh = _mm256_mul_ps(_mm256_sub_ps(_mm256_loadu_ps(rp.add(i)), mv), isv);
+            if let Some(xp) = xh_ptr {
+                _mm256_storeu_ps(xp.add(i), xh);
+            }
+            let o = _mm256_fmadd_ps(_mm256_loadu_ps(gp.add(i)), xh, _mm256_loadu_ps(bp.add(i)));
+            _mm256_storeu_ps(op.add(i), o);
+        }
+        for i in body..d {
+            let xh = (*rp.add(i) - mean) * is;
+            if let Some(xp) = xh_ptr {
+                *xp.add(i) = xh;
+            }
+            *op.add(i) = (*gp.add(i)).mul_add(xh, *bp.add(i));
+        }
+    }
+}
+
 // --------------------------------------------------------- conv epilogue
 
 /// Fused bias/affine/ReLU run. Per element this is the same IEEE

@@ -508,6 +508,99 @@ pub fn softmax_row_with(bk: Backend, row: &mut [f32]) {
     }
 }
 
+// ------------------------------------------------------------ layer norm
+
+/// Explicit-backend layer norm over rows of width `d`:
+/// `out[r,k] = gamma[k] * (src[r,k] - mean_r) * inv_std_r + beta[k]`.
+///
+/// Optional `xhat` (`rows*d`) and `inv_std` (`rows`) outputs serve the
+/// tape's backward pass; filling them never changes `out`. The scalar
+/// backend is the verbatim reference loop (in-order sums, mul-then-add
+/// affine); the vector backends use lane-parallel FMA reduction chains
+/// for the mean/variance sums (fixed-tree lane combine plus in-order
+/// scalar tail) and one FMA per element for the affine, with the
+/// row-tail elements computed by `f32::mul_add` so every element of a row
+/// sees identical arithmetic. Deterministic per backend; scalar-vs-vector
+/// differences stay within the module-level tolerance contract.
+#[allow(clippy::too_many_arguments)]
+pub fn layer_norm_rows_with(
+    bk: Backend,
+    src: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    eps: f32,
+    d: usize,
+    out: &mut [f32],
+    xhat: Option<&mut [f32]>,
+    inv_std: Option<&mut [f32]>,
+) {
+    assert!(d > 0, "layer norm row width must be positive");
+    assert_eq!(src.len() % d, 0, "layer norm input not a multiple of d");
+    assert_eq!(src.len(), out.len(), "layer norm output length mismatch");
+    assert!(
+        gamma.len() >= d && beta.len() >= d,
+        "layer norm affine too short"
+    );
+    let rows = src.len() / d;
+    if let Some(xh) = &xhat {
+        assert_eq!(xh.len(), src.len(), "layer norm xhat length mismatch");
+    }
+    if let Some(is) = &inv_std {
+        assert_eq!(is.len(), rows, "layer norm inv_std length mismatch");
+    }
+    match bk {
+        Backend::Scalar => layer_norm_rows_scalar(src, gamma, beta, eps, d, out, xhat, inv_std),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2 is only active when detection confirmed avx2+fma;
+        // lengths asserted above.
+        Backend::Avx2 => unsafe {
+            avx2::layer_norm_rows(src, gamma, beta, eps, d, out, xhat, inv_std)
+        },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: NEON is baseline on aarch64; lengths asserted above.
+        Backend::Neon => unsafe {
+            neon::layer_norm_rows(src, gamma, beta, eps, d, out, xhat, inv_std)
+        },
+        #[allow(unreachable_patterns)]
+        other => panic!(
+            "kernel backend {} not compiled on this target",
+            other.name()
+        ),
+    }
+}
+
+/// Scalar reference layer norm — the exact per-element arithmetic the
+/// tape recorded before vectorization (golden files pin this path).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn layer_norm_rows_scalar(
+    src: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    eps: f32,
+    d: usize,
+    out: &mut [f32],
+    mut xhat: Option<&mut [f32]>,
+    mut inv_std: Option<&mut [f32]>,
+) {
+    let rows = src.len() / d;
+    for r in 0..rows {
+        let row = &src[r * d..(r + 1) * d];
+        let mean: f32 = row.iter().sum::<f32>() / d as f32;
+        let var: f32 = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+        let is = 1.0 / (var + eps).sqrt();
+        if let Some(buf) = inv_std.as_deref_mut() {
+            buf[r] = is;
+        }
+        for k in 0..d {
+            let xh = (row[k] - mean) * is;
+            if let Some(buf) = xhat.as_deref_mut() {
+                buf[r * d + k] = xh;
+            }
+            out[r * d + k] = gamma[k] * xh + beta[k];
+        }
+    }
+}
+
 // --------------------------------------------------------- conv epilogue
 
 /// Explicit-backend fused conv epilogue over one contiguous run:

@@ -204,6 +204,84 @@ pub(crate) unsafe fn softmax_row(row: &mut [f32]) {
     }
 }
 
+// ------------------------------------------------------------ layer norm
+
+/// Layer norm over rows of width `d` with optional `xhat`/`inv_std`
+/// capture. Mirrors the AVX2 kernel: lane-parallel mean/variance
+/// reductions (one FMA chain per lane) combined in a fixed tree plus an
+/// in-order scalar tail, then one FMA per element for the affine with
+/// `f32::mul_add` on the row tail. Deterministic per row.
+///
+/// # Safety
+///
+/// NEON baseline. Slice lengths are asserted by the dispatching caller
+/// (`layer_norm_rows_with`).
+#[allow(clippy::too_many_arguments)]
+pub(crate) unsafe fn layer_norm_rows(
+    src: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    eps: f32,
+    d: usize,
+    out: &mut [f32],
+    mut xhat: Option<&mut [f32]>,
+    mut inv_std: Option<&mut [f32]>,
+) {
+    let rows = src.len() / d;
+    let body = d / 4 * 4;
+    let gp = gamma.as_ptr();
+    let bp = beta.as_ptr();
+    for r in 0..rows {
+        let rp = src.as_ptr().add(r * d);
+        let mut sv = vdupq_n_f32(0.0);
+        for i in (0..body).step_by(4) {
+            sv = vaddq_f32(sv, vld1q_f32(rp.add(i)));
+        }
+        let mut lanes = [0.0f32; 4];
+        vst1q_f32(lanes.as_mut_ptr(), sv);
+        let mut sum = (lanes[0] + lanes[2]) + (lanes[1] + lanes[3]);
+        for i in body..d {
+            sum += *rp.add(i);
+        }
+        let mean = sum / d as f32;
+        let mv = vdupq_n_f32(mean);
+        let mut vv = vdupq_n_f32(0.0);
+        for i in (0..body).step_by(4) {
+            let dv = vsubq_f32(vld1q_f32(rp.add(i)), mv);
+            vv = vfmaq_f32(vv, dv, dv);
+        }
+        vst1q_f32(lanes.as_mut_ptr(), vv);
+        let mut varsum = (lanes[0] + lanes[2]) + (lanes[1] + lanes[3]);
+        for i in body..d {
+            let dv = *rp.add(i) - mean;
+            varsum = dv.mul_add(dv, varsum);
+        }
+        let var = varsum / d as f32;
+        let is = 1.0 / (var + eps).sqrt();
+        if let Some(buf) = inv_std.as_deref_mut() {
+            buf[r] = is;
+        }
+        let op = out.as_mut_ptr().add(r * d);
+        let isv = vdupq_n_f32(is);
+        let xh_ptr = xhat.as_deref_mut().map(|buf| buf.as_mut_ptr().add(r * d));
+        for i in (0..body).step_by(4) {
+            let xh = vmulq_f32(vsubq_f32(vld1q_f32(rp.add(i)), mv), isv);
+            if let Some(xp) = xh_ptr {
+                vst1q_f32(xp.add(i), xh);
+            }
+            let o = vfmaq_f32(vld1q_f32(bp.add(i)), vld1q_f32(gp.add(i)), xh);
+            vst1q_f32(op.add(i), o);
+        }
+        for i in body..d {
+            let xh = (*rp.add(i) - mean) * is;
+            if let Some(xp) = xh_ptr {
+                *xp.add(i) = xh;
+            }
+            *op.add(i) = (*gp.add(i)).mul_add(xh, *bp.add(i));
+        }
+    }
+}
+
 // --------------------------------------------------------- conv epilogue
 
 /// Fused bias/affine/ReLU run — same IEEE add / mul / add / max sequence

@@ -181,6 +181,62 @@ fn conv_epilogue_is_bitwise_on_every_backend() {
 }
 
 #[test]
+fn layer_norm_rows_match_scalar_within_tolerance() {
+    let backends = vector_backends();
+    run_cases("layer_norm", 48, 0x1A7E, |case, rng| {
+        // Cross the 8-lane AVX2 / 4-lane NEON body-tail split, including
+        // d = 1 (zero variance, the eps path carries the normalization).
+        let d = match case % 6 {
+            0 => 1,
+            1 => Rng::gen_range::<usize, _>(rng, 2..8),
+            _ => Rng::gen_range::<usize, _>(rng, 8..80),
+        };
+        let rows = Rng::gen_range::<usize, _>(rng, 1..6);
+        let eps = 1e-5;
+        let src = vec_f32(rng, rows * d, -2.0, 2.0);
+        let gamma = vec_f32(rng, d, -1.5, 1.5);
+        let beta = vec_f32(rng, d, -1.0, 1.0);
+        let with_aux = case % 2 == 0;
+
+        let mut want = vec![f32::NAN; rows * d];
+        let mut want_xhat = vec![f32::NAN; rows * d];
+        let mut want_is = vec![f32::NAN; rows];
+        simd::layer_norm_rows_with(
+            Backend::Scalar,
+            &src,
+            &gamma,
+            &beta,
+            eps,
+            d,
+            &mut want,
+            with_aux.then_some(&mut want_xhat[..]),
+            with_aux.then_some(&mut want_is[..]),
+        );
+        for &bk in &backends {
+            let mut got = vec![f32::NAN; rows * d];
+            let mut got_xhat = vec![f32::NAN; rows * d];
+            let mut got_is = vec![f32::NAN; rows];
+            simd::layer_norm_rows_with(
+                bk,
+                &src,
+                &gamma,
+                &beta,
+                eps,
+                d,
+                &mut got,
+                with_aux.then_some(&mut got_xhat[..]),
+                with_aux.then_some(&mut got_is[..]),
+            );
+            assert_close(&format!("ln {rows}x{d} {bk:?}"), &got, &want);
+            if with_aux {
+                assert_close(&format!("ln xhat {rows}x{d} {bk:?}"), &got_xhat, &want_xhat);
+                assert_close(&format!("ln inv_std {rows}x{d} {bk:?}"), &got_is, &want_is);
+            }
+        }
+    });
+}
+
+#[test]
 fn attention_tm_forward_and_backward_match_scalar() {
     let backends = vector_backends();
     run_cases("attention_tm", 24, 0xA77A, |case, rng| {

@@ -202,12 +202,21 @@ fn apply_kernels_flag(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-/// `mfaplace kernels`: reports the runtime kernel-backend dispatch state.
+/// `mfaplace kernels`: reports the runtime kernel-backend dispatch state
+/// and the plan-scheduler worker resolution.
 fn cmd_kernels() -> Result<(), String> {
     let names: Vec<&str> = simd::supported().iter().map(|b| b.name()).collect();
     println!("active backend: {}", simd::active().name());
     println!("detected best:  {}", simd::detect().name());
     println!("supported:      {}", names.join(" "));
+    println!(
+        "plan workers:   {} (MFAPLACE_PLAN_WORKERS{}, pool budget {})",
+        mfaplace_infer::plan_workers_from_env(),
+        std::env::var("MFAPLACE_PLAN_WORKERS")
+            .map(|v| format!("={v}"))
+            .unwrap_or_else(|_| " unset".to_string()),
+        mfaplace_rt::pool::max_threads(),
+    );
     Ok(())
 }
 
@@ -566,6 +575,15 @@ fn cmd_model_info(flags: &Flags) -> Result<(), String> {
                     s.fused_add_relu,
                     s.weights,
                     s.weight_bytes
+                );
+                println!(
+                    "  plan scheduler: {} levels, critical-path depth {} ops, \
+                         widest level {} ops, {} copies elided, {} workers",
+                    s.levels,
+                    s.levels,
+                    s.max_level_width,
+                    s.copies_elided,
+                    predictor.plan_workers(),
                 );
             }
         },

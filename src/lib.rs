@@ -32,6 +32,7 @@
 pub use mfaplace_autograd as autograd;
 pub use mfaplace_core as core;
 pub use mfaplace_fpga as fpga;
+pub use mfaplace_infer as infer;
 pub use mfaplace_jobs as jobs;
 pub use mfaplace_models as models;
 pub use mfaplace_nn as nn;
