@@ -56,10 +56,56 @@ echo "==> plan scheduler suite (MFAPLACE_PLAN_WORKERS=1 and =4)"
 MFAPLACE_PLAN_WORKERS=1 cargo test -q -p mfaplace-infer --offline
 MFAPLACE_PLAN_WORKERS=4 cargo test -q -p mfaplace-infer --offline
 
+# Quantized serving round trip: offline compile writes an artifact that
+# model-info recognizes and a server loads without re-calibrating; a
+# predict through the quant engine must answer.
+echo "==> quantized compile + quant-serving smoke"
+TMPQ=$(mktemp -d)
+./target/release/mfaplace generate --design 116 --seed 1 \
+    --scale 512,64,32 --out "$TMPQ/d.nl" >/dev/null
+./target/release/mfaplace init-model --arch ours --grid 16 --seed 3 \
+    --out "$TMPQ/m.mfaw" >/dev/null
+./target/release/mfaplace compile --model "$TMPQ/m.mfaw" --calib "$TMPQ/d.nl" \
+    --placements 1 --iterations 2 --precision int8 --out "$TMPQ/m.mfaq"
+# Capture to a file rather than `| grep -q`: grep exiting at first match
+# would close the pipe while model-info is still printing (SIGPIPE panic).
+./target/release/mfaplace model-info --model "$TMPQ/m.mfaq" >"$TMPQ/info.txt"
+grep -q "quantized serving artifact" "$TMPQ/info.txt" || {
+    echo "model-info does not recognize the compiled artifact" >&2
+    rm -rf "$TMPQ"
+    exit 1
+}
+./target/release/mfaplace place --design "$TMPQ/d.nl" --flow seu --seed 1 \
+    --iterations 2 --out "$TMPQ/p.pl" >/dev/null
+./target/release/mfaplace serve --model "$TMPQ/m.mfaq" \
+    --addr 127.0.0.1:8958 >"$TMPQ/serve.log" 2>&1 &
+QUANT_SERVE_PID=$!
+sleep 1
+if ! ./target/release/mfaplace predict --addr 127.0.0.1:8958 --engine quant \
+    --design "$TMPQ/d.nl" --placement "$TMPQ/p.pl"; then
+    echo "quant predict failed; serve log:" >&2
+    cat "$TMPQ/serve.log" >&2
+    kill "$QUANT_SERVE_PID" 2>/dev/null || true
+    rm -rf "$TMPQ"
+    exit 1
+fi
+kill "$QUANT_SERVE_PID" 2>/dev/null || true
+wait "$QUANT_SERVE_PID" 2>/dev/null || true
+rm -rf "$TMPQ"
+
 if [ "$QUICK" = "1" ]; then
     echo "CI OK (quick tier: benches and smoke runs skipped)"
     exit 0
 fi
+
+# The quant engine must be safe to force globally: anywhere a predictor
+# has no calibration it falls back to the f32 plan bitwise, so the whole
+# workspace stays green under MFAPLACE_ENGINE=quant.
+echo "==> workspace once under the quant engine"
+MFAPLACE_ENGINE=quant cargo test -q --workspace --offline
+
+echo "==> quantized-plan tolerance suite (level-map contract)"
+cargo test -q -p mfaplace-infer --offline --test quant_tolerance
 
 # The workspace test pass above already ran this; the explicit invocation
 # keeps the equivalence contract visible in the full gate's log.

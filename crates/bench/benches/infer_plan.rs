@@ -18,6 +18,7 @@
 
 use mfaplace_autograd::Graph;
 use mfaplace_core::predictor::{Engine, ModelPredictor};
+use mfaplace_core::{Precision, QuantOptions};
 use mfaplace_models::{Arch, ArchSpec};
 use mfaplace_rt::bench::Suite;
 use mfaplace_rt::rng::{SeedableRng, StdRng};
@@ -32,10 +33,14 @@ const PAR_WORKERS: usize = 4;
 /// Engine variants for one (grid, batch) point: tape and serial plan
 /// everywhere; the parallel scheduler only where it can pay off (batch-1
 /// latency at placement-relevant grids — batched forwards already
-/// parallelize across the batch dimension inside the kernels).
+/// parallelize across the batch dimension inside the kernels). The
+/// quantized variants (int8 arena with int8 GEMMs, f16 arena) run at
+/// the grids where arena size matters (64 and the placement-scale 256).
 fn variants(grid: usize, batch: usize) -> &'static [&'static str] {
     if batch == 1 && grid >= 64 {
-        &["tape", "plan", "plan-par"]
+        &["tape", "plan", "plan-par", "plan-int8", "plan-f16"]
+    } else if grid >= 64 {
+        &["tape", "plan", "plan-int8", "plan-f16"]
     } else {
         &ENGINES
     }
@@ -58,6 +63,7 @@ fn run_child(child: &str) {
     let variant = parts.next().expect("engine");
     let engine = match variant {
         "plan-par" => Engine::Plan,
+        "plan-int8" | "plan-f16" => Engine::Quant,
         other => Engine::parse(other).expect("engine"),
     };
 
@@ -71,6 +77,22 @@ fn run_child(child: &str) {
     } else {
         1
     });
+    if engine == Engine::Quant {
+        // Offline calibration happens outside the sampled region, like
+        // the plan compilation warm-up below.
+        let precision = if variant == "plan-f16" {
+            Precision::F16
+        } else {
+            Precision::Int8
+        };
+        let mut c_rng = StdRng::seed_from_u64(2);
+        let calib: Vec<Tensor> = (0..3)
+            .map(|_| Tensor::randn(vec![6, grid, grid], 1.0, &mut c_rng))
+            .collect();
+        predictor
+            .calibrate(&calib, QuantOptions { precision })
+            .expect("calibrate");
+    }
 
     let mut in_rng = StdRng::seed_from_u64(1);
     let inputs: Vec<Tensor> = (0..batch)
@@ -87,6 +109,13 @@ fn run_child(child: &str) {
             predictor.plan_broken().is_none(),
             "plan compilation failed: {:?}",
             predictor.plan_broken()
+        );
+    }
+    if engine == Engine::Quant {
+        assert!(
+            predictor.quant_broken().is_none(),
+            "quant plan compilation failed: {:?}",
+            predictor.quant_broken()
         );
     }
 
@@ -193,6 +222,20 @@ fn main() {
                     pp,
                     p / pp
                 );
+            }
+            for q in ["plan-int8", "plan-f16"] {
+                let name = format!("infer/{q}/grid{grid}/batch{batch}/forward");
+                if let Some(qn) = median_of(&merged, &name) {
+                    let rss_q = peak_rss_of(&merged, &name)
+                        .map(|r| format!("peak rss {:.1} MiB", r as f64 / (1024.0 * 1024.0)))
+                        .unwrap_or_else(|| "peak rss n/a".to_owned());
+                    println!(
+                        "grid {grid} batch {batch}  plan {:>12.1} ns  {q} {:>12.1} ns  speedup {:.2}x  {rss_q}",
+                        p,
+                        qn,
+                        p / qn
+                    );
+                }
             }
         }
     }

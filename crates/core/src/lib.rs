@@ -12,6 +12,7 @@
 //!   (Fig. 6) with routing, scoring and the simulated `T_P&R` (Sec. V-C);
 //! - [`report`] — fixed-width table rendering for the Table I/II harnesses.
 
+pub mod compile;
 pub mod dataset;
 pub mod flow;
 pub mod loader;
@@ -20,6 +21,7 @@ pub mod predictor;
 pub mod report;
 pub mod train;
 
+pub use compile::{compile_for_serving, is_artifact, read_artifact, Artifact, CompileReport};
 pub use dataset::{Dataset, DatasetConfig, Sample};
 pub use flow::{FlowConfig, FlowOutcome, FlowProgress, MacroPlacementFlow};
 pub use loader::{
@@ -28,6 +30,9 @@ pub use loader::{
 // Re-exported so downstream crates (serve, CLI) can share plan caches
 // without depending on `mfaplace-infer` directly.
 pub use metrics::{accuracy, nrms, r_squared, ConfusionMatrix, PredictionMetrics};
-pub use mfaplace_infer::{PlanCache, PlanCacheStats, PlanKey, PlanSource};
+pub use mfaplace_infer::{
+    Calibration, PlanCache, PlanCacheStats, PlanKey, PlanPrecision, PlanSource, Precision,
+    QuantOptions, QuantStats,
+};
 pub use predictor::{Engine, ModelPredictor};
 pub use train::{TrainConfig, TrainReport, Trainer};

@@ -10,12 +10,13 @@
 use std::sync::Arc;
 
 use mfaplace_autograd::Graph;
-use mfaplace_infer::{PlanCache, PlanSource};
+use mfaplace_infer::{PlanCache, PlanSource, QuantOptions};
 use mfaplace_models::{AnyModel, Arch, ArchSpec, CongestionModel};
-use mfaplace_nn::checkpoint::{self, CheckpointMeta};
+use mfaplace_nn::checkpoint::{self, Checkpoint, CheckpointMeta};
 use mfaplace_rt::rng::{SeedableRng, StdRng};
 
-use crate::predictor::ModelPredictor;
+use crate::compile;
+use crate::predictor::{Engine, ModelPredictor};
 
 /// How to interpret a checkpoint that lacks (or should override) metadata.
 #[derive(Debug, Clone, Copy, Default)]
@@ -68,16 +69,56 @@ pub fn content_hash(path: &str) -> Result<u64, String> {
 /// hash — so any number of predictors loaded from byte-identical files
 /// share one compiled plan set instead of duplicating it.
 ///
+/// Also accepts a quantized serving artifact (`MFAQART1`, written by
+/// [`crate::compile::compile_for_serving`]): the embedded checkpoint is
+/// rebuilt, the embedded calibration attached, BN folding restored, and
+/// the quant engine selected — unless `MFAPLACE_ENGINE` explicitly picks
+/// another engine. Byte-identical artifact files share plans the same
+/// way checkpoints do.
+///
 /// # Errors
 ///
-/// Same failure modes as [`load_predictor`].
+/// Same failure modes as [`load_predictor`], plus artifact corruption.
 pub fn load_predictor_with_cache(
     path: &str,
     opts: LoadOptions,
     plan_cache: &Arc<PlanCache>,
 ) -> Result<(ArchSpec, ModelPredictor<AnyModel>), String> {
     let source = PlanSource::Content(content_hash(path)?);
+    if compile::is_artifact(path) {
+        let art = compile::read_artifact(path)?;
+        let ckpt = checkpoint::read_checkpoint_bytes(&art.checkpoint)
+            .map_err(|e| format!("{path}: {e}"))?;
+        let (spec, mut predictor) =
+            predictor_from_checkpoint(ckpt, path, opts, plan_cache, source)?;
+        predictor.set_fold_bn(art.fold_bn);
+        predictor.set_calibration(
+            Arc::new(art.calibration),
+            QuantOptions {
+                precision: art.precision,
+            },
+        );
+        // The artifact's reason to exist is quantized serving: default to
+        // the quant engine, but let an explicit MFAPLACE_ENGINE win.
+        let env = std::env::var("MFAPLACE_ENGINE")
+            .ok()
+            .and_then(|v| Engine::parse(&v));
+        predictor.set_engine(env.unwrap_or(Engine::Quant));
+        return Ok((spec, predictor));
+    }
     let ckpt = checkpoint::read_checkpoint(path).map_err(|e| format!("{path}: {e}"))?;
+    predictor_from_checkpoint(ckpt, path, opts, plan_cache, source)
+}
+
+/// Rebuilds the model a parsed checkpoint describes and wraps it in a
+/// cache-sharing predictor (`path` only labels error messages).
+fn predictor_from_checkpoint(
+    ckpt: Checkpoint,
+    path: &str,
+    opts: LoadOptions,
+    plan_cache: &Arc<PlanCache>,
+    source: PlanSource,
+) -> Result<(ArchSpec, ModelPredictor<AnyModel>), String> {
     let spec = match &ckpt.meta {
         Some(meta) => ArchSpec::from_meta(meta).map_err(|e| format!("{path}: {e}"))?,
         None => {

@@ -28,7 +28,8 @@ use mfaplace_fpga::features::FeatureStack;
 use mfaplace_fpga::gridmap::GridMap;
 use mfaplace_fpga::placement::Placement;
 use mfaplace_infer::{
-    run_plan_workers, Plan, PlanCache, PlanKey, PlanOptions, PlanSource, PlanStats,
+    run_plan_workers, run_quant_plan, Calibration, Plan, PlanCache, PlanKey, PlanOptions,
+    PlanPrecision, PlanSource, PlanStats, QuantOptions, QuantPlan, QuantStats,
 };
 use mfaplace_models::{expected_levels, CongestionModel};
 use mfaplace_placer::CongestionPredictor;
@@ -45,19 +46,28 @@ pub enum Engine {
     /// (fused kernels, zero allocations per forward). Bitwise identical
     /// outputs to [`Engine::Tape`].
     Plan,
+    /// Execute a quantized [`mfaplace_infer::QuantPlan`] — int8/f16
+    /// activation arena, int8 GEMM compute — built from the f32 plan plus
+    /// an offline [`Calibration`]. Requires calibration to be attached
+    /// (via [`ModelPredictor::set_calibration`] or
+    /// [`ModelPredictor::calibrate`]); without it, or if the quantized
+    /// build fails, forwards silently fall back to the f32 plan (then the
+    /// tape), so selecting this engine never breaks a predictor.
+    Quant,
 }
 
 impl Engine {
-    /// Parses `"tape"` / `"plan"` (case-insensitive).
+    /// Parses `"tape"` / `"plan"` / `"quant"` (case-insensitive).
     pub fn parse(s: &str) -> Option<Engine> {
         match s.to_ascii_lowercase().as_str() {
             "tape" => Some(Engine::Tape),
             "plan" => Some(Engine::Plan),
+            "quant" => Some(Engine::Quant),
             _ => None,
         }
     }
 
-    /// Reads `MFAPLACE_ENGINE` (`tape` or `plan`); defaults to
+    /// Reads `MFAPLACE_ENGINE` (`tape`, `plan` or `quant`); defaults to
     /// [`Engine::Plan`] when unset or unrecognized.
     pub fn from_env() -> Engine {
         std::env::var("MFAPLACE_ENGINE")
@@ -66,11 +76,12 @@ impl Engine {
             .unwrap_or(Engine::Plan)
     }
 
-    /// Stable lowercase name (`"tape"` / `"plan"`).
+    /// Stable lowercase name (`"tape"` / `"plan"` / `"quant"`).
     pub fn name(self) -> &'static str {
         match self {
             Engine::Tape => "tape",
             Engine::Plan => "plan",
+            Engine::Quant => "quant",
         }
     }
 }
@@ -98,6 +109,23 @@ pub struct ModelPredictor<M: CongestionModel> {
     /// Set on the first failed capture; the predictor then stays on the
     /// tape (the error is surfaced via metrics/CLI, never a panic).
     plan_broken: Option<String>,
+    /// Compile plans with inference-mode BN folded into conv weights
+    /// (keyed separately in the cache; outputs agree with the tape to
+    /// 1e-6 of output scale instead of bitwise).
+    fold_bn: bool,
+    /// Offline calibration + quantization options. `None` means
+    /// uncalibrated: [`Engine::Quant`] then falls back to the f32 plan.
+    quant: Option<(Arc<Calibration>, QuantOptions)>,
+    /// Byte arena (u64-backed for alignment) reused across quant plans.
+    qarena: Vec<u64>,
+    /// Set on the first failed quantized build; quant forwards then stay
+    /// on the f32 fallback (surfaced via metrics/CLI, never a panic).
+    quant_broken: Option<String>,
+    /// Quant counters of the largest-arena quantized plan so far.
+    peak_quant: Option<QuantStats>,
+    /// Plan counters of that same quantized plan (arena/weight bytes
+    /// reflect quantized storage).
+    peak_quant_plan: Option<PlanStats>,
     /// Level-scheduler worker count for plan forwards (`1` = serial
     /// replay; outputs are bitwise identical either way). Defaults to
     /// `MFAPLACE_PLAN_WORKERS`, falling back to the pool thread budget.
@@ -147,6 +175,12 @@ impl<M: CongestionModel> ModelPredictor<M> {
             peak_stats: None,
             weight_cache: HashMap::new(),
             plan_broken: None,
+            fold_bn: false,
+            quant: None,
+            qarena: Vec::new(),
+            quant_broken: None,
+            peak_quant: None,
+            peak_quant_plan: None,
             plan_workers: mfaplace_infer::plan_workers_from_env(),
         }
     }
@@ -185,6 +219,82 @@ impl<M: CongestionModel> ModelPredictor<M> {
         self.plan_broken.as_deref()
     }
 
+    /// Why the quantized build failed, if it did (quant forwards then
+    /// stay on the f32 plan fallback).
+    pub fn quant_broken(&self) -> Option<&str> {
+        self.quant_broken.as_deref()
+    }
+
+    /// Enables/disables BN folding for plans compiled *after* this call.
+    /// Folded and unfolded plans live under distinct cache keys, so
+    /// toggling never serves a stale flavour.
+    pub fn set_fold_bn(&mut self, fold: bool) {
+        self.fold_bn = fold;
+    }
+
+    /// Whether plans are compiled with BN folding.
+    pub fn fold_bn(&self) -> bool {
+        self.fold_bn
+    }
+
+    /// Attaches an offline calibration (e.g. from a serving artifact) so
+    /// [`Engine::Quant`] forwards can build quantized plans without
+    /// re-calibrating. Clears any previous quant failure.
+    pub fn set_calibration(&mut self, calibration: Arc<Calibration>, options: QuantOptions) {
+        self.quant = Some((calibration, options));
+        self.quant_broken = None;
+    }
+
+    /// The attached calibration, if any.
+    pub fn calibration(&self) -> Option<&Arc<Calibration>> {
+        self.quant.as_ref().map(|(c, _)| c)
+    }
+
+    /// The attached quantization options, if calibrated.
+    pub fn quant_options(&self) -> Option<QuantOptions> {
+        self.quant.as_ref().map(|(_, o)| *o)
+    }
+
+    /// The numeric precision forwards currently run at: the calibration
+    /// precision when the quant engine is active and usable, `f32`
+    /// otherwise.
+    pub fn precision(&self) -> PlanPrecision {
+        match (self.engine, &self.quant) {
+            (Engine::Quant, Some((_, opts))) if self.quant_broken.is_none() => {
+                opts.precision.into()
+            }
+            _ => PlanPrecision::F32,
+        }
+    }
+
+    /// Runs the offline calibration pass: compiles (or fetches) the f32
+    /// plan for a single-sample `[1, C, H, W]` forward, replays it
+    /// serially over every representative input (each a `[C, H, W]`
+    /// feature stack), records per-step activation abs-max ranges, and
+    /// attaches the result. Deterministic: the same inputs in the same
+    /// order produce a bitwise-identical calibration.
+    pub fn calibrate(
+        &mut self,
+        inputs: &[Tensor],
+        options: QuantOptions,
+    ) -> Result<Arc<Calibration>, String> {
+        let first = inputs
+            .first()
+            .ok_or_else(|| "calibrate: no representative inputs".to_string())?;
+        let shape = first.shape();
+        if shape.len() != 3 {
+            return Err(format!(
+                "calibrate: inputs must be [C, H, W], got {shape:?}"
+            ));
+        }
+        let plan_shape = vec![1, shape[0], shape[1], shape[2]];
+        let plan = self.resolve_plan(&plan_shape)?;
+        let calib = Calibration::collect(&plan, inputs.iter().map(|t| t.data()))?;
+        let calib = Arc::new(calib);
+        self.set_calibration(calib.clone(), options);
+        Ok(calib)
+    }
+
     /// The plan cache this predictor resolves through.
     pub fn plan_cache(&self) -> &Arc<PlanCache> {
         &self.plan_cache
@@ -196,8 +306,29 @@ impl<M: CongestionModel> ModelPredictor<M> {
     }
 
     /// Stats of the largest-arena plan this predictor has resolved so far
-    /// (the peak-memory plan), if any forward has been compiled.
+    /// (the peak-memory plan), if any forward has been compiled. For
+    /// quantized plans the stats reflect the quantized arena/weight
+    /// bytes; op structure counters always match the f32 plan.
     pub fn plan_stats(&self) -> Option<PlanStats> {
+        self.peak_stats.clone()
+    }
+
+    /// Quantization counters of the largest-arena quantized plan resolved
+    /// so far, if any quant forward has compiled one.
+    pub fn quant_plan_stats(&self) -> Option<QuantStats> {
+        self.peak_quant.clone()
+    }
+
+    /// Plan stats as the active engine experiences them: the quantized
+    /// plan's counters (int8/f16 arena and weight bytes) when the quant
+    /// engine is serving a quantized plan, the f32 plan's otherwise —
+    /// what the serve layer publishes as `mfaplace_infer_plan_*` gauges.
+    pub fn active_plan_stats(&self) -> Option<PlanStats> {
+        if self.engine == Engine::Quant && self.quant_broken.is_none() {
+            if let Some(s) = &self.peak_quant_plan {
+                return Some(s.clone());
+            }
+        }
         self.peak_stats.clone()
     }
 
@@ -237,15 +368,28 @@ impl<M: CongestionModel> ModelPredictor<M> {
         Ok(plan.stats().clone())
     }
 
+    /// [`ModelPredictor::compile_plan`] for the quantized flavour:
+    /// compiles (or fetches) the quantized plan for a `[n, c, h, w]`
+    /// input and returns `(plan stats, quant stats)`. Errors if no
+    /// calibration is attached or the quantized build fails.
+    pub fn compile_quant_plan(
+        &mut self,
+        n: usize,
+        c: usize,
+        h: usize,
+        w: usize,
+    ) -> Result<(PlanStats, QuantStats), String> {
+        let shape = vec![Self::bucketed_batch(n), c, h, w];
+        let qplan = self.resolve_quant_plan(&shape)?;
+        Ok((qplan.stats().clone(), qplan.quant_stats().clone()))
+    }
+
     /// Fetches the plan for `shape` from the shared cache, capturing and
     /// inserting it on a miss. The capture runs outside the cache lock, so
     /// two predictors racing on one cold key may both compile; the loser
     /// replaces the winner's identical entry.
     fn resolve_plan(&mut self, shape: &[usize]) -> Result<Arc<Plan>, String> {
-        let key = PlanKey {
-            source: self.plan_source,
-            shape: shape.to_vec(),
-        };
+        let key = PlanKey::f32(self.plan_source, shape.to_vec(), self.fold_bn);
         let plan = match self.plan_cache.get(&key) {
             Some(plan) => plan,
             None => {
@@ -258,7 +402,9 @@ impl<M: CongestionModel> ModelPredictor<M> {
                     mark,
                     xv,
                     yv,
-                    PlanOptions::default(),
+                    PlanOptions {
+                        fold_bn: self.fold_bn,
+                    },
                     &mut self.weight_cache,
                 );
                 self.graph.truncate(mark);
@@ -276,6 +422,43 @@ impl<M: CongestionModel> ModelPredictor<M> {
             self.peak_stats = Some(stats.clone());
         }
         Ok(plan)
+    }
+
+    /// Fetches the quantized plan for `shape`, building (f32 plan + the
+    /// attached calibration) and caching it on a miss. Errors when no
+    /// calibration is attached, when the f32 capture fails, or when the
+    /// calibration does not match the captured plan (stale — e.g. a
+    /// different checkpoint or grid; the error says to recalibrate).
+    fn resolve_quant_plan(&mut self, shape: &[usize]) -> Result<Arc<QuantPlan>, String> {
+        let (calib, opts) = self
+            .quant
+            .clone()
+            .ok_or_else(|| "quant engine: no calibration attached".to_string())?;
+        let key = PlanKey::quant(
+            self.plan_source,
+            shape.to_vec(),
+            opts.precision,
+            self.fold_bn,
+        );
+        let qplan = match self.plan_cache.get_quant(&key) {
+            Some(qplan) => qplan,
+            None => {
+                let plan = self.resolve_plan(shape)?;
+                let qplan = Arc::new(QuantPlan::build(plan, &calib, opts)?);
+                self.plan_cache.insert_quant(key, qplan.clone());
+                qplan
+            }
+        };
+        let qs = qplan.quant_stats();
+        let is_qpeak = match &self.peak_quant {
+            None => true,
+            Some(peak) => qs.arena_bytes > peak.arena_bytes,
+        };
+        if is_qpeak {
+            self.peak_quant = Some(qs.clone());
+            self.peak_quant_plan = Some(qplan.stats().clone());
+        }
+        Ok(qplan)
     }
 
     /// Plan-engine logits, or `None` when compilation failed (caller falls
@@ -311,6 +494,42 @@ impl<M: CongestionModel> ModelPredictor<M> {
         let mut out_shape = plan.output_shape().to_vec();
         out_shape[0] = n;
         Some(Tensor::from_vec(out_shape, out).expect("plan output tensor"))
+    }
+
+    /// Quant-engine logits, or `None` when no calibration is attached or
+    /// the quantized build failed (caller falls back to the f32 plan,
+    /// which is bitwise identical to the tape). Batch padding mirrors
+    /// [`ModelPredictor::plan_logits`].
+    fn quant_logits(&mut self, batch: &Tensor) -> Option<Tensor> {
+        if self.quant.is_none() || self.quant_broken.is_some() {
+            return None;
+        }
+        let n = batch.shape()[0];
+        let bucket = Self::bucketed_batch(n);
+        let mut plan_shape = batch.shape().to_vec();
+        plan_shape[0] = bucket;
+        let qplan = match self.resolve_quant_plan(&plan_shape) {
+            Ok(qplan) => qplan,
+            Err(e) => {
+                mfaplace_rt::timer::count("infer/quant_fallback", 1);
+                self.quant_broken = Some(e);
+                return None;
+            }
+        };
+        let _t = ScopeTimer::new("core/forward_quant");
+        let out = if bucket == n {
+            run_quant_plan(&qplan, &mut self.qarena, batch.data()).to_vec()
+        } else {
+            let per_in = batch.data().len() / n;
+            let mut padded = vec![0.0f32; bucket * per_in];
+            padded[..n * per_in].copy_from_slice(batch.data());
+            let full = run_quant_plan(&qplan, &mut self.qarena, &padded);
+            let per_out = full.len() / bucket;
+            full[..n * per_out].to_vec()
+        };
+        let mut out_shape = qplan.output_shape().to_vec();
+        out_shape[0] = n;
+        Some(Tensor::from_vec(out_shape, out).expect("quant plan output tensor"))
     }
 
     /// Tape-engine logits (the reference path).
@@ -350,6 +569,10 @@ impl<M: CongestionModel> ModelPredictor<M> {
         let logits = match self.engine {
             Engine::Plan => self
                 .plan_logits(&batch)
+                .unwrap_or_else(|| self.tape_logits(&batch)),
+            Engine::Quant => self
+                .quant_logits(&batch)
+                .or_else(|| self.plan_logits(&batch))
                 .unwrap_or_else(|| self.tape_logits(&batch)),
             Engine::Tape => self.tape_logits(&batch),
         };
@@ -521,6 +744,75 @@ mod tests {
         assert!(stats.fused_conv_relu > 0);
         // The cached plan is reused by a later predict at the same shape.
         assert_eq!(p.plan_stats().expect("cached").ops, stats.ops);
+    }
+
+    #[test]
+    fn quant_engine_without_calibration_falls_back_to_the_plan() {
+        let d = DesignPreset::design_116()
+            .with_scale(512, 64, 32)
+            .generate(1);
+        let p = d.random_placement(7);
+        let x = FeatureStack::extract(&d, &p, 32, 32).to_tensor();
+
+        let mut plan = small_predictor(8);
+        plan.set_engine(Engine::Plan);
+        let mut quant = small_predictor(8); // same seed => same weights
+        quant.set_engine(Engine::Quant);
+        assert_eq!(quant.engine().name(), "quant");
+        assert_eq!(quant.precision().name(), "f32", "uncalibrated => f32");
+
+        let via_plan = plan.predict_batch_tensors(std::slice::from_ref(&x));
+        let via_quant = quant.predict_batch_tensors(std::slice::from_ref(&x));
+        assert_eq!(
+            via_plan[0].data(),
+            via_quant[0].data(),
+            "uncalibrated quant engine must serve the bitwise f32 answer"
+        );
+        assert!(quant.quant_broken().is_none());
+        assert!(quant.quant_plan_stats().is_none(), "nothing quantized");
+    }
+
+    #[test]
+    fn calibrated_quant_engine_runs_int8_plans() {
+        let d = DesignPreset::design_116()
+            .with_scale(512, 64, 32)
+            .generate(1);
+        let placements: Vec<_> = (0..3).map(|s| d.random_placement(s)).collect();
+        let inputs: Vec<Tensor> = placements
+            .iter()
+            .map(|p| FeatureStack::extract(&d, p, 32, 32).to_tensor())
+            .collect();
+
+        let mut predictor = small_predictor(9);
+        let calib = predictor
+            .calibrate(&inputs, QuantOptions::default())
+            .expect("calibration");
+        assert!(calib.steps() > 0);
+        predictor.set_engine(Engine::Quant);
+        assert_eq!(predictor.precision().name(), "int8");
+
+        let outs = predictor.predict_batch_tensors(&inputs);
+        assert!(
+            predictor.quant_broken().is_none(),
+            "{:?}",
+            predictor.quant_broken()
+        );
+        for out in &outs {
+            assert!(out.data().iter().all(|&v| (0.0..=7.0).contains(&v)));
+        }
+        // Quantized predictions are deterministic.
+        let again = predictor.predict_batch_tensors(&inputs);
+        for (a, b) in outs.iter().zip(&again) {
+            assert_eq!(a.data(), b.data());
+        }
+        let qs = predictor.quant_plan_stats().expect("quant plan compiled");
+        assert!(qs.i8_steps > 0, "{qs:?}");
+        assert!(
+            qs.arena_bytes * 2 <= qs.f32_arena_bytes,
+            "int8 arena {} vs f32 arena {}",
+            qs.arena_bytes,
+            qs.f32_arena_bytes
+        );
     }
 
     #[test]

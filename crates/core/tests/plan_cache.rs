@@ -8,7 +8,7 @@ use mfaplace_core::loader::{
     content_hash, init_checkpoint, load_predictor_with_cache, LoadOptions,
 };
 use mfaplace_core::predictor::{Engine, ModelPredictor};
-use mfaplace_core::{PlanCache, PlanKey};
+use mfaplace_core::{PlanCache, PlanKey, Precision, QuantOptions};
 use mfaplace_models::{Arch, ArchSpec, CongestionModel};
 use mfaplace_tensor::Tensor;
 
@@ -105,10 +105,7 @@ fn batch_bucketing_is_bitwise_equal_to_the_tape() {
 
     // The cache holds the bucketed shape, not the literal batch size.
     let source = plan_side.plan_source();
-    let key = |n: usize| PlanKey {
-        source,
-        shape: vec![n, 6, GRID, GRID],
-    };
+    let key = |n: usize| PlanKey::f32(source, vec![n, 6, GRID, GRID], false);
     assert!(cache.contains(&key(4)), "{:?}", cache.stats());
     assert!(!cache.contains(&key(3)), "{:?}", cache.stats());
 }
@@ -133,6 +130,60 @@ fn bucketed_batch_rounds_to_one_two_four_then_eights() {
 }
 
 #[test]
+fn mixed_precision_plans_share_one_cache_under_distinct_keys() {
+    let ckpt = checkpoint("mixed.mfaw", 45);
+    let cache = Arc::new(PlanCache::new(256 << 20));
+    let (_, mut p) = load_predictor_with_cache(&ckpt, LoadOptions::default(), &cache).unwrap();
+
+    // Calibrate over a few representative inputs, then serve quantized.
+    let reps: Vec<Tensor> = (0..3).map(|i| input(i as f32)).collect();
+    p.calibrate(&reps, QuantOptions::default()).unwrap();
+    p.set_engine(Engine::Quant);
+
+    let x = input(0.5);
+    let f32_only = cache.stats().bytes;
+    let out = predict_one(&mut p, &x);
+    assert!(p.quant_broken().is_none(), "{:?}", p.quant_broken());
+    assert!(out.data().iter().all(|&v| (0.0..=7.0).contains(&v)));
+
+    // Same content hash, two flavours, two entries.
+    let source = p.plan_source();
+    let fkey = PlanKey::f32(source, vec![1, 6, GRID, GRID], false);
+    let qkey = PlanKey::quant(source, vec![1, 6, GRID, GRID], Precision::Int8, false);
+    assert!(cache.contains(&fkey), "{:?}", cache.stats());
+    assert!(cache.contains(&qkey), "{:?}", cache.stats());
+
+    // At real model sizes the quantized arena is at most half the f32
+    // arena, and the cache charges the quant entry its *own* (smaller)
+    // bytes — the flavours are not pooled under one charge.
+    let qs = p.quant_plan_stats().expect("quant plan compiled");
+    assert!(
+        qs.arena_bytes * 2 <= qs.f32_arena_bytes,
+        "int8 arena {} vs f32 arena {}",
+        qs.arena_bytes,
+        qs.f32_arena_bytes
+    );
+    let with_quant = cache.stats().bytes;
+    assert!(with_quant > f32_only, "quant entry must be charged");
+    assert!(
+        with_quant - f32_only < f32_only,
+        "quant entry ({}) must cost less than the f32 entry ({f32_only})",
+        with_quant - f32_only
+    );
+
+    // A second predictor from a byte-identical checkpoint with the same
+    // calibration resolves the existing quantized entry — no recompile.
+    let misses_before = cache.stats().misses;
+    let (_, mut q) = load_predictor_with_cache(&ckpt, LoadOptions::default(), &cache).unwrap();
+    q.set_calibration(p.calibration().unwrap().clone(), QuantOptions::default());
+    q.set_engine(Engine::Quant);
+    let out_q = predict_one(&mut q, &x);
+    assert_eq!(out_q.data(), out.data(), "shared quant plan, shared answer");
+    let stats = cache.stats();
+    assert_eq!(stats.misses, misses_before, "{stats:?}");
+}
+
+#[test]
 fn lru_eviction_tracks_recency_under_a_real_byte_budget() {
     let ckpt = checkpoint("lru.mfaw", 44);
 
@@ -152,10 +203,7 @@ fn lru_eviction_tracks_recency_under_a_real_byte_budget() {
     let cache = Arc::new(PlanCache::new(b1 + b4));
     let (_, mut q) = load_predictor_with_cache(&ckpt, LoadOptions::default(), &cache).unwrap();
     let source = q.plan_source();
-    let key = |n: usize| PlanKey {
-        source,
-        shape: vec![n, 6, GRID, GRID],
-    };
+    let key = |n: usize| PlanKey::f32(source, vec![n, 6, GRID, GRID], false);
 
     q.predict_batch_tensors(&inputs[..1]); // capture [1,..]
     q.predict_batch_tensors(&inputs[..2]); // capture [2,..]

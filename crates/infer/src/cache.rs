@@ -1,4 +1,5 @@
-//! A process-wide, byte-bounded LRU cache of compiled [`Plan`]s.
+//! A process-wide, byte-bounded LRU cache of compiled plans — f32
+//! [`Plan`]s and quantized [`QuantPlan`]s side by side.
 //!
 //! The serve layer's model fleet loads N checkpoints, and each predictor
 //! compiles one plan per (bucketed) input shape. Without sharing, two
@@ -6,18 +7,24 @@
 //! identical plan sets — duplicated op lists and, much worse, duplicated
 //! weight snapshots. [`PlanCache`] fixes both:
 //!
-//! - **Keying** — a [`PlanKey`] is `(weight identity, input shape)`. The
-//!   weight identity is the checkpoint file's *content hash*
-//!   ([`PlanSource::Content`]) for file-loaded predictors, so any two
-//!   predictors rebuilt from byte-identical checkpoints resolve to the
-//!   same entries, regardless of path or load order. In-memory models
-//!   (trainers, tests) get a process-unique nonce ([`PlanSource::unique`])
-//!   and therefore never share.
-//! - **Byte bounding** — every entry is charged its arena + weight-table
-//!   bytes; inserts evict least-recently-used entries until the budget
-//!   holds again. The newest entry is never evicted, so a single plan
-//!   larger than the whole budget still serves (the cache is then
-//!   temporarily over budget by that one entry). Weight tables shared
+//! - **Keying** — a [`PlanKey`] is `(weight identity, input shape,
+//!   precision, fold_bn)`. The weight identity is the checkpoint file's
+//!   *content hash* ([`PlanSource::Content`]) for file-loaded predictors,
+//!   so any two predictors rebuilt from byte-identical checkpoints resolve
+//!   to the same entries, regardless of path or load order. In-memory
+//!   models (trainers, tests) get a process-unique nonce
+//!   ([`PlanSource::unique`]) and therefore never share. The precision
+//!   axis keeps an int8 plan and an f32 plan for the same checkpoint+shape
+//!   under distinct keys; the fold axis separates BN-folded plans (folding
+//!   rewrites weights, so folded and unfolded plans are not
+//!   interchangeable at any precision).
+//! - **Byte bounding** — every entry is charged its arena bytes, weight
+//!   bytes (f32 table plus, for quantized plans, the int8 weight copies)
+//!   *and* plan metadata (op list, value/liveness tables — see
+//!   [`Plan::metadata_bytes`]); inserts evict least-recently-used entries
+//!   until the budget holds again. The newest entry is never evicted, so a
+//!   single plan larger than the whole budget still serves (the cache is
+//!   then temporarily over budget by that one entry). Weight tables shared
 //!   across entries via `Arc` are charged once per entry — a deliberate
 //!   overcount that keeps the bound conservative.
 //! - **Observability** — [`PlanCache::stats`] reports entries, bytes,
@@ -35,6 +42,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use crate::plan::Plan;
+use crate::quant::{Precision, QuantPlan};
 
 /// Identity of the weights a plan was compiled from.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -56,14 +64,81 @@ impl PlanSource {
     }
 }
 
-/// Cache key: weight identity plus the exact `[N, C, H, W]` input shape
-/// the plan was specialized for (batch-bucketed by the caller).
+/// Numeric flavour of a cached plan — the key axis that keeps an int8
+/// plan and an f32 plan for the same checkpoint+shape distinct.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum PlanPrecision {
+    /// The bitwise-faithful f32 plan.
+    #[default]
+    F32,
+    /// int8 arena + int8 GEMM compute (f16/f32 islands where needed).
+    Int8,
+    /// binary16 arena, f32 compute.
+    F16,
+}
+
+impl PlanPrecision {
+    /// Stable lower-case name (metrics labels, `model-info`).
+    pub fn name(self) -> &'static str {
+        match self {
+            PlanPrecision::F32 => "f32",
+            PlanPrecision::Int8 => "int8",
+            PlanPrecision::F16 => "f16",
+        }
+    }
+}
+
+impl From<Precision> for PlanPrecision {
+    fn from(p: Precision) -> PlanPrecision {
+        match p {
+            Precision::Int8 => PlanPrecision::Int8,
+            Precision::F16 => PlanPrecision::F16,
+        }
+    }
+}
+
+/// Cache key: weight identity, the exact `[N, C, H, W]` input shape the
+/// plan was specialized for (batch-bucketed by the caller), the plan
+/// precision, and whether BN folding rewrote the weights.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct PlanKey {
     /// Weight identity (content hash or unique nonce).
     pub source: PlanSource,
     /// Input shape the plan is specialized for.
     pub shape: Vec<usize>,
+    /// Numeric flavour of the cached plan.
+    pub precision: PlanPrecision,
+    /// Whether the plan was compiled with `fold_bn` (folding changes
+    /// weight values, so folded plans never substitute for unfolded
+    /// ones — at any precision).
+    pub folded: bool,
+}
+
+impl PlanKey {
+    /// Key for an f32 plan.
+    pub fn f32(source: PlanSource, shape: Vec<usize>, folded: bool) -> PlanKey {
+        PlanKey {
+            source,
+            shape,
+            precision: PlanPrecision::F32,
+            folded,
+        }
+    }
+
+    /// Key for a quantized plan of the given precision.
+    pub fn quant(
+        source: PlanSource,
+        shape: Vec<usize>,
+        precision: Precision,
+        folded: bool,
+    ) -> PlanKey {
+        PlanKey {
+            source,
+            shape,
+            precision: precision.into(),
+            folded,
+        }
+    }
 }
 
 /// A snapshot of the cache counters, for `/metrics` and tests.
@@ -71,7 +146,7 @@ pub struct PlanKey {
 pub struct PlanCacheStats {
     /// Live entries.
     pub entries: usize,
-    /// Bytes currently charged (arena + weight table per entry).
+    /// Bytes currently charged (arena + weights + metadata per entry).
     pub bytes: usize,
     /// The configured budget.
     pub max_bytes: usize,
@@ -83,8 +158,15 @@ pub struct PlanCacheStats {
     pub evictions: u64,
 }
 
+/// One cached compiled program, either flavour.
+#[derive(Clone)]
+enum CachedPlan {
+    F32(Arc<Plan>),
+    Quant(Arc<QuantPlan>),
+}
+
 struct Entry {
-    plan: Arc<Plan>,
+    plan: CachedPlan,
     bytes: usize,
     last_used: u64,
 }
@@ -109,9 +191,25 @@ pub struct PlanCache {
 /// Default budget when `MFAPLACE_PLAN_CACHE_MB` is unset: 256 MiB.
 pub const DEFAULT_PLAN_CACHE_BYTES: usize = 256 << 20;
 
+/// Bytes an entry is charged: arena + weight tables (for quantized plans
+/// `weight_bytes` already includes the int8 weight copies) + metadata.
+fn plan_bytes(plan: &CachedPlan) -> usize {
+    match plan {
+        CachedPlan::F32(p) => {
+            let s = p.stats();
+            s.arena_bytes + s.weight_bytes + p.metadata_bytes()
+        }
+        CachedPlan::Quant(q) => {
+            let s = q.stats();
+            s.arena_bytes + s.weight_bytes + q.metadata_bytes()
+        }
+    }
+}
+
 impl PlanCache {
-    /// Creates a cache holding at most `max_bytes` of plan arena + weight
-    /// bytes (a budget of 0 still admits one entry at a time).
+    /// Creates a cache holding at most `max_bytes` of plan arena, weight
+    /// and metadata bytes (a budget of 0 still admits one entry at a
+    /// time).
     pub fn new(max_bytes: usize) -> PlanCache {
         PlanCache {
             max_bytes,
@@ -133,8 +231,7 @@ impl PlanCache {
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Looks `key` up, bumping its recency and the hit/miss counters.
-    pub fn get(&self, key: &PlanKey) -> Option<Arc<Plan>> {
+    fn get_entry(&self, key: &PlanKey) -> Option<CachedPlan> {
         let mut inner = self.lock();
         inner.tick += 1;
         let tick = inner.tick;
@@ -152,17 +249,8 @@ impl PlanCache {
         }
     }
 
-    /// Whether `key` is cached, without touching recency or counters.
-    pub fn contains(&self, key: &PlanKey) -> bool {
-        self.lock().entries.contains_key(key)
-    }
-
-    /// Inserts (or replaces) the plan for `key`, then evicts
-    /// least-recently-used entries — never the one just inserted — until
-    /// the byte budget holds or only one entry remains.
-    pub fn insert(&self, key: PlanKey, plan: Arc<Plan>) {
-        let stats = plan.stats();
-        let bytes = stats.arena_bytes + stats.weight_bytes;
+    fn insert_entry(&self, key: PlanKey, plan: CachedPlan) {
+        let bytes = plan_bytes(&plan);
         let mut inner = self.lock();
         inner.tick += 1;
         let tick = inner.tick;
@@ -192,6 +280,42 @@ impl PlanCache {
         }
     }
 
+    /// Looks up an f32 plan, bumping its recency and the hit/miss
+    /// counters. A key resolving to a quantized entry returns `None`
+    /// (callers always construct keys with the matching precision, so
+    /// this is a key-construction bug, not a runtime state).
+    pub fn get(&self, key: &PlanKey) -> Option<Arc<Plan>> {
+        match self.get_entry(key)? {
+            CachedPlan::F32(p) => Some(p),
+            CachedPlan::Quant(_) => None,
+        }
+    }
+
+    /// Looks up a quantized plan, bumping recency and counters.
+    pub fn get_quant(&self, key: &PlanKey) -> Option<Arc<QuantPlan>> {
+        match self.get_entry(key)? {
+            CachedPlan::Quant(q) => Some(q),
+            CachedPlan::F32(_) => None,
+        }
+    }
+
+    /// Whether `key` is cached, without touching recency or counters.
+    pub fn contains(&self, key: &PlanKey) -> bool {
+        self.lock().entries.contains_key(key)
+    }
+
+    /// Inserts (or replaces) the f32 plan for `key`, then evicts
+    /// least-recently-used entries — never the one just inserted — until
+    /// the byte budget holds or only one entry remains.
+    pub fn insert(&self, key: PlanKey, plan: Arc<Plan>) {
+        self.insert_entry(key, CachedPlan::F32(plan));
+    }
+
+    /// [`PlanCache::insert`] for a quantized plan.
+    pub fn insert_quant(&self, key: PlanKey, plan: Arc<QuantPlan>) {
+        self.insert_entry(key, CachedPlan::Quant(plan));
+    }
+
     /// Current counters.
     pub fn stats(&self) -> PlanCacheStats {
         let inner = self.lock();
@@ -216,6 +340,7 @@ impl Default for PlanCache {
 mod tests {
     use super::*;
     use crate::plan::PlanOptions;
+    use crate::quant::{Calibration, QuantOptions};
     use mfaplace_autograd::Graph;
     use mfaplace_tensor::Tensor;
 
@@ -232,11 +357,18 @@ mod tests {
         Arc::new(Plan::capture(&g, mark, x, y, PlanOptions::default()).unwrap())
     }
 
+    fn quantize(plan: &Arc<Plan>) -> Arc<QuantPlan> {
+        let input = vec![0.5f32, -1.0, 0.25, 0.75];
+        let calib = Calibration::collect(plan, [input.as_slice()]).unwrap();
+        Arc::new(QuantPlan::build(plan.clone(), &calib, QuantOptions::default()).unwrap())
+    }
+
     fn key(source: PlanSource, n: usize) -> PlanKey {
-        PlanKey {
-            source,
-            shape: vec![n, 1, 2, 2],
-        }
+        PlanKey::f32(source, vec![n, 1, 2, 2], false)
+    }
+
+    fn qkey(source: PlanSource, n: usize) -> PlanKey {
+        PlanKey::quant(source, vec![n, 1, 2, 2], Precision::Int8, false)
     }
 
     #[test]
@@ -254,9 +386,62 @@ mod tests {
     }
 
     #[test]
+    fn precision_and_fold_are_key_axes() {
+        let cache = PlanCache::new(usize::MAX);
+        let src = PlanSource::Content(7);
+        let plan = tiny_plan(1.5);
+        cache.insert(key(src, 1), plan.clone());
+        // Same content hash + shape, different precision: distinct entry.
+        assert!(cache.get_quant(&qkey(src, 1)).is_none());
+        cache.insert_quant(qkey(src, 1), quantize(&plan));
+        assert!(cache.get_quant(&qkey(src, 1)).is_some());
+        assert!(cache.get(&key(src, 1)).is_some(), "f32 entry untouched");
+        // A folded key never resolves to the unfolded plan.
+        assert!(cache
+            .get(&PlanKey::f32(src, vec![1, 1, 2, 2], true))
+            .is_none());
+        // Precision-mismatched accessors refuse to cross-return.
+        assert!(cache.get(&qkey(src, 1)).is_none());
+        assert!(cache.get_quant(&key(src, 1)).is_none());
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn quant_entries_are_charged_their_own_arena_bytes() {
+        // The 64-byte span granularity makes a *toy* plan's quant arena
+        // bigger than its 48-byte f32 arena; the ≤0.5× shrink contract is
+        // asserted at real model sizes by the quant tolerance suite. Here
+        // we check the cache charges exactly what the quant plan reports.
+        let cache = PlanCache::new(usize::MAX);
+        let src = PlanSource::Content(9);
+        let plan = tiny_plan(2.5);
+        let qplan = quantize(&plan);
+        cache.insert(key(src, 1), plan.clone());
+        let f32_bytes = cache.stats().bytes;
+        cache.insert_quant(qkey(src, 1), qplan.clone());
+        let both_bytes = cache.stats().bytes;
+        let qs = qplan.stats();
+        let expected_q = qs.arena_bytes + qs.weight_bytes + qplan.metadata_bytes();
+        assert_eq!(both_bytes - f32_bytes, expected_q);
+    }
+
+    #[test]
+    fn bytes_include_plan_metadata() {
+        let cache = PlanCache::new(usize::MAX);
+        let plan = tiny_plan(1.0);
+        cache.insert(key(PlanSource::Content(1), 1), plan.clone());
+        let s = plan.stats();
+        assert_eq!(
+            cache.stats().bytes,
+            s.arena_bytes + s.weight_bytes + plan.metadata_bytes()
+        );
+        assert!(plan.metadata_bytes() > 0);
+    }
+
+    #[test]
     fn lru_eviction_respects_recency_and_keeps_newest() {
         let plan = tiny_plan(1.0);
-        let per = plan.stats().arena_bytes + plan.stats().weight_bytes;
+        let per = plan.stats().arena_bytes + plan.stats().weight_bytes + plan.metadata_bytes();
         assert!(per > 0);
         // Room for exactly two entries.
         let cache = PlanCache::new(2 * per);
@@ -281,6 +466,24 @@ mod tests {
         assert_eq!(s.entries, 1);
         assert_eq!(s.evictions, 1);
         assert!(starved.contains(&key(src, 2)));
+    }
+
+    #[test]
+    fn mixed_precision_lru_evicts_either_flavour() {
+        let plan = tiny_plan(3.0);
+        let qplan = quantize(&plan);
+        let fb = plan.stats().arena_bytes + plan.stats().weight_bytes + plan.metadata_bytes();
+        let qb = qplan.stats().arena_bytes + qplan.stats().weight_bytes + qplan.metadata_bytes();
+        let src = PlanSource::unique();
+        // Budget fits the f32 plan + quant plan, nothing more.
+        let cache = PlanCache::new(fb + qb);
+        cache.insert(key(src, 1), plan.clone());
+        cache.insert_quant(qkey(src, 1), qplan.clone());
+        // Touch the quant entry, then over-fill: the f32 plan is LRU.
+        assert!(cache.get_quant(&qkey(src, 1)).is_some());
+        cache.insert(key(src, 2), tiny_plan(4.0));
+        assert!(!cache.contains(&key(src, 1)), "f32 LRU entry evicted");
+        assert!(cache.contains(&qkey(src, 1)), "quant entry survives");
     }
 
     #[test]

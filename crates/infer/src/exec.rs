@@ -287,6 +287,53 @@ fn check_disjoint(plan: &Plan, step: &Step) {
     });
 }
 
+/// Serial replay of `plan` that calls `observe(step_index, out_slice)`
+/// after each step — the quantization calibrator's hook for collecting
+/// per-value activation ranges. Identical arithmetic to [`run_plan`]
+/// (same `exec_step` calls in the same order); the observer only reads.
+pub(crate) fn run_plan_observed<'a>(
+    plan: &Plan,
+    arena: &'a mut Vec<f32>,
+    input: &[f32],
+    observe: &mut dyn FnMut(usize, &[f32]),
+) -> &'a [f32] {
+    assert_eq!(
+        input.len(),
+        plan.input_numel(),
+        "plan input length mismatch (plan compiled for shape {:?})",
+        plan.input_shape(),
+    );
+    if arena.len() < plan.arena_len() {
+        arena.resize(plan.arena_len(), 0.0);
+    }
+    let base = arena.as_mut_ptr();
+    for (i, step) in plan.steps.iter().enumerate() {
+        #[cfg(debug_assertions)]
+        check_disjoint(plan, step);
+        exec_step(plan, input, base, step);
+        if let Loc::Arena { off, len } = plan.values[step.out].loc {
+            // SAFETY: the step finished; its output span is initialized
+            // and no mutable borrow of the arena is live.
+            observe(i, unsafe { std::slice::from_raw_parts(base.add(off), len) });
+        }
+    }
+    let Loc::Arena { off, len } = plan.values[plan.output].loc else {
+        unreachable!("plan output is always arena-resident");
+    };
+    &arena[off..off + len]
+}
+
+/// Op-local scratch views an [`exec_op`] call may need beyond its
+/// destination: the conv im2col/GEMM buffers and the attention score row.
+/// The f32 executor carves these from plan-assigned arena spans; the
+/// quantized executor carves them from its shared per-step scratch region.
+#[derive(Default)]
+pub(crate) struct OpScratch<'a> {
+    pub cols: Option<&'a mut [f32]>,
+    pub ymat: Option<&'a mut [f32]>,
+    pub att: Option<&'a mut [f32]>,
+}
+
 /// Executes one step. `base` points at the executor's arena.
 fn exec_step(plan: &Plan, input: &[f32], base: *mut f32, step: &Step) {
     // SAFETY: all spans handed out below are either weight/input borrows or
@@ -299,7 +346,35 @@ fn exec_step(plan: &Plan, input: &[f32], base: *mut f32, step: &Step) {
         };
         unsafe { span_mut(base, ArenaRange { off, len }) }
     };
-    match &step.op {
+    let scratch = match &step.op {
+        IrOp::Conv2d { cols, ymat, .. } => OpScratch {
+            cols: Some(unsafe { span_mut(base, *cols) }),
+            ymat: Some(unsafe { span_mut(base, *ymat) }),
+            att: None,
+        },
+        IrOp::AttentionTm { scratch, .. } | IrOp::AttentionFm { scratch, .. } => OpScratch {
+            att: Some(unsafe { span_mut(base, *scratch) }),
+            ..OpScratch::default()
+        },
+        _ => OpScratch::default(),
+    };
+    exec_op(&step.op, &s, dst, scratch);
+}
+
+/// Executes one op's f32 arithmetic against caller-resolved operand views.
+///
+/// This is the single source of the per-op reference semantics: the f32
+/// executor calls it with arena-resident views (keeping the bitwise
+/// plan==tape contract — the arithmetic below is untouched by the
+/// factoring), and the quantized executor calls it for every op that runs
+/// on the f32 fallback path, with operands dequantized into scratch.
+pub(crate) fn exec_op<'a>(
+    op: &IrOp,
+    s: &impl Fn(ValId) -> &'a [f32],
+    dst: &mut [f32],
+    scratch: OpScratch<'_>,
+) {
+    match op {
         IrOp::Conv2d {
             x,
             w,
@@ -317,19 +392,18 @@ fn exec_step(plan: &Plan, input: &[f32], base: *mut f32, step: &Step) {
             oc,
             oh,
             ow,
-            cols,
-            ymat,
+            ..
         } => {
             let xs = s(*x);
             let ws = s(*w);
-            let cols_m = unsafe { span_mut(base, *cols) };
+            let cols_m = scratch.cols.expect("conv cols scratch");
             // The arena span may hold a dead value from an earlier op;
             // im2col relies on zeroed padding cells, so clear every run.
             cols_m.fill(0.0);
             lowlevel::im2col_into(xs, *b, *c, *h, *w_in, *kh, *kw, *stride, *pad, cols_m);
-            let ymat_m = unsafe { span_mut(base, *ymat) };
+            let ymat_m = scratch.ymat.expect("conv ymat scratch");
             lowlevel::gemm_into(ws, &*cols_m, ymat_m, *oc, *c * *kh * *kw, *b * *oh * *ow);
-            let bias_s = bias.map(&s);
+            let bias_s = bias.map(s);
             let aff = affine
                 .as_ref()
                 .map(|(sc, sh)| (sc.as_slice(), sh.as_slice()));
@@ -481,12 +555,12 @@ fn exec_step(plan: &Plan, input: &[f32], base: *mut f32, step: &Step) {
             lk,
             d,
             dv,
-            scratch,
+            ..
         } => {
             // The fused kernel accumulates into a zeroed output (the tape
             // takes a zero-filled pool buffer).
             dst.fill(0.0);
-            let sc = unsafe { span_mut(base, *scratch) };
+            let sc = scratch.att.expect("attention score-row scratch");
             mfaplace_tensor::attention_tm_slices(
                 s(*q),
                 s(*k),
@@ -510,9 +584,9 @@ fn exec_step(plan: &Plan, input: &[f32], base: *mut f32, step: &Step) {
             n,
             nv,
             l,
-            scratch,
+            ..
         } => {
-            let sc = unsafe { span_mut(base, *scratch) };
+            let sc = scratch.att.expect("attention score-row scratch");
             mfaplace_tensor::attention_fm_slices(
                 s(*q),
                 s(*k),

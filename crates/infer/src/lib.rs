@@ -40,9 +40,15 @@
 mod cache;
 mod exec;
 mod plan;
+mod quant;
 
-pub use cache::{PlanCache, PlanCacheStats, PlanKey, PlanSource, DEFAULT_PLAN_CACHE_BYTES};
+pub use cache::{
+    PlanCache, PlanCacheStats, PlanKey, PlanPrecision, PlanSource, DEFAULT_PLAN_CACHE_BYTES,
+};
 pub use exec::{
     plan_workers_from_env, plan_workers_from_str, run_plan, run_plan_workers, PlanExecutor,
 };
 pub use plan::{Plan, PlanOptions, PlanStats};
+pub use quant::{
+    run_quant_plan, Calibration, Precision, QuantExecutor, QuantOptions, QuantPlan, QuantStats,
+};

@@ -338,6 +338,11 @@ pub struct Plan {
     /// cover `0..steps.len()`; ops inside one level are mutually
     /// independent and write pairwise-disjoint arena spans.
     pub(crate) levels: Vec<std::ops::Range<usize>>,
+    /// Storage root per value (`alias[v] == v` unless `v` is an elided
+    /// reshape of another value). Kept so alternative arena layouts —
+    /// the quantized byte arena — can redo liveness with different
+    /// per-value sizes while honouring the same sharing.
+    pub(crate) alias: Vec<ValId>,
     stats: PlanStats,
 }
 
@@ -462,6 +467,7 @@ impl Plan {
             output: output_val,
             arena_len,
             levels,
+            alias,
             stats,
         })
     }
@@ -489,6 +495,45 @@ impl Plan {
     /// Number of elements the forward input must have.
     pub fn input_numel(&self) -> usize {
         self.values[self.input].numel
+    }
+
+    /// Estimated bytes of the plan's own metadata: op list, value table,
+    /// alias map, level ranges and per-op heap vectors (fused affines,
+    /// permute strides, concat part lists). Weight tensor *data* is
+    /// excluded — it is accounted separately via
+    /// [`PlanStats::weight_bytes`]. The plan cache charges this so
+    /// `MFAPLACE_PLAN_CACHE_MB` bounds what the process actually holds,
+    /// not just arenas and weights.
+    pub fn metadata_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let mut b = self.steps.len() * size_of::<Step>()
+            + self.values.len() * size_of::<ValueInfo>()
+            + self.alias.len() * size_of::<ValId>()
+            + self.levels.len() * size_of::<std::ops::Range<usize>>()
+            + self.weights.len() * size_of::<Arc<Tensor>>();
+        for v in &self.values {
+            b += v.shape.len() * size_of::<usize>();
+        }
+        for step in &self.steps {
+            b += match &step.op {
+                IrOp::Conv2d { affine, .. } => affine
+                    .as_ref()
+                    .map_or(0, |(sc, sh)| (sc.len() + sh.len()) * size_of::<f32>()),
+                IrOp::ChannelAffine { scale, shift, .. } => {
+                    (scale.len() + shift.len()) * size_of::<f32>()
+                }
+                IrOp::Permute {
+                    stride_axes,
+                    out_dims,
+                    ..
+                } => (stride_axes.len() + out_dims.len()) * size_of::<usize>(),
+                IrOp::ConcatChannels { parts, part_c, .. } => {
+                    (parts.len() + part_c.len()) * size_of::<usize>()
+                }
+                _ => 0,
+            };
+        }
+        b
     }
 
     /// Human-readable multi-line summary (the `model-info` output).
@@ -1069,8 +1114,10 @@ fn fold_bn(
 }
 
 /// First-fit arena allocator over `(off, len)` holes, with coalescing.
+/// Unit-agnostic: the f32 arena allocates in floats, the quantized byte
+/// arena in 64-byte blocks.
 #[derive(Default)]
-struct FreeList {
+pub(crate) struct FreeList {
     /// Free holes sorted by offset, pairwise non-adjacent.
     free: Vec<(usize, usize)>,
     /// High-water mark: total arena length.
@@ -1078,7 +1125,7 @@ struct FreeList {
 }
 
 impl FreeList {
-    fn alloc(&mut self, len: usize) -> usize {
+    pub(crate) fn alloc(&mut self, len: usize) -> usize {
         if len == 0 {
             return 0;
         }
@@ -1098,7 +1145,12 @@ impl FreeList {
         off
     }
 
-    fn release(&mut self, off: usize, len: usize) {
+    /// High-water mark: total allocated length so far.
+    pub(crate) fn high(&self) -> usize {
+        self.high
+    }
+
+    pub(crate) fn release(&mut self, off: usize, len: usize) {
         if len == 0 {
             return;
         }

@@ -427,6 +427,22 @@ pub fn read_meta(path: impl AsRef<Path>) -> Result<Option<CheckpointMeta>, Check
 /// [`CheckpointError::Io`] for filesystem failures.
 pub fn read_checkpoint(path: impl AsRef<Path>) -> Result<Checkpoint, CheckpointError> {
     let mut r = BufReader::new(File::open(path)?);
+    read_checkpoint_stream(&mut r)
+}
+
+/// Parses a checkpoint from an in-memory byte buffer — e.g. one embedded
+/// in a quantized serving artifact. Same validation as
+/// [`read_checkpoint`].
+///
+/// # Errors
+///
+/// Same failure modes as [`read_checkpoint`] (minus filesystem I/O).
+pub fn read_checkpoint_bytes(bytes: &[u8]) -> Result<Checkpoint, CheckpointError> {
+    let mut r = std::io::Cursor::new(bytes);
+    read_checkpoint_stream(&mut r)
+}
+
+fn read_checkpoint_stream(mut r: impl Read) -> Result<Checkpoint, CheckpointError> {
     let (version, meta) = read_header(&mut r)?;
     let count = read_u32(&mut r)? as usize;
     if count > 1_000_000 {

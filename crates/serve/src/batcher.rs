@@ -317,6 +317,7 @@ impl ModelSlot {
         let metrics = metrics.slot(name);
         metrics.set_model(spec.arch.model_name(), 1);
         metrics.set_engine(predictor.engine().name());
+        metrics.set_precision(predictor.precision().name());
         Ok(ModelSlot {
             name: name.to_owned(),
             inner: Mutex::new(LoadedModel {
@@ -340,6 +341,7 @@ impl ModelSlot {
         let metrics = metrics.slot(DEFAULT_SLOT);
         metrics.set_model(spec.arch.model_name(), 1);
         metrics.set_engine(predictor.engine().name());
+        metrics.set_precision(predictor.precision().name());
         ModelSlot {
             name: DEFAULT_SLOT.to_owned(),
             inner: Mutex::new(LoadedModel {
@@ -391,6 +393,8 @@ impl ModelSlot {
         let mut model = self.lock();
         model.predictor.set_engine(engine);
         self.metrics.set_engine(engine.name());
+        self.metrics
+            .set_precision(model.predictor.precision().name());
     }
 
     /// Runs one batched forward. Panics inside the model are caught and
@@ -416,16 +420,26 @@ impl ModelSlot {
             model.predictor.predict_batch_tensors(inputs)
         }));
         if result.is_ok() {
+            // `active_plan_stats` reflects the engine actually serving:
+            // quant arena/weight bytes under the quant engine, the f32
+            // plan otherwise. Precision is republished because it can
+            // flip from "f32" the moment the first quant plan compiles
+            // (or back, if a quant build fails and the slot falls back).
             let (ops, arena, levels, elided) =
-                model.predictor.plan_stats().map_or((0, 0, 0, 0), |s| {
-                    (
-                        s.ops as u64,
-                        s.arena_bytes as u64,
-                        s.levels as u64,
-                        s.copies_elided as u64,
-                    )
-                });
+                model
+                    .predictor
+                    .active_plan_stats()
+                    .map_or((0, 0, 0, 0), |s| {
+                        (
+                            s.ops as u64,
+                            s.arena_bytes as u64,
+                            s.levels as u64,
+                            s.copies_elided as u64,
+                        )
+                    });
             self.metrics.set_plan_stats(ops, arena, levels, elided);
+            self.metrics
+                .set_precision(model.predictor.precision().name());
         }
         result.map_err(|payload| {
             let msg = payload
@@ -475,6 +489,8 @@ impl ModelSlot {
         };
         self.metrics.set_model(spec.arch.model_name(), version);
         self.metrics.set_engine(engine.name());
+        let precision = slot.predictor.precision();
+        self.metrics.set_precision(precision.name());
         Ok((version, spec))
     }
 }

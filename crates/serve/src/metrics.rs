@@ -38,6 +38,7 @@ struct SlotStats {
     model_name: String,
     model_version: u64,
     engine_name: String,
+    precision_name: String,
     plan_ops: u64,
     plan_arena_bytes: u64,
     plan_levels: u64,
@@ -58,6 +59,7 @@ struct Inner {
     model_version: u64,
     model_name: String,
     engine_name: String,
+    precision_name: String,
     plan_ops: u64,
     plan_arena_bytes: u64,
     plan_levels: u64,
@@ -141,9 +143,16 @@ impl Metrics {
         m.model_version = version;
     }
 
-    /// Publishes the active inference engine (`"tape"` / `"plan"`).
+    /// Publishes the active inference engine (`"tape"` / `"plan"` /
+    /// `"quant"`).
     pub fn set_engine(&self, name: &str) {
         self.lock().engine_name = name.to_owned();
+    }
+
+    /// Publishes the numeric precision forwards run at (`"f32"` /
+    /// `"int8"` / `"f16"`).
+    pub fn set_precision(&self, name: &str) {
+        self.lock().precision_name = name.to_owned();
     }
 
     /// Publishes the compiled-plan gauges (op count, arena bytes, scheduler
@@ -271,6 +280,10 @@ impl Metrics {
             "mfaplace_engine_info{{engine=\"{}\"}} 1\n",
             m.engine_name
         ));
+        out.push_str(&format!(
+            "mfaplace_precision_info{{precision=\"{}\"}} 1\n",
+            m.precision_name
+        ));
         // Process-global SIMD kernel backend; read at render time so the
         // gauge always reflects the dispatcher's actual state (the CI
         // consistency check compares this against `mfaplace kernels`).
@@ -330,6 +343,10 @@ impl Metrics {
             out.push_str(&format!(
                 "mfaplace_slot_engine_info{{slot=\"{name}\",engine=\"{}\"}} 1\n",
                 s.engine_name
+            ));
+            out.push_str(&format!(
+                "mfaplace_slot_precision_info{{slot=\"{name}\",precision=\"{}\"}} 1\n",
+                s.precision_name
             ));
             out.push_str(&format!(
                 "mfaplace_slot_plan_ops{{slot=\"{name}\"}} {}\n",
@@ -474,6 +491,15 @@ impl SlotMetrics {
         self.with_slot(|s, m| {
             s.engine_name = name.to_owned();
             m.engine_name = name.to_owned();
+        });
+    }
+
+    /// Publishes this slot's forward precision (aggregate copy is
+    /// last-writer-wins across slots).
+    pub fn set_precision(&self, name: &str) {
+        self.with_slot(|s, m| {
+            s.precision_name = name.to_owned();
+            m.precision_name = name.to_owned();
         });
     }
 

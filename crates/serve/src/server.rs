@@ -370,7 +370,7 @@ fn route(shared: &Shared, req: &Request) -> Option<Response> {
                     fs.slot().set_engine(engine);
                     Response::text(200, format!("engine {}\n", engine.name()))
                 }
-                None => Response::text(400, "body must be \"tape\" or \"plan\"\n"),
+                None => Response::text(400, "body must be \"tape\", \"plan\" or \"quant\"\n"),
             }
         }
         ("GET", "/admin/slots") => Response::text(200, fleet_listing(shared)),

@@ -140,8 +140,14 @@ fn metrics_expose_engine_plan_gauges_and_per_engine_timers() {
     let server = start_server(&ckpt, BatchConfig::default());
     let addr = server.addr().to_string();
 
-    // Serve traffic runs on the default plan engine, populating the
-    // compiled-plan gauges and the plan-side forward timer.
+    // This test is specifically about the plan engine's gauges, so pin the
+    // engine through the admin API instead of inheriting the process
+    // default (ci runs the workspace once under MFAPLACE_ENGINE=quant).
+    let resp = client::request(&addr, "POST", "/admin/engine", &[], b"plan").unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+
+    // Serve traffic runs on the plan engine, populating the compiled-plan
+    // gauges and the plan-side forward timer.
     for i in 0..3 {
         client::predict_features(&addr, &input(i as f32)).unwrap();
     }

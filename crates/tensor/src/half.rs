@@ -1,0 +1,155 @@
+//! Software IEEE 754 binary16 ("half") conversions.
+//!
+//! The quantized inference plans store attention/softmax-adjacent
+//! activations as f16 *bits* inside a byte arena (see `mfaplace-infer`'s
+//! `quant` module); Rust has no stable `f16` primitive and the workspace
+//! takes no external crates, so the conversions live here as plain bit
+//! manipulation. Both directions are deterministic, total functions:
+//!
+//! - [`f32_to_f16_bits`] rounds to nearest, ties to even — the IEEE
+//!   default — and maps overflow to ±inf, underflow to (sub)normals or
+//!   ±0, and NaN to a quiet NaN.
+//! - [`f16_bits_to_f32`] is exact: every binary16 value (normals,
+//!   subnormals, ±inf, NaN) is representable in f32.
+//!
+//! Round-tripping f16 → f32 → f16 is the identity on every non-NaN bit
+//! pattern (asserted by the tests below), which is what makes an f16
+//! arena slot a stable storage class: loads and re-stores of an
+//! untouched value never drift.
+
+/// Converts an `f32` to IEEE binary16 bits, rounding to nearest-even.
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp32 = ((bits >> 23) & 0xff) as i32;
+    let mant = bits & 0x007f_ffff;
+    if exp32 == 0xff {
+        // Inf / NaN. Keep NaN quiet and its payload truncated but nonzero.
+        let m = if mant != 0 {
+            0x0200 | ((mant >> 13) as u16 & 0x03ff)
+        } else {
+            0
+        };
+        return sign | 0x7c00 | m;
+    }
+    let exp = exp32 - 127 + 15;
+    if exp >= 31 {
+        return sign | 0x7c00; // overflow -> inf
+    }
+    if exp <= 0 {
+        // Subnormal target (or underflow to zero). The significand with
+        // its implicit leading one, shifted into 2^-24 units with RNE.
+        if exp < -10 {
+            return sign; // below half the smallest subnormal
+        }
+        let m = mant | 0x0080_0000;
+        let shift = (14 - exp) as u32; // 14..=24
+        let rounded = (m + (1 << (shift - 1)) - 1 + ((m >> shift) & 1)) >> shift;
+        return sign | rounded as u16;
+    }
+    // Normal: round the 23-bit mantissa to 10 bits (RNE); a mantissa
+    // carry-out rolls into the exponent via the addition below, and a
+    // roll past exponent 30 correctly lands on the inf encoding.
+    let m = mant + 0x0fff + ((mant >> 13) & 1);
+    let out = ((exp as u32) << 10) + (m >> 13);
+    if out >= 0x7c00 {
+        return sign | 0x7c00;
+    }
+    sign | out as u16
+}
+
+/// Converts IEEE binary16 bits to the exactly-representable `f32`.
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = u32::from(h & 0x8000) << 16;
+    let exp = u32::from(h >> 10) & 0x1f;
+    let mant = u32::from(h & 0x03ff);
+    let bits = match exp {
+        0 => {
+            if mant == 0 {
+                sign // ±0
+            } else {
+                // Subnormal: value = mant * 2^-24 with the top set bit of
+                // `mant` at position p = 10 - shift becoming the implicit
+                // one, so the biased f32 exponent is p + 103.
+                let shift = mant.leading_zeros() - 21; // 1..=10 for mant < 2^10
+                let e32 = 113 - shift;
+                let m32 = (mant << (13 + shift)) & 0x007f_ffff;
+                sign | (e32 << 23) | m32
+            }
+        }
+        31 => sign | 0x7f80_0000 | (mant << 13), // inf / NaN
+        _ => sign | ((exp + 112) << 23) | (mant << 13),
+    };
+    f32::from_bits(bits)
+}
+
+/// Quantizes a slice to f16 bits (RNE per element).
+pub fn f32_slice_to_f16(src: &[f32], dst: &mut [u16]) {
+    assert_eq!(src.len(), dst.len(), "f16 store length mismatch");
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = f32_to_f16_bits(s);
+    }
+}
+
+/// Dequantizes a slice of f16 bits to f32 (exact per element).
+pub fn f16_slice_to_f32(src: &[u16], dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len(), "f16 load length mismatch");
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = f16_bits_to_f32(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values_round_trip() {
+        for &(f, h) in &[
+            (0.0f32, 0x0000u16),
+            (-0.0, 0x8000),
+            (1.0, 0x3c00),
+            (-2.0, 0xc000),
+            (65504.0, 0x7bff),        // largest finite f16
+            (6.103_515_6e-5, 0x0400), // smallest normal
+            (5.960_464_5e-8, 0x0001), // smallest subnormal
+            (f32::INFINITY, 0x7c00),
+            (f32::NEG_INFINITY, 0xfc00),
+        ] {
+            assert_eq!(f32_to_f16_bits(f), h, "encode {f}");
+            assert_eq!(f16_bits_to_f32(h).to_bits(), f.to_bits(), "decode {h:#06x}");
+        }
+    }
+
+    #[test]
+    fn rne_ties_go_to_even() {
+        // 1 + 2^-11 sits exactly between 1.0 and the next f16; RNE keeps
+        // the even mantissa (1.0). One ulp above the tie rounds up.
+        assert_eq!(f32_to_f16_bits(1.0 + 0.000_488_281_25), 0x3c00);
+        assert_eq!(f32_to_f16_bits(1.0 + 0.000_488_341), 0x3c01);
+        // 1 + 3*2^-11 ties between 0x3c01 and 0x3c02; even wins (0x3c02).
+        assert_eq!(f32_to_f16_bits(1.0 + 3.0 * 0.000_488_281_25), 0x3c02);
+    }
+
+    #[test]
+    fn overflow_underflow_and_nan() {
+        assert_eq!(f32_to_f16_bits(1e9), 0x7c00);
+        assert_eq!(f32_to_f16_bits(-1e9), 0xfc00);
+        assert_eq!(f32_to_f16_bits(1e-10), 0x0000);
+        assert_eq!(f32_to_f16_bits(-1e-10), 0x8000);
+        let n = f16_bits_to_f32(f32_to_f16_bits(f32::NAN));
+        assert!(n.is_nan());
+    }
+
+    #[test]
+    fn all_f16_bit_patterns_round_trip_through_f32() {
+        for h in 0..=u16::MAX {
+            let f = f16_bits_to_f32(h);
+            if f.is_nan() {
+                assert!(f16_bits_to_f32(f32_to_f16_bits(f)).is_nan());
+            } else {
+                assert_eq!(f32_to_f16_bits(f), h, "pattern {h:#06x} ({f})");
+            }
+        }
+    }
+}

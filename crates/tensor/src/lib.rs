@@ -23,6 +23,7 @@
 
 mod attention;
 mod error;
+pub mod half;
 mod init;
 mod kernels;
 pub mod lowlevel;

@@ -357,3 +357,82 @@ pub(crate) unsafe fn conv_epilogue(
         *dp.add(i) = v;
     }
 }
+
+// -------------------------------------------------------------- int8 GEMM
+
+/// Exact int8 GEMM over full rows: `out[r, j] = Σ_p a[r,p] · b[p,j]` in
+/// i32, `a` row-major `[m, k]`, `b` row-major `[k, n]`.
+///
+/// Pairs of contraction rows are sign-extended to i16 lanes, interleaved
+/// with `unpacklo/hi_epi16` and combined by `_mm256_madd_epi16` — the
+/// `maddubs`-style pair-accumulate shape, but on i16 inputs so nothing can
+/// saturate (|q| ≤ 127 keeps each pair sum ≤ 2·127², far below the i32
+/// madd result range). Every output element is an exact integer sum, so
+/// this kernel is **bitwise identical** to the scalar reference and the
+/// NEON twin — a stronger contract than the f32 kernels carry.
+///
+/// # Safety
+///
+/// Requires AVX2. `a` must hold `m*k`, `b` `k*n`, `out` `m*n` elements.
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn i8_gemm(a: &[i8], b: &[i8], out: &mut [i32], m: usize, k: usize, n: usize) {
+    #[inline]
+    unsafe fn load16(b: &[i8], off: usize, width: usize) -> __m128i {
+        if width == 16 {
+            _mm_loadu_si128(b.as_ptr().add(off) as *const __m128i)
+        } else {
+            let mut buf = [0i8; 16];
+            buf[..width].copy_from_slice(&b[off..off + width]);
+            _mm_loadu_si128(buf.as_ptr() as *const __m128i)
+        }
+    }
+
+    for r in 0..m {
+        let arow = &a[r * k..(r + 1) * k];
+        let orow = &mut out[r * n..(r + 1) * n];
+        let mut j0 = 0usize;
+        while j0 < n {
+            let width = (n - j0).min(16);
+            let mut acc_lo = _mm256_setzero_si256();
+            let mut acc_hi = _mm256_setzero_si256();
+            let mut p = 0usize;
+            while p < k {
+                let pair = p + 1 < k;
+                let w0 = _mm256_cvtepi8_epi16(load16(b, p * n + j0, width));
+                let w1 = if pair {
+                    _mm256_cvtepi8_epi16(load16(b, (p + 1) * n + j0, width))
+                } else {
+                    _mm256_setzero_si256()
+                };
+                // Interleave rows p and p+1 so each i32 madd lane holds one
+                // column's (b[p,j], b[p+1,j]) pair.
+                let lo = _mm256_unpacklo_epi16(w0, w1);
+                let hi = _mm256_unpackhi_epi16(w0, w1);
+                let a0 = u32::from(arow[p] as i16 as u16);
+                let a1 = if pair {
+                    u32::from(arow[p + 1] as i16 as u16)
+                } else {
+                    0
+                };
+                let apair = _mm256_set1_epi32((a0 | (a1 << 16)) as i32);
+                acc_lo = _mm256_add_epi32(acc_lo, _mm256_madd_epi16(apair, lo));
+                acc_hi = _mm256_add_epi32(acc_hi, _mm256_madd_epi16(apair, hi));
+                p += 2;
+            }
+            // acc_lo i32 lanes are columns j0+{0..3 | 8..11}, acc_hi
+            // j0+{4..7 | 12..15}; permute back to column order.
+            let res0 = _mm256_permute2x128_si256(acc_lo, acc_hi, 0x20);
+            let res1 = _mm256_permute2x128_si256(acc_lo, acc_hi, 0x31);
+            if width == 16 {
+                _mm256_storeu_si256(orow.as_mut_ptr().add(j0) as *mut __m256i, res0);
+                _mm256_storeu_si256(orow.as_mut_ptr().add(j0 + 8) as *mut __m256i, res1);
+            } else {
+                let mut buf = [0i32; 16];
+                _mm256_storeu_si256(buf.as_mut_ptr() as *mut __m256i, res0);
+                _mm256_storeu_si256(buf.as_mut_ptr().add(8) as *mut __m256i, res1);
+                orow[j0..j0 + width].copy_from_slice(&buf[..width]);
+            }
+            j0 += 16;
+        }
+    }
+}

@@ -657,6 +657,93 @@ pub(crate) fn conv_epilogue_scalar(
     }
 }
 
+// ------------------------------------------------------------- int8 GEMM
+
+/// Largest contraction length the exact int8 GEMM accepts: i32
+/// accumulation of |q| ≤ 127 products cannot overflow while
+/// `k ≤ i32::MAX / 127²` (≈ 133k — far above any captured conv/matmul).
+pub const I8_GEMM_MAX_K: usize = (i32::MAX as usize) / (127 * 127);
+
+/// Scalar reference int8 GEMM: `out[r, j] = Σ_p a[r,p] · b[p,j]` with i32
+/// accumulation in increasing-`p` order. Integer sums are exact, so every
+/// backend reproduces this result **bitwise** (unlike the f32 kernels,
+/// which only promise the tolerance contract).
+fn i8_gemm_scalar(a: &[i8], b: &[i8], out: &mut [i32], m: usize, k: usize, n: usize) {
+    for r in 0..m {
+        let arow = &a[r * k..(r + 1) * k];
+        let orow = &mut out[r * n..(r + 1) * n];
+        orow.fill(0);
+        for (p, &av) in arow.iter().enumerate() {
+            let av = i32::from(av);
+            let brow = &b[p * n..p * n + n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * i32::from(bv);
+            }
+        }
+    }
+}
+
+/// Explicit-backend exact int8 GEMM `out[m,n] = a[m,k] × b[k,n]` with i32
+/// accumulators — the quantized plan executor's conv/matmul core and the
+/// differential suite's entry point. All backends are bitwise identical.
+pub fn i8_gemm_with(
+    bk: Backend,
+    a: &[i8],
+    b: &[i8],
+    out: &mut [i32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    assert_eq!(a.len(), m * k, "i8 gemm lhs length mismatch");
+    assert_eq!(b.len(), k * n, "i8 gemm rhs length mismatch");
+    assert_eq!(out.len(), m * n, "i8 gemm output length mismatch");
+    assert!(
+        k <= I8_GEMM_MAX_K,
+        "i8 gemm contraction too long for exact i32"
+    );
+    if m == 0 || n == 0 {
+        return;
+    }
+    match bk {
+        Backend::Scalar => i8_gemm_scalar(a, b, out, m, k, n),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `Avx2` is only ever active()/forced when
+        // `is_x86_feature_detected!` confirmed avx2; lengths asserted.
+        Backend::Avx2 => unsafe { avx2::i8_gemm(a, b, out, m, k, n) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: NEON is baseline on aarch64; lengths asserted.
+        Backend::Neon => unsafe { neon::i8_gemm(a, b, out, m, k, n) },
+        #[allow(unreachable_patterns)]
+        other => panic!(
+            "kernel backend {} not compiled on this target",
+            other.name()
+        ),
+    }
+}
+
+/// Dispatched [`i8_gemm_with`] over the active backend, with the same
+/// row-parallel fan-out policy as the f32 GEMM. Safe at any worker count:
+/// rows are independent exact integer chains, so partitioning can never
+/// change a bit.
+pub fn i8_gemm(a: &[i8], b: &[i8], out: &mut [i32], m: usize, k: usize, n: usize) {
+    let bk = active();
+    let nt = if m * k * n >= kernels::PAR_GEMM_FLOPS {
+        pool::max_threads().min(m)
+    } else {
+        1
+    };
+    if nt <= 1 || m <= 1 {
+        return i8_gemm_with(bk, a, b, out, m, k, n);
+    }
+    let rows_per = m.div_ceil(nt);
+    pool::parallel_chunks_mut(out, rows_per * n, |ci, chunk| {
+        let rows = chunk.len() / n;
+        let r0 = ci * rows_per;
+        i8_gemm_with(bk, &a[r0 * k..(r0 + rows) * k], b, chunk, rows, k, n);
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

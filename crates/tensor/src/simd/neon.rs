@@ -333,3 +333,58 @@ pub(crate) unsafe fn conv_epilogue(
         *dp.add(i) = v;
     }
 }
+
+// -------------------------------------------------------------- int8 GEMM
+
+/// Exact int8 GEMM over full rows: `out[r, j] = Σ_p a[r,p] · b[p,j]` in
+/// i32, `a` row-major `[m, k]`, `b` row-major `[k, n]`.
+///
+/// Each contraction step widens one B row to i16 (`vmovl_s8` — the
+/// `smull` family) and accumulates with the widening `vmlal_s16`, i.e.
+/// i16×i16 products added straight into i32 lanes. Integer accumulation
+/// is exact and order-independent, so the result is **bitwise identical**
+/// to the scalar reference and the AVX2 twin.
+///
+/// # Safety
+///
+/// `a` must hold `m*k`, `b` `k*n`, `out` `m*n` elements (NEON itself is
+/// baseline on aarch64).
+pub(crate) unsafe fn i8_gemm(a: &[i8], b: &[i8], out: &mut [i32], m: usize, k: usize, n: usize) {
+    #[inline]
+    unsafe fn load8(b: &[i8], off: usize, width: usize) -> int8x8_t {
+        if width == 8 {
+            vld1_s8(b.as_ptr().add(off))
+        } else {
+            let mut buf = [0i8; 8];
+            buf[..width].copy_from_slice(&b[off..off + width]);
+            vld1_s8(buf.as_ptr())
+        }
+    }
+
+    for r in 0..m {
+        let arow = &a[r * k..(r + 1) * k];
+        let orow = &mut out[r * n..(r + 1) * n];
+        let mut j0 = 0usize;
+        while j0 < n {
+            let width = (n - j0).min(8);
+            let mut acc_lo = vdupq_n_s32(0); // columns j0..j0+4
+            let mut acc_hi = vdupq_n_s32(0); // columns j0+4..j0+8
+            for (p, &av) in arow.iter().enumerate() {
+                let b16 = vmovl_s8(load8(b, p * n + j0, width));
+                let a16 = vdup_n_s16(i16::from(av));
+                acc_lo = vmlal_s16(acc_lo, vget_low_s16(b16), a16);
+                acc_hi = vmlal_s16(acc_hi, vget_high_s16(b16), a16);
+            }
+            if width == 8 {
+                vst1q_s32(orow.as_mut_ptr().add(j0), acc_lo);
+                vst1q_s32(orow.as_mut_ptr().add(j0 + 4), acc_hi);
+            } else {
+                let mut buf = [0i32; 8];
+                vst1q_s32(buf.as_mut_ptr(), acc_lo);
+                vst1q_s32(buf.as_mut_ptr().add(4), acc_hi);
+                orow[j0..j0 + width].copy_from_slice(&buf[..width]);
+            }
+            j0 += 8;
+        }
+    }
+}

@@ -388,3 +388,73 @@ fn attention_fm_forward_and_backward_match_scalar() {
         }
     });
 }
+
+#[test]
+fn i8_gemm_is_bitwise_identical_on_every_backend() {
+    // Integer accumulation is exact, so the int8 GEMM carries a *bitwise*
+    // cross-backend contract — stronger than the f32 tolerance above.
+    let backends = vector_backends();
+    run_cases("i8_gemm", 64, 0x18D0, |_case, rng| {
+        let edge = [0usize, 1, 2, 3, 7, 8, 9, 15, 16, 17, 31, 33];
+        let dim = |rng: &mut _| {
+            if Rng::gen_range::<u32, _>(rng, 0..2) == 0 {
+                edge[Rng::gen_range::<usize, _>(rng, 0..edge.len())]
+            } else {
+                Rng::gen_range::<usize, _>(rng, 1..48)
+            }
+        };
+        let (m, k, n) = (dim(rng), dim(rng), dim(rng));
+        let draw = |rng: &mut _, len: usize| -> Vec<i8> {
+            (0..len)
+                .map(|_| Rng::gen_range::<i8, _>(rng, -127..=127))
+                .collect()
+        };
+        let a = draw(rng, m * k);
+        let b = draw(rng, k * n);
+        let mut want = vec![0i32; m * n];
+        simd::i8_gemm_with(Backend::Scalar, &a, &b, &mut want, m, k, n);
+        // Cross-check the scalar twin against a widened reference sum.
+        for r in 0..m {
+            for j in 0..n {
+                let sum: i64 = (0..k)
+                    .map(|p| i64::from(a[r * k + p]) * i64::from(b[p * n + j]))
+                    .sum();
+                assert_eq!(
+                    i64::from(want[r * n + j]),
+                    sum,
+                    "scalar i8 gemm at ({r},{j})"
+                );
+            }
+        }
+        for &bk in &backends {
+            let mut got = vec![i32::MIN; m * n];
+            simd::i8_gemm_with(bk, &a, &b, &mut got, m, k, n);
+            assert_eq!(got, want, "i8 gemm {m}x{k}x{n} {bk:?} must be bitwise");
+        }
+        // The dispatched entry (row-parallel fan-out) must agree too.
+        let mut got = vec![i32::MIN; m * n];
+        simd::i8_gemm(&a, &b, &mut got, m, k, n);
+        assert_eq!(got, want, "dispatched i8 gemm {m}x{k}x{n} must be bitwise");
+    });
+}
+
+#[test]
+fn f16_storage_round_trips_and_bounds_error() {
+    use mfaplace_tensor::half::{f16_slice_to_f32, f32_slice_to_f16};
+    run_cases("f16_round_trip", 16, 0xF16, |_case, rng| {
+        let len = Rng::gen_range::<usize, _>(rng, 1..257);
+        let src = vec_f32(rng, len, -100.0, 100.0);
+        let mut bits = vec![0u16; len];
+        let mut back = vec![0.0f32; len];
+        f32_slice_to_f16(&src, &mut bits);
+        f16_slice_to_f32(&bits, &mut back);
+        for (&s, &b) in src.iter().zip(&back) {
+            // Relative error of one f16 rounding: ≤ 2^-11 of the value.
+            assert!((s - b).abs() <= s.abs() * 4.8829e-4 + 1e-6, "{s} -> {b}");
+        }
+        // A second store/load of the same bits is the identity.
+        let mut bits2 = vec![0u16; len];
+        f32_slice_to_f16(&back, &mut bits2);
+        assert_eq!(bits, bits2, "f16 re-store must be stable");
+    });
+}

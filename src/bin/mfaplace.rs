@@ -26,6 +26,7 @@ use mfaplace::core::loader::{
 };
 use mfaplace::core::predictor::Engine;
 use mfaplace::core::train::{TrainConfig, Trainer};
+use mfaplace::core::{compile_for_serving, is_artifact, read_artifact, Precision};
 use mfaplace::fpga::design::{Design, DesignPreset};
 use mfaplace::fpga::features::FeatureStack;
 use mfaplace::fpga::gridmap::GridMap;
@@ -79,13 +80,16 @@ const USAGE: &str = "usage:
                       [--epochs N] [--batch N] [--lr F] [--seed N] [--workers N] \\
                       [--save-every N] [--stop-after N] [--log <file.jsonl>] \\
                       [--placements N] [--iterations N]
-  mfaplace model-info --model <file.mfaw> [--grid N]
+  mfaplace model-info --model <file.mfaw|file.mfaq> [--grid N]
   mfaplace kernels    (report detected/active SIMD kernel backend)
-  mfaplace serve      --model [name=]<file.mfaw> [--model name=<file.mfaw> ...] \\
-                      [--addr host:port] [--engine tape|plan] \\
+  mfaplace compile    --model <file.mfaw> --calib <file.nl> [--calib <file.nl> ...] \\
+                      [--placements N] [--iterations N] [--seed N] \\
+                      [--precision int8|f16] [--fold-bn] --out <file.mfaq>
+  mfaplace serve      --model [name=]<file.mfaw|file.mfaq> [--model name=<path> ...] \\
+                      [--addr host:port] [--engine tape|plan|quant] \\
                       [--arch ...] [--grid N] [--channels N]   (v1 checkpoints)
   mfaplace predict    --addr host:port --design <file.nl> --placement <file.pl> \\
-                      [--slot name] [--engine tape|plan] [--out <file.ppm>]
+                      [--slot name] [--engine tape|plan|quant] [--out <file.ppm>]
   mfaplace job submit --addr host:port --design <file.nl> [--flow ours|utda|seu|mpku] \\
                       [--seed N] [--slot name] [--predictor model|rudy] \\
                       [--iterations N] [--grid N] [--deadline-ms N] [--watch]
@@ -105,6 +109,12 @@ POST /admin/shutdown. The inference engine defaults to the compiled plan
 (bitwise identical to the tape); --engine or MFAPLACE_ENGINE selects it,
 and predict's --engine switches the remote server (its --slot's slot)
 via POST /admin/engine before predicting.
+compile runs the offline quantization step: it calibrates activation
+ranges over placements of the --calib designs and writes a self-contained
+serving artifact (checkpoint + calibration + precision). serve, predict
+and model-info accept the artifact anywhere a checkpoint is accepted and
+default it to the quant engine; the int8 arena never changes the predicted
+congestion level map, and anything calibration cannot cover stays f32.
 serve also runs the placement job engine at /jobs (sized by
 MFAPLACE_JOB_WORKERS, MFAPLACE_JOB_QUEUE and MFAPLACE_JOB_DEADLINE_MS);
 job submit ships the design inline and prints the job id, job watch
@@ -138,6 +148,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "init-model" => cmd_init_model(&flags),
         "train" => cmd_train(&flags),
         "model-info" => cmd_model_info(&flags),
+        "compile" => cmd_compile(&flags),
         "serve" => cmd_serve(&flags),
         "predict" => cmd_predict(&flags),
         other => Err(format!("unknown subcommand {other:?}")),
@@ -210,6 +221,11 @@ fn cmd_kernels() -> Result<(), String> {
     println!("detected best:  {}", simd::detect().name());
     println!("supported:      {}", names.join(" "));
     println!(
+        "int8 GEMM:      exact i32 accumulation, bitwise across backends \
+         (max contraction {})",
+        simd::I8_GEMM_MAX_K,
+    );
+    println!(
         "plan workers:   {} (MFAPLACE_PLAN_WORKERS{}, pool budget {})",
         mfaplace_infer::plan_workers_from_env(),
         std::env::var("MFAPLACE_PLAN_WORKERS")
@@ -220,18 +236,18 @@ fn cmd_kernels() -> Result<(), String> {
     Ok(())
 }
 
-/// `--engine tape|plan`; `None` leaves the `MFAPLACE_ENGINE` default.
+/// `--engine tape|plan|quant`; `None` leaves the `MFAPLACE_ENGINE` default.
 fn parse_engine(flags: &Flags) -> Result<Option<Engine>, String> {
     match flags.get("engine") {
         None => Ok(None),
         Some(v) => Engine::parse(v)
             .map(Some)
-            .ok_or_else(|| format!("invalid value for --engine: {v:?} (use tape or plan)")),
+            .ok_or_else(|| format!("invalid value for --engine: {v:?} (use tape, plan or quant)")),
     }
 }
 
 /// Flags that take no value (presence means "on").
-const BOOL_FLAGS: &[&str] = &["resume", "watch"];
+const BOOL_FLAGS: &[&str] = &["resume", "watch", "fold-bn"];
 
 /// Parsed command-line flags. Every flag may repeat; `get` returns the
 /// last occurrence (so `--grid 16 --grid 32` means 32) and `all` returns
@@ -525,11 +541,130 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// `mfaplace compile`: the offline "compile for serving" step. Calibrates
+/// activation ranges over placements of the `--calib` designs (generated
+/// exactly like `train`'s dataset sweep) and writes a self-contained
+/// quantized serving artifact next to nothing — the checkpoint bytes ride
+/// inside it.
+fn cmd_compile(flags: &Flags) -> Result<(), String> {
+    let model_path = get(flags, "model")?;
+    let out = get(flags, "out")?;
+    let precision = match flags.get("precision") {
+        None => Precision::Int8,
+        Some(v) => Precision::parse(v)
+            .ok_or_else(|| format!("invalid value for --precision: {v:?} (use int8 or f16)"))?,
+    };
+    let fold_bn = flags.contains_key("fold-bn");
+    let calib_paths = flags.all("calib");
+    if calib_paths.is_empty() {
+        return Err("compile needs at least one --calib <file.nl> design".into());
+    }
+    let opts = load_options(flags)?;
+    let seed: u64 = get_num(flags, "seed", 1)?;
+    // The calibration sweep must run at the model's grid; load once just
+    // to learn it (the compile step reloads from the file anyway).
+    let (spec, _) = load_predictor(model_path, opts)?;
+
+    let mut ds_cfg = DatasetConfig {
+        grid: spec.grid,
+        placements_per_design: get_num(flags, "placements", 4)?,
+        placer_iterations: get_num(flags, "iterations", 10)?,
+        ..DatasetConfig::default()
+    };
+    ds_cfg.router.grid_w = spec.grid;
+    ds_cfg.router.grid_h = spec.grid;
+    let mut inputs = Vec::new();
+    for (i, path) in calib_paths.iter().enumerate() {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let design = io::read_design(&text).map_err(|e| format!("{path}: {e}"))?;
+        let ds = build_design_dataset(&design, &ds_cfg, seed.wrapping_add(i as u64));
+        println!(
+            "calibration: {} placements of {} at grid {}",
+            ds.len(),
+            design.name,
+            spec.grid
+        );
+        inputs.extend(ds.samples.into_iter().map(|s| s.features));
+    }
+
+    let report = compile_for_serving(model_path, opts, &inputs, precision, fold_bn, out)?;
+    let q = &report.qstats;
+    println!(
+        "compiled {} (grid {}) for {} serving{}: {} calibration inputs",
+        report.spec.arch.model_name(),
+        report.spec.grid,
+        precision.name(),
+        if fold_bn { ", bn folded" } else { "" },
+        report.calib_inputs,
+    );
+    println!(
+        "  quant plan (batch 1): {} ops, arena {} bytes ({:.2}x of f32 {} bytes)",
+        report.stats.ops,
+        q.arena_bytes,
+        q.arena_bytes as f64 / q.f32_arena_bytes.max(1) as f64,
+        q.f32_arena_bytes,
+    );
+    println!(
+        "  quant storage: {} i8 / {} f16 / {} f32 values; {} int8-GEMM steps, {} generic; \
+         {} quantized weight bytes",
+        q.i8_values, q.f16_values, q.f32_values, q.i8_steps, q.generic_steps, q.qweight_bytes,
+    );
+    println!("wrote {out} ({} bytes)", report.artifact_bytes);
+    Ok(())
+}
+
 fn cmd_model_info(flags: &Flags) -> Result<(), String> {
     let path = get(flags, "model")?;
     // The fleet's plan-cache key: slots serving byte-identical files share
     // one compiled plan set, and this is how to tell from the outside.
     let hash = content_hash(path)?;
+    // Serving artifacts are not checkpoints — branch before peek_meta
+    // chokes on the magic.
+    if is_artifact(path) {
+        let art = read_artifact(path)?;
+        println!(
+            "{path}: quantized serving artifact ({}, bn {})",
+            art.precision.name(),
+            if art.fold_bn { "folded" } else { "unfolded" },
+        );
+        println!(
+            "  calibration: {} plan steps; embedded checkpoint {} bytes",
+            art.calibration.steps(),
+            art.checkpoint.len(),
+        );
+        println!("  content hash {hash:016x}");
+        println!("  kernel backend: {}", simd::active().name());
+        match load_predictor(path, load_options(flags)?) {
+            Err(e) => println!("  quant plan: unavailable ({e})"),
+            Ok((spec, mut predictor)) => {
+                match predictor.compile_quant_plan(1, 6, spec.grid, spec.grid) {
+                    Err(e) => println!("  quant plan: unavailable ({e})"),
+                    Ok((s, q)) => {
+                        println!(
+                            "  quant plan (batch 1, grid {}): {} ops, arena {} bytes \
+                             ({:.2}x of f32 {} bytes), {} levels",
+                            spec.grid,
+                            s.ops,
+                            q.arena_bytes,
+                            q.arena_bytes as f64 / q.f32_arena_bytes.max(1) as f64,
+                            q.f32_arena_bytes,
+                            s.levels,
+                        );
+                        println!(
+                            "  quant storage: {} i8 / {} f16 / {} f32 values; \
+                             {} int8-GEMM steps, {} generic",
+                            q.i8_values, q.f16_values, q.f32_values, q.i8_steps, q.generic_steps,
+                        );
+                        println!(
+                            "  quant weights: {} bytes quantized, scratch {} bytes",
+                            q.qweight_bytes, q.scratch_bytes,
+                        );
+                    }
+                }
+            }
+        }
+        return Ok(());
+    }
     match peek_meta(path)? {
         None => println!("{path}: v1 checkpoint (no metadata; load with --arch/--grid)"),
         Some(meta) => {
